@@ -1,0 +1,35 @@
+//! End-to-end pipeline throughput: per-core traces + metadata in,
+//! reconstructed per-thread control flow out (decode → project →
+//! recover), on a lossy multi-mode workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jportal_core::JPortal;
+use jportal_jvm::runtime::{Jvm, JvmConfig};
+use jportal_workloads::workload_by_name;
+
+fn bench_e2e(c: &mut Criterion) {
+    let w = workload_by_name("luindex", 3);
+    let r = Jvm::new(JvmConfig {
+        tracing: true,
+        pt_buffer_capacity: 4096,
+        drain_bytes_per_kilocycle: 30,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().unwrap();
+    let bytes: u64 = traces.per_core.iter().map(|t| t.bytes.len() as u64).sum();
+
+    let mut g = c.benchmark_group("e2e");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("analyze_luindex_lossy", |b| {
+        let jportal = JPortal::new(&w.program);
+        b.iter(|| jportal.analyze(traces, &r.archive))
+    });
+    g.bench_function("icfg_build", |b| {
+        b.iter(|| jportal_cfg::Icfg::build(&w.program))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! The §4 ablation: Algorithm 1 (naive enumerate-and-test) vs
+//! Algorithm 2 (abstraction-guided reconstruction).
+//!
+//! Both project the same decoded interpreter segments onto the ICFG; the
+//! paper's claim is that the abstraction prunes candidate start states
+//! cheaply enough to pay for itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jportal_cfg::abs::AbstractNfa;
+use jportal_cfg::{Icfg, Nfa, Sym};
+use jportal_core::decode_segment;
+use jportal_ipt::{decode_packets, segment_stream};
+use jportal_jvm::runtime::{Jvm, JvmConfig};
+use jportal_workloads::workload_by_name;
+
+/// Decoded interpreter-mode symbol runs from a real avrora run.
+fn segments() -> (jportal_bytecode::Program, Vec<Vec<Sym>>) {
+    let w = workload_by_name("avrora", 2);
+    let r = Jvm::new(JvmConfig {
+        tracing: true,
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().unwrap();
+    let packets = decode_packets(&traces.per_core[0].bytes);
+    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let seg = decode_segment(&w.program, &r.archive, &raw[0]);
+    // Cut the long decoded stream into mid-trace windows: these are the
+    // "arbitrary subsequence" projections of §4.
+    let syms = seg.syms();
+    let mut windows = Vec::new();
+    let mut at = 64;
+    while at + 48 < syms.len() && windows.len() < 16 {
+        windows.push(syms[at..at + 48].to_vec());
+        at += 197;
+    }
+    (w.program, windows)
+}
+
+/// A deliberately large program (hundreds of methods) where candidate
+/// start sets are big — the regime the paper's Algorithm 2 targets
+/// (DaCapo ICFGs have 10⁵–10⁶ nodes; tiny analogs under-sell the
+/// abstraction, so the crossover is measured here explicitly).
+fn big_program_segments() -> (jportal_bytecode::Program, Vec<Vec<Sym>>) {
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I};
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Big", None, 0);
+    let mut methods = Vec::new();
+    for i in 0..240u32 {
+        let mut m = pb.method(c, format!("m{i}"), 1, true);
+        let alt = m.label();
+        let done = m.label();
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(i as i64 % 7 + 1));
+        m.emit(I::Irem);
+        m.branch_if(CmpKind::Eq, alt);
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(3));
+        m.emit(I::Imul);
+        m.emit(I::Iconst(1));
+        m.emit(I::Iadd);
+        m.jump(done);
+        m.bind(alt);
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(i as i64 + 2));
+        m.emit(I::Iadd);
+        m.bind(done);
+        m.emit(I::Ireturn);
+        methods.push(m.finish());
+    }
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(2);
+    let head = m.label();
+    let done = m.label();
+    m.emit(I::Iconst(40));
+    m.emit(I::Istore(1));
+    m.bind(head);
+    m.emit(I::Iload(1));
+    m.branch_if(CmpKind::Le, done);
+    for k in 0..6 {
+        m.emit(I::Iload(1));
+        m.emit(I::InvokeStatic(methods[(k * 37) % methods.len()]));
+        m.emit(I::Pop);
+    }
+    m.emit(I::Iinc(1, -1));
+    m.jump(head);
+    m.bind(done);
+    m.emit(I::Return);
+    let main = m.finish();
+    let program = pb.finish_with_entry(main).unwrap();
+
+    let r = Jvm::new(JvmConfig {
+        tracing: true,
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    })
+    .run(&program);
+    let traces = r.traces.as_ref().unwrap();
+    let packets = decode_packets(&traces.per_core[0].bytes);
+    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let seg = decode_segment(&program, &r.archive, &raw[0]);
+    let syms = seg.syms();
+    let mut windows = Vec::new();
+    let mut at = 128;
+    while at + 40 < syms.len() && windows.len() < 8 {
+        windows.push(syms[at..at + 40].to_vec());
+        at += 401;
+    }
+    (program, windows)
+}
+
+fn bench_nfa(c: &mut Criterion) {
+    let (program, windows) = segments();
+    let icfg = Icfg::build(&program);
+    let nfa = Nfa::new(&program, &icfg);
+    let anfa = AbstractNfa::new(&program, &icfg);
+
+    let mut g = c.benchmark_group("nfa_match");
+    g.bench_function("algorithm1_enumerate_and_test", |b| {
+        b.iter(|| {
+            let mut accepted = 0;
+            for w in &windows {
+                if nfa.enumerate_and_test(w).is_accepted() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+    g.bench_function("algorithm2_abstraction_guided", |b| {
+        b.iter(|| {
+            let mut accepted = 0;
+            for w in &windows {
+                if anfa.algorithm2(w).is_accepted() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+    g.bench_function("set_simulation_all_starts", |b| {
+        b.iter(|| {
+            let mut accepted = 0;
+            for w in &windows {
+                if nfa.match_anywhere(w).is_accepted() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+    g.finish();
+
+    // The large-ICFG regime.
+    let (big, big_windows) = big_program_segments();
+    let big_icfg = Icfg::build(&big);
+    let big_nfa = Nfa::new(&big, &big_icfg);
+    let big_anfa = AbstractNfa::new(&big, &big_icfg);
+    let mut g = c.benchmark_group("nfa_match_large");
+    g.bench_function("algorithm1_enumerate_and_test", |b| {
+        b.iter(|| {
+            let mut accepted = 0;
+            for w in &big_windows {
+                if big_nfa.enumerate_and_test(w).is_accepted() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+    g.bench_function("algorithm2_abstraction_guided", |b| {
+        b.iter(|| {
+            let mut accepted = 0;
+            for w in &big_windows {
+                if big_anfa.algorithm2(w).is_accepted() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nfa);
+criterion_main!(benches);

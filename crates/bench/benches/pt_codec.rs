@@ -1,0 +1,65 @@
+//! PT packet codec throughput: encode and decode of a realistic packet
+//! mix (TIPs under last-IP compression, TNT packing, periodic TSC/PSB).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jportal_ipt::{decode_packets, EncoderConfig, HwEvent, PtEncoder};
+
+fn synthetic_events(n: usize) -> Vec<HwEvent> {
+    let mut out = Vec::with_capacity(n);
+    let mut ip = 0x7f80_0000_0000u64;
+    for i in 0..n {
+        match i % 5 {
+            0 | 1 => out.push(HwEvent::Cond {
+                at: ip,
+                taken: i % 3 == 0,
+            }),
+            2 | 3 => {
+                ip = 0x7f80_0000_0000 + ((i as u64 * 2654435761) & 0xFFFF);
+                out.push(HwEvent::Indirect {
+                    at: ip,
+                    target: ip + 0x40,
+                });
+            }
+            _ => out.push(HwEvent::Indirect {
+                at: ip,
+                target: 0x7f90_0000_0000 + (i as u64 & 0xFFF),
+            }),
+        }
+    }
+    out
+}
+
+fn encode_stream(events: &[HwEvent]) -> Vec<u8> {
+    let mut enc = PtEncoder::new(EncoderConfig {
+        buffer_capacity: 1 << 24,
+        filter: None,
+        tsc_period: 512,
+        psb_period: 4096,
+    });
+    for (i, &e) in events.iter().enumerate() {
+        enc.set_time(i as u64);
+        enc.event(e);
+    }
+    enc.finish().bytes
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let events = synthetic_events(20_000);
+    let bytes = encode_stream(&events);
+
+    let mut g = c.benchmark_group("pt_codec");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("encode_20k_events", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |ev| encode_stream(&ev),
+            BatchSize::SmallInput,
+        )
+    });
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("decode_bytes", |b| b.iter(|| decode_packets(&bytes)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! The §5 ablation: Algorithm 3 (naive per-instruction CS search) vs
+//! Algorithm 4 (three-tier abstraction-guided search with pruning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jportal_cfg::Icfg;
+use jportal_core::{Recovery, RecoveryConfig, RecoveryStats, SegmentView};
+use jportal_core::decode_segment;
+use jportal_ipt::{decode_packets, segment_stream};
+use jportal_jvm::runtime::{Jvm, JvmConfig};
+use jportal_workloads::workload_by_name;
+
+/// A lossy sunflow run: real segments with real holes.
+fn lossy_segments() -> (jportal_bytecode::Program, Vec<SegmentView>) {
+    let w = workload_by_name("sunflow", 4);
+    let r = Jvm::new(JvmConfig {
+        tracing: true,
+        pt_buffer_capacity: 1024,
+        drain_bytes_per_kilocycle: 20,
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().unwrap();
+    let packets = decode_packets(&traces.per_core[0].bytes);
+    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let views: Vec<SegmentView> = raw
+        .iter()
+        .map(|rs| {
+            let d = decode_segment(&w.program, &r.archive, rs);
+            SegmentView {
+                nodes: vec![None; d.events.len()],
+                events: d.events,
+                loss_before: d.loss_before,
+            }
+        })
+        .filter(|v| !v.events.is_empty())
+        .collect();
+    (w.program, views)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let (program, views) = lossy_segments();
+    let icfg = Icfg::build(&program);
+    let cfg = RecoveryConfig::default();
+    let naive_cfg = RecoveryConfig {
+        use_abstraction: false,
+        ..cfg
+    };
+    let is_segs: Vec<usize> = (0..views.len().saturating_sub(1))
+        .filter(|&i| views[i].events.len() > cfg.anchor_len)
+        .take(12)
+        .collect();
+
+    let mut g = c.benchmark_group("recovery");
+    g.bench_function("algorithm3_naive_search", |b| {
+        let rec = Recovery::new(&program, &icfg, &views, naive_cfg);
+        b.iter(|| {
+            let mut stats = RecoveryStats::default();
+            let mut found = 0;
+            for &i in &is_segs {
+                found += rec.search_naive(i, &mut stats).len();
+            }
+            found
+        })
+    });
+    g.bench_function("algorithm4_abstraction_guided", |b| {
+        let rec = Recovery::new(&program, &icfg, &views, cfg);
+        b.iter(|| {
+            let mut stats = RecoveryStats::default();
+            let mut found = 0;
+            for &i in &is_segs {
+                found += rec.search_abstraction(i, &mut stats).len();
+            }
+            found
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 7 — JPortal's overall end-to-end control-flow accuracy per
+//! benchmark (the paper's headline ≈ 80% average).
+//!
+//! Each subject runs under the "128M"-analog buffer preset (moderate data
+//! loss), is reconstructed by the full pipeline, and scored against the
+//! executor's exact ground truth.
+
+use jportal_bench::harness::{fmt_pct, global_presets, row, score, EVAL_SCALE};
+use jportal_bench::paper;
+use jportal_workloads::all_workloads;
+
+fn main() {
+    println!("Figure 7: JPortal end-to-end accuracy (measured | paper)\n");
+    let widths = [9usize, 18, 14, 14];
+    row(
+        &[
+            "subject".into(),
+            "accuracy".into(),
+            "byte loss".into(),
+            "bar".into(),
+        ],
+        &widths,
+    );
+    let mut sum = 0.0;
+    let workloads = all_workloads(EVAL_SCALE);
+    let presets = global_presets(&workloads);
+    let (_, buffer, drain) = presets[1]; // the "128M" analog
+    for (w, &(pname, pacc)) in workloads.iter().zip(paper::FIGURE7.iter()) {
+        assert_eq!(w.name, pname);
+        let s = score(w, Some(buffer), Some(drain));
+        sum += s.accuracy.overall;
+        let bar = "#".repeat((s.accuracy.overall * 20.0) as usize);
+        row(
+            &[
+                w.name.into(),
+                format!("{} | {}", fmt_pct(s.accuracy.overall), fmt_pct(pacc)),
+                fmt_pct(s.byte_loss),
+                bar,
+            ],
+            &widths,
+        );
+    }
+    let avg = sum / 9.0;
+    println!(
+        "\nOverall average accuracy: {} (paper: 80.0%)",
+        fmt_pct(avg)
+    );
+}

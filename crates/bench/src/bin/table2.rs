@@ -1,0 +1,97 @@
+//! Table 2 — runtime slowdowns of JPortal vs instrumentation-based
+//! (SC/PF/CF/HM) and sampling-based (xprof/JProfiler) profiling.
+//!
+//! Reproduced property: the *ordering and rough magnitudes* — JPortal in
+//! low single-digit percent, sampling below ~2×, SC < PF ≪ CF (which
+//! explodes on branch-dense subjects), HM heavy on call-dense subjects.
+
+use jportal_bench::harness::{fmt_x, jvm_config, row, run_baseline, run_traced, slowdown, EVAL_SCALE};
+use jportal_bench::paper;
+use jportal_jvm::runtime::Jvm;
+use jportal_profilers::{
+    instrument_control_flow, instrument_hot_methods, instrument_path_profiling,
+    instrument_statement_coverage, SamplingProfiler,
+};
+use jportal_workloads::all_workloads;
+
+fn main() {
+    println!("Table 2: slowdown (x) per profiling technique");
+    println!("(measured | paper)\n");
+    let widths = [9usize, 17, 17, 17, 19, 17, 15, 15];
+    row(
+        &[
+            "subject".into(),
+            "JPortal".into(),
+            "SC".into(),
+            "PF".into(),
+            "CF".into(),
+            "HM".into(),
+            "xprof".into(),
+            "JProfiler".into(),
+        ],
+        &widths,
+    );
+
+    let mut ok = true;
+    for (w, p) in all_workloads(EVAL_SCALE).iter().zip(paper::TABLE2.iter()) {
+        let base = run_baseline(w).wall_cycles;
+
+        let jp = slowdown(base, run_traced(w, None, None).wall_cycles);
+
+        let run_instrumented = |program: &jportal_bytecode::Program| {
+            let mut cfg = jvm_config(w, false, None, None);
+            cfg.record_truth_trace = false;
+            Jvm::new(cfg).run_threads(program, &w.threads).wall_cycles
+        };
+        let (sc_p, _) = instrument_statement_coverage(&w.program);
+        let sc = slowdown(base, run_instrumented(&sc_p));
+        let (pf_p, _) = instrument_path_profiling(&w.program);
+        let pf = slowdown(base, run_instrumented(&pf_p));
+        let (cf_p, _) = instrument_control_flow(&w.program);
+        let cf = slowdown(base, run_instrumented(&cf_p));
+        let hm_p = instrument_hot_methods(&w.program);
+        let hm = slowdown(base, run_instrumented(&hm_p));
+
+        let mut cfg = jvm_config(w, false, None, None);
+        cfg.record_truth_trace = false;
+        let xp = slowdown(
+            base,
+            SamplingProfiler::xprof()
+                .run(&w.program, &w.threads, cfg.clone())
+                .wall_cycles,
+        );
+        let jpr = slowdown(
+            base,
+            SamplingProfiler::jprofiler()
+                .run(&w.program, &w.threads, cfg)
+                .wall_cycles,
+        );
+
+        row(
+            &[
+                w.name.into(),
+                format!("{} | {}", fmt_x(jp), fmt_x(p.jportal)),
+                format!("{} | {}", fmt_x(sc), fmt_x(p.sc)),
+                format!("{} | {}", fmt_x(pf), fmt_x(p.pf)),
+                format!("{} | {}", fmt_x(cf), fmt_x(p.cf)),
+                format!("{} | {}", fmt_x(hm), fmt_x(p.hm)),
+                format!("{} | {}", fmt_x(xp), fmt_x(p.xprof)),
+                format!("{} | {}", fmt_x(jpr), fmt_x(p.jprofiler)),
+            ],
+            &widths,
+        );
+
+        // Shape checks, mirroring the paper's qualitative claims.
+        let shape = jp < sc.min(pf).min(cf).min(hm) // hardware beats instrumentation
+            && cf > sc // full tracing costs more than coverage
+            && cf > pf;
+        if !shape {
+            ok = false;
+            println!("  ^ SHAPE VIOLATION on {}", w.name);
+        }
+    }
+    println!(
+        "\nShape: JPortal < every instrumentation technique; SC < CF; PF < CF — {}",
+        if ok { "HOLDS" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,65 @@
+//! Table 3 — breakdown of data captured and lost, and JPortal's
+//! reconstruction accuracies, under three buffer sizes.
+//!
+//! The paper sweeps 256 MB / 128 MB / 64 MB per-core buffers on batik, h2
+//! and sunflow. The analogs sweep proportional buffer presets; the
+//! reproduced properties: missing data (PMD) grows as the buffer shrinks,
+//! recovery contributes a meaningful slice (PR) whose accuracy (RA)
+//! degrades with more loss, while decoding accuracy (DA) stays roughly
+//! flat regardless of buffer size.
+
+use jportal_bench::harness::{fmt_pct, global_presets, row, score, EVAL_SCALE};
+use jportal_workloads::all_workloads;
+use jportal_bench::paper;
+use jportal_workloads::workload_by_name;
+
+fn main() {
+    println!("Table 3: capture/loss breakdown under buffer sizes (measured | paper)\n");
+    let widths = [9usize, 7, 17, 17, 17, 17, 17, 17];
+    row(
+        &[
+            "subject".into(),
+            "buffer".into(),
+            "PMD".into(),
+            "PR".into(),
+            "RA".into(),
+            "PDC".into(),
+            "PD".into(),
+            "DA".into(),
+        ],
+        &widths,
+    );
+
+    let presets = global_presets(&all_workloads(EVAL_SCALE));
+    for name in ["batik", "h2", "sunflow"] {
+        let w = workload_by_name(name, EVAL_SCALE);
+        let mut prev_pmd = -1.0f64;
+        for (label, buffer, drain) in presets {
+            let s = score(&w, Some(buffer), Some(drain));
+            let p = paper::TABLE3
+                .iter()
+                .find(|c| c.name == name && c.buffer == label)
+                .expect("paper cell");
+            let a = s.accuracy;
+            row(
+                &[
+                    name.into(),
+                    label.into(),
+                    format!("{} | {}", fmt_pct(a.pmd), fmt_pct(p.pmd)),
+                    format!("{} | {}", fmt_pct(a.pr), fmt_pct(p.pr)),
+                    format!("{} | {}", fmt_pct(a.ra), fmt_pct(p.ra)),
+                    format!("{} | {}", fmt_pct(a.pdc), fmt_pct(p.pdc)),
+                    format!("{} | {}", fmt_pct(a.pd), fmt_pct(p.pd)),
+                    format!("{} | {}", fmt_pct(a.da), fmt_pct(p.da)),
+                ],
+                &widths,
+            );
+            if a.pmd < prev_pmd {
+                println!("  ^ SHAPE VIOLATION: PMD must grow as the buffer shrinks");
+            }
+            prev_pmd = a.pmd;
+        }
+        println!();
+    }
+    println!("Shape: smaller buffer => more missing data; DA roughly stable across buffers.");
+}

@@ -1,0 +1,174 @@
+//! The paper's published numbers (Zuo et al., PLDI 2021), typed for
+//! side-by-side printing in the harness binaries and EXPERIMENTS.md.
+
+/// Benchmark order used by every table (the paper's Table 1 order).
+pub const BENCHMARKS: [&str; 9] = [
+    "avrora", "batik", "fop", "h2", "jython", "luindex", "lusearch", "pmd", "sunflow",
+];
+
+/// Table 1: subject characteristics `(version, LoC, methods, classes,
+/// threaded)`.
+pub const TABLE1: [(&str, &str, u32, u32, u32, &str); 9] = [
+    ("avrora", "1.7.110", 70_117, 9_501, 1_828, "single"),
+    ("batik", "1.7", 195_232, 2_430, 15_211, "single"),
+    ("fop", "0.95", 105_889, 1_314, 9_968, "single"),
+    ("h2", "1.2.121", 119_693, 471, 7_026, "multiple"),
+    ("jython", "2.5.1", 209_016, 3_288, 31_201, "single"),
+    ("luindex", "2.4.1", 39_864, 560, 4_365, "single"),
+    ("lusearch", "2.4.1", 40_194, 563, 4_371, "multiple"),
+    ("pmd", "4.2.5", 60_472, 727, 5_055, "multiple"),
+    ("sunflow", "0.07.2", 21_962, 255, 1_762, "single"),
+];
+
+/// One Table 2 row: slowdowns (×) for JPortal, SC, PF, CF, HM, xprof,
+/// JProfiler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// JPortal slowdown.
+    pub jportal: f64,
+    /// Statement-coverage instrumentation slowdown.
+    pub sc: f64,
+    /// Path-frequency instrumentation slowdown.
+    pub pf: f64,
+    /// Control-flow instrumentation slowdown.
+    pub cf: f64,
+    /// Hot-method instrumentation slowdown.
+    pub hm: f64,
+    /// xprof sampling slowdown.
+    pub xprof: f64,
+    /// JProfiler sampling slowdown.
+    pub jprofiler: f64,
+}
+
+/// Table 2 as published.
+pub const TABLE2: [Table2Row; 9] = [
+    Table2Row { name: "avrora", jportal: 1.154, sc: 29.940, pf: 43.777, cf: 3555.073, hm: 11.038, xprof: 1.059, jprofiler: 1.512 },
+    Table2Row { name: "batik", jportal: 1.084, sc: 1.603, pf: 1.776, cf: 46.322, hm: 2.322, xprof: 1.262, jprofiler: 1.331 },
+    Table2Row { name: "fop", jportal: 1.044, sc: 2.182, pf: 1.947, cf: 41.631, hm: 1.969, xprof: 1.309, jprofiler: 1.221 },
+    Table2Row { name: "h2", jportal: 1.128, sc: 10.114, pf: 13.507, cf: 1266.685, hm: 50.840, xprof: 1.056, jprofiler: 1.140 },
+    Table2Row { name: "jython", jportal: 1.165, sc: 3.600, pf: 7.113, cf: 502.163, hm: 14.657, xprof: 1.052, jprofiler: 1.519 },
+    Table2Row { name: "luindex", jportal: 1.041, sc: 2.027, pf: 2.403, cf: 80.776, hm: 3.817, xprof: 1.115, jprofiler: 1.272 },
+    Table2Row { name: "lusearch", jportal: 1.162, sc: 13.979, pf: 24.093, cf: 1706.262, hm: 8.203, xprof: 1.168, jprofiler: 1.509 },
+    Table2Row { name: "pmd", jportal: 1.086, sc: 1.140, pf: 1.258, cf: 5.320, hm: 2.040, xprof: 1.063, jprofiler: 1.822 },
+    Table2Row { name: "sunflow", jportal: 1.156, sc: 6.343, pf: 10.767, cf: 887.897, hm: 14.564, xprof: 1.151, jprofiler: 1.464 },
+];
+
+/// Figure 7: JPortal's overall end-to-end accuracy per benchmark.
+pub const FIGURE7: [(&str, f64); 9] = [
+    ("avrora", 0.810),
+    ("batik", 0.783),
+    ("fop", 0.870),
+    ("h2", 0.713),
+    ("jython", 0.692),
+    ("luindex", 0.913),
+    ("lusearch", 0.819),
+    ("pmd", 0.859),
+    ("sunflow", 0.747),
+];
+
+/// One Table 3 cell set for a `(benchmark, buffer)` pair, as fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Cell {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Buffer label ("256M" | "128M" | "64M").
+    pub buffer: &'static str,
+    /// Percent of missing data.
+    pub pmd: f64,
+    /// Percent recovered.
+    pub pr: f64,
+    /// Recovery accuracy.
+    pub ra: f64,
+    /// Percent of data captured.
+    pub pdc: f64,
+    /// Percent decoded.
+    pub pd: f64,
+    /// Decoding accuracy.
+    pub da: f64,
+}
+
+/// Table 3 as published (batik, h2, sunflow × 256M/128M/64M).
+pub const TABLE3: [Table3Cell; 9] = [
+    Table3Cell { name: "batik", buffer: "256M", pmd: 0.0, pr: 0.0, ra: 0.0, pdc: 1.0, pd: 0.854, da: 0.854 },
+    Table3Cell { name: "batik", buffer: "128M", pmd: 0.2223, pr: 0.1179, ra: 0.5305, pdc: 0.7777, pd: 0.6653, da: 0.8555 },
+    Table3Cell { name: "batik", buffer: "64M", pmd: 0.3975, pr: 0.1644, ra: 0.4136, pdc: 0.6025, pd: 0.5142, da: 0.8534 },
+    Table3Cell { name: "h2", buffer: "256M", pmd: 0.1930, pr: 0.1088, ra: 0.5635, pdc: 0.8070, pd: 0.6118, da: 0.7581 },
+    Table3Cell { name: "h2", buffer: "128M", pmd: 0.2803, pr: 0.1695, ra: 0.6048, pdc: 0.7197, pd: 0.5436, da: 0.7553 },
+    Table3Cell { name: "h2", buffer: "64M", pmd: 0.5428, pr: 0.2914, ra: 0.5369, pdc: 0.4572, pd: 0.3438, da: 0.7520 },
+    Table3Cell { name: "sunflow", buffer: "256M", pmd: 0.1040, pr: 0.0505, ra: 0.4852, pdc: 0.8960, pd: 0.7494, da: 0.8364 },
+    Table3Cell { name: "sunflow", buffer: "128M", pmd: 0.2267, pr: 0.0926, ra: 0.4086, pdc: 0.7733, pd: 0.6543, da: 0.8461 },
+    Table3Cell { name: "sunflow", buffer: "64M", pmd: 0.4504, pr: 0.1513, ra: 0.3359, pdc: 0.5496, pd: 0.4574, da: 0.8322 },
+];
+
+/// Table 4: hot-method intersections with the instrumented top-10
+/// `(xprof, jprofiler, jportal)`.
+pub const TABLE4: [(&str, u32, u32, u32); 9] = [
+    ("avrora", 2, 4, 7),
+    ("batik", 0, 5, 6),
+    ("fop", 1, 6, 8),
+    ("h2", 0, 4, 6),
+    ("jython", 1, 1, 6),
+    ("luindex", 1, 2, 7),
+    ("lusearch", 4, 4, 6),
+    ("pmd", 4, 5, 7),
+    ("sunflow", 1, 4, 6),
+];
+
+/// Table 5: `(baseline trace MB, baseline decode min, jportal trace MB,
+/// jportal decode min, jportal recovery min — NaN when no data loss)`.
+pub const TABLE5: [(&str, f64, f64, f64, f64, f64); 9] = [
+    ("avrora", 8301.4, 113.2, 773.4, 20.4, f64::NAN),
+    ("batik", 176.4, 4.2, 1197.6, 4.8, 1.0),
+    ("fop", 109.1, 1.7, 520.7, 3.5, f64::NAN),
+    ("h2", 14946.7, 198.9, 3067.7, 33.1, 16.7),
+    ("jython", 1735.0, 19.7, 829.8, 12.5, f64::NAN),
+    ("luindex", 81.4, 1.7, 192.7, 1.6, f64::NAN),
+    ("lusearch", 1174.8, 20.1, 1067.2, 6.1, f64::NAN),
+    ("pmd", 3.2, 0.053, 174.9, 1.1, f64::NAN),
+    ("sunflow", 1808.6, 33.5, 1052.3, 10.9, 6.6),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_nine_benchmarks_in_order() {
+        for (i, name) in BENCHMARKS.iter().enumerate() {
+            assert_eq!(TABLE1[i].0, *name);
+            assert_eq!(TABLE2[i].name, *name);
+            assert_eq!(FIGURE7[i].0, *name);
+            assert_eq!(TABLE4[i].0, *name);
+            assert_eq!(TABLE5[i].0, *name);
+        }
+        for c in &TABLE3 {
+            assert!(["batik", "h2", "sunflow"].contains(&c.name));
+        }
+    }
+
+    #[test]
+    fn published_invariants_hold() {
+        // The paper's headline: overall accuracy ≈ 80%.
+        let avg: f64 = FIGURE7.iter().map(|&(_, a)| a).sum::<f64>() / 9.0;
+        assert!((avg - 0.80).abs() < 0.02);
+        // JPortal's overhead is 4–16.5%.
+        for r in &TABLE2 {
+            assert!(r.jportal >= 1.04 && r.jportal <= 1.17);
+            // CF is always the most expensive instrumentation.
+            assert!(r.cf > r.pf && r.cf > r.sc);
+        }
+        // Table 3: bigger buffers lose less.
+        for name in ["batik", "h2", "sunflow"] {
+            let cells: Vec<&Table3Cell> =
+                TABLE3.iter().filter(|c| c.name == name).collect();
+            assert!(cells[0].pmd <= cells[1].pmd);
+            assert!(cells[1].pmd <= cells[2].pmd);
+        }
+        // Table 4: JPortal beats both samplers everywhere.
+        for &(_, xp, jp, jpo) in &TABLE4 {
+            assert!(jpo > xp && jpo >= jp);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Label-based assembler for building [`Program`]s.
+//!
+//! [`ProgramBuilder`] owns the growing class and method tables;
+//! [`MethodBuilder`] assembles one method with forward-referencing
+//! [`Label`]s that are patched when the method is finished.
+
+
+use crate::insn::{CmpKind, Instruction};
+use crate::program::{Bci, Class, ClassId, ExceptionHandler, Method, MethodId, Program};
+use crate::verify::{verify_program, VerifyError};
+
+/// A forward-referencing branch target inside a [`MethodBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incrementally constructs a [`Program`].
+///
+/// Method ids are handed out eagerly by [`ProgramBuilder::method`] so that
+/// mutually recursive methods can reference each other before either is
+/// finished.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::builder::ProgramBuilder;
+/// use jportal_bytecode::Instruction;
+///
+/// let mut pb = ProgramBuilder::new();
+/// let c = pb.add_class("Main", None, 0);
+/// let mut m = pb.method(c, "main", 0, false);
+/// m.emit(Instruction::Return);
+/// let main = m.finish();
+/// let program = pb.finish_with_entry(main)?;
+/// assert_eq!(program.entry(), main);
+/// # Ok::<(), jportal_bytecode::VerifyError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<Class>,
+    methods: Vec<Option<Method>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a class. A subclass inherits its superclass's vtable and field
+    /// count; `extra_fields` is added on top of the inherited fields.
+    pub fn add_class(
+        &mut self,
+        name: impl Into<String>,
+        super_class: Option<ClassId>,
+        extra_fields: u16,
+    ) -> ClassId {
+        let (vtable, inherited_fields) = match super_class {
+            Some(s) => {
+                let sup = &self.classes[s.index()];
+                (sup.vtable.clone(), sup.n_fields)
+            }
+            None => (Vec::new(), 0),
+        };
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class {
+            name: name.into(),
+            super_class,
+            vtable,
+            n_fields: inherited_fields + extra_fields,
+        });
+        id
+    }
+
+    /// Starts a method and reserves its [`MethodId`].
+    pub fn method(
+        &mut self,
+        class: ClassId,
+        name: impl Into<String>,
+        n_args: u16,
+        returns_value: bool,
+    ) -> MethodBuilder<'_> {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(None);
+        MethodBuilder {
+            program: self,
+            id,
+            method: Method {
+                name: name.into(),
+                class,
+                n_args,
+                max_locals: n_args,
+                returns_value,
+                code: Vec::new(),
+                handlers: Vec::new(),
+            },
+            labels: Vec::new(),
+            pending: Vec::new(),
+            switch_arms: Vec::new(),
+            pending_handlers: Vec::new(),
+        }
+    }
+
+    /// Appends a new vtable slot to `class` implemented by `method` and
+    /// returns the slot index. Subclasses created *after* this call inherit
+    /// the slot.
+    pub fn add_virtual(&mut self, class: ClassId, method: MethodId) -> u16 {
+        let vt = &mut self.classes[class.index()].vtable;
+        vt.push(method);
+        (vt.len() - 1) as u16
+    }
+
+    /// Overrides vtable `slot` of `class` (typically a subclass) with
+    /// `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot does not exist in the class's vtable.
+    pub fn override_virtual(&mut self, class: ClassId, slot: u16, method: MethodId) {
+        self.classes[class.index()].vtable[slot as usize] = method;
+    }
+
+    /// Finishes the program with `entry` as the entry point, verifying it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found, including unfinished
+    /// methods (a method begun with [`ProgramBuilder::method`] whose
+    /// builder was dropped without [`MethodBuilder::finish`]).
+    pub fn finish_with_entry(self, entry: MethodId) -> Result<Program, VerifyError> {
+        let mut methods = Vec::with_capacity(self.methods.len());
+        for (i, m) in self.methods.into_iter().enumerate() {
+            match m {
+                Some(m) => methods.push(m),
+                None => return Err(VerifyError::UnfinishedMethod(MethodId(i as u32))),
+            }
+        }
+        let program = Program::from_parts(self.classes, methods, entry);
+        verify_program(&program)?;
+        Ok(program)
+    }
+}
+
+/// Assembles the body of one method. Created by [`ProgramBuilder::method`].
+#[derive(Debug)]
+pub struct MethodBuilder<'p> {
+    program: &'p mut ProgramBuilder,
+    id: MethodId,
+    method: Method,
+    /// Resolved positions, indexed by label id; `u32::MAX` = unbound.
+    labels: Vec<u32>,
+    /// `(code index, label)` pairs to patch at finish.
+    pending: Vec<(usize, Label)>,
+    /// Switch patches: `(code index, arm index or usize::MAX for default, label)`.
+    switch_arms: Vec<(usize, usize, Label)>,
+    /// Handlers awaiting label resolution.
+    pending_handlers: Vec<(Bci, Bci, Label, Option<ClassId>)>,
+}
+
+impl<'p> MethodBuilder<'p> {
+    /// The id this method will have in the finished program.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// Current code position (the bci of the next emitted instruction).
+    pub fn here(&self) -> Bci {
+        Bci(self.method.code.len() as u32)
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(u32::MAX);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert_eq!(self.labels[label.0], u32::MAX, "label bound twice");
+        self.labels[label.0] = self.method.code.len() as u32;
+    }
+
+    /// Appends an instruction verbatim. Branch targets inside `insn` must
+    /// already be resolved [`Bci`]s; use the label-taking helpers for
+    /// forward references.
+    pub fn emit(&mut self, insn: Instruction) -> Bci {
+        let at = self.here();
+        self.track_locals(&insn);
+        self.method.code.push(insn);
+        at
+    }
+
+    fn track_locals(&mut self, insn: &Instruction) {
+        let slot = match insn {
+            Instruction::Iload(s)
+            | Instruction::Istore(s)
+            | Instruction::Aload(s)
+            | Instruction::Astore(s)
+            | Instruction::Iinc(s, _) => Some(*s),
+            _ => None,
+        };
+        if let Some(s) = slot {
+            self.method.max_locals = self.method.max_locals.max(s + 1);
+        }
+    }
+
+    /// Emits `goto label`.
+    pub fn jump(&mut self, label: Label) -> Bci {
+        let at = self.emit(Instruction::Goto(Bci(u32::MAX)));
+        self.pending.push((at.index(), label));
+        at
+    }
+
+    /// Emits `if<cmp> label` (compare popped value against zero).
+    pub fn branch_if(&mut self, cmp: CmpKind, label: Label) -> Bci {
+        let at = self.emit(Instruction::If(cmp, Bci(u32::MAX)));
+        self.pending.push((at.index(), label));
+        at
+    }
+
+    /// Emits `if_icmp<cmp> label` (compare two popped values).
+    pub fn branch_if_icmp(&mut self, cmp: CmpKind, label: Label) -> Bci {
+        let at = self.emit(Instruction::IfICmp(cmp, Bci(u32::MAX)));
+        self.pending.push((at.index(), label));
+        at
+    }
+
+    /// Emits `ifnull label`.
+    pub fn branch_if_null(&mut self, label: Label) -> Bci {
+        let at = self.emit(Instruction::IfNull(Bci(u32::MAX)));
+        self.pending.push((at.index(), label));
+        at
+    }
+
+    /// Emits a `tableswitch` over labels.
+    pub fn table_switch(&mut self, low: i64, targets: &[Label], default: Label) -> Bci {
+        let at = self.emit(Instruction::TableSwitch {
+            low,
+            targets: vec![Bci(u32::MAX); targets.len()],
+            default: Bci(u32::MAX),
+        });
+        for (i, &l) in targets.iter().enumerate() {
+            // switch arm i is patched via a synthetic pending entry encoding
+            // (index, arm) — we store arms as extra pendings with offset
+            // encoding below.
+            self.pending_switch(at.index(), i, l);
+        }
+        self.pending_switch(at.index(), usize::MAX, default);
+        at
+    }
+
+    /// Emits a `lookupswitch` over `(key, label)` pairs (sorted by key).
+    pub fn lookup_switch(&mut self, pairs: &[(i64, Label)], default: Label) -> Bci {
+        let at = self.emit(Instruction::LookupSwitch {
+            pairs: pairs.iter().map(|&(k, _)| (k, Bci(u32::MAX))).collect(),
+            default: Bci(u32::MAX),
+        });
+        for (i, &(_, l)) in pairs.iter().enumerate() {
+            self.pending_switch(at.index(), i, l);
+        }
+        self.pending_switch(at.index(), usize::MAX, default);
+        at
+    }
+
+    fn pending_switch(&mut self, at: usize, arm: usize, label: Label) {
+        // Encode switch arms in the pending list as (at, label) plus a side
+        // table keyed by occurrence order.
+        self.switch_arms.push((at, arm, label));
+    }
+
+    /// Adds an exception handler covering `start..end` (half-open bcis)
+    /// that jumps to `handler` for exceptions of `catch_class`
+    /// (`None` = catch-all).
+    pub fn add_handler(
+        &mut self,
+        start: Bci,
+        end: Bci,
+        handler: Label,
+        catch_class: Option<ClassId>,
+    ) {
+        self.pending_handlers.push((start, end, handler, catch_class));
+    }
+
+    /// Raises the method's local-slot count to at least `n`.
+    pub fn reserve_locals(&mut self, n: u16) {
+        self.method.max_locals = self.method.max_locals.max(n);
+    }
+
+    /// Patches all labels and installs the method into the program builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound.
+    pub fn finish(mut self) -> MethodId {
+        let resolve = |labels: &[u32], l: Label| -> Bci {
+            let pos = labels[l.0];
+            assert_ne!(pos, u32::MAX, "label referenced but never bound");
+            Bci(pos)
+        };
+        for (at, label) in std::mem::take(&mut self.pending) {
+            let target = resolve(&self.labels, label);
+            match &mut self.method.code[at] {
+                Instruction::Goto(t)
+                | Instruction::If(_, t)
+                | Instruction::IfICmp(_, t)
+                | Instruction::IfNull(t) => *t = target,
+                other => unreachable!("pending patch on non-branch {other:?}"),
+            }
+        }
+        for (at, arm, label) in std::mem::take(&mut self.switch_arms) {
+            let target = resolve(&self.labels, label);
+            match &mut self.method.code[at] {
+                Instruction::TableSwitch {
+                    targets, default, ..
+                } => {
+                    if arm == usize::MAX {
+                        *default = target;
+                    } else {
+                        targets[arm] = target;
+                    }
+                }
+                Instruction::LookupSwitch { pairs, default } => {
+                    if arm == usize::MAX {
+                        *default = target;
+                    } else {
+                        pairs[arm].1 = target;
+                    }
+                }
+                other => unreachable!("switch patch on non-switch {other:?}"),
+            }
+        }
+        for (start, end, handler, catch_class) in std::mem::take(&mut self.pending_handlers) {
+            let handler = resolve(&self.labels, handler);
+            self.method.handlers.push(ExceptionHandler {
+                start,
+                end,
+                handler,
+                catch_class,
+            });
+        }
+        self.program.methods[self.id.index()] = Some(std::mem::replace(
+            &mut self.method,
+            Method {
+                name: String::new(),
+                class: ClassId(0),
+                n_args: 0,
+                max_locals: 0,
+                returns_value: false,
+                code: Vec::new(),
+                handlers: Vec::new(),
+            },
+        ));
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Instruction as I;
+
+    /// Adds a no-arg `main` entry so programs whose method under test takes
+    /// arguments still verify.
+    fn finish_with_main(mut pb: ProgramBuilder, _under_test: MethodId) -> Program {
+        let c = pb.add_class("EntryHolder", None, 0);
+        let mut main = pb.method(c, "main", 0, false);
+        main.emit(I::Return);
+        let main = main.finish();
+        pb.finish_with_entry(main).unwrap()
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "loop", 1, true);
+        let head = m.label();
+        let exit = m.label();
+        m.bind(head);
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Le, exit);
+        m.emit(I::Iinc(0, -1));
+        m.jump(head);
+        m.bind(exit);
+        m.emit(I::Iload(0));
+        m.emit(I::Ireturn);
+        let id = m.finish();
+        let p = finish_with_main(pb, id);
+        let code = &p.method(id).code;
+        assert_eq!(code[1], I::If(CmpKind::Le, Bci(4)));
+        assert_eq!(code[3], I::Goto(Bci(0)));
+    }
+
+    #[test]
+    fn switch_labels_patch() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "sw", 1, true);
+        let a = m.label();
+        let b = m.label();
+        let d = m.label();
+        m.emit(I::Iload(0));
+        m.table_switch(0, &[a, b], d);
+        m.bind(a);
+        m.emit(I::Iconst(10));
+        m.emit(I::Ireturn);
+        m.bind(b);
+        m.emit(I::Iconst(20));
+        m.emit(I::Ireturn);
+        m.bind(d);
+        m.emit(I::Iconst(-1));
+        m.emit(I::Ireturn);
+        let id = m.finish();
+        let p = finish_with_main(pb, id);
+        match &p.method(id).code[1] {
+            I::TableSwitch {
+                targets, default, ..
+            } => {
+                assert_eq!(targets, &vec![Bci(2), Bci(4)]);
+                assert_eq!(*default, Bci(6));
+            }
+            other => panic!("expected tableswitch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_locals_tracks_usage() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "f", 1, false);
+        m.emit(I::Iconst(0));
+        m.emit(I::Istore(7));
+        m.emit(I::Return);
+        let id = m.finish();
+        let p = finish_with_main(pb, id);
+        assert_eq!(p.method(id).max_locals, 8);
+    }
+
+    #[test]
+    fn unfinished_method_is_reported() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::Return);
+        let main = m.finish();
+        let _abandoned = pb.method(c, "ghost", 0, false);
+        drop(_abandoned);
+        let err = pb.finish_with_entry(main).unwrap_err();
+        assert!(matches!(err, VerifyError::UnfinishedMethod(_)));
+    }
+
+    #[test]
+    fn exception_handler_labels() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let ex = pb.add_class("Ex", None, 0);
+        let mut m = pb.method(c, "t", 0, true);
+        let handler = m.label();
+        let start = m.here();
+        m.emit(I::Iconst(1));
+        m.emit(I::Iconst(0));
+        m.emit(I::Idiv);
+        let end = m.here();
+        m.emit(I::Ireturn);
+        m.add_handler(start, end, handler, Some(ex));
+        m.bind(handler);
+        m.emit(I::Pop);
+        m.emit(I::Iconst(-1));
+        m.emit(I::Ireturn);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let h = &p.method(id).handlers[0];
+        assert_eq!(h.handler, Bci(4));
+        assert_eq!(h.catch_class, Some(ex));
+    }
+}

@@ -1,0 +1,178 @@
+//! Disassembler: human-readable listings in the style of `javap -c`.
+
+use std::fmt::Write as _;
+
+use crate::insn::Instruction;
+use crate::program::{MethodId, Program};
+
+/// Renders one instruction, without its bci prefix.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::disasm::render_insn;
+/// use jportal_bytecode::{Bci, CmpKind, Instruction};
+///
+/// assert_eq!(render_insn(&Instruction::Iload(1)), "iload 1");
+/// assert_eq!(render_insn(&Instruction::If(CmpKind::Eq, Bci(11))), "ifeq 11");
+/// ```
+pub fn render_insn(insn: &Instruction) -> String {
+    match insn {
+        Instruction::Iconst(v) => format!("iconst {v}"),
+        Instruction::Iload(s) => format!("iload {s}"),
+        Instruction::Istore(s) => format!("istore {s}"),
+        Instruction::Aload(s) => format!("aload {s}"),
+        Instruction::Astore(s) => format!("astore {s}"),
+        Instruction::Iinc(s, d) => format!("iinc {s} {d:+}"),
+        Instruction::Goto(t) => format!("goto {t}"),
+        Instruction::If(k, t) => format!("if{k} {t}"),
+        Instruction::IfICmp(k, t) => format!("if_icmp{k} {t}"),
+        Instruction::IfNull(t) => format!("ifnull {t}"),
+        Instruction::TableSwitch {
+            low,
+            targets,
+            default,
+        } => {
+            let mut s = format!("tableswitch low={low} [");
+            for (i, t) in targets.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{t}");
+            }
+            let _ = write!(s, "] default={default}");
+            s
+        }
+        Instruction::LookupSwitch { pairs, default } => {
+            let mut s = String::from("lookupswitch {");
+            for (i, (k, t)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{k}: {t}");
+            }
+            let _ = write!(s, "}} default={default}");
+            s
+        }
+        Instruction::InvokeStatic(m) => format!("invokestatic {m}"),
+        Instruction::InvokeVirtual { declared_in, slot } => {
+            format!("invokevirtual {declared_in}#{slot}")
+        }
+        Instruction::New(c) => format!("new {c}"),
+        Instruction::Probe(k) => format!("probe {k:?}"),
+        Instruction::GetField(i) => format!("getfield {i}"),
+        Instruction::PutField(i) => format!("putfield {i}"),
+        other => other.op_kind().mnemonic().to_string(),
+    }
+}
+
+/// Renders a whole method as a `javap`-style listing.
+pub fn render_method(program: &Program, id: MethodId) -> String {
+    let method = program.method(id);
+    let mut out = format!(
+        "{} {}({} args) {{\n",
+        if method.returns_value { "int" } else { "void" },
+        method.qualified_name(program),
+        method.n_args
+    );
+    for (i, insn) in method.code.iter().enumerate() {
+        let _ = writeln!(out, "  {i:>4}: {}", render_insn(insn));
+    }
+    if !method.handlers.is_empty() {
+        out.push_str("  Exception table:\n");
+        for h in &method.handlers {
+            let catch = match h.catch_class {
+                Some(c) => format!("{c}"),
+                None => "any".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    from {} to {} handler {} catch {}",
+                h.start, h.end, h.handler, catch
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every method of the program.
+pub fn render_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (id, _) in program.methods() {
+        out.push_str(&render_method(program, id));
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary line used by the workload characteristics table:
+/// instruction count, method count, class count.
+pub fn summary(program: &Program) -> String {
+    format!(
+        "{} instructions, {} methods, {} classes",
+        program.code_size(),
+        program.method_count(),
+        program.class_count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::insn::{CmpKind, Instruction as I};
+    use crate::program::Bci;
+
+    #[test]
+    fn renders_branches_like_javap() {
+        assert_eq!(render_insn(&I::If(CmpKind::Ne, Bci(23))), "ifne 23");
+        assert_eq!(render_insn(&I::Goto(Bci(15))), "goto 15");
+        assert_eq!(render_insn(&I::Iinc(2, -1)), "iinc 2 -1");
+        assert_eq!(render_insn(&I::Iadd), "iadd");
+    }
+
+    #[test]
+    fn renders_switches() {
+        let s = render_insn(&I::TableSwitch {
+            low: 3,
+            targets: vec![Bci(4), Bci(8)],
+            default: Bci(12),
+        });
+        assert_eq!(s, "tableswitch low=3 [4, 8] default=12");
+        let s = render_insn(&I::LookupSwitch {
+            pairs: vec![(1, Bci(4)), (10, Bci(8))],
+            default: Bci(12),
+        });
+        assert_eq!(s, "lookupswitch {1: 4, 10: 8} default=12");
+    }
+
+    #[test]
+    fn renders_method_with_handlers() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Main", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let h = m.label();
+        let start = m.here();
+        m.emit(I::Iconst(1));
+        m.emit(I::Iconst(0));
+        m.emit(I::Idiv);
+        m.emit(I::Pop);
+        let end = m.here();
+        m.emit(I::Return);
+        m.add_handler(start, end, h, None);
+        m.bind(h);
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let listing = render_method(&p, id);
+        assert!(listing.contains("void Main.main(0 args)"));
+        assert!(listing.contains("0: iconst 1"));
+        assert!(listing.contains("Exception table:"));
+        assert!(listing.contains("catch any"));
+        let whole = render_program(&p);
+        assert!(whole.contains("Main.main"));
+        assert!(summary(&p).contains("1 methods"));
+    }
+}

@@ -1,0 +1,70 @@
+//! JVM-style bytecode for the JPortal reproduction.
+//!
+//! This crate defines the bytecode instruction set executed by the simulated
+//! JVM (`jportal-jvm`), together with the program/class/method model, a
+//! label-based assembler ([`builder`]), a structural verifier ([`verify`])
+//! and a disassembler ([`disasm`]).
+//!
+//! The ISA is a faithful subset of real JVM bytecode semantics — integer
+//! arithmetic, locals, an operand stack, conditional and unconditional
+//! branches, `tableswitch`/`lookupswitch`, static and virtual calls,
+//! objects with fields and vtable dispatch, arrays, and `athrow` with
+//! exception tables — because JPortal's reconstruction algorithms operate on
+//! interprocedural control-flow graphs built from exactly these constructs.
+//!
+//! # Examples
+//!
+//! ```
+//! use jportal_bytecode::builder::ProgramBuilder;
+//! use jportal_bytecode::{CmpKind, Instruction};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let class = pb.add_class("Main", None, 0);
+//! let mut m = pb.method(class, "fun", 2, true);
+//! // static boolean fun(boolean a, int b) { if (a) b += 1; else b -= 2; return b % 2 == 0; }
+//! let else_ = m.label();
+//! let join = m.label();
+//! let odd = m.label();
+//! m.emit(Instruction::Iload(0));
+//! m.branch_if(CmpKind::Eq, else_);
+//! m.emit(Instruction::Iload(1));
+//! m.emit(Instruction::Iconst(1));
+//! m.emit(Instruction::Iadd);
+//! m.emit(Instruction::Istore(1));
+//! m.jump(join);
+//! m.bind(else_);
+//! m.emit(Instruction::Iload(1));
+//! m.emit(Instruction::Iconst(2));
+//! m.emit(Instruction::Isub);
+//! m.emit(Instruction::Istore(1));
+//! m.bind(join);
+//! m.emit(Instruction::Iload(1));
+//! m.emit(Instruction::Iconst(2));
+//! m.emit(Instruction::Irem);
+//! m.branch_if(CmpKind::Ne, odd);
+//! m.emit(Instruction::Iconst(1));
+//! m.emit(Instruction::Ireturn);
+//! m.bind(odd);
+//! m.emit(Instruction::Iconst(0));
+//! m.emit(Instruction::Ireturn);
+//! let fun = m.finish();
+//! let mut main = pb.method(class, "main", 0, false);
+//! main.emit(Instruction::Iconst(1));
+//! main.emit(Instruction::Iconst(41));
+//! main.emit(Instruction::InvokeStatic(fun));
+//! main.emit(Instruction::Pop);
+//! main.emit(Instruction::Return);
+//! let main = main.finish();
+//! let program = pb.finish_with_entry(main).expect("verifies");
+//! assert_eq!(program.method(fun).code.len(), 19);
+//! ```
+
+pub mod builder;
+pub mod disasm;
+pub mod insn;
+pub mod program;
+pub mod verify;
+
+pub use insn::{CmpKind, Instruction, OpKind, ProbeKind};
+pub use program::{Bci, Class, ClassId, ExceptionHandler, Method, MethodId, Program};
+pub use verify::{verify_method, verify_program, VerifyError};

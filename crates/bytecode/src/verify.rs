@@ -1,0 +1,479 @@
+//! Structural bytecode verifier.
+//!
+//! Checks the well-formedness invariants the simulated JVM and the CFG
+//! builder rely on: in-range branch targets, no falling off the end of the
+//! code, call targets that exist, consistent operand-stack depths along all
+//! paths (the classic JVM "stack map" discipline, computed here by abstract
+//! interpretation over depths), local-slot bounds, vtable-slot bounds and
+//! well-formed exception tables.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::Instruction;
+use crate::program::{Bci, Method, MethodId, Program};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A method was started in the builder but never finished.
+    UnfinishedMethod(MethodId),
+    /// A method body is empty.
+    EmptyCode(MethodId),
+    /// A branch target lies outside the method.
+    BranchOutOfRange {
+        /// Offending method.
+        method: MethodId,
+        /// Instruction containing the branch.
+        at: Bci,
+        /// The out-of-range target.
+        target: Bci,
+    },
+    /// Execution can fall through past the last instruction.
+    FallsOffEnd(MethodId),
+    /// `invokestatic`/vtable entry names a method id outside the program.
+    BadCallTarget {
+        /// Offending method.
+        method: MethodId,
+        /// Call site.
+        at: Bci,
+    },
+    /// A virtual call's declared class has no such vtable slot.
+    BadVirtualSlot {
+        /// Offending method.
+        method: MethodId,
+        /// Call site.
+        at: Bci,
+        /// The missing slot.
+        slot: u16,
+    },
+    /// A local-variable index is outside `max_locals`.
+    LocalOutOfRange {
+        /// Offending method.
+        method: MethodId,
+        /// Instruction using the slot.
+        at: Bci,
+        /// The out-of-range slot.
+        slot: u16,
+    },
+    /// Operand stack would underflow.
+    StackUnderflow {
+        /// Offending method.
+        method: MethodId,
+        /// Instruction popping too much.
+        at: Bci,
+    },
+    /// Two paths reach the same instruction with different stack depths.
+    InconsistentStackDepth {
+        /// Offending method.
+        method: MethodId,
+        /// Join point with the conflict.
+        at: Bci,
+        /// Depth recorded first.
+        first: u16,
+        /// Conflicting depth.
+        second: u16,
+    },
+    /// A method declared to return a value reaches `return`, or vice versa.
+    WrongReturn {
+        /// Offending method.
+        method: MethodId,
+        /// The offending return instruction.
+        at: Bci,
+    },
+    /// An exception-table entry is malformed (empty range or bad indices).
+    BadHandler {
+        /// Offending method.
+        method: MethodId,
+        /// Index in the handler table.
+        index: usize,
+    },
+    /// The entry method must take no arguments.
+    EntryHasArgs(MethodId),
+    /// `lookupswitch` keys are not strictly ascending.
+    UnsortedSwitchKeys {
+        /// Offending method.
+        method: MethodId,
+        /// The switch instruction.
+        at: Bci,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnfinishedMethod(m) => write!(f, "method {m} was never finished"),
+            VerifyError::EmptyCode(m) => write!(f, "method {m} has empty code"),
+            VerifyError::BranchOutOfRange { method, at, target } => {
+                write!(f, "branch at {method}@{at} targets out-of-range bci {target}")
+            }
+            VerifyError::FallsOffEnd(m) => write!(f, "method {m} can fall off the end of its code"),
+            VerifyError::BadCallTarget { method, at } => {
+                write!(f, "call at {method}@{at} names a method outside the program")
+            }
+            VerifyError::BadVirtualSlot { method, at, slot } => {
+                write!(f, "virtual call at {method}@{at} uses missing vtable slot {slot}")
+            }
+            VerifyError::LocalOutOfRange { method, at, slot } => {
+                write!(f, "local slot {slot} at {method}@{at} exceeds max_locals")
+            }
+            VerifyError::StackUnderflow { method, at } => {
+                write!(f, "operand stack underflow at {method}@{at}")
+            }
+            VerifyError::InconsistentStackDepth {
+                method,
+                at,
+                first,
+                second,
+            } => write!(
+                f,
+                "inconsistent stack depth at {method}@{at}: {first} vs {second}"
+            ),
+            VerifyError::WrongReturn { method, at } => {
+                write!(f, "return kind at {method}@{at} disagrees with method signature")
+            }
+            VerifyError::BadHandler { method, index } => {
+                write!(f, "malformed exception handler {index} in {method}")
+            }
+            VerifyError::EntryHasArgs(m) => write!(f, "entry method {m} must take no arguments"),
+            VerifyError::UnsortedSwitchKeys { method, at } => {
+                write!(f, "lookupswitch keys at {method}@{at} are not strictly ascending")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies every method of `program`.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    let entry = program.method(program.entry());
+    if entry.n_args != 0 {
+        return Err(VerifyError::EntryHasArgs(program.entry()));
+    }
+    for (id, method) in program.methods() {
+        verify_method(program, id, method)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single method.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered in this method.
+pub fn verify_method(program: &Program, id: MethodId, method: &Method) -> Result<(), VerifyError> {
+    if method.code.is_empty() {
+        return Err(VerifyError::EmptyCode(id));
+    }
+    let len = method.code.len() as u32;
+    let in_range = |b: Bci| b.0 < len;
+
+    for (i, insn) in method.code.iter().enumerate() {
+        let at = Bci(i as u32);
+        for t in insn.branch_targets() {
+            if !in_range(t) {
+                return Err(VerifyError::BranchOutOfRange {
+                    method: id,
+                    at,
+                    target: t,
+                });
+            }
+        }
+        match insn {
+            Instruction::Iload(s)
+            | Instruction::Istore(s)
+            | Instruction::Aload(s)
+            | Instruction::Astore(s)
+            | Instruction::Iinc(s, _) => {
+                if *s >= method.max_locals {
+                    return Err(VerifyError::LocalOutOfRange {
+                        method: id,
+                        at,
+                        slot: *s,
+                    });
+                }
+            }
+            Instruction::InvokeStatic(m) => {
+                if m.index() >= program.method_count() {
+                    return Err(VerifyError::BadCallTarget { method: id, at });
+                }
+            }
+            Instruction::InvokeVirtual { declared_in, slot } => {
+                if declared_in.index() >= program.class_count()
+                    || *slot as usize >= program.class(*declared_in).vtable.len()
+                {
+                    return Err(VerifyError::BadVirtualSlot {
+                        method: id,
+                        at,
+                        slot: *slot,
+                    });
+                }
+            }
+            Instruction::LookupSwitch { pairs, .. } => {
+                if pairs.windows(2).any(|w| w[0].0 >= w[1].0) {
+                    return Err(VerifyError::UnsortedSwitchKeys { method: id, at });
+                }
+            }
+            Instruction::Ireturn | Instruction::Areturn => {
+                if !method.returns_value {
+                    return Err(VerifyError::WrongReturn { method: id, at });
+                }
+            }
+            Instruction::Return => {
+                if method.returns_value {
+                    return Err(VerifyError::WrongReturn { method: id, at });
+                }
+            }
+            _ => {}
+        }
+        // Last instruction must not fall through.
+        if i + 1 == method.code.len() && !insn.is_terminator() {
+            return Err(VerifyError::FallsOffEnd(id));
+        }
+    }
+
+    for (i, h) in method.handlers.iter().enumerate() {
+        let ok = h.start < h.end
+            && h.end.0 <= len
+            && in_range(h.handler)
+            && h.catch_class
+                .map_or(true, |c| c.index() < program.class_count());
+        if !ok {
+            return Err(VerifyError::BadHandler { method: id, index: i });
+        }
+    }
+
+    verify_stack_depths(program, id, method)
+}
+
+/// Abstract interpretation over operand-stack depths.
+fn verify_stack_depths(
+    program: &Program,
+    id: MethodId,
+    method: &Method,
+) -> Result<(), VerifyError> {
+    const UNVISITED: i32 = -1;
+    let mut depth_at: Vec<i32> = vec![UNVISITED; method.code.len()];
+    let mut queue: VecDeque<(Bci, u16)> = VecDeque::new();
+    queue.push_back((Bci(0), 0));
+    // Handler entries start with exactly the thrown reference on the stack.
+    for h in &method.handlers {
+        queue.push_back((h.handler, 1));
+    }
+
+    while let Some((bci, depth)) = queue.pop_front() {
+        let slot = &mut depth_at[bci.index()];
+        if *slot != UNVISITED {
+            if *slot != i32::from(depth) {
+                return Err(VerifyError::InconsistentStackDepth {
+                    method: id,
+                    at: bci,
+                    first: *slot as u16,
+                    second: depth,
+                });
+            }
+            continue;
+        }
+        *slot = i32::from(depth);
+
+        let insn = method.insn(bci);
+        let (pops, pushes) = match insn {
+            Instruction::InvokeStatic(m) => {
+                let callee = program.method(*m);
+                insn.stack_effect(callee.n_args, callee.returns_value)
+            }
+            Instruction::InvokeVirtual { declared_in, slot } => {
+                let target = program.class(*declared_in).vtable[*slot as usize];
+                let callee = program.method(target);
+                // Receiver is included in the callee's n_args for virtual
+                // methods in this model; pops = n_args.
+                (callee.n_args, u16::from(callee.returns_value))
+            }
+            other => other.stack_effect(0, false),
+        };
+        if depth < pops {
+            return Err(VerifyError::StackUnderflow { method: id, at: bci });
+        }
+        let next_depth = depth - pops + pushes;
+
+        if !insn.is_terminator() {
+            queue.push_back((bci.next(), next_depth));
+        }
+        for t in insn.branch_targets() {
+            queue.push_back((t, next_depth));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::insn::{CmpKind, Instruction as I};
+    use crate::program::ExceptionHandler;
+
+    fn single_method(code: Vec<I>, n_args: u16, returns_value: bool) -> Result<Program, VerifyError> {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "f", n_args, returns_value);
+        for i in code {
+            m.emit(i);
+        }
+        m.finish();
+        let mut entry = pb.method(c, "main", 0, false);
+        entry.emit(I::Return);
+        let entry = entry.finish();
+        pb.finish_with_entry(entry)
+    }
+
+    #[test]
+    fn accepts_trivial_method() {
+        assert!(single_method(vec![I::Return], 0, false).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_code() {
+        let err = single_method(vec![], 0, false).unwrap_err();
+        assert!(matches!(err, VerifyError::EmptyCode(_)));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let err = single_method(vec![I::Iconst(1), I::Pop, I::Nop], 0, false).unwrap_err();
+        assert!(matches!(err, VerifyError::FallsOffEnd(_)));
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let err = single_method(vec![I::Goto(Bci(99))], 0, false).unwrap_err();
+        assert!(matches!(err, VerifyError::BranchOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let err = single_method(vec![I::Iadd, I::Return], 0, false).unwrap_err();
+        assert!(matches!(err, VerifyError::StackUnderflow { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_return_kind() {
+        let err = single_method(vec![I::Return], 0, true).unwrap_err();
+        assert!(matches!(err, VerifyError::WrongReturn { .. }));
+        let err = single_method(vec![I::Iconst(0), I::Ireturn], 0, false).unwrap_err();
+        assert!(matches!(err, VerifyError::WrongReturn { .. }));
+    }
+
+    #[test]
+    fn rejects_inconsistent_join_depth() {
+        // if (a) push 1; join with the empty-stack path, then return.
+        let err = single_method(
+            vec![
+                I::Iload(0),
+                I::If(CmpKind::Eq, Bci(3)),
+                I::Iconst(1),
+                // join point: depth 0 on the branch path, 1 on fall-through
+                I::Return,
+            ],
+            1,
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::InconsistentStackDepth { .. }));
+    }
+
+    #[test]
+    fn rejects_entry_with_args() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 2, false);
+        m.emit(I::Return);
+        let id = m.finish();
+        let err = pb.finish_with_entry(id).unwrap_err();
+        assert!(matches!(err, VerifyError::EntryHasArgs(_)));
+    }
+
+    #[test]
+    fn rejects_unsorted_lookupswitch() {
+        let err = single_method(
+            vec![
+                I::Iconst(0),
+                I::LookupSwitch {
+                    pairs: vec![(5, Bci(2)), (1, Bci(2))],
+                    default: Bci(2),
+                },
+                I::Return,
+            ],
+            0,
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::UnsortedSwitchKeys { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_handler_range() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::Return);
+        let id = m.finish();
+        // Inject a malformed handler directly.
+        let mut program = pb.finish_with_entry(id).unwrap();
+        // Rebuild with a broken handler via from_parts.
+        let mut method = program.method(id).clone();
+        method.handlers.push(ExceptionHandler {
+            start: Bci(1),
+            end: Bci(1),
+            handler: Bci(0),
+            catch_class: None,
+        });
+        program = Program::from_parts(
+            program.classes().map(|(_, c)| c.clone()).collect(),
+            vec![method],
+            id,
+        );
+        let err = verify_program(&program).unwrap_err();
+        assert!(matches!(err, VerifyError::BadHandler { .. }));
+    }
+
+    #[test]
+    fn handler_entry_depth_is_one() {
+        // try { 1/0 } catch { pop; } return — handler starts with depth 1.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let h = m.label();
+        let start = m.here();
+        m.emit(I::Iconst(1));
+        m.emit(I::Iconst(0));
+        m.emit(I::Idiv);
+        m.emit(I::Pop);
+        let end = m.here();
+        m.emit(I::Return);
+        m.add_handler(start, end, h, None);
+        m.bind(h);
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let id = m.finish();
+        assert!(pb.finish_with_entry(id).is_ok());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors = [
+            VerifyError::EmptyCode(MethodId(3)),
+            VerifyError::FallsOffEnd(MethodId(1)),
+            VerifyError::EntryHasArgs(MethodId(0)),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The abstract NFA and abstraction-guided matching (Definitions 4.2/4.3,
+//! Theorem 4.4, Algorithm 2).
+//!
+//! The abstraction keeps only control-flow symbols: every transition whose
+//! target instruction is not control-related becomes an ε-transition
+//! (Definition 4.3). Running the abstract automaton deterministically —
+//! ε-closures plus subset construction, computed lazily — is the "DFA"
+//! of Figure 5b. [`AbstractNfa::algorithm2`] stitches the two levels
+//! together exactly as Algorithm 2: a candidate start state survives only
+//! if the abstract sequence is accepted from it, and only survivors are
+//! tried at the concrete level.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use jportal_bytecode::Program;
+
+use crate::icfg::{Icfg, NodeId};
+use crate::nfa::{MatchOutcome, Nfa};
+use crate::sym::{BranchDir, Sym};
+use crate::tier::{abstract_seq, Tier};
+
+/// The abstract NFA (ANFA) over an [`Icfg`], with memoized ε-closures.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::builder::ProgramBuilder;
+/// use jportal_bytecode::{Instruction, OpKind};
+/// use jportal_cfg::abs::AbstractNfa;
+/// use jportal_cfg::{Icfg, Sym};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let c = pb.add_class("C", None, 0);
+/// let mut m = pb.method(c, "main", 0, false);
+/// m.emit(Instruction::Iconst(1));
+/// m.emit(Instruction::Pop);
+/// m.emit(Instruction::Return);
+/// let id = m.finish();
+/// let p = pb.finish_with_entry(id)?;
+/// let icfg = Icfg::build(&p);
+/// let anfa = AbstractNfa::new(&p, &icfg);
+/// let syms = [Sym::plain(OpKind::Iconst), Sym::plain(OpKind::Pop),
+///             Sym::plain(OpKind::Return)];
+/// assert!(anfa.algorithm2(&syms).is_accepted());
+/// # Ok::<(), jportal_bytecode::VerifyError>(())
+/// ```
+#[derive(Debug)]
+pub struct AbstractNfa<'a> {
+    nfa: Nfa<'a>,
+    /// Memoized: first control nodes reachable from a node through one
+    /// dir-filtered edge followed by any chain of non-control nodes.
+    control_succ: RefCell<HashMap<(NodeId, BranchDir), Rc<[NodeId]>>>,
+    /// Memoized: control nodes reachable from a node itself (used for the
+    /// abstract start when the first trace symbol is non-control).
+    control_closure: RefCell<HashMap<NodeId, Rc<[NodeId]>>>,
+}
+
+impl<'a> AbstractNfa<'a> {
+    /// Builds the abstract view of the program's ICFG.
+    pub fn new(program: &'a Program, icfg: &'a Icfg) -> AbstractNfa<'a> {
+        AbstractNfa {
+            nfa: Nfa::new(program, icfg),
+            control_succ: RefCell::new(HashMap::new()),
+            control_closure: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The concrete NFA this abstraction refines to.
+    pub fn concrete(&self) -> Nfa<'a> {
+        self.nfa
+    }
+
+    fn is_control_node(&self, n: NodeId) -> bool {
+        Tier::of_op(self.nfa.insn(n).op_kind()) <= Tier::Control
+    }
+
+    /// First control nodes reachable from `from` by one edge compatible
+    /// with `dir`, then chains of non-control nodes.
+    fn control_successors(&self, from: NodeId, dir: BranchDir) -> Rc<[NodeId]> {
+        if let Some(cached) = self.control_succ.borrow().get(&(from, dir)) {
+            return Rc::clone(cached);
+        }
+        let icfg = self.nfa.icfg();
+        let mut out: Vec<NodeId> = Vec::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack: Vec<NodeId> = icfg
+            .edges(from)
+            .iter()
+            .filter(|e| e.kind.compatible_with(dir))
+            .map(|e| e.to)
+            .collect();
+        while let Some(n) = stack.pop() {
+            if !visited.insert(n) {
+                continue;
+            }
+            if self.is_control_node(n) {
+                out.push(n);
+            } else {
+                stack.extend(icfg.edges(n).iter().map(|e| e.to));
+            }
+        }
+        let rc: Rc<[NodeId]> = out.into();
+        self.control_succ
+            .borrow_mut()
+            .insert((from, dir), Rc::clone(&rc));
+        rc
+    }
+
+    /// Control nodes reachable from `from` itself (including `from` when it
+    /// is control) through non-control chains, unconstrained direction.
+    fn control_closure(&self, from: NodeId) -> Rc<[NodeId]> {
+        if let Some(cached) = self.control_closure.borrow().get(&from) {
+            return Rc::clone(cached);
+        }
+        let rc: Rc<[NodeId]> = if self.is_control_node(from) {
+            vec![from].into()
+        } else {
+            self.control_successors(from, BranchDir::Unknown)
+        };
+        self.control_closure
+            .borrow_mut()
+            .insert(from, Rc::clone(&rc));
+        rc
+    }
+
+    /// Necessary-condition test (Theorem 4.4): can the abstract sequence
+    /// `abs` be accepted starting from concrete node `start` that has just
+    /// consumed `first`?
+    ///
+    /// If this returns `false`, the concrete sequence cannot be accepted
+    /// from `start` either.
+    pub fn abstract_accepts_from(&self, start: NodeId, first: Sym, abs: &[Sym]) -> bool {
+        // Establish the abstract start configuration.
+        let (mut states, mut next_idx, mut prev_dir): (Vec<NodeId>, usize, BranchDir) =
+            if first.is_control() {
+                // `start` consumed abs[0] (== first).
+                (vec![start], 1, first.dir)
+            } else {
+                // ε-advance to the first control nodes; they must match abs[0].
+                (
+                    self.control_closure(start)
+                        .iter()
+                        .copied()
+                        .filter(|&n| {
+                            abs.first()
+                                .map(|s| s.matches_instruction(self.nfa.insn(n)))
+                                .unwrap_or(true)
+                        })
+                        .collect(),
+                    1,
+                    abs.first().map(|s| s.dir).unwrap_or(BranchDir::Unknown),
+                )
+            };
+        if abs.is_empty() {
+            return true;
+        }
+        if states.is_empty() {
+            return false;
+        }
+        while next_idx < abs.len() {
+            let sym = abs[next_idx];
+            let mut next: Vec<NodeId> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for &u in &states {
+                for &v in self.control_successors(u, prev_dir).iter() {
+                    if sym.matches_instruction(self.nfa.insn(v)) && seen.insert(v) {
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+            prev_dir = sym.dir;
+            next_idx += 1;
+        }
+        true
+    }
+
+    /// **Algorithm 2**: abstraction-guided control-flow reconstruction.
+    ///
+    /// Computes `ω̂ = α_s(ω)`, then for each candidate start state checks
+    /// abstract acceptance first and only attempts the concrete match on
+    /// survivors; the surviving starts are tried together in one concrete
+    /// set-simulation, preserving the paper's "return the first accepting
+    /// path" semantics.
+    pub fn algorithm2(&self, syms: &[Sym]) -> MatchOutcome {
+        if syms.is_empty() {
+            return MatchOutcome::Accepted(Vec::new());
+        }
+        let abs = abstract_seq(syms, Tier::Control);
+        let survivors: Vec<NodeId> = self
+            .nfa
+            .start_candidates(syms[0])
+            .iter()
+            .copied()
+            .filter(|&n| self.abstract_accepts_from(n, syms[0], &abs))
+            .collect();
+        if survivors.is_empty() {
+            return MatchOutcome::Rejected(0);
+        }
+        self.nfa.match_from(&survivors, syms)
+    }
+
+    /// Number of start candidates that survive the abstract filter, and
+    /// the total candidate count (ablation metric for the benchmark).
+    pub fn filter_stats(&self, syms: &[Sym]) -> (usize, usize) {
+        if syms.is_empty() {
+            return (0, 0);
+        }
+        let abs = abstract_seq(syms, Tier::Control);
+        let candidates = self.nfa.start_candidates(syms[0]);
+        let survivors = candidates
+            .iter()
+            .filter(|&&n| self.abstract_accepts_from(n, syms[0], &abs))
+            .count();
+        (survivors, candidates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I, MethodId, OpKind};
+
+    fn paper_fun() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Test", None, 0);
+        let mut m = pb.method(c, "fun", 2, true);
+        let else_ = m.label();
+        let join = m.label();
+        let odd = m.label();
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Eq, else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(1));
+        m.emit(I::Iadd);
+        m.emit(I::Istore(1));
+        m.jump(join);
+        m.bind(else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Isub);
+        m.emit(I::Istore(1));
+        m.bind(join);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Irem);
+        m.branch_if(CmpKind::Ne, odd);
+        m.emit(I::Iconst(1));
+        m.emit(I::Ireturn);
+        m.bind(odd);
+        m.emit(I::Iconst(0));
+        m.emit(I::Ireturn);
+        let fun = m.finish();
+        let mut main = pb.method(c, "main", 0, false);
+        main.emit(I::Iconst(0));
+        main.emit(I::Iconst(7));
+        main.emit(I::InvokeStatic(fun));
+        main.emit(I::Pop);
+        main.emit(I::Return);
+        let main = main.finish();
+        (pb.finish_with_entry(main).unwrap(), fun)
+    }
+
+    fn syms(ops: &[(OpKind, Option<bool>)]) -> Vec<Sym> {
+        ops.iter()
+            .map(|&(op, dir)| match dir {
+                Some(t) => Sym::branch(op, t),
+                None => Sym::plain(op),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn algorithm2_agrees_with_algorithm1_on_accepts() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        let nfa = anfa.concrete();
+        let trace = syms(&[
+            (OpKind::Iload, None),
+            (OpKind::Ifeq, Some(true)),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Isub, None),
+        ]);
+        let a1 = nfa.enumerate_and_test(&trace);
+        let a2 = anfa.algorithm2(&trace);
+        assert!(a1.is_accepted());
+        assert!(a2.is_accepted());
+        assert_eq!(a1.path().unwrap(), a2.path().unwrap());
+    }
+
+    #[test]
+    fn algorithm2_agrees_on_rejections() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        let nfa = anfa.concrete();
+        // irem immediately followed by iadd occurs nowhere.
+        let trace = syms(&[(OpKind::Irem, None), (OpKind::Iadd, None)]);
+        assert!(!nfa.enumerate_and_test(&trace).is_accepted());
+        assert!(!anfa.algorithm2(&trace).is_accepted());
+    }
+
+    #[test]
+    fn theorem_4_4_abstract_rejection_implies_concrete_rejection() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        let nfa = anfa.concrete();
+        // Control skeleton ifeq-taken then goto occurs nowhere in fun
+        // (taken means the else path, which has no goto).
+        let trace = syms(&[
+            (OpKind::Iload, None),
+            (OpKind::Ifeq, Some(true)),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Isub, None),
+            (OpKind::Istore, None),
+            (OpKind::Goto, None),
+        ]);
+        let abs = abstract_seq(&trace, Tier::Control);
+        for &n in nfa.start_candidates(trace[0]) {
+            if !anfa.abstract_accepts_from(n, trace[0], &abs) {
+                assert!(
+                    !nfa.match_from(std::slice::from_ref(&n), &trace).is_accepted(),
+                    "abstract rejected but concrete accepted from {n:?}"
+                );
+            }
+        }
+        assert!(!anfa.algorithm2(&trace).is_accepted());
+    }
+
+    #[test]
+    fn abstract_filter_prunes_candidates() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        // iconst appears 5 times; only some of them lead to the skeleton
+        // [ifne-taken, ireturn].
+        let trace = syms(&[
+            (OpKind::Iconst, None),
+            (OpKind::Irem, None),
+            (OpKind::Ifne, Some(true)),
+            (OpKind::Iconst, None),
+            (OpKind::Ireturn, None),
+        ]);
+        let (survivors, total) = anfa.filter_stats(&trace);
+        assert!(survivors < total, "filter should prune ({survivors}/{total})");
+        assert!(survivors >= 1);
+        assert!(anfa.algorithm2(&trace).is_accepted());
+    }
+
+    #[test]
+    fn control_first_symbol_uses_its_direction() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        // Starting at a taken ifne: next control symbol must be ireturn
+        // (via iconst_0 at bci 17) — accepted.
+        let trace = syms(&[(OpKind::Ifne, Some(true)), (OpKind::Iconst, None), (OpKind::Ireturn, None)]);
+        assert!(anfa.algorithm2(&trace).is_accepted());
+        // A not-taken ifne still reaches an ireturn (fall-through path
+        // iconst_1 at 15, ireturn at 16) — also accepted, but along a
+        // different path node.
+        let trace2 = syms(&[(OpKind::Ifne, Some(false)), (OpKind::Iconst, None), (OpKind::Ireturn, None)]);
+        let p1 = anfa.algorithm2(&trace).path().unwrap().to_vec();
+        let p2 = anfa.algorithm2(&trace2).path().unwrap().to_vec();
+        assert_ne!(p1[1], p2[1]);
+    }
+
+    use jportal_bytecode::Program;
+
+    #[test]
+    fn empty_sequence_accepts() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        assert!(anfa.algorithm2(&[]).is_accepted());
+    }
+}

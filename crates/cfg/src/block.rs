@@ -1,0 +1,464 @@
+//! Per-method basic-block control-flow graphs.
+//!
+//! Used by the simulated JIT compiler (block layout, inlining) and the
+//! Ball–Larus instrumentation baselines (edge numbering over the acyclic
+//! reduction).
+
+use jportal_bytecode::{Bci, Instruction, Method};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Identifier of a basic block within one method's [`Cfg`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A basic block: the maximal straight-line range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// First instruction index.
+    pub start: Bci,
+    /// One past the last instruction index.
+    pub end: Bci,
+    /// Successor blocks with the edge kind that reaches them.
+    pub succs: Vec<(BlockId, BlockEdge)>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+impl Block {
+    /// The bci of the block's terminating instruction.
+    pub fn last(&self) -> Bci {
+        Bci(self.end.0 - 1)
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end.0 - self.start.0) as usize
+    }
+
+    /// `true` if the block contains no instructions (never produced by
+    /// [`Cfg::build`]; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The kind of a block-level CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockEdge {
+    /// Sequential fall-through.
+    FallThrough,
+    /// Conditional branch taken.
+    Taken,
+    /// Unconditional `goto`.
+    Jump,
+    /// Switch arm `i` (`u32::MAX` = default arm).
+    Switch(u32),
+    /// Edge into an exception handler.
+    Exception,
+}
+
+/// Basic-block CFG of a single method.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::builder::ProgramBuilder;
+/// use jportal_bytecode::{CmpKind, Instruction};
+/// use jportal_cfg::Cfg;
+///
+/// let mut pb = ProgramBuilder::new();
+/// let c = pb.add_class("C", None, 0);
+/// let mut m = pb.method(c, "main", 0, false);
+/// let exit = m.label();
+/// m.emit(Instruction::Iconst(3));
+/// m.branch_if(CmpKind::Le, exit);
+/// m.emit(Instruction::Nop);
+/// m.bind(exit);
+/// m.emit(Instruction::Return);
+/// let id = m.finish();
+/// let p = pb.finish_with_entry(id)?;
+/// let cfg = Cfg::build(p.method(id));
+/// assert_eq!(cfg.block_count(), 3);
+/// # Ok::<(), jportal_bytecode::VerifyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    /// Block containing each bci.
+    block_of: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `method`.
+    ///
+    /// Leaders are: bci 0, branch/switch targets, instructions following a
+    /// terminator or conditional branch, and exception-handler entries.
+    /// Exception edges are added from every block containing a
+    /// potentially-throwing instruction to the handlers covering it.
+    pub fn build(method: &Method) -> Cfg {
+        let code = &method.code;
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(0);
+        for (i, insn) in code.iter().enumerate() {
+            for t in insn.branch_targets() {
+                leaders.insert(t.0);
+            }
+            let splits_after = insn.is_terminator() || insn.is_conditional_branch();
+            if splits_after && i + 1 < code.len() {
+                leaders.insert(i as u32 + 1);
+            }
+        }
+        for h in &method.handlers {
+            leaders.insert(h.handler.0);
+        }
+
+        let starts: Vec<u32> = leaders.into_iter().collect();
+        let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+        let mut block_of = vec![BlockId(0); code.len()];
+        for (bi, &start) in starts.iter().enumerate() {
+            let end = starts
+                .get(bi + 1)
+                .copied()
+                .unwrap_or(code.len() as u32);
+            for bci in start..end {
+                block_of[bci as usize] = BlockId(bi as u32);
+            }
+            blocks.push(Block {
+                start: Bci(start),
+                end: Bci(end),
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+
+        let block_at = |bci: Bci| block_of[bci.index()];
+        let mut edges: Vec<(BlockId, BlockId, BlockEdge)> = Vec::new();
+        for (bi, block) in blocks.iter().enumerate() {
+            let from = BlockId(bi as u32);
+            let last = &code[block.last().index()];
+            match last {
+                Instruction::Goto(t) => edges.push((from, block_at(*t), BlockEdge::Jump)),
+                Instruction::If(_, t) | Instruction::IfICmp(_, t) | Instruction::IfNull(t) => {
+                    edges.push((from, block_at(*t), BlockEdge::Taken));
+                    edges.push((from, block_at(block.end), BlockEdge::FallThrough));
+                }
+                Instruction::TableSwitch {
+                    targets, default, ..
+                } => {
+                    for (i, t) in targets.iter().enumerate() {
+                        edges.push((from, block_at(*t), BlockEdge::Switch(i as u32)));
+                    }
+                    edges.push((from, block_at(*default), BlockEdge::Switch(u32::MAX)));
+                }
+                Instruction::LookupSwitch { pairs, default } => {
+                    for (i, (_, t)) in pairs.iter().enumerate() {
+                        edges.push((from, block_at(*t), BlockEdge::Switch(i as u32)));
+                    }
+                    edges.push((from, block_at(*default), BlockEdge::Switch(u32::MAX)));
+                }
+                insn if insn.is_terminator() => {}
+                _ => edges.push((from, block_at(block.end), BlockEdge::FallThrough)),
+            }
+            // Exception edges from throwing instructions to covering handlers.
+            for bci in block.start.0..block.end.0 {
+                let insn = &code[bci as usize];
+                if insn.can_throw() {
+                    for h in &method.handlers {
+                        if h.covers(Bci(bci)) {
+                            let to = block_at(h.handler);
+                            if !edges.iter().any(|&(f, t, k)| {
+                                f == from && t == to && k == BlockEdge::Exception
+                            }) {
+                                edges.push((from, to, BlockEdge::Exception));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (from, to, kind) in edges {
+            blocks[from.index()].succs.push((to, kind));
+            if !blocks[to.index()].preds.contains(&from) {
+                blocks[to.index()].preds.push(from);
+            }
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// The entry block (always `BlockId(0)`, containing bci 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The block containing instruction `bci`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bci` is out of range.
+    pub fn block_of(&self, bci: Bci) -> BlockId {
+        self.block_of[bci.index()]
+    }
+
+    /// All blocks with ids.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Blocks in reverse post-order from the entry.
+    ///
+    /// Unreachable blocks (e.g. handlers never linked by an exception edge)
+    /// are appended after the reachable ones in id order, so the result is
+    /// always a permutation of all blocks.
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS computing post-order.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry(), 0)];
+        visited[self.entry().index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[b.index()].succs;
+            if *next < succs.len() {
+                let (s, _) = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        for i in 0..self.blocks.len() {
+            if !visited[i] {
+                post.push(BlockId(i as u32));
+            }
+        }
+        post
+    }
+
+    /// Back edges `(from, to)` where `to` dominates... approximated as DFS
+    /// retreating edges from the entry (sufficient for reducible bytecode
+    /// CFGs, which is all the builder can produce).
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color = vec![Color::White; self.blocks.len()];
+        let mut out = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry(), 0)];
+        color[self.entry().index()] = Color::Grey;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[b.index()].succs;
+            if *next < succs.len() {
+                let (s, _) = succs[*next];
+                *next += 1;
+                match color[s.index()] {
+                    Color::White => {
+                        color[s.index()] = Color::Grey;
+                        stack.push((s, 0));
+                    }
+                    Color::Grey => out.push((b, s)),
+                    Color::Black => {}
+                }
+            } else {
+                color[b.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I, Program};
+
+    fn build(f: impl FnOnce(&mut jportal_bytecode::builder::MethodBuilder<'_>)) -> (Program, Cfg) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        f(&mut m);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let cfg = Cfg::build(p.method(id));
+        (p, cfg)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, cfg) = build(|m| {
+            m.emit(I::Iconst(1));
+            m.emit(I::Pop);
+            m.emit(I::Return);
+        });
+        assert_eq!(cfg.block_count(), 1);
+        assert_eq!(cfg.block(BlockId(0)).len(), 3);
+        assert!(cfg.block(BlockId(0)).succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let (_, cfg) = build(|m| {
+            let els = m.label();
+            let join = m.label();
+            m.emit(I::Iconst(1));
+            m.branch_if(CmpKind::Eq, els);
+            m.emit(I::Nop);
+            m.jump(join);
+            m.bind(els);
+            m.emit(I::Nop);
+            m.bind(join);
+            m.emit(I::Return);
+        });
+        assert_eq!(cfg.block_count(), 4);
+        let entry = cfg.block(cfg.entry());
+        assert_eq!(entry.succs.len(), 2);
+        let join = cfg.block_of(Bci(5));
+        assert_eq!(cfg.block(join).preds.len(), 2);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let (_, cfg) = build(|m| {
+            let head = m.label();
+            let exit = m.label();
+            m.emit(I::Iconst(10));
+            m.emit(I::Istore(0));
+            m.bind(head);
+            m.emit(I::Iload(0));
+            m.branch_if(CmpKind::Le, exit);
+            m.emit(I::Iinc(0, -1));
+            m.jump(head);
+            m.bind(exit);
+            m.emit(I::Return);
+        });
+        let back = cfg.back_edges();
+        assert_eq!(back.len(), 1);
+        let (from, to) = back[0];
+        assert_eq!(to, cfg.block_of(Bci(2)));
+        assert_eq!(from, cfg.block_of(Bci(5)));
+    }
+
+    #[test]
+    fn switch_fan_out() {
+        let (_, cfg) = build(|m| {
+            let a = m.label();
+            let b = m.label();
+            let d = m.label();
+            m.emit(I::Iconst(1));
+            m.table_switch(0, &[a, b], d);
+            m.bind(a);
+            m.emit(I::Return);
+            m.bind(b);
+            m.emit(I::Return);
+            m.bind(d);
+            m.emit(I::Return);
+        });
+        let entry = cfg.block(cfg.entry());
+        assert_eq!(entry.succs.len(), 3);
+        assert!(entry
+            .succs
+            .iter()
+            .any(|&(_, k)| k == BlockEdge::Switch(u32::MAX)));
+    }
+
+    #[test]
+    fn exception_edges_to_handler() {
+        let (_, cfg) = build(|m| {
+            let h = m.label();
+            let start = m.here();
+            m.emit(I::Iconst(1));
+            m.emit(I::Iconst(0));
+            m.emit(I::Idiv);
+            m.emit(I::Pop);
+            let end = m.here();
+            m.emit(I::Return);
+            m.add_handler(start, end, h, None);
+            m.bind(h);
+            m.emit(I::Pop);
+            m.emit(I::Return);
+        });
+        let thrower = cfg.block_of(Bci(2));
+        let handler = cfg.block_of(Bci(5));
+        assert!(cfg
+            .block(thrower)
+            .succs
+            .iter()
+            .any(|&(t, k)| t == handler && k == BlockEdge::Exception));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_is_permutation() {
+        let (_, cfg) = build(|m| {
+            let els = m.label();
+            let join = m.label();
+            m.emit(I::Iconst(1));
+            m.branch_if(CmpKind::Eq, els);
+            m.emit(I::Nop);
+            m.jump(join);
+            m.bind(els);
+            m.emit(I::Nop);
+            m.bind(join);
+            m.emit(I::Return);
+        });
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], cfg.entry());
+        let mut sorted = rpo.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cfg.block_count());
+    }
+
+    #[test]
+    fn block_of_covers_every_bci() {
+        let (p, cfg) = build(|m| {
+            let exit = m.label();
+            m.emit(I::Iconst(3));
+            m.branch_if(CmpKind::Le, exit);
+            m.emit(I::Nop);
+            m.bind(exit);
+            m.emit(I::Return);
+        });
+        let method = p.method(p.entry());
+        for i in 0..method.code.len() {
+            let b = cfg.block_of(Bci(i as u32));
+            let blk = cfg.block(b);
+            assert!(blk.start.0 as usize <= i && i < blk.end.0 as usize);
+        }
+    }
+}

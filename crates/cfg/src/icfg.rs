@@ -1,0 +1,500 @@
+//! The instruction-granular interprocedural control-flow graph (§4).
+//!
+//! Nodes are instruction occurrences `(method, bci)`; edges are the
+//! "potential-next-instruction-to-execute" relation of Definition 4.1:
+//! fall-through, conditional branches (taken/not-taken), switch arms,
+//! calls into every statically-possible callee (class-hierarchy analysis
+//! for virtual calls), returns back to every potential call site's
+//! continuation, and exception edges — including transitive propagation of
+//! uncaught exceptions into caller handlers.
+
+use jportal_bytecode::{Bci, Instruction, MethodId, OpKind, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::sym::BranchDir;
+
+/// Identifier of an ICFG node (an instruction occurrence).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of an ICFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Sequential successor.
+    FallThrough,
+    /// Conditional branch, taken.
+    Taken,
+    /// Conditional branch, not taken (distinct from plain fall-through so
+    /// direction constraints from TNT packets can be applied).
+    NotTaken,
+    /// Unconditional jump.
+    Jump,
+    /// Switch dispatch (any arm).
+    Switch,
+    /// Call edge into a callee entry.
+    Call,
+    /// Return edge to a call continuation.
+    Return,
+    /// Exception edge into a handler entry.
+    Exception,
+}
+
+impl EdgeKind {
+    /// `true` if an edge of this kind may be followed after consuming a
+    /// conditional-branch symbol with direction `dir` at the source node.
+    ///
+    /// Non-branch kinds are unconstrained.
+    pub fn compatible_with(self, dir: BranchDir) -> bool {
+        match self {
+            EdgeKind::Taken => dir.matches(BranchDir::Taken),
+            EdgeKind::NotTaken => dir.matches(BranchDir::NotTaken),
+            _ => true,
+        }
+    }
+}
+
+/// An outgoing ICFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Destination node.
+    pub to: NodeId,
+    /// Edge kind.
+    pub kind: EdgeKind,
+}
+
+/// The interprocedural CFG of a whole program.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::builder::ProgramBuilder;
+/// use jportal_bytecode::Instruction;
+/// use jportal_cfg::Icfg;
+///
+/// let mut pb = ProgramBuilder::new();
+/// let c = pb.add_class("C", None, 0);
+/// let mut m = pb.method(c, "main", 0, false);
+/// m.emit(Instruction::Iconst(1));
+/// m.emit(Instruction::Pop);
+/// m.emit(Instruction::Return);
+/// let id = m.finish();
+/// let p = pb.finish_with_entry(id)?;
+/// let icfg = Icfg::build(&p);
+/// assert_eq!(icfg.node_count(), 3);
+/// # Ok::<(), jportal_bytecode::VerifyError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Icfg {
+    /// First node id of each method; `base[m] + bci` is the node of
+    /// `(m, bci)`. One extra sentinel entry holds the total node count.
+    base: Vec<u32>,
+    /// Owning method per node.
+    method_of: Vec<MethodId>,
+    /// Outgoing edges per node.
+    edges: Vec<Vec<Edge>>,
+    /// Nodes indexed by operation kind (candidate starting points for
+    /// projection, paper §4 "Problem Formulation").
+    by_op: HashMap<OpKind, Vec<NodeId>>,
+}
+
+impl Icfg {
+    /// Builds the ICFG of `program`.
+    pub fn build(program: &Program) -> Icfg {
+        let mut base = Vec::with_capacity(program.method_count() + 1);
+        let mut method_of = Vec::new();
+        let mut total = 0u32;
+        for (id, method) in program.methods() {
+            base.push(total);
+            total += method.code.len() as u32;
+            method_of.extend(std::iter::repeat(id).take(method.code.len()));
+        }
+        base.push(total);
+
+        let node = |m: MethodId, b: Bci| NodeId(base[m.index()] + b.0);
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); total as usize];
+        let push = |edges: &mut Vec<Vec<Edge>>, from: NodeId, to: NodeId, kind: EdgeKind| {
+            let list = &mut edges[from.index()];
+            let e = Edge { to, kind };
+            if !list.contains(&e) {
+                list.push(e);
+            }
+        };
+
+        // Call-site continuations per callee, for return edges.
+        let mut continuations: HashMap<MethodId, Vec<NodeId>> = HashMap::new();
+        // Call sites per callee (for exception propagation).
+        let mut call_sites: HashMap<MethodId, Vec<(MethodId, Bci)>> = HashMap::new();
+
+        for (mid, method) in program.methods() {
+            for (i, insn) in method.code.iter().enumerate() {
+                let bci = Bci(i as u32);
+                let from = node(mid, bci);
+                match insn {
+                    Instruction::Goto(t) => {
+                        push(&mut edges, from, node(mid, *t), EdgeKind::Jump);
+                    }
+                    Instruction::If(_, t)
+                    | Instruction::IfICmp(_, t)
+                    | Instruction::IfNull(t) => {
+                        push(&mut edges, from, node(mid, *t), EdgeKind::Taken);
+                        push(&mut edges, from, node(mid, bci.next()), EdgeKind::NotTaken);
+                    }
+                    Instruction::TableSwitch {
+                        targets, default, ..
+                    } => {
+                        for t in targets.iter().chain(std::iter::once(default)) {
+                            push(&mut edges, from, node(mid, *t), EdgeKind::Switch);
+                        }
+                    }
+                    Instruction::LookupSwitch { pairs, default } => {
+                        for t in pairs.iter().map(|(_, t)| t).chain(std::iter::once(default)) {
+                            push(&mut edges, from, node(mid, *t), EdgeKind::Switch);
+                        }
+                    }
+                    Instruction::InvokeStatic(callee) => {
+                        push(&mut edges, from, node(*callee, Bci(0)), EdgeKind::Call);
+                        continuations
+                            .entry(*callee)
+                            .or_default()
+                            .push(node(mid, bci.next()));
+                        call_sites.entry(*callee).or_default().push((mid, bci));
+                    }
+                    Instruction::InvokeVirtual { declared_in, slot } => {
+                        for callee in program.virtual_targets(*declared_in, *slot) {
+                            push(&mut edges, from, node(callee, Bci(0)), EdgeKind::Call);
+                            continuations
+                                .entry(callee)
+                                .or_default()
+                                .push(node(mid, bci.next()));
+                            call_sites.entry(callee).or_default().push((mid, bci));
+                        }
+                    }
+                    Instruction::Ireturn | Instruction::Areturn | Instruction::Return => {
+                        // Return edges are added after continuations are
+                        // complete, below.
+                    }
+                    Instruction::Athrow => {
+                        // Exception edges are added below.
+                    }
+                    _ => {
+                        push(&mut edges, from, node(mid, bci.next()), EdgeKind::FallThrough);
+                    }
+                }
+            }
+        }
+
+        // Return edges: context-insensitively to every continuation of
+        // every potential call site of the returning method.
+        for (mid, method) in program.methods() {
+            let conts = continuations.get(&mid);
+            for (i, insn) in method.code.iter().enumerate() {
+                if insn.is_return() {
+                    if let Some(conts) = conts {
+                        let from = node(mid, Bci(i as u32));
+                        for &c in conts {
+                            push(&mut edges, from, c, EdgeKind::Return);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Exception targets: fixpoint of uncaught-exception propagation.
+        // escape_targets[m] = handler nodes an exception escaping m can
+        // reach (in callers, transitively).
+        let mut escape_targets: Vec<Vec<NodeId>> = vec![Vec::new(); program.method_count()];
+        loop {
+            let mut changed = false;
+            for (mid, _method) in program.methods() {
+                let mut acc: Vec<NodeId> = Vec::new();
+                if let Some(sites) = call_sites.get(&mid) {
+                    for &(caller, at) in sites {
+                        let caller_m = program.method(caller);
+                        let mut caught_all = false;
+                        for h in &caller_m.handlers {
+                            if h.covers(at) {
+                                acc.push(node(caller, h.handler));
+                                if h.catch_class.is_none() {
+                                    caught_all = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !caught_all {
+                            for &t in &escape_targets[caller.index()] {
+                                acc.push(t);
+                            }
+                        }
+                    }
+                }
+                acc.sort();
+                acc.dedup();
+                if acc != escape_targets[mid.index()] {
+                    escape_targets[mid.index()] = acc;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Exception edges from throwing instructions: to local covering
+        // handlers; if no catch-all covers the site, also to the method's
+        // escape targets.
+        for (mid, method) in program.methods() {
+            for (i, insn) in method.code.iter().enumerate() {
+                if !insn.can_throw() {
+                    continue;
+                }
+                let bci = Bci(i as u32);
+                let from = node(mid, bci);
+                let mut caught_all = false;
+                for h in &method.handlers {
+                    if h.covers(bci) {
+                        push(&mut edges, from, node(mid, h.handler), EdgeKind::Exception);
+                        if h.catch_class.is_none() {
+                            caught_all = true;
+                            break;
+                        }
+                    }
+                }
+                if !caught_all {
+                    for &t in escape_targets[mid.index()].clone().iter() {
+                        push(&mut edges, from, t, EdgeKind::Exception);
+                    }
+                }
+            }
+        }
+
+        // Op-kind index for candidate starting states.
+        let mut by_op: HashMap<OpKind, Vec<NodeId>> = HashMap::new();
+        for (mid, method) in program.methods() {
+            for (i, insn) in method.code.iter().enumerate() {
+                by_op
+                    .entry(insn.op_kind())
+                    .or_default()
+                    .push(node(mid, Bci(i as u32)));
+            }
+        }
+
+        Icfg {
+            base,
+            method_of,
+            edges,
+            by_op,
+        }
+    }
+
+    /// Total number of nodes (= total instructions in the program).
+    pub fn node_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node for `(method, bci)`.
+    pub fn node(&self, method: MethodId, bci: Bci) -> NodeId {
+        NodeId(self.base[method.index()] + bci.0)
+    }
+
+    /// The method owning `node`.
+    pub fn method_of(&self, node: NodeId) -> MethodId {
+        self.method_of[node.index()]
+    }
+
+    /// The bytecode index of `node` within its method.
+    pub fn bci_of(&self, node: NodeId) -> Bci {
+        let m = self.method_of(node);
+        Bci(node.0 - self.base[m.index()])
+    }
+
+    /// `(method, bci)` of a node.
+    pub fn location(&self, node: NodeId) -> (MethodId, Bci) {
+        (self.method_of(node), self.bci_of(node))
+    }
+
+    /// Outgoing edges of `node`.
+    pub fn edges(&self, node: NodeId) -> &[Edge] {
+        &self.edges[node.index()]
+    }
+
+    /// All nodes whose instruction has operation kind `op` — the candidate
+    /// start states for projecting a trace segment whose first symbol is
+    /// `op`.
+    pub fn nodes_with_op(&self, op: OpKind) -> &[NodeId] {
+        self.by_op.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The entry node of a method.
+    pub fn entry_of(&self, method: MethodId) -> NodeId {
+        self.node(method, Bci(0))
+    }
+
+    /// Total number of edges (diagnostics).
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I};
+
+    /// main calls helper; helper divides; main has a catch-all handler.
+    fn call_program() -> (Program, MethodId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut h = pb.method(c, "helper", 2, true);
+        h.emit(I::Iload(0));
+        h.emit(I::Iload(1));
+        h.emit(I::Idiv);
+        h.emit(I::Ireturn);
+        let helper = h.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        let handler = m.label();
+        let start = m.here();
+        m.emit(I::Iconst(6));
+        m.emit(I::Iconst(2));
+        m.emit(I::InvokeStatic(helper));
+        m.emit(I::Pop);
+        let end = m.here();
+        m.emit(I::Return);
+        m.add_handler(start, end, handler, None);
+        m.bind(handler);
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        (p, main, helper)
+    }
+
+    use jportal_bytecode::Program;
+
+    #[test]
+    fn node_ids_partition_by_method() {
+        let (p, main, helper) = call_program();
+        let icfg = Icfg::build(&p);
+        assert_eq!(icfg.node_count(), p.code_size());
+        let n = icfg.node(main, Bci(2));
+        assert_eq!(icfg.method_of(n), main);
+        assert_eq!(icfg.bci_of(n), Bci(2));
+        assert_eq!(icfg.location(icfg.entry_of(helper)), (helper, Bci(0)));
+    }
+
+    #[test]
+    fn call_and_return_edges() {
+        let (p, main, helper) = call_program();
+        let icfg = Icfg::build(&p);
+        let call = icfg.node(main, Bci(2));
+        assert!(icfg
+            .edges(call)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Call && e.to == icfg.entry_of(helper)));
+        let ret = icfg.node(helper, Bci(3));
+        assert!(icfg
+            .edges(ret)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Return && e.to == icfg.node(main, Bci(3))));
+    }
+
+    #[test]
+    fn uncaught_exception_propagates_to_caller_handler() {
+        let (p, main, helper) = call_program();
+        let icfg = Icfg::build(&p);
+        // helper's idiv has no local handler; it must have an exception
+        // edge into main's handler (bci 5).
+        let idiv = icfg.node(helper, Bci(2));
+        assert!(icfg
+            .edges(idiv)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Exception && e.to == icfg.node(main, Bci(5))));
+    }
+
+    #[test]
+    fn branch_edges_carry_directions() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let t = m.label();
+        m.emit(I::Iconst(1));
+        m.branch_if(CmpKind::Eq, t);
+        m.emit(I::Nop);
+        m.bind(t);
+        m.emit(I::Return);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let icfg = Icfg::build(&p);
+        let br = icfg.node(id, Bci(1));
+        let kinds: Vec<EdgeKind> = icfg.edges(br).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EdgeKind::Taken));
+        assert!(kinds.contains(&EdgeKind::NotTaken));
+    }
+
+    #[test]
+    fn virtual_call_fans_out_to_cha_targets() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.add_class("Base", None, 0);
+        let mut r = pb.method(base, "run", 1, true);
+        r.emit(I::Iconst(1));
+        r.emit(I::Ireturn);
+        let run_base = r.finish();
+        let slot = pb.add_virtual(base, run_base);
+        let derived = pb.add_class("Derived", Some(base), 0);
+        let mut r = pb.method(derived, "run", 1, true);
+        r.emit(I::Iconst(2));
+        r.emit(I::Ireturn);
+        let run_derived = r.finish();
+        pb.override_virtual(derived, slot, run_derived);
+        let mut m = pb.method(base, "main", 0, false);
+        m.emit(I::New(derived));
+        m.emit(I::InvokeVirtual {
+            declared_in: base,
+            slot,
+        });
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let icfg = Icfg::build(&p);
+        let call = icfg.node(main, Bci(1));
+        let callees: Vec<NodeId> = icfg
+            .edges(call)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Call)
+            .map(|e| e.to)
+            .collect();
+        assert_eq!(callees.len(), 2);
+        assert!(callees.contains(&icfg.entry_of(run_base)));
+        assert!(callees.contains(&icfg.entry_of(run_derived)));
+    }
+
+    #[test]
+    fn op_index_finds_all_occurrences() {
+        let (p, _, _) = call_program();
+        let icfg = Icfg::build(&p);
+        use jportal_bytecode::OpKind;
+        assert_eq!(icfg.nodes_with_op(OpKind::Idiv).len(), 1);
+        assert_eq!(icfg.nodes_with_op(OpKind::Pop).len(), 2);
+        assert!(icfg.nodes_with_op(OpKind::Goto).is_empty());
+        assert!(icfg.edge_count() > 0);
+    }
+
+    #[test]
+    fn edge_compatibility_with_directions() {
+        assert!(EdgeKind::Taken.compatible_with(BranchDir::Taken));
+        assert!(!EdgeKind::Taken.compatible_with(BranchDir::NotTaken));
+        assert!(EdgeKind::Taken.compatible_with(BranchDir::Unknown));
+        assert!(EdgeKind::Call.compatible_with(BranchDir::NotTaken));
+    }
+}

@@ -1,0 +1,30 @@
+//! Control-flow graphs and the automata of JPortal (PLDI 2021).
+//!
+//! Three layers:
+//!
+//! * [`block`] — per-method basic-block CFGs (used by the simulated JIT and
+//!   the Ball–Larus baselines),
+//! * [`icfg`] — the instruction-granular **interprocedural** CFG of §4 of
+//!   the paper, with fall-through, branch, switch, call, return and
+//!   exception edges,
+//! * [`nfa`] + [`abs`] — the ICFG viewed as a nondeterministic finite
+//!   automaton (Definition 4.1), its control-flow abstraction (Definitions
+//!   4.2/4.3) and the ε-free DFA used by abstraction-guided matching
+//!   (Algorithm 2).
+//!
+//! [`tier`] implements the three-tier abstraction hierarchy of Definition
+//! 5.2 (call structure → control structure → concrete instructions) used by
+//! the data-recovery search.
+
+pub mod abs;
+pub mod block;
+pub mod icfg;
+pub mod nfa;
+pub mod sym;
+pub mod tier;
+
+pub use block::{BlockId, Cfg};
+pub use icfg::{EdgeKind, Icfg, NodeId};
+pub use nfa::{MatchOutcome, Nfa};
+pub use sym::{BranchDir, Sym};
+pub use tier::Tier;

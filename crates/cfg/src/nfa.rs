@@ -1,0 +1,400 @@
+//! The ICFG as a nondeterministic finite automaton (Definition 4.1).
+//!
+//! A state corresponds to an ICFG node that has just been matched; a
+//! transition on symbol `s` leads to each successor node whose instruction
+//! matches `s` and whose connecting edge is compatible with the direction
+//! recorded on the *previous* symbol (taken/not-taken from TNT packets).
+//!
+//! Both the paper's naive enumerate-and-test (Algorithm 1,
+//! [`Nfa::enumerate_and_test`]) and the set-simulation used as the concrete
+//! phase of Algorithm 2 ([`Nfa::match_from`]) are provided.
+
+use jportal_bytecode::{Instruction, MethodId, Program};
+
+use crate::icfg::{Icfg, NodeId};
+use crate::sym::Sym;
+
+/// Outcome of projecting a symbol sequence onto the ICFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// The sequence is accepted; one witness path (one node per symbol) is
+    /// returned — the disambiguated projection.
+    Accepted(Vec<NodeId>),
+    /// No path matches. The index of the first symbol at which every
+    /// candidate died is returned (useful for splitting sequences).
+    Rejected(usize),
+}
+
+impl MatchOutcome {
+    /// The witness path, if accepted.
+    pub fn path(&self) -> Option<&[NodeId]> {
+        match self {
+            MatchOutcome::Accepted(p) => Some(p),
+            MatchOutcome::Rejected(_) => None,
+        }
+    }
+
+    /// `true` if the sequence was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, MatchOutcome::Accepted(_))
+    }
+}
+
+/// NFA view over an [`Icfg`].
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::builder::ProgramBuilder;
+/// use jportal_bytecode::{Instruction, OpKind};
+/// use jportal_cfg::{Icfg, Nfa, Sym};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let c = pb.add_class("C", None, 0);
+/// let mut m = pb.method(c, "main", 0, false);
+/// m.emit(Instruction::Iconst(1));
+/// m.emit(Instruction::Pop);
+/// m.emit(Instruction::Return);
+/// let id = m.finish();
+/// let p = pb.finish_with_entry(id)?;
+/// let icfg = Icfg::build(&p);
+/// let nfa = Nfa::new(&p, &icfg);
+/// let syms = [Sym::plain(OpKind::Iconst), Sym::plain(OpKind::Pop)];
+/// let outcome = nfa.match_anywhere(&syms);
+/// assert!(outcome.is_accepted());
+/// # Ok::<(), jportal_bytecode::VerifyError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Nfa<'a> {
+    program: &'a Program,
+    icfg: &'a Icfg,
+}
+
+impl<'a> Nfa<'a> {
+    /// Creates the NFA view.
+    pub fn new(program: &'a Program, icfg: &'a Icfg) -> Nfa<'a> {
+        Nfa { program, icfg }
+    }
+
+    /// The underlying ICFG.
+    pub fn icfg(&self) -> &'a Icfg {
+        self.icfg
+    }
+
+    /// The instruction at a node.
+    pub fn insn(&self, node: NodeId) -> &'a Instruction {
+        let (m, bci) = self.icfg.location(node);
+        self.program.method(m).insn(bci)
+    }
+
+    /// Successor states of `state` on symbol `sym`, where `prev` is the
+    /// symbol consumed at `state` (whose branch direction constrains the
+    /// outgoing edge).
+    pub fn step(&self, state: NodeId, prev: Sym, sym: Sym) -> impl Iterator<Item = NodeId> + '_ {
+        self.icfg
+            .edges(state)
+            .iter()
+            .filter(move |e| e.kind.compatible_with(prev.dir))
+            .map(|e| e.to)
+            .filter(move |&n| sym.matches_instruction(self.insn(n)))
+    }
+
+    /// Candidate start states: nodes whose instruction matches the first
+    /// symbol. (Definition 4.1 allows any state to start; only these can
+    /// consume the first symbol.)
+    pub fn start_candidates(&self, first: Sym) -> &'a [NodeId] {
+        self.icfg.nodes_with_op(first.op)
+    }
+
+    /// Set-simulation from the given start states; returns a witness path
+    /// if the whole sequence is accepted from any of them.
+    ///
+    /// The witness has one node per symbol. When several paths are viable,
+    /// the first-discovered one (stable in edge order) is returned — the
+    /// paper likewise "picks one path that most likely corresponds to the
+    /// actual execution".
+    pub fn match_from(&self, starts: &[NodeId], syms: &[Sym]) -> MatchOutcome {
+        if syms.is_empty() {
+            return MatchOutcome::Accepted(Vec::new());
+        }
+        // layers[i] = states after consuming syms[..=i], with back-pointer
+        // into layers[i-1] for path reconstruction.
+        let mut layers: Vec<Vec<(NodeId, usize)>> = Vec::with_capacity(syms.len());
+        let first: Vec<(NodeId, usize)> = starts
+            .iter()
+            .copied()
+            .filter(|&n| syms[0].matches_instruction(self.insn(n)))
+            .map(|n| (n, usize::MAX))
+            .collect();
+        if first.is_empty() {
+            return MatchOutcome::Rejected(0);
+        }
+        layers.push(first);
+
+        for (i, &sym) in syms.iter().enumerate().skip(1) {
+            let prev_sym = syms[i - 1];
+            let prev_layer = layers.last().expect("non-empty");
+            let mut next: Vec<(NodeId, usize)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (pi, &(state, _)) in prev_layer.iter().enumerate() {
+                for succ in self.step(state, prev_sym, sym) {
+                    if seen.insert(succ) {
+                        next.push((succ, pi));
+                    }
+                }
+            }
+            if next.is_empty() {
+                return MatchOutcome::Rejected(i);
+            }
+            layers.push(next);
+        }
+
+        // Reconstruct a witness from the first accepting state.
+        let mut path = vec![NodeId(0); syms.len()];
+        let mut idx = 0usize;
+        for i in (0..syms.len()).rev() {
+            let (node, parent) = layers[i][idx];
+            path[i] = node;
+            idx = if parent == usize::MAX { 0 } else { parent };
+        }
+        MatchOutcome::Accepted(path)
+    }
+
+    /// Matches from every candidate start simultaneously (the efficient
+    /// multi-start variant used by the reconstruction pipeline).
+    pub fn match_anywhere(&self, syms: &[Sym]) -> MatchOutcome {
+        if syms.is_empty() {
+            return MatchOutcome::Accepted(Vec::new());
+        }
+        self.match_from(self.start_candidates(syms[0]), syms)
+    }
+
+    /// Matches starting exactly at a method's entry node (used when the
+    /// trace is known to begin at an invocation).
+    pub fn match_from_entry(&self, method: MethodId, syms: &[Sym]) -> MatchOutcome {
+        self.match_from(&[self.icfg.entry_of(method)], syms)
+    }
+
+    /// **Algorithm 1** (enumerate and test), literally as in the paper:
+    /// tries each candidate start state in turn and runs a full match from
+    /// it alone. Exponentially redundant compared to [`Nfa::match_from`]
+    /// over the whole candidate set; retained as the baseline for the
+    /// abstraction-guided ablation benchmark.
+    pub fn enumerate_and_test(&self, syms: &[Sym]) -> MatchOutcome {
+        if syms.is_empty() {
+            return MatchOutcome::Accepted(Vec::new());
+        }
+        let mut furthest = 0usize;
+        for &n in self.start_candidates(syms[0]) {
+            match self.match_from(std::slice::from_ref(&n), syms) {
+                MatchOutcome::Accepted(p) => return MatchOutcome::Accepted(p),
+                MatchOutcome::Rejected(at) => furthest = furthest.max(at),
+            }
+        }
+        MatchOutcome::Rejected(furthest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{Bci, CmpKind, Instruction as I, OpKind, Program};
+
+    /// The paper's running example (Figure 2): fun(a, b).
+    fn paper_fun() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Test", None, 0);
+        let mut m = pb.method(c, "fun", 2, true);
+        let else_ = m.label();
+        let join = m.label();
+        let odd = m.label();
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Eq, else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(1));
+        m.emit(I::Iadd);
+        m.emit(I::Istore(1));
+        m.jump(join);
+        m.bind(else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Isub);
+        m.emit(I::Istore(1));
+        m.bind(join);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Irem);
+        m.branch_if(CmpKind::Ne, odd);
+        m.emit(I::Iconst(1));
+        m.emit(I::Ireturn);
+        m.bind(odd);
+        m.emit(I::Iconst(0));
+        m.emit(I::Ireturn);
+        let fun = m.finish();
+        let mut main = pb.method(c, "main", 0, false);
+        main.emit(I::Iconst(0));
+        main.emit(I::Iconst(7));
+        main.emit(I::InvokeStatic(fun));
+        main.emit(I::Pop);
+        main.emit(I::Return);
+        let main = main.finish();
+        (pb.finish_with_entry(main).unwrap(), fun)
+    }
+
+    fn syms(ops: &[(OpKind, Option<bool>)]) -> Vec<Sym> {
+        ops.iter()
+            .map(|&(op, dir)| match dir {
+                Some(t) => Sym::branch(op, t),
+                None => Sym::plain(op),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_the_paper_else_path() {
+        // Figure 2(e): iload_0, ifeq taken, iload_1, iconst_2, isub,
+        // istore_1, iload_1, iconst_2, irem, ifne taken, iconst_0, ireturn
+        // — wait: the paper trace takes the else branch then returns true?
+        // Figure 2(f): 0,1,11..18,22?,23: ifne not taken → iconst_1.
+        let (p, fun) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let nfa = Nfa::new(&p, &icfg);
+        let trace = syms(&[
+            (OpKind::Iload, None),
+            (OpKind::Ifeq, Some(true)),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Isub, None),
+            (OpKind::Istore, None),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Irem, None),
+            (OpKind::Ifne, Some(false)),
+            (OpKind::Iconst, None),
+            (OpKind::Ireturn, None),
+        ]);
+        let out = nfa.match_from_entry(fun, &trace);
+        let path = out.path().expect("accepted");
+        let bcis: Vec<u32> = path.iter().map(|&n| icfg.bci_of(n).0).collect();
+        assert_eq!(bcis, vec![0, 1, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    }
+
+    #[test]
+    fn direction_disambiguates_branches() {
+        let (p, fun) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let nfa = Nfa::new(&p, &icfg);
+        // Not-taken ifeq must go down the then-path: iload, iconst, iadd.
+        let trace = syms(&[
+            (OpKind::Iload, None),
+            (OpKind::Ifeq, Some(false)),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Iadd, None),
+        ]);
+        let out = nfa.match_from_entry(fun, &trace);
+        let path = out.path().expect("accepted");
+        assert_eq!(icfg.bci_of(path[4]), Bci(4));
+    }
+
+    #[test]
+    fn rejects_impossible_sequences() {
+        let (p, fun) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let nfa = Nfa::new(&p, &icfg);
+        // ifeq taken cannot be followed by iadd's path prefix iload,iconst,iadd...
+        // actually else-path starts iload, iconst, isub — iadd mismatches at
+        // index 4.
+        let trace = syms(&[
+            (OpKind::Iload, None),
+            (OpKind::Ifeq, Some(true)),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Iadd, None),
+        ]);
+        match nfa.match_from_entry(fun, &trace) {
+            MatchOutcome::Rejected(at) => assert_eq!(at, 4),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_trace_projection_from_anywhere() {
+        // A segment starting in the middle of fun (after data loss) still
+        // projects: irem, ifne taken, iconst, ireturn.
+        let (p, _fun) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let nfa = Nfa::new(&p, &icfg);
+        let trace = syms(&[
+            (OpKind::Irem, None),
+            (OpKind::Ifne, Some(true)),
+            (OpKind::Iconst, None),
+            (OpKind::Ireturn, None),
+        ]);
+        let out = nfa.match_anywhere(&trace);
+        let path = out.path().expect("accepted");
+        let bcis: Vec<u32> = path.iter().map(|&n| icfg.bci_of(n).0).collect();
+        assert_eq!(bcis, vec![13, 14, 17, 18]);
+    }
+
+    #[test]
+    fn interprocedural_call_and_return() {
+        let (p, fun) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let nfa = Nfa::new(&p, &icfg);
+        let main = p.entry();
+        // main: iconst, iconst, invokestatic, [fun body...], pop, return
+        let trace = syms(&[
+            (OpKind::Iconst, None),
+            (OpKind::Iconst, None),
+            (OpKind::InvokeStatic, None),
+            (OpKind::Iload, None), // fun@0
+            (OpKind::Ifeq, Some(true)),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Isub, None),
+            (OpKind::Istore, None),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Irem, None),
+            (OpKind::Ifne, Some(false)),
+            (OpKind::Iconst, None),
+            (OpKind::Ireturn, None),
+            (OpKind::Pop, None), // back in main
+            (OpKind::Return, None),
+        ]);
+        let out = nfa.match_from_entry(main, &trace);
+        let path = out.path().expect("accepted");
+        assert_eq!(icfg.method_of(path[3]), fun);
+        assert_eq!(icfg.method_of(path[15]), main);
+    }
+
+    #[test]
+    fn algorithm1_agrees_with_set_simulation() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let nfa = Nfa::new(&p, &icfg);
+        let trace = syms(&[
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Irem, None),
+        ]);
+        let a = nfa.enumerate_and_test(&trace);
+        let b = nfa.match_anywhere(&trace);
+        assert!(a.is_accepted());
+        assert!(b.is_accepted());
+        assert_eq!(a.path().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_sequence_is_accepted_trivially() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let nfa = Nfa::new(&p, &icfg);
+        assert_eq!(
+            nfa.match_anywhere(&[]),
+            MatchOutcome::Accepted(Vec::new())
+        );
+    }
+}

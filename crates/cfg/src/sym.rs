@@ -1,0 +1,167 @@
+//! Trace symbols: the alphabet Σ of the ICFG automaton.
+
+use jportal_bytecode::{Instruction, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a conditional branch attached to a symbol.
+///
+/// Hardware TNT packets reveal branch direction; the decoded symbol carries
+/// it so the NFA can disambiguate taken/not-taken successors (the paper's
+/// Figure 4b labels `ifeq 0` / `ifeq 1`). A symbol decoded without
+/// direction (e.g. a switch arm) stays [`BranchDir::Unknown`] and matches
+/// either edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BranchDir {
+    /// No direction information.
+    #[default]
+    Unknown,
+    /// The branch was taken.
+    Taken,
+    /// The branch fell through.
+    NotTaken,
+}
+
+impl BranchDir {
+    /// `true` if this direction is compatible with `other` (unknown is
+    /// compatible with everything).
+    pub fn matches(self, other: BranchDir) -> bool {
+        self == BranchDir::Unknown || other == BranchDir::Unknown || self == other
+    }
+
+    /// Builds a direction from a taken flag.
+    pub fn from_taken(taken: bool) -> BranchDir {
+        if taken {
+            BranchDir::Taken
+        } else {
+            BranchDir::NotTaken
+        }
+    }
+}
+
+impl fmt::Display for BranchDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchDir::Unknown => f.write_str("?"),
+            BranchDir::Taken => f.write_str("1"),
+            BranchDir::NotTaken => f.write_str("0"),
+        }
+    }
+}
+
+/// One decoded bytecode occurrence: the operation kind plus optional branch
+/// direction.
+///
+/// The interpreted-mode decoder identifies the **opcode** (which template
+/// ran), not its operand, so the alphabet is [`OpKind`]-granular; this is
+/// exactly the ambiguity the paper's NFA formulation must disambiguate.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::{Bci, CmpKind, Instruction, OpKind};
+/// use jportal_cfg::{BranchDir, Sym};
+///
+/// let taken = Sym::branch(OpKind::Ifeq, true);
+/// assert!(taken.matches_instruction(&Instruction::If(CmpKind::Eq, Bci(4))));
+/// assert_eq!(taken.to_string(), "ifeq 1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sym {
+    /// Operation kind observed.
+    pub op: OpKind,
+    /// Branch direction, if the decoder learnt it.
+    pub dir: BranchDir,
+}
+
+impl Sym {
+    /// A symbol without direction information.
+    pub fn plain(op: OpKind) -> Sym {
+        Sym {
+            op,
+            dir: BranchDir::Unknown,
+        }
+    }
+
+    /// A conditional-branch symbol with a known direction.
+    pub fn branch(op: OpKind, taken: bool) -> Sym {
+        Sym {
+            op,
+            dir: BranchDir::from_taken(taken),
+        }
+    }
+
+    /// The symbol for an instruction occurrence with unknown direction.
+    pub fn of_instruction(insn: &Instruction) -> Sym {
+        Sym::plain(insn.op_kind())
+    }
+
+    /// `true` if this trace symbol can denote an occurrence of `insn`
+    /// (ignoring direction — direction is checked against edges).
+    pub fn matches_instruction(&self, insn: &Instruction) -> bool {
+        self.op == insn.op_kind()
+    }
+
+    /// `true` for control-transfer symbols (the tier-2 alphabet of the
+    /// abstract NFA, Definition 4.2).
+    pub fn is_control(&self) -> bool {
+        crate::tier::Tier::of_op(self.op) <= crate::tier::Tier::Control
+    }
+
+    /// `true` for call/return symbols (the tier-1 alphabet, Definition 5.2).
+    pub fn is_call_structure(&self) -> bool {
+        crate::tier::Tier::of_op(self.op) == crate::tier::Tier::CallStructure
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            BranchDir::Unknown => write!(f, "{}", self.op),
+            d => write!(f, "{} {}", self.op, d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::{Bci, CmpKind};
+
+    #[test]
+    fn direction_compatibility() {
+        assert!(BranchDir::Unknown.matches(BranchDir::Taken));
+        assert!(BranchDir::Taken.matches(BranchDir::Unknown));
+        assert!(BranchDir::Taken.matches(BranchDir::Taken));
+        assert!(!BranchDir::Taken.matches(BranchDir::NotTaken));
+    }
+
+    #[test]
+    fn symbol_matches_op_kind_only() {
+        let s = Sym::plain(OpKind::Iload);
+        assert!(s.matches_instruction(&Instruction::Iload(0)));
+        assert!(s.matches_instruction(&Instruction::Iload(7)));
+        assert!(!s.matches_instruction(&Instruction::Istore(0)));
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Sym::plain(OpKind::Goto).is_control());
+        assert!(Sym::plain(OpKind::InvokeStatic).is_control());
+        assert!(Sym::plain(OpKind::InvokeStatic).is_call_structure());
+        assert!(!Sym::plain(OpKind::Iadd).is_control());
+        assert!(!Sym::plain(OpKind::Ifeq).is_call_structure());
+        assert!(Sym::plain(OpKind::Ireturn).is_call_structure());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Sym::plain(OpKind::Iadd).to_string(), "iadd");
+        assert_eq!(
+            Sym::branch(OpKind::Ifne, false).to_string(),
+            "ifne 0"
+        );
+        let b = Sym::of_instruction(&Instruction::If(CmpKind::Ne, Bci(3)));
+        assert_eq!(b.dir, BranchDir::Unknown);
+    }
+}

@@ -1,0 +1,167 @@
+//! The three-tier abstraction hierarchy of Definition 5.2.
+//!
+//! Tier 1 (highest): **call structure** — calls and returns.
+//! Tier 2: **control structure** — tier 1 plus branches, jumps, switches
+//! and throws (Definition 4.2).
+//! Tier 3 (concrete): every instruction.
+//!
+//! The abstraction function `α_l` removes all instructions above tier `l`;
+//! [`abstract_seq`] implements it for symbol sequences.
+
+use jportal_bytecode::OpKind;
+use serde::{Deserialize, Serialize};
+
+use crate::sym::Sym;
+
+/// The tier of an instruction kind. Lower `u8` value = higher abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Tier {
+    /// Calls and returns (tier 1).
+    CallStructure = 1,
+    /// All control transfers (tier 2).
+    Control = 2,
+    /// Everything else (tier 3, concrete).
+    Concrete = 3,
+}
+
+impl Tier {
+    /// Classifies an operation kind.
+    pub fn of_op(op: OpKind) -> Tier {
+        use OpKind::*;
+        match op {
+            InvokeStatic | InvokeVirtual | Ireturn | Areturn | Return => Tier::CallStructure,
+            Goto | Ifeq | Ifne | Iflt | Ifge | Ifgt | Ifle | IfIcmpeq | IfIcmpne | IfIcmplt
+            | IfIcmpge | IfIcmpgt | IfIcmple | Ifnull | TableSwitch | LookupSwitch | Athrow => {
+                Tier::Control
+            }
+            _ => Tier::Concrete,
+        }
+    }
+
+    /// `true` if an op of tier `t` survives abstraction at this tier
+    /// (i.e. `t ≤ self`).
+    pub fn keeps(self, op: OpKind) -> bool {
+        Tier::of_op(op) <= self
+    }
+}
+
+/// `α_l(ω)`: the subsequence of `seq` whose operations are at or above
+/// tier `l` (Definition 5.2). `α_3` is the identity.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::OpKind;
+/// use jportal_cfg::tier::{abstract_seq, Tier};
+/// use jportal_cfg::Sym;
+///
+/// let seq = [
+///     Sym::plain(OpKind::Iload),
+///     Sym::plain(OpKind::Ifeq),
+///     Sym::plain(OpKind::InvokeStatic),
+/// ];
+/// let a1 = abstract_seq(&seq, Tier::CallStructure);
+/// assert_eq!(a1.len(), 1);
+/// let a2 = abstract_seq(&seq, Tier::Control);
+/// assert_eq!(a2.len(), 2);
+/// assert_eq!(abstract_seq(&seq, Tier::Concrete).len(), 3);
+/// ```
+pub fn abstract_seq(seq: &[Sym], tier: Tier) -> Vec<Sym> {
+    seq.iter().copied().filter(|s| tier.keeps(s.op)).collect()
+}
+
+/// Length of the longest common **suffix** of `a` and `b` (the matching
+/// operator `◦` of Lemma 5.3 measures matches from segment ends backwards).
+pub fn common_suffix_len(a: &[Sym], b: &[Sym]) -> usize {
+    a.iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Length of the longest common **prefix** of `a` and `b`.
+pub fn common_prefix_len(a: &[Sym], b: &[Sym]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(op: OpKind) -> Sym {
+        Sym::plain(op)
+    }
+
+    #[test]
+    fn tier_ordering() {
+        assert!(Tier::CallStructure < Tier::Control);
+        assert!(Tier::Control < Tier::Concrete);
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        assert_eq!(Tier::of_op(OpKind::InvokeVirtual), Tier::CallStructure);
+        assert_eq!(Tier::of_op(OpKind::Return), Tier::CallStructure);
+        assert_eq!(Tier::of_op(OpKind::Goto), Tier::Control);
+        assert_eq!(Tier::of_op(OpKind::TableSwitch), Tier::Control);
+        assert_eq!(Tier::of_op(OpKind::Athrow), Tier::Control);
+        assert_eq!(Tier::of_op(OpKind::Iadd), Tier::Concrete);
+        assert_eq!(Tier::of_op(OpKind::Iload), Tier::Concrete);
+    }
+
+    #[test]
+    fn abstraction_preserves_order_def_5_2() {
+        let seq = [
+            s(OpKind::Iload),
+            s(OpKind::InvokeStatic),
+            s(OpKind::Iadd),
+            s(OpKind::Ifeq),
+            s(OpKind::Ireturn),
+        ];
+        let a2 = abstract_seq(&seq, Tier::Control);
+        assert_eq!(
+            a2,
+            vec![s(OpKind::InvokeStatic), s(OpKind::Ifeq), s(OpKind::Ireturn)]
+        );
+        let a1 = abstract_seq(&seq, Tier::CallStructure);
+        assert_eq!(a1, vec![s(OpKind::InvokeStatic), s(OpKind::Ireturn)]);
+    }
+
+    #[test]
+    fn tiers_nest() {
+        // tier-1 symbols are a subset of tier-2 symbols for any sequence
+        let seq: Vec<Sym> = OpKind::ALL.iter().map(|&op| s(op)).collect();
+        let a1 = abstract_seq(&seq, Tier::CallStructure);
+        let a2 = abstract_seq(&seq, Tier::Control);
+        assert!(a1.iter().all(|x| a2.contains(x)));
+    }
+
+    #[test]
+    fn suffix_and_prefix_lengths() {
+        let a = [s(OpKind::Iload), s(OpKind::Iadd), s(OpKind::Ireturn)];
+        let b = [s(OpKind::Istore), s(OpKind::Iadd), s(OpKind::Ireturn)];
+        assert_eq!(common_suffix_len(&a, &b), 2);
+        assert_eq!(common_prefix_len(&a, &b), 0);
+        assert_eq!(common_suffix_len(&a, &a), 3);
+        assert_eq!(common_suffix_len(&a, &[]), 0);
+    }
+
+    #[test]
+    fn lemma_5_3_monotonicity_spot_check() {
+        // |ω0 ◦ ω1| ≥ |ω0 ◦ ω2| ⇒ |α2(ω0 ◦ ω1)| ≥ |α2(ω0 ◦ ω2)|
+        let w0 = [s(OpKind::Ifeq), s(OpKind::Iload), s(OpKind::Iadd)];
+        let w1 = [s(OpKind::Ifeq), s(OpKind::Iload), s(OpKind::Iadd)];
+        let w2 = [s(OpKind::Iload), s(OpKind::Iadd)];
+        let c1 = common_suffix_len(&w0, &w1);
+        let c2 = common_suffix_len(&w0, &w2);
+        assert!(c1 >= c2);
+        let a1 = abstract_seq(&w0[w0.len() - c1..], Tier::Control).len();
+        let a2 = abstract_seq(&w0[w0.len() - c2..], Tier::Control).len();
+        assert!(a1 >= a2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the automata layer: the paper's lemmas and
+//! the soundness of the abstraction, on randomly generated programs.
+
+use proptest::prelude::*;
+
+use jportal_bytecode::builder::ProgramBuilder;
+use jportal_bytecode::{CmpKind, Instruction as I, OpKind, Program};
+use jportal_cfg::abs::AbstractNfa;
+use jportal_cfg::tier::{abstract_seq, common_suffix_len};
+use jportal_cfg::{Icfg, Nfa, Sym, Tier};
+
+/// A random but verifiable single-method program: a sequence of simple
+/// blocks with random forward/backward branches.
+fn arb_program() -> impl Strategy<Value = Program> {
+    // Script: a list of (block body size, branch choice) pairs.
+    prop::collection::vec((1usize..4, any::<u8>()), 2..10).prop_map(|blocks| {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("P", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.reserve_locals(1);
+        let labels: Vec<_> = (0..blocks.len()).map(|_| m.label()).collect();
+        let end = m.label();
+        for (bi, &(body, branch)) in blocks.iter().enumerate() {
+            m.bind(labels[bi]);
+            for k in 0..body {
+                match (bi + k) % 3 {
+                    0 => {
+                        m.emit(I::Iconst(k as i64));
+                        m.emit(I::Pop);
+                    }
+                    1 => {
+                        m.emit(I::Iload(0));
+                        m.emit(I::Istore(0));
+                    }
+                    _ => {
+                        m.emit(I::Iinc(0, 1));
+                    }
+                };
+            }
+            // Branch to a random *later* block (keeps programs terminating
+            // even without interpretation limits) or fall through.
+            let target = labels
+                .get(bi + 1 + (branch as usize % 3))
+                .copied()
+                .unwrap_or(end);
+            match branch % 3 {
+                0 => {
+                    m.emit(I::Iload(0));
+                    m.branch_if(CmpKind::Eq, target);
+                }
+                1 => {
+                    if bi + 1 >= blocks.len() {
+                        m.jump(end);
+                    } else {
+                        m.jump(target);
+                    }
+                }
+                _ => {}
+            }
+        }
+        m.bind(end);
+        m.emit(I::Return);
+        let id = m.finish();
+        pb.finish_with_entry(id).expect("generated program verifies")
+    })
+}
+
+fn arb_syms() -> impl Strategy<Value = Vec<Sym>> {
+    let ops = prop::sample::select(vec![
+        OpKind::Iconst,
+        OpKind::Pop,
+        OpKind::Iload,
+        OpKind::Istore,
+        OpKind::Iinc,
+        OpKind::Ifeq,
+        OpKind::Goto,
+        OpKind::Return,
+        OpKind::InvokeStatic,
+        OpKind::Ireturn,
+    ]);
+    prop::collection::vec(
+        (ops, prop::option::of(any::<bool>())).prop_map(|(op, d)| match d {
+            Some(t) => Sym::branch(op, t),
+            None => Sym::plain(op),
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 4.4 (necessary condition): whenever the abstraction-guided
+    /// Algorithm 2 rejects, the concrete enumerate-and-test (Algorithm 1)
+    /// rejects too — and vice versa; the two always agree on acceptance.
+    #[test]
+    fn algorithm2_equals_algorithm1(program in arb_program(), syms in arb_syms()) {
+        let icfg = Icfg::build(&program);
+        let nfa = Nfa::new(&program, &icfg);
+        let anfa = AbstractNfa::new(&program, &icfg);
+        let a1 = nfa.enumerate_and_test(&syms).is_accepted();
+        let a2 = anfa.algorithm2(&syms).is_accepted();
+        prop_assert_eq!(a1, a2);
+    }
+
+    /// Any accepted witness path is a real path: consecutive nodes are
+    /// connected by ICFG edges and each node's instruction matches the
+    /// consumed symbol.
+    #[test]
+    fn witness_paths_are_sound(program in arb_program(), syms in arb_syms()) {
+        let icfg = Icfg::build(&program);
+        let nfa = Nfa::new(&program, &icfg);
+        if let Some(path) = nfa.match_anywhere(&syms).path() {
+            for (i, &n) in path.iter().enumerate() {
+                prop_assert!(syms[i].matches_instruction(nfa.insn(n)));
+                if i > 0 {
+                    let prev = path[i - 1];
+                    prop_assert!(
+                        icfg.edges(prev).iter().any(|e| e.to == n
+                            && e.kind.compatible_with(syms[i - 1].dir)),
+                        "witness uses a non-edge"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Definition 5.2: abstraction preserves order and keeps exactly the
+    /// tier's symbols; tiers nest (α₁ ⊆ α₂ ⊆ ω).
+    #[test]
+    fn abstraction_is_an_order_preserving_filter(syms in arb_syms()) {
+        let a1 = abstract_seq(&syms, Tier::CallStructure);
+        let a2 = abstract_seq(&syms, Tier::Control);
+        let a3 = abstract_seq(&syms, Tier::Concrete);
+        prop_assert_eq!(a3.clone(), syms.clone());
+        prop_assert!(a1.len() <= a2.len());
+        prop_assert!(a2.len() <= a3.len());
+        // a1 is a subsequence of a2, which is a subsequence of syms.
+        fn is_subseq(a: &[Sym], b: &[Sym]) -> bool {
+            let mut it = b.iter();
+            a.iter().all(|x| it.any(|y| y == x))
+        }
+        prop_assert!(is_subseq(&a1, &a2));
+        prop_assert!(is_subseq(&a2, &syms));
+    }
+
+    /// Lemma 5.4: the common suffix of the abstractions is at least as
+    /// long as the abstraction of the common suffix.
+    #[test]
+    fn lemma_5_4(a in arb_syms(), b in arb_syms()) {
+        for tier in [Tier::CallStructure, Tier::Control] {
+            let m = common_suffix_len(&a, &b);
+            let abstracted_suffix = abstract_seq(&a[a.len() - m..], tier).len();
+            let suffix_of_abstracted =
+                common_suffix_len(&abstract_seq(&a, tier), &abstract_seq(&b, tier));
+            prop_assert!(
+                suffix_of_abstracted >= abstracted_suffix,
+                "tier {tier:?}: {suffix_of_abstracted} < {abstracted_suffix}"
+            );
+        }
+    }
+
+    /// ICFG structural invariants on arbitrary programs: every node's
+    /// location round-trips, and every edge target is in range.
+    #[test]
+    fn icfg_well_formed(program in arb_program()) {
+        let icfg = Icfg::build(&program);
+        prop_assert_eq!(icfg.node_count(), program.code_size());
+        for i in 0..icfg.node_count() as u32 {
+            let n = jportal_cfg::NodeId(i);
+            let (m, b) = icfg.location(n);
+            prop_assert_eq!(icfg.node(m, b), n);
+            for e in icfg.edges(n) {
+                prop_assert!((e.to.0 as usize) < icfg.node_count());
+            }
+        }
+    }
+}

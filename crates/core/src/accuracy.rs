@@ -1,0 +1,347 @@
+//! Accuracy scoring against ground truth (§7.2).
+//!
+//! The paper measures "the degree of matching between each
+//! JPortal-reconstructed control flow path and its corresponding path"
+//! from instrumentation-based ground truth. We align the reconstructed
+//! entry sequence against the executor's exact trace with a greedy
+//! resynchronizing aligner (k-gram resync), and additionally produce the
+//! Table 3 breakdown: how much data was missing, how much was recovered
+//! vs decoded, and the accuracy of each part.
+
+use jportal_bytecode::{Bci, MethodId, Program};
+use jportal_jvm::truth::TruthEvent;
+use jportal_jvm::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::JPortalReport;
+use crate::recover::{TraceEntry, TraceOrigin};
+
+/// One comparable item: a located statement or a bare opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Item {
+    Located(MethodId, Bci),
+    Op(jportal_bytecode::OpKind),
+}
+
+fn truth_item(program: &Program, e: &TruthEvent) -> Item {
+    let _ = program;
+    Item::Located(e.method, e.bci)
+}
+
+fn recon_item(program: &Program, e: &TraceEntry) -> Item {
+    match (e.method, e.bci) {
+        (Some(m), Some(b)) => Item::Located(m, b),
+        _ => {
+            let _ = program;
+            Item::Op(e.op)
+        }
+    }
+}
+
+fn items_match(program: &Program, t: Item, r: Item) -> bool {
+    match (t, r) {
+        (Item::Located(m1, b1), Item::Located(m2, b2)) => m1 == m2 && b1 == b2,
+        (Item::Located(m, b), Item::Op(op)) | (Item::Op(op), Item::Located(m, b)) => {
+            program.method(m).insn(b).op_kind() == op
+        }
+        (Item::Op(a), Item::Op(b)) => a == b,
+    }
+}
+
+/// Greedy alignment score in `[0, 1]`: matched items over the longer
+/// sequence length. Resynchronizes after mismatches by searching for a
+/// `k`-gram agreement within a bounded window.
+pub fn alignment_score(
+    program: &Program,
+    truth: &[TruthEvent],
+    recon: &[TraceEntry],
+) -> f64 {
+    if truth.is_empty() && recon.is_empty() {
+        return 1.0;
+    }
+    if truth.is_empty() || recon.is_empty() {
+        return 0.0;
+    }
+    const K: usize = 4;
+    const WINDOW: usize = 96;
+
+    let t_items: Vec<Item> = truth.iter().map(|e| truth_item(program, e)).collect();
+    let r_items: Vec<Item> = recon.iter().map(|e| recon_item(program, e)).collect();
+
+    let kgram_match = |ti: usize, ri: usize| -> bool {
+        if ti + K > t_items.len() || ri + K > r_items.len() {
+            return false;
+        }
+        (0..K).all(|k| items_match(program, t_items[ti + k], r_items[ri + k]))
+    };
+
+    let mut ti = 0usize;
+    let mut ri = 0usize;
+    let mut matches = 0usize;
+    while ti < t_items.len() && ri < r_items.len() {
+        if items_match(program, t_items[ti], r_items[ri]) {
+            matches += 1;
+            ti += 1;
+            ri += 1;
+            continue;
+        }
+        // Resync: smallest combined skip with a k-gram agreement.
+        let mut resync: Option<(usize, usize)> = None;
+        'search: for s in 1..WINDOW {
+            for dt in 0..=s {
+                let dr = s - dt;
+                if kgram_match(ti + dt, ri + dr) {
+                    resync = Some((dt, dr));
+                    break 'search;
+                }
+            }
+        }
+        match resync {
+            Some((dt, dr)) => {
+                ti += dt.max(if dr == 0 { 1 } else { 0 });
+                ri += dr.max(if dt == 0 { 1 } else { 0 });
+                // At least one side must advance; both zero cannot happen
+                // since items at (ti, ri) mismatch while the k-gram check
+                // at (0,0) would require a match.
+            }
+            None => {
+                ti += 1;
+                ri += 1;
+            }
+        }
+    }
+    matches as f64 / t_items.len().max(r_items.len()) as f64
+}
+
+/// The Table 3 breakdown for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyBreakdown {
+    /// Percent of missing data (PMD): truth events falling inside hole
+    /// intervals, over all truth events.
+    pub pmd: f64,
+    /// Percent of the profile that recovery contributed (PR).
+    pub pr: f64,
+    /// Recovery accuracy (RA): alignment of recovered stretches against
+    /// the truth inside holes.
+    pub ra: f64,
+    /// Percent of data captured (PDC = 1 − PMD).
+    pub pdc: f64,
+    /// Percent decoded (PD): decoded entries over truth events.
+    pub pd: f64,
+    /// Decoding accuracy (DA): alignment of decoded stretches against the
+    /// truth outside holes.
+    pub da: f64,
+    /// Overall end-to-end accuracy (Figure 7).
+    pub overall: f64,
+}
+
+/// Computes the full breakdown for a run.
+pub fn breakdown(
+    program: &Program,
+    truth: &GroundTruth,
+    report: &JPortalReport,
+) -> AccuracyBreakdown {
+    let mut total_truth = 0usize;
+    let mut truth_in_holes = 0usize;
+    let mut decoded_entries = 0usize;
+    let mut recovered_entries = 0usize;
+    let mut overall_num = 0.0;
+    let mut overall_den = 0.0;
+    let mut da_num = 0.0;
+    let mut da_den = 0.0;
+    let mut ra_num = 0.0;
+    let mut ra_den = 0.0;
+
+    for tr in &report.threads {
+        let truth_trace = truth.trace(tr.thread);
+        total_truth += truth_trace.len();
+        let in_hole = |ts: u64| tr.holes.iter().any(|&(a, b)| a <= ts && ts <= b);
+
+        let (truth_holes, truth_clear): (Vec<TruthEvent>, Vec<TruthEvent>) =
+            truth_trace.iter().partition(|e| in_hole(e.ts));
+        truth_in_holes += truth_holes.len();
+
+        let decoded: Vec<TraceEntry> = tr
+            .entries
+            .iter()
+            .filter(|e| e.origin == TraceOrigin::Decoded)
+            .copied()
+            .collect();
+        let recovered: Vec<TraceEntry> = tr
+            .entries
+            .iter()
+            .filter(|e| e.origin != TraceOrigin::Decoded)
+            .copied()
+            .collect();
+        decoded_entries += decoded.len();
+        recovered_entries += recovered.len();
+
+        let w_clear = truth_clear.len() as f64;
+        if w_clear > 0.0 {
+            da_num += alignment_score(program, &truth_clear, &decoded) * w_clear;
+            da_den += w_clear;
+        }
+        let w_holes = truth_holes.len() as f64;
+        if w_holes > 0.0 {
+            ra_num += alignment_score(program, &truth_holes, &recovered) * w_holes;
+            ra_den += w_holes;
+        }
+        let w_all = truth_trace.len() as f64;
+        if w_all > 0.0 {
+            overall_num += alignment_score(program, truth_trace, &tr.entries) * w_all;
+            overall_den += w_all;
+        }
+    }
+
+    let total = total_truth.max(1) as f64;
+    AccuracyBreakdown {
+        pmd: truth_in_holes as f64 / total,
+        pr: (recovered_entries as f64 / total).min(1.0),
+        ra: if ra_den > 0.0 { ra_num / ra_den } else { 0.0 },
+        pdc: 1.0 - truth_in_holes as f64 / total,
+        pd: (decoded_entries as f64 / total).min(1.0),
+        da: if da_den > 0.0 { da_num / da_den } else { 0.0 },
+        overall: if overall_den > 0.0 {
+            overall_num / overall_den
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Convenience: the overall end-to-end accuracy (Figure 7's bars).
+pub fn overall_accuracy(program: &Program, truth: &GroundTruth, report: &JPortalReport) -> f64 {
+    breakdown(program, truth, report).overall
+}
+
+/// Hot-method detection accuracy (Table 4): size of the intersection of
+/// the top-`n` sets.
+pub fn hot_method_intersection(truth_top: &[MethodId], candidate_top: &[MethodId]) -> usize {
+    candidate_top
+        .iter()
+        .filter(|m| truth_top.contains(m))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{Instruction as I, OpKind};
+
+    fn prog() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::Iconst(1)); // 0
+        m.emit(I::Pop); // 1
+        m.emit(I::Iconst(2)); // 2
+        m.emit(I::Pop); // 3
+        m.emit(I::Return); // 4
+        let id = m.finish();
+        pb.finish_with_entry(id).unwrap()
+    }
+
+    fn truth_ev(bci: u32, ts: u64) -> TruthEvent {
+        TruthEvent {
+            method: MethodId(0),
+            bci: Bci(bci),
+            ts,
+        }
+    }
+
+    fn recon(bci: u32, op: OpKind, ts: u64) -> TraceEntry {
+        TraceEntry {
+            op,
+            method: Some(MethodId(0)),
+            bci: Some(Bci(bci)),
+            ts,
+            origin: TraceOrigin::Decoded,
+        }
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let p = prog();
+        let truth = vec![
+            truth_ev(0, 0),
+            truth_ev(1, 1),
+            truth_ev(2, 2),
+            truth_ev(3, 3),
+            truth_ev(4, 4),
+        ];
+        let rec = vec![
+            recon(0, OpKind::Iconst, 0),
+            recon(1, OpKind::Pop, 1),
+            recon(2, OpKind::Iconst, 2),
+            recon(3, OpKind::Pop, 3),
+            recon(4, OpKind::Return, 4),
+        ];
+        assert_eq!(alignment_score(&p, &truth, &rec), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let p = prog();
+        assert_eq!(alignment_score(&p, &[], &[]), 1.0);
+        assert_eq!(alignment_score(&p, &[truth_ev(0, 0)], &[]), 0.0);
+        assert_eq!(
+            alignment_score(&p, &[], &[recon(0, OpKind::Iconst, 0)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn missing_middle_still_aligns_tail() {
+        let p = prog();
+        let truth: Vec<TruthEvent> = (0..5).map(|i| truth_ev(i, i as u64)).collect();
+        // Reconstruction misses bci 1 and 2.
+        let rec = vec![
+            recon(0, OpKind::Iconst, 0),
+            recon(3, OpKind::Pop, 3),
+            recon(4, OpKind::Return, 4),
+        ];
+        let s = alignment_score(&p, &truth, &rec);
+        assert!(s > 0.15 && s < 1.0, "partial credit, got {s}");
+    }
+
+    #[test]
+    fn op_only_entries_match_by_opcode() {
+        let p = prog();
+        let truth = vec![truth_ev(0, 0), truth_ev(1, 1)];
+        let rec = vec![
+            TraceEntry {
+                op: OpKind::Iconst,
+                method: None,
+                bci: None,
+                ts: 0,
+                origin: TraceOrigin::Decoded,
+            },
+            TraceEntry {
+                op: OpKind::Pop,
+                method: None,
+                bci: None,
+                ts: 1,
+                origin: TraceOrigin::Decoded,
+            },
+        ];
+        assert_eq!(alignment_score(&p, &truth, &rec), 1.0);
+    }
+
+    #[test]
+    fn over_generation_is_penalized() {
+        let p = prog();
+        let truth = vec![truth_ev(0, 0), truth_ev(1, 1)];
+        let rec: Vec<TraceEntry> = (0..10).map(|i| recon(0, OpKind::Iconst, i)).collect();
+        let s = alignment_score(&p, &truth, &rec);
+        assert!(s <= 0.2, "10 entries for 2 truths must score low, got {s}");
+    }
+
+    #[test]
+    fn hot_method_intersection_counts() {
+        let truth = vec![MethodId(1), MethodId(2), MethodId(3)];
+        let cand = vec![MethodId(3), MethodId(9), MethodId(1)];
+        assert_eq!(hot_method_intersection(&truth, &cand), 2);
+        assert_eq!(hot_method_intersection(&truth, &[]), 0);
+    }
+}

@@ -1,0 +1,380 @@
+//! The end-to-end JPortal pipeline.
+//!
+//! Ties together trace segregation (§6), decoding (§3), ICFG projection
+//! (§4) and missing-data recovery (§5) into one call:
+//! [`JPortal::analyze`] takes what the online component collected — the
+//! per-core PT traces with sideband and the exported machine-code
+//! metadata — and produces, per thread, the reconstructed bytecode-level
+//! control-flow trace with per-entry provenance.
+
+use jportal_bytecode::Program;
+use jportal_cfg::abs::AbstractNfa;
+use jportal_cfg::Icfg;
+use jportal_ipt::{CollectedTraces, ThreadId};
+use jportal_jvm::MetadataArchive;
+use serde::{Deserialize, Serialize};
+
+use crate::decode::decode_segment;
+use crate::reconstruct::{project_segment, ProjectionConfig, ProjectionStats};
+use crate::recover::{Recovery, RecoveryConfig, RecoveryStats, SegmentView};
+pub use crate::recover::{TraceEntry, TraceOrigin};
+use crate::threads::segregate;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct JPortalConfig {
+    /// Projection (§4) tuning.
+    pub projection: ProjectionConfig,
+    /// Recovery (§5) tuning.
+    pub recovery: RecoveryConfig,
+    /// Disable recovery entirely (ablation: what decoding alone gives).
+    pub disable_recovery: bool,
+}
+
+/// Per-thread reconstruction result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadReport {
+    /// The thread.
+    pub thread: ThreadId,
+    /// The reconstructed control-flow trace.
+    pub entries: Vec<TraceEntry>,
+    /// Hole time ranges `(first_ts, last_ts)` that recovery worked on.
+    pub holes: Vec<(u64, u64)>,
+    /// Projection statistics summed over segments.
+    pub projection: ProjectionStats,
+    /// Recovery statistics.
+    pub recovery: RecoveryStats,
+    /// Number of decoded segments.
+    pub segments: usize,
+}
+
+/// The full analysis result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JPortalReport {
+    /// Per-thread reconstructions, sorted by thread id.
+    pub threads: Vec<ThreadReport>,
+}
+
+impl JPortalReport {
+    /// The report for one thread.
+    pub fn thread(&self, id: ThreadId) -> Option<&ThreadReport> {
+        self.threads.iter().find(|t| t.thread == id)
+    }
+
+    /// Total reconstructed entries over all threads.
+    pub fn total_entries(&self) -> usize {
+        self.threads.iter().map(|t| t.entries.len()).sum()
+    }
+
+    /// Entries by provenance: `(decoded, recovered, walked)`.
+    pub fn provenance_counts(&self) -> (usize, usize, usize) {
+        let mut d = 0;
+        let mut r = 0;
+        let mut w = 0;
+        for t in &self.threads {
+            for e in &t.entries {
+                match e.origin {
+                    TraceOrigin::Decoded => d += 1,
+                    TraceOrigin::Recovered => r += 1,
+                    TraceOrigin::Walked => w += 1,
+                }
+            }
+        }
+        (d, r, w)
+    }
+}
+
+/// The JPortal offline analyzer.
+///
+/// # Examples
+///
+/// ```no_run
+/// use jportal_bytecode::Program;
+/// use jportal_core::JPortal;
+/// use jportal_jvm::{Jvm, JvmConfig};
+///
+/// # fn example(program: &Program) {
+/// let result = Jvm::new(JvmConfig::default()).run(program);
+/// let jportal = JPortal::new(program);
+/// let report = jportal.analyze(result.traces.as_ref().unwrap(), &result.archive);
+/// for thread in &report.threads {
+///     println!("{}: {} entries", thread.thread, thread.entries.len());
+/// }
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct JPortal<'p> {
+    program: &'p Program,
+    icfg: Icfg,
+    config: JPortalConfig,
+}
+
+impl<'p> JPortal<'p> {
+    /// Builds the analyzer (constructs the program's ICFG).
+    pub fn new(program: &'p Program) -> JPortal<'p> {
+        JPortal {
+            program,
+            icfg: Icfg::build(program),
+            config: JPortalConfig::default(),
+        }
+    }
+
+    /// Builds the analyzer with explicit configuration.
+    pub fn with_config(program: &'p Program, config: JPortalConfig) -> JPortal<'p> {
+        JPortal {
+            program,
+            icfg: Icfg::build(program),
+            config,
+        }
+    }
+
+    /// The ICFG (exposed for clients that want to inspect projections).
+    pub fn icfg(&self) -> &Icfg {
+        &self.icfg
+    }
+
+    /// Runs the full offline analysis.
+    pub fn analyze(
+        &self,
+        traces: &CollectedTraces,
+        archive: &MetadataArchive,
+    ) -> JPortalReport {
+        let anfa = AbstractNfa::new(self.program, &self.icfg);
+        let per_thread = segregate(traces);
+        let mut threads: Vec<ThreadReport> = Vec::new();
+
+        for (thread, pieces) in per_thread {
+            let mut projection = ProjectionStats::default();
+            // Decode + project every piece.
+            let mut views: Vec<SegmentView> = Vec::new();
+            for piece in &pieces {
+                let mut decoded = decode_segment(self.program, archive, &piece.segment);
+                decoded.core = piece.core;
+                let (nodes, stats) = project_segment(
+                    self.program,
+                    &self.icfg,
+                    &anfa,
+                    &decoded.events,
+                    &self.config.projection,
+                );
+                projection.matched += stats.matched;
+                projection.unmatched += stats.unmatched;
+                projection.restarts += stats.restarts;
+                projection.candidates_tried += stats.candidates_tried;
+                projection.candidates_pruned += stats.candidates_pruned;
+                views.push(SegmentView {
+                    events: decoded.events,
+                    nodes,
+                    loss_before: decoded.loss_before,
+                });
+            }
+            // Drop empty segments but keep their loss marks attached to
+            // the following segment.
+            let mut compacted: Vec<SegmentView> = Vec::new();
+            let mut pending_loss = None;
+            for mut v in views {
+                if v.loss_before.is_some() {
+                    pending_loss = v.loss_before;
+                }
+                if v.events.is_empty() {
+                    continue;
+                }
+                v.loss_before = pending_loss.take();
+                compacted.push(v);
+            }
+
+            // Assemble the timeline, recovering across lossy boundaries.
+            let mut recovery_stats = RecoveryStats::default();
+            let mut holes = Vec::new();
+            let recovery = Recovery::new(self.program, &self.icfg, &compacted, self.config.recovery);
+            let mut entries: Vec<TraceEntry> = Vec::new();
+            for i in 0..compacted.len() {
+                if i > 0 {
+                    if let Some(loss) = compacted[i].loss_before {
+                        holes.push((loss.first_ts, loss.last_ts));
+                        if !self.config.disable_recovery {
+                            let fill = recovery.fill_hole(
+                                &compacted,
+                                i - 1,
+                                i,
+                                Some(loss),
+                                &mut recovery_stats,
+                            );
+                            entries.extend(fill);
+                        }
+                    }
+                }
+                let seg = &compacted[i];
+                for (e, node) in seg.events.iter().zip(&seg.nodes) {
+                    let (method, bci) = match node {
+                        Some(n) => {
+                            let (m, b) = self.icfg.location(*n);
+                            (Some(m), Some(b))
+                        }
+                        None => (e.method, e.bci),
+                    };
+                    entries.push(TraceEntry {
+                        op: e.sym.op,
+                        method,
+                        bci,
+                        ts: e.ts,
+                        origin: TraceOrigin::Decoded,
+                    });
+                }
+            }
+
+            threads.push(ThreadReport {
+                thread,
+                entries,
+                holes,
+                projection,
+                recovery: recovery_stats,
+                segments: compacted.len(),
+            });
+        }
+
+        threads.sort_by_key(|t| t.thread);
+        JPortalReport { threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I};
+    use jportal_jvm::runtime::{Jvm, JvmConfig};
+
+    fn workload() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut h = pb.method(c, "helper", 1, true);
+        let odd = h.label();
+        h.emit(I::Iload(0));
+        h.emit(I::Iconst(2));
+        h.emit(I::Irem);
+        h.branch_if(CmpKind::Ne, odd);
+        h.emit(I::Iconst(10));
+        h.emit(I::Ireturn);
+        h.bind(odd);
+        h.emit(I::Iconst(20));
+        h.emit(I::Ireturn);
+        let helper = h.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        let head = m.label();
+        let done = m.label();
+        m.emit(I::Iconst(50));
+        m.emit(I::Istore(0));
+        m.bind(head);
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Le, done);
+        m.emit(I::Iload(0));
+        m.emit(I::InvokeStatic(helper));
+        m.emit(I::Pop);
+        m.emit(I::Iinc(0, -1));
+        m.jump(head);
+        m.bind(done);
+        m.emit(I::Return);
+        let main = m.finish();
+        pb.finish_with_entry(main).unwrap()
+    }
+
+    use jportal_bytecode::Program;
+
+    #[test]
+    fn clean_run_reconstructs_everything_decoded() {
+        let p = workload();
+        let r = Jvm::new(JvmConfig {
+            c1_threshold: u64::MAX,
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        let jp = JPortal::new(&p);
+        let report = jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+        assert_eq!(report.threads.len(), 1);
+        let t = &report.threads[0];
+        let truth_len = r.truth.trace(ThreadId(0)).len();
+        assert_eq!(t.entries.len(), truth_len, "lossless run: 1:1 entries");
+        let (d, rec, w) = report.provenance_counts();
+        assert_eq!(d, truth_len);
+        assert_eq!(rec + w, 0);
+        // Every entry's location must match the truth exactly.
+        for (e, truth) in t.entries.iter().zip(r.truth.trace(ThreadId(0))) {
+            assert_eq!(e.method, Some(truth.method));
+            assert_eq!(e.bci, Some(truth.bci));
+        }
+    }
+
+    #[test]
+    fn lossy_run_recovers_some_entries() {
+        let p = workload();
+        let r = Jvm::new(JvmConfig {
+            pt_buffer_capacity: 640,
+            drain_bytes_per_kilocycle: 6,
+            c1_threshold: u64::MAX,
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        let traces = r.traces.as_ref().unwrap();
+        assert!(
+            !traces.per_core[0].losses.is_empty(),
+            "this configuration must lose data"
+        );
+        let jp = JPortal::new(&p);
+        let report = jp.analyze(traces, &r.archive);
+        let t = &report.threads[0];
+        assert!(t.recovery.holes > 0);
+        assert!(!t.holes.is_empty());
+        let (_d, rec, w) = report.provenance_counts();
+        assert!(rec + w > 0, "recovery must contribute entries");
+    }
+
+    #[test]
+    fn disable_recovery_ablation() {
+        let p = workload();
+        let r = Jvm::new(JvmConfig {
+            pt_buffer_capacity: 640,
+            drain_bytes_per_kilocycle: 6,
+            c1_threshold: u64::MAX,
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        let jp = JPortal::with_config(
+            &p,
+            JPortalConfig {
+                disable_recovery: true,
+                ..JPortalConfig::default()
+            },
+        );
+        let report = jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+        let (_, rec, w) = report.provenance_counts();
+        assert_eq!(rec + w, 0);
+    }
+
+    #[test]
+    fn jit_mode_entries_carry_locations() {
+        let p = workload();
+        let r = Jvm::new(JvmConfig {
+            c1_threshold: 4,
+            c2_threshold: 12,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        assert!(r.compilations > 0);
+        let jp = JPortal::new(&p);
+        let report = jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+        let t = &report.threads[0];
+        let with_loc = t
+            .entries
+            .iter()
+            .filter(|e| e.method.is_some() && e.bci.is_some())
+            .count();
+        assert!(
+            with_loc as f64 / t.entries.len() as f64 > 0.95,
+            "nearly all entries should be located"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Client profiles derived from reconstructed control flow.
+//!
+//! With the bytecode-level control flow in hand, "various execution
+//! statistics, such as function and statement coverage, path profiles,
+//! call tree profiles, etc. are all close at hand" (paper §1), and the
+//! embedded timestamps enable hot-spot detection (Table 4).
+
+use jportal_bytecode::{Bci, MethodId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+use crate::pipeline::JPortalReport;
+use crate::recover::TraceEntry;
+
+/// Statement-coverage profile: executed `(method, bci)` pairs with counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatementProfile {
+    counts: HashMap<(MethodId, Bci), u64>,
+}
+
+impl StatementProfile {
+    /// Builds the profile from a report.
+    pub fn from_report(report: &JPortalReport) -> StatementProfile {
+        let mut counts = HashMap::new();
+        for t in &report.threads {
+            for e in &t.entries {
+                if let (Some(m), Some(b)) = (e.method, e.bci) {
+                    *counts.entry((m, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        StatementProfile { counts }
+    }
+
+    /// Execution count of a statement.
+    pub fn count(&self, method: MethodId, bci: Bci) -> u64 {
+        self.counts.get(&(method, bci)).copied().unwrap_or(0)
+    }
+
+    /// The covered statements.
+    pub fn covered(&self) -> HashSet<(MethodId, Bci)> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// Number of distinct covered statements.
+    pub fn coverage_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &HashMap<(MethodId, Bci), u64> {
+        &self.counts
+    }
+}
+
+/// Method coverage: the set of methods observed executing.
+pub fn method_coverage(report: &JPortalReport) -> HashSet<MethodId> {
+    report
+        .threads
+        .iter()
+        .flat_map(|t| t.entries.iter())
+        .filter_map(|e| e.method)
+        .collect()
+}
+
+/// Hot-method profile: cycles attributed to each method from the
+/// timestamps embedded in the trace — each entry owns the time until the
+/// next entry of the same thread.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HotMethodProfile {
+    cycles: HashMap<MethodId, u64>,
+}
+
+impl HotMethodProfile {
+    /// Builds the profile from a report.
+    pub fn from_report(report: &JPortalReport) -> HotMethodProfile {
+        let mut cycles: HashMap<MethodId, u64> = HashMap::new();
+        for t in &report.threads {
+            for pair in t.entries.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                if let Some(m) = a.method {
+                    let dt = b.ts.saturating_sub(a.ts);
+                    // Clamp pathological gaps (scheduling, holes).
+                    *cycles.entry(m).or_insert(0) += dt.min(10_000);
+                }
+            }
+            if let Some(last) = t.entries.last() {
+                if let Some(m) = last.method {
+                    *cycles.entry(m).or_insert(0) += 1;
+                }
+            }
+        }
+        HotMethodProfile { cycles }
+    }
+
+    /// The `n` hottest methods, hottest first (Table 4's JPortal column).
+    pub fn hottest(&self, n: usize) -> Vec<MethodId> {
+        let mut v: Vec<(MethodId, u64)> = self.cycles.iter().map(|(&m, &c)| (m, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v.into_iter().map(|(m, _)| m).collect()
+    }
+
+    /// Cycles attributed to one method.
+    pub fn cycles_of(&self, m: MethodId) -> u64 {
+        self.cycles.get(&m).copied().unwrap_or(0)
+    }
+}
+
+/// Edge/path-style profile: counts of consecutive `(from, to)` statement
+/// pairs within a thread (an acyclic-path approximation available without
+/// instrumentation).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EdgeProfile {
+    counts: HashMap<((MethodId, Bci), (MethodId, Bci)), u64>,
+}
+
+impl EdgeProfile {
+    /// Builds the profile from a report.
+    pub fn from_report(report: &JPortalReport) -> EdgeProfile {
+        let mut counts = HashMap::new();
+        for t in &report.threads {
+            for pair in t.entries.windows(2) {
+                if let ((Some(m1), Some(b1)), (Some(m2), Some(b2))) = (
+                    (pair[0].method, pair[0].bci),
+                    (pair[1].method, pair[1].bci),
+                ) {
+                    *counts.entry(((m1, b1), (m2, b2))).or_insert(0) += 1;
+                }
+            }
+        }
+        EdgeProfile { counts }
+    }
+
+    /// Count of one dynamic edge.
+    pub fn count(&self, from: (MethodId, Bci), to: (MethodId, Bci)) -> u64 {
+        self.counts.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct dynamic edges.
+    pub fn distinct_edges(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Call-tree profile: dynamic caller → callee invocation counts, derived
+/// from call-instruction entries followed by a method change.
+pub fn call_pairs(report: &JPortalReport) -> HashMap<(MethodId, MethodId), u64> {
+    let mut out: HashMap<(MethodId, MethodId), u64> = HashMap::new();
+    for t in &report.threads {
+        for pair in t.entries.windows(2) {
+            let a: &TraceEntry = &pair[0];
+            let b: &TraceEntry = &pair[1];
+            let is_call = matches!(
+                a.op,
+                jportal_bytecode::OpKind::InvokeStatic | jportal_bytecode::OpKind::InvokeVirtual
+            );
+            if is_call {
+                if let (Some(caller), Some(callee)) = (a.method, b.method) {
+                    if caller != callee || b.bci == Some(Bci(0)) {
+                        *out.entry((caller, callee)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ThreadReport, TraceOrigin};
+    use jportal_bytecode::OpKind;
+    use jportal_ipt::ThreadId;
+
+    fn entry(m: u32, b: u32, op: OpKind, ts: u64) -> TraceEntry {
+        TraceEntry {
+            op,
+            method: Some(MethodId(m)),
+            bci: Some(Bci(b)),
+            ts,
+            origin: TraceOrigin::Decoded,
+        }
+    }
+
+    fn report_with(entries: Vec<TraceEntry>) -> JPortalReport {
+        JPortalReport {
+            threads: vec![ThreadReport {
+                thread: ThreadId(0),
+                entries,
+                holes: vec![],
+                projection: Default::default(),
+                recovery: Default::default(),
+                segments: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn statement_counts() {
+        let r = report_with(vec![
+            entry(0, 0, OpKind::Iconst, 0),
+            entry(0, 1, OpKind::Pop, 10),
+            entry(0, 0, OpKind::Iconst, 20),
+        ]);
+        let p = StatementProfile::from_report(&r);
+        assert_eq!(p.count(MethodId(0), Bci(0)), 2);
+        assert_eq!(p.count(MethodId(0), Bci(1)), 1);
+        assert_eq!(p.coverage_size(), 2);
+        assert!(p.covered().contains(&(MethodId(0), Bci(1))));
+    }
+
+    #[test]
+    fn hot_methods_use_time_attribution() {
+        let r = report_with(vec![
+            entry(1, 0, OpKind::Iconst, 0),
+            entry(1, 1, OpKind::Pop, 100),  // method 1 owns 100 cycles
+            entry(2, 0, OpKind::Iconst, 110), // method 1 owns 10 more
+            entry(2, 1, OpKind::Pop, 120),  // method 2 owns 10
+        ]);
+        let p = HotMethodProfile::from_report(&r);
+        assert_eq!(p.hottest(2), vec![MethodId(1), MethodId(2)]);
+        assert_eq!(p.cycles_of(MethodId(1)), 110);
+    }
+
+    #[test]
+    fn edges_and_calls() {
+        let r = report_with(vec![
+            entry(0, 3, OpKind::InvokeStatic, 0),
+            entry(1, 0, OpKind::Iconst, 5),
+            entry(1, 1, OpKind::Ireturn, 10),
+            entry(0, 4, OpKind::Pop, 15),
+        ]);
+        let e = EdgeProfile::from_report(&r);
+        assert_eq!(e.distinct_edges(), 3);
+        assert_eq!(
+            e.count((MethodId(0), Bci(3)), (MethodId(1), Bci(0))),
+            1
+        );
+        let calls = call_pairs(&r);
+        assert_eq!(calls.get(&(MethodId(0), MethodId(1))), Some(&1));
+        let cov = method_coverage(&r);
+        assert_eq!(cov.len(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Control-flow reconstruction (§4): projecting decoded segments onto the
+//! ICFG.
+//!
+//! Each decoded segment is a string over the bytecode alphabet; the ICFG
+//! is an NFA (Definition 4.1). Projection finds a path through the NFA
+//! that spells the segment. Three refinements over the plain formulation:
+//!
+//! * JIT-decoded events carry exact `(method, bci)` locations, which pin
+//!   the corresponding NFA state (the matching is *constrained*, not
+//!   free);
+//! * candidate start states are pre-filtered by the **abstract NFA**
+//!   (Algorithm 2 / Theorem 4.4) when enabled;
+//! * a mismatch does not abort: the longest matched prefix is emitted and
+//!   matching restarts at the failing symbol — "a new subsequence starts"
+//!   (§4, Challenges) — so dynamic transfers absent from the static ICFG
+//!   degrade gracefully.
+
+use jportal_bytecode::Program;
+use jportal_cfg::abs::AbstractNfa;
+use jportal_cfg::{Icfg, Nfa, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::decode::BcEvent;
+
+/// Projection tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectionConfig {
+    /// Use the abstraction-guided start filter (Algorithm 2). Disabling
+    /// falls back to trying all candidate starts concretely (Algorithm 1's
+    /// search space).
+    pub use_abstraction: bool,
+    /// Only run the abstract filter when at least this many candidate
+    /// start states exist (tiny candidate sets are cheaper to try
+    /// concretely).
+    pub abstraction_threshold: usize,
+    /// Cap on how many symbols of the pending run the abstract filter
+    /// inspects (long runs reject quickly anyway).
+    pub abstraction_lookahead: usize,
+}
+
+impl Default for ProjectionConfig {
+    fn default() -> ProjectionConfig {
+        ProjectionConfig {
+            use_abstraction: true,
+            abstraction_threshold: 4,
+            abstraction_lookahead: 64,
+        }
+    }
+}
+
+/// Statistics from projecting one segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectionStats {
+    /// Events that received an ICFG node.
+    pub matched: usize,
+    /// Events left unmatched.
+    pub unmatched: usize,
+    /// Number of restarts (subsequence boundaries hit).
+    pub restarts: usize,
+    /// Candidate start states examined.
+    pub candidates_tried: usize,
+    /// Candidates rejected by the abstract filter.
+    pub candidates_pruned: usize,
+}
+
+/// Projects a decoded segment onto the ICFG.
+///
+/// Returns one `Option<NodeId>` per event (in order) plus statistics.
+/// `None` entries are events that could not be placed (no candidate
+/// state, or isolated mismatches).
+pub fn project_segment(
+    program: &Program,
+    icfg: &Icfg,
+    anfa: &AbstractNfa<'_>,
+    events: &[BcEvent],
+    cfg: &ProjectionConfig,
+) -> (Vec<Option<NodeId>>, ProjectionStats) {
+    let nfa = Nfa::new(program, icfg);
+    let mut out: Vec<Option<NodeId>> = vec![None; events.len()];
+    let mut stats = ProjectionStats::default();
+
+    let constraint = |e: &BcEvent| -> Option<NodeId> {
+        match (e.method, e.bci) {
+            (Some(m), Some(b)) => Some(icfg.node(m, b)),
+            _ => None,
+        }
+    };
+
+    let mut i = 0usize;
+    while i < events.len() {
+        // Build the start layer for position i.
+        let sym0 = events[i].sym;
+        let starts: Vec<NodeId> = match constraint(&events[i]) {
+            Some(n) => vec![n],
+            None => {
+                let candidates = nfa.start_candidates(sym0);
+                stats.candidates_tried += candidates.len();
+                if cfg.use_abstraction && candidates.len() >= cfg.abstraction_threshold {
+                    let lookahead_end =
+                        (i + cfg.abstraction_lookahead).min(events.len());
+                    let window: Vec<jportal_cfg::Sym> =
+                        events[i..lookahead_end].iter().map(|e| e.sym).collect();
+                    let abs = jportal_cfg::tier::abstract_seq(
+                        &window,
+                        jportal_cfg::Tier::Control,
+                    );
+                    let survivors: Vec<NodeId> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&n| anfa.abstract_accepts_from(n, sym0, &abs))
+                        .collect();
+                    stats.candidates_pruned += candidates.len() - survivors.len();
+                    survivors
+                } else {
+                    candidates.to_vec()
+                }
+            }
+        };
+        if starts.is_empty() {
+            // Unplaceable event; skip it.
+            stats.unmatched += 1;
+            i += 1;
+            stats.restarts += 1;
+            continue;
+        }
+
+        // Layered simulation with constraints, keeping the longest prefix.
+        let mut layers: Vec<Vec<(NodeId, usize)>> = Vec::new();
+        layers.push(starts.iter().map(|&n| (n, usize::MAX)).collect());
+        let mut j = i + 1;
+        while j < events.len() {
+            let prev_sym = events[j - 1].sym;
+            let sym = events[j].sym;
+            let want = constraint(&events[j]);
+            let prev_layer = layers.last().expect("non-empty");
+            let mut next: Vec<(NodeId, usize)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (pi, &(state, _)) in prev_layer.iter().enumerate() {
+                for succ in nfa.step(state, prev_sym, sym) {
+                    if let Some(w) = want {
+                        if succ != w {
+                            continue;
+                        }
+                    }
+                    if seen.insert(succ) {
+                        next.push((succ, pi));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            layers.push(next);
+            j += 1;
+        }
+
+        // Extract a witness for [i, j).
+        let matched_len = layers.len();
+        let mut idx = 0usize;
+        for back in (0..matched_len).rev() {
+            let (node, parent) = layers[back][idx];
+            out[i + back] = Some(node);
+            idx = if parent == usize::MAX { 0 } else { parent };
+        }
+        stats.matched += matched_len;
+        if j < events.len() {
+            stats.restarts += 1;
+        }
+        i = j.max(i + 1);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{Bci, CmpKind, Instruction as I, MethodId, OpKind};
+    use jportal_cfg::Sym;
+
+    fn paper_fun() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Test", None, 0);
+        let mut m = pb.method(c, "fun", 2, true);
+        let else_ = m.label();
+        let join = m.label();
+        let odd = m.label();
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Eq, else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(1));
+        m.emit(I::Iadd);
+        m.emit(I::Istore(1));
+        m.jump(join);
+        m.bind(else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Isub);
+        m.emit(I::Istore(1));
+        m.bind(join);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Irem);
+        m.branch_if(CmpKind::Ne, odd);
+        m.emit(I::Iconst(1));
+        m.emit(I::Ireturn);
+        m.bind(odd);
+        m.emit(I::Iconst(0));
+        m.emit(I::Ireturn);
+        let fun = m.finish();
+        let mut main = pb.method(c, "main", 0, false);
+        main.emit(I::Iconst(0));
+        main.emit(I::Iconst(7));
+        main.emit(I::InvokeStatic(fun));
+        main.emit(I::Pop);
+        main.emit(I::Return);
+        let main = main.finish();
+        (pb.finish_with_entry(main).unwrap(), fun)
+    }
+
+    fn ev(op: OpKind, dir: Option<bool>) -> BcEvent {
+        BcEvent {
+            sym: match dir {
+                Some(t) => Sym::branch(op, t),
+                None => Sym::plain(op),
+            },
+            method: None,
+            bci: None,
+            ts: 0,
+        }
+    }
+
+    fn ev_known(program: &Program, m: MethodId, bci: u32) -> BcEvent {
+        let insn = program.method(m).insn(Bci(bci));
+        BcEvent {
+            sym: Sym::of_instruction(insn),
+            method: Some(m),
+            bci: Some(Bci(bci)),
+            ts: 0,
+        }
+    }
+
+    #[test]
+    fn projects_an_unambiguous_interpreted_run() {
+        let (p, fun) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        let events = vec![
+            ev(OpKind::Iload, None),
+            ev(OpKind::Ifeq, Some(true)),
+            ev(OpKind::Iload, None),
+            ev(OpKind::Iconst, None),
+            ev(OpKind::Isub, None),
+            ev(OpKind::Istore, None),
+        ];
+        let (nodes, stats) =
+            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        assert_eq!(stats.unmatched, 0);
+        let bcis: Vec<u32> = nodes
+            .iter()
+            .map(|n| icfg.bci_of(n.unwrap()).0)
+            .collect();
+        assert_eq!(bcis, vec![0, 1, 7, 8, 9, 10]);
+        assert!(nodes.iter().all(|n| icfg.method_of(n.unwrap()) == fun));
+    }
+
+    #[test]
+    fn constraints_pin_jit_events() {
+        let (p, fun) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        // Interp prefix, then JIT-decoded events with known locations.
+        let events = vec![
+            ev(OpKind::Iload, None),
+            ev_known(&p, fun, 12),
+            ev_known(&p, fun, 13),
+        ];
+        let (nodes, stats) =
+            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        assert_eq!(stats.unmatched, 0);
+        // The free iload must resolve to bci 11 (the only iload whose
+        // successor is bci 12).
+        assert_eq!(icfg.bci_of(nodes[0].unwrap()), Bci(11));
+        assert_eq!(icfg.bci_of(nodes[1].unwrap()), Bci(12));
+    }
+
+    #[test]
+    fn mismatch_restarts_rather_than_fails() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        // irem → iadd never happens contiguously; the projector must
+        // split into two matched runs.
+        let events = vec![
+            ev(OpKind::Iload, None),
+            ev(OpKind::Iconst, None),
+            ev(OpKind::Irem, None),
+            ev(OpKind::Iadd, None),
+            ev(OpKind::Istore, None),
+        ];
+        let (nodes, stats) =
+            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        assert!(stats.restarts >= 1);
+        assert!(nodes[0].is_some() && nodes[2].is_some());
+        assert!(nodes[3].is_some() && nodes[4].is_some());
+        assert_eq!(icfg.bci_of(nodes[3].unwrap()), Bci(4));
+    }
+
+    #[test]
+    fn abstraction_and_plain_projection_agree() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        let events = vec![
+            ev(OpKind::Iload, None),
+            ev(OpKind::Iconst, None),
+            ev(OpKind::Irem, None),
+            ev(OpKind::Ifne, Some(false)),
+            ev(OpKind::Iconst, None),
+            ev(OpKind::Ireturn, None),
+        ];
+        let with = project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let without = project_segment(
+            &p,
+            &icfg,
+            &anfa,
+            &events,
+            &ProjectionConfig {
+                use_abstraction: false,
+                ..ProjectionConfig::default()
+            },
+        );
+        assert_eq!(with.0, without.0, "same projection either way");
+        assert!(with.1.candidates_pruned > 0, "abstraction pruned something");
+    }
+
+    #[test]
+    fn unknown_ops_are_skipped_gracefully() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        // `goto` exists in fun; `athrow` does not exist anywhere.
+        let events = vec![ev(OpKind::Athrow, None), ev(OpKind::Iload, None)];
+        let (nodes, stats) =
+            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        assert!(nodes[0].is_none());
+        assert!(nodes[1].is_some());
+        assert_eq!(stats.unmatched, 1);
+    }
+
+    #[test]
+    fn directions_disambiguate_projection() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        let taken = vec![
+            ev(OpKind::Irem, None),
+            ev(OpKind::Ifne, Some(true)),
+            ev(OpKind::Iconst, None),
+        ];
+        let not_taken = vec![
+            ev(OpKind::Irem, None),
+            ev(OpKind::Ifne, Some(false)),
+            ev(OpKind::Iconst, None),
+        ];
+        let (a, _) = project_segment(&p, &icfg, &anfa, &taken, &ProjectionConfig::default());
+        let (b, _) = project_segment(&p, &icfg, &anfa, &not_taken, &ProjectionConfig::default());
+        assert_eq!(icfg.bci_of(a[2].unwrap()), Bci(17));
+        assert_eq!(icfg.bci_of(b[2].unwrap()), Bci(15));
+    }
+
+    use jportal_bytecode::Program;
+}

@@ -1,0 +1,150 @@
+//! The big end-to-end property: **any** runnable program traced without
+//! loss reconstructs its control flow exactly, through both execution
+//! modes — the invariant the entire system hangs on.
+
+use proptest::prelude::*;
+
+use jportal_bytecode::builder::ProgramBuilder;
+use jportal_bytecode::{CmpKind, Instruction as I, Program};
+use jportal_core::JPortal;
+use jportal_ipt::ThreadId;
+use jportal_jvm::runtime::{Jvm, JvmConfig};
+
+/// A random two-method program: `main` loops calling `f(i)` whose body
+/// has a random branchy shape. Always terminates and verifies.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        1i64..30,                                   // loop iterations
+        prop::collection::vec(any::<u8>(), 1..6),   // f's block script
+    )
+        .prop_map(|(iters, script)| {
+            let mut pb = ProgramBuilder::new();
+            let c = pb.add_class("P", None, 0);
+            let mut f = pb.method(c, "f", 1, true);
+            let exit = f.label();
+            let labels: Vec<_> = (0..script.len()).map(|_| f.label()).collect();
+            for (bi, &b) in script.iter().enumerate() {
+                f.bind(labels[bi]);
+                match b % 4 {
+                    0 => {
+                        f.emit(I::Iload(0));
+                        f.emit(I::Iconst(1 + i64::from(b % 5)));
+                        f.emit(I::Iadd);
+                        f.emit(I::Istore(0));
+                    }
+                    1 => {
+                        f.emit(I::Iload(0));
+                        f.emit(I::Iconst(2));
+                        f.emit(I::Irem);
+                        // Branch forward only.
+                        let t = labels.get(bi + 1 + (b as usize % 2)).copied().unwrap_or(exit);
+                        f.branch_if(CmpKind::Eq, t);
+                    }
+                    2 => {
+                        f.emit(I::Iload(0));
+                        f.emit(I::Ineg);
+                        f.emit(I::Istore(0));
+                    }
+                    _ => {
+                        let t = labels.get(bi + 2).copied().unwrap_or(exit);
+                        f.jump(t);
+                    }
+                }
+            }
+            f.bind(exit);
+            f.emit(I::Iload(0));
+            f.emit(I::Ireturn);
+            let fid = f.finish();
+
+            let mut m = pb.method(c, "main", 0, false);
+            m.reserve_locals(2);
+            let head = m.label();
+            let done = m.label();
+            m.emit(I::Iconst(iters));
+            m.emit(I::Istore(1));
+            m.bind(head);
+            m.emit(I::Iload(1));
+            m.branch_if(CmpKind::Le, done);
+            m.emit(I::Iload(1));
+            m.emit(I::InvokeStatic(fid));
+            m.emit(I::Pop);
+            m.emit(I::Iinc(1, -1));
+            m.jump(head);
+            m.bind(done);
+            m.emit(I::Return);
+            let main = m.finish();
+            pb.finish_with_entry(main).expect("generated program verifies")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lossless tracing + full pipeline == ground truth, exactly, for
+    /// arbitrary programs — interpreted-only configuration.
+    #[test]
+    fn interpreted_reconstruction_is_exact(program in arb_program()) {
+        let r = Jvm::new(JvmConfig {
+            c1_threshold: u64::MAX,
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        })
+        .run(&program);
+        prop_assert!(r.thread_errors.is_empty());
+        let report = JPortal::new(&program).analyze(r.traces.as_ref().unwrap(), &r.archive);
+        let truth = r.truth.trace(ThreadId(0));
+        let entries = &report.threads[0].entries;
+        prop_assert_eq!(entries.len(), truth.len());
+        for (e, t) in entries.iter().zip(truth) {
+            prop_assert_eq!(e.method, Some(t.method));
+            prop_assert_eq!(e.bci, Some(t.bci));
+        }
+    }
+
+    /// Same invariant with aggressive tiered compilation: mode switches,
+    /// JIT metadata and inline decoding must not cost a single event.
+    #[test]
+    fn tiered_reconstruction_is_exact(program in arb_program()) {
+        let r = Jvm::new(JvmConfig {
+            c1_threshold: 2,
+            c2_threshold: 5,
+            ..JvmConfig::default()
+        })
+        .run(&program);
+        prop_assert!(r.thread_errors.is_empty());
+        let report = JPortal::new(&program).analyze(r.traces.as_ref().unwrap(), &r.archive);
+        let truth = r.truth.trace(ThreadId(0));
+        let entries = &report.threads[0].entries;
+        prop_assert_eq!(entries.len(), truth.len());
+        for (e, t) in entries.iter().zip(truth) {
+            prop_assert_eq!(e.method, Some(t.method));
+            prop_assert_eq!(e.bci, Some(t.bci));
+        }
+    }
+
+    /// Under arbitrary buffer pressure the pipeline never fabricates
+    /// timestamps out of range and provenance counts stay consistent.
+    #[test]
+    fn lossy_pipeline_invariants(program in arb_program(), buffer in 96usize..2048) {
+        let r = Jvm::new(JvmConfig {
+            pt_buffer_capacity: buffer,
+            drain_bytes_per_kilocycle: 15,
+            c1_threshold: u64::MAX,
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        })
+        .run(&program);
+        let report = JPortal::new(&program).analyze(r.traces.as_ref().unwrap(), &r.archive);
+        let (d, rec, w) = report.provenance_counts();
+        prop_assert_eq!(d + rec + w, report.total_entries());
+        for t in &report.threads {
+            for e in &t.entries {
+                prop_assert!(e.ts <= r.wall_cycles);
+                if let (Some(m), Some(b)) = (e.method, e.bci) {
+                    // Location is a real instruction of the right kind.
+                    prop_assert_eq!(program.method(m).insn(b).op_kind(), e.op);
+                }
+            }
+        }
+    }
+}

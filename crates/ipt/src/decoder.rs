@@ -1,0 +1,334 @@
+//! Packet-level trace decoding.
+//!
+//! Parses an exported byte stream back into packets, resolving last-IP
+//! compression and attaching the most recent timestamp to every packet;
+//! [`segment_stream`] then splits the packet sequence at the recorded loss
+//! points, yielding the segmented trace JPortal's reconstruction works on
+//! (each hole is a `⋄` of Definition 5.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::lastip::LastIp;
+use crate::packet::{decode_one, Packet};
+use crate::ring::LossRecord;
+
+/// A decoded packet with its stream offset and the prevailing timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedPacket {
+    /// The packet (IP-bearing packets carry fully reconstructed IPs).
+    pub packet: Packet,
+    /// Byte offset in the exported stream.
+    pub offset: u64,
+    /// Timestamp of the last TSC packet seen before this one (0 before
+    /// any TSC).
+    pub ts: u64,
+}
+
+/// Decodes a whole exported stream into timed packets.
+///
+/// Unknown or truncated bytes are skipped one at a time (decoder resync);
+/// well-formed streams produced by [`crate::PtEncoder`] never need this.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_ipt::{decode_packets, EncoderConfig, HwEvent, PtEncoder};
+///
+/// let mut enc = PtEncoder::new(EncoderConfig::default());
+/// enc.event(HwEvent::Indirect { at: 0x10, target: 0x7fa41901e9a0 });
+/// let trace = enc.finish();
+/// let packets = decode_packets(&trace.bytes);
+/// assert!(packets.iter().any(|p| p.packet.ip() == Some(0x7fa41901e9a0)));
+/// ```
+pub fn decode_packets(bytes: &[u8]) -> Vec<TimedPacket> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut last_ip = LastIp::new();
+    let mut ts = 0u64;
+    while pos < bytes.len() {
+        match decode_one(bytes, pos) {
+            Some((packet, consumed)) => {
+                let resolved = resolve(packet, &mut last_ip, &mut ts);
+                if let Some(p) = resolved {
+                    out.push(TimedPacket {
+                        packet: p,
+                        offset: pos as u64,
+                        ts,
+                    });
+                }
+                pos += consumed;
+            }
+            None => {
+                pos += 1; // resync byte-by-byte
+            }
+        }
+    }
+    out
+}
+
+fn resolve(packet: Packet, last_ip: &mut LastIp, ts: &mut u64) -> Option<Packet> {
+    match packet {
+        Packet::Psb | Packet::Ovf => {
+            last_ip.reset();
+            Some(packet)
+        }
+        Packet::Tsc { tsc } => {
+            *ts = tsc;
+            Some(packet)
+        }
+        Packet::Tip { compression, ip } => last_ip
+            .decode(compression, ip)
+            .map(|ip| Packet::Tip { compression, ip }),
+        Packet::TipPge { compression, ip } => last_ip
+            .decode(compression, ip)
+            .map(|ip| Packet::TipPge { compression, ip }),
+        Packet::TipPgd { compression, ip } => last_ip
+            .decode(compression, ip)
+            .map(|ip| Packet::TipPgd { compression, ip }),
+        Packet::Fup { compression, ip } => last_ip
+            .decode(compression, ip)
+            .map(|ip| Packet::Fup { compression, ip }),
+        Packet::Pad => None,
+        other => Some(other),
+    }
+}
+
+/// One maximal packet run between data-loss points.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawSegment {
+    /// The packets of the segment, in order.
+    pub packets: Vec<TimedPacket>,
+    /// The loss record that precedes this segment (`None` for the first
+    /// segment when the stream starts cleanly).
+    pub loss_before: Option<LossRecord>,
+}
+
+impl RawSegment {
+    /// Timestamp of the segment's first packet (0 if empty).
+    pub fn start_ts(&self) -> u64 {
+        self.packets.first().map(|p| p.ts).unwrap_or(0)
+    }
+
+    /// Timestamp of the segment's last packet (0 if empty).
+    pub fn end_ts(&self) -> u64 {
+        self.packets.last().map(|p| p.ts).unwrap_or(0)
+    }
+}
+
+/// Splits decoded packets into segments at the loss offsets.
+///
+/// Loss records must be in stream order (the [`crate::RingBuffer`]
+/// produces them that way).
+pub fn segment_stream(packets: Vec<TimedPacket>, losses: &[LossRecord]) -> Vec<RawSegment> {
+    let mut segments = Vec::with_capacity(losses.len() + 1);
+    let mut current = Vec::new();
+    let mut loss_iter = losses.iter().peekable();
+    let mut pending_loss: Option<LossRecord> = None;
+
+    for p in packets {
+        while let Some(&&loss) = loss_iter.peek() {
+            if loss.stream_offset <= p.offset {
+                loss_iter.next();
+                segments.push(RawSegment {
+                    packets: std::mem::take(&mut current),
+                    loss_before: pending_loss.take(),
+                });
+                pending_loss = Some(loss);
+            } else {
+                break;
+            }
+        }
+        current.push(p);
+    }
+    // Trailing losses (e.g. loss at the very end of the stream).
+    for &loss in loss_iter {
+        segments.push(RawSegment {
+            packets: std::mem::take(&mut current),
+            loss_before: pending_loss.take(),
+        });
+        pending_loss = Some(loss);
+    }
+    segments.push(RawSegment {
+        packets: current,
+        loss_before: pending_loss,
+    });
+    // Drop leading empty no-loss segment artifacts.
+    segments.retain(|s| !s.packets.is_empty() || s.loss_before.is_some());
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, HwEvent, PtEncoder};
+    use crate::packet::IpCompression;
+
+    #[test]
+    fn round_trips_an_encoded_stream() {
+        let mut enc = PtEncoder::new(EncoderConfig {
+            buffer_capacity: 1 << 20,
+            filter: None,
+            tsc_period: 100,
+            psb_period: 1 << 30,
+        });
+        let targets = [0x7fa4_1901_e9a0u64, 0x7fa4_1902_3ba0, 0x7fa4_1901_ea40];
+        for (i, &t) in targets.iter().enumerate() {
+            enc.set_time(i as u64 * 150);
+            enc.event(HwEvent::Indirect { at: 0x1000, target: t });
+        }
+        let trace = enc.finish();
+        let tips: Vec<u64> = decode_packets(&trace.bytes)
+            .iter()
+            .filter_map(|p| match p.packet {
+                Packet::Tip { ip, .. } => Some(ip),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tips, targets);
+    }
+
+    #[test]
+    fn timestamps_attach_to_following_packets() {
+        let mut enc = PtEncoder::new(EncoderConfig {
+            buffer_capacity: 1 << 20,
+            filter: None,
+            tsc_period: 10,
+            psb_period: 1 << 30,
+        });
+        enc.set_time(1000);
+        enc.event(HwEvent::Indirect {
+            at: 0x10,
+            target: 0x20,
+        });
+        let trace = enc.finish();
+        let packets = decode_packets(&trace.bytes);
+        let tip = packets
+            .iter()
+            .find(|p| matches!(p.packet, Packet::Tip { .. }))
+            .unwrap();
+        assert_eq!(tip.ts, 1000);
+    }
+
+    #[test]
+    fn segmentation_splits_at_loss_offsets() {
+        // Build a stream with an artificial loss between two packets.
+        let mut bytes = Vec::new();
+        Packet::Tip {
+            compression: IpCompression::Full,
+            ip: 0x1000,
+        }
+        .encode(&mut bytes);
+        let cut = bytes.len() as u64;
+        Packet::Tip {
+            compression: IpCompression::Full,
+            ip: 0x2000,
+        }
+        .encode(&mut bytes);
+        let losses = [LossRecord {
+            stream_offset: cut,
+            first_ts: 5,
+            last_ts: 9,
+            lost_bytes: 100,
+            lost_packets: 10,
+        }];
+        let packets = decode_packets(&bytes);
+        assert_eq!(packets.len(), 2);
+        let segments = segment_stream(packets, &losses);
+        assert_eq!(segments.len(), 2);
+        assert!(segments[0].loss_before.is_none());
+        assert_eq!(segments[0].packets.len(), 1);
+        let loss = segments[1].loss_before.expect("loss recorded");
+        assert_eq!(loss.first_ts, 5);
+        assert_eq!(segments[1].packets.len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_overflow_yields_segments() {
+        let mut enc = PtEncoder::new(EncoderConfig {
+            buffer_capacity: 48,
+            filter: None,
+            tsc_period: 1 << 40,
+            psb_period: 1 << 30,
+        });
+        // Phase 1: fits.
+        for i in 0..4u64 {
+            enc.set_time(i);
+            enc.event(HwEvent::Indirect {
+                at: 0x1000,
+                target: 0x2000 + i * 0x100,
+            });
+        }
+        // Phase 2: overflow (no drain).
+        for i in 0..40u64 {
+            enc.set_time(100 + i);
+            enc.event(HwEvent::Indirect {
+                at: 0x1000,
+                target: 0x4000 + i * 0x100,
+            });
+        }
+        // Phase 3: drain, then more events.
+        enc.drain(1 << 20);
+        for i in 0..4u64 {
+            enc.set_time(500 + i);
+            enc.event(HwEvent::Indirect {
+                at: 0x1000,
+                target: 0x8000 + i * 0x100,
+            });
+        }
+        let trace = enc.finish();
+        assert!(!trace.losses.is_empty());
+        let packets = decode_packets(&trace.bytes);
+        let segments = segment_stream(packets, &trace.losses);
+        assert!(segments.len() >= 2);
+        let with_loss = segments.iter().filter(|s| s.loss_before.is_some()).count();
+        assert!(with_loss >= 1);
+        // All decoded TIP IPs must be exact (no desync after loss).
+        for s in &segments {
+            for p in &s.packets {
+                if let Packet::Tip { ip, .. } = p.packet {
+                    assert!(
+                        (0x2000..0x2400).contains(&ip)
+                            || (0x4000..0x6900).contains(&ip)
+                            || (0x8000..0x8400).contains(&ip),
+                        "resolved IP {ip:#x} is not one that was encoded"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_timestamps() {
+        let seg = RawSegment {
+            packets: vec![
+                TimedPacket {
+                    packet: Packet::Ovf,
+                    offset: 0,
+                    ts: 11,
+                },
+                TimedPacket {
+                    packet: Packet::Ovf,
+                    offset: 2,
+                    ts: 42,
+                },
+            ],
+            loss_before: None,
+        };
+        assert_eq!(seg.start_ts(), 11);
+        assert_eq!(seg.end_ts(), 42);
+    }
+
+    #[test]
+    fn garbage_bytes_are_skipped() {
+        let mut bytes = vec![0xFF, 0xFF, 0x07];
+        Packet::Tip {
+            compression: IpCompression::Full,
+            ip: 0xABCD,
+        }
+        .encode(&mut bytes);
+        let packets = decode_packets(&bytes);
+        assert!(packets
+            .iter()
+            .any(|p| matches!(p.packet, Packet::Tip { ip, .. } if ip == 0xABCD)));
+    }
+}

@@ -1,0 +1,601 @@
+//! The PT hardware encoder.
+//!
+//! Consumes machine-level control-flow events from the simulated CPU and
+//! produces the packet byte stream: TNT bits are accumulated six to a byte,
+//! indirect-branch targets become TIP packets under last-IP compression,
+//! timestamps are inserted at a configurable cadence, PSB synchronization
+//! sequences appear every `psb_period` bytes, and instruction-pointer
+//! filtering suppresses packets for code outside the configured range
+//! (JPortal filters to the JVM code cache, §6).
+//!
+//! All packets flow through the bounded [`RingBuffer`]; when it overflows,
+//! whole packets are dropped and, on recovery, an OVF packet plus a fresh
+//! TSC and a full (uncompressed) next IP resynchronize the decoder —
+//! exactly the loss phenomenology JPortal's offline component must repair.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lastip::LastIp;
+use crate::packet::Packet;
+use crate::ring::{LossRecord, RingBuffer};
+
+/// A machine-level control-flow event observed by the tracing hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HwEvent {
+    /// A conditional branch at `at` resolved as taken / not taken.
+    Cond {
+        /// IP of the branch instruction.
+        at: u64,
+        /// Whether it was taken.
+        taken: bool,
+    },
+    /// An indirect transfer (indirect jump/call, `ret`) to `target`.
+    Indirect {
+        /// IP of the branching instruction.
+        at: u64,
+        /// Destination IP.
+        target: u64,
+    },
+    /// An asynchronous event (interrupt, exception): FUP with the source,
+    /// then TIP with the handler target.
+    Async {
+        /// IP at which the event interrupted execution.
+        from: u64,
+        /// Handler entry IP.
+        to: u64,
+    },
+    /// Tracing explicitly enabled at an IP (TIP.PGE).
+    Enable {
+        /// Start IP.
+        ip: u64,
+    },
+    /// Tracing explicitly disabled at an IP (TIP.PGD).
+    Disable {
+        /// Stop IP.
+        ip: u64,
+    },
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Ring-buffer capacity in bytes (the paper sweeps 64/128/256 MB;
+    /// the simulation uses proportionally scaled values).
+    pub buffer_capacity: usize,
+    /// Only events whose IPs fall inside `[start, end)` generate packets.
+    pub filter: Option<(u64, u64)>,
+    /// Emit a TSC packet when at least this much simulated time passed
+    /// since the last one.
+    pub tsc_period: u64,
+    /// Emit a PSB synchronization sequence every this many buffer bytes.
+    pub psb_period: usize,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> EncoderConfig {
+        EncoderConfig {
+            buffer_capacity: 64 * 1024,
+            filter: None,
+            tsc_period: 256,
+            psb_period: 4096,
+        }
+    }
+}
+
+/// The per-core PT encoder.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_ipt::{EncoderConfig, HwEvent, PtEncoder};
+///
+/// let mut enc = PtEncoder::new(EncoderConfig::default());
+/// enc.set_time(100);
+/// enc.event(HwEvent::Enable { ip: 0x1000 });
+/// enc.event(HwEvent::Cond { at: 0x1004, taken: true });
+/// enc.event(HwEvent::Indirect { at: 0x1010, target: 0x2000 });
+/// let trace = enc.finish();
+/// assert!(!trace.bytes.is_empty());
+/// assert!(trace.losses.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PtEncoder {
+    cfg: EncoderConfig,
+    ring: RingBuffer,
+    last_ip: LastIp,
+    tnt: Vec<bool>,
+    now: u64,
+    last_tsc: Option<u64>,
+    bytes_since_psb: usize,
+    events_seen: u64,
+    events_traced: u64,
+}
+
+/// The finished per-core trace: exported bytes plus loss records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PtTrace {
+    /// The exported packet byte stream.
+    pub bytes: Vec<u8>,
+    /// Loss records in stream order.
+    pub losses: Vec<LossRecord>,
+}
+
+impl PtEncoder {
+    /// Creates an encoder with the given configuration.
+    pub fn new(cfg: EncoderConfig) -> PtEncoder {
+        PtEncoder {
+            ring: RingBuffer::new(cfg.buffer_capacity),
+            cfg,
+            last_ip: LastIp::new(),
+            tnt: Vec::new(),
+            now: 0,
+            last_tsc: None,
+            bytes_since_psb: 0,
+            events_seen: 0,
+            events_traced: 0,
+        }
+    }
+
+    /// Advances the encoder's notion of time (cycles).
+    pub fn set_time(&mut self, ts: u64) {
+        self.now = ts;
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The exporter: drain up to `n` buffered bytes to the trace file.
+    pub fn drain(&mut self, n: usize) -> usize {
+        self.ring.drain(n)
+    }
+
+    /// Total events offered / events that generated packets (filter and
+    /// enable-state effects).
+    pub fn event_stats(&self) -> (u64, u64) {
+        (self.events_seen, self.events_traced)
+    }
+
+    /// Fraction of produced bytes dropped so far.
+    pub fn loss_fraction(&self) -> f64 {
+        self.ring.loss_fraction()
+    }
+
+    fn in_filter(&self, ip: u64) -> bool {
+        match self.cfg.filter {
+            None => true,
+            Some((lo, hi)) => ip >= lo && ip < hi,
+        }
+    }
+
+    /// Feeds one hardware event.
+    pub fn event(&mut self, ev: HwEvent) {
+        self.events_seen += 1;
+        match ev {
+            HwEvent::Cond { at, taken } => {
+                if !self.in_filter(at) {
+                    return;
+                }
+                self.events_traced += 1;
+                self.tnt.push(taken);
+                if self.tnt.len() == 6 {
+                    self.flush_tnt();
+                }
+            }
+            HwEvent::Indirect { at, target } => {
+                let src_in = self.in_filter(at);
+                let dst_in = self.in_filter(target);
+                match (src_in, dst_in) {
+                    (true, true) => {
+                        self.events_traced += 1;
+                        self.flush_tnt();
+                        self.emit_ip(target, IpPacketKind::Tip);
+                    }
+                    (true, false) => {
+                        // Leaving the filter region: TIP.PGD.
+                        self.events_traced += 1;
+                        self.flush_tnt();
+                        self.emit_ip(target, IpPacketKind::Pgd);
+                    }
+                    (false, true) => {
+                        // Entering the filter region: TIP.PGE.
+                        self.events_traced += 1;
+                        self.emit_ip(target, IpPacketKind::Pge);
+                    }
+                    (false, false) => {}
+                }
+            }
+            HwEvent::Async { from, to } => {
+                if self.in_filter(from) || self.in_filter(to) {
+                    self.events_traced += 1;
+                    self.flush_tnt();
+                    self.emit_ip(from, IpPacketKind::Fup);
+                    self.emit_ip(to, IpPacketKind::Tip);
+                }
+            }
+            HwEvent::Enable { ip } => {
+                self.events_traced += 1;
+                self.emit_ip(ip, IpPacketKind::Pge);
+            }
+            HwEvent::Disable { ip } => {
+                self.events_traced += 1;
+                self.flush_tnt();
+                self.emit_ip(ip, IpPacketKind::Pgd);
+            }
+        }
+    }
+
+    /// Flushes pending TNT bits as a packet.
+    pub fn flush_tnt(&mut self) {
+        if self.tnt.is_empty() {
+            return;
+        }
+        let bits = std::mem::take(&mut self.tnt);
+        let p = Packet::Tnt { bits };
+        self.write_packet(&p, false);
+    }
+
+    fn emit_ip(&mut self, ip: u64, kind: IpPacketKind) {
+        self.maybe_tsc();
+        // Choose compression against a scratch copy.
+        let mut scratch = self.last_ip;
+        let (compression, _raw) = scratch.compress(ip);
+        let p = match kind {
+            IpPacketKind::Tip => Packet::Tip { compression, ip },
+            IpPacketKind::Pge => Packet::TipPge { compression, ip },
+            IpPacketKind::Pgd => Packet::TipPgd { compression, ip },
+            IpPacketKind::Fup => Packet::Fup { compression, ip },
+        };
+        // Commit *before* writing: if this very write crosses the PSB
+        // threshold, the PSB lands after the packet in the stream and its
+        // reset must win over the commit (committing afterwards would
+        // clobber the reset and permanently desync the decoder). On a
+        // dropped packet `write_packet` leaves the state untouched, so
+        // rolling back restores the pre-packet state exactly; the
+        // loss-recovery path manages the state itself and returns true.
+        let saved = self.last_ip;
+        self.last_ip = scratch;
+        if !self.write_packet(&p, true) {
+            self.last_ip = saved;
+        }
+    }
+
+    fn maybe_tsc(&mut self) {
+        let due = match self.last_tsc {
+            None => true,
+            Some(t) => self.now.saturating_sub(t) >= self.cfg.tsc_period,
+        };
+        if due {
+            let p = Packet::Tsc { tsc: self.now };
+            if self.write_packet(&p, false) {
+                self.last_tsc = Some(self.now);
+            }
+        }
+    }
+
+    /// Writes a packet, handling loss recovery and periodic PSB.
+    /// Returns `true` if the packet made it into the buffer.
+    ///
+    /// `ip_bearing` controls whether the raw bytes must be re-encoded when
+    /// a loss span forces a full IP; callers handle that by committing the
+    /// compression state only on success, and the OVF recovery path resets
+    /// the state so the *next* IP packet is full.
+    fn write_packet(&mut self, p: &Packet, ip_bearing: bool) -> bool {
+        if self.ring.in_loss() {
+            // Try to close the loss span: OVF + TSC must fit together with
+            // the packet (re-encoded with a full IP if IP-bearing). TSC
+            // packets need no re-send — the recovery TSC replaces them.
+            let ovf = encode(&Packet::Ovf);
+            let tsc = encode(&Packet::Tsc { tsc: self.now });
+            let is_tsc = matches!(p, Packet::Tsc { .. });
+            let full_packet = if is_tsc {
+                Vec::new()
+            } else if ip_bearing {
+                encode(&force_full_ip(p))
+            } else {
+                encode(p)
+            };
+            let need = ovf.len() + tsc.len() + full_packet.len();
+            if !self.ring.would_fit(need) {
+                // Still in loss: record the drop without touching the
+                // buffer (partial packets mid-loss would be undecodable).
+                self.ring.drop_packet(p.encoded_len(), self.now);
+                return false;
+            }
+            self.ring.write(&ovf, self.now);
+            self.ring.write(&tsc, self.now);
+            self.last_tsc = Some(self.now);
+            self.last_ip.reset();
+            if !full_packet.is_empty() {
+                let ok = self.ring.write(&full_packet, self.now);
+                debug_assert!(ok);
+            }
+            if ip_bearing {
+                // Commit the full IP into the compression state.
+                if let Some(ip) = p.ip() {
+                    let _ = self.last_ip.compress(ip);
+                }
+            }
+            self.bytes_since_psb += need;
+            return true;
+        }
+
+        let bytes = encode(p);
+        if !self.ring.write(&bytes, self.now) {
+            return false;
+        }
+        self.bytes_since_psb += bytes.len();
+        if self.bytes_since_psb >= self.cfg.psb_period {
+            self.bytes_since_psb = 0;
+            let psb = encode(&Packet::Psb);
+            let tsc = encode(&Packet::Tsc { tsc: self.now });
+            let end = encode(&Packet::PsbEnd);
+            if self.ring.would_fit(psb.len() + tsc.len() + end.len()) {
+                self.ring.write(&psb, self.now);
+                self.ring.write(&tsc, self.now);
+                self.ring.write(&end, self.now);
+                self.last_tsc = Some(self.now);
+                self.last_ip.reset();
+            }
+        }
+        true
+    }
+
+    /// Flushes pending state and returns the finished trace.
+    pub fn finish(mut self) -> PtTrace {
+        self.flush_tnt();
+        self.ring.flush();
+        PtTrace {
+            bytes: self.ring.exported().to_vec(),
+            losses: self.ring.loss_records().to_vec(),
+        }
+    }
+
+    /// Bytes produced so far (written + pending), for rate diagnostics.
+    pub fn total_written(&self) -> u64 {
+        self.ring.total_written()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum IpPacketKind {
+    Tip,
+    Pge,
+    Pgd,
+    Fup,
+}
+
+fn encode(p: &Packet) -> Vec<u8> {
+    let mut v = Vec::with_capacity(p.encoded_len());
+    p.encode(&mut v);
+    v
+}
+
+fn force_full_ip(p: &Packet) -> Packet {
+    use crate::packet::IpCompression::Full;
+    match *p {
+        Packet::Tip { ip, .. } => Packet::Tip {
+            compression: Full,
+            ip,
+        },
+        Packet::TipPge { ip, .. } => Packet::TipPge {
+            compression: Full,
+            ip,
+        },
+        Packet::TipPgd { ip, .. } => Packet::TipPgd {
+            compression: Full,
+            ip,
+        },
+        Packet::Fup { ip, .. } => Packet::Fup {
+            compression: Full,
+            ip,
+        },
+        ref other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::decode_packets;
+
+    fn unlimited() -> EncoderConfig {
+        EncoderConfig {
+            buffer_capacity: 1 << 20,
+            filter: None,
+            tsc_period: 1 << 40,
+            psb_period: 1 << 30,
+        }
+    }
+
+    #[test]
+    fn tnt_bits_pack_six_per_byte() {
+        let mut enc = PtEncoder::new(unlimited());
+        enc.event(HwEvent::Enable { ip: 0x1000 });
+        for i in 0..12 {
+            enc.event(HwEvent::Cond {
+                at: 0x1000,
+                taken: i % 2 == 0,
+            });
+        }
+        let trace = enc.finish();
+        let packets = decode_packets(&trace.bytes);
+        let tnts: Vec<_> = packets
+            .iter()
+            .filter_map(|p| match &p.packet {
+                Packet::Tnt { bits } => Some(bits.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tnts, vec![6, 6]);
+    }
+
+    #[test]
+    fn filter_suppresses_outside_events() {
+        let mut cfg = unlimited();
+        cfg.filter = Some((0x1000, 0x2000));
+        let mut enc = PtEncoder::new(cfg);
+        enc.event(HwEvent::Cond {
+            at: 0x5000,
+            taken: true,
+        }); // outside: ignored
+        enc.event(HwEvent::Indirect {
+            at: 0x5000,
+            target: 0x1000,
+        }); // entering: PGE
+        enc.event(HwEvent::Cond {
+            at: 0x1004,
+            taken: false,
+        });
+        enc.event(HwEvent::Indirect {
+            at: 0x1010,
+            target: 0x5000,
+        }); // leaving: PGD
+        let (seen, traced) = enc.event_stats();
+        assert_eq!(seen, 4);
+        assert_eq!(traced, 3);
+        let trace = enc.finish();
+        let packets = decode_packets(&trace.bytes);
+        let kinds: Vec<&'static str> = packets
+            .iter()
+            .filter_map(|p| match &p.packet {
+                Packet::TipPge { .. } => Some("PGE"),
+                Packet::TipPgd { .. } => Some("PGD"),
+                Packet::Tnt { .. } => Some("TNT"),
+                Packet::Tip { .. } => Some("TIP"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["PGE", "TNT", "PGD"]);
+    }
+
+    #[test]
+    fn tsc_cadence() {
+        let mut cfg = unlimited();
+        cfg.tsc_period = 100;
+        let mut enc = PtEncoder::new(cfg);
+        enc.set_time(0);
+        enc.event(HwEvent::Indirect {
+            at: 0x10,
+            target: 0x20,
+        });
+        enc.set_time(50);
+        enc.event(HwEvent::Indirect {
+            at: 0x20,
+            target: 0x30,
+        }); // too soon for another TSC
+        enc.set_time(150);
+        enc.event(HwEvent::Indirect {
+            at: 0x30,
+            target: 0x40,
+        }); // TSC due
+        let trace = enc.finish();
+        let tscs: Vec<u64> = decode_packets(&trace.bytes)
+            .iter()
+            .filter_map(|p| match p.packet {
+                Packet::Tsc { tsc } => Some(tsc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tscs, vec![0, 150]);
+    }
+
+    #[test]
+    fn overflow_emits_ovf_and_resyncs() {
+        let cfg = EncoderConfig {
+            buffer_capacity: 32,
+            filter: None,
+            tsc_period: 1 << 40,
+            psb_period: 1 << 30,
+        };
+        let mut enc = PtEncoder::new(cfg);
+        enc.set_time(1);
+        // Fill the buffer without draining.
+        for i in 0..20u64 {
+            enc.set_time(1 + i);
+            enc.event(HwEvent::Indirect {
+                at: 0x1000 + i * 0x10,
+                target: 0x2000 + i * 0x10,
+            });
+        }
+        // Drain and send one more event: should close the loss with OVF.
+        enc.drain(1 << 20);
+        enc.set_time(100);
+        enc.event(HwEvent::Indirect {
+            at: 0x9000,
+            target: 0xA000,
+        });
+        let trace = enc.finish();
+        assert_eq!(trace.losses.len(), 1);
+        let packets = decode_packets(&trace.bytes);
+        let has_ovf = packets.iter().any(|p| p.packet == Packet::Ovf);
+        assert!(has_ovf, "OVF packet must mark the recovery point");
+        // The packet following OVF+TSC must carry a full IP.
+        let idx = packets
+            .iter()
+            .position(|p| p.packet == Packet::Ovf)
+            .unwrap();
+        match &packets[idx + 2].packet {
+            Packet::Tip { compression, ip } => {
+                assert_eq!(*compression, crate::packet::IpCompression::Full);
+                assert_eq!(*ip, 0xA000);
+            }
+            other => panic!("expected full TIP after OVF, got {other}"),
+        }
+    }
+
+    #[test]
+    fn psb_cadence_and_lastip_reset() {
+        let mut cfg = unlimited();
+        cfg.psb_period = 64;
+        let mut enc = PtEncoder::new(cfg);
+        for i in 0..40u64 {
+            enc.event(HwEvent::Indirect {
+                at: 0x1000,
+                target: 0x2000 + i * 0x10,
+            });
+        }
+        let trace = enc.finish();
+        let packets = decode_packets(&trace.bytes);
+        let psbs = packets
+            .iter()
+            .filter(|p| p.packet == Packet::Psb)
+            .count();
+        assert!(psbs >= 2, "expected periodic PSBs, got {psbs}");
+        // Immediately after each PSB(+TSC+PSBEND), the next TIP is full.
+        for (i, p) in packets.iter().enumerate() {
+            if p.packet == Packet::Psb {
+                let next_tip = packets[i + 1..]
+                    .iter()
+                    .find_map(|q| match &q.packet {
+                        Packet::Tip { compression, .. } => Some(*compression),
+                        _ => None,
+                    });
+                if let Some(c) = next_tip {
+                    assert_eq!(c, crate::packet::IpCompression::Full);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_event_is_fup_then_tip() {
+        let mut enc = PtEncoder::new(unlimited());
+        enc.event(HwEvent::Async {
+            from: 0x1111,
+            to: 0x2222,
+        });
+        let trace = enc.finish();
+        let packets = decode_packets(&trace.bytes);
+        let kinds: Vec<&'static str> = packets
+            .iter()
+            .filter_map(|p| match &p.packet {
+                Packet::Fup { .. } => Some("FUP"),
+                Packet::Tip { .. } => Some("TIP"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["FUP", "TIP"]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Last-IP compression (Intel SDM: "IP Compression").
+//!
+//! PT compresses target addresses in IP-bearing packets against the last
+//! IP it emitted: if the upper bytes match, only the changed low bytes are
+//! transmitted. Encoder and decoder keep a symmetric [`LastIp`] state;
+//! PSB and overflow events reset it, forcing the next packet to carry a
+//! full IP.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::IpCompression;
+
+/// The last-IP state machine, shared in shape by encoder and decoder.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_ipt::lastip::LastIp;
+/// use jportal_ipt::IpCompression;
+///
+/// let mut enc = LastIp::new();
+/// let mut dec = LastIp::new();
+/// let (c1, raw1) = enc.compress(0x7fa4_1901_e9a0);
+/// assert_eq!(c1, IpCompression::Full);
+/// assert_eq!(dec.decode(c1, raw1), Some(0x7fa4_1901_e9a0));
+/// // Same upper 48 bits: only 16 low bits travel.
+/// let (c2, raw2) = enc.compress(0x7fa4_1901_ffff);
+/// assert_eq!(c2, IpCompression::Update16);
+/// assert_eq!(dec.decode(c2, raw2), Some(0x7fa4_1901_ffff));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LastIp {
+    last: Option<u64>,
+}
+
+impl LastIp {
+    /// Fresh state (next IP will be sent in full).
+    pub fn new() -> LastIp {
+        LastIp::default()
+    }
+
+    /// Resets the state (on PSB or overflow).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+
+    /// Chooses a compression mode for `ip` given the last emitted IP, and
+    /// returns the raw payload to put on the wire. Updates the state.
+    pub fn compress(&mut self, ip: u64) -> (IpCompression, u64) {
+        let mode = match self.last {
+            None => IpCompression::Full,
+            Some(last) => {
+                if last >> 16 == ip >> 16 {
+                    IpCompression::Update16
+                } else if last >> 32 == ip >> 32 {
+                    IpCompression::Update32
+                } else if last >> 48 == ip >> 48 {
+                    IpCompression::Update48
+                } else {
+                    IpCompression::Full
+                }
+            }
+        };
+        self.last = Some(ip);
+        let raw = match mode {
+            IpCompression::Suppressed => 0,
+            IpCompression::Update16 => ip & 0xFFFF,
+            IpCompression::Update32 => ip & 0xFFFF_FFFF,
+            IpCompression::Update48 => ip & 0xFFFF_FFFF_FFFF,
+            IpCompression::Full => ip,
+        };
+        (mode, raw)
+    }
+
+    /// Reconstructs the IP from a raw payload and compression mode.
+    /// Updates the state. Returns `None` when a partial update arrives
+    /// with no last IP to extend (decoder out of sync).
+    pub fn decode(&mut self, mode: IpCompression, raw: u64) -> Option<u64> {
+        let ip = match mode {
+            IpCompression::Suppressed => return None,
+            IpCompression::Full => raw,
+            IpCompression::Update16 => (self.last? & !0xFFFF) | (raw & 0xFFFF),
+            IpCompression::Update32 => (self.last? & !0xFFFF_FFFF) | (raw & 0xFFFF_FFFF),
+            IpCompression::Update48 => {
+                (self.last? & !0xFFFF_FFFF_FFFF) | (raw & 0xFFFF_FFFF_FFFF)
+            }
+        };
+        self.last = Some(ip);
+        Some(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_ip_is_full() {
+        let mut s = LastIp::new();
+        let (mode, raw) = s.compress(0xDEAD_BEEF);
+        assert_eq!(mode, IpCompression::Full);
+        assert_eq!(raw, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn nearby_ips_compress_to_16() {
+        let mut s = LastIp::new();
+        s.compress(0x7fa4_1901_e9a0);
+        let (mode, raw) = s.compress(0x7fa4_1901_c880);
+        assert_eq!(mode, IpCompression::Update16);
+        assert_eq!(raw, 0xc880);
+    }
+
+    #[test]
+    fn distant_ips_use_wider_updates() {
+        let mut s = LastIp::new();
+        s.compress(0x7fa4_1901_e9a0);
+        let (mode, _) = s.compress(0x7fa4_2222_e9a0);
+        assert_eq!(mode, IpCompression::Update32);
+        let (mode, _) = s.compress(0x7fa9_2222_e9a0);
+        assert_eq!(mode, IpCompression::Update48);
+        let (mode, _) = s.compress(0x1234_2222_e9a0_0000);
+        assert_eq!(mode, IpCompression::Full);
+    }
+
+    #[test]
+    fn reset_forces_full() {
+        let mut s = LastIp::new();
+        s.compress(0x1000);
+        s.reset();
+        let (mode, _) = s.compress(0x1008);
+        assert_eq!(mode, IpCompression::Full);
+    }
+
+    #[test]
+    fn decoder_tracks_encoder_through_sequences() {
+        let mut enc = LastIp::new();
+        let mut dec = LastIp::new();
+        let ips = [
+            0x7fa4_1901_e9a0u64,
+            0x7fa4_1902_3ba0,
+            0x7fa4_1901_ea40,
+            0x7fa4_1901_c9c0,
+            0x7001_0000_0000,
+            0x7001_0000_0040,
+        ];
+        for &ip in &ips {
+            let (mode, raw) = enc.compress(ip);
+            assert_eq!(dec.decode(mode, raw), Some(ip));
+        }
+    }
+
+    #[test]
+    fn partial_update_without_context_fails() {
+        let mut dec = LastIp::new();
+        assert_eq!(dec.decode(IpCompression::Update16, 0xAAAA), None);
+        assert_eq!(dec.decode(IpCompression::Suppressed, 0), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! Simulated Intel Processor Trace.
+//!
+//! This crate stands in for the PT hardware and the perf kernel interface
+//! used by JPortal's online component (paper §2, §6). It is byte-accurate
+//! at the packet level: TNT packets pack up to six branches per byte with a
+//! stop bit, TIP/FUP/TIP.PGE/TIP.PGD packets use last-IP compression with
+//! the real compression codes, TSC packets carry 7-byte timestamps and PSB
+//! packets provide synchronization points — so the decoder genuinely has to
+//! fight the same compression and segmentation the paper's decoder does.
+//!
+//! The pieces:
+//!
+//! * [`packet`] — packet types and their byte-level codec,
+//! * [`lastip`] — the last-IP compression state machine,
+//! * [`encoder`] — the "hardware": consumes [`HwEvent`]s from the simulated
+//!   CPU, applies instruction-pointer filtering (§6 "Filtering Out
+//!   Irrelevant Data") and writes packets into a bounded ring buffer,
+//! * [`ring`] — the per-core ring buffer with a finite-rate exporter;
+//!   overflow drops packets and records `perf_record_aux`-style loss
+//!   records with timestamps (the source of the paper's missing-data
+//!   problem, §5),
+//! * [`sideband`] — perf-style sideband records (loss, thread switches),
+//! * [`decoder`] — bytes → packets, segmented at loss marks,
+//! * [`session`] — a multi-core tracing session (one encoder per core).
+
+pub mod decoder;
+pub mod encoder;
+pub mod lastip;
+pub mod packet;
+pub mod ring;
+pub mod session;
+pub mod sideband;
+
+pub use decoder::{decode_packets, segment_stream, RawSegment, TimedPacket};
+pub use encoder::{EncoderConfig, HwEvent, PtEncoder};
+pub use packet::{IpCompression, Packet};
+pub use ring::{LossRecord, RingBuffer};
+pub use session::{CollectedTraces, CoreId, PtSession};
+pub use sideband::{SidebandRecord, ThreadId};

@@ -1,0 +1,481 @@
+//! PT packet types and their byte-level codec.
+//!
+//! Encodings follow the Intel SDM (Vol. 3, ch. 35) formats used by the
+//! paper: short/long TNT, TIP/TIP.PGE/TIP.PGD/FUP with last-IP compression
+//! codes in the three high header bits, 7-byte TSC, 16-byte PSB, PSBEND,
+//! OVF and PAD.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// IP compression mode of an IP-bearing packet (TIP/FUP/PGE/PGD).
+///
+/// The code occupies the three high bits of the header byte and tells the
+/// decoder how many payload bytes follow and how to combine them with the
+/// last decoded IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum IpCompression {
+    /// IP suppressed; no payload bytes.
+    Suppressed = 0,
+    /// Low 16 bits updated; 2 payload bytes.
+    Update16 = 1,
+    /// Low 32 bits updated; 4 payload bytes.
+    Update32 = 2,
+    /// Low 48 bits updated; 6 payload bytes.
+    Update48 = 4,
+    /// Full 64-bit IP; 8 payload bytes.
+    Full = 6,
+}
+
+impl IpCompression {
+    /// Number of payload bytes for this mode.
+    pub fn payload_len(self) -> usize {
+        match self {
+            IpCompression::Suppressed => 0,
+            IpCompression::Update16 => 2,
+            IpCompression::Update32 => 4,
+            IpCompression::Update48 => 6,
+            IpCompression::Full => 8,
+        }
+    }
+
+    /// Decodes the mode from the three high header bits.
+    pub fn from_code(code: u8) -> Option<IpCompression> {
+        match code {
+            0 => Some(IpCompression::Suppressed),
+            1 => Some(IpCompression::Update16),
+            2 => Some(IpCompression::Update32),
+            4 => Some(IpCompression::Update48),
+            6 => Some(IpCompression::Full),
+            _ => None,
+        }
+    }
+}
+
+/// A PT trace packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Packet {
+    /// Padding byte (0x00).
+    Pad,
+    /// Packet stream boundary: decoder synchronization point.
+    Psb,
+    /// End of PSB+ header sequence.
+    PsbEnd,
+    /// Taken/not-taken bits for up to 47 conditional branches
+    /// (first branch = oldest bit). Short form holds ≤ 6.
+    Tnt {
+        /// Branch outcomes, oldest first.
+        bits: Vec<bool>,
+    },
+    /// Target IP of an indirect branch.
+    Tip {
+        /// Compression mode used on the wire.
+        compression: IpCompression,
+        /// The (already reconstructed) target IP.
+        ip: u64,
+    },
+    /// Packet generation enabled (tracing resumes) at IP.
+    TipPge {
+        /// Compression mode used on the wire.
+        compression: IpCompression,
+        /// Resume IP.
+        ip: u64,
+    },
+    /// Packet generation disabled (tracing pauses) at IP.
+    TipPgd {
+        /// Compression mode used on the wire.
+        compression: IpCompression,
+        /// Pause IP.
+        ip: u64,
+    },
+    /// Flow update: source IP of an asynchronous event.
+    Fup {
+        /// Compression mode used on the wire.
+        compression: IpCompression,
+        /// Source IP of the event.
+        ip: u64,
+    },
+    /// Time-stamp counter (low 56 bits).
+    Tsc {
+        /// Timestamp value.
+        tsc: u64,
+    },
+    /// Internal buffer overflow: packets were dropped by the hardware.
+    Ovf,
+}
+
+impl Packet {
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Packet::Pad => 1,
+            Packet::Psb => 16,
+            Packet::PsbEnd => 2,
+            Packet::Tnt { bits } => {
+                if bits.len() <= 6 {
+                    1
+                } else {
+                    2 + 6
+                }
+            }
+            Packet::Tip { compression, .. }
+            | Packet::TipPge { compression, .. }
+            | Packet::TipPgd { compression, .. }
+            | Packet::Fup { compression, .. } => 1 + compression.payload_len(),
+            Packet::Tsc { .. } => 8,
+            Packet::Ovf => 2,
+        }
+    }
+
+    /// Appends the wire encoding of this packet to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a TNT packet carries zero or more than 47 bits.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Packet::Pad => out.push(0x00),
+            Packet::Psb => {
+                for _ in 0..8 {
+                    out.extend_from_slice(&[0x02, 0x82]);
+                }
+            }
+            Packet::PsbEnd => out.extend_from_slice(&[0x02, 0x23]),
+            Packet::Ovf => out.extend_from_slice(&[0x02, 0xF3]),
+            Packet::Tnt { bits } => {
+                assert!(!bits.is_empty(), "empty TNT");
+                if bits.len() <= 6 {
+                    // Short TNT: header bit0 = 0; bits packed from bit 1,
+                    // oldest branch in the highest payload position, stop
+                    // bit just above the payload.
+                    let n = bits.len();
+                    let mut byte: u8 = 1 << (n + 1); // stop bit
+                    for (i, &b) in bits.iter().enumerate() {
+                        if b {
+                            byte |= 1 << (n - i);
+                        }
+                    }
+                    out.push(byte);
+                } else {
+                    assert!(bits.len() <= 47, "TNT over 47 bits");
+                    // Long TNT: 0x02 0xA3 + 6 payload bytes.
+                    out.extend_from_slice(&[0x02, 0xA3]);
+                    let n = bits.len();
+                    let mut payload: u64 = 1 << n; // stop bit
+                    for (i, &b) in bits.iter().enumerate() {
+                        if b {
+                            payload |= 1 << (n - 1 - i);
+                        }
+                    }
+                    out.extend_from_slice(&payload.to_le_bytes()[..6]);
+                }
+            }
+            Packet::Tip { compression, ip } => encode_ip_packet(out, 0x0D, *compression, *ip),
+            Packet::TipPge { compression, ip } => encode_ip_packet(out, 0x11, *compression, *ip),
+            Packet::TipPgd { compression, ip } => encode_ip_packet(out, 0x01, *compression, *ip),
+            Packet::Fup { compression, ip } => encode_ip_packet(out, 0x1D, *compression, *ip),
+            Packet::Tsc { tsc } => {
+                out.push(0x19);
+                out.extend_from_slice(&tsc.to_le_bytes()[..7]);
+            }
+        }
+    }
+
+    /// Convenience: the IP carried by an IP-bearing packet.
+    pub fn ip(&self) -> Option<u64> {
+        match self {
+            Packet::Tip { ip, .. }
+            | Packet::TipPge { ip, .. }
+            | Packet::TipPgd { ip, .. }
+            | Packet::Fup { ip, .. } => Some(*ip),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Pad => write!(f, "PAD"),
+            Packet::Psb => write!(f, "PSB"),
+            Packet::PsbEnd => write!(f, "PSBEND"),
+            Packet::Tnt { bits } => {
+                write!(f, "TNT(")?;
+                for &b in bits {
+                    write!(f, "{}", u8::from(b))?;
+                }
+                write!(f, ")")
+            }
+            Packet::Tip { ip, .. } => write!(f, "TIP({ip:#018x})"),
+            Packet::TipPge { ip, .. } => write!(f, "TIP.PGE({ip:#018x})"),
+            Packet::TipPgd { ip, .. } => write!(f, "TIP.PGD({ip:#018x})"),
+            Packet::Fup { ip, .. } => write!(f, "FUP({ip:#018x})"),
+            Packet::Tsc { tsc } => write!(f, "TSC({tsc})"),
+            Packet::Ovf => write!(f, "OVF"),
+        }
+    }
+}
+
+fn encode_ip_packet(out: &mut Vec<u8>, low5: u8, compression: IpCompression, ip: u64) {
+    let header = low5 | ((compression as u8) << 5);
+    out.push(header);
+    let bytes = ip.to_le_bytes();
+    out.extend_from_slice(&bytes[..compression.payload_len().min(8)]);
+}
+
+/// Decodes one packet at `bytes[pos..]`, returning the packet, the payload
+/// IP bits still compressed (resolved by the caller's last-IP state for
+/// IP-bearing packets), and the bytes consumed.
+///
+/// Returns `None` on truncated or unrecognized input.
+///
+/// IP-bearing packets come back with the *raw* payload in `ip`; callers
+/// must pass them through [`crate::lastip::LastIp::decode`].
+pub fn decode_one(bytes: &[u8], pos: usize) -> Option<(Packet, usize)> {
+    let b0 = *bytes.get(pos)?;
+    match b0 {
+        0x00 => Some((Packet::Pad, 1)),
+        0x02 => {
+            let b1 = *bytes.get(pos + 1)?;
+            match b1 {
+                0x82 => {
+                    // PSB is 8 × [0x02, 0x82].
+                    for i in 0..8 {
+                        if bytes.get(pos + 2 * i) != Some(&0x02)
+                            || bytes.get(pos + 2 * i + 1) != Some(&0x82)
+                        {
+                            return None;
+                        }
+                    }
+                    Some((Packet::Psb, 16))
+                }
+                0x23 => Some((Packet::PsbEnd, 2)),
+                0xF3 => Some((Packet::Ovf, 2)),
+                0xA3 => {
+                    // Long TNT.
+                    if bytes.len() < pos + 8 {
+                        return None;
+                    }
+                    let mut payload = [0u8; 8];
+                    payload[..6].copy_from_slice(&bytes[pos + 2..pos + 8]);
+                    let v = u64::from_le_bytes(payload);
+                    if v == 0 {
+                        return None;
+                    }
+                    let stop = 63 - v.leading_zeros() as usize;
+                    let mut bits = Vec::with_capacity(stop);
+                    for i in 0..stop {
+                        bits.push(v & (1 << (stop - 1 - i)) != 0);
+                    }
+                    Some((Packet::Tnt { bits }, 8))
+                }
+                _ => None,
+            }
+        }
+        0x19 => {
+            if bytes.len() < pos + 8 {
+                return None;
+            }
+            let mut payload = [0u8; 8];
+            payload[..7].copy_from_slice(&bytes[pos + 1..pos + 8]);
+            Some((
+                Packet::Tsc {
+                    tsc: u64::from_le_bytes(payload),
+                },
+                8,
+            ))
+        }
+        b if b & 1 == 0 => {
+            // Short TNT: even header byte that is not PAD/0x02/TSC.
+            if b == 0 {
+                return None;
+            }
+            let stop = 7 - b.leading_zeros() as usize;
+            if stop == 0 {
+                return None;
+            }
+            let n = stop - 1;
+            let mut bits = Vec::with_capacity(n);
+            for i in 0..n {
+                bits.push(b & (1 << (n - i)) != 0);
+            }
+            Some((Packet::Tnt { bits }, 1))
+        }
+        b => {
+            // IP-bearing packets: low 5 bits select the type.
+            let low5 = b & 0x1F;
+            let code = (b >> 5) & 0x7;
+            let compression = IpCompression::from_code(code)?;
+            let plen = compression.payload_len();
+            if bytes.len() < pos + 1 + plen {
+                return None;
+            }
+            let mut raw = [0u8; 8];
+            raw[..plen].copy_from_slice(&bytes[pos + 1..pos + 1 + plen]);
+            let raw_ip = u64::from_le_bytes(raw);
+            let make = |ctor: fn(IpCompression, u64) -> Packet| {
+                Some((ctor(compression, raw_ip), 1 + plen))
+            };
+            match low5 {
+                0x0D => make(|c, ip| Packet::Tip {
+                    compression: c,
+                    ip,
+                }),
+                0x11 => make(|c, ip| Packet::TipPge {
+                    compression: c,
+                    ip,
+                }),
+                0x01 => make(|c, ip| Packet::TipPgd {
+                    compression: c,
+                    ip,
+                }),
+                0x1D => make(|c, ip| Packet::Fup {
+                    compression: c,
+                    ip,
+                }),
+                _ => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(p: &Packet) -> Packet {
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len(), p.encoded_len(), "encoded_len mismatch for {p}");
+        let (q, consumed) = decode_one(&buf, 0).expect("decodes");
+        assert_eq!(consumed, buf.len());
+        q
+    }
+
+    #[test]
+    fn pad_psb_ovf_round_trip() {
+        assert_eq!(round_trip(&Packet::Pad), Packet::Pad);
+        assert_eq!(round_trip(&Packet::Psb), Packet::Psb);
+        assert_eq!(round_trip(&Packet::PsbEnd), Packet::PsbEnd);
+        assert_eq!(round_trip(&Packet::Ovf), Packet::Ovf);
+    }
+
+    #[test]
+    fn short_tnt_round_trip() {
+        for n in 1..=6usize {
+            for pattern in 0..(1u8 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+                let p = Packet::Tnt { bits: bits.clone() };
+                assert_eq!(round_trip(&p), p, "n={n} pattern={pattern:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_tnt_round_trip() {
+        for n in [7usize, 13, 32, 47] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let p = Packet::Tnt { bits: bits.clone() };
+            assert_eq!(round_trip(&p), p, "n={n}");
+        }
+    }
+
+    #[test]
+    fn paper_example_tnt_single_bit() {
+        // Figure 2(d): TNT(0) — one not-taken bit is a single byte.
+        let p = Packet::Tnt { bits: vec![false] };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0], 0b0000_0100); // stop at bit 2, payload bit 1 = 0
+    }
+
+    #[test]
+    fn tsc_round_trip_56_bits() {
+        let p = Packet::Tsc {
+            tsc: 0x00AB_CDEF_0123_4567,
+        };
+        assert_eq!(round_trip(&p), p);
+    }
+
+    #[test]
+    fn ip_packets_carry_raw_payload() {
+        // Full IPs round-trip exactly even without last-IP context.
+        for ctor in [
+            |ip| Packet::Tip {
+                compression: IpCompression::Full,
+                ip,
+            },
+            |ip| Packet::TipPge {
+                compression: IpCompression::Full,
+                ip,
+            },
+            |ip| Packet::TipPgd {
+                compression: IpCompression::Full,
+                ip,
+            },
+            |ip| Packet::Fup {
+                compression: IpCompression::Full,
+                ip,
+            },
+        ] {
+            let p = ctor(0x7fa4_1901_e9a0);
+            assert_eq!(round_trip(&p), p);
+        }
+    }
+
+    #[test]
+    fn update16_payload_is_two_bytes() {
+        let p = Packet::Tip {
+            compression: IpCompression::Update16,
+            ip: 0xBEEF,
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len(), 3);
+        let (q, _) = decode_one(&buf, 0).unwrap();
+        match q {
+            Packet::Tip { compression, ip } => {
+                assert_eq!(compression, IpCompression::Update16);
+                assert_eq!(ip, 0xBEEF); // raw payload; caller resolves
+            }
+            other => panic!("expected TIP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let p = Packet::Tsc { tsc: 42 };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        buf.pop();
+        assert!(decode_one(&buf, 0).is_none());
+        assert!(decode_one(&[], 0).is_none());
+        assert!(decode_one(&[0x02], 0).is_none());
+    }
+
+    #[test]
+    fn display_forms_match_paper_notation() {
+        let tip = Packet::Tip {
+            compression: IpCompression::Full,
+            ip: 0x7fa41901e9a0,
+        };
+        assert_eq!(tip.to_string(), "TIP(0x00007fa41901e9a0)");
+        let tnt = Packet::Tnt {
+            bits: vec![false, true, true, false],
+        };
+        assert_eq!(tnt.to_string(), "TNT(0110)");
+    }
+
+    #[test]
+    fn compression_payload_lengths() {
+        assert_eq!(IpCompression::Suppressed.payload_len(), 0);
+        assert_eq!(IpCompression::Update16.payload_len(), 2);
+        assert_eq!(IpCompression::Update32.payload_len(), 4);
+        assert_eq!(IpCompression::Update48.payload_len(), 6);
+        assert_eq!(IpCompression::Full.payload_len(), 8);
+        assert_eq!(IpCompression::from_code(3), None);
+        assert_eq!(IpCompression::from_code(7), None);
+    }
+}

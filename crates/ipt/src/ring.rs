@@ -1,0 +1,248 @@
+//! The per-core trace ring buffer and its exporter.
+//!
+//! Packets go directly into a bounded buffer (PT writes to physical memory,
+//! bypassing caches); a software exporter drains it at a finite rate. When
+//! packets arrive faster than the exporter drains — the paper measures PT
+//! producing "hundreds of megabytes per CPU per second, faster than data
+//! can be exported" — the buffer fills and whole packets are dropped.
+//! Every dropped span becomes a [`LossRecord`] with the timestamps of the
+//! first and last lost packets, mirroring `perf_record_aux` events with
+//! the truncated flag that JPortal uses to localize data loss (§4).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A contiguous span of lost trace data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossRecord {
+    /// Offset in the *exported* byte stream at which the hole sits.
+    pub stream_offset: u64,
+    /// Timestamp of the first lost packet.
+    pub first_ts: u64,
+    /// Timestamp of the last lost packet.
+    pub last_ts: u64,
+    /// Bytes that were dropped.
+    pub lost_bytes: u64,
+    /// Packets that were dropped.
+    pub lost_packets: u64,
+}
+
+/// Bounded buffer with an exported output stream.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_ipt::RingBuffer;
+///
+/// let mut rb = RingBuffer::new(4);
+/// assert!(rb.write(&[1, 2, 3], 100));
+/// assert!(!rb.write(&[4, 5], 101)); // would overflow: dropped
+/// rb.flush();
+/// assert_eq!(rb.exported(), &[1, 2, 3]);
+/// assert_eq!(rb.loss_records().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RingBuffer {
+    capacity: usize,
+    queue: VecDeque<u8>,
+    exported: Vec<u8>,
+    losses: Vec<LossRecord>,
+    /// Open loss span, if currently dropping.
+    open_loss: Option<LossRecord>,
+    total_written: u64,
+    total_lost_bytes: u64,
+}
+
+impl RingBuffer {
+    /// Creates a buffer holding at most `capacity` bytes awaiting export.
+    pub fn new(capacity: usize) -> RingBuffer {
+        RingBuffer {
+            capacity,
+            ..RingBuffer::default()
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently waiting to be exported.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if the last write was dropped and the loss span is still
+    /// open.
+    pub fn in_loss(&self) -> bool {
+        self.open_loss.is_some()
+    }
+
+    /// Writes one whole packet. Returns `false` (and records loss) if the
+    /// buffer cannot take it — packets are never split.
+    pub fn write(&mut self, packet_bytes: &[u8], ts: u64) -> bool {
+        if self.queue.len() + packet_bytes.len() > self.capacity {
+            let loss = self.open_loss.get_or_insert(LossRecord {
+                stream_offset: self.total_written,
+                first_ts: ts,
+                last_ts: ts,
+                lost_bytes: 0,
+                lost_packets: 0,
+            });
+            loss.last_ts = ts;
+            loss.lost_bytes += packet_bytes.len() as u64;
+            loss.lost_packets += 1;
+            self.total_lost_bytes += packet_bytes.len() as u64;
+            return false;
+        }
+        if let Some(loss) = self.open_loss.take() {
+            self.losses.push(loss);
+        }
+        self.queue.extend(packet_bytes.iter().copied());
+        self.total_written += packet_bytes.len() as u64;
+        true
+    }
+
+    /// Checks whether `len` more bytes would fit right now.
+    pub fn would_fit(&self, len: usize) -> bool {
+        self.queue.len() + len <= self.capacity
+    }
+
+    /// Records a packet as dropped without attempting to write it.
+    ///
+    /// The encoder uses this while a loss span is open and the recovery
+    /// protocol (OVF + TSC + resync packet) does not fit yet: letting a
+    /// small packet slip into the buffer mid-loss would put undecodable
+    /// bytes on the wire.
+    pub fn drop_packet(&mut self, len: usize, ts: u64) {
+        let loss = self.open_loss.get_or_insert(LossRecord {
+            stream_offset: self.total_written,
+            first_ts: ts,
+            last_ts: ts,
+            lost_bytes: 0,
+            lost_packets: 0,
+        });
+        loss.last_ts = ts;
+        loss.lost_bytes += len as u64;
+        loss.lost_packets += 1;
+        self.total_lost_bytes += len as u64;
+    }
+
+    /// Exporter: moves up to `n` bytes from the buffer to the exported
+    /// stream. Returns the number of bytes moved.
+    pub fn drain(&mut self, n: usize) -> usize {
+        let take = n.min(self.queue.len());
+        for _ in 0..take {
+            let b = self.queue.pop_front().expect("len checked");
+            self.exported.push(b);
+        }
+        take
+    }
+
+    /// Flushes everything left in the buffer (end of run).
+    pub fn flush(&mut self) {
+        let rest = self.queue.len();
+        self.drain(rest);
+        if let Some(loss) = self.open_loss.take() {
+            self.losses.push(loss);
+        }
+    }
+
+    /// The exported byte stream (the "trace file").
+    pub fn exported(&self) -> &[u8] {
+        &self.exported
+    }
+
+    /// Loss records in stream order (closed spans only until
+    /// [`RingBuffer::flush`]).
+    pub fn loss_records(&self) -> &[LossRecord] {
+        &self.losses
+    }
+
+    /// Total bytes successfully written (exported + still pending).
+    pub fn total_written(&self) -> u64 {
+        self.total_written
+    }
+
+    /// Total bytes dropped.
+    pub fn total_lost_bytes(&self) -> u64 {
+        self.total_lost_bytes
+    }
+
+    /// Fraction of produced bytes that were lost, in `[0, 1]`.
+    pub fn loss_fraction(&self) -> f64 {
+        let produced = self.total_written + self.total_lost_bytes;
+        if produced == 0 {
+            0.0
+        } else {
+            self.total_lost_bytes as f64 / produced as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_when_drained_fast_enough() {
+        let mut rb = RingBuffer::new(8);
+        for i in 0..100u64 {
+            assert!(rb.write(&[i as u8; 4], i));
+            rb.drain(4);
+        }
+        rb.flush();
+        assert_eq!(rb.exported().len(), 400);
+        assert!(rb.loss_records().is_empty());
+        assert_eq!(rb.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overflow_opens_and_closes_loss_spans() {
+        let mut rb = RingBuffer::new(4);
+        assert!(rb.write(&[1, 2, 3, 4], 10));
+        assert!(!rb.write(&[5, 6], 11));
+        assert!(!rb.write(&[7], 12));
+        assert!(rb.in_loss());
+        rb.drain(4);
+        assert!(rb.write(&[8], 13)); // closes the span
+        assert!(!rb.in_loss());
+        rb.flush();
+        let losses = rb.loss_records();
+        assert_eq!(losses.len(), 1);
+        assert_eq!(losses[0].first_ts, 11);
+        assert_eq!(losses[0].last_ts, 12);
+        assert_eq!(losses[0].lost_bytes, 3);
+        assert_eq!(losses[0].lost_packets, 2);
+        assert_eq!(losses[0].stream_offset, 4);
+        assert_eq!(rb.exported(), &[1, 2, 3, 4, 8]);
+    }
+
+    #[test]
+    fn packets_are_never_split() {
+        let mut rb = RingBuffer::new(5);
+        assert!(rb.write(&[1, 2, 3], 1));
+        // 3 used, 2 free: a 3-byte packet must be dropped whole.
+        assert!(!rb.write(&[4, 5, 6], 2));
+        assert_eq!(rb.pending(), 3);
+    }
+
+    #[test]
+    fn flush_closes_open_loss() {
+        let mut rb = RingBuffer::new(2);
+        assert!(rb.write(&[1, 2], 1));
+        assert!(!rb.write(&[3], 2));
+        rb.flush();
+        assert_eq!(rb.loss_records().len(), 1);
+        assert!(!rb.in_loss());
+    }
+
+    #[test]
+    fn loss_fraction_accounts_for_both_sides() {
+        let mut rb = RingBuffer::new(2);
+        assert!(rb.write(&[1, 2], 1));
+        assert!(!rb.write(&[3, 4], 2));
+        rb.flush();
+        assert!((rb.loss_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,213 @@
+//! Multi-core tracing sessions.
+//!
+//! PT records each physical core separately (§6 "Multi-Cores and
+//! Multi-Threads"); a [`PtSession`] owns one encoder per core plus the
+//! shared sideband stream, and hands the per-core traces and sideband
+//! records to the offline pipeline at the end of a run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::encoder::{EncoderConfig, PtEncoder, PtTrace};
+use crate::sideband::{SidebandRecord, ThreadId};
+
+/// Identifier of a simulated CPU core.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A whole-machine tracing session: one PT encoder per core plus sideband.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_ipt::{CoreId, EncoderConfig, HwEvent, PtSession, ThreadId};
+///
+/// let mut session = PtSession::new(2, EncoderConfig::default());
+/// session.record_switch_in(CoreId(0), ThreadId(1), 0);
+/// session.core_mut(CoreId(0)).set_time(5);
+/// session.core_mut(CoreId(0)).event(HwEvent::Indirect { at: 0x10, target: 0x20 });
+/// let collected = session.finish(100);
+/// assert_eq!(collected.per_core.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct PtSession {
+    cores: Vec<PtEncoder>,
+    sideband: Vec<SidebandRecord>,
+    /// Exporter rate: bytes drained per call to [`PtSession::drain_all`].
+    drain_quantum: usize,
+}
+
+/// Everything collected by a finished session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollectedTraces {
+    /// Per-core exported traces, indexed by core.
+    pub per_core: Vec<PtTrace>,
+    /// All sideband records (loss + thread switches), time-ordered.
+    pub sideband: Vec<SidebandRecord>,
+    /// End-of-run timestamp (closes open schedule intervals).
+    pub end_ts: u64,
+}
+
+impl PtSession {
+    /// Creates a session over `n_cores` cores, each with its own encoder
+    /// configured from `cfg`.
+    pub fn new(n_cores: usize, cfg: EncoderConfig) -> PtSession {
+        PtSession {
+            cores: (0..n_cores).map(|_| PtEncoder::new(cfg)).collect(),
+            sideband: Vec::new(),
+            drain_quantum: 512,
+        }
+    }
+
+    /// Sets how many bytes each core's exporter drains per
+    /// [`PtSession::drain_all`] call.
+    pub fn set_drain_quantum(&mut self, bytes: usize) {
+        self.drain_quantum = bytes;
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Mutable access to a core's encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn core_mut(&mut self, core: CoreId) -> &mut PtEncoder {
+        &mut self.cores[core.index()]
+    }
+
+    /// Records a thread being scheduled onto a core.
+    pub fn record_switch_in(&mut self, core: CoreId, thread: ThreadId, ts: u64) {
+        self.sideband.push(SidebandRecord::SwitchIn {
+            core: core.0,
+            thread,
+            ts,
+        });
+    }
+
+    /// Records a thread being descheduled from a core.
+    pub fn record_switch_out(&mut self, core: CoreId, thread: ThreadId, ts: u64) {
+        self.sideband.push(SidebandRecord::SwitchOut {
+            core: core.0,
+            thread,
+            ts,
+        });
+    }
+
+    /// Runs every core's exporter for one quantum (the periodic dump of
+    /// trace buffers to files, §3).
+    pub fn drain_all(&mut self) {
+        for enc in &mut self.cores {
+            enc.drain(self.drain_quantum);
+        }
+    }
+
+    /// Finishes the session: flushes all encoders, converts loss records
+    /// into sideband records, and returns everything the offline pipeline
+    /// needs.
+    pub fn finish(self, end_ts: u64) -> CollectedTraces {
+        let mut sideband = self.sideband;
+        let mut per_core = Vec::with_capacity(self.cores.len());
+        for (i, enc) in self.cores.into_iter().enumerate() {
+            let trace = enc.finish();
+            for &loss in &trace.losses {
+                sideband.push(SidebandRecord::AuxLost {
+                    core: i as u32,
+                    loss,
+                });
+            }
+            per_core.push(trace);
+        }
+        sideband.sort_by_key(SidebandRecord::ts);
+        CollectedTraces {
+            per_core,
+            sideband,
+            end_ts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::HwEvent;
+    use crate::sideband::schedule_intervals;
+
+    #[test]
+    fn per_core_traces_are_independent() {
+        let mut s = PtSession::new(2, EncoderConfig::default());
+        s.core_mut(CoreId(0)).event(HwEvent::Indirect {
+            at: 0x10,
+            target: 0x1000,
+        });
+        s.core_mut(CoreId(1)).event(HwEvent::Indirect {
+            at: 0x10,
+            target: 0x2000,
+        });
+        let c = s.finish(10);
+        assert_eq!(c.per_core.len(), 2);
+        assert!(!c.per_core[0].bytes.is_empty());
+        assert!(!c.per_core[1].bytes.is_empty());
+        assert_ne!(c.per_core[0].bytes, c.per_core[1].bytes);
+    }
+
+    #[test]
+    fn sideband_merges_switches_and_losses_in_time_order() {
+        let mut s = PtSession::new(1, EncoderConfig {
+            buffer_capacity: 16,
+            ..EncoderConfig::default()
+        });
+        s.record_switch_in(CoreId(0), ThreadId(7), 1);
+        // Overflow the tiny buffer to force a loss record.
+        for i in 0..10u64 {
+            s.core_mut(CoreId(0)).set_time(10 + i);
+            s.core_mut(CoreId(0)).event(HwEvent::Indirect {
+                at: 0x1000,
+                target: 0x2000 + 0x1000 * i,
+            });
+        }
+        s.record_switch_out(CoreId(0), ThreadId(7), 100);
+        let c = s.finish(100);
+        assert!(c
+            .sideband
+            .iter()
+            .any(|r| matches!(r, SidebandRecord::AuxLost { .. })));
+        let ts: Vec<u64> = c.sideband.iter().map(SidebandRecord::ts).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted);
+        let intervals = schedule_intervals(&c.sideband, 0, 100);
+        assert_eq!(intervals, vec![(ThreadId(7), 1, 100)]);
+    }
+
+    #[test]
+    fn drain_all_prevents_loss() {
+        let cfg = EncoderConfig {
+            buffer_capacity: 64,
+            ..EncoderConfig::default()
+        };
+        let mut s = PtSession::new(1, cfg);
+        s.set_drain_quantum(1 << 12);
+        for i in 0..100u64 {
+            s.core_mut(CoreId(0)).set_time(i);
+            s.core_mut(CoreId(0)).event(HwEvent::Indirect {
+                at: 0x1000,
+                target: 0x2000 + 0x10 * i,
+            });
+            s.drain_all();
+        }
+        let c = s.finish(100);
+        assert!(c.per_core[0].losses.is_empty());
+    }
+}

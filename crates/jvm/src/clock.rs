@@ -1,0 +1,107 @@
+//! The cycle cost model.
+//!
+//! Everything the evaluation measures as "runtime overhead" (Table 2)
+//! comes from this model: interpreted bytecodes pay the dispatch tax,
+//! JITed bytecodes are cheap, instrumentation probes pay per-probe costs,
+//! PT tracing adds a small per-packet-byte stall, and sampling profilers
+//! pay per-sample interrupt costs. The constants are calibrated so the
+//! relative overheads land in the paper's ranges; absolute cycle counts
+//! are meaningless by design.
+
+use jportal_bytecode::ProbeKind;
+use serde::{Deserialize, Serialize};
+
+/// Cost constants, in simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of interpreting one bytecode (template dispatch + body).
+    pub interp_per_bytecode: u64,
+    /// Cost of one JIT-compiled bytecode.
+    pub jit_per_bytecode: u64,
+    /// Extra cost of a method call/return pair (frame setup).
+    pub call_overhead: u64,
+    /// PT trace-write stall, as a fraction of a cycle per hardware event:
+    /// `pt_stall_numer / pt_stall_denom` cycles (accumulated exactly via a
+    /// residual). Only charged while tracing is enabled.
+    pub pt_stall_numer: u64,
+    /// Denominator of the per-event PT stall fraction.
+    pub pt_stall_denom: u64,
+    /// One-time cost of exporting a compiled method's metadata
+    /// (JPortal's online collection, §6).
+    pub metadata_export_per_insn: u64,
+    /// Cost of a counter-increment probe (statement coverage).
+    pub probe_count: u64,
+    /// Cost of a path-register add/set.
+    pub probe_path_arith: u64,
+    /// Cost of a path-table commit (hash update).
+    pub probe_path_commit: u64,
+    /// Cost per control-flow event byte written by CF tracing.
+    pub probe_event_per_byte: u64,
+    /// Cost of a method-timer probe (timestamp read + record).
+    pub probe_method_timer: u64,
+    /// Cost of taking one profiling sample (stack walk + record).
+    pub sample_cost: u64,
+    /// Cost of JIT-compiling one bytecode (C1) — charged when compiling.
+    pub compile_per_bytecode_c1: u64,
+    /// Cost of JIT-compiling one bytecode (C2).
+    pub compile_per_bytecode_c2: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            interp_per_bytecode: 20,
+            jit_per_bytecode: 2,
+            call_overhead: 12,
+            pt_stall_numer: 1,
+            pt_stall_denom: 3,
+            metadata_export_per_insn: 2,
+            probe_count: 8,
+            probe_path_arith: 4,
+            probe_path_commit: 20,
+            probe_event_per_byte: 25,
+            probe_method_timer: 120,
+            sample_cost: 2200,
+            compile_per_bytecode_c1: 150,
+            compile_per_bytecode_c2: 600,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of executing one probe.
+    pub fn probe_cost(&self, kind: ProbeKind) -> u64 {
+        match kind {
+            ProbeKind::Count(_) => self.probe_count,
+            ProbeKind::PathSet(_) | ProbeKind::PathAdd(_) => self.probe_path_arith,
+            ProbeKind::PathCommit(_) => self.probe_path_commit,
+            ProbeKind::Event(bytes) => self.probe_event_per_byte * u64::from(bytes),
+            ProbeKind::MethodTimer(_) => self.probe_method_timer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_order_the_baselines() {
+        let c = CostModel::default();
+        // CF event tracing must dominate path profiling, which dominates
+        // statement coverage, mirroring the paper's Table 2 ordering.
+        assert!(c.probe_cost(ProbeKind::Event(8)) > c.probe_cost(ProbeKind::PathCommit(0)));
+        assert!(c.probe_cost(ProbeKind::PathCommit(0)) > c.probe_cost(ProbeKind::Count(0)));
+        // JIT code is much cheaper than interpretation.
+        assert!(c.interp_per_bytecode >= 5 * c.jit_per_bytecode);
+    }
+
+    #[test]
+    fn probe_costs_scale_with_event_size() {
+        let c = CostModel::default();
+        assert_eq!(
+            c.probe_cost(ProbeKind::Event(16)),
+            2 * c.probe_cost(ProbeKind::Event(8))
+        );
+    }
+}

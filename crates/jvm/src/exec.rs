@@ -1,0 +1,954 @@
+//! The bytecode executor with mode-dependent hardware-event emission.
+//!
+//! One semantic engine executes bytecode; what the *hardware* sees depends
+//! on the executing frame's mode:
+//!
+//! * **interpreted** frames produce one dispatch TIP per bytecode (the
+//!   indirect jump from the current template to the next one) plus a TNT
+//!   bit inside conditional templates — Figure 2 of the paper;
+//! * **JIT-compiled** frames produce TNT bits at compiled branch sites,
+//!   TIPs only at indirect transfers (switches, out-of-line calls,
+//!   returns) and nothing at all for straight-line code, direct jumps and
+//!   inlined calls — Figure 3.
+//!
+//! Mode transitions (interpreted caller → compiled callee and vice versa)
+//! are just TIPs to the other world's entry address, which is exactly why
+//! JPortal needs both the template table and the JIT metadata to decode.
+
+use jportal_bytecode::{Bci, ClassId, Instruction, MethodId, Program};
+use jportal_ipt::{HwEvent, ThreadId};
+
+use crate::clock::CostModel;
+use crate::code_cache::CodeCache;
+use crate::heap::{Handle, Heap, HeapObject, Value};
+use crate::jit::OpInfo;
+use crate::probes::ProbeRuntime;
+use crate::truth::GroundTruth;
+
+/// Terminal failure of a thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An exception reached the top frame without a handler.
+    UncaughtException {
+        /// Class of the thrown object (`None` for runtime exceptions
+        /// such as division by zero).
+        class: Option<ClassId>,
+    },
+    /// The executor's step budget was exhausted (runaway loop guard).
+    StepLimitExceeded,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UncaughtException { class } => match class {
+                Some(c) => write!(f, "uncaught exception of class {c}"),
+                None => write!(f, "uncaught runtime exception"),
+            },
+            ExecError::StepLimitExceeded => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Where a frame executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameMode {
+    /// Template interpreter.
+    Interp,
+    /// Compiled blob `archive_idx`, inline frame `inline_id`
+    /// (0 = the root compiled method; >0 = an inlined callee executing
+    /// inside its caller's blob).
+    Jitted {
+        /// Index into the code cache's archive.
+        archive_idx: usize,
+        /// Inline frame within the blob.
+        inline_id: u32,
+    },
+}
+
+/// One activation record.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Executing method.
+    pub method: MethodId,
+    /// Next instruction to execute.
+    pub bci: Bci,
+    /// Local variable slots.
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// Ball–Larus path register (instrumentation baselines).
+    pub path_reg: u64,
+    /// Execution mode.
+    pub mode: FrameMode,
+}
+
+/// Run state of a thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Has work to do.
+    Runnable,
+    /// Entry method returned.
+    Finished,
+    /// Terminated by an error.
+    Failed(ExecError),
+}
+
+/// A thread: its frame stack and status.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    /// Thread identity (matches the sideband records).
+    pub id: ThreadId,
+    /// The frame stack (last = current).
+    pub frames: Vec<Frame>,
+    /// Run status.
+    pub status: ThreadStatus,
+    /// `true` once the initial PGE event has been emitted.
+    started: bool,
+    /// Executed steps (runaway guard).
+    steps: u64,
+}
+
+impl ThreadState {
+    /// The current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a finished thread.
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("live thread has frames")
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("live thread has frames")
+    }
+
+    /// `true` if the thread can still run.
+    pub fn is_runnable(&self) -> bool {
+        self.status == ThreadStatus::Runnable
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Consumer of hardware events (the PT encoder, or a no-op when tracing
+/// is disabled).
+pub trait EventSink {
+    /// Receives one machine-level event.
+    fn emit(&mut self, ev: HwEvent);
+}
+
+/// Discards all events (tracing disabled — the overhead baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _ev: HwEvent) {}
+}
+
+impl EventSink for Vec<HwEvent> {
+    fn emit(&mut self, ev: HwEvent) {
+        self.push(ev);
+    }
+}
+
+/// Result of one executed bytecode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepResult {
+    /// Cycles consumed.
+    pub cost: u64,
+    /// Method invoked by this step, if it was a call (tiering input).
+    pub invoked: Option<MethodId>,
+    /// Hardware events emitted by this step (PT stall accounting).
+    pub events: u32,
+}
+
+/// The execution engine: program + heap + probe runtime + ground truth.
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    /// Shared heap.
+    pub heap: Heap,
+    /// Instrumentation-probe results.
+    pub probes: ProbeRuntime,
+    /// Ground-truth recorder.
+    pub truth: GroundTruth,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Hard per-thread step limit.
+    pub step_limit: u64,
+    /// When `false`, ground-truth bytecode traces are not recorded
+    /// (saves memory on overhead-only runs); statistics still are.
+    pub record_truth_trace: bool,
+    /// Charge the PT trace-write stall per event (only when the run is
+    /// actually traced — the untraced baseline must not pay it).
+    pub charge_pt_stall: bool,
+    /// Sub-cycle PT stall accumulator.
+    pt_residual: u64,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor for `program`.
+    pub fn new(program: &'p Program) -> Executor<'p> {
+        Executor {
+            program,
+            heap: Heap::new(),
+            probes: ProbeRuntime::new(),
+            truth: GroundTruth::new(),
+            cost: CostModel::default(),
+            step_limit: 200_000_000,
+            record_truth_trace: true,
+            charge_pt_stall: false,
+            pt_residual: 0,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Spawns a thread running `method(args…)`.
+    pub fn spawn(&mut self, id: ThreadId, method: MethodId, args: &[i64], cache: &CodeCache) -> ThreadState {
+        let m = self.program.method(method);
+        assert_eq!(args.len(), m.n_args as usize, "argument count");
+        let mut locals = vec![Value::Int(0); m.max_locals as usize];
+        for (i, &a) in args.iter().enumerate() {
+            locals[i] = Value::Int(a);
+        }
+        let mode = self.mode_of(method, cache);
+        self.truth.record_invocation(method);
+        ThreadState {
+            id,
+            frames: vec![Frame {
+                method,
+                bci: Bci(0),
+                locals,
+                stack: Vec::new(),
+                path_reg: 0,
+                mode,
+            }],
+            status: ThreadStatus::Runnable,
+            started: false,
+            steps: 0,
+        }
+    }
+
+    fn mode_of(&self, method: MethodId, cache: &CodeCache) -> FrameMode {
+        match cache.live_index_of(method) {
+            Some(archive_idx) => FrameMode::Jitted {
+                archive_idx,
+                inline_id: 0,
+            },
+            None => FrameMode::Interp,
+        }
+    }
+
+    /// Machine address at which `frame` currently is (FUP source / TIP
+    /// origin).
+    fn loc_addr(&self, frame: &Frame, cache: &CodeCache) -> u64 {
+        match frame.mode {
+            FrameMode::Interp => {
+                let op = self.program.method(frame.method).insn(frame.bci).op_kind();
+                cache.templates().template(op).entry
+            }
+            FrameMode::Jitted {
+                archive_idx,
+                inline_id,
+            } => cache
+                .blob_by_index(archive_idx)
+                .compiled
+                .pc_of(inline_id, frame.bci)
+                .expect("compiled bci has a pc"),
+        }
+    }
+
+    /// Entry address of `frame` resumed at its current `bci` (where a
+    /// transfer INTO the frame lands).
+    fn resume_addr(&self, frame: &Frame, cache: &CodeCache) -> u64 {
+        match frame.mode {
+            FrameMode::Interp => {
+                let op = self.program.method(frame.method).insn(frame.bci).op_kind();
+                cache.templates().template(op).entry
+            }
+            FrameMode::Jitted {
+                archive_idx,
+                inline_id,
+            } => cache
+                .blob_by_index(archive_idx)
+                .compiled
+                .pc_of(inline_id, frame.bci)
+                .expect("compiled bci has a pc"),
+        }
+    }
+
+    /// Executes one bytecode of `thread`.
+    ///
+    /// `now` is the current simulated time on the thread's core (used for
+    /// truth records and timer probes); the caller advances its clock by
+    /// the returned cost.
+    pub fn step<S: EventSink>(
+        &mut self,
+        thread: &mut ThreadState,
+        cache: &CodeCache,
+        sink: &mut S,
+        now: u64,
+    ) -> StepResult {
+        debug_assert!(thread.is_runnable());
+        thread.steps += 1;
+        if thread.steps > self.step_limit {
+            thread.status = ThreadStatus::Failed(ExecError::StepLimitExceeded);
+            return StepResult::default();
+        }
+
+        let mut events = 0u32;
+        // Initial PGE: the first instruction's arrival.
+        if !thread.started {
+            thread.started = true;
+            let target = self.resume_addr(thread.frame(), cache);
+            sink.emit(HwEvent::Enable { ip: target });
+            events += 1;
+        }
+
+        let frame = thread.frame();
+        let method = frame.method;
+        let bci = frame.bci;
+        let mode = frame.mode;
+        let insn = self.program.method(method).insn(bci).clone();
+
+        let mut cost = match mode {
+            FrameMode::Interp => self.cost.interp_per_bytecode,
+            FrameMode::Jitted { .. } => self.cost.jit_per_bytecode,
+        };
+        if self.record_truth_trace {
+            self.truth.record(thread.id, method, bci, now, cost);
+        } else {
+            self.truth.record_stats_only(method, cost);
+        }
+
+        let mut invoked = None;
+        let outcome = self.execute(thread, &insn, now, &mut cost);
+
+        // Emit the hardware events implied by the transfer.
+        match outcome {
+            Transfer::Next => {
+                // Straight-line: interp emits the dispatch TIP; JIT nothing.
+                let f = thread.frame_mut();
+                f.bci = f.bci.next();
+                if mode == FrameMode::Interp {
+                    let from = self.interp_dispatch(method, bci, cache);
+                    let to = self.resume_addr(thread.frame(), cache);
+                    sink.emit(HwEvent::Indirect { at: from, target: to });
+                    events += 1;
+                }
+            }
+            Transfer::Branch { taken, target } => {
+                match mode {
+                    FrameMode::Interp => {
+                        let op = insn.op_kind();
+                        let tpl = cache.templates().template(op);
+                        if let Some(cond) = tpl.cond_addr {
+                            sink.emit(HwEvent::Cond { at: cond, taken });
+                            events += 1;
+                        }
+                        let f = thread.frame_mut();
+                        f.bci = if taken { target } else { bci.next() };
+                        let to = self.resume_addr(thread.frame(), cache);
+                        sink.emit(HwEvent::Indirect {
+                            at: tpl.dispatch_addr,
+                            target: to,
+                        });
+                        events += 1;
+                    }
+                    FrameMode::Jitted {
+                        archive_idx,
+                        inline_id,
+                    } => {
+                        let cm = &cache.blob_by_index(archive_idx).compiled;
+                        match cm.op_info(inline_id, bci) {
+                            OpInfo::Cond {
+                                cond_addr,
+                                taken_means_bytecode_taken,
+                            } => {
+                                let machine_taken = taken == taken_means_bytecode_taken;
+                                sink.emit(HwEvent::Cond {
+                                    at: cond_addr,
+                                    taken: machine_taken,
+                                });
+                                events += 1;
+                            }
+                            other => {
+                                debug_assert!(false, "branch without Cond info: {other:?}");
+                            }
+                        }
+                        let f = thread.frame_mut();
+                        f.bci = if taken { target } else { bci.next() };
+                    }
+                }
+            }
+            Transfer::Jump { target } => {
+                let f = thread.frame_mut();
+                f.bci = target;
+                match mode {
+                    FrameMode::Interp => {
+                        let from = self.interp_dispatch(method, bci, cache);
+                        let to = self.resume_addr(thread.frame(), cache);
+                        sink.emit(HwEvent::Indirect { at: from, target: to });
+                        events += 1;
+                    }
+                    FrameMode::Jitted { .. } => {
+                        // Direct machine jump: no packet.
+                    }
+                }
+            }
+            Transfer::Switch { target } => {
+                let f = thread.frame_mut();
+                f.bci = target;
+                match mode {
+                    FrameMode::Interp => {
+                        let from = self.interp_dispatch(method, bci, cache);
+                        let to = self.resume_addr(thread.frame(), cache);
+                        sink.emit(HwEvent::Indirect { at: from, target: to });
+                        events += 1;
+                    }
+                    FrameMode::Jitted {
+                        archive_idx,
+                        inline_id,
+                    } => {
+                        let cm = &cache.blob_by_index(archive_idx).compiled;
+                        if let OpInfo::Switch { dispatch_addr } = cm.op_info(inline_id, bci) {
+                            let to = cm.pc_of(inline_id, target).expect("switch arm pc");
+                            sink.emit(HwEvent::Indirect {
+                                at: dispatch_addr,
+                                target: to,
+                            });
+                            events += 1;
+                        }
+                    }
+                }
+            }
+            Transfer::Call { callee, args, receiver } => {
+                invoked = Some(callee);
+                cost += self.cost.call_overhead;
+                self.truth.record_invocation(callee);
+                // Determine call mechanics from the caller's site.
+                let inline_push = match mode {
+                    FrameMode::Jitted {
+                        archive_idx,
+                        inline_id,
+                    } => {
+                        let cm = &cache.blob_by_index(archive_idx).compiled;
+                        match cm.op_info(inline_id, bci) {
+                            OpInfo::CallInline { callee: callee_inline } => {
+                                Some((archive_idx, callee_inline))
+                            }
+                            _ => None,
+                        }
+                    }
+                    FrameMode::Interp => None,
+                };
+                let callee_mode = match inline_push {
+                    Some((archive_idx, callee_inline)) => FrameMode::Jitted {
+                        archive_idx,
+                        inline_id: callee_inline,
+                    },
+                    None => self.mode_of(callee, cache),
+                };
+                let m = self.program.method(callee);
+                let mut locals = vec![Value::Int(0); m.max_locals as usize];
+                let base = if receiver.is_some() { 1 } else { 0 };
+                if let Some(r) = receiver {
+                    locals[0] = Value::Ref(Some(r));
+                }
+                for (i, v) in args.into_iter().enumerate() {
+                    locals[base + i] = v;
+                }
+                let callee_frame = Frame {
+                    method: callee,
+                    bci: Bci(0),
+                    locals,
+                    stack: Vec::new(),
+                    path_reg: 0,
+                    mode: callee_mode,
+                };
+                // Event: only out-of-line transfers produce a TIP.
+                if inline_push.is_none() {
+                    let from = match mode {
+                        FrameMode::Interp => self.interp_dispatch(method, bci, cache),
+                        FrameMode::Jitted {
+                            archive_idx,
+                            inline_id,
+                        } => {
+                            let cm = &cache.blob_by_index(archive_idx).compiled;
+                            match cm.op_info(inline_id, bci) {
+                                OpInfo::CallOut { call_addr, .. } => call_addr,
+                                _ => self.loc_addr(thread.frame(), cache),
+                            }
+                        }
+                    };
+                    let to = self.resume_addr(&callee_frame, cache);
+                    sink.emit(HwEvent::Indirect { at: from, target: to });
+                    events += 1;
+                }
+                thread.frames.push(callee_frame);
+            }
+            Transfer::Return { value } => {
+                cost += self.cost.call_overhead / 2;
+                let returning = thread.frames.pop().expect("frame to return from");
+                let is_inline_return = matches!(
+                    returning.mode,
+                    FrameMode::Jitted { inline_id, .. } if inline_id != 0
+                );
+                if let Some(caller) = thread.frames.last_mut() {
+                    // The caller's bci still points at the call site;
+                    // advance past it and push any return value.
+                    let call_bci = caller.bci;
+                    caller.bci = caller.bci.next();
+                    if let Some(v) = value {
+                        caller.stack.push(v);
+                    }
+                    if !is_inline_return {
+                        let from = match returning.mode {
+                            FrameMode::Interp => {
+                                self.interp_dispatch(returning.method, returning.bci, cache)
+                            }
+                            FrameMode::Jitted {
+                                archive_idx,
+                                inline_id,
+                            } => {
+                                let cm = &cache.blob_by_index(archive_idx).compiled;
+                                match cm.op_info(inline_id, returning.bci) {
+                                    OpInfo::Ret { ret_addr } => ret_addr,
+                                    _ => 0,
+                                }
+                            }
+                        };
+                        // Where the caller resumes.
+                        let to = match thread.frame().mode {
+                            FrameMode::Interp => self.resume_addr(thread.frame(), cache),
+                            FrameMode::Jitted {
+                                archive_idx,
+                                inline_id,
+                            } => {
+                                let cm = &cache.blob_by_index(archive_idx).compiled;
+                                match cm.op_info(inline_id, call_bci) {
+                                    OpInfo::CallOut { ret_to, .. } => ret_to,
+                                    // Inline caller frame cannot make
+                                    // out-of-line calls through here.
+                                    _ => cm.pc_of(inline_id, thread.frame().bci).unwrap_or(0),
+                                }
+                            }
+                        };
+                        sink.emit(HwEvent::Indirect { at: from, target: to });
+                        events += 1;
+                    }
+                } else {
+                    // Entry method returned: tracing stops for the thread.
+                    let from = match returning.mode {
+                        FrameMode::Interp => {
+                            self.interp_dispatch(returning.method, returning.bci, cache)
+                        }
+                        FrameMode::Jitted {
+                            archive_idx,
+                            inline_id,
+                        } => {
+                            let cm = &cache.blob_by_index(archive_idx).compiled;
+                            match cm.op_info(inline_id, returning.bci) {
+                                OpInfo::Ret { ret_addr } => ret_addr,
+                                _ => 0,
+                            }
+                        }
+                    };
+                    sink.emit(HwEvent::Disable { ip: from });
+                    events += 1;
+                    thread.status = ThreadStatus::Finished;
+                }
+            }
+            Transfer::Throw { class } => {
+                let from = self.loc_addr(thread.frame(), cache);
+                match self.unwind(thread, class) {
+                    Some(()) => {
+                        let to = self.resume_addr(thread.frame(), cache);
+                        sink.emit(HwEvent::Async { from, to });
+                        events += 1;
+                    }
+                    None => {
+                        sink.emit(HwEvent::Disable { ip: from });
+                        events += 1;
+                        thread.status =
+                            ThreadStatus::Failed(ExecError::UncaughtException { class });
+                    }
+                }
+            }
+            Transfer::Stay => {}
+        }
+
+        if self.charge_pt_stall && events > 0 {
+            self.pt_residual += u64::from(events) * self.cost.pt_stall_numer;
+            let whole = self.pt_residual / self.cost.pt_stall_denom.max(1);
+            self.pt_residual %= self.cost.pt_stall_denom.max(1);
+            cost += whole;
+        }
+        StepResult {
+            cost,
+            invoked,
+            events,
+        }
+    }
+
+    fn interp_dispatch(&self, method: MethodId, bci: Bci, cache: &CodeCache) -> u64 {
+        let op = self.program.method(method).insn(bci).op_kind();
+        cache.templates().template(op).dispatch_addr
+    }
+
+    /// Unwinds to the nearest matching handler; leaves the thread's top
+    /// frame at the handler with the exception reference on the stack.
+    /// Returns `None` if no handler exists.
+    fn unwind(&mut self, thread: &mut ThreadState, class: Option<ClassId>) -> Option<()> {
+        // The thrown object: real `athrow` pops it before we get here; for
+        // implicit exceptions there is no object — push null for handlers.
+        while let Some(frame) = thread.frames.last_mut() {
+            let m = self.program.method(frame.method);
+            let found = m.handlers.iter().find(|h| {
+                h.covers(frame.bci)
+                    && match (h.catch_class, class) {
+                        (None, _) => true,
+                        (Some(_), None) => false,
+                        (Some(hc), Some(tc)) => self.program.is_subclass_of(tc, hc),
+                    }
+            });
+            if let Some(h) = found {
+                let target = h.handler;
+                frame.stack.clear();
+                frame.stack.push(Value::Ref(None));
+                frame.bci = target;
+                return Some(());
+            }
+            thread.frames.pop();
+        }
+        None
+    }
+
+    /// Pure bytecode semantics: mutates the frame's stack/locals/heap and
+    /// reports the control transfer.
+    fn execute(
+        &mut self,
+        thread: &mut ThreadState,
+        insn: &Instruction,
+        now: u64,
+        cost: &mut u64,
+    ) -> Transfer {
+        use Instruction as I;
+        let program = self.program;
+        let frame = thread.frames.last_mut().expect("frame");
+        match insn {
+            I::Nop => Transfer::Next,
+            I::Iconst(v) => {
+                frame.stack.push(Value::Int(*v));
+                Transfer::Next
+            }
+            I::AconstNull => {
+                frame.stack.push(Value::Ref(None));
+                Transfer::Next
+            }
+            I::Iload(s) => {
+                frame.stack.push(frame.locals[*s as usize]);
+                Transfer::Next
+            }
+            I::Istore(s) | I::Astore(s) => {
+                let v = frame.stack.pop().expect("verified stack");
+                frame.locals[*s as usize] = v;
+                Transfer::Next
+            }
+            I::Aload(s) => {
+                frame.stack.push(frame.locals[*s as usize]);
+                Transfer::Next
+            }
+            I::Iinc(s, d) => {
+                let v = frame.locals[*s as usize].as_int();
+                frame.locals[*s as usize] = Value::Int(v.wrapping_add(i64::from(*d)));
+                Transfer::Next
+            }
+            I::Iadd | I::Isub | I::Imul | I::Iand | I::Ior | I::Ixor | I::Ishl | I::Ishr => {
+                let b = frame.stack.pop().expect("rhs").as_int();
+                let a = frame.stack.pop().expect("lhs").as_int();
+                let r = match insn {
+                    I::Iadd => a.wrapping_add(b),
+                    I::Isub => a.wrapping_sub(b),
+                    I::Imul => a.wrapping_mul(b),
+                    I::Iand => a & b,
+                    I::Ior => a | b,
+                    I::Ixor => a ^ b,
+                    I::Ishl => a.wrapping_shl(b as u32 & 63),
+                    I::Ishr => a.wrapping_shr(b as u32 & 63),
+                    _ => unreachable!(),
+                };
+                frame.stack.push(Value::Int(r));
+                Transfer::Next
+            }
+            I::Idiv | I::Irem => {
+                let b = frame.stack.pop().expect("rhs").as_int();
+                let a = frame.stack.pop().expect("lhs").as_int();
+                if b == 0 {
+                    return Transfer::Throw { class: None };
+                }
+                let r = if matches!(insn, I::Idiv) {
+                    a.wrapping_div(b)
+                } else {
+                    a.wrapping_rem(b)
+                };
+                frame.stack.push(Value::Int(r));
+                Transfer::Next
+            }
+            I::Ineg => {
+                let a = frame.stack.pop().expect("operand").as_int();
+                frame.stack.push(Value::Int(a.wrapping_neg()));
+                Transfer::Next
+            }
+            I::Dup => {
+                let v = *frame.stack.last().expect("top");
+                frame.stack.push(v);
+                Transfer::Next
+            }
+            I::Pop => {
+                frame.stack.pop().expect("top");
+                Transfer::Next
+            }
+            I::Swap => {
+                let n = frame.stack.len();
+                frame.stack.swap(n - 1, n - 2);
+                Transfer::Next
+            }
+            I::Goto(t) => Transfer::Jump { target: *t },
+            I::If(k, t) => {
+                let a = frame.stack.pop().expect("operand").as_int();
+                Transfer::Branch {
+                    taken: k.eval(a, 0),
+                    target: *t,
+                }
+            }
+            I::IfICmp(k, t) => {
+                let b = frame.stack.pop().expect("rhs").as_int();
+                let a = frame.stack.pop().expect("lhs").as_int();
+                Transfer::Branch {
+                    taken: k.eval(a, b),
+                    target: *t,
+                }
+            }
+            I::IfNull(t) => {
+                let r = frame.stack.pop().expect("ref").as_ref_value();
+                Transfer::Branch {
+                    taken: r.is_none(),
+                    target: *t,
+                }
+            }
+            I::TableSwitch {
+                low,
+                targets,
+                default,
+            } => {
+                let v = frame.stack.pop().expect("key").as_int();
+                let idx = v.wrapping_sub(*low);
+                let target = if idx >= 0 && (idx as usize) < targets.len() {
+                    targets[idx as usize]
+                } else {
+                    *default
+                };
+                Transfer::Switch { target }
+            }
+            I::LookupSwitch { pairs, default } => {
+                let v = frame.stack.pop().expect("key").as_int();
+                let target = pairs
+                    .iter()
+                    .find(|&&(k, _)| k == v)
+                    .map(|&(_, t)| t)
+                    .unwrap_or(*default);
+                Transfer::Switch { target }
+            }
+            I::InvokeStatic(callee) => {
+                let m = program.method(*callee);
+                let n = m.n_args as usize;
+                let split = frame.stack.len() - n;
+                let args: Vec<Value> = frame.stack.split_off(split);
+                Transfer::Call {
+                    callee: *callee,
+                    args,
+                    receiver: None,
+                }
+            }
+            I::InvokeVirtual { declared_in, slot } => {
+                // Receiver sits below the (n_args - 1) explicit arguments
+                // (the receiver occupies local 0 and counts in n_args).
+                let slot_method = program.class(*declared_in).vtable[*slot as usize];
+                let n_explicit = program.method(slot_method).n_args as usize - 1;
+                let split = frame.stack.len() - n_explicit;
+                let args: Vec<Value> = frame.stack.split_off(split);
+                let receiver = frame.stack.pop().expect("receiver").as_ref_value();
+                let Some(receiver) = receiver else {
+                    return Transfer::Throw { class: None }; // NPE
+                };
+                let dyn_class = self
+                    .heap
+                    .class_of(receiver)
+                    .expect("receiver is an instance");
+                let callee = program.resolve_virtual(dyn_class, *slot);
+                Transfer::Call {
+                    callee,
+                    args,
+                    receiver: Some(receiver),
+                }
+            }
+            I::Ireturn | I::Areturn => {
+                let v = frame.stack.pop().expect("return value");
+                Transfer::Return { value: Some(v) }
+            }
+            I::Return => Transfer::Return { value: None },
+            I::New(c) => {
+                let n_fields = program.class(*c).n_fields;
+                let h = self.heap.alloc_instance(*c, n_fields);
+                frame.stack.push(Value::Ref(Some(h)));
+                Transfer::Next
+            }
+            I::GetField(i) => {
+                let Some(h) = frame.stack.pop().expect("ref").as_ref_value() else {
+                    return Transfer::Throw { class: None };
+                };
+                match self.heap.get(h) {
+                    HeapObject::Instance { fields, .. } => {
+                        frame.stack.push(fields[*i as usize]);
+                        Transfer::Next
+                    }
+                    HeapObject::IntArray { .. } => Transfer::Throw { class: None },
+                }
+            }
+            I::PutField(i) => {
+                let v = frame.stack.pop().expect("value");
+                let Some(h) = frame.stack.pop().expect("ref").as_ref_value() else {
+                    return Transfer::Throw { class: None };
+                };
+                match self.heap.get_mut(h) {
+                    HeapObject::Instance { fields, .. } => {
+                        fields[*i as usize] = v;
+                        Transfer::Next
+                    }
+                    HeapObject::IntArray { .. } => Transfer::Throw { class: None },
+                }
+            }
+            I::NewArray => {
+                let len = frame.stack.pop().expect("len").as_int();
+                if len < 0 {
+                    return Transfer::Throw { class: None };
+                }
+                let h = self.heap.alloc_array(len as usize);
+                frame.stack.push(Value::Ref(Some(h)));
+                Transfer::Next
+            }
+            I::ArrayLoad => {
+                let idx = frame.stack.pop().expect("index").as_int();
+                let Some(h) = frame.stack.pop().expect("array").as_ref_value() else {
+                    return Transfer::Throw { class: None };
+                };
+                match self.heap.get(h) {
+                    HeapObject::IntArray { elems } => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            return Transfer::Throw { class: None };
+                        }
+                        frame.stack.push(Value::Int(elems[idx as usize]));
+                        Transfer::Next
+                    }
+                    HeapObject::Instance { .. } => Transfer::Throw { class: None },
+                }
+            }
+            I::ArrayStore => {
+                let v = frame.stack.pop().expect("value").as_int();
+                let idx = frame.stack.pop().expect("index").as_int();
+                let Some(h) = frame.stack.pop().expect("array").as_ref_value() else {
+                    return Transfer::Throw { class: None };
+                };
+                match self.heap.get_mut(h) {
+                    HeapObject::IntArray { elems } => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            return Transfer::Throw { class: None };
+                        }
+                        elems[idx as usize] = v;
+                        Transfer::Next
+                    }
+                    HeapObject::Instance { .. } => Transfer::Throw { class: None },
+                }
+            }
+            I::ArrayLength => {
+                let Some(h) = frame.stack.pop().expect("array").as_ref_value() else {
+                    return Transfer::Throw { class: None };
+                };
+                match self.heap.get(h) {
+                    HeapObject::IntArray { elems } => {
+                        frame.stack.push(Value::Int(elems.len() as i64));
+                        Transfer::Next
+                    }
+                    HeapObject::Instance { .. } => Transfer::Throw { class: None },
+                }
+            }
+            I::Athrow => {
+                let r = frame.stack.pop().expect("throwable").as_ref_value();
+                let class = r.and_then(|h| self.heap.class_of(h));
+                Transfer::Throw { class }
+            }
+            I::Probe(kind) => {
+                *cost += self.cost.probe_cost(*kind);
+                self.probes.fire(*kind, &mut frame.path_reg, now);
+                Transfer::Next
+            }
+        }
+    }
+}
+
+/// Control transfer decided by one executed bytecode.
+#[derive(Debug, Clone)]
+enum Transfer {
+    /// Fall through to `bci + 1`.
+    Next,
+    /// Conditional branch outcome.
+    Branch {
+        /// Whether the bytecode branch was taken.
+        taken: bool,
+        /// The taken target.
+        target: Bci,
+    },
+    /// Unconditional `goto`.
+    Jump {
+        /// Target bci.
+        target: Bci,
+    },
+    /// Switch dispatch.
+    Switch {
+        /// Selected arm.
+        target: Bci,
+    },
+    /// Method call.
+    Call {
+        /// Resolved callee.
+        callee: MethodId,
+        /// Explicit arguments (receiver excluded).
+        args: Vec<Value>,
+        /// Receiver for virtual calls.
+        receiver: Option<Handle>,
+    },
+    /// Method return.
+    Return {
+        /// Returned value, if any.
+        value: Option<Value>,
+    },
+    /// Exception raised.
+    Throw {
+        /// Thrown class (`None` = runtime exception).
+        class: Option<ClassId>,
+    },
+    /// No control transfer (unused placeholder for future ops).
+    #[allow(dead_code)]
+    Stay,
+}

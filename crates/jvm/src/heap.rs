@@ -1,0 +1,201 @@
+//! Runtime values, objects and arrays.
+
+use jportal_bytecode::ClassId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Handle(pub u32);
+
+/// A runtime value: an integer or a (possibly null) reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit integer (the model's only primitive).
+    Int(i64),
+    /// Object or array reference; `None` is `null`.
+    Ref(Option<Handle>),
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a reference (verified programs never do
+    /// this; the executor treats it as a bug, not a Java exception).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Ref(_) => panic!("expected int, found reference"),
+        }
+    }
+
+    /// The reference payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_ref_value(self) -> Option<Handle> {
+        match self {
+            Value::Ref(h) => h,
+            Value::Int(_) => panic!("expected reference, found int"),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::Int(0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ref(None) => write!(f, "null"),
+            Value::Ref(Some(h)) => write!(f, "@{}", h.0),
+        }
+    }
+}
+
+/// A heap object: a class instance or an integer array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeapObject {
+    /// Class instance with field slots.
+    Instance {
+        /// Dynamic class.
+        class: ClassId,
+        /// Field values (length = the class's `n_fields`).
+        fields: Vec<Value>,
+    },
+    /// Integer array.
+    IntArray {
+        /// Elements.
+        elems: Vec<i64>,
+    },
+}
+
+/// The heap: a growable object table (no GC — runs are short-lived and
+/// allocation volume is bounded by the workload generators).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates a class instance with zeroed fields.
+    pub fn alloc_instance(&mut self, class: ClassId, n_fields: u16) -> Handle {
+        self.objects.push(HeapObject::Instance {
+            class,
+            fields: vec![Value::Int(0); n_fields as usize],
+        });
+        Handle(self.objects.len() as u32 - 1)
+    }
+
+    /// Allocates an integer array of `len` zeros.
+    pub fn alloc_array(&mut self, len: usize) -> Handle {
+        self.objects.push(HeapObject::IntArray {
+            elems: vec![0; len],
+        });
+        Handle(self.objects.len() as u32 - 1)
+    }
+
+    /// The object behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling handle (cannot happen without unsafe code).
+    pub fn get(&self, h: Handle) -> &HeapObject {
+        &self.objects[h.0 as usize]
+    }
+
+    /// Mutable access to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling handle.
+    pub fn get_mut(&mut self, h: Handle) -> &mut HeapObject {
+        &mut self.objects[h.0 as usize]
+    }
+
+    /// Dynamic class of an instance (`None` for arrays).
+    pub fn class_of(&self, h: Handle) -> Option<ClassId> {
+        match self.get(h) {
+            HeapObject::Instance { class, .. } => Some(*class),
+            HeapObject::IntArray { .. } => None,
+        }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` if nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_fields_round_trip() {
+        let mut heap = Heap::new();
+        let h = heap.alloc_instance(ClassId(3), 2);
+        match heap.get_mut(h) {
+            HeapObject::Instance { fields, .. } => fields[1] = Value::Int(42),
+            _ => unreachable!(),
+        }
+        match heap.get(h) {
+            HeapObject::Instance { class, fields } => {
+                assert_eq!(*class, ClassId(3));
+                assert_eq!(fields[1], Value::Int(42));
+                assert_eq!(fields[0], Value::Int(0));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(heap.class_of(h), Some(ClassId(3)));
+    }
+
+    #[test]
+    fn arrays() {
+        let mut heap = Heap::new();
+        let h = heap.alloc_array(4);
+        match heap.get_mut(h) {
+            HeapObject::IntArray { elems } => elems[3] = -7,
+            _ => unreachable!(),
+        }
+        match heap.get(h) {
+            HeapObject::IntArray { elems } => assert_eq!(elems, &vec![0, 0, 0, -7]),
+            _ => unreachable!(),
+        }
+        assert_eq!(heap.class_of(h), None);
+        assert_eq!(heap.len(), 1);
+        assert!(!heap.is_empty());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(5).as_int(), 5);
+        assert_eq!(Value::Ref(None).as_ref_value(), None);
+        assert_eq!(Value::default(), Value::Int(0));
+        assert_eq!(Value::Ref(Some(Handle(2))).to_string(), "@2");
+        assert_eq!(Value::Ref(None).to_string(), "null");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn int_accessor_rejects_refs() {
+        Value::Ref(None).as_int();
+    }
+}

@@ -1,0 +1,52 @@
+//! The simulated JVM.
+//!
+//! A faithful-in-structure stand-in for HotSpot as JPortal uses it
+//! (paper §2, §3, §6): bytecode starts out interpreted by a **template
+//! interpreter** whose per-opcode machine-code templates live at fixed
+//! addresses in the code cache; hot methods are compiled by a **tiered
+//! JIT** (C1, then C2 with inlining and block reordering) that records
+//! **debug information** mapping machine PCs back to `method@bci` with
+//! inline paths; compiled code lives in a bounded **code cache** whose
+//! sweeper can reclaim cold blobs — JPortal-style, code and metadata are
+//! exported *before* reclamation.
+//!
+//! Executing a program produces, per scheduled core, the machine-level
+//! control-flow events ([`jportal_ipt::HwEvent`]) that the PT encoder
+//! turns into packets, and — on the side — the ground-truth bytecode trace
+//! that the paper obtained from Ball–Larus instrumentation.
+//!
+//! Modules:
+//!
+//! * [`machine`] — synthetic machine instructions and code blobs,
+//! * [`template`] — the interpreter's template table (machine-code
+//!   metadata of §3.1),
+//! * [`debug_info`] — JIT debug records with inline paths (§3.2),
+//! * [`jit`] — the tiered compiler (C1/C2),
+//! * [`code_cache`] — allocation, eviction, export-before-reclaim,
+//! * [`heap`] — values, objects and arrays,
+//! * [`probes`] — the instrumentation-probe runtime for the baselines,
+//! * [`clock`] — the cycle cost model,
+//! * [`exec`] — the bytecode executor with mode-dependent event emission,
+//! * [`runtime`] — the whole-JVM driver (threads, scheduler, tracing).
+
+pub mod clock;
+pub mod code_cache;
+pub mod debug_info;
+pub mod exec;
+pub mod heap;
+pub mod jit;
+pub mod machine;
+pub mod probes;
+pub mod runtime;
+pub mod template;
+pub mod truth;
+
+pub use clock::CostModel;
+pub use code_cache::{CodeCache, MetadataArchive};
+pub use debug_info::{DebugRecord, DebugTable};
+pub use exec::{ExecError, Executor};
+pub use jit::{CompiledMethod, JitConfig, JitTier};
+pub use machine::{CodeBlob, MachineInsn, MiKind};
+pub use runtime::{Jvm, JvmConfig, RunResult};
+pub use template::TemplateTable;
+pub use truth::{GroundTruth, TruthEvent};

@@ -1,0 +1,229 @@
+//! Synthetic machine code.
+//!
+//! The simulation does not model x86 semantics — only what PT and the
+//! decoder care about: instruction addresses, sizes, and control-flow
+//! kinds. A [`CodeBlob`] is a walkable image: given an entry address and a
+//! TNT/TIP supply, a decoder can reproduce the machine-level path, which
+//! is precisely what libipt does with the real binary (paper §3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Control-flow kind of one machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MiKind {
+    /// Straight-line instruction (arithmetic, load/store, compare…).
+    Other,
+    /// Conditional branch.
+    CondBranch {
+        /// Branch target when the machine branch is taken.
+        target: u64,
+        /// `true` if taking the machine branch corresponds to the
+        /// *bytecode* branch being taken (the JIT may invert branches
+        /// during layout).
+        taken_means_bytecode_taken: bool,
+    },
+    /// Direct unconditional jump — produces **no** PT packet; the decoder
+    /// follows it from the code image.
+    Jump {
+        /// Jump target.
+        target: u64,
+    },
+    /// Indirect jump (switch dispatch, interpreter dispatch) — TIP.
+    IndirectJump,
+    /// Direct call — no packet; decoder follows.
+    Call {
+        /// Callee entry.
+        target: u64,
+    },
+    /// Indirect call (virtual dispatch, resolved call stubs) — TIP.
+    IndirectCall,
+    /// Return — TIP.
+    Ret,
+}
+
+impl MiKind {
+    /// `true` if executing this instruction emits a TIP packet.
+    pub fn emits_tip(self) -> bool {
+        matches!(
+            self,
+            MiKind::IndirectJump | MiKind::IndirectCall | MiKind::Ret
+        )
+    }
+
+    /// `true` if this instruction ends straight-line decoding (the decoder
+    /// must consult TNT/TIP or the image to continue).
+    pub fn is_control(self) -> bool {
+        !matches!(self, MiKind::Other)
+    }
+}
+
+/// One synthetic machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineInsn {
+    /// Address of the instruction.
+    pub addr: u64,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// Control-flow kind.
+    pub kind: MiKind,
+}
+
+impl MachineInsn {
+    /// Address of the next sequential instruction.
+    pub fn next_addr(&self) -> u64 {
+        self.addr + u64::from(self.len)
+    }
+}
+
+/// A contiguous, walkable machine-code image.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_jvm::machine::{CodeBlob, MachineInsn, MiKind};
+///
+/// let blob = CodeBlob::new(
+///     0x1000,
+///     vec![
+///         MachineInsn { addr: 0x1000, len: 4, kind: MiKind::Other },
+///         MachineInsn { addr: 0x1004, len: 4, kind: MiKind::Ret },
+///     ],
+/// );
+/// assert_eq!(blob.range(), (0x1000, 0x1008));
+/// assert_eq!(blob.insn_at(0x1004).unwrap().kind, MiKind::Ret);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeBlob {
+    start: u64,
+    end: u64,
+    insns: Vec<MachineInsn>,
+}
+
+impl CodeBlob {
+    /// Creates a blob from instructions sorted by address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insns` is empty, unsorted, or not contiguous with
+    /// `start`.
+    pub fn new(start: u64, insns: Vec<MachineInsn>) -> CodeBlob {
+        assert!(!insns.is_empty(), "empty code blob");
+        let mut expected = start;
+        for i in &insns {
+            assert_eq!(i.addr, expected, "non-contiguous machine code");
+            expected = i.next_addr();
+        }
+        CodeBlob {
+            start,
+            end: expected,
+            insns,
+        }
+    }
+
+    /// Address range `[start, end)`.
+    pub fn range(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// `true` if `addr` falls inside the blob.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// The instruction starting exactly at `addr`.
+    pub fn insn_at(&self, addr: u64) -> Option<&MachineInsn> {
+        let idx = self
+            .insns
+            .binary_search_by_key(&addr, |i| i.addr)
+            .ok()?;
+        Some(&self.insns[idx])
+    }
+
+    /// Index of the instruction starting exactly at `addr`.
+    pub fn index_of(&self, addr: u64) -> Option<usize> {
+        self.insns.binary_search_by_key(&addr, |i| i.addr).ok()
+    }
+
+    /// The instructions, in address order.
+    pub fn insns(&self) -> &[MachineInsn] {
+        &self.insns
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob() -> CodeBlob {
+        CodeBlob::new(
+            0x100,
+            vec![
+                MachineInsn {
+                    addr: 0x100,
+                    len: 2,
+                    kind: MiKind::Other,
+                },
+                MachineInsn {
+                    addr: 0x102,
+                    len: 6,
+                    kind: MiKind::CondBranch {
+                        target: 0x100,
+                        taken_means_bytecode_taken: true,
+                    },
+                },
+                MachineInsn {
+                    addr: 0x108,
+                    len: 1,
+                    kind: MiKind::Ret,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_address() {
+        let b = blob();
+        assert!(b.contains(0x100));
+        assert!(b.contains(0x108));
+        assert!(!b.contains(0x109));
+        assert_eq!(b.insn_at(0x102).unwrap().len, 6);
+        assert!(b.insn_at(0x101).is_none(), "mid-instruction address");
+        assert_eq!(b.index_of(0x108), Some(2));
+        assert_eq!(b.byte_len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn rejects_gaps() {
+        CodeBlob::new(
+            0x100,
+            vec![
+                MachineInsn {
+                    addr: 0x100,
+                    len: 2,
+                    kind: MiKind::Other,
+                },
+                MachineInsn {
+                    addr: 0x104,
+                    len: 2,
+                    kind: MiKind::Ret,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(MiKind::Ret.emits_tip());
+        assert!(MiKind::IndirectJump.emits_tip());
+        assert!(!MiKind::Jump { target: 0 }.emits_tip());
+        assert!(!MiKind::Call { target: 0 }.emits_tip());
+        assert!(MiKind::Jump { target: 0 }.is_control());
+        assert!(!MiKind::Other.is_control());
+    }
+}

@@ -1,0 +1,140 @@
+//! Runtime support for instrumentation probes.
+//!
+//! The Ball–Larus baselines (statement coverage, path profiling, full
+//! control-flow tracing) and the hot-method instrumentation baseline
+//! rewrite bytecode to insert [`jportal_bytecode::ProbeKind`] probes; the
+//! executor funnels them here. The runtime records counters, per-frame
+//! path registers, event-trace volume and method-timer samples — and the
+//! cost model charges each probe to the simulated clock, which is where
+//! the baselines' slowdowns (Table 2) come from.
+
+use std::collections::HashMap;
+
+use jportal_bytecode::ProbeKind;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated probe results for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProbeRuntime {
+    /// Counter table (statement coverage / hot-method entry counts).
+    counters: HashMap<u32, u64>,
+    /// Ball–Larus path counts: `(region, path value) → count`.
+    paths: HashMap<(u32, u64), u64>,
+    /// Control-flow event trace volume in bytes.
+    event_bytes: u64,
+    /// Number of control-flow events.
+    event_count: u64,
+    /// Method-timer samples: `method-id tag → (count, total cycles)`.
+    timers: HashMap<u32, (u64, u64)>,
+}
+
+impl ProbeRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> ProbeRuntime {
+        ProbeRuntime::default()
+    }
+
+    /// Executes one probe against the given frame path register.
+    /// `now` is the simulated time (used by method timers).
+    pub fn fire(&mut self, kind: ProbeKind, path_reg: &mut u64, now: u64) {
+        match kind {
+            ProbeKind::Count(id) => *self.counters.entry(id).or_insert(0) += 1,
+            ProbeKind::PathSet(v) => *path_reg = u64::from(v),
+            ProbeKind::PathAdd(v) => *path_reg = path_reg.wrapping_add(u64::from(v)),
+            ProbeKind::PathCommit(region) => {
+                *self.paths.entry((region, *path_reg)).or_insert(0) += 1;
+                *path_reg = 0;
+            }
+            ProbeKind::Event(bytes) => {
+                self.event_bytes += u64::from(bytes);
+                self.event_count += 1;
+            }
+            ProbeKind::MethodTimer(tag) => {
+                let e = self.timers.entry(tag).or_insert((0, 0));
+                e.0 += 1;
+                e.1 = e.1.wrapping_add(now);
+            }
+        }
+    }
+
+    /// A counter's value.
+    pub fn counter(&self, id: u32) -> u64 {
+        self.counters.get(&id).copied().unwrap_or(0)
+    }
+
+    /// All counters.
+    pub fn counters(&self) -> &HashMap<u32, u64> {
+        &self.counters
+    }
+
+    /// Count of a specific Ball–Larus path.
+    pub fn path_count(&self, region: u32, path: u64) -> u64 {
+        self.paths.get(&(region, path)).copied().unwrap_or(0)
+    }
+
+    /// All path counts.
+    pub fn paths(&self) -> &HashMap<(u32, u64), u64> {
+        &self.paths
+    }
+
+    /// Control-flow trace volume `(events, bytes)`.
+    pub fn event_volume(&self) -> (u64, u64) {
+        (self.event_count, self.event_bytes)
+    }
+
+    /// Method-timer samples.
+    pub fn timers(&self) -> &HashMap<u32, (u64, u64)> {
+        &self.timers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut rt = ProbeRuntime::new();
+        let mut reg = 0;
+        rt.fire(ProbeKind::Count(3), &mut reg, 0);
+        rt.fire(ProbeKind::Count(3), &mut reg, 0);
+        rt.fire(ProbeKind::Count(5), &mut reg, 0);
+        assert_eq!(rt.counter(3), 2);
+        assert_eq!(rt.counter(5), 1);
+        assert_eq!(rt.counter(9), 0);
+    }
+
+    #[test]
+    fn path_register_protocol() {
+        let mut rt = ProbeRuntime::new();
+        let mut reg = 0;
+        rt.fire(ProbeKind::PathAdd(3), &mut reg, 0);
+        rt.fire(ProbeKind::PathAdd(4), &mut reg, 0);
+        rt.fire(ProbeKind::PathCommit(1), &mut reg, 0);
+        assert_eq!(reg, 0, "commit resets the register");
+        assert_eq!(rt.path_count(1, 7), 1);
+        rt.fire(ProbeKind::PathSet(2), &mut reg, 0);
+        rt.fire(ProbeKind::PathCommit(1), &mut reg, 0);
+        assert_eq!(rt.path_count(1, 2), 1);
+        assert_eq!(rt.path_count(1, 7), 1);
+        assert_eq!(rt.path_count(2, 7), 0);
+    }
+
+    #[test]
+    fn event_volume_tracks_bytes() {
+        let mut rt = ProbeRuntime::new();
+        let mut reg = 0;
+        rt.fire(ProbeKind::Event(8), &mut reg, 0);
+        rt.fire(ProbeKind::Event(8), &mut reg, 0);
+        assert_eq!(rt.event_volume(), (2, 16));
+    }
+
+    #[test]
+    fn method_timers() {
+        let mut rt = ProbeRuntime::new();
+        let mut reg = 0;
+        rt.fire(ProbeKind::MethodTimer(7), &mut reg, 100);
+        rt.fire(ProbeKind::MethodTimer(7), &mut reg, 250);
+        assert_eq!(rt.timers().get(&7), Some(&(2, 350)));
+    }
+}

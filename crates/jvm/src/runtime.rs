@@ -1,0 +1,626 @@
+//! The whole-JVM driver: threads, scheduler, tiered compilation, tracing.
+//!
+//! [`Jvm::run`] executes a program's threads on a set of simulated cores
+//! with round-robin time slices, feeding each core's hardware events into
+//! its PT encoder (when tracing is enabled), recording thread-switch
+//! sideband records, draining trace buffers at a finite export rate and
+//! driving the tiered-compilation policy (interpret → C1 → C2). The
+//! result bundles everything JPortal's offline pipeline needs — per-core
+//! traces, sideband, machine-code metadata — plus the ground truth and
+//! overhead statistics the evaluation compares against.
+
+use std::collections::{HashMap, VecDeque};
+
+use jportal_bytecode::{MethodId, Program};
+use jportal_ipt::{CollectedTraces, CoreId, EncoderConfig, PtSession, ThreadId};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::CostModel;
+use crate::code_cache::{CodeCache, MetadataArchive, CODE_END, TEMPLATE_BASE};
+use crate::exec::{EventSink, ExecError, Executor, NullSink, ThreadState};
+use crate::jit::{compile, JitConfig, JitTier};
+use crate::probes::ProbeRuntime;
+use crate::truth::GroundTruth;
+
+/// One thread to run: an entry method and its integer arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Entry method of the thread.
+    pub method: MethodId,
+    /// Integer arguments placed in the first locals.
+    pub args: Vec<i64>,
+}
+
+/// Sampling-profiler configuration (xprof / JProfiler analogs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Cycles between samples (the paper uses 10 ms).
+    pub period: u64,
+    /// Cost charged per sample (stack walk + record).
+    pub cost: u64,
+}
+
+/// JVM configuration.
+#[derive(Debug, Clone)]
+pub struct JvmConfig {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Whether PT tracing is on (off = the overhead baseline).
+    pub tracing: bool,
+    /// Per-core PT buffer capacity in bytes (the paper's 64/128/256 MB
+    /// knob, scaled).
+    pub pt_buffer_capacity: usize,
+    /// TSC packet cadence in cycles.
+    pub tsc_period: u64,
+    /// PSB cadence in buffer bytes.
+    pub psb_period: usize,
+    /// Exporter rate: bytes drained per 1000 cycles per core.
+    pub drain_bytes_per_kilocycle: u64,
+    /// Invocations before C1 compilation.
+    pub c1_threshold: u64,
+    /// Invocations before C2 compilation.
+    pub c2_threshold: u64,
+    /// JIT parameters.
+    pub jit: JitConfig,
+    /// Live code-cache capacity in bytes.
+    pub code_cache_capacity: u64,
+    /// Scheduler time slice in cycles.
+    pub quantum: u64,
+    /// Optional sampling profiler.
+    pub sampler: Option<SamplerConfig>,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Per-thread step limit.
+    pub step_limit: u64,
+    /// Record full ground-truth traces (disable for overhead-only runs).
+    pub record_truth_trace: bool,
+}
+
+impl Default for JvmConfig {
+    fn default() -> JvmConfig {
+        JvmConfig {
+            cores: 1,
+            tracing: true,
+            pt_buffer_capacity: 128 * 1024,
+            tsc_period: 512,
+            psb_period: 8 * 1024,
+            drain_bytes_per_kilocycle: 40,
+            c1_threshold: 8,
+            c2_threshold: 64,
+            jit: JitConfig::default(),
+            code_cache_capacity: 512 * 1024,
+            quantum: 4096,
+            sampler: None,
+            cost: CostModel::default(),
+            step_limit: 200_000_000,
+            record_truth_trace: true,
+        }
+    }
+}
+
+/// Everything produced by one JVM run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// PT traces + sideband (present when tracing was enabled).
+    pub traces: Option<CollectedTraces>,
+    /// Exported machine-code metadata.
+    pub archive: MetadataArchive,
+    /// Ground truth.
+    pub truth: GroundTruth,
+    /// Instrumentation-probe results.
+    pub probes: ProbeRuntime,
+    /// Wall time: the maximum core clock at the end.
+    pub wall_cycles: u64,
+    /// Sampling-profiler results: samples per method.
+    pub samples: HashMap<MethodId, u64>,
+    /// Threads that failed, with their errors.
+    pub thread_errors: Vec<(ThreadId, ExecError)>,
+    /// Number of JIT compilations performed.
+    pub compilations: usize,
+}
+
+impl RunResult {
+    /// The `n` hottest methods by sampling (Table 4's sampled profilers).
+    pub fn hottest_sampled(&self, n: usize) -> Vec<MethodId> {
+        let mut v: Vec<(MethodId, u64)> = self.samples.iter().map(|(&m, &c)| (m, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v.into_iter().map(|(m, _)| m).collect()
+    }
+}
+
+/// The simulated JVM.
+#[derive(Debug, Clone, Default)]
+pub struct Jvm {
+    /// Configuration used by [`Jvm::run`].
+    pub config: JvmConfig,
+}
+
+impl Jvm {
+    /// Creates a JVM with the given configuration.
+    pub fn new(config: JvmConfig) -> Jvm {
+        Jvm { config }
+    }
+
+    /// Runs the program's entry method as a single thread.
+    pub fn run(&self, program: &Program) -> RunResult {
+        self.run_threads(
+            program,
+            &[ThreadSpec {
+                method: program.entry(),
+                args: Vec::new(),
+            }],
+        )
+    }
+
+    /// Runs the given threads to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or a spec's argument count mismatches
+    /// its method.
+    pub fn run_threads(&self, program: &Program, threads: &[ThreadSpec]) -> RunResult {
+        assert!(!threads.is_empty(), "at least one thread");
+        let cfg = &self.config;
+        let mut cache = CodeCache::new(cfg.code_cache_capacity);
+        let mut exec = Executor::new(program);
+        exec.cost = cfg.cost;
+        exec.step_limit = cfg.step_limit;
+        exec.record_truth_trace = cfg.record_truth_trace;
+        exec.charge_pt_stall = cfg.tracing;
+
+        let mut session = cfg.tracing.then(|| {
+            let enc = EncoderConfig {
+                buffer_capacity: cfg.pt_buffer_capacity,
+                filter: Some((TEMPLATE_BASE, CODE_END)),
+                tsc_period: cfg.tsc_period,
+                psb_period: cfg.psb_period,
+            };
+            PtSession::new(cfg.cores, enc)
+        });
+
+        let mut states: Vec<ThreadState> = threads
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| exec.spawn(ThreadId(i as u32), spec.method, &spec.args, &cache))
+            .collect();
+
+        let mut clocks = vec![0u64; cfg.cores];
+        let mut runqueue: VecDeque<usize> = (0..states.len()).collect();
+        let mut on_core: Vec<Option<ThreadId>> = vec![None; cfg.cores];
+        let mut thread_last_ts = vec![0u64; states.len()];
+        let mut invocations: HashMap<MethodId, u64> = HashMap::new();
+        let mut tier_of: HashMap<MethodId, JitTier> = HashMap::new();
+        let mut compilations = 0usize;
+        let mut samples: HashMap<MethodId, u64> = HashMap::new();
+        let mut next_sample = vec![cfg.sampler.map(|s| s.period).unwrap_or(u64::MAX); cfg.cores];
+
+        // Seed invocation counters with the spawned entries.
+        for spec in threads {
+            *invocations.entry(spec.method).or_insert(0) += 1;
+        }
+
+        'outer: loop {
+            let mut progressed = false;
+            for core in 0..cfg.cores {
+                let Some(tid) = runqueue.pop_front() else {
+                    break;
+                };
+                if !states[tid].is_runnable() {
+                    continue;
+                }
+                progressed = true;
+                let thread_id = states[tid].id;
+                clocks[core] = clocks[core].max(thread_last_ts[tid]);
+                if on_core[core] != Some(thread_id) {
+                    if let Some(s) = session.as_mut() {
+                        if let Some(prev) = on_core[core] {
+                            s.record_switch_out(CoreId(core as u32), prev, clocks[core]);
+                        }
+                        s.record_switch_in(CoreId(core as u32), thread_id, clocks[core]);
+                    }
+                    on_core[core] = Some(thread_id);
+                }
+
+                let slice_end = clocks[core] + cfg.quantum;
+                let mut pending_compiles: Vec<MethodId> = Vec::new();
+                while clocks[core] < slice_end && states[tid].is_runnable() {
+                    let now = clocks[core];
+                    let result = match session.as_mut() {
+                        Some(s) => {
+                            let enc = s.core_mut(CoreId(core as u32));
+                            enc.set_time(now);
+                            let mut sink = EncoderSink { enc };
+                            exec.step(&mut states[tid], &cache, &mut sink, now)
+                        }
+                        None => exec.step(&mut states[tid], &cache, &mut NullSink, now),
+                    };
+                    clocks[core] += result.cost.max(1);
+
+                    if let Some(m) = result.invoked {
+                        let count = invocations.entry(m).or_insert(0);
+                        *count += 1;
+                        let tier = tier_of.get(&m).copied();
+                        let want = if *count >= cfg.c2_threshold && tier != Some(JitTier::C2) {
+                            Some(JitTier::C2)
+                        } else if *count >= cfg.c1_threshold && tier.is_none() {
+                            Some(JitTier::C1)
+                        } else {
+                            None
+                        };
+                        if want.is_some() {
+                            pending_compiles.push(m);
+                        }
+                    }
+
+                    // Sampling profiler: one sample when due, then re-arm
+                    // one period after the sample *completes* (a sampler
+                    // whose cost exceeds its period degrades gracefully
+                    // instead of snowballing).
+                    if let Some(s) = cfg.sampler {
+                        if clocks[core] >= next_sample[core] {
+                            if states[tid].is_runnable() {
+                                let m = states[tid].frame().method;
+                                *samples.entry(m).or_insert(0) += 1;
+                            }
+                            clocks[core] += s.cost;
+                            next_sample[core] = clocks[core] + s.period;
+                        }
+                    }
+                }
+
+                // Compile outside the stepping loop (needs &mut cache).
+                for m in pending_compiles {
+                    let count = invocations.get(&m).copied().unwrap_or(0);
+                    let tier = tier_of.get(&m).copied();
+                    let want = if count >= cfg.c2_threshold && tier != Some(JitTier::C2) {
+                        JitTier::C2
+                    } else if count >= cfg.c1_threshold && tier.is_none() {
+                        JitTier::C1
+                    } else {
+                        continue;
+                    };
+                    let cm = compile(program, m, want, 0, &cfg.jit);
+                    let code_len = program.method(m).code.len() as u64;
+                    let compile_cost = match want {
+                        JitTier::C1 => cfg.cost.compile_per_bytecode_c1 * code_len,
+                        JitTier::C2 => cfg.cost.compile_per_bytecode_c2 * code_len,
+                    };
+                    // Compilation runs on a background compiler thread in
+                    // real JVMs; charge a fraction to the app core.
+                    clocks[core] += compile_cost / 8;
+                    if cfg.tracing {
+                        clocks[core] +=
+                            cm.insn_count() as u64 * cfg.cost.metadata_export_per_insn;
+                    }
+                    cache.install(cm, clocks[core]);
+                    cache.touch(m, clocks[core]);
+                    tier_of.insert(m, want);
+                    compilations += 1;
+                }
+                cache.touch(states[tid].frame_method_or_entry(), clocks[core]);
+
+                // Exporter drains proportionally to elapsed time.
+                if let Some(s) = session.as_mut() {
+                    let drained = cfg.quantum * cfg.drain_bytes_per_kilocycle / 1000;
+                    s.core_mut(CoreId(core as u32)).drain(drained as usize);
+                }
+
+                thread_last_ts[tid] = clocks[core];
+                if states[tid].is_runnable() {
+                    runqueue.push_back(tid);
+                }
+            }
+            if !progressed && runqueue.is_empty() {
+                break 'outer;
+            }
+            if !progressed {
+                // Only non-runnable threads remained in this pass.
+                break;
+            }
+        }
+
+        let wall = clocks.iter().copied().max().unwrap_or(0);
+        let thread_errors = states
+            .iter()
+            .filter_map(|s| match &s.status {
+                crate::exec::ThreadStatus::Failed(e) => Some((s.id, e.clone())),
+                _ => None,
+            })
+            .collect();
+
+        RunResult {
+            traces: session.map(|s| s.finish(wall)),
+            archive: cache.into_archive(),
+            truth: std::mem::take(&mut exec.truth),
+            probes: std::mem::take(&mut exec.probes),
+            wall_cycles: wall,
+            samples,
+            thread_errors,
+            compilations,
+        }
+    }
+}
+
+struct EncoderSink<'a> {
+    enc: &'a mut jportal_ipt::PtEncoder,
+}
+
+impl EventSink for EncoderSink<'_> {
+    fn emit(&mut self, ev: jportal_ipt::HwEvent) {
+        self.enc.event(ev);
+    }
+}
+
+impl ThreadState {
+    /// Current method (or the entry for accounting when finished).
+    fn frame_method_or_entry(&self) -> MethodId {
+        self.frames
+            .last()
+            .map(|f| f.method)
+            .unwrap_or(MethodId(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{Bci, CmpKind, Instruction as I};
+    use jportal_ipt::{decode_packets, Packet};
+
+    /// main loops `n` times calling a small helper.
+    fn loopy_program(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut h = pb.method(c, "helper", 1, true);
+        let odd = h.label();
+        h.emit(I::Iload(0));
+        h.emit(I::Iconst(2));
+        h.emit(I::Irem);
+        h.branch_if(CmpKind::Ne, odd);
+        h.emit(I::Iconst(10));
+        h.emit(I::Ireturn);
+        h.bind(odd);
+        h.emit(I::Iconst(20));
+        h.emit(I::Ireturn);
+        let helper = h.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        let head = m.label();
+        let done = m.label();
+        m.emit(I::Iconst(n));
+        m.emit(I::Istore(0));
+        m.bind(head);
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Le, done);
+        m.emit(I::Iload(0));
+        m.emit(I::InvokeStatic(helper));
+        m.emit(I::Pop);
+        m.emit(I::Iinc(0, -1));
+        m.jump(head);
+        m.bind(done);
+        m.emit(I::Return);
+        let main = m.finish();
+        pb.finish_with_entry(main).unwrap()
+    }
+
+    #[test]
+    fn runs_to_completion_and_records_truth() {
+        let p = loopy_program(5);
+        let jvm = Jvm::new(JvmConfig {
+            tracing: false,
+            ..JvmConfig::default()
+        });
+        let r = jvm.run(&p);
+        assert!(r.thread_errors.is_empty());
+        assert!(r.truth.total_events() > 5 * 8);
+        assert!(r.wall_cycles > 0);
+        assert!(r.traces.is_none());
+        // helper invoked 5 times + main once.
+        assert_eq!(r.truth.invocations().get(&MethodId(0)), Some(&5));
+    }
+
+    #[test]
+    fn tracing_produces_decodable_packets() {
+        let p = loopy_program(4);
+        let jvm = Jvm::new(JvmConfig {
+            c1_threshold: u64::MAX, // stay interpreted
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        });
+        let r = jvm.run(&p);
+        let traces = r.traces.expect("tracing enabled");
+        let packets = decode_packets(&traces.per_core[0].bytes);
+        assert!(!packets.is_empty());
+        // Must contain a PGE (thread start), TIPs into templates, and TNTs.
+        assert!(packets
+            .iter()
+            .any(|tp| matches!(tp.packet, Packet::TipPge { .. })));
+        let tips = packets
+            .iter()
+            .filter(|tp| matches!(tp.packet, Packet::Tip { .. }))
+            .count();
+        assert!(tips > 20, "interpreted dispatch TIPs, got {tips}");
+        assert!(packets
+            .iter()
+            .any(|tp| matches!(tp.packet, Packet::Tnt { .. })));
+        // All interpreted TIPs land in the template region.
+        for tp in &packets {
+            if let Packet::Tip { ip, .. } = tp.packet {
+                assert!(
+                    (TEMPLATE_BASE..CODE_END).contains(&ip),
+                    "TIP {ip:#x} outside the code cache"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_methods_get_compiled_and_called_via_tip() {
+        let p = loopy_program(40);
+        let jvm = Jvm::new(JvmConfig {
+            c1_threshold: 4,
+            c2_threshold: 16,
+            ..JvmConfig::default()
+        });
+        let r = jvm.run(&p);
+        assert!(r.compilations >= 2, "helper should reach C1 then C2");
+        assert!(!r.archive.blobs.is_empty());
+        // Ground truth is unaffected by mode switches.
+        assert_eq!(r.truth.invocations().get(&MethodId(0)), Some(&40));
+        assert!(r.thread_errors.is_empty());
+    }
+
+    #[test]
+    fn tracing_overhead_is_positive_but_small() {
+        let p = loopy_program(60);
+        let base = Jvm::new(JvmConfig {
+            tracing: false,
+            record_truth_trace: false,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        let traced = Jvm::new(JvmConfig {
+            tracing: true,
+            record_truth_trace: false,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        assert!(traced.wall_cycles > base.wall_cycles);
+        let slowdown = traced.wall_cycles as f64 / base.wall_cycles as f64;
+        assert!(
+            slowdown < 1.6,
+            "hardware tracing should be cheap, got {slowdown:.2}x"
+        );
+    }
+
+    #[test]
+    fn multi_threaded_runs_record_switches() {
+        let p = loopy_program(10);
+        let jvm = Jvm::new(JvmConfig {
+            cores: 2,
+            ..JvmConfig::default()
+        });
+        let main = p.entry();
+        let r = jvm.run_threads(
+            &p,
+            &[
+                ThreadSpec {
+                    method: main,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    method: main,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    method: main,
+                    args: vec![],
+                },
+            ],
+        );
+        assert!(r.thread_errors.is_empty());
+        let traces = r.traces.unwrap();
+        let switches = traces
+            .sideband
+            .iter()
+            .filter(|s| matches!(s, jportal_ipt::SidebandRecord::SwitchIn { .. }))
+            .count();
+        assert!(switches >= 3, "each thread scheduled at least once");
+        assert_eq!(r.truth.threads().len(), 3);
+    }
+
+    #[test]
+    fn sampler_collects_samples_and_costs_time() {
+        let p = loopy_program(200);
+        let no_sampler = Jvm::new(JvmConfig {
+            tracing: false,
+            record_truth_trace: false,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        let sampled = Jvm::new(JvmConfig {
+            tracing: false,
+            record_truth_trace: false,
+            sampler: Some(SamplerConfig {
+                period: 5000,
+                cost: 400,
+            }),
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        let total: u64 = sampled.samples.values().sum();
+        assert!(total > 0, "sampler must fire");
+        assert!(sampled.wall_cycles > no_sampler.wall_cycles);
+    }
+
+    #[test]
+    fn uncaught_exception_fails_thread() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::Iconst(1));
+        m.emit(I::Iconst(0));
+        m.emit(I::Idiv);
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let r = Jvm::new(JvmConfig::default()).run(&p);
+        assert_eq!(r.thread_errors.len(), 1);
+        assert!(matches!(
+            r.thread_errors[0].1,
+            ExecError::UncaughtException { class: None }
+        ));
+    }
+
+    #[test]
+    fn caught_exception_continues_at_handler() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let handler = m.label();
+        let start = m.here();
+        m.emit(I::Iconst(1));
+        m.emit(I::Iconst(0));
+        m.emit(I::Idiv);
+        m.emit(I::Pop);
+        let end = m.here();
+        m.emit(I::Return);
+        m.add_handler(start, end, handler, None);
+        m.bind(handler);
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let r = Jvm::new(JvmConfig::default()).run(&p);
+        assert!(r.thread_errors.is_empty());
+        // Truth trace must show the handler (bci 5) executing.
+        let t = r.truth.trace(ThreadId(0));
+        assert!(t.iter().any(|e| e.bci == Bci(5)));
+        // And the trace must contain a FUP (async exception event).
+        let traces = r.traces.unwrap();
+        let packets = decode_packets(&traces.per_core[0].bytes);
+        assert!(packets
+            .iter()
+            .any(|tp| matches!(tp.packet, Packet::Fup { .. })));
+    }
+
+    #[test]
+    fn small_buffer_causes_data_loss() {
+        let p = loopy_program(400);
+        let r = Jvm::new(JvmConfig {
+            pt_buffer_capacity: 256,
+            drain_bytes_per_kilocycle: 2,
+            c1_threshold: u64::MAX,
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        })
+        .run(&p);
+        let traces = r.traces.unwrap();
+        assert!(
+            !traces.per_core[0].losses.is_empty(),
+            "tiny buffer must overflow"
+        );
+    }
+}

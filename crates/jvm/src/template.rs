@@ -1,0 +1,229 @@
+//! The template interpreter's machine-code metadata (§3.1).
+//!
+//! During JVM initialization the template interpreter lays down one
+//! machine-code template per bytecode operation at fixed addresses.
+//! Executing a bytecode jumps (indirectly) to its template's entry — each
+//! interpreted bytecode therefore produces exactly one TIP packet whose
+//! target identifies the opcode, plus a TNT bit inside conditional-branch
+//! templates (the paper's Figure 2).
+//!
+//! JPortal's interpreted-mode decoder needs exactly this table: the
+//! address range of every template (Figure 2c).
+
+use jportal_bytecode::OpKind;
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{CodeBlob, MachineInsn, MiKind};
+
+/// Template metadata for one opcode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    /// The opcode this template interprets.
+    pub op: OpKind,
+    /// Entry address (dispatch targets land here).
+    pub entry: u64,
+    /// Address range `[start, end)` of the template's machine code.
+    pub range: (u64, u64),
+    /// Address of the internal conditional branch mirroring the bytecode
+    /// branch decision (conditional templates only).
+    pub cond_addr: Option<u64>,
+    /// Address of the trailing dispatch jump (indirect).
+    pub dispatch_addr: u64,
+}
+
+/// The full template table, as collected at JVM initialization.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_bytecode::OpKind;
+/// use jportal_jvm::TemplateTable;
+///
+/// let table = TemplateTable::new(0x7f80_0000_0000);
+/// let t = table.template(OpKind::Ifeq);
+/// assert!(t.cond_addr.is_some());
+/// assert_eq!(table.op_at(t.entry), Some(OpKind::Ifeq));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateTable {
+    base: u64,
+    end: u64,
+    templates: Vec<Template>,
+}
+
+impl TemplateTable {
+    /// Spacing between template entries; each template occupies a slice of
+    /// this stride (templates have different lengths in reality; the
+    /// stride keeps address arithmetic simple while ranges stay distinct).
+    pub const STRIDE: u64 = 0x40;
+
+    /// Lays the templates down starting at `base`.
+    pub fn new(base: u64) -> TemplateTable {
+        let mut templates = Vec::with_capacity(OpKind::ALL.len());
+        for (i, &op) in OpKind::ALL.iter().enumerate() {
+            let start = base + i as u64 * Self::STRIDE;
+            let is_cond = matches!(
+                op,
+                OpKind::Ifeq
+                    | OpKind::Ifne
+                    | OpKind::Iflt
+                    | OpKind::Ifge
+                    | OpKind::Ifgt
+                    | OpKind::Ifle
+                    | OpKind::IfIcmpeq
+                    | OpKind::IfIcmpne
+                    | OpKind::IfIcmplt
+                    | OpKind::IfIcmpge
+                    | OpKind::IfIcmpgt
+                    | OpKind::IfIcmple
+                    | OpKind::Ifnull
+            );
+            // Template shape: a couple of Other insns, optionally the
+            // mirrored conditional, then the indirect dispatch.
+            let cond_addr = if is_cond { Some(start + 0x10) } else { None };
+            let dispatch_addr = start + 0x30;
+            templates.push(Template {
+                op,
+                entry: start,
+                range: (start, start + Self::STRIDE),
+                cond_addr,
+                dispatch_addr,
+            });
+        }
+        TemplateTable {
+            base,
+            end: base + OpKind::ALL.len() as u64 * Self::STRIDE,
+            templates,
+        }
+    }
+
+    /// The template for an opcode.
+    pub fn template(&self, op: OpKind) -> &Template {
+        &self.templates[op.index()]
+    }
+
+    /// The opcode whose template contains `addr`, if any.
+    pub fn op_at(&self, addr: u64) -> Option<OpKind> {
+        if addr < self.base || addr >= self.end {
+            return None;
+        }
+        let idx = ((addr - self.base) / Self::STRIDE) as usize;
+        OpKind::ALL.get(idx).copied()
+    }
+
+    /// Address range `[base, end)` covered by all templates.
+    pub fn range(&self) -> (u64, u64) {
+        (self.base, self.end)
+    }
+
+    /// All templates in table order.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// A walkable machine-code image of one template (for decoders that
+    /// want to treat templates like any other blob).
+    pub fn blob_of(&self, op: OpKind) -> CodeBlob {
+        let t = self.template(op);
+        let mut insns = Vec::new();
+        let mut addr = t.entry;
+        // Leading Others up to the conditional (if any).
+        while addr < t.cond_addr.unwrap_or(t.dispatch_addr) {
+            insns.push(MachineInsn {
+                addr,
+                len: 8,
+                kind: MiKind::Other,
+            });
+            addr += 8;
+        }
+        if let Some(c) = t.cond_addr {
+            insns.push(MachineInsn {
+                addr: c,
+                len: 8,
+                kind: MiKind::CondBranch {
+                    // Taken in the template skips ahead within it.
+                    target: c + 16,
+                    taken_means_bytecode_taken: true,
+                },
+            });
+            addr = c + 8;
+            while addr < t.dispatch_addr {
+                insns.push(MachineInsn {
+                    addr,
+                    len: 8,
+                    kind: MiKind::Other,
+                });
+                addr += 8;
+            }
+        }
+        insns.push(MachineInsn {
+            addr: t.dispatch_addr,
+            len: 8,
+            kind: MiKind::IndirectJump,
+        });
+        addr = t.dispatch_addr + 8;
+        while addr < t.range.1 {
+            insns.push(MachineInsn {
+                addr,
+                len: 8,
+                kind: MiKind::Other,
+            });
+            addr += 8;
+        }
+        CodeBlob::new(t.entry, insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_tile_the_range_disjointly() {
+        let t = TemplateTable::new(0x7f00_0000_0000);
+        let mut prev_end = t.range().0;
+        for tpl in t.templates() {
+            assert_eq!(tpl.range.0, prev_end);
+            prev_end = tpl.range.1;
+            assert!(tpl.entry >= tpl.range.0 && tpl.entry < tpl.range.1);
+            assert!(tpl.dispatch_addr < tpl.range.1);
+        }
+        assert_eq!(prev_end, t.range().1);
+    }
+
+    #[test]
+    fn op_at_resolves_every_template_address() {
+        let t = TemplateTable::new(0x1000);
+        for tpl in t.templates() {
+            assert_eq!(t.op_at(tpl.entry), Some(tpl.op));
+            assert_eq!(t.op_at(tpl.dispatch_addr), Some(tpl.op));
+            assert_eq!(t.op_at(tpl.range.1 - 1), Some(tpl.op));
+        }
+        assert_eq!(t.op_at(0xFFF), None);
+        assert_eq!(t.op_at(t.range().1), None);
+    }
+
+    #[test]
+    fn conditional_templates_have_cond_addr() {
+        let t = TemplateTable::new(0x1000);
+        assert!(t.template(OpKind::Ifeq).cond_addr.is_some());
+        assert!(t.template(OpKind::IfIcmplt).cond_addr.is_some());
+        assert!(t.template(OpKind::Goto).cond_addr.is_none());
+        assert!(t.template(OpKind::Iadd).cond_addr.is_none());
+    }
+
+    #[test]
+    fn template_blobs_are_walkable() {
+        let t = TemplateTable::new(0x1000);
+        for &op in OpKind::ALL {
+            let blob = t.blob_of(op);
+            assert_eq!(blob.range(), t.template(op).range);
+            let dispatches = blob
+                .insns()
+                .iter()
+                .filter(|i| i.kind == MiKind::IndirectJump)
+                .count();
+            assert_eq!(dispatches, 1, "{op}: exactly one dispatch");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Ground-truth recording.
+//!
+//! The paper measures JPortal's accuracy against control-flow profiles
+//! collected by Ball–Larus instrumentation (§7.2). The simulation can do
+//! better: the executor records the *exact* executed bytecode trace per
+//! thread, plus per-method time attribution for the hot-method experiment
+//! (Table 4). Accuracy scoring in `jportal-core` compares reconstructions
+//! against these.
+
+use jportal_bytecode::{Bci, MethodId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use jportal_ipt::ThreadId;
+
+/// One executed bytecode with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthEvent {
+    /// Method executed.
+    pub method: MethodId,
+    /// Bytecode index executed.
+    pub bci: Bci,
+    /// Simulated time at execution.
+    pub ts: u64,
+}
+
+/// Per-thread ground truth plus aggregate statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Executed bytecode trace per thread.
+    traces: HashMap<ThreadId, Vec<TruthEvent>>,
+    /// Cycles attributed to each method (self time).
+    method_cycles: HashMap<MethodId, u64>,
+    /// Invocation counts per method.
+    invocations: HashMap<MethodId, u64>,
+}
+
+impl GroundTruth {
+    /// Creates an empty recorder.
+    pub fn new() -> GroundTruth {
+        GroundTruth::default()
+    }
+
+    /// Records one executed bytecode.
+    pub fn record(&mut self, thread: ThreadId, method: MethodId, bci: Bci, ts: u64, cost: u64) {
+        self.traces
+            .entry(thread)
+            .or_default()
+            .push(TruthEvent { method, bci, ts });
+        *self.method_cycles.entry(method).or_insert(0) += cost;
+    }
+
+    /// Records a method invocation.
+    pub fn record_invocation(&mut self, method: MethodId) {
+        *self.invocations.entry(method).or_insert(0) += 1;
+    }
+
+    /// Records only the aggregate statistics of an executed bytecode
+    /// (overhead-measurement runs skip the full trace to save memory).
+    pub fn record_stats_only(&mut self, method: MethodId, cost: u64) {
+        *self.method_cycles.entry(method).or_insert(0) += cost;
+    }
+
+    /// The executed trace of one thread.
+    pub fn trace(&self, thread: ThreadId) -> &[TruthEvent] {
+        self.traces.get(&thread).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All threads that executed anything.
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut v: Vec<ThreadId> = self.traces.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Total executed bytecodes over all threads.
+    pub fn total_events(&self) -> u64 {
+        self.traces.values().map(|t| t.len() as u64).sum()
+    }
+
+    /// Self-cycles per method.
+    pub fn method_cycles(&self) -> &HashMap<MethodId, u64> {
+        &self.method_cycles
+    }
+
+    /// Invocation counts.
+    pub fn invocations(&self) -> &HashMap<MethodId, u64> {
+        &self.invocations
+    }
+
+    /// The `n` hottest methods by self-cycles, hottest first — the
+    /// ground truth of the paper's Table 4.
+    pub fn hottest_methods(&self, n: usize) -> Vec<MethodId> {
+        let mut v: Vec<(MethodId, u64)> = self
+            .method_cycles
+            .iter()
+            .map(|(&m, &c)| (m, c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v.into_iter().map(|(m, _)| m).collect()
+    }
+
+    /// Per-`(method, bci)` execution counts (statement coverage ground
+    /// truth).
+    pub fn statement_counts(&self) -> HashMap<(MethodId, Bci), u64> {
+        let mut out = HashMap::new();
+        for trace in self.traces.values() {
+            for e in trace {
+                *out.entry((e.method, e.bci)).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_ranks() {
+        let mut gt = GroundTruth::new();
+        let t = ThreadId(0);
+        gt.record(t, MethodId(1), Bci(0), 10, 5);
+        gt.record(t, MethodId(1), Bci(1), 15, 5);
+        gt.record(t, MethodId(2), Bci(0), 20, 100);
+        gt.record_invocation(MethodId(1));
+        assert_eq!(gt.trace(t).len(), 3);
+        assert_eq!(gt.total_events(), 3);
+        assert_eq!(gt.hottest_methods(1), vec![MethodId(2)]);
+        assert_eq!(gt.hottest_methods(2), vec![MethodId(2), MethodId(1)]);
+        assert_eq!(gt.invocations().get(&MethodId(1)), Some(&1));
+        assert_eq!(gt.threads(), vec![t]);
+    }
+
+    #[test]
+    fn statement_counts_aggregate_threads() {
+        let mut gt = GroundTruth::new();
+        gt.record(ThreadId(0), MethodId(0), Bci(4), 1, 1);
+        gt.record(ThreadId(1), MethodId(0), Bci(4), 2, 1);
+        let counts = gt.statement_counts();
+        assert_eq!(counts.get(&(MethodId(0), Bci(4))), Some(&2));
+    }
+
+    #[test]
+    fn hottest_ties_break_deterministically() {
+        let mut gt = GroundTruth::new();
+        gt.record(ThreadId(0), MethodId(5), Bci(0), 0, 10);
+        gt.record(ThreadId(0), MethodId(3), Bci(0), 0, 10);
+        assert_eq!(gt.hottest_methods(2), vec![MethodId(3), MethodId(5)]);
+    }
+}

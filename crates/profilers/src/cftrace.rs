@@ -1,0 +1,126 @@
+//! Full control-flow tracing instrumentation (the paper's "CF" baseline).
+//!
+//! Records the complete block-level execution trace by appending an event
+//! record at every basic-block entry. This is the technique whose trace
+//! the paper uses as ground truth — and whose overhead reaches 3555× on
+//! branch-dense code (Table 2), because every block pays an event-buffer
+//! write amortizing file I/O.
+
+use std::collections::HashMap;
+
+use jportal_bytecode::{Instruction, MethodId, ProbeKind, Program};
+use jportal_cfg::block::Cfg;
+
+use crate::rewrite::InsertionPlan;
+
+/// Size of one trace record on disk: block id + timestamp.
+pub const EVENT_BYTES: u32 = 12;
+
+/// Map from event id to `(method, block start bci)`.
+#[derive(Debug, Clone, Default)]
+pub struct CfTraceMap {
+    /// Event id → (method, block start bci).
+    pub blocks: HashMap<u32, (MethodId, u32)>,
+}
+
+/// Instruments every basic block with a control-flow trace event.
+///
+/// The probe runtime accumulates the number of events and total bytes —
+/// the paper's Table 5 "trace size" for the baseline — while the cost
+/// model charges per-byte write costs that produce the Table 2 slowdowns.
+pub fn instrument_control_flow(program: &Program) -> (Program, CfTraceMap) {
+    let mut map = CfTraceMap::default();
+    let mut methods = Vec::new();
+    let mut next_id = 0u32;
+    for (mid, method) in program.methods() {
+        let cfg = Cfg::build(method);
+        let mut plan = InsertionPlan::new();
+        for (_bid, block) in cfg.blocks() {
+            let id = next_id;
+            next_id += 1;
+            map.blocks.insert(id, (mid, block.start.0));
+            plan.at_entry(
+                block.start,
+                [Instruction::Probe(ProbeKind::Event(EVENT_BYTES))],
+            );
+        }
+        methods.push(plan.apply(method).method);
+    }
+    let classes = program.classes().map(|(_, c)| c.clone()).collect();
+    let instrumented = Program::from_parts(classes, methods, program.entry());
+    jportal_bytecode::verify_program(&instrumented).expect("instrumented program verifies");
+    (instrumented, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I};
+    use jportal_jvm::runtime::{Jvm, JvmConfig};
+
+    fn loopy(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let head = m.label();
+        let done = m.label();
+        m.emit(I::Iconst(n));
+        m.emit(I::Istore(0));
+        m.bind(head);
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Le, done);
+        m.emit(I::Iinc(0, -1));
+        m.jump(head);
+        m.bind(done);
+        m.emit(I::Return);
+        let id = m.finish();
+        pb.finish_with_entry(id).unwrap()
+    }
+
+    #[test]
+    fn event_volume_matches_block_executions() {
+        let p = loopy(10);
+        let (instrumented, _map) = instrument_control_flow(&p);
+        let r = Jvm::new(JvmConfig {
+            tracing: false,
+            ..JvmConfig::default()
+        })
+        .run(&instrumented);
+        assert!(r.thread_errors.is_empty());
+        let (events, bytes) = r.probes.event_volume();
+        // Blocks: entry once, header 11×, body 10×, exit once = 23.
+        assert_eq!(events, 23);
+        assert_eq!(bytes, 23 * u64::from(EVENT_BYTES));
+    }
+
+    #[test]
+    fn cf_tracing_is_much_slower_than_coverage() {
+        let p = loopy(400);
+        let base = Jvm::new(JvmConfig {
+            tracing: false,
+            record_truth_trace: false,
+            ..JvmConfig::default()
+        })
+        .run(&p)
+        .wall_cycles;
+        let (cf, _) = instrument_control_flow(&p);
+        let cf_t = Jvm::new(JvmConfig {
+            tracing: false,
+            record_truth_trace: false,
+            ..JvmConfig::default()
+        })
+        .run(&cf)
+        .wall_cycles;
+        let (sc, _) = crate::coverage::instrument_statement_coverage(&p);
+        let sc_t = Jvm::new(JvmConfig {
+            tracing: false,
+            record_truth_trace: false,
+            ..JvmConfig::default()
+        })
+        .run(&sc)
+        .wall_cycles;
+        assert!(cf_t > sc_t, "CF must cost more than SC");
+        assert!(cf_t > base, "CF must cost more than the baseline");
+    }
+}

@@ -1,0 +1,139 @@
+//! Statement-coverage instrumentation (the paper's "SC" baseline,
+//! Ball & Larus 1994).
+//!
+//! A counter probe at every basic-block entry; per-statement counts
+//! follow because every instruction of a block executes exactly as often
+//! as the block. Counter ids are globally unique: a dense numbering of
+//! `(method, block)` pairs, returned so clients can map counts back.
+
+use std::collections::HashMap;
+
+use jportal_bytecode::{Instruction, MethodId, ProbeKind, Program};
+use jportal_cfg::block::Cfg;
+
+use crate::rewrite::InsertionPlan;
+
+/// Map from counter id back to `(method, block)` and each block's bci
+/// range.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    /// Counter id → (method, block start bci, block end bci).
+    pub blocks: HashMap<u32, (MethodId, u32, u32)>,
+}
+
+impl CoverageMap {
+    /// Derives per-statement counts from probe counters: each covered
+    /// block contributes its count to every bci in its range.
+    pub fn statement_counts(
+        &self,
+        counters: &HashMap<u32, u64>,
+    ) -> HashMap<(MethodId, u32), u64> {
+        let mut out = HashMap::new();
+        for (id, &count) in counters {
+            if let Some(&(m, start, end)) = self.blocks.get(id) {
+                for bci in start..end {
+                    *out.entry((m, bci)).or_insert(0) += count;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Instruments every basic block of every method with a coverage counter.
+pub fn instrument_statement_coverage(program: &Program) -> (Program, CoverageMap) {
+    let mut map = CoverageMap::default();
+    let mut next_id = 0u32;
+    let mut methods = Vec::new();
+    for (mid, method) in program.methods() {
+        let cfg = Cfg::build(method);
+        let mut plan = InsertionPlan::new();
+        for (_bid, block) in cfg.blocks() {
+            let id = next_id;
+            next_id += 1;
+            map.blocks.insert(id, (mid, block.start.0, block.end.0));
+            plan.at_entry(block.start, [Instruction::Probe(ProbeKind::Count(id))]);
+        }
+        methods.push(plan.apply(method).method);
+    }
+    let classes = program.classes().map(|(_, c)| c.clone()).collect();
+    let instrumented = Program::from_parts(classes, methods, program.entry());
+    jportal_bytecode::verify_program(&instrumented).expect("instrumented program verifies");
+    (instrumented, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{Bci, CmpKind, Instruction as I};
+    use jportal_jvm::runtime::{Jvm, JvmConfig};
+
+    fn branchy() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let els = m.label();
+        let join = m.label();
+        m.emit(I::Iconst(1));
+        m.branch_if(CmpKind::Eq, els); // not taken (1 != 0)
+        m.emit(I::Nop);
+        m.jump(join);
+        m.bind(els);
+        m.emit(I::Nop);
+        m.bind(join);
+        m.emit(I::Return);
+        let id = m.finish();
+        pb.finish_with_entry(id).unwrap()
+    }
+
+    #[test]
+    fn covered_blocks_count_and_uncovered_stay_zero() {
+        let p = branchy();
+        let (instrumented, map) = instrument_statement_coverage(&p);
+        let r = Jvm::new(JvmConfig {
+            tracing: false,
+            ..JvmConfig::default()
+        })
+        .run(&instrumented);
+        assert!(r.thread_errors.is_empty());
+        let stmt = map.statement_counts(r.probes.counters());
+        let m = p.entry();
+        // Entry block and then-branch and join executed once.
+        assert_eq!(stmt.get(&(m, 0)).copied().unwrap_or(0), 1);
+        assert_eq!(stmt.get(&(m, 2)).copied().unwrap_or(0), 1);
+        assert_eq!(stmt.get(&(m, 5)).copied().unwrap_or(0), 1);
+        // Else branch (bci 4) never runs.
+        assert_eq!(stmt.get(&(m, 4)).copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn loop_counts_scale_with_iterations() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let head = m.label();
+        let done = m.label();
+        m.emit(I::Iconst(5));
+        m.emit(I::Istore(0));
+        m.bind(head);
+        m.emit(I::Iload(0)); // bci 2: loop header
+        m.branch_if(CmpKind::Le, done);
+        m.emit(I::Iinc(0, -1)); // bci 4: body
+        m.jump(head);
+        m.bind(done);
+        m.emit(I::Return);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let (instrumented, map) = instrument_statement_coverage(&p);
+        let r = Jvm::new(JvmConfig {
+            tracing: false,
+            ..JvmConfig::default()
+        })
+        .run(&instrumented);
+        let stmt = map.statement_counts(r.probes.counters());
+        assert_eq!(stmt.get(&(id, 2)).copied().unwrap(), 6, "header runs n+1");
+        assert_eq!(stmt.get(&(id, 4)).copied().unwrap(), 5, "body runs n");
+        let _ = Bci(0);
+    }
+}

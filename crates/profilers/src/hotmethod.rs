@@ -1,0 +1,218 @@
+//! Hot-method profiling baselines: instrumentation ("HM") and sampling
+//! (xprof / JProfiler analogs).
+//!
+//! The instrumentation variant places a timer probe and an invocation
+//! counter at every method entry (expensive: timestamp reads on every
+//! call — Table 2's HM column reaches 50× on call-heavy code). The
+//! sampling profilers interrupt periodically and record the running
+//! method; their overhead is the per-sample cost, and their accuracy is
+//! what Table 4 compares against JPortal's trace-derived ranking.
+
+use std::collections::HashMap;
+
+use jportal_bytecode::{Bci, Instruction, MethodId, ProbeKind, Program};
+use jportal_jvm::runtime::{Jvm, JvmConfig, SamplerConfig, ThreadSpec};
+
+use crate::rewrite::InsertionPlan;
+
+/// Instruments every method entry with a timer + invocation counter.
+///
+/// Timer tags and counter ids are both the method id, so results read
+/// back directly from the probe runtime.
+pub fn instrument_hot_methods(program: &Program) -> Program {
+    let mut methods = Vec::new();
+    for (mid, method) in program.methods() {
+        let mut plan = InsertionPlan::new();
+        plan.at_entry(
+            Bci(0),
+            [
+                Instruction::Probe(ProbeKind::MethodTimer(mid.0)),
+                Instruction::Probe(ProbeKind::Count(mid.0)),
+            ],
+        );
+        methods.push(plan.apply(method).method);
+    }
+    let classes = program.classes().map(|(_, c)| c.clone()).collect();
+    let instrumented = Program::from_parts(classes, methods, program.entry());
+    jportal_bytecode::verify_program(&instrumented).expect("instrumented program verifies");
+    instrumented
+}
+
+/// Ranks methods by instrumented invocation counts (the HM report).
+pub fn hottest_instrumented(counters: &HashMap<u32, u64>, n: usize) -> Vec<MethodId> {
+    let mut v: Vec<(MethodId, u64)> = counters
+        .iter()
+        .map(|(&id, &c)| (MethodId(id), c))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(n);
+    v.into_iter().map(|(m, _)| m).collect()
+}
+
+/// A timer-sampling profiler configuration.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_profilers::SamplingProfiler;
+///
+/// let xp = SamplingProfiler::xprof();
+/// let jp = SamplingProfiler::jprofiler();
+/// assert!(jp.sample_cost > xp.sample_cost);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingProfiler {
+    /// Cycles between samples (the paper uses 10 ms wall time).
+    pub period: u64,
+    /// Cycles charged per sample.
+    pub sample_cost: u64,
+}
+
+impl SamplingProfiler {
+    /// HotSpot's built-in `-Xprof` flat profiler: cheap ticks.
+    pub fn xprof() -> SamplingProfiler {
+        SamplingProfiler {
+            period: 60_000,
+            sample_cost: 5_000,
+        }
+    }
+
+    /// JProfiler analog: heavier per-sample work (full stack capture,
+    /// agent bookkeeping) — visibly higher overhead (Table 2).
+    pub fn jprofiler() -> SamplingProfiler {
+        SamplingProfiler {
+            period: 60_000,
+            sample_cost: 18_000,
+        }
+    }
+
+    /// Runs `program`'s threads under sampling and returns the run result
+    /// (overhead in `wall_cycles`, ranking via `hottest_sampled`).
+    pub fn run(
+        &self,
+        program: &Program,
+        threads: &[ThreadSpec],
+        mut base: JvmConfig,
+    ) -> jportal_jvm::RunResult {
+        base.tracing = false;
+        base.sampler = Some(SamplerConfig {
+            period: self.period,
+            cost: self.sample_cost,
+        });
+        Jvm::new(base).run_threads(program, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I};
+
+    /// main calls cheap() often and expensive() rarely, but expensive()
+    /// burns far more cycles.
+    fn skewed() -> (Program, MethodId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut cheap = pb.method(c, "cheap", 0, true);
+        cheap.emit(I::Iconst(1));
+        cheap.emit(I::Ireturn);
+        let cheap = cheap.finish();
+        let mut exp = pb.method(c, "expensive", 0, true);
+        let head = exp.label();
+        let done = exp.label();
+        exp.emit(I::Iconst(300));
+        exp.emit(I::Istore(0));
+        exp.bind(head);
+        exp.emit(I::Iload(0));
+        exp.branch_if(CmpKind::Le, done);
+        exp.emit(I::Iinc(0, -1));
+        exp.jump(head);
+        exp.bind(done);
+        exp.emit(I::Iconst(2));
+        exp.emit(I::Ireturn);
+        let exp = exp.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        let head = m.label();
+        let done = m.label();
+        m.emit(I::Iconst(40));
+        m.emit(I::Istore(0));
+        m.bind(head);
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Le, done);
+        m.emit(I::InvokeStatic(cheap));
+        m.emit(I::Pop);
+        m.emit(I::InvokeStatic(exp));
+        m.emit(I::Pop);
+        m.emit(I::Iinc(0, -1));
+        m.jump(head);
+        m.bind(done);
+        m.emit(I::Return);
+        let main = m.finish();
+        (pb.finish_with_entry(main).unwrap(), cheap, exp)
+    }
+
+    #[test]
+    fn instrumented_counts_are_exact() {
+        let (p, cheap, exp) = skewed();
+        let instrumented = instrument_hot_methods(&p);
+        let r = Jvm::new(JvmConfig {
+            tracing: false,
+            ..JvmConfig::default()
+        })
+        .run(&instrumented);
+        assert!(r.thread_errors.is_empty());
+        assert_eq!(r.probes.counters().get(&cheap.0), Some(&40));
+        assert_eq!(r.probes.counters().get(&exp.0), Some(&40));
+        let top = hottest_instrumented(r.probes.counters(), 2);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn sampling_finds_the_cycle_hog() {
+        let (p, _cheap, exp) = skewed();
+        let prof = SamplingProfiler {
+            period: 2_000,
+            sample_cost: 0,
+        };
+        let r = prof.run(
+            &p,
+            &[ThreadSpec {
+                method: p.entry(),
+                args: vec![],
+            }],
+            JvmConfig {
+                c1_threshold: u64::MAX,
+                c2_threshold: u64::MAX,
+                ..JvmConfig::default()
+            },
+        );
+        let top = r.hottest_sampled(1);
+        assert_eq!(top, vec![exp], "sampling must find the cycle hog");
+    }
+
+    #[test]
+    fn jprofiler_overhead_exceeds_xprof() {
+        let (p, ..) = skewed();
+        let cfg = JvmConfig {
+            tracing: false,
+            record_truth_trace: false,
+            ..JvmConfig::default()
+        };
+        let spec = [ThreadSpec {
+            method: p.entry(),
+            args: vec![],
+        }];
+        let xp = SamplingProfiler {
+            period: 3_000,
+            ..SamplingProfiler::xprof()
+        }
+        .run(&p, &spec, cfg.clone());
+        let jp = SamplingProfiler {
+            period: 3_000,
+            ..SamplingProfiler::jprofiler()
+        }
+        .run(&p, &spec, cfg.clone());
+        assert!(jp.wall_cycles > xp.wall_cycles);
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline profilers the paper compares JPortal against (§7).
+//!
+//! Instrumentation-based (reimplementations of Ball–Larus, as the paper
+//! did with ASM):
+//!
+//! * [`coverage`] — statement-coverage profiling (Table 2 "SC",
+//!   Ball & Larus 1994),
+//! * [`ball_larus`] — efficient path profiling (Table 2 "PF",
+//!   Ball & Larus 1996), with the real edge-numbering algorithm,
+//! * [`cftrace`] — full control-flow tracing (Table 2 "CF"),
+//! * [`hotmethod`] — hot-method instrumentation (Table 2 "HM") and the
+//!   sampling profilers (xprof / JProfiler analogs, Tables 2 and 4).
+//!
+//! All instrumentation passes are bytecode→bytecode rewrites built on
+//! [`rewrite`], which handles branch-target remapping and edge splitting;
+//! the instrumented programs run on the same simulated JVM, and the probe
+//! costs on the simulated clock produce the baselines' overheads.
+
+pub mod ball_larus;
+pub mod cftrace;
+pub mod coverage;
+pub mod hotmethod;
+pub mod rewrite;
+
+pub use ball_larus::{instrument_path_profiling, PathNumbering};
+pub use cftrace::instrument_control_flow;
+pub use coverage::instrument_statement_coverage;
+pub use hotmethod::{instrument_hot_methods, SamplingProfiler};
+pub use rewrite::{InsertionPlan, RewriteResult};

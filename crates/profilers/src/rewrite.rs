@@ -1,0 +1,362 @@
+//! Bytecode rewriting: probe insertion with branch-target remapping.
+//!
+//! Instrumentation passes describe *where* probes go; this module rebuilds
+//! the method with all branch targets, switch arms and exception-table
+//! entries remapped. Two insertion semantics exist:
+//!
+//! * **block entry** (`at_entry`): probes run whenever control reaches the
+//!   instruction — jumps *into* the point land on the probes;
+//! * **fall-through** (`after_fallthrough`): probes run only when control
+//!   falls through from the preceding instruction — jumps land past them.
+//!   Combined with **branch-edge trampolines** (`on_branch_edge`), this is
+//!   exactly what CFG *edge* instrumentation (Ball–Larus) needs.
+
+use std::collections::HashMap;
+
+use jportal_bytecode::{Bci, Instruction, Method};
+
+/// A plan of insertions into one method.
+#[derive(Debug, Clone, Default)]
+pub struct InsertionPlan {
+    /// Probes to run whenever control reaches `bci`.
+    at_entry: HashMap<u32, Vec<Instruction>>,
+    /// Probes to run only on the fall-through edge `bci → bci + 1`.
+    after_fallthrough: HashMap<u32, Vec<Instruction>>,
+    /// Probes to run only on the explicit branch edge `from → to`
+    /// (installed via a trampoline block).
+    on_branch_edge: Vec<(u32, u32, Vec<Instruction>)>,
+}
+
+impl InsertionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> InsertionPlan {
+        InsertionPlan::default()
+    }
+
+    /// Adds probes at the entry of `bci`.
+    pub fn at_entry(&mut self, bci: Bci, probes: impl IntoIterator<Item = Instruction>) {
+        self.at_entry.entry(bci.0).or_default().extend(probes);
+    }
+
+    /// Adds probes on the fall-through edge out of `bci`.
+    pub fn after_fallthrough(
+        &mut self,
+        bci: Bci,
+        probes: impl IntoIterator<Item = Instruction>,
+    ) {
+        self.after_fallthrough
+            .entry(bci.0)
+            .or_default()
+            .extend(probes);
+    }
+
+    /// Adds probes on the explicit branch edge `from → to`.
+    pub fn on_branch_edge(
+        &mut self,
+        from: Bci,
+        to: Bci,
+        probes: impl IntoIterator<Item = Instruction>,
+    ) {
+        self.on_branch_edge
+            .push((from.0, to.0, probes.into_iter().collect()));
+    }
+
+    /// `true` if the plan inserts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.at_entry.is_empty()
+            && self.after_fallthrough.is_empty()
+            && self.on_branch_edge.is_empty()
+    }
+
+    /// Applies the plan to a method, returning the rewritten method and
+    /// the old→new bci mapping.
+    pub fn apply(&self, method: &Method) -> RewriteResult {
+        let old_len = method.code.len() as u32;
+        // Pass 1: compute positions.
+        // entry_pos[b]: where jumps to b land (start of entry probes);
+        // insn_pos[b]: where the original instruction sits.
+        let mut entry_pos = vec![0u32; old_len as usize + 1];
+        let mut insn_pos = vec![0u32; old_len as usize];
+        let mut cursor = 0u32;
+        for b in 0..old_len {
+            entry_pos[b as usize] = cursor;
+            cursor += self.at_entry.get(&b).map_or(0, |v| v.len() as u32);
+            insn_pos[b as usize] = cursor;
+            cursor += 1;
+            cursor += self.after_fallthrough.get(&b).map_or(0, |v| v.len() as u32);
+        }
+        entry_pos[old_len as usize] = cursor;
+
+        // Trampolines are appended after the rewritten body.
+        let mut trampoline_pos: HashMap<usize, u32> = HashMap::new();
+        let mut tcursor = cursor;
+        for (i, (_, _, probes)) in self.on_branch_edge.iter().enumerate() {
+            trampoline_pos.insert(i, tcursor);
+            tcursor += probes.len() as u32 + 1; // + goto
+        }
+
+        // Branch-edge retargets: (from, to) → trampoline entry.
+        let mut edge_target: HashMap<(u32, u32), u32> = HashMap::new();
+        for (i, (from, to, _)) in self.on_branch_edge.iter().enumerate() {
+            edge_target.insert((*from, *to), trampoline_pos[&i]);
+        }
+
+        let remap_target = |from: u32, to: Bci| -> Bci {
+            match edge_target.get(&(from, to.0)) {
+                Some(&t) => Bci(t),
+                None => Bci(entry_pos[to.index()]),
+            }
+        };
+
+        // Pass 2: emit.
+        let mut code: Vec<Instruction> = Vec::with_capacity(tcursor as usize);
+        for b in 0..old_len {
+            if let Some(probes) = self.at_entry.get(&b) {
+                code.extend(probes.iter().cloned());
+            }
+            let insn = method.code[b as usize].clone();
+            code.push(remap_instruction(insn, b, &remap_target));
+            if let Some(probes) = self.after_fallthrough.get(&b) {
+                code.extend(probes.iter().cloned());
+            }
+        }
+        for (_i, (_from, to, probes)) in self.on_branch_edge.iter().enumerate() {
+            code.extend(probes.iter().cloned());
+            code.push(Instruction::Goto(Bci(entry_pos[*to as usize])));
+        }
+
+        let handlers = method
+            .handlers
+            .iter()
+            .map(|h| jportal_bytecode::ExceptionHandler {
+                start: Bci(entry_pos[h.start.index()]),
+                end: Bci(entry_pos[h.end.index()]),
+                handler: Bci(entry_pos[h.handler.index()]),
+                catch_class: h.catch_class,
+            })
+            .collect();
+
+        RewriteResult {
+            method: Method {
+                name: method.name.clone(),
+                class: method.class,
+                n_args: method.n_args,
+                max_locals: method.max_locals,
+                returns_value: method.returns_value,
+                code,
+                handlers,
+            },
+            insn_pos: insn_pos.iter().map(|&p| Bci(p)).collect(),
+        }
+    }
+}
+
+fn remap_instruction(insn: Instruction, from: u32, remap: &impl Fn(u32, Bci) -> Bci) -> Instruction {
+    match insn {
+        Instruction::Goto(t) => Instruction::Goto(remap(from, t)),
+        Instruction::If(k, t) => Instruction::If(k, remap(from, t)),
+        Instruction::IfICmp(k, t) => Instruction::IfICmp(k, remap(from, t)),
+        Instruction::IfNull(t) => Instruction::IfNull(remap(from, t)),
+        Instruction::TableSwitch {
+            low,
+            targets,
+            default,
+        } => Instruction::TableSwitch {
+            low,
+            targets: targets.into_iter().map(|t| remap(from, t)).collect(),
+            default: remap(from, default),
+        },
+        Instruction::LookupSwitch { pairs, default } => Instruction::LookupSwitch {
+            pairs: pairs
+                .into_iter()
+                .map(|(k, t)| (k, remap(from, t)))
+                .collect(),
+            default: remap(from, default),
+        },
+        other => other,
+    }
+}
+
+/// A rewritten method plus the location map.
+#[derive(Debug, Clone)]
+pub struct RewriteResult {
+    /// The instrumented method.
+    pub method: Method,
+    /// For each original bci, where that instruction now lives.
+    pub insn_pos: Vec<Bci>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{verify_program, CmpKind, Instruction as I, ProbeKind, Program};
+
+    fn probe(id: u32) -> Instruction {
+        I::Probe(ProbeKind::Count(id))
+    }
+
+    /// if (x) { a } else { b }; return — diamond.
+    fn diamond() -> (Program, Method) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let els = m.label();
+        let join = m.label();
+        m.emit(I::Iconst(1)); // 0
+        m.branch_if(CmpKind::Eq, els); // 1
+        m.emit(I::Nop); // 2
+        m.jump(join); // 3
+        m.bind(els);
+        m.emit(I::Nop); // 4
+        m.bind(join);
+        m.emit(I::Return); // 5
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let method = p.method(id).clone();
+        (p, method)
+    }
+
+    fn reverify(p: &Program, id: jportal_bytecode::MethodId, new_method: Method) {
+        let methods: Vec<Method> = p
+            .methods()
+            .map(|(mid, m)| if mid == id { new_method.clone() } else { m.clone() })
+            .collect();
+        let classes = p.classes().map(|(_, c)| c.clone()).collect();
+        let rebuilt = Program::from_parts(classes, methods, p.entry());
+        verify_program(&rebuilt).expect("instrumented program verifies");
+    }
+
+    #[test]
+    fn entry_insertion_retargets_jumps_onto_probes() {
+        let (p, m) = diamond();
+        let mut plan = InsertionPlan::new();
+        plan.at_entry(Bci(4), [probe(7)]);
+        let r = plan.apply(&m);
+        // goto else target (bci 4) must land on the probe.
+        match &r.method.code[1] {
+            I::If(_, t) => {
+                assert_eq!(r.method.code[t.index()], probe(7));
+                assert_eq!(r.method.code[t.index() + 1], I::Nop);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+        reverify(&p, p.entry(), r.method);
+    }
+
+    #[test]
+    fn fallthrough_insertion_is_skipped_by_jumps() {
+        let (p, m) = diamond();
+        let mut plan = InsertionPlan::new();
+        // Probe on the fall-through edge 1 → 2 (branch not taken).
+        plan.after_fallthrough(Bci(1), [probe(9)]);
+        let r = plan.apply(&m);
+        // The branch at (new) position of bci 1 falls through to the probe.
+        let if_pos = r.insn_pos[1].index();
+        assert_eq!(r.method.code[if_pos + 1], probe(9));
+        // The taken target (bci 4) does not pass the probe: it maps to
+        // nop directly.
+        match &r.method.code[if_pos] {
+            I::If(_, t) => assert_eq!(r.method.code[t.index()], I::Nop),
+            other => panic!("expected branch, got {other:?}"),
+        }
+        reverify(&p, p.entry(), r.method);
+    }
+
+    #[test]
+    fn branch_edge_trampolines() {
+        let (p, m) = diamond();
+        let mut plan = InsertionPlan::new();
+        plan.on_branch_edge(Bci(1), Bci(4), [probe(11)]);
+        let r = plan.apply(&m);
+        match &r.method.code[r.insn_pos[1].index()] {
+            I::If(_, t) => {
+                // Branch goes to the trampoline: probe then goto old target.
+                assert_eq!(r.method.code[t.index()], probe(11));
+                match &r.method.code[t.index() + 1] {
+                    I::Goto(g) => assert_eq!(r.method.code[g.index()], I::Nop),
+                    other => panic!("expected goto, got {other:?}"),
+                }
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+        reverify(&p, p.entry(), r.method);
+    }
+
+    #[test]
+    fn empty_plan_is_identity_modulo_clone() {
+        let (_, m) = diamond();
+        let plan = InsertionPlan::new();
+        assert!(plan.is_empty());
+        let r = plan.apply(&m);
+        assert_eq!(r.method.code, m.code);
+    }
+
+    #[test]
+    fn handlers_are_remapped() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let h = m.label();
+        let start = m.here();
+        m.emit(I::Iconst(1));
+        m.emit(I::Iconst(0));
+        m.emit(I::Idiv);
+        m.emit(I::Pop);
+        let end = m.here();
+        m.emit(I::Return);
+        m.add_handler(start, end, h, None);
+        m.bind(h);
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let method = p.method(id).clone();
+
+        let mut plan = InsertionPlan::new();
+        plan.at_entry(Bci(0), [probe(1)]);
+        plan.at_entry(Bci(5), [probe(2)]);
+        let r = plan.apply(&method);
+        let hdl = &r.method.handlers[0];
+        // Handler target must land on its probe.
+        assert_eq!(r.method.code[hdl.handler.index()], probe(2));
+        // Covered range still spans the idiv.
+        let idiv_pos = r.insn_pos[2];
+        assert!(hdl.start <= idiv_pos && idiv_pos < hdl.end);
+        reverify(&p, id, r.method);
+    }
+
+    #[test]
+    fn switch_targets_are_remapped() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let a = m.label();
+        let b = m.label();
+        let d = m.label();
+        m.emit(I::Iconst(0));
+        m.table_switch(0, &[a, b], d);
+        m.bind(a);
+        m.emit(I::Return);
+        m.bind(b);
+        m.emit(I::Return);
+        m.bind(d);
+        m.emit(I::Return);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let method = p.method(id).clone();
+
+        let mut plan = InsertionPlan::new();
+        plan.at_entry(Bci(2), [probe(1)]);
+        plan.on_branch_edge(Bci(1), Bci(3), [probe(2)]);
+        let r = plan.apply(&method);
+        match &r.method.code[r.insn_pos[1].index()] {
+            I::TableSwitch { targets, .. } => {
+                assert_eq!(r.method.code[targets[0].index()], probe(1));
+                assert_eq!(r.method.code[targets[1].index()], probe(2));
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+        reverify(&p, id, r.method);
+    }
+}

@@ -1,0 +1,259 @@
+//! Shared code-generation utilities for the workload suite.
+
+use jportal_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use jportal_bytecode::{ClassId, CmpKind, Instruction as I, MethodId};
+
+/// Small deterministic RNG (xorshift*) for structural variety.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Seeds the generator (0 is remapped).
+    pub fn new(seed: u64) -> Lcg {
+        Lcg {
+            state: seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// Emits a chain of `n` arithmetic operations on local 0, varying the
+/// opcode mix by `rng`.
+pub fn emit_arith_chain(m: &mut MethodBuilder<'_>, n: usize, rng: &mut Lcg) {
+    for _ in 0..n {
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(1 + rng.below(7) as i64));
+        match rng.below(6) {
+            0 => m.emit(I::Iadd),
+            1 => m.emit(I::Isub),
+            2 => m.emit(I::Imul),
+            3 => m.emit(I::Ixor),
+            4 => m.emit(I::Iand),
+            _ => m.emit(I::Ior),
+        };
+        m.emit(I::Istore(0));
+    }
+}
+
+/// Emits a counted loop running `iters` iterations with `body` emitted
+/// inside; the loop counter lives in `counter_slot`.
+pub fn emit_counted_loop(
+    m: &mut MethodBuilder<'_>,
+    counter_slot: u16,
+    iters: i64,
+    body: impl FnOnce(&mut MethodBuilder<'_>),
+) {
+    let head = m.label();
+    let done = m.label();
+    m.emit(I::Iconst(iters));
+    m.emit(I::Istore(counter_slot));
+    m.bind(head);
+    m.emit(I::Iload(counter_slot));
+    m.branch_if(CmpKind::Le, done);
+    body(m);
+    m.emit(I::Iinc(counter_slot, -1));
+    m.jump(head);
+    m.bind(done);
+}
+
+/// Adds a family of `n` tiny leaf methods `leaf_i(x) = f(x)` and returns
+/// their ids (jython-style call fodder).
+pub fn add_leaf_methods(
+    pb: &mut ProgramBuilder,
+    class: ClassId,
+    n: usize,
+    rng: &mut Lcg,
+) -> Vec<MethodId> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut m = pb.method(class, format!("leaf{i}"), 1, true);
+        let alt = m.label();
+        let done = m.label();
+        // Structurally distinct bodies (like real Java methods): the
+        // opcode *sequences* differ, not just operands — otherwise
+        // control-flow projection onto the ICFG would be artificially
+        // ambiguous in a way real code is not.
+        for _ in 0..(i % 3) {
+            m.emit(I::Iload(0));
+            m.emit(I::Iconst(1 + rng.below(7) as i64));
+            match i % 4 {
+                0 => m.emit(I::Ixor),
+                1 => m.emit(I::Iand),
+                2 => m.emit(I::Ishl),
+                _ => m.emit(I::Ior),
+            };
+            m.emit(I::Istore(0));
+        }
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(1 + rng.below(5) as i64));
+        m.emit(I::Irem);
+        m.branch_if(CmpKind::Eq, alt);
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(3));
+        match i % 3 {
+            0 => m.emit(I::Imul),
+            1 => m.emit(I::Iadd),
+            _ => m.emit(I::Isub),
+        };
+        m.jump(done);
+        m.bind(alt);
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(1));
+        match i % 2 {
+            0 => m.emit(I::Iadd),
+            _ => m.emit(I::Ishr),
+        };
+        m.bind(done);
+        m.emit(I::Ireturn);
+        out.push(m.finish());
+    }
+    out
+}
+
+/// Adds a class hierarchy of `n_classes` subclasses of a fresh base, each
+/// overriding a `visit(x)` virtual method with a distinct body. Returns
+/// `(base class, vtable slot, subclass ids)`.
+pub fn add_visitor_hierarchy(
+    pb: &mut ProgramBuilder,
+    n_classes: usize,
+    rng: &mut Lcg,
+) -> (ClassId, u16, Vec<ClassId>) {
+    let base = pb.add_class("Node", None, 1);
+    let mut mb = pb.method(base, "visit", 2, true);
+    mb.emit(I::Iload(1));
+    mb.emit(I::Iconst(1));
+    mb.emit(I::Iadd);
+    mb.emit(I::Ireturn);
+    let base_visit = mb.finish();
+    let slot = pb.add_virtual(base, base_visit);
+
+    let mut subclasses = Vec::with_capacity(n_classes);
+    for i in 0..n_classes {
+        let sub = pb.add_class(format!("Node{i}"), Some(base), 1);
+        let mut mb = pb.method(sub, "visit", 2, true);
+        let alt = mb.label();
+        let done = mb.label();
+        // Distinct opcode shapes per override (see add_leaf_methods).
+        for _ in 0..(i % 4) {
+            mb.emit(I::Iload(1));
+            mb.emit(I::Iconst(1 + rng.below(9) as i64));
+            match i % 3 {
+                0 => mb.emit(I::Ixor),
+                1 => mb.emit(I::Ishl),
+                _ => mb.emit(I::Iand),
+            };
+            mb.emit(I::Istore(1));
+        }
+        mb.emit(I::Iload(1));
+        mb.emit(I::Iconst(2 + rng.below(5) as i64));
+        mb.emit(I::Irem);
+        mb.branch_if(CmpKind::Ne, alt);
+        mb.emit(I::Iload(1));
+        mb.emit(I::Iconst(i as i64 + 1));
+        match i % 3 {
+            0 => mb.emit(I::Iadd),
+            1 => mb.emit(I::Isub),
+            _ => mb.emit(I::Ior),
+        };
+        mb.jump(done);
+        mb.bind(alt);
+        mb.emit(I::Iload(1));
+        mb.emit(I::Iconst(i as i64 + 2));
+        match i % 2 {
+            0 => mb.emit(I::Imul),
+            _ => mb.emit(I::Iadd),
+        };
+        mb.bind(done);
+        mb.emit(I::Ireturn);
+        let visit = mb.finish();
+        pb.override_virtual(sub, slot, visit);
+        subclasses.push(sub);
+    }
+    (base, slot, subclasses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::Program;
+    use jportal_jvm::runtime::{Jvm, JvmConfig};
+
+    #[test]
+    fn lcg_is_deterministic_and_varied() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        let va: Vec<u64> = (0..8).map(|_| a.below(100)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.below(100)).collect();
+        assert_eq!(va, vb);
+        assert!(va.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    fn run(p: &Program) {
+        let r = Jvm::new(JvmConfig {
+            tracing: false,
+            ..JvmConfig::default()
+        })
+        .run(p);
+        assert!(r.thread_errors.is_empty(), "{:?}", r.thread_errors);
+    }
+
+    #[test]
+    fn generated_pieces_verify_and_run() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut rng = Lcg::new(3);
+        let leaves = add_leaf_methods(&mut pb, c, 4, &mut rng);
+        let mut m = pb.method(c, "main", 0, false);
+        m.reserve_locals(2);
+        emit_counted_loop(&mut m, 1, 5, |m| {
+            for &l in &leaves {
+                m.emit(I::Iload(1));
+                m.emit(I::InvokeStatic(l));
+                m.emit(I::Pop);
+            }
+        });
+        emit_arith_chain(&mut m, 3, &mut rng);
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        run(&p);
+    }
+
+    #[test]
+    fn visitor_hierarchy_dispatches() {
+        let mut pb = ProgramBuilder::new();
+        let mut rng = Lcg::new(5);
+        let (base, slot, subs) = add_visitor_hierarchy(&mut pb, 3, &mut rng);
+        let holder = pb.add_class("Main", None, 0);
+        let mut m = pb.method(holder, "main", 0, false);
+        for &sub in &subs {
+            m.emit(I::New(sub));
+            m.emit(I::Iconst(10));
+            m.emit(I::InvokeVirtual {
+                declared_in: base,
+                slot,
+            });
+            m.emit(I::Pop);
+        }
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        run(&p);
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic DaCapo-analog workloads for the JPortal evaluation.
+//!
+//! The paper evaluates on nine DaCapo-9.12 programs (Table 1). Running
+//! real Java is out of reach for this reproduction, so each benchmark has
+//! a synthetic analog engineered to reproduce its counterpart's
+//! *qualitative* control-flow character — the property the evaluation's
+//! shape depends on:
+//!
+//! | analog    | character                                            |
+//! |-----------|------------------------------------------------------|
+//! | avrora    | instruction-dispatch interpreter loop (switch-dense) |
+//! | batik     | virtual-dispatch tree rendering                      |
+//! | fop       | recursive layout over a document tree                |
+//! | h2        | hash-join over array tables, **multi-threaded**      |
+//! | jython    | deep chains of tiny methods (call-dense)             |
+//! | luindex   | tokenising + index insertion loops                   |
+//! | lusearch  | query loops, **multi-threaded**                      |
+//! | pmd       | AST visitor with class hierarchy, **multi-threaded** |
+//! | sunflow   | tight numeric inner loops (highest trace rate)       |
+//!
+//! All generators are seeded and parameterised by a scale factor so tests
+//! run in milliseconds while benches can grow the workloads.
+
+pub mod gen;
+pub mod stats;
+pub mod suite;
+
+pub use stats::{characteristics, Characteristics};
+pub use suite::{all_workloads, workload_by_name, Workload, WORKLOAD_NAMES};

@@ -1,0 +1,88 @@
+//! Workload characteristics (the paper's Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::suite::Workload;
+
+/// One Table 1 row: the analog's static characteristics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Characteristics {
+    /// Benchmark name.
+    pub name: String,
+    /// Mirrored DaCapo version string.
+    pub version: String,
+    /// Bytecode instructions (the "LoC" analog).
+    pub instructions: usize,
+    /// Method count.
+    pub methods: usize,
+    /// Class count.
+    pub classes: usize,
+    /// "single" or "multiple" (Table 1's Threaded column).
+    pub threaded: &'static str,
+    /// Number of threads the workload runs.
+    pub threads: usize,
+}
+
+/// Computes the characteristics row of one workload.
+pub fn characteristics(w: &Workload) -> Characteristics {
+    Characteristics {
+        name: w.name.to_string(),
+        version: w.version.to_string(),
+        instructions: w.program.code_size(),
+        methods: w.program.method_count(),
+        classes: w.program.class_count(),
+        threaded: if w.multithreaded { "multiple" } else { "single" },
+        threads: w.threads.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::all_workloads;
+
+    #[test]
+    fn characteristics_are_consistent() {
+        for w in all_workloads(1) {
+            let c = characteristics(&w);
+            assert_eq!(c.name, w.name);
+            assert!(c.instructions > 20, "{}: too little code", c.name);
+            assert!(c.methods >= 1);
+            assert!(c.classes >= 1);
+            if w.multithreaded {
+                assert_eq!(c.threaded, "multiple");
+                assert!(c.threads > 1);
+            } else {
+                assert_eq!(c.threaded, "single");
+                assert_eq!(c.threads, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn jython_is_call_dense_and_avrora_switch_dense() {
+        use jportal_bytecode::Instruction;
+        let find = |name: &str| {
+            all_workloads(1)
+                .into_iter()
+                .find(|w| w.name == name)
+                .unwrap()
+        };
+        let jy = find("jython");
+        let calls = jy
+            .program
+            .methods()
+            .flat_map(|(_, m)| m.code.iter())
+            .filter(|i| i.is_call())
+            .count();
+        assert!(calls >= 8, "jython analog must be call-dense");
+        let av = find("avrora");
+        let switches = av
+            .program
+            .methods()
+            .flat_map(|(_, m)| m.code.iter())
+            .filter(|i| matches!(i, Instruction::TableSwitch { .. }))
+            .count();
+        assert!(switches >= 1, "avrora analog must dispatch via switch");
+    }
+}

@@ -1,0 +1,802 @@
+//! The nine DaCapo-analog workloads.
+
+use jportal_bytecode::builder::ProgramBuilder;
+use jportal_bytecode::{CmpKind, Instruction as I, Program};
+use jportal_jvm::runtime::ThreadSpec;
+
+use crate::gen::{
+    add_leaf_methods, add_visitor_hierarchy, emit_arith_chain, emit_counted_loop, Lcg,
+};
+
+/// The analog benchmark names, in the paper's Table 1 order.
+pub const WORKLOAD_NAMES: [&str; 9] = [
+    "avrora", "batik", "fop", "h2", "jython", "luindex", "lusearch", "pmd", "sunflow",
+];
+
+/// One runnable workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// DaCapo benchmark this is an analog of.
+    pub name: &'static str,
+    /// Version string mirrored from the paper's Table 1.
+    pub version: &'static str,
+    /// The generated program.
+    pub program: Program,
+    /// The threads to run.
+    pub threads: Vec<ThreadSpec>,
+    /// Whether the analog is multi-threaded (Table 1's last column).
+    pub multithreaded: bool,
+}
+
+impl Workload {
+    fn single(name: &'static str, version: &'static str, program: Program) -> Workload {
+        let threads = vec![ThreadSpec {
+            method: program.entry(),
+            args: vec![],
+        }];
+        Workload {
+            name,
+            version,
+            program,
+            threads,
+            multithreaded: false,
+        }
+    }
+
+    fn multi(
+        name: &'static str,
+        version: &'static str,
+        program: Program,
+        n_threads: usize,
+    ) -> Workload {
+        let threads = (0..n_threads)
+            .map(|_| ThreadSpec {
+                method: program.entry(),
+                args: vec![],
+            })
+            .collect();
+        Workload {
+            name,
+            version,
+            program,
+            threads,
+            multithreaded: true,
+        }
+    }
+}
+
+/// Builds all nine analogs at the given scale (1 = test-sized; the
+/// evaluation harness uses larger scales).
+pub fn all_workloads(scale: u32) -> Vec<Workload> {
+    vec![
+        avrora(scale),
+        batik(scale),
+        fop(scale),
+        h2(scale),
+        jython(scale),
+        luindex(scale),
+        lusearch(scale),
+        pmd(scale),
+        sunflow(scale),
+    ]
+}
+
+/// Builds one analog by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn workload_by_name(name: &str, scale: u32) -> Workload {
+    match name {
+        "avrora" => avrora(scale),
+        "batik" => batik(scale),
+        "fop" => fop(scale),
+        "h2" => h2(scale),
+        "jython" => jython(scale),
+        "luindex" => luindex(scale),
+        "lusearch" => lusearch(scale),
+        "pmd" => pmd(scale),
+        "sunflow" => sunflow(scale),
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
+/// avrora analog: an instruction-dispatch interpreter over a synthetic
+/// "AVR program" held in an array — switch-dense control flow.
+pub fn avrora(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Avrora", None, 0);
+    let mut rng = Lcg::new(0xA17A);
+
+    // Handlers for 6 "machine opcodes".
+    let mut handlers = Vec::new();
+    for i in 0..6 {
+        let mut m = pb.method(c, format!("op{i}"), 1, true);
+        emit_arith_chain(&mut m, 1 + (i % 3), &mut rng);
+        m.emit(I::Iload(0));
+        m.emit(I::Ireturn);
+        handlers.push(m.finish());
+    }
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(4);
+    // locals: 0 = acc, 1 = loop counter, 2 = pc-ish value
+    let iters = 60 * scale as i64;
+    emit_counted_loop(&mut m, 1, iters, |m| {
+        // opcode = (counter * 7) % 6, dispatched by tableswitch.
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(7));
+        m.emit(I::Imul);
+        m.emit(I::Iconst(6));
+        m.emit(I::Irem);
+        let arms: Vec<_> = (0..6).map(|_| m.label()).collect();
+        let default = m.label();
+        let join = m.label();
+        m.table_switch(0, &arms, default);
+        for (i, &arm) in arms.iter().enumerate() {
+            m.bind(arm);
+            m.emit(I::Iload(0));
+            m.emit(I::InvokeStatic(handlers[i]));
+            m.emit(I::Istore(0));
+            m.jump(join);
+        }
+        m.bind(default);
+        m.emit(I::Iinc(0, 1));
+        m.bind(join);
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::single("avrora", "1.7.110", pb.finish_with_entry(main).unwrap())
+}
+
+/// batik analog: virtual-dispatch "rendering" over a shape hierarchy.
+pub fn batik(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let mut rng = Lcg::new(0xBA71C);
+    let (base, slot, subs) = add_visitor_hierarchy(&mut pb, 8, &mut rng);
+    let c = pb.add_class("Batik", None, 0);
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(4);
+    // Allocate one object per subclass into locals 2.. via repeated use.
+    let iters = 40 * scale as i64;
+    let subs2 = subs.clone();
+    emit_counted_loop(&mut m, 1, iters, |m| {
+        for (i, &sub) in subs2.iter().enumerate() {
+            if i % 2 == 0 {
+                m.emit(I::New(sub));
+                m.emit(I::Iload(1));
+                m.emit(I::InvokeVirtual {
+                    declared_in: base,
+                    slot,
+                });
+                m.emit(I::Istore(0));
+            }
+        }
+        m.emit(I::Iload(0));
+        m.emit(I::Iconst(3));
+        m.emit(I::Iand);
+        m.emit(I::Istore(0));
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::single("batik", "1.7", pb.finish_with_entry(main).unwrap())
+}
+
+/// fop analog: recursive layout over an implicit document tree.
+pub fn fop(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Fop", None, 0);
+    // layout(depth): if depth <= 0 return 1 else layout(d-1)*2 + layout(d-2)
+    let mut m = pb.method(c, "layout", 1, true);
+    let id = m.id();
+    let base = m.label();
+    m.emit(I::Iload(0));
+    m.branch_if(CmpKind::Le, base);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(1));
+    m.emit(I::Isub);
+    m.emit(I::InvokeStatic(id));
+    m.emit(I::Iconst(2));
+    m.emit(I::Imul);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(2));
+    m.emit(I::Isub);
+    m.emit(I::InvokeStatic(id));
+    m.emit(I::Iadd);
+    m.emit(I::Ireturn);
+    m.bind(base);
+    m.emit(I::Iconst(1));
+    m.emit(I::Ireturn);
+    let layout = m.finish();
+
+    // measure(w): line measurement with a small scan loop.
+    let mut m = pb.method(c, "measure", 1, true);
+    m.reserve_locals(2);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(80));
+    m.branch_if_icmp(CmpKind::Le, done);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(2));
+    m.emit(I::Idiv);
+    m.emit(I::Istore(0));
+    m.jump(head);
+    m.bind(done);
+    m.emit(I::Iload(0));
+    m.emit(I::Ireturn);
+    let measure = m.finish();
+
+    // break_line(w): hyphenation decision.
+    let mut m = pb.method(c, "break_line", 1, true);
+    let narrow = m.label();
+    let done = m.label();
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(40));
+    m.branch_if_icmp(CmpKind::Lt, narrow);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(40));
+    m.emit(I::Isub);
+    m.jump(done);
+    m.bind(narrow);
+    m.emit(I::Iload(0));
+    m.bind(done);
+    m.emit(I::Ireturn);
+    let break_line = m.finish();
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(3);
+    let depth = 7 + (scale.min(8)) as i64;
+    emit_counted_loop(&mut m, 1, 4 * scale as i64, move |m| {
+        m.emit(I::Iconst(depth));
+        m.emit(I::InvokeStatic(layout));
+        m.emit(I::InvokeStatic(measure));
+        m.emit(I::InvokeStatic(break_line));
+        m.emit(I::Pop);
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::single("fop", "0.95", pb.finish_with_entry(main).unwrap())
+}
+
+/// h2 analog: hash-join over two array "tables", multi-threaded.
+pub fn h2(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("H2", None, 0);
+
+    // probe(key, size) = linear-probe hash lookup simulation.
+    let mut m = pb.method(c, "probe", 2, true);
+    let head = m.label();
+    let done = m.label();
+    m.reserve_locals(3);
+    m.emit(I::Iload(0));
+    m.emit(I::Iload(1));
+    m.emit(I::Irem);
+    m.emit(I::Istore(2));
+    m.bind(head);
+    m.emit(I::Iload(2));
+    m.emit(I::Iconst(3));
+    m.emit(I::Irem);
+    m.branch_if(CmpKind::Eq, done);
+    m.emit(I::Iinc(2, 1));
+    m.jump(head);
+    m.bind(done);
+    m.emit(I::Iload(2));
+    m.emit(I::Ireturn);
+    let probe = m.finish();
+
+    // hash(key): row hashing.
+    let mut m = pb.method(c, "hash", 1, true);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(2654435));
+    m.emit(I::Imul);
+    m.emit(I::Iload(0));
+    m.emit(I::Ixor);
+    m.emit(I::Ireturn);
+    let hash = m.finish();
+
+    // compare(a, b): three-way comparison, branchy.
+    let mut m = pb.method(c, "compare", 2, true);
+    let lt = m.label();
+    let gt = m.label();
+    m.emit(I::Iload(0));
+    m.emit(I::Iload(1));
+    m.branch_if_icmp(CmpKind::Lt, lt);
+    m.emit(I::Iload(0));
+    m.emit(I::Iload(1));
+    m.branch_if_icmp(CmpKind::Gt, gt);
+    m.emit(I::Iconst(0));
+    m.emit(I::Ireturn);
+    m.bind(lt);
+    m.emit(I::Iconst(-1));
+    m.emit(I::Ireturn);
+    m.bind(gt);
+    m.emit(I::Iconst(1));
+    m.emit(I::Ireturn);
+    let compare = m.finish();
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(6);
+    let rows = 50 * scale as i64;
+    // Build table: arr = new int[64]; arr[i % 64] = i*7
+    m.emit(I::Iconst(64));
+    m.emit(I::NewArray);
+    m.emit(I::Astore(3));
+    emit_counted_loop(&mut m, 1, rows, |m| {
+        m.emit(I::Aload(3));
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(64));
+        m.emit(I::Irem);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(7));
+        m.emit(I::Imul);
+        m.emit(I::ArrayStore);
+    });
+    // Join: for each row, hash, probe, compare and accumulate.
+    emit_counted_loop(&mut m, 2, rows, |m| {
+        m.emit(I::Iload(2));
+        m.emit(I::InvokeStatic(hash));
+        m.emit(I::Iconst(65));
+        m.emit(I::InvokeStatic(probe));
+        m.emit(I::Istore(4));
+        m.emit(I::Iload(4));
+        m.emit(I::Iload(2));
+        m.emit(I::InvokeStatic(compare));
+        m.emit(I::Pop);
+        m.emit(I::Aload(3));
+        m.emit(I::Iload(4));
+        m.emit(I::Iconst(64));
+        m.emit(I::Irem);
+        m.emit(I::ArrayLoad);
+        m.emit(I::Iload(0));
+        m.emit(I::Iadd);
+        m.emit(I::Istore(0));
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::multi("h2", "1.2.121", pb.finish_with_entry(main).unwrap(), 3)
+}
+
+/// jython analog: deep chains of tiny methods — call-dense.
+pub fn jython(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Jython", None, 0);
+    let mut rng = Lcg::new(0x171107);
+    let leaves = add_leaf_methods(&mut pb, c, 12, &mut rng);
+
+    // Chain methods: chain_i(x) = leaf_i(chain_{i+1}(x)).
+    let mut chain_ids = Vec::new();
+    for i in 0..6usize {
+        let m = pb.method(c, format!("chain{i}"), 1, true);
+        chain_ids.push(m.id());
+        // Bodies are filled below once all ids exist; finish a stub now is
+        // impossible — instead emit directly since callee ids are known
+        // only for i+1... build in reverse instead.
+        drop(m);
+        // placeholder: real body built in reverse order below
+    }
+    // The above reserved ids without finishing; rebuild properly:
+    // (ProgramBuilder requires finishing every started method, so build
+    // the chain bottom-up in reverse.)
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Jython", None, 0);
+    let mut rng = Lcg::new(0x171107);
+    let leaves = {
+        let _ = leaves;
+        add_leaf_methods(&mut pb, c, 12, &mut rng)
+    };
+    let mut prev: Option<jportal_bytecode::MethodId> = None;
+    let mut first = None;
+    for i in (0..6usize).rev() {
+        let mut m = pb.method(c, format!("chain{i}"), 1, true);
+        m.emit(I::Iload(0));
+        if let Some(p) = prev {
+            m.emit(I::InvokeStatic(p));
+        }
+        m.emit(I::InvokeStatic(leaves[i % leaves.len()]));
+        m.emit(I::Ireturn);
+        let id = m.finish();
+        prev = Some(id);
+        first = Some(id);
+    }
+    let chain_head = first.expect("non-empty chain");
+    let _ = chain_ids;
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(3);
+    emit_counted_loop(&mut m, 1, 50 * scale as i64, |m| {
+        m.emit(I::Iload(1));
+        m.emit(I::InvokeStatic(chain_head));
+        m.emit(I::Pop);
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::single("jython", "2.5.1", pb.finish_with_entry(main).unwrap())
+}
+
+/// luindex analog: tokenising and index-insertion loops over arrays.
+pub fn luindex(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Luindex", None, 0);
+    let mut rng = Lcg::new(0x10DE);
+
+    // hash(x) = mixing function.
+    let mut m = pb.method(c, "hash", 1, true);
+    emit_arith_chain(&mut m, 2, &mut rng);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(31));
+    m.emit(I::Imul);
+    m.emit(I::Iconst(47));
+    m.emit(I::Iand);
+    m.emit(I::Ireturn);
+    let hash = m.finish();
+
+    // tokenize(doc) = branchy token classification.
+    let mut m = pb.method(c, "tokenize", 1, true);
+    let word = m.label();
+    let done = m.label();
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(4));
+    m.emit(I::Irem);
+    m.branch_if(CmpKind::Ne, word);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(2));
+    m.emit(I::Ishr);
+    m.jump(done);
+    m.bind(word);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(13));
+    m.emit(I::Imul);
+    m.bind(done);
+    m.emit(I::Ireturn);
+    let tokenize = m.finish();
+
+    // stem(x): normalize token.
+    let mut m = pb.method(c, "stem", 1, true);
+    let neg = m.label();
+    let done = m.label();
+    m.emit(I::Iload(0));
+    m.branch_if(CmpKind::Lt, neg);
+    m.emit(I::Iload(0));
+    m.jump(done);
+    m.bind(neg);
+    m.emit(I::Iload(0));
+    m.emit(I::Ineg);
+    m.bind(done);
+    m.emit(I::Ireturn);
+    let stem = m.finish();
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(6);
+    m.emit(I::Iconst(48));
+    m.emit(I::NewArray);
+    m.emit(I::Astore(3));
+    let docs = 25 * scale as i64;
+    emit_counted_loop(&mut m, 1, docs, |m| {
+        // token = hash(stem(tokenize(i)))
+        m.emit(I::Iload(1));
+        m.emit(I::InvokeStatic(tokenize));
+        m.emit(I::InvokeStatic(stem));
+        m.emit(I::InvokeStatic(hash));
+        m.emit(I::Istore(2));
+        // insertion scan: while arr[t] != 0 && t < 47: t++
+        let scan = m.label();
+        let ins = m.label();
+        m.bind(scan);
+        m.emit(I::Aload(3));
+        m.emit(I::Iload(2));
+        m.emit(I::ArrayLoad);
+        m.branch_if(CmpKind::Eq, ins);
+        m.emit(I::Iload(2));
+        m.emit(I::Iconst(46));
+        m.branch_if_icmp(CmpKind::Ge, ins);
+        m.emit(I::Iinc(2, 1));
+        m.jump(scan);
+        m.bind(ins);
+        m.emit(I::Aload(3));
+        m.emit(I::Iload(2));
+        m.emit(I::Iload(1));
+        m.emit(I::ArrayStore);
+        // Periodically clear the index (keeps insertion scans bounded).
+        let skip = m.label();
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(24));
+        m.emit(I::Irem);
+        m.branch_if(CmpKind::Ne, skip);
+        m.emit(I::Iconst(48));
+        m.emit(I::NewArray);
+        m.emit(I::Astore(3));
+        m.bind(skip);
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::single("luindex", "2.4.1", pb.finish_with_entry(main).unwrap())
+}
+
+/// lusearch analog: multi-threaded query loops over a shared "index".
+pub fn lusearch(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Lusearch", None, 0);
+
+    // score(q) = branchy term scoring.
+    let mut m = pb.method(c, "score", 1, true);
+    let hi = m.label();
+    let done = m.label();
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(16));
+    m.emit(I::Irem);
+    m.emit(I::Iconst(8));
+    m.branch_if_icmp(CmpKind::Gt, hi);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(2));
+    m.emit(I::Imul);
+    m.jump(done);
+    m.bind(hi);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(3));
+    m.emit(I::Iadd);
+    m.bind(done);
+    m.emit(I::Ireturn);
+    let score = m.finish();
+
+    // normalize(x): score normalization.
+    let mut m = pb.method(c, "normalize", 1, true);
+    let neg = m.label();
+    let done = m.label();
+    m.emit(I::Iload(0));
+    m.branch_if(CmpKind::Lt, neg);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(255));
+    m.emit(I::Iand);
+    m.jump(done);
+    m.bind(neg);
+    m.emit(I::Iconst(0));
+    m.bind(done);
+    m.emit(I::Ireturn);
+    let normalize = m.finish();
+
+    // combine(a, b): rank combination.
+    let mut m = pb.method(c, "combine", 2, true);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(3));
+    m.emit(I::Imul);
+    m.emit(I::Iload(1));
+    m.emit(I::Iadd);
+    m.emit(I::Iconst(2));
+    m.emit(I::Idiv);
+    m.emit(I::Ireturn);
+    let combine = m.finish();
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(3);
+    emit_counted_loop(&mut m, 1, 60 * scale as i64, |m| {
+        m.emit(I::Iload(1));
+        m.emit(I::InvokeStatic(score));
+        m.emit(I::InvokeStatic(normalize));
+        m.emit(I::Iload(0));
+        m.emit(I::InvokeStatic(combine));
+        m.emit(I::Istore(0));
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::multi("lusearch", "2.4.1", pb.finish_with_entry(main).unwrap(), 4)
+}
+
+/// pmd analog: AST visiting with a class hierarchy and rule switches,
+/// multi-threaded.
+pub fn pmd(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let mut rng = Lcg::new(0x9319D);
+    let (base, slot, subs) = add_visitor_hierarchy(&mut pb, 6, &mut rng);
+    let c = pb.add_class("Pmd", None, 0);
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(4);
+    let subs2 = subs.clone();
+    emit_counted_loop(&mut m, 1, 30 * scale as i64, |m| {
+        // Rule selection by lookupswitch over the node kind.
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(5));
+        m.emit(I::Irem);
+        let r0 = m.label();
+        let r1 = m.label();
+        let def = m.label();
+        let join = m.label();
+        m.lookup_switch(&[(0, r0), (3, r1)], def);
+        m.bind(r0);
+        m.emit(I::New(subs2[0]));
+        m.emit(I::Iload(1));
+        m.emit(I::InvokeVirtual {
+            declared_in: base,
+            slot,
+        });
+        m.emit(I::Istore(0));
+        m.jump(join);
+        m.bind(r1);
+        m.emit(I::New(subs2[3]));
+        m.emit(I::Iload(1));
+        m.emit(I::InvokeVirtual {
+            declared_in: base,
+            slot,
+        });
+        m.emit(I::Istore(0));
+        m.jump(join);
+        m.bind(def);
+        m.emit(I::New(subs2[5]));
+        m.emit(I::Iload(1));
+        m.emit(I::InvokeVirtual {
+            declared_in: base,
+            slot,
+        });
+        m.emit(I::Istore(0));
+        m.bind(join);
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::multi("pmd", "4.2.5", pb.finish_with_entry(main).unwrap(), 3)
+}
+
+/// sunflow analog: tight numeric inner loops with per-bounce shading
+/// calls — the paper's highest trace-rate subject.
+pub fn sunflow(scale: u32) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Sunflow", None, 0);
+
+    // intersect(x): bounding test.
+    let mut m = pb.method(c, "intersect", 1, true);
+    let miss = m.label();
+    let done = m.label();
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(7));
+    m.emit(I::Iand);
+    m.branch_if(CmpKind::Eq, miss);
+    m.emit(I::Iconst(1));
+    m.jump(done);
+    m.bind(miss);
+    m.emit(I::Iconst(0));
+    m.bind(done);
+    m.emit(I::Ireturn);
+    let intersect = m.finish();
+
+    // shade(x): shading arithmetic.
+    let mut m = pb.method(c, "shade", 1, true);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(5));
+    m.emit(I::Imul);
+    m.emit(I::Iconst(255));
+    m.emit(I::Iand);
+    m.emit(I::Ireturn);
+    let shade = m.finish();
+
+    // trace_ray(x): Collatz-ish bounce loop; every bounce intersects and
+    // shades — call-dense even when fully JIT-compiled, which is what
+    // gives sunflow the suite's highest packet rate.
+    let mut m = pb.method(c, "trace_ray", 1, true);
+    m.reserve_locals(3);
+    let head = m.label();
+    let done = m.label();
+    let even = m.label();
+    let cont = m.label();
+    m.emit(I::Iconst(24));
+    m.emit(I::Istore(1));
+    m.bind(head);
+    m.emit(I::Iload(1));
+    m.branch_if(CmpKind::Le, done);
+    m.emit(I::Iload(0));
+    m.emit(I::InvokeStatic(intersect));
+    m.emit(I::Pop);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(2));
+    m.emit(I::Irem);
+    m.branch_if(CmpKind::Eq, even);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(3));
+    m.emit(I::Imul);
+    m.emit(I::Iconst(1));
+    m.emit(I::Iadd);
+    m.emit(I::InvokeStatic(shade));
+    m.emit(I::Istore(0));
+    m.jump(cont);
+    m.bind(even);
+    m.emit(I::Iload(0));
+    m.emit(I::Iconst(2));
+    m.emit(I::Idiv);
+    m.emit(I::InvokeStatic(shade));
+    m.emit(I::Istore(0));
+    m.bind(cont);
+    m.emit(I::Iinc(1, -1));
+    m.jump(head);
+    m.bind(done);
+    m.emit(I::Iload(0));
+    m.emit(I::Ireturn);
+    let trace_ray = m.finish();
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(3);
+    emit_counted_loop(&mut m, 1, 40 * scale as i64, |m| {
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(977));
+        m.emit(I::Imul);
+        m.emit(I::Iconst(1));
+        m.emit(I::Iadd);
+        m.emit(I::InvokeStatic(trace_ray));
+        m.emit(I::Pop);
+    });
+    m.emit(I::Return);
+    let main = m.finish();
+    Workload::single("sunflow", "0.07.2", pb.finish_with_entry(main).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_jvm::runtime::{Jvm, JvmConfig};
+
+    #[test]
+    fn all_nine_build_and_run_clean() {
+        for w in all_workloads(1) {
+            let jvm = Jvm::new(JvmConfig {
+                tracing: false,
+                cores: if w.multithreaded { 2 } else { 1 },
+                ..JvmConfig::default()
+            });
+            let r = jvm.run_threads(&w.program, &w.threads);
+            assert!(
+                r.thread_errors.is_empty(),
+                "{} failed: {:?}",
+                w.name,
+                r.thread_errors
+            );
+            assert!(r.truth.total_events() > 500, "{} too small", w.name);
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_lookup_works() {
+        for name in WORKLOAD_NAMES {
+            let w = workload_by_name(name, 1);
+            assert_eq!(w.name, name);
+        }
+        let all = all_workloads(1);
+        assert_eq!(all.len(), 9);
+        let multi: Vec<&str> = all
+            .iter()
+            .filter(|w| w.multithreaded)
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(multi, vec!["h2", "lusearch", "pmd"], "paper's threading");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        workload_by_name("xalan", 1);
+    }
+
+    #[test]
+    fn scale_grows_work() {
+        let small = workload_by_name("sunflow", 1);
+        let big = workload_by_name("sunflow", 3);
+        let run = |w: &Workload| {
+            Jvm::new(JvmConfig {
+                tracing: false,
+                record_truth_trace: false,
+                // Pin the mode so cycles scale linearly with work.
+                c1_threshold: u64::MAX,
+                c2_threshold: u64::MAX,
+                ..JvmConfig::default()
+            })
+            .run_threads(&w.program, &w.threads)
+            .wall_cycles
+        };
+        assert!(run(&big) > 2 * run(&small));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = workload_by_name("avrora", 1);
+        let b = workload_by_name("avrora", 1);
+        assert_eq!(a.program, b.program);
+    }
+}

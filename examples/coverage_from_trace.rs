@@ -1,0 +1,77 @@
+//! Statement coverage "for free": with the control flow reconstructed
+//! from hardware traces, coverage needs no instrumentation at all
+//! (paper §1: "function and statement coverage … are all close at hand").
+//!
+//! Runs the `luindex` analog, reconstructs its control flow, derives the
+//! statement-coverage profile and compares it with (a) ground truth and
+//! (b) the classic instrumentation-based coverage — showing the overhead
+//! gap between the two routes to the same answer.
+//!
+//! ```sh
+//! cargo run --example coverage_from_trace
+//! ```
+
+use jportal::core::profiles::StatementProfile;
+use jportal::core::JPortal;
+use jportal::jvm::{Jvm, JvmConfig};
+use jportal::profilers::instrument_statement_coverage;
+use jportal::workloads::workload_by_name;
+
+fn main() {
+    let w = workload_by_name("luindex", 3);
+
+    // Route 1: hardware tracing + JPortal.
+    let traced = Jvm::new(JvmConfig::default()).run_threads(&w.program, &w.threads);
+    let report = JPortal::new(&w.program).analyze(traced.traces.as_ref().unwrap(), &traced.archive);
+    let profile = StatementProfile::from_report(&report);
+
+    // Route 2: Ball–Larus-style instrumentation.
+    let (instrumented, map) = instrument_statement_coverage(&w.program);
+    let instr_run = Jvm::new(JvmConfig {
+        tracing: false,
+        ..JvmConfig::default()
+    })
+    .run_threads(&instrumented, &w.threads);
+    let instr_counts = map.statement_counts(instr_run.probes.counters());
+
+    // Ground truth from the simulator.
+    let truth_counts = traced.truth.statement_counts();
+    let truth_covered = truth_counts.len();
+
+    let jportal_covered = profile.coverage_size();
+    let instr_covered = instr_counts.values().filter(|&&c| c > 0).count();
+
+    println!("statement coverage of luindex:");
+    println!("  ground truth        : {truth_covered} statements");
+    println!("  JPortal (PT traces) : {jportal_covered} statements");
+    println!("  instrumentation     : {instr_covered} statements");
+
+    let agree = truth_counts
+        .keys()
+        .filter(|&&(m, b)| profile.count(m, b) > 0)
+        .count();
+    println!(
+        "  JPortal finds {agree}/{truth_covered} truly-covered statements ({:.1}%)",
+        100.0 * agree as f64 / truth_covered.max(1) as f64
+    );
+
+    // The overhead story (Table 2's point): same answer, very different
+    // runtime cost.
+    let base = Jvm::new(JvmConfig {
+        tracing: false,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    println!("\nruntime cost (cycles):");
+    println!("  untraced baseline  : {}", base.wall_cycles);
+    println!(
+        "  JPortal (hardware) : {} ({:.3}x)",
+        traced.wall_cycles,
+        traced.wall_cycles as f64 / base.wall_cycles as f64
+    );
+    println!(
+        "  instrumentation    : {} ({:.3}x)",
+        instr_run.wall_cycles,
+        instr_run.wall_cycles as f64 / base.wall_cycles as f64
+    );
+}

@@ -1,0 +1,62 @@
+//! Hot-method detection from hardware traces (the paper's Table 4
+//! experiment in miniature): the timestamps PT embeds in the trace let
+//! JPortal attribute time to methods far more precisely than a sampling
+//! profiler, at lower overhead.
+//!
+//! ```sh
+//! cargo run --example hot_methods
+//! ```
+
+use jportal::core::accuracy::hot_method_intersection;
+use jportal::core::profiles::HotMethodProfile;
+use jportal::core::JPortal;
+use jportal::jvm::{Jvm, JvmConfig};
+use jportal::profilers::SamplingProfiler;
+use jportal::workloads::workload_by_name;
+
+fn main() {
+    let w = workload_by_name("jython", 3);
+    let n = 8;
+
+    // Ground truth: exact per-method self-cycles from the simulator.
+    let traced = Jvm::new(JvmConfig::default()).run_threads(&w.program, &w.threads);
+    let truth_top = traced.truth.hottest_methods(n);
+
+    // JPortal: derive hot methods from the reconstructed trace.
+    let report = JPortal::new(&w.program).analyze(traced.traces.as_ref().unwrap(), &traced.archive);
+    let jportal_top = HotMethodProfile::from_report(&report).hottest(n);
+
+    // xprof-style sampling.
+    let sampled = SamplingProfiler::xprof().run(
+        &w.program,
+        &w.threads,
+        JvmConfig {
+            tracing: false,
+            ..JvmConfig::default()
+        },
+    );
+    let sampled_top = sampled.hottest_sampled(n);
+
+    let name = |m: jportal::bytecode::MethodId| w.program.method(m).qualified_name(&w.program);
+
+    println!("top-{n} hottest methods of jython (ground truth):");
+    for (i, &m) in truth_top.iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, name(m));
+    }
+    println!("\nJPortal's top-{n}:");
+    for (i, &m) in jportal_top.iter().enumerate() {
+        let hit = if truth_top.contains(&m) { "*" } else { " " };
+        println!("  {:>2}. {hit} {}", i + 1, name(m));
+    }
+    println!("\nxprof's top-{n}:");
+    for (i, &m) in sampled_top.iter().enumerate() {
+        let hit = if truth_top.contains(&m) { "*" } else { " " };
+        println!("  {:>2}. {hit} {}", i + 1, name(m));
+    }
+
+    println!(
+        "\nintersection with truth: JPortal {}/{n}, xprof {}/{n}",
+        hot_method_intersection(&truth_top, &jportal_top),
+        hot_method_intersection(&truth_top, &sampled_top),
+    );
+}

@@ -1,0 +1,105 @@
+//! Quickstart: trace a small program with (simulated) Intel PT and
+//! reconstruct its bytecode-level control flow with JPortal.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use jportal::bytecode::builder::ProgramBuilder;
+use jportal::bytecode::{CmpKind, Instruction as I};
+use jportal::core::JPortal;
+use jportal::jvm::{Jvm, JvmConfig};
+
+fn main() {
+    // 1. Build a program: the paper's running example `fun(a, b)`
+    //    (Figure 2a), called from main in a loop.
+    let mut pb = ProgramBuilder::new();
+    let class = pb.add_class("Test", None, 0);
+    let mut m = pb.method(class, "fun", 2, true);
+    let else_ = m.label();
+    let join = m.label();
+    let odd = m.label();
+    m.emit(I::Iload(0));
+    m.branch_if(CmpKind::Eq, else_);
+    m.emit(I::Iload(1));
+    m.emit(I::Iconst(1));
+    m.emit(I::Iadd);
+    m.emit(I::Istore(1));
+    m.jump(join);
+    m.bind(else_);
+    m.emit(I::Iload(1));
+    m.emit(I::Iconst(2));
+    m.emit(I::Isub);
+    m.emit(I::Istore(1));
+    m.bind(join);
+    m.emit(I::Iload(1));
+    m.emit(I::Iconst(2));
+    m.emit(I::Irem);
+    m.branch_if(CmpKind::Ne, odd);
+    m.emit(I::Iconst(1));
+    m.emit(I::Ireturn);
+    m.bind(odd);
+    m.emit(I::Iconst(0));
+    m.emit(I::Ireturn);
+    let fun = m.finish();
+
+    let mut main_m = pb.method(class, "main", 0, false);
+    let head = main_m.label();
+    let done = main_m.label();
+    main_m.emit(I::Iconst(20));
+    main_m.emit(I::Istore(0));
+    main_m.bind(head);
+    main_m.emit(I::Iload(0));
+    main_m.branch_if(CmpKind::Le, done);
+    main_m.emit(I::Iload(0));
+    main_m.emit(I::Iconst(2));
+    main_m.emit(I::Irem);
+    main_m.emit(I::Iload(0));
+    main_m.emit(I::InvokeStatic(fun));
+    main_m.emit(I::Pop);
+    main_m.emit(I::Iinc(0, -1));
+    main_m.jump(head);
+    main_m.bind(done);
+    main_m.emit(I::Return);
+    let entry = main_m.finish();
+    let program = pb.finish_with_entry(entry).expect("verifies");
+
+    // 2. Run it on the simulated JVM with PT tracing enabled.
+    let result = Jvm::new(JvmConfig::default()).run(&program);
+    let traces = result.traces.as_ref().expect("tracing was on");
+    println!(
+        "online: {} trace bytes on core 0, {} compiled methods, wall {} cycles",
+        traces.per_core[0].bytes.len(),
+        result.compilations,
+        result.wall_cycles
+    );
+
+    // 3. Reconstruct the control flow offline.
+    let jportal = JPortal::new(&program);
+    let report = jportal.analyze(traces, &result.archive);
+    let thread = &report.threads[0];
+    println!(
+        "offline: {} trace entries reconstructed in {} segments",
+        thread.entries.len(),
+        thread.segments
+    );
+
+    // 4. Show the first reconstructed instructions of `fun`.
+    println!("\nfirst reconstructed visit to fun:");
+    let mut shown = 0;
+    for e in &thread.entries {
+        if e.method == Some(fun) && shown < 12 {
+            println!(
+                "  {}@{}  {}",
+                program.method(fun).name,
+                e.bci.map(|b| b.0 as i64).unwrap_or(-1),
+                e.op
+            );
+            shown += 1;
+        }
+    }
+
+    // 5. Check against ground truth.
+    let score = jportal::core::accuracy::overall_accuracy(&program, &result.truth, &report);
+    println!("\nend-to-end accuracy vs ground truth: {:.1}%", score * 100.0);
+}

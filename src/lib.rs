@@ -1,0 +1,13 @@
+//! JPortal — precise and efficient control-flow tracing for JVM programs
+//! with (simulated) Intel Processor Trace.
+//!
+//! Facade crate re-exporting the workspace's public API. See the README for
+//! the architecture overview and `DESIGN.md` for the paper-to-module map.
+
+pub use jportal_bytecode as bytecode;
+pub use jportal_cfg as cfg;
+pub use jportal_core as core;
+pub use jportal_ipt as ipt;
+pub use jportal_jvm as jvm;
+pub use jportal_profilers as profilers;
+pub use jportal_workloads as workloads;

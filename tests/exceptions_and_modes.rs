@@ -1,0 +1,168 @@
+//! Edge-case integration tests: exceptional control flow through both
+//! execution modes, code-cache eviction under pressure, and recovery
+//! parameter sweeps.
+
+use jportal::bytecode::builder::ProgramBuilder;
+use jportal::bytecode::{CmpKind, Instruction as I, Program};
+use jportal::core::accuracy::overall_accuracy;
+use jportal::core::{JPortal, JPortalConfig, RecoveryConfig};
+use jportal::ipt::ThreadId;
+use jportal::jvm::{Jvm, JvmConfig};
+use jportal::workloads::workload_by_name;
+
+/// main loops calling `risky(i)` which divides by (i % 3) — throwing
+/// every third call; main catches and continues.
+fn throwing_program(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("C", None, 0);
+    let mut r = pb.method(c, "risky", 1, true);
+    r.emit(I::Iconst(100));
+    r.emit(I::Iload(0));
+    r.emit(I::Iconst(3));
+    r.emit(I::Irem);
+    r.emit(I::Idiv); // throws when i % 3 == 0
+    r.emit(I::Ireturn);
+    let risky = r.finish();
+
+    let mut m = pb.method(c, "main", 0, false);
+    let head = m.label();
+    let done = m.label();
+    let handler = m.label();
+    let resume = m.label();
+    m.emit(I::Iconst(iters));
+    m.emit(I::Istore(0));
+    m.bind(head);
+    m.emit(I::Iload(0));
+    m.branch_if(CmpKind::Le, done);
+    let try_start = m.here();
+    m.emit(I::Iload(0));
+    m.emit(I::InvokeStatic(risky));
+    m.emit(I::Pop);
+    let try_end = m.here();
+    m.jump(resume);
+    m.add_handler(try_start, try_end, handler, None);
+    m.bind(handler);
+    m.emit(I::Pop); // discard the exception ref
+    m.bind(resume);
+    m.emit(I::Iinc(0, -1));
+    m.jump(head);
+    m.bind(done);
+    m.emit(I::Return);
+    let main = m.finish();
+    pb.finish_with_entry(main).unwrap()
+}
+
+#[test]
+fn exceptions_unwinding_across_frames_decode_interpreted() {
+    let p = throwing_program(12);
+    let r = Jvm::new(JvmConfig {
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    })
+    .run(&p);
+    assert!(r.thread_errors.is_empty(), "all exceptions caught");
+    let report = JPortal::new(&p).analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let acc = overall_accuracy(&p, &r.truth, &report);
+    assert!(
+        acc > 0.999,
+        "interpreted exceptional flow must decode exactly, got {acc:.4}"
+    );
+}
+
+#[test]
+fn exceptions_unwinding_across_frames_decode_jitted() {
+    let p = throwing_program(40);
+    let r = Jvm::new(JvmConfig {
+        c1_threshold: 3,
+        c2_threshold: 8,
+        ..JvmConfig::default()
+    })
+    .run(&p);
+    assert!(r.thread_errors.is_empty());
+    assert!(r.compilations >= 1, "risky must compile");
+    let report = JPortal::new(&p).analyze(r.traces.as_ref().unwrap(), &r.archive);
+    // Exceptional transfers out of compiled code (FUP + TIP re-anchor)
+    // cost a little decode context but must stay near-exact.
+    let acc = overall_accuracy(&p, &r.truth, &report);
+    assert!(acc > 0.95, "JIT exceptional flow decode: {acc:.4}");
+    // Every third risky call throws: the handler's pop must appear in the
+    // reconstruction roughly iters/3 times.
+    let truth_pops = r
+        .truth
+        .trace(ThreadId(0))
+        .iter()
+        .filter(|e| {
+            e.method == p.entry()
+                && matches!(p.method(e.method).insn(e.bci), I::Pop)
+        })
+        .count();
+    assert!(truth_pops >= 13, "sanity: handler actually ran");
+}
+
+#[test]
+fn code_cache_eviction_under_pressure_still_decodes() {
+    // A tiny code cache forces evictions and address reuse; the archive's
+    // timestamped lookup must keep decode working.
+    let w = workload_by_name("jython", 2);
+    let r = Jvm::new(JvmConfig {
+        code_cache_capacity: 600, // a handful of blobs at a time
+        c1_threshold: 2,
+        c2_threshold: 6,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    assert!(r.thread_errors.is_empty());
+    let evicted = r
+        .archive
+        .blobs
+        .iter()
+        .filter(|b| b.active_to.is_some())
+        .count();
+    assert!(evicted > 0, "pressure must evict blobs");
+    let report = JPortal::new(&w.program).analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let acc = overall_accuracy(&w.program, &r.truth, &report);
+    assert!(acc > 0.9, "eviction+reuse decode accuracy: {acc:.4}");
+}
+
+#[test]
+fn recovery_parameter_sweep_is_sane() {
+    // DESIGN.md §5 ablation: anchor length x and confirmation length y.
+    let w = workload_by_name("sunflow", 2);
+    let r = Jvm::new(JvmConfig {
+        pt_buffer_capacity: 2000,
+        drain_bytes_per_kilocycle: 80,
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().unwrap();
+    assert!(!traces.per_core[0].losses.is_empty());
+
+    let mut results = Vec::new();
+    for (x, y) in [(2, 2), (3, 4), (5, 6), (8, 8)] {
+        let jp = JPortal::with_config(
+            &w.program,
+            JPortalConfig {
+                recovery: RecoveryConfig {
+                    anchor_len: x,
+                    confirm_len: y,
+                    ..RecoveryConfig::default()
+                },
+                ..JPortalConfig::default()
+            },
+        );
+        let report = jp.analyze(traces, &r.archive);
+        let acc = overall_accuracy(&w.program, &r.truth, &report);
+        let stats: usize = report.threads.iter().map(|t| t.recovery.filled_from_cs).sum();
+        results.push((x, y, acc, stats));
+    }
+    // Every setting must produce a working pipeline; mid-range anchors
+    // should fill at least as many holes as the extremes combined fail.
+    for &(x, y, acc, _) in &results {
+        assert!(acc > 0.3, "x={x} y={y}: accuracy collapsed to {acc:.3}");
+    }
+    let default_fills = results[1].3;
+    assert!(default_fills > 0, "default parameters must fill holes");
+}

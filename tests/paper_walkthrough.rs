@@ -1,0 +1,262 @@
+//! The paper's running example, end to end: Figures 2–5 as executable
+//! assertions.
+
+use jportal::bytecode::builder::ProgramBuilder;
+use jportal::bytecode::{Bci, CmpKind, Instruction as I, MethodId, OpKind, Program};
+use jportal::cfg::abs::AbstractNfa;
+use jportal::cfg::{Icfg, Nfa, Sym};
+use jportal::core::decode_segment;
+use jportal::core::JPortal;
+use jportal::ipt::{decode_packets, segment_stream, Packet, ThreadId};
+use jportal::jvm::{Jvm, JvmConfig};
+
+/// Figure 2(a)/(b): `static boolean fun(boolean a, int b)`.
+fn figure2_program() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Test", None, 0);
+    let mut m = pb.method(c, "fun", 2, true);
+    let else_ = m.label();
+    let join = m.label();
+    let odd = m.label();
+    m.emit(I::Iload(0)); // 0
+    m.branch_if(CmpKind::Eq, else_); // 1: ifeq 7
+    m.emit(I::Iload(1)); // 2
+    m.emit(I::Iconst(1)); // 3
+    m.emit(I::Iadd); // 4
+    m.emit(I::Istore(1)); // 5
+    m.jump(join); // 6: goto 11
+    m.bind(else_);
+    m.emit(I::Iload(1)); // 7
+    m.emit(I::Iconst(2)); // 8
+    m.emit(I::Isub); // 9
+    m.emit(I::Istore(1)); // 10
+    m.bind(join);
+    m.emit(I::Iload(1)); // 11
+    m.emit(I::Iconst(2)); // 12
+    m.emit(I::Irem); // 13
+    m.branch_if(CmpKind::Ne, odd); // 14: ifne 17
+    m.emit(I::Iconst(1)); // 15
+    m.emit(I::Ireturn); // 16
+    m.bind(odd);
+    m.emit(I::Iconst(0)); // 17
+    m.emit(I::Ireturn); // 18
+    let fun = m.finish();
+    let mut main = pb.method(c, "main", 0, false);
+    main.emit(I::Iconst(0)); // a = false → else branch
+    main.emit(I::Iconst(7)); // b = 7
+    main.emit(I::InvokeStatic(fun));
+    main.emit(I::Pop);
+    main.emit(I::Return);
+    let main = main.finish();
+    (pb.finish_with_entry(main).unwrap(), fun)
+}
+
+#[test]
+fn figure2_trace_has_the_papers_packet_shape() {
+    // Interpreted execution produces TIPs into templates and TNT bits for
+    // the conditionals — Figure 2(d).
+    let (p, _) = figure2_program();
+    let r = Jvm::new(JvmConfig {
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    })
+    .run(&p);
+    let traces = r.traces.as_ref().unwrap();
+    let packets = decode_packets(&traces.per_core[0].bytes);
+    let tips = packets
+        .iter()
+        .filter(|tp| matches!(tp.packet, Packet::Tip { .. }))
+        .count();
+    let tnt_bits: usize = packets
+        .iter()
+        .filter_map(|tp| match &tp.packet {
+            Packet::Tnt { bits } => Some(bits.len()),
+            _ => None,
+        })
+        .sum();
+    // 5 main bytecodes + 12 executed fun bytecodes (the else path), minus
+    // the initial PGE-covered entry: every interpreted bytecode shows up
+    // as a dispatch TIP.
+    assert!(tips >= 15, "expected dispatch TIPs, got {tips}");
+    assert_eq!(tnt_bits, 2, "ifeq and ifne each contribute one TNT bit");
+}
+
+#[test]
+fn figure2_decode_recovers_the_exact_bytecode_sequence() {
+    // Figure 2(e): the decoded sequence of the else path.
+    let (p, _fun) = figure2_program();
+    let r = Jvm::new(JvmConfig {
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    })
+    .run(&p);
+    let traces = r.traces.as_ref().unwrap();
+    let packets = decode_packets(&traces.per_core[0].bytes);
+    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let seg = decode_segment(&p, &r.archive, &raw[0]);
+    let ops: Vec<OpKind> = seg.events.iter().map(|e| e.sym.op).collect();
+    let expected = [
+        OpKind::Iconst, // main: 0
+        OpKind::Iconst, // main: 7
+        OpKind::InvokeStatic,
+        OpKind::Iload,  // fun@0
+        OpKind::Ifeq,   // taken (a == 0)
+        OpKind::Iload,  // fun@7
+        OpKind::Iconst,
+        OpKind::Isub,
+        OpKind::Istore,
+        OpKind::Iload, // fun@11
+        OpKind::Iconst,
+        OpKind::Irem,
+        OpKind::Ifne, // 7 - 2 = 5, 5 % 2 = 1 → taken
+        OpKind::Iconst,
+        OpKind::Ireturn,
+        OpKind::Pop,
+        OpKind::Return,
+    ];
+    assert_eq!(ops, expected, "Figure 2(e) sequence");
+}
+
+#[test]
+fn figure4_nfa_projection_resolves_the_else_path() {
+    // §4: projecting the decoded sequence onto the ICFG yields the
+    // Figure 2(f) path.
+    let (p, fun) = figure2_program();
+    let icfg = Icfg::build(&p);
+    let nfa = Nfa::new(&p, &icfg);
+    let trace: Vec<Sym> = [
+        (OpKind::Iload, None),
+        (OpKind::Ifeq, Some(true)),
+        (OpKind::Iload, None),
+        (OpKind::Iconst, None),
+        (OpKind::Isub, None),
+        (OpKind::Istore, None),
+        (OpKind::Iload, None),
+        (OpKind::Iconst, None),
+        (OpKind::Irem, None),
+        (OpKind::Ifne, Some(true)),
+        (OpKind::Iconst, None),
+        (OpKind::Ireturn, None),
+    ]
+    .iter()
+    .map(|&(op, d)| match d {
+        Some(t) => Sym::branch(op, t),
+        None => Sym::plain(op),
+    })
+    .collect();
+    let out = nfa.match_from_entry(fun, &trace);
+    let path = out.path().expect("accepted");
+    let bcis: Vec<u32> = path.iter().map(|&n| icfg.bci_of(n).0).collect();
+    assert_eq!(bcis, vec![0, 1, 7, 8, 9, 10, 11, 12, 13, 14, 17, 18]);
+}
+
+#[test]
+fn figure5_abstraction_agrees_with_concrete_matching() {
+    let (p, _) = figure2_program();
+    let icfg = Icfg::build(&p);
+    let anfa = AbstractNfa::new(&p, &icfg);
+    let nfa = anfa.concrete();
+    // Exhaustively compare Algorithm 1 and Algorithm 2 on short windows.
+    let alphabet = [
+        OpKind::Iload,
+        OpKind::Iconst,
+        OpKind::Isub,
+        OpKind::Irem,
+        OpKind::Ireturn,
+        OpKind::Goto,
+    ];
+    let mut checked = 0;
+    for &a in &alphabet {
+        for &b in &alphabet {
+            for &c in &alphabet {
+                let w = vec![Sym::plain(a), Sym::plain(b), Sym::plain(c)];
+                let r1 = nfa.enumerate_and_test(&w).is_accepted();
+                let r2 = anfa.algorithm2(&w).is_accepted();
+                assert_eq!(r1, r2, "{a} {b} {c}: algorithms disagree");
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 216);
+}
+
+#[test]
+fn figure3_jitted_fun_decodes_through_debug_info() {
+    // Force fun hot so it compiles; the decoded events must carry
+    // (method, bci) pairs recovered from the debug metadata.
+    let (p, fun) = {
+        // A caller that invokes fun many times.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Test", None, 0);
+        let mut m = pb.method(c, "fun", 2, true);
+        let else_ = m.label();
+        let join = m.label();
+        let odd = m.label();
+        m.emit(I::Iload(0));
+        m.branch_if(CmpKind::Eq, else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(1));
+        m.emit(I::Iadd);
+        m.emit(I::Istore(1));
+        m.jump(join);
+        m.bind(else_);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Isub);
+        m.emit(I::Istore(1));
+        m.bind(join);
+        m.emit(I::Iload(1));
+        m.emit(I::Iconst(2));
+        m.emit(I::Irem);
+        m.branch_if(CmpKind::Ne, odd);
+        m.emit(I::Iconst(1));
+        m.emit(I::Ireturn);
+        m.bind(odd);
+        m.emit(I::Iconst(0));
+        m.emit(I::Ireturn);
+        let fun = m.finish();
+        let mut main = pb.method(c, "main", 0, false);
+        let head = main.label();
+        let done = main.label();
+        main.emit(I::Iconst(30));
+        main.emit(I::Istore(0));
+        main.bind(head);
+        main.emit(I::Iload(0));
+        main.branch_if(CmpKind::Le, done);
+        main.emit(I::Iload(0));
+        main.emit(I::Iconst(2));
+        main.emit(I::Irem);
+        main.emit(I::Iload(0));
+        main.emit(I::InvokeStatic(fun));
+        main.emit(I::Pop);
+        main.emit(I::Iinc(0, -1));
+        main.jump(head);
+        main.bind(done);
+        main.emit(I::Return);
+        let entry = main.finish();
+        (pb.finish_with_entry(entry).unwrap(), fun)
+    };
+    let r = Jvm::new(JvmConfig {
+        c1_threshold: 3,
+        c2_threshold: 10,
+        ..JvmConfig::default()
+    })
+    .run(&p);
+    assert!(r.compilations >= 1, "fun must compile");
+    let report = JPortal::new(&p).analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let entries = &report.threads[0].entries;
+    // Late entries of fun come from JIT decode and still carry locations.
+    let fun_entries: Vec<_> = entries.iter().filter(|e| e.method == Some(fun)).collect();
+    assert!(fun_entries.len() > 100);
+    assert!(fun_entries.iter().all(|e| e.bci.is_some()));
+    // And the reconstruction matches the ground truth exactly.
+    let truth = r.truth.trace(ThreadId(0));
+    assert_eq!(entries.len(), truth.len());
+    for (e, t) in entries.iter().zip(truth) {
+        assert_eq!(e.method, Some(t.method));
+        assert_eq!(e.bci, Some(t.bci));
+    }
+    let _ = Bci(0);
+}
