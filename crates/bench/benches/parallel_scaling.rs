@@ -1,0 +1,45 @@
+//! Scaling of the parallel offline pipeline: the same lossy multi-thread
+//! workload analyzed with `parallelism` fixed at 1, 2, 4 and 8 workers.
+//!
+//! Worker counts above `available_parallelism()` are still measured — on a
+//! small machine they show the (small) overhead of oversubscription, on a
+//! large one the scaling curve. The 1-worker point is the exact legacy
+//! sequential path (no threads spawned), so `speedup(n) = t(1) / t(n)`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jportal_core::{JPortal, JPortalConfig};
+use jportal_jvm::runtime::{Jvm, JvmConfig};
+use jportal_workloads::workload_by_name;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let w = workload_by_name("luindex", 3);
+    let r = Jvm::new(JvmConfig {
+        tracing: true,
+        pt_buffer_capacity: 4096,
+        drain_bytes_per_kilocycle: 30,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().unwrap();
+    let bytes: u64 = traces.per_core.iter().map(|t| t.bytes.len() as u64).sum();
+
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.throughput(Throughput::Bytes(bytes));
+    for workers in [1usize, 2, 4, 8] {
+        let name = format!("analyze_workers_{workers}");
+        g.bench_function(&name, |b| {
+            let jportal = JPortal::with_config(
+                &w.program,
+                JPortalConfig {
+                    parallelism: Some(workers),
+                    ..JPortalConfig::default()
+                },
+            );
+            b.iter(|| jportal.analyze(traces, &r.archive))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

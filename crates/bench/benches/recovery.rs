@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use jportal_cfg::Icfg;
-use jportal_core::{Recovery, RecoveryConfig, RecoveryStats, SegmentView};
 use jportal_core::decode_segment;
+use jportal_core::{Recovery, RecoveryConfig, RecoveryStats, SegmentView};
 use jportal_ipt::{decode_packets, segment_stream};
 use jportal_jvm::runtime::{Jvm, JvmConfig};
 use jportal_workloads::workload_by_name;

@@ -5,7 +5,9 @@
 //! low single-digit percent, sampling below ~2×, SC < PF ≪ CF (which
 //! explodes on branch-dense subjects), HM heavy on call-dense subjects.
 
-use jportal_bench::harness::{fmt_x, jvm_config, row, run_baseline, run_traced, slowdown, EVAL_SCALE};
+use jportal_bench::harness::{
+    fmt_x, jvm_config, row, run_baseline, run_traced, slowdown, EVAL_SCALE,
+};
 use jportal_bench::paper;
 use jportal_jvm::runtime::Jvm;
 use jportal_profilers::{

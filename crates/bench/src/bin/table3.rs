@@ -9,8 +9,8 @@
 //! flat regardless of buffer size.
 
 use jportal_bench::harness::{fmt_pct, global_presets, row, score, EVAL_SCALE};
-use jportal_workloads::all_workloads;
 use jportal_bench::paper;
+use jportal_workloads::all_workloads;
 use jportal_workloads::workload_by_name;
 
 fn main() {

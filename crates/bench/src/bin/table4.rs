@@ -6,7 +6,7 @@
 //! `min(10, method count − 1)` per subject; the reproduced property is
 //! the ordering: JPortal ≳ JProfiler ≥ xprof.
 
-use jportal_bench::harness::{jvm_config, row, run_traced, analyze, EVAL_SCALE};
+use jportal_bench::harness::{analyze, jvm_config, row, run_traced, EVAL_SCALE};
 use jportal_bench::paper;
 use jportal_core::accuracy::hot_method_intersection;
 use jportal_core::profiles::HotMethodProfile;
@@ -27,11 +27,10 @@ fn main() {
         &widths,
     );
     let mut order_ok = true;
-    for (w, &(pname, pxp, pjp, pjpo)) in
-        all_workloads(EVAL_SCALE).iter().zip(paper::TABLE4.iter())
+    for (w, &(pname, pxp, pjp, pjpo)) in all_workloads(EVAL_SCALE).iter().zip(paper::TABLE4.iter())
     {
         assert_eq!(w.name, pname);
-        let n = (w.program.method_count().saturating_sub(1)).min(10).max(3);
+        let n = (w.program.method_count().saturating_sub(1)).clamp(3, 10);
 
         // Ground truth: hottest by exact self-cycles.
         let traced = run_traced(w, None, None);

@@ -15,7 +15,12 @@ pub const EVAL_SCALE: u32 = 5;
 ///
 /// `buffer`/`drain` control the PT ring (`None` = effectively unbounded:
 /// the lossless configuration used for overhead and Figure 7 baselines).
-pub fn jvm_config(w: &Workload, tracing: bool, buffer: Option<usize>, drain: Option<u64>) -> JvmConfig {
+pub fn jvm_config(
+    w: &Workload,
+    tracing: bool,
+    buffer: Option<usize>,
+    drain: Option<u64>,
+) -> JvmConfig {
     JvmConfig {
         cores: if w.multithreaded { 2 } else { 1 },
         tracing,

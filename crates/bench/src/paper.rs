@@ -44,15 +44,96 @@ pub struct Table2Row {
 
 /// Table 2 as published.
 pub const TABLE2: [Table2Row; 9] = [
-    Table2Row { name: "avrora", jportal: 1.154, sc: 29.940, pf: 43.777, cf: 3555.073, hm: 11.038, xprof: 1.059, jprofiler: 1.512 },
-    Table2Row { name: "batik", jportal: 1.084, sc: 1.603, pf: 1.776, cf: 46.322, hm: 2.322, xprof: 1.262, jprofiler: 1.331 },
-    Table2Row { name: "fop", jportal: 1.044, sc: 2.182, pf: 1.947, cf: 41.631, hm: 1.969, xprof: 1.309, jprofiler: 1.221 },
-    Table2Row { name: "h2", jportal: 1.128, sc: 10.114, pf: 13.507, cf: 1266.685, hm: 50.840, xprof: 1.056, jprofiler: 1.140 },
-    Table2Row { name: "jython", jportal: 1.165, sc: 3.600, pf: 7.113, cf: 502.163, hm: 14.657, xprof: 1.052, jprofiler: 1.519 },
-    Table2Row { name: "luindex", jportal: 1.041, sc: 2.027, pf: 2.403, cf: 80.776, hm: 3.817, xprof: 1.115, jprofiler: 1.272 },
-    Table2Row { name: "lusearch", jportal: 1.162, sc: 13.979, pf: 24.093, cf: 1706.262, hm: 8.203, xprof: 1.168, jprofiler: 1.509 },
-    Table2Row { name: "pmd", jportal: 1.086, sc: 1.140, pf: 1.258, cf: 5.320, hm: 2.040, xprof: 1.063, jprofiler: 1.822 },
-    Table2Row { name: "sunflow", jportal: 1.156, sc: 6.343, pf: 10.767, cf: 887.897, hm: 14.564, xprof: 1.151, jprofiler: 1.464 },
+    Table2Row {
+        name: "avrora",
+        jportal: 1.154,
+        sc: 29.940,
+        pf: 43.777,
+        cf: 3555.073,
+        hm: 11.038,
+        xprof: 1.059,
+        jprofiler: 1.512,
+    },
+    Table2Row {
+        name: "batik",
+        jportal: 1.084,
+        sc: 1.603,
+        pf: 1.776,
+        cf: 46.322,
+        hm: 2.322,
+        xprof: 1.262,
+        jprofiler: 1.331,
+    },
+    Table2Row {
+        name: "fop",
+        jportal: 1.044,
+        sc: 2.182,
+        pf: 1.947,
+        cf: 41.631,
+        hm: 1.969,
+        xprof: 1.309,
+        jprofiler: 1.221,
+    },
+    Table2Row {
+        name: "h2",
+        jportal: 1.128,
+        sc: 10.114,
+        pf: 13.507,
+        cf: 1266.685,
+        hm: 50.840,
+        xprof: 1.056,
+        jprofiler: 1.140,
+    },
+    Table2Row {
+        name: "jython",
+        jportal: 1.165,
+        sc: 3.600,
+        pf: 7.113,
+        cf: 502.163,
+        hm: 14.657,
+        xprof: 1.052,
+        jprofiler: 1.519,
+    },
+    Table2Row {
+        name: "luindex",
+        jportal: 1.041,
+        sc: 2.027,
+        pf: 2.403,
+        cf: 80.776,
+        hm: 3.817,
+        xprof: 1.115,
+        jprofiler: 1.272,
+    },
+    Table2Row {
+        name: "lusearch",
+        jportal: 1.162,
+        sc: 13.979,
+        pf: 24.093,
+        cf: 1706.262,
+        hm: 8.203,
+        xprof: 1.168,
+        jprofiler: 1.509,
+    },
+    Table2Row {
+        name: "pmd",
+        jportal: 1.086,
+        sc: 1.140,
+        pf: 1.258,
+        cf: 5.320,
+        hm: 2.040,
+        xprof: 1.063,
+        jprofiler: 1.822,
+    },
+    Table2Row {
+        name: "sunflow",
+        jportal: 1.156,
+        sc: 6.343,
+        pf: 10.767,
+        cf: 887.897,
+        hm: 14.564,
+        xprof: 1.151,
+        jprofiler: 1.464,
+    },
 ];
 
 /// Figure 7: JPortal's overall end-to-end accuracy per benchmark.
@@ -91,15 +172,96 @@ pub struct Table3Cell {
 
 /// Table 3 as published (batik, h2, sunflow × 256M/128M/64M).
 pub const TABLE3: [Table3Cell; 9] = [
-    Table3Cell { name: "batik", buffer: "256M", pmd: 0.0, pr: 0.0, ra: 0.0, pdc: 1.0, pd: 0.854, da: 0.854 },
-    Table3Cell { name: "batik", buffer: "128M", pmd: 0.2223, pr: 0.1179, ra: 0.5305, pdc: 0.7777, pd: 0.6653, da: 0.8555 },
-    Table3Cell { name: "batik", buffer: "64M", pmd: 0.3975, pr: 0.1644, ra: 0.4136, pdc: 0.6025, pd: 0.5142, da: 0.8534 },
-    Table3Cell { name: "h2", buffer: "256M", pmd: 0.1930, pr: 0.1088, ra: 0.5635, pdc: 0.8070, pd: 0.6118, da: 0.7581 },
-    Table3Cell { name: "h2", buffer: "128M", pmd: 0.2803, pr: 0.1695, ra: 0.6048, pdc: 0.7197, pd: 0.5436, da: 0.7553 },
-    Table3Cell { name: "h2", buffer: "64M", pmd: 0.5428, pr: 0.2914, ra: 0.5369, pdc: 0.4572, pd: 0.3438, da: 0.7520 },
-    Table3Cell { name: "sunflow", buffer: "256M", pmd: 0.1040, pr: 0.0505, ra: 0.4852, pdc: 0.8960, pd: 0.7494, da: 0.8364 },
-    Table3Cell { name: "sunflow", buffer: "128M", pmd: 0.2267, pr: 0.0926, ra: 0.4086, pdc: 0.7733, pd: 0.6543, da: 0.8461 },
-    Table3Cell { name: "sunflow", buffer: "64M", pmd: 0.4504, pr: 0.1513, ra: 0.3359, pdc: 0.5496, pd: 0.4574, da: 0.8322 },
+    Table3Cell {
+        name: "batik",
+        buffer: "256M",
+        pmd: 0.0,
+        pr: 0.0,
+        ra: 0.0,
+        pdc: 1.0,
+        pd: 0.854,
+        da: 0.854,
+    },
+    Table3Cell {
+        name: "batik",
+        buffer: "128M",
+        pmd: 0.2223,
+        pr: 0.1179,
+        ra: 0.5305,
+        pdc: 0.7777,
+        pd: 0.6653,
+        da: 0.8555,
+    },
+    Table3Cell {
+        name: "batik",
+        buffer: "64M",
+        pmd: 0.3975,
+        pr: 0.1644,
+        ra: 0.4136,
+        pdc: 0.6025,
+        pd: 0.5142,
+        da: 0.8534,
+    },
+    Table3Cell {
+        name: "h2",
+        buffer: "256M",
+        pmd: 0.1930,
+        pr: 0.1088,
+        ra: 0.5635,
+        pdc: 0.8070,
+        pd: 0.6118,
+        da: 0.7581,
+    },
+    Table3Cell {
+        name: "h2",
+        buffer: "128M",
+        pmd: 0.2803,
+        pr: 0.1695,
+        ra: 0.6048,
+        pdc: 0.7197,
+        pd: 0.5436,
+        da: 0.7553,
+    },
+    Table3Cell {
+        name: "h2",
+        buffer: "64M",
+        pmd: 0.5428,
+        pr: 0.2914,
+        ra: 0.5369,
+        pdc: 0.4572,
+        pd: 0.3438,
+        da: 0.7520,
+    },
+    Table3Cell {
+        name: "sunflow",
+        buffer: "256M",
+        pmd: 0.1040,
+        pr: 0.0505,
+        ra: 0.4852,
+        pdc: 0.8960,
+        pd: 0.7494,
+        da: 0.8364,
+    },
+    Table3Cell {
+        name: "sunflow",
+        buffer: "128M",
+        pmd: 0.2267,
+        pr: 0.0926,
+        ra: 0.4086,
+        pdc: 0.7733,
+        pd: 0.6543,
+        da: 0.8461,
+    },
+    Table3Cell {
+        name: "sunflow",
+        buffer: "64M",
+        pmd: 0.4504,
+        pr: 0.1513,
+        ra: 0.3359,
+        pdc: 0.5496,
+        pd: 0.4574,
+        da: 0.8322,
+    },
 ];
 
 /// Table 4: hot-method intersections with the instrumented top-10
@@ -161,8 +323,7 @@ mod tests {
         }
         // Table 3: bigger buffers lose less.
         for name in ["batik", "h2", "sunflow"] {
-            let cells: Vec<&Table3Cell> =
-                TABLE3.iter().filter(|c| c.name == name).collect();
+            let cells: Vec<&Table3Cell> = TABLE3.iter().filter(|c| c.name == name).collect();
             assert!(cells[0].pmd <= cells[1].pmd);
             assert!(cells[1].pmd <= cells[2].pmd);
         }

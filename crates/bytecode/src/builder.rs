@@ -4,7 +4,6 @@
 //! [`MethodBuilder`] assembles one method with forward-referencing
 //! [`Label`]s that are patched when the method is finished.
 
-
 use crate::insn::{CmpKind, Instruction};
 use crate::program::{Bci, Class, ClassId, ExceptionHandler, Method, MethodId, Program};
 use crate::verify::{verify_program, VerifyError};
@@ -281,7 +280,8 @@ impl<'p> MethodBuilder<'p> {
         handler: Label,
         catch_class: Option<ClassId>,
     ) {
-        self.pending_handlers.push((start, end, handler, catch_class));
+        self.pending_handlers
+            .push((start, end, handler, catch_class));
     }
 
     /// Raises the method's local-slot count to at least `n`.

@@ -1,6 +1,5 @@
 //! The bytecode instruction set.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::program::{Bci, ClassId, MethodId};
@@ -19,7 +18,7 @@ use crate::program::{Bci, ClassId, MethodId};
 /// assert!(!CmpKind::Ge.eval(1, 2));
 /// assert_eq!(CmpKind::Eq.negate(), CmpKind::Ne);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpKind {
     /// `==`
     Eq,
@@ -85,7 +84,7 @@ impl fmt::Display for CmpKind {
 /// array (the reproduction addresses instructions by index rather than by
 /// byte offset; the mapping is bijective and the disassembler prints the
 /// index as the "offset").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// No operation.
     Nop,
@@ -208,7 +207,7 @@ pub enum Instruction {
 }
 
 /// What an instrumentation probe does when executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProbeKind {
     /// Increment global counter `id` (statement/block coverage).
     Count(u32),
@@ -433,7 +432,7 @@ macro_rules! op_kinds {
         /// machine-code template per `OpKind`; JPortal's interpreted-mode
         /// decoder maps machine addresses back to the `OpKind` whose
         /// template range contains them (paper §3.1, Figure 2c).
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
         #[repr(u8)]
         pub enum OpKind {
             $($(#[$doc])* $name,)+
@@ -633,14 +632,12 @@ mod tests {
         assert!(Instruction::Ireturn.is_terminator());
         assert!(!Instruction::Iadd.is_control());
         assert!(Instruction::Athrow.is_terminator());
-        assert!(
-            Instruction::TableSwitch {
-                low: 0,
-                targets: vec![],
-                default: Bci(0)
-            }
-            .is_terminator()
-        );
+        assert!(Instruction::TableSwitch {
+            low: 0,
+            targets: vec![],
+            default: Bci(0)
+        }
+        .is_terminator());
     }
 
     #[test]
@@ -662,7 +659,10 @@ mod tests {
     #[test]
     fn stack_effects() {
         assert_eq!(Instruction::Iadd.stack_effect(0, false), (2, 1));
-        assert_eq!(Instruction::InvokeStatic(MethodId(0)).stack_effect(3, true), (3, 1));
+        assert_eq!(
+            Instruction::InvokeStatic(MethodId(0)).stack_effect(3, true),
+            (3, 1)
+        );
         assert_eq!(
             Instruction::InvokeVirtual {
                 declared_in: ClassId(0),

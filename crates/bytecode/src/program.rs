@@ -1,6 +1,5 @@
 //! Program, class and method model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::insn::Instruction;
@@ -10,9 +9,7 @@ use crate::insn::Instruction;
 /// The reproduction addresses instructions by index; real JVM byte offsets
 /// are a bijective renaming of these and carry no additional information
 /// for control-flow reconstruction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Bci(pub u32);
 
 impl Bci {
@@ -34,9 +31,7 @@ impl fmt::Display for Bci {
 }
 
 /// Identifier of a method within a [`Program`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct MethodId(pub u32);
 
 impl MethodId {
@@ -53,9 +48,7 @@ impl fmt::Display for MethodId {
 }
 
 /// Identifier of a class within a [`Program`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ClassId(pub u32);
 
 impl ClassId {
@@ -76,7 +69,7 @@ impl fmt::Display for ClassId {
 /// A handler covers bytecode indices `start..end` (half-open) and catches
 /// exceptions whose class is `catch_class` or a subclass of it; `None`
 /// catches everything (like `catch (Throwable t)` / `finally`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ExceptionHandler {
     /// First covered instruction index.
     pub start: Bci,
@@ -96,7 +89,7 @@ impl ExceptionHandler {
 }
 
 /// A method: code, exception table and frame layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Method {
     /// Simple name (unique within its class in well-formed programs).
     pub name: String,
@@ -127,7 +120,12 @@ impl Method {
 
     /// The first handler covering `bci` that accepts `thrown`, given the
     /// program for subclass tests.
-    pub fn find_handler(&self, program: &Program, bci: Bci, thrown: ClassId) -> Option<&ExceptionHandler> {
+    pub fn find_handler(
+        &self,
+        program: &Program,
+        bci: Bci,
+        thrown: ClassId,
+    ) -> Option<&ExceptionHandler> {
         self.handlers.iter().find(|h| {
             h.covers(bci)
                 && match h.catch_class {
@@ -144,7 +142,7 @@ impl Method {
 }
 
 /// A class: name, superclass and vtable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Class {
     /// Simple name.
     pub name: String,
@@ -163,7 +161,7 @@ pub struct Class {
 ///
 /// Constructed through [`crate::builder::ProgramBuilder`]; the collection
 /// accessors are stable indices handed out at build time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     classes: Vec<Class>,
     methods: Vec<Method>,

@@ -106,14 +106,23 @@ impl fmt::Display for VerifyError {
             VerifyError::UnfinishedMethod(m) => write!(f, "method {m} was never finished"),
             VerifyError::EmptyCode(m) => write!(f, "method {m} has empty code"),
             VerifyError::BranchOutOfRange { method, at, target } => {
-                write!(f, "branch at {method}@{at} targets out-of-range bci {target}")
+                write!(
+                    f,
+                    "branch at {method}@{at} targets out-of-range bci {target}"
+                )
             }
             VerifyError::FallsOffEnd(m) => write!(f, "method {m} can fall off the end of its code"),
             VerifyError::BadCallTarget { method, at } => {
-                write!(f, "call at {method}@{at} names a method outside the program")
+                write!(
+                    f,
+                    "call at {method}@{at} names a method outside the program"
+                )
             }
             VerifyError::BadVirtualSlot { method, at, slot } => {
-                write!(f, "virtual call at {method}@{at} uses missing vtable slot {slot}")
+                write!(
+                    f,
+                    "virtual call at {method}@{at} uses missing vtable slot {slot}"
+                )
             }
             VerifyError::LocalOutOfRange { method, at, slot } => {
                 write!(f, "local slot {slot} at {method}@{at} exceeds max_locals")
@@ -131,14 +140,20 @@ impl fmt::Display for VerifyError {
                 "inconsistent stack depth at {method}@{at}: {first} vs {second}"
             ),
             VerifyError::WrongReturn { method, at } => {
-                write!(f, "return kind at {method}@{at} disagrees with method signature")
+                write!(
+                    f,
+                    "return kind at {method}@{at} disagrees with method signature"
+                )
             }
             VerifyError::BadHandler { method, index } => {
                 write!(f, "malformed exception handler {index} in {method}")
             }
             VerifyError::EntryHasArgs(m) => write!(f, "entry method {m} must take no arguments"),
             VerifyError::UnsortedSwitchKeys { method, at } => {
-                write!(f, "lookupswitch keys at {method}@{at} are not strictly ascending")
+                write!(
+                    f,
+                    "lookupswitch keys at {method}@{at} are not strictly ascending"
+                )
             }
         }
     }
@@ -190,45 +205,38 @@ pub fn verify_method(program: &Program, id: MethodId, method: &Method) -> Result
             | Instruction::Istore(s)
             | Instruction::Aload(s)
             | Instruction::Astore(s)
-            | Instruction::Iinc(s, _) => {
-                if *s >= method.max_locals {
-                    return Err(VerifyError::LocalOutOfRange {
-                        method: id,
-                        at,
-                        slot: *s,
-                    });
-                }
+            | Instruction::Iinc(s, _)
+                if *s >= method.max_locals =>
+            {
+                return Err(VerifyError::LocalOutOfRange {
+                    method: id,
+                    at,
+                    slot: *s,
+                });
             }
-            Instruction::InvokeStatic(m) => {
-                if m.index() >= program.method_count() {
-                    return Err(VerifyError::BadCallTarget { method: id, at });
-                }
+            Instruction::InvokeStatic(m) if m.index() >= program.method_count() => {
+                return Err(VerifyError::BadCallTarget { method: id, at });
             }
-            Instruction::InvokeVirtual { declared_in, slot } => {
-                if declared_in.index() >= program.class_count()
-                    || *slot as usize >= program.class(*declared_in).vtable.len()
-                {
-                    return Err(VerifyError::BadVirtualSlot {
-                        method: id,
-                        at,
-                        slot: *slot,
-                    });
-                }
+            Instruction::InvokeVirtual { declared_in, slot }
+                if (declared_in.index() >= program.class_count()
+                    || *slot as usize >= program.class(*declared_in).vtable.len()) =>
+            {
+                return Err(VerifyError::BadVirtualSlot {
+                    method: id,
+                    at,
+                    slot: *slot,
+                });
             }
-            Instruction::LookupSwitch { pairs, .. } => {
-                if pairs.windows(2).any(|w| w[0].0 >= w[1].0) {
-                    return Err(VerifyError::UnsortedSwitchKeys { method: id, at });
-                }
+            Instruction::LookupSwitch { pairs, .. }
+                if pairs.windows(2).any(|w| w[0].0 >= w[1].0) =>
+            {
+                return Err(VerifyError::UnsortedSwitchKeys { method: id, at });
             }
-            Instruction::Ireturn | Instruction::Areturn => {
-                if !method.returns_value {
-                    return Err(VerifyError::WrongReturn { method: id, at });
-                }
+            Instruction::Ireturn | Instruction::Areturn if !method.returns_value => {
+                return Err(VerifyError::WrongReturn { method: id, at });
             }
-            Instruction::Return => {
-                if method.returns_value {
-                    return Err(VerifyError::WrongReturn { method: id, at });
-                }
+            Instruction::Return if method.returns_value => {
+                return Err(VerifyError::WrongReturn { method: id, at });
             }
             _ => {}
         }
@@ -243,9 +251,12 @@ pub fn verify_method(program: &Program, id: MethodId, method: &Method) -> Result
             && h.end.0 <= len
             && in_range(h.handler)
             && h.catch_class
-                .map_or(true, |c| c.index() < program.class_count());
+                .is_none_or(|c| c.index() < program.class_count());
         if !ok {
-            return Err(VerifyError::BadHandler { method: id, index: i });
+            return Err(VerifyError::BadHandler {
+                method: id,
+                index: i,
+            });
         }
     }
 
@@ -298,7 +309,10 @@ fn verify_stack_depths(
             other => other.stack_effect(0, false),
         };
         if depth < pops {
-            return Err(VerifyError::StackUnderflow { method: id, at: bci });
+            return Err(VerifyError::StackUnderflow {
+                method: id,
+                at: bci,
+            });
         }
         let next_depth = depth - pops + pushes;
 
@@ -319,7 +333,11 @@ mod tests {
     use crate::insn::{CmpKind, Instruction as I};
     use crate::program::ExceptionHandler;
 
-    fn single_method(code: Vec<I>, n_args: u16, returns_value: bool) -> Result<Program, VerifyError> {
+    fn single_method(
+        code: Vec<I>,
+        n_args: u16,
+        returns_value: bool,
+    ) -> Result<Program, VerifyError> {
         let mut pb = ProgramBuilder::new();
         let c = pb.add_class("C", None, 0);
         let mut m = pb.method(c, "f", n_args, returns_value);

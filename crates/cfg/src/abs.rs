@@ -10,9 +10,9 @@
 //! if the abstract sequence is accepted from it, and only survivors are
 //! tried at the concrete level.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
 
 use jportal_bytecode::Program;
 
@@ -20,6 +20,42 @@ use crate::icfg::{Icfg, NodeId};
 use crate::nfa::{MatchOutcome, Nfa};
 use crate::sym::{BranchDir, Sym};
 use crate::tier::{abstract_seq, Tier};
+
+/// Shard count for the memoization maps: a power of two large enough
+/// that concurrent projection workers rarely collide on a shard lock.
+const CACHE_SHARDS: usize = 16;
+
+/// A lock-striped hash map: keys are hashed to one of [`CACHE_SHARDS`]
+/// independent `RwLock<HashMap>` shards, so concurrent readers never
+/// contend globally and writers only serialize per shard.
+#[derive(Debug)]
+struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    fn new() -> ShardedCache<K, V> {
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().unwrap().get(key).cloned()
+    }
+
+    fn insert(&self, key: K, value: V) {
+        self.shard(&key).write().unwrap().insert(key, value);
+    }
+}
 
 /// The abstract NFA (ANFA) over an [`Icfg`], with memoized ε-closures.
 ///
@@ -51,10 +87,11 @@ pub struct AbstractNfa<'a> {
     nfa: Nfa<'a>,
     /// Memoized: first control nodes reachable from a node through one
     /// dir-filtered edge followed by any chain of non-control nodes.
-    control_succ: RefCell<HashMap<(NodeId, BranchDir), Rc<[NodeId]>>>,
+    /// Lock-striped so one `AbstractNfa` can be shared across workers.
+    control_succ: ShardedCache<(NodeId, BranchDir), Arc<[NodeId]>>,
     /// Memoized: control nodes reachable from a node itself (used for the
     /// abstract start when the first trace symbol is non-control).
-    control_closure: RefCell<HashMap<NodeId, Rc<[NodeId]>>>,
+    control_closure: ShardedCache<NodeId, Arc<[NodeId]>>,
 }
 
 impl<'a> AbstractNfa<'a> {
@@ -62,9 +99,24 @@ impl<'a> AbstractNfa<'a> {
     pub fn new(program: &'a Program, icfg: &'a Icfg) -> AbstractNfa<'a> {
         AbstractNfa {
             nfa: Nfa::new(program, icfg),
-            control_succ: RefCell::new(HashMap::new()),
-            control_closure: RefCell::new(HashMap::new()),
+            control_succ: ShardedCache::new(),
+            control_closure: ShardedCache::new(),
         }
+    }
+
+    /// Fills the control-closure cache for **every** ICFG node (and the
+    /// control-successor cache it rides on), fanning the computation over
+    /// `workers` threads.
+    ///
+    /// Closures are pure functions of the ICFG, so pre-warming changes
+    /// nothing observable — it only moves the cache misses out of the
+    /// projection inner loop, where under concurrency they would all race
+    /// to compute the same hot entries.
+    pub fn prewarm(&self, workers: usize) {
+        let n = self.nfa.icfg().node_count();
+        jportal_par::par_map_range(workers, n, |i| {
+            self.control_closure(NodeId(i as u32));
+        });
     }
 
     /// The concrete NFA this abstraction refines to.
@@ -78,9 +130,9 @@ impl<'a> AbstractNfa<'a> {
 
     /// First control nodes reachable from `from` by one edge compatible
     /// with `dir`, then chains of non-control nodes.
-    fn control_successors(&self, from: NodeId, dir: BranchDir) -> Rc<[NodeId]> {
-        if let Some(cached) = self.control_succ.borrow().get(&(from, dir)) {
-            return Rc::clone(cached);
+    fn control_successors(&self, from: NodeId, dir: BranchDir) -> Arc<[NodeId]> {
+        if let Some(cached) = self.control_succ.get(&(from, dir)) {
+            return cached;
         }
         let icfg = self.nfa.icfg();
         let mut out: Vec<NodeId> = Vec::new();
@@ -101,27 +153,23 @@ impl<'a> AbstractNfa<'a> {
                 stack.extend(icfg.edges(n).iter().map(|e| e.to));
             }
         }
-        let rc: Rc<[NodeId]> = out.into();
-        self.control_succ
-            .borrow_mut()
-            .insert((from, dir), Rc::clone(&rc));
+        let rc: Arc<[NodeId]> = out.into();
+        self.control_succ.insert((from, dir), Arc::clone(&rc));
         rc
     }
 
     /// Control nodes reachable from `from` itself (including `from` when it
     /// is control) through non-control chains, unconstrained direction.
-    fn control_closure(&self, from: NodeId) -> Rc<[NodeId]> {
-        if let Some(cached) = self.control_closure.borrow().get(&from) {
-            return Rc::clone(cached);
+    fn control_closure(&self, from: NodeId) -> Arc<[NodeId]> {
+        if let Some(cached) = self.control_closure.get(&from) {
+            return cached;
         }
-        let rc: Rc<[NodeId]> = if self.is_control_node(from) {
+        let rc: Arc<[NodeId]> = if self.is_control_node(from) {
             vec![from].into()
         } else {
             self.control_successors(from, BranchDir::Unknown)
         };
-        self.control_closure
-            .borrow_mut()
-            .insert(from, Rc::clone(&rc));
+        self.control_closure.insert(from, Arc::clone(&rc));
         rc
     }
 
@@ -329,7 +377,8 @@ mod tests {
         for &n in nfa.start_candidates(trace[0]) {
             if !anfa.abstract_accepts_from(n, trace[0], &abs) {
                 assert!(
-                    !nfa.match_from(std::slice::from_ref(&n), &trace).is_accepted(),
+                    !nfa.match_from(std::slice::from_ref(&n), &trace)
+                        .is_accepted(),
                     "abstract rejected but concrete accepted from {n:?}"
                 );
             }
@@ -352,7 +401,10 @@ mod tests {
             (OpKind::Ireturn, None),
         ]);
         let (survivors, total) = anfa.filter_stats(&trace);
-        assert!(survivors < total, "filter should prune ({survivors}/{total})");
+        assert!(
+            survivors < total,
+            "filter should prune ({survivors}/{total})"
+        );
         assert!(survivors >= 1);
         assert!(anfa.algorithm2(&trace).is_accepted());
     }
@@ -364,18 +416,72 @@ mod tests {
         let anfa = AbstractNfa::new(&p, &icfg);
         // Starting at a taken ifne: next control symbol must be ireturn
         // (via iconst_0 at bci 17) — accepted.
-        let trace = syms(&[(OpKind::Ifne, Some(true)), (OpKind::Iconst, None), (OpKind::Ireturn, None)]);
+        let trace = syms(&[
+            (OpKind::Ifne, Some(true)),
+            (OpKind::Iconst, None),
+            (OpKind::Ireturn, None),
+        ]);
         assert!(anfa.algorithm2(&trace).is_accepted());
         // A not-taken ifne still reaches an ireturn (fall-through path
         // iconst_1 at 15, ireturn at 16) — also accepted, but along a
         // different path node.
-        let trace2 = syms(&[(OpKind::Ifne, Some(false)), (OpKind::Iconst, None), (OpKind::Ireturn, None)]);
+        let trace2 = syms(&[
+            (OpKind::Ifne, Some(false)),
+            (OpKind::Iconst, None),
+            (OpKind::Ireturn, None),
+        ]);
         let p1 = anfa.algorithm2(&trace).path().unwrap().to_vec();
         let p2 = anfa.algorithm2(&trace2).path().unwrap().to_vec();
         assert_ne!(p1[1], p2[1]);
     }
 
     use jportal_bytecode::Program;
+
+    #[test]
+    fn anfa_is_shareable_across_threads() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let anfa = AbstractNfa::new(&p, &icfg);
+        assert_sync(&anfa);
+        // Concurrent matching through the shared caches agrees with the
+        // single-threaded answer.
+        let trace = syms(&[
+            (OpKind::Iconst, None),
+            (OpKind::Irem, None),
+            (OpKind::Ifne, Some(true)),
+            (OpKind::Iconst, None),
+            (OpKind::Ireturn, None),
+        ]);
+        let expected = anfa.algorithm2(&trace);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        assert_eq!(anfa.algorithm2(&trace), expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn prewarm_changes_nothing_observable() {
+        let (p, _) = paper_fun();
+        let icfg = Icfg::build(&p);
+        let cold = AbstractNfa::new(&p, &icfg);
+        let warm = AbstractNfa::new(&p, &icfg);
+        warm.prewarm(4);
+        let trace = syms(&[
+            (OpKind::Iload, None),
+            (OpKind::Ifeq, Some(true)),
+            (OpKind::Iload, None),
+            (OpKind::Iconst, None),
+            (OpKind::Isub, None),
+        ]);
+        assert_eq!(cold.algorithm2(&trace), warm.algorithm2(&trace));
+        assert_eq!(cold.filter_stats(&trace), warm.filter_stats(&trace));
+    }
 
     #[test]
     fn empty_sequence_accepts() {

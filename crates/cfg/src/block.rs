@@ -5,13 +5,10 @@
 //! reduction).
 
 use jportal_bytecode::{Bci, Instruction, Method};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Identifier of a basic block within one method's [`Cfg`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -22,7 +19,7 @@ impl BlockId {
 }
 
 /// A basic block: the maximal straight-line range `[start, end)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// First instruction index.
     pub start: Bci,
@@ -53,7 +50,7 @@ impl Block {
 }
 
 /// The kind of a block-level CFG edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockEdge {
     /// Sequential fall-through.
     FallThrough,
@@ -91,7 +88,7 @@ pub enum BlockEdge {
 /// assert_eq!(cfg.block_count(), 3);
 /// # Ok::<(), jportal_bytecode::VerifyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cfg {
     blocks: Vec<Block>,
     /// Block containing each bci.
@@ -126,10 +123,7 @@ impl Cfg {
         let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
         let mut block_of = vec![BlockId(0); code.len()];
         for (bi, &start) in starts.iter().enumerate() {
-            let end = starts
-                .get(bi + 1)
-                .copied()
-                .unwrap_or(code.len() as u32);
+            let end = starts.get(bi + 1).copied().unwrap_or(code.len() as u32);
             for bci in start..end {
                 block_of[bci as usize] = BlockId(bi as u32);
             }
@@ -176,9 +170,10 @@ impl Cfg {
                     for h in &method.handlers {
                         if h.covers(Bci(bci)) {
                             let to = block_at(h.handler);
-                            if !edges.iter().any(|&(f, t, k)| {
-                                f == from && t == to && k == BlockEdge::Exception
-                            }) {
+                            if !edges
+                                .iter()
+                                .any(|&(f, t, k)| f == from && t == to && k == BlockEdge::Exception)
+                            {
                                 edges.push((from, to, BlockEdge::Exception));
                             }
                         }
@@ -258,8 +253,8 @@ impl Cfg {
             }
         }
         post.reverse();
-        for i in 0..self.blocks.len() {
-            if !visited[i] {
+        for (i, &seen) in visited.iter().enumerate() {
+            if !seen {
                 post.push(BlockId(i as u32));
             }
         }

@@ -9,15 +9,12 @@
 //! uncaught exceptions into caller handlers.
 
 use jportal_bytecode::{Bci, Instruction, MethodId, OpKind, Program};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::sym::BranchDir;
 
 /// Identifier of an ICFG node (an instruction occurrence).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -28,7 +25,7 @@ impl NodeId {
 }
 
 /// The kind of an ICFG edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Sequential successor.
     FallThrough,
@@ -64,7 +61,7 @@ impl EdgeKind {
 }
 
 /// An outgoing ICFG edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// Destination node.
     pub to: NodeId,
@@ -93,7 +90,7 @@ pub struct Edge {
 /// assert_eq!(icfg.node_count(), 3);
 /// # Ok::<(), jportal_bytecode::VerifyError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Icfg {
     /// First node id of each method; `base[m] + bci` is the node of
     /// `(m, bci)`. One extra sentinel entry holds the total node count.
@@ -116,7 +113,7 @@ impl Icfg {
         for (id, method) in program.methods() {
             base.push(total);
             total += method.code.len() as u32;
-            method_of.extend(std::iter::repeat(id).take(method.code.len()));
+            method_of.extend(std::iter::repeat_n(id, method.code.len()));
         }
         base.push(total);
 
@@ -143,9 +140,7 @@ impl Icfg {
                     Instruction::Goto(t) => {
                         push(&mut edges, from, node(mid, *t), EdgeKind::Jump);
                     }
-                    Instruction::If(_, t)
-                    | Instruction::IfICmp(_, t)
-                    | Instruction::IfNull(t) => {
+                    Instruction::If(_, t) | Instruction::IfICmp(_, t) | Instruction::IfNull(t) => {
                         push(&mut edges, from, node(mid, *t), EdgeKind::Taken);
                         push(&mut edges, from, node(mid, bci.next()), EdgeKind::NotTaken);
                     }
@@ -187,7 +182,12 @@ impl Icfg {
                         // Exception edges are added below.
                     }
                     _ => {
-                        push(&mut edges, from, node(mid, bci.next()), EdgeKind::FallThrough);
+                        push(
+                            &mut edges,
+                            from,
+                            node(mid, bci.next()),
+                            EdgeKind::FallThrough,
+                        );
                     }
                 }
             }

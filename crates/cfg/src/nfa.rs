@@ -392,9 +392,6 @@ mod tests {
         let (p, _) = paper_fun();
         let icfg = Icfg::build(&p);
         let nfa = Nfa::new(&p, &icfg);
-        assert_eq!(
-            nfa.match_anywhere(&[]),
-            MatchOutcome::Accepted(Vec::new())
-        );
+        assert_eq!(nfa.match_anywhere(&[]), MatchOutcome::Accepted(Vec::new()));
     }
 }

@@ -1,7 +1,6 @@
 //! Trace symbols: the alphabet Σ of the ICFG automaton.
 
 use jportal_bytecode::{Instruction, OpKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction of a conditional branch attached to a symbol.
@@ -11,7 +10,7 @@ use std::fmt;
 /// Figure 4b labels `ifeq 0` / `ifeq 1`). A symbol decoded without
 /// direction (e.g. a switch arm) stays [`BranchDir::Unknown`] and matches
 /// either edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BranchDir {
     /// No direction information.
     #[default]
@@ -66,7 +65,7 @@ impl fmt::Display for BranchDir {
 /// assert!(taken.matches_instruction(&Instruction::If(CmpKind::Eq, Bci(4))));
 /// assert_eq!(taken.to_string(), "ifeq 1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Sym {
     /// Operation kind observed.
     pub op: OpKind,
@@ -157,10 +156,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Sym::plain(OpKind::Iadd).to_string(), "iadd");
-        assert_eq!(
-            Sym::branch(OpKind::Ifne, false).to_string(),
-            "ifne 0"
-        );
+        assert_eq!(Sym::branch(OpKind::Ifne, false).to_string(), "ifne 0");
         let b = Sym::of_instruction(&Instruction::If(CmpKind::Ne, Bci(3)));
         assert_eq!(b.dir, BranchDir::Unknown);
     }

@@ -9,12 +9,11 @@
 //! [`abstract_seq`] implements it for symbol sequences.
 
 use jportal_bytecode::OpKind;
-use serde::{Deserialize, Serialize};
 
 use crate::sym::Sym;
 
 /// The tier of an instruction kind. Lower `u8` value = higher abstraction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Tier {
     /// Calls and returns (tier 1).
@@ -83,10 +82,7 @@ pub fn common_suffix_len(a: &[Sym], b: &[Sym]) -> usize {
 
 /// Length of the longest common **prefix** of `a` and `b`.
 pub fn common_prefix_len(a: &[Sym], b: &[Sym]) -> usize {
-    a.iter()
-        .zip(b.iter())
-        .take_while(|(x, y)| x == y)
-        .count()
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
 }
 
 #[cfg(test)]

@@ -61,7 +61,8 @@ fn arb_program() -> impl Strategy<Value = Program> {
         m.bind(end);
         m.emit(I::Return);
         let id = m.finish();
-        pb.finish_with_entry(id).expect("generated program verifies")
+        pb.finish_with_entry(id)
+            .expect("generated program verifies")
     })
 }
 

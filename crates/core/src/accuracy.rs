@@ -11,7 +11,6 @@
 use jportal_bytecode::{Bci, MethodId, Program};
 use jportal_jvm::truth::TruthEvent;
 use jportal_jvm::GroundTruth;
-use serde::{Deserialize, Serialize};
 
 use crate::pipeline::JPortalReport;
 use crate::recover::{TraceEntry, TraceOrigin};
@@ -51,11 +50,7 @@ fn items_match(program: &Program, t: Item, r: Item) -> bool {
 /// Greedy alignment score in `[0, 1]`: matched items over the longer
 /// sequence length. Resynchronizes after mismatches by searching for a
 /// `k`-gram agreement within a bounded window.
-pub fn alignment_score(
-    program: &Program,
-    truth: &[TruthEvent],
-    recon: &[TraceEntry],
-) -> f64 {
+pub fn alignment_score(program: &Program, truth: &[TruthEvent], recon: &[TraceEntry]) -> f64 {
     if truth.is_empty() && recon.is_empty() {
         return 1.0;
     }
@@ -114,7 +109,7 @@ pub fn alignment_score(
 }
 
 /// The Table 3 breakdown for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AccuracyBreakdown {
     /// Percent of missing data (PMD): truth events falling inside hole
     /// intervals, over all truth events.

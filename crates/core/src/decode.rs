@@ -17,11 +17,10 @@ use jportal_cfg::{BranchDir, Sym};
 use jportal_ipt::ring::LossRecord;
 use jportal_ipt::{Packet, RawSegment};
 use jportal_jvm::MetadataArchive;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One decoded bytecode occurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BcEvent {
     /// The symbol (operation kind + branch direction when known).
     pub sym: Sym,
@@ -36,7 +35,7 @@ pub struct BcEvent {
 
 /// A decoded trace segment: a maximal run of events with no data loss
 /// inside.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BcSegment {
     /// Decoded events in execution order.
     pub events: Vec<BcEvent>,
@@ -82,11 +81,7 @@ enum WalkState {
 /// TNT bits (dropped at segment boundaries) and debug-info gaps degrade
 /// into skipped events rather than failures — the reconstruction and
 /// recovery stages deal with the consequences, exactly as in the paper.
-pub fn decode_segment(
-    program: &Program,
-    archive: &MetadataArchive,
-    raw: &RawSegment,
-) -> BcSegment {
+pub fn decode_segment(program: &Program, archive: &MetadataArchive, raw: &RawSegment) -> BcSegment {
     let mut out = BcSegment {
         events: Vec::new(),
         loss_before: raw.loss_before,
@@ -111,14 +106,26 @@ pub fn decode_segment(
                     }
                 }
                 state = drain_jit(
-                    program, archive, state, &mut tnt, &mut out, &mut last_jit_branch, ts,
+                    program,
+                    archive,
+                    state,
+                    &mut tnt,
+                    &mut out,
+                    &mut last_jit_branch,
+                    ts,
                 );
             }
             Packet::Tip { ip, .. } | Packet::TipPge { ip, .. } => {
                 pending_dir = None;
                 state = anchor(archive, templates, *ip, ts, &mut out, &mut pending_dir);
                 state = drain_jit(
-                    program, archive, state, &mut tnt, &mut out, &mut last_jit_branch, ts,
+                    program,
+                    archive,
+                    state,
+                    &mut tnt,
+                    &mut out,
+                    &mut last_jit_branch,
+                    ts,
                 );
             }
             Packet::TipPgd { .. } => {
@@ -346,7 +353,10 @@ mod tests {
         pb.finish_with_entry(main).unwrap()
     }
 
-    fn run_and_decode(program: &Program, cfg: JvmConfig) -> (Vec<BcSegment>, jportal_jvm::RunResult) {
+    fn run_and_decode(
+        program: &Program,
+        cfg: JvmConfig,
+    ) -> (Vec<BcSegment>, jportal_jvm::RunResult) {
         let r = Jvm::new(cfg).run(program);
         let traces = r.traces.as_ref().expect("tracing on");
         let packets = decode_packets(&traces.per_core[0].bytes);

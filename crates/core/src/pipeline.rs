@@ -12,16 +12,15 @@ use jportal_cfg::abs::AbstractNfa;
 use jportal_cfg::Icfg;
 use jportal_ipt::{CollectedTraces, ThreadId};
 use jportal_jvm::MetadataArchive;
-use serde::{Deserialize, Serialize};
 
 use crate::decode::decode_segment;
 use crate::reconstruct::{project_segment, ProjectionConfig, ProjectionStats};
 use crate::recover::{Recovery, RecoveryConfig, RecoveryStats, SegmentView};
 pub use crate::recover::{TraceEntry, TraceOrigin};
-use crate::threads::segregate;
+use crate::threads::{segregate, ThreadPiece};
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JPortalConfig {
     /// Projection (§4) tuning.
     pub projection: ProjectionConfig,
@@ -29,10 +28,18 @@ pub struct JPortalConfig {
     pub recovery: RecoveryConfig,
     /// Disable recovery entirely (ablation: what decoding alone gives).
     pub disable_recovery: bool,
+    /// Worker threads for the offline fan-out: `None` uses every core,
+    /// `Some(1)` is the exact legacy sequential path (no threads spawned).
+    ///
+    /// The report is **identical for every setting** — parallel stages
+    /// reassemble their results in deterministic order and recovery's
+    /// parallel candidate scoring replays the sequential pruning decisions
+    /// exactly.
+    pub parallelism: Option<usize>,
 }
 
 /// Per-thread reconstruction result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadReport {
     /// The thread.
     pub thread: ThreadId,
@@ -49,7 +56,7 @@ pub struct ThreadReport {
 }
 
 /// The full analysis result.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JPortalReport {
     /// Per-thread reconstructions, sorted by thread id.
     pub threads: Vec<ThreadReport>,
@@ -134,20 +141,40 @@ impl<'p> JPortal<'p> {
     }
 
     /// Runs the full offline analysis.
-    pub fn analyze(
-        &self,
-        traces: &CollectedTraces,
-        archive: &MetadataArchive,
-    ) -> JPortalReport {
+    ///
+    /// The work fans out over [`JPortalConfig::parallelism`] workers at
+    /// two levels: decode+projection runs over every `(thread, piece)`
+    /// pair of the whole trace at once (one global work list, so a core
+    /// never idles because "its" thread finished early), then per-thread
+    /// assembly — compaction, recovery, entry emission — fans out across
+    /// threads. Recovery itself stays sequential over a thread's holes
+    /// (each fill extends the timeline the next hole's ranking reads) but
+    /// parallelizes candidate scoring internally. Results are reassembled
+    /// in deterministic order at every join, so the report is identical
+    /// for every worker count.
+    pub fn analyze(&self, traces: &CollectedTraces, archive: &MetadataArchive) -> JPortalReport {
+        let workers = jportal_par::effective_workers(self.config.parallelism);
         let anfa = AbstractNfa::new(self.program, &self.icfg);
-        let per_thread = segregate(traces);
-        let mut threads: Vec<ThreadReport> = Vec::new();
+        if workers > 1 {
+            // One up-front pass fills the ANFA closure caches so the
+            // projection workers start hot instead of racing to compute
+            // the same entries.
+            anfa.prewarm(workers);
+        }
 
-        for (thread, pieces) in per_thread {
-            let mut projection = ProjectionStats::default();
-            // Decode + project every piece.
-            let mut views: Vec<SegmentView> = Vec::new();
-            for piece in &pieces {
+        let mut thread_pieces: Vec<(ThreadId, Vec<ThreadPiece>)> =
+            segregate(traces).into_iter().collect();
+        thread_pieces.sort_by_key(|(t, _)| *t);
+
+        // Level 1: decode + project every (thread, piece) pair globally.
+        let work: Vec<(usize, usize)> = thread_pieces
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, (_, pieces))| (0..pieces.len()).map(move |pi| (ti, pi)))
+            .collect();
+        let projected: Vec<(SegmentView, ProjectionStats)> =
+            jportal_par::par_map(workers, &work, |_, &(ti, pi)| {
+                let piece = &thread_pieces[ti].1[pi];
                 let mut decoded = decode_segment(self.program, archive, &piece.segment);
                 decoded.core = piece.core;
                 let (nodes, stats) = project_segment(
@@ -157,84 +184,118 @@ impl<'p> JPortal<'p> {
                     &decoded.events,
                     &self.config.projection,
                 );
-                projection.matched += stats.matched;
-                projection.unmatched += stats.unmatched;
-                projection.restarts += stats.restarts;
-                projection.candidates_tried += stats.candidates_tried;
-                projection.candidates_pruned += stats.candidates_pruned;
-                views.push(SegmentView {
-                    events: decoded.events,
-                    nodes,
-                    loss_before: decoded.loss_before,
-                });
-            }
-            // Drop empty segments but keep their loss marks attached to
-            // the following segment.
-            let mut compacted: Vec<SegmentView> = Vec::new();
-            let mut pending_loss = None;
-            for mut v in views {
-                if v.loss_before.is_some() {
-                    pending_loss = v.loss_before;
-                }
-                if v.events.is_empty() {
-                    continue;
-                }
-                v.loss_before = pending_loss.take();
-                compacted.push(v);
-            }
-
-            // Assemble the timeline, recovering across lossy boundaries.
-            let mut recovery_stats = RecoveryStats::default();
-            let mut holes = Vec::new();
-            let recovery = Recovery::new(self.program, &self.icfg, &compacted, self.config.recovery);
-            let mut entries: Vec<TraceEntry> = Vec::new();
-            for i in 0..compacted.len() {
-                if i > 0 {
-                    if let Some(loss) = compacted[i].loss_before {
-                        holes.push((loss.first_ts, loss.last_ts));
-                        if !self.config.disable_recovery {
-                            let fill = recovery.fill_hole(
-                                &compacted,
-                                i - 1,
-                                i,
-                                Some(loss),
-                                &mut recovery_stats,
-                            );
-                            entries.extend(fill);
-                        }
-                    }
-                }
-                let seg = &compacted[i];
-                for (e, node) in seg.events.iter().zip(&seg.nodes) {
-                    let (method, bci) = match node {
-                        Some(n) => {
-                            let (m, b) = self.icfg.location(*n);
-                            (Some(m), Some(b))
-                        }
-                        None => (e.method, e.bci),
-                    };
-                    entries.push(TraceEntry {
-                        op: e.sym.op,
-                        method,
-                        bci,
-                        ts: e.ts,
-                        origin: TraceOrigin::Decoded,
-                    });
-                }
-            }
-
-            threads.push(ThreadReport {
-                thread,
-                entries,
-                holes,
-                projection,
-                recovery: recovery_stats,
-                segments: compacted.len(),
+                (
+                    SegmentView {
+                        events: decoded.events,
+                        nodes,
+                        loss_before: decoded.loss_before,
+                    },
+                    stats,
+                )
             });
+
+        // Regroup per thread, reducing projection statistics in piece
+        // order (merge is commutative, but a fixed order keeps the code
+        // trivially deterministic).
+        let mut grouped: Vec<(ThreadId, Vec<SegmentView>, ProjectionStats)> = thread_pieces
+            .iter()
+            .map(|(t, _)| (*t, Vec::new(), ProjectionStats::default()))
+            .collect();
+        for (&(ti, _), (view, stats)) in work.iter().zip(projected) {
+            grouped[ti].1.push(view);
+            grouped[ti].2.merge(&stats);
         }
 
-        threads.sort_by_key(|t| t.thread);
+        // Level 2: per-thread assembly, fanned out across threads. When
+        // the thread fan-out already saturates the workers, recovery's
+        // inner candidate scoring stays sequential to avoid
+        // oversubscription; with few threads the idle workers go to it.
+        let inner_workers = if grouped.len() >= workers { 1 } else { workers };
+        let threads: Vec<ThreadReport> =
+            jportal_par::par_map_owned(workers, grouped, |_, (thread, views, projection)| {
+                self.assemble_thread(thread, views, projection, inner_workers)
+            });
+
+        // `thread_pieces` was sorted by thread id and every join above is
+        // order-preserving, so the report is already deterministically
+        // sorted.
         JPortalReport { threads }
+    }
+
+    /// Compacts one thread's projected segments, recovers across lossy
+    /// boundaries and emits the final timeline (sequential over holes by
+    /// construction: each fill's context feeds the next).
+    fn assemble_thread(
+        &self,
+        thread: ThreadId,
+        views: Vec<SegmentView>,
+        projection: ProjectionStats,
+        recovery_workers: usize,
+    ) -> ThreadReport {
+        // Drop empty segments but keep their loss marks attached to
+        // the following segment.
+        let mut compacted: Vec<SegmentView> = Vec::new();
+        let mut pending_loss = None;
+        for mut v in views {
+            if v.loss_before.is_some() {
+                pending_loss = v.loss_before;
+            }
+            if v.events.is_empty() {
+                continue;
+            }
+            v.loss_before = pending_loss.take();
+            compacted.push(v);
+        }
+
+        // Assemble the timeline, recovering across lossy boundaries.
+        let mut recovery_stats = RecoveryStats::default();
+        let mut holes = Vec::new();
+        let recovery = Recovery::new(self.program, &self.icfg, &compacted, self.config.recovery)
+            .with_workers(recovery_workers);
+        let mut entries: Vec<TraceEntry> = Vec::new();
+        for i in 0..compacted.len() {
+            if i > 0 {
+                if let Some(loss) = compacted[i].loss_before {
+                    holes.push((loss.first_ts, loss.last_ts));
+                    if !self.config.disable_recovery {
+                        let fill = recovery.fill_hole(
+                            &compacted,
+                            i - 1,
+                            i,
+                            Some(loss),
+                            &mut recovery_stats,
+                        );
+                        entries.extend(fill);
+                    }
+                }
+            }
+            let seg = &compacted[i];
+            for (e, node) in seg.events.iter().zip(&seg.nodes) {
+                let (method, bci) = match node {
+                    Some(n) => {
+                        let (m, b) = self.icfg.location(*n);
+                        (Some(m), Some(b))
+                    }
+                    None => (e.method, e.bci),
+                };
+                entries.push(TraceEntry {
+                    op: e.sym.op,
+                    method,
+                    bci,
+                    ts: e.ts,
+                    origin: TraceOrigin::Decoded,
+                });
+            }
+        }
+
+        ThreadReport {
+            thread,
+            entries,
+            holes,
+            projection,
+            recovery: recovery_stats,
+            segments: compacted.len(),
+        }
     }
 }
 

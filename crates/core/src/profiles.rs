@@ -6,14 +6,13 @@
 //! embedded timestamps enable hot-spot detection (Table 4).
 
 use jportal_bytecode::{Bci, MethodId};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 use crate::pipeline::JPortalReport;
 use crate::recover::TraceEntry;
 
 /// Statement-coverage profile: executed `(method, bci)` pairs with counts.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StatementProfile {
     counts: HashMap<(MethodId, Bci), u64>,
 }
@@ -66,7 +65,7 @@ pub fn method_coverage(report: &JPortalReport) -> HashSet<MethodId> {
 /// Hot-method profile: cycles attributed to each method from the
 /// timestamps embedded in the trace — each entry owns the time until the
 /// next entry of the same thread.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HotMethodProfile {
     cycles: HashMap<MethodId, u64>,
 }
@@ -110,10 +109,13 @@ impl HotMethodProfile {
 /// Edge/path-style profile: counts of consecutive `(from, to)` statement
 /// pairs within a thread (an acyclic-path approximation available without
 /// instrumentation).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EdgeProfile {
-    counts: HashMap<((MethodId, Bci), (MethodId, Bci)), u64>,
+    counts: HashMap<(Stmt, Stmt), u64>,
 }
+
+/// One executed statement: a bytecode position within a method.
+type Stmt = (MethodId, Bci);
 
 impl EdgeProfile {
     /// Builds the profile from a report.
@@ -121,10 +123,9 @@ impl EdgeProfile {
         let mut counts = HashMap::new();
         for t in &report.threads {
             for pair in t.entries.windows(2) {
-                if let ((Some(m1), Some(b1)), (Some(m2), Some(b2))) = (
-                    (pair[0].method, pair[0].bci),
-                    (pair[1].method, pair[1].bci),
-                ) {
+                if let ((Some(m1), Some(b1)), (Some(m2), Some(b2))) =
+                    ((pair[0].method, pair[0].bci), (pair[1].method, pair[1].bci))
+                {
                     *counts.entry(((m1, b1), (m2, b2))).or_insert(0) += 1;
                 }
             }
@@ -215,9 +216,9 @@ mod tests {
     fn hot_methods_use_time_attribution() {
         let r = report_with(vec![
             entry(1, 0, OpKind::Iconst, 0),
-            entry(1, 1, OpKind::Pop, 100),  // method 1 owns 100 cycles
+            entry(1, 1, OpKind::Pop, 100), // method 1 owns 100 cycles
             entry(2, 0, OpKind::Iconst, 110), // method 1 owns 10 more
-            entry(2, 1, OpKind::Pop, 120),  // method 2 owns 10
+            entry(2, 1, OpKind::Pop, 120), // method 2 owns 10
         ]);
         let p = HotMethodProfile::from_report(&r);
         assert_eq!(p.hottest(2), vec![MethodId(1), MethodId(2)]);
@@ -234,10 +235,7 @@ mod tests {
         ]);
         let e = EdgeProfile::from_report(&r);
         assert_eq!(e.distinct_edges(), 3);
-        assert_eq!(
-            e.count((MethodId(0), Bci(3)), (MethodId(1), Bci(0))),
-            1
-        );
+        assert_eq!(e.count((MethodId(0), Bci(3)), (MethodId(1), Bci(0))), 1);
         let calls = call_pairs(&r);
         assert_eq!(calls.get(&(MethodId(0), MethodId(1))), Some(&1));
         let cov = method_coverage(&r);

@@ -18,12 +18,11 @@
 use jportal_bytecode::Program;
 use jportal_cfg::abs::AbstractNfa;
 use jportal_cfg::{Icfg, Nfa, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::decode::BcEvent;
 
 /// Projection tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProjectionConfig {
     /// Use the abstraction-guided start filter (Algorithm 2). Disabling
     /// falls back to trying all candidate starts concretely (Algorithm 1's
@@ -49,7 +48,7 @@ impl Default for ProjectionConfig {
 }
 
 /// Statistics from projecting one segment.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProjectionStats {
     /// Events that received an ICFG node.
     pub matched: usize,
@@ -61,6 +60,21 @@ pub struct ProjectionStats {
     pub candidates_tried: usize,
     /// Candidates rejected by the abstract filter.
     pub candidates_pruned: usize,
+}
+
+impl ProjectionStats {
+    /// Folds another segment's statistics into this one.
+    ///
+    /// Addition is commutative and associative, so any reduction order —
+    /// sequential accumulation or a parallel tree reduce — produces the
+    /// same totals.
+    pub fn merge(&mut self, other: &ProjectionStats) {
+        self.matched += other.matched;
+        self.unmatched += other.unmatched;
+        self.restarts += other.restarts;
+        self.candidates_tried += other.candidates_tried;
+        self.candidates_pruned += other.candidates_pruned;
+    }
 }
 
 /// Projects a decoded segment onto the ICFG.
@@ -96,14 +110,10 @@ pub fn project_segment(
                 let candidates = nfa.start_candidates(sym0);
                 stats.candidates_tried += candidates.len();
                 if cfg.use_abstraction && candidates.len() >= cfg.abstraction_threshold {
-                    let lookahead_end =
-                        (i + cfg.abstraction_lookahead).min(events.len());
+                    let lookahead_end = (i + cfg.abstraction_lookahead).min(events.len());
                     let window: Vec<jportal_cfg::Sym> =
                         events[i..lookahead_end].iter().map(|e| e.sym).collect();
-                    let abs = jportal_cfg::tier::abstract_seq(
-                        &window,
-                        jportal_cfg::Tier::Control,
-                    );
+                    let abs = jportal_cfg::tier::abstract_seq(&window, jportal_cfg::Tier::Control);
                     let survivors: Vec<NodeId> = candidates
                         .iter()
                         .copied()
@@ -256,10 +266,7 @@ mod tests {
         let (nodes, stats) =
             project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
         assert_eq!(stats.unmatched, 0);
-        let bcis: Vec<u32> = nodes
-            .iter()
-            .map(|n| icfg.bci_of(n.unwrap()).0)
-            .collect();
+        let bcis: Vec<u32> = nodes.iter().map(|n| icfg.bci_of(n.unwrap()).0).collect();
         assert_eq!(bcis, vec![0, 1, 7, 8, 9, 10]);
         assert!(nodes.iter().all(|n| icfg.method_of(n.unwrap()) == fun));
     }

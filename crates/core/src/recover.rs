@@ -19,13 +19,12 @@
 use jportal_bytecode::{Bci, MethodId, OpKind, Program};
 use jportal_cfg::{Icfg, NodeId, Sym, Tier};
 use jportal_ipt::ring::LossRecord;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::decode::BcEvent;
 
 /// Where a reconstructed trace entry came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceOrigin {
     /// Directly decoded from captured packets and projected (§3–§4).
     Decoded,
@@ -36,7 +35,7 @@ pub enum TraceOrigin {
 }
 
 /// One entry of the final reconstructed control-flow trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Operation kind.
     pub op: OpKind,
@@ -62,7 +61,7 @@ pub struct SegmentView {
 }
 
 /// Recovery tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryConfig {
     /// Anchor length `x` (instructions before the hole used to find CSes).
     pub anchor_len: usize,
@@ -93,7 +92,7 @@ impl Default for RecoveryConfig {
 }
 
 /// Statistics from recovering one thread's holes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Holes encountered.
     pub holes: usize,
@@ -111,6 +110,21 @@ pub struct RecoveryStats {
     pub pruned_tier1: usize,
     /// Candidates rejected at tier 2.
     pub pruned_tier2: usize,
+}
+
+impl RecoveryStats {
+    /// Folds another run's statistics into this one (commutative and
+    /// associative, so parallel tree reduction equals sequential sums).
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.holes += other.holes;
+        self.filled_from_cs += other.filled_from_cs;
+        self.filled_by_walk += other.filled_by_walk;
+        self.unfilled += other.unfilled;
+        self.recovered_events += other.recovered_events;
+        self.candidates += other.candidates;
+        self.pruned_tier1 += other.pruned_tier1;
+        self.pruned_tier2 += other.pruned_tier2;
+    }
 }
 
 /// Compatibility of two symbols for matching: same opcode, and branch
@@ -159,7 +173,14 @@ impl IndexedSegment {
 
     /// Backward common-suffix length at tier `tier` between `self[..a]`
     /// and `other[..b]`, capped at `cap` comparisons.
-    fn tier_suffix(&self, a: usize, other: &IndexedSegment, b: usize, tier: Tier, cap: usize) -> usize {
+    fn tier_suffix(
+        &self,
+        a: usize,
+        other: &IndexedSegment,
+        b: usize,
+        tier: Tier,
+        cap: usize,
+    ) -> usize {
         match tier {
             Tier::Concrete => {
                 let mut n = 0;
@@ -198,12 +219,19 @@ impl IndexedSegment {
 /// last symbol sits at `offset` (inclusive) in that segment.
 type Candidate = (usize, usize);
 
+/// Below this many candidates the parallel scoring path is pure
+/// overhead: thread spawn plus the speculative (uncapped) suffix work
+/// costs more than the sequential scan saves.
+const PAR_CANDIDATES_MIN: usize = 48;
+
 /// Recovery engine over one thread's segments.
 #[derive(Debug)]
 pub struct Recovery<'a> {
     program: &'a Program,
     icfg: &'a Icfg,
     cfg: RecoveryConfig,
+    /// Worker threads for candidate scoring (1 = fully sequential).
+    workers: usize,
     indexed: Vec<IndexedSegment>,
     /// Anchor index: op-kind key → candidate positions.
     anchor_index: HashMap<Vec<OpKind>, Vec<Candidate>>,
@@ -229,8 +257,7 @@ impl<'a> Recovery<'a> {
             }
             // Anchor ends at `end` (inclusive); a suffix must follow.
             for end in (x - 1)..seg.syms.len() - 1 {
-                let key: Vec<OpKind> =
-                    seg.syms[end + 1 - x..=end].iter().map(|s| s.op).collect();
+                let key: Vec<OpKind> = seg.syms[end + 1 - x..=end].iter().map(|s| s.op).collect();
                 anchor_index.entry(key).or_default().push((si, end));
             }
         }
@@ -238,9 +265,20 @@ impl<'a> Recovery<'a> {
             program,
             icfg,
             cfg,
+            workers: 1,
             indexed,
             anchor_index,
         }
+    }
+
+    /// Sets the worker count for candidate scoring. The ranking (and the
+    /// statistics) are byte-identical at any worker count: the parallel
+    /// path speculatively computes every candidate's tier suffixes and
+    /// then replays the sequential pruning decisions over the
+    /// pre-computed scores.
+    pub fn with_workers(mut self, workers: usize) -> Recovery<'a> {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Candidate CS positions for an IS ending with `anchor` syms.
@@ -260,33 +298,56 @@ impl<'a> Recovery<'a> {
     }
 
     /// **Algorithm 3**: naive CS search — full concrete comparison per
-    /// candidate.
-    pub fn search_naive(&self, is_seg: usize, stats: &mut RecoveryStats) -> Vec<(Candidate, usize)> {
+    /// candidate. The per-candidate comparisons are independent, so they
+    /// fan out over the engine's workers; a stable sort over the
+    /// order-preserving result keeps the ranking identical to the
+    /// sequential scan.
+    pub fn search_naive(
+        &self,
+        is_seg: usize,
+        stats: &mut RecoveryStats,
+    ) -> Vec<(Candidate, usize)> {
         let is = &self.indexed[is_seg];
         if is.syms.len() < self.cfg.anchor_len {
             return Vec::new();
         }
         let anchor = &is.syms[is.syms.len() - self.cfg.anchor_len..];
-        let mut scored: Vec<(Candidate, usize)> = Vec::new();
-        for cand in self.candidates(is_seg, anchor) {
-            stats.candidates += 1;
-            let (si, end) = cand;
-            let m3 = is.tier_suffix(
-                is.syms.len(),
-                &self.indexed[si],
-                end + 1,
-                Tier::Concrete,
-                usize::MAX,
-            );
-            scored.push((cand, m3));
-        }
-        scored.sort_by(|a, b| b.1.cmp(&a.1));
+        let cands = self.candidates(is_seg, anchor);
+        stats.candidates += cands.len();
+        let workers = if cands.len() >= PAR_CANDIDATES_MIN {
+            self.workers
+        } else {
+            1
+        };
+        let mut scored: Vec<(Candidate, usize)> =
+            jportal_par::par_map(workers, &cands, |_, &cand| {
+                let (si, end) = cand;
+                let m3 = is.tier_suffix(
+                    is.syms.len(),
+                    &self.indexed[si],
+                    end + 1,
+                    Tier::Concrete,
+                    usize::MAX,
+                );
+                (cand, m3)
+            });
+        scored.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
         scored.truncate(self.cfg.top_n);
         scored
     }
 
     /// **Algorithm 4**: abstraction-guided CS search with tier-1/tier-2
     /// pruning (Theorem 5.5).
+    ///
+    /// With `workers > 1` and enough candidates, scoring is speculative:
+    /// every candidate's three tier suffixes are computed uncapped in
+    /// parallel, then the sequential pruning decisions are **replayed**
+    /// over the pre-computed scores. The replay reproduces the sequential
+    /// path's capped measurements (`min(suffix, mₗ + 64)`) and running
+    /// maxima exactly, so the ranking and every statistic are
+    /// byte-identical to the sequential scan — the speculative extra work
+    /// is what buys the wall-clock parallelism (cf. Theorem 5.5: a capped
+    /// tier-l measurement only ever prunes candidates that cannot win).
     pub fn search_abstraction(
         &self,
         is_seg: usize,
@@ -297,11 +358,53 @@ impl<'a> Recovery<'a> {
             return Vec::new();
         }
         let anchor = &is.syms[is.syms.len() - self.cfg.anchor_len..];
+        let cands = self.candidates(is_seg, anchor);
+
+        if self.workers > 1 && cands.len() >= PAR_CANDIDATES_MIN {
+            // Speculative parallel scoring: uncapped suffixes for all.
+            let scores: Vec<(usize, usize, usize)> =
+                jportal_par::par_map(self.workers, &cands, |_, &(si, end)| {
+                    let cs = &self.indexed[si];
+                    (
+                        is.tier_suffix(is.syms.len(), cs, end + 1, Tier::CallStructure, usize::MAX),
+                        is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Control, usize::MAX),
+                        is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Concrete, usize::MAX),
+                    )
+                });
+            // Sequential replay of the pruning decisions.
+            let mut best: Vec<(Candidate, usize)> = Vec::new();
+            let (mut m1, mut m2, mut m3) = (0usize, 0usize, 0usize);
+            for (&cand, &(s1, s2, s3)) in cands.iter().zip(&scores) {
+                stats.candidates += 1;
+                let full = self.cfg.top_n > best.len();
+                let ml1 = s1.min(m1 + 64);
+                if !full && ml1 < m1 {
+                    stats.pruned_tier1 += 1;
+                    continue;
+                }
+                let ml2 = s2.min(m2 + 64);
+                if !full && ml2 < m2 {
+                    stats.pruned_tier2 += 1;
+                    continue;
+                }
+                let ml3 = s3;
+                if ml3 >= m3 {
+                    m3 = ml3;
+                    m1 = ml1;
+                    m2 = ml2;
+                }
+                best.push((cand, ml3));
+                best.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
+                best.truncate(self.cfg.top_n);
+            }
+            return best;
+        }
+
         let mut best: Vec<(Candidate, usize)> = Vec::new();
         // Running maxima ⟨m1, m2, m3⟩ of Algorithm 4; pruning compares
         // against the weakest kept candidate when the list is full.
         let (mut m1, mut m2, mut m3) = (0usize, 0usize, 0usize);
-        for cand in self.candidates(is_seg, anchor) {
+        for cand in cands {
             stats.candidates += 1;
             let (si, end) = cand;
             let cs = &self.indexed[si];
@@ -324,7 +427,7 @@ impl<'a> Recovery<'a> {
                 m2 = ml2;
             }
             best.push((cand, ml3));
-            best.sort_by(|a, b| b.1.cmp(&a.1));
+            best.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
             best.truncate(self.cfg.top_n);
         }
         best
@@ -396,7 +499,12 @@ impl<'a> Recovery<'a> {
 
     /// Estimated maximum number of events the hole can hold, from its
     /// timestamp span and the IS's observed event rate.
-    fn hole_budget(&self, segments: &[SegmentView], is_seg: usize, loss: Option<LossRecord>) -> usize {
+    fn hole_budget(
+        &self,
+        segments: &[SegmentView],
+        is_seg: usize,
+        loss: Option<LossRecord>,
+    ) -> usize {
         let Some(loss) = loss else {
             return self.cfg.max_walk;
         };
@@ -426,11 +534,7 @@ impl<'a> Recovery<'a> {
         let (t0, t1) = match loss {
             Some(l) => (l.first_ts, l.last_ts),
             None => {
-                let t = segments[is_seg]
-                    .events
-                    .last()
-                    .map(|e| e.ts)
-                    .unwrap_or(0);
+                let t = segments[is_seg].events.last().map(|e| e.ts).unwrap_or(0);
                 (t, t)
             }
         };
@@ -471,7 +575,13 @@ impl<'a> Recovery<'a> {
         post_seg: usize,
         loss: Option<LossRecord>,
     ) -> Option<Vec<TraceEntry>> {
-        let from = segments[is_seg].nodes.iter().rev().flatten().next().copied()?;
+        let from = segments[is_seg]
+            .nodes
+            .iter()
+            .rev()
+            .flatten()
+            .next()
+            .copied()?;
         let to = segments[post_seg].nodes.iter().flatten().next().copied()?;
         let max = self.cfg.max_walk;
         // BFS for a shortest connecting path.

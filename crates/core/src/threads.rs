@@ -11,9 +11,9 @@
 //! scheduling decisions, so packets near a switch boundary can land on
 //! the wrong thread — that effect is faithfully present here.
 
+use jportal_ipt::decode_packets;
 use jportal_ipt::sideband::schedule_intervals;
 use jportal_ipt::{segment_stream, CollectedTraces, RawSegment, ThreadId};
-use jportal_ipt::decode_packets;
 use std::collections::HashMap;
 
 /// A per-thread piece of trace, tagged with its source core.
@@ -47,24 +47,23 @@ pub fn segregate(collected: &CollectedTraces) -> HashMap<ThreadId, Vec<ThreadPie
             let mut current_thread: Option<ThreadId> = None;
             let mut current: Vec<jportal_ipt::TimedPacket> = Vec::new();
             let mut first_piece = true;
-            let mut flush =
-                |thread: Option<ThreadId>,
-                 packets: &mut Vec<jportal_ipt::TimedPacket>,
-                 first: &mut bool| {
-                    if let (Some(t), false) = (thread, packets.is_empty()) {
-                        let loss_before = if *first { seg.loss_before } else { None };
-                        *first = false;
-                        per_thread.entry(t).or_default().push(ThreadPiece {
-                            core,
-                            segment: RawSegment {
-                                packets: std::mem::take(packets),
-                                loss_before,
-                            },
-                        });
-                    } else {
-                        packets.clear();
-                    }
-                };
+            let mut flush = |thread: Option<ThreadId>,
+                             packets: &mut Vec<jportal_ipt::TimedPacket>,
+                             first: &mut bool| {
+                if let (Some(t), false) = (thread, packets.is_empty()) {
+                    let loss_before = if *first { seg.loss_before } else { None };
+                    *first = false;
+                    per_thread.entry(t).or_default().push(ThreadPiece {
+                        core,
+                        segment: RawSegment {
+                            packets: std::mem::take(packets),
+                            loss_before,
+                        },
+                    });
+                } else {
+                    packets.clear();
+                }
+            };
             for p in seg.packets {
                 let owner = owner_at(&intervals, p.ts);
                 if owner != current_thread {

@@ -14,8 +14,8 @@ use jportal_jvm::runtime::{Jvm, JvmConfig};
 /// has a random branchy shape. Always terminates and verifies.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
-        1i64..30,                                   // loop iterations
-        prop::collection::vec(any::<u8>(), 1..6),   // f's block script
+        1i64..30,                                 // loop iterations
+        prop::collection::vec(any::<u8>(), 1..6), // f's block script
     )
         .prop_map(|(iters, script)| {
             let mut pb = ProgramBuilder::new();
@@ -37,7 +37,10 @@ fn arb_program() -> impl Strategy<Value = Program> {
                         f.emit(I::Iconst(2));
                         f.emit(I::Irem);
                         // Branch forward only.
-                        let t = labels.get(bi + 1 + (b as usize % 2)).copied().unwrap_or(exit);
+                        let t = labels
+                            .get(bi + 1 + (b as usize % 2))
+                            .copied()
+                            .unwrap_or(exit);
                         f.branch_if(CmpKind::Eq, t);
                     }
                     2 => {
@@ -73,7 +76,8 @@ fn arb_program() -> impl Strategy<Value = Program> {
             m.bind(done);
             m.emit(I::Return);
             let main = m.finish();
-            pb.finish_with_entry(main).expect("generated program verifies")
+            pb.finish_with_entry(main)
+                .expect("generated program verifies")
         })
 }
 
@@ -146,5 +150,55 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallelism knob is invisible in the output: the legacy
+    /// sequential path (`parallelism = Some(1)`), an explicit 4-worker
+    /// fan-out and the all-cores default produce byte-identical reports
+    /// on a lossy multi-threaded workload — serialized forms compared
+    /// verbatim, so even statistics ordering cannot drift.
+    #[test]
+    fn parallel_analysis_is_deterministic(
+        program in arb_program(),
+        buffer in 256usize..2048,
+        threads in 1usize..4,
+    ) {
+        use jportal_core::JPortalConfig;
+        use jportal_jvm::runtime::ThreadSpec;
+
+        let jvm = Jvm::new(JvmConfig {
+            cores: 2,
+            quantum: 700,
+            pt_buffer_capacity: buffer,
+            drain_bytes_per_kilocycle: 15,
+            c1_threshold: u64::MAX,
+            c2_threshold: u64::MAX,
+            ..JvmConfig::default()
+        });
+        let entry = program.entry();
+        let specs: Vec<ThreadSpec> = (0..threads)
+            .map(|_| ThreadSpec { method: entry, args: vec![] })
+            .collect();
+        let r = jvm.run_threads(&program, &specs);
+        let traces = r.traces.as_ref().unwrap();
+
+        let run = |parallelism| {
+            JPortal::with_config(&program, JPortalConfig { parallelism, ..JPortalConfig::default() })
+                .analyze(traces, &r.archive)
+        };
+        let sequential = run(Some(1));
+        let four_workers = run(Some(4));
+        let default_workers = run(None);
+
+        // Structural equality and serialized byte equality.
+        prop_assert_eq!(&sequential, &four_workers);
+        prop_assert_eq!(&sequential, &default_workers);
+        let ser_seq = format!("{sequential:?}");
+        prop_assert_eq!(&ser_seq, &format!("{four_workers:?}"));
+        prop_assert_eq!(&ser_seq, &format!("{default_workers:?}"));
     }
 }

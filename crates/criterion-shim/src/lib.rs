@@ -1,0 +1,323 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of criterion's API that JPortal's benches use
+//! (`Criterion`, benchmark groups, `iter` / `iter_batched`, throughput,
+//! the `criterion_group!` / `criterion_main!` macros and `black_box`)
+//! backed by a simple wall-clock harness: a warm-up phase, then timed
+//! samples, reporting mean and min per-iteration time plus derived
+//! throughput.
+//!
+//! Environment knobs:
+//! - `JPORTAL_BENCH_QUICK=1` — one warm-up iteration and a short
+//!   measurement window (used by CI to smoke-test benches).
+//! - `JPORTAL_BENCH_JSON=path` — append one JSON object per benchmark to
+//!   `path` (used to record baselines under `docs/results/`).
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units the per-iteration time is divided by to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup (accepted, not distinguished).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("JPORTAL_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// Group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Iterations measured (after warm-up).
+    pub iters: u64,
+    /// Derived throughput, if configured.
+    pub throughput: Option<(String, f64)>,
+}
+
+impl Sampled {
+    fn json(&self) -> String {
+        let tp = match &self.throughput {
+            Some((unit, v)) => {
+                format!(",\"throughput_unit\":\"{unit}\",\"throughput_per_sec\":{v:.1}")
+            }
+            None => String::new(),
+        };
+        format!(
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{}{}}}",
+            self.group, self.name, self.mean_ns, self.min_ns, self.iters, tp
+        )
+    }
+}
+
+/// Per-iteration timing driver passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        let (warmup, measure) = if quick_mode() {
+            (Duration::from_millis(5), Duration::from_millis(40))
+        } else {
+            (Duration::from_millis(300), Duration::from_secs(2))
+        };
+        Bencher {
+            warmup,
+            measure,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut spent = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            spent += dt;
+            self.samples.push(dt.as_nanos() as f64);
+            if start.elapsed() >= self.measure || spent >= self.measure {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput basis for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) {
+        self.throughput = Some(tp);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let iters = b.samples.len() as u64;
+        let mean = if iters > 0 {
+            b.samples.iter().sum::<f64>() / iters as f64
+        } else {
+            0.0
+        };
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let throughput = self.throughput.map(|tp| {
+            let (unit, per_iter) = match tp {
+                Throughput::Bytes(n) => ("bytes", n),
+                Throughput::Elements(n) => ("elements", n),
+            };
+            (unit.to_string(), per_iter as f64 / (mean / 1e9))
+        });
+        let sampled = Sampled {
+            group: self.name.clone(),
+            name: name.to_string(),
+            mean_ns: mean,
+            min_ns: if min.is_finite() { min } else { 0.0 },
+            iters,
+            throughput,
+        };
+        report(&sampled);
+        self.criterion.results.push(sampled);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn report(s: &Sampled) {
+    let tp = match &s.throughput {
+        Some((unit, v)) => {
+            if unit == "bytes" {
+                format!("  ({:.1} MiB/s)", v / (1024.0 * 1024.0))
+            } else {
+                format!("  ({v:.0} elem/s)")
+            }
+        }
+        None => String::new(),
+    };
+    println!(
+        "{}/{:<40} mean {:>12}  min {:>12}  ({} iters){}",
+        s.group,
+        s.name,
+        human(s.mean_ns),
+        human(s.min_ns),
+        s.iters,
+        tp
+    );
+    if let Ok(path) = std::env::var("JPORTAL_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{}", s.json());
+        }
+    }
+}
+
+/// Harness entry point; collects results of every benchmark it runs.
+#[derive(Default)]
+pub struct Criterion {
+    /// Everything measured so far.
+    pub results: Vec<Sampled>,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; this harness ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("JPORTAL_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results[0].iters > 0);
+        assert!(c.results[0].throughput.is_some());
+    }
+}

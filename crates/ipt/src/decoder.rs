@@ -6,14 +6,12 @@
 //! points, yielding the segmented trace JPortal's reconstruction works on
 //! (each hole is a `⋄` of Definition 5.1).
 
-use serde::{Deserialize, Serialize};
-
 use crate::lastip::LastIp;
 use crate::packet::{decode_one, Packet};
 use crate::ring::LossRecord;
 
 /// A decoded packet with its stream offset and the prevailing timestamp.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimedPacket {
     /// The packet (IP-bearing packets carry fully reconstructed IPs).
     pub packet: Packet,
@@ -94,7 +92,7 @@ fn resolve(packet: Packet, last_ip: &mut LastIp, ts: &mut u64) -> Option<Packet>
 }
 
 /// One maximal packet run between data-loss points.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawSegment {
     /// The packets of the segment, in order.
     pub packets: Vec<TimedPacket>,
@@ -174,7 +172,10 @@ mod tests {
         let targets = [0x7fa4_1901_e9a0u64, 0x7fa4_1902_3ba0, 0x7fa4_1901_ea40];
         for (i, &t) in targets.iter().enumerate() {
             enc.set_time(i as u64 * 150);
-            enc.event(HwEvent::Indirect { at: 0x1000, target: t });
+            enc.event(HwEvent::Indirect {
+                at: 0x1000,
+                target: t,
+            });
         }
         let trace = enc.finish();
         let tips: Vec<u64> = decode_packets(&trace.bytes)

@@ -13,14 +13,12 @@
 //! TSC and a full (uncompressed) next IP resynchronize the decoder —
 //! exactly the loss phenomenology JPortal's offline component must repair.
 
-use serde::{Deserialize, Serialize};
-
 use crate::lastip::LastIp;
 use crate::packet::Packet;
 use crate::ring::{LossRecord, RingBuffer};
 
 /// A machine-level control-flow event observed by the tracing hardware.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HwEvent {
     /// A conditional branch at `at` resolved as taken / not taken.
     Cond {
@@ -57,7 +55,7 @@ pub enum HwEvent {
 }
 
 /// Encoder configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EncoderConfig {
     /// Ring-buffer capacity in bytes (the paper sweeps 64/128/256 MB;
     /// the simulation uses proportionally scaled values).
@@ -112,7 +110,7 @@ pub struct PtEncoder {
 }
 
 /// The finished per-core trace: exported bytes plus loss records.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PtTrace {
     /// The exported packet byte stream.
     pub bytes: Vec<u8>,
@@ -558,20 +556,15 @@ mod tests {
         }
         let trace = enc.finish();
         let packets = decode_packets(&trace.bytes);
-        let psbs = packets
-            .iter()
-            .filter(|p| p.packet == Packet::Psb)
-            .count();
+        let psbs = packets.iter().filter(|p| p.packet == Packet::Psb).count();
         assert!(psbs >= 2, "expected periodic PSBs, got {psbs}");
         // Immediately after each PSB(+TSC+PSBEND), the next TIP is full.
         for (i, p) in packets.iter().enumerate() {
             if p.packet == Packet::Psb {
-                let next_tip = packets[i + 1..]
-                    .iter()
-                    .find_map(|q| match &q.packet {
-                        Packet::Tip { compression, .. } => Some(*compression),
-                        _ => None,
-                    });
+                let next_tip = packets[i + 1..].iter().find_map(|q| match &q.packet {
+                    Packet::Tip { compression, .. } => Some(*compression),
+                    _ => None,
+                });
                 if let Some(c) = next_tip {
                     assert_eq!(c, crate::packet::IpCompression::Full);
                 }

@@ -6,8 +6,6 @@
 //! PSB and overflow events reset it, forcing the next packet to carry a
 //! full IP.
 
-use serde::{Deserialize, Serialize};
-
 use crate::packet::IpCompression;
 
 /// The last-IP state machine, shared in shape by encoder and decoder.
@@ -28,7 +26,7 @@ use crate::packet::IpCompression;
 /// assert_eq!(c2, IpCompression::Update16);
 /// assert_eq!(dec.decode(c2, raw2), Some(0x7fa4_1901_ffff));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LastIp {
     last: Option<u64>,
 }
@@ -81,9 +79,7 @@ impl LastIp {
             IpCompression::Full => raw,
             IpCompression::Update16 => (self.last? & !0xFFFF) | (raw & 0xFFFF),
             IpCompression::Update32 => (self.last? & !0xFFFF_FFFF) | (raw & 0xFFFF_FFFF),
-            IpCompression::Update48 => {
-                (self.last? & !0xFFFF_FFFF_FFFF) | (raw & 0xFFFF_FFFF_FFFF)
-            }
+            IpCompression::Update48 => (self.last? & !0xFFFF_FFFF_FFFF) | (raw & 0xFFFF_FFFF_FFFF),
         };
         self.last = Some(ip);
         Some(ip)

@@ -5,7 +5,6 @@
 //! codes in the three high header bits, 7-byte TSC, 16-byte PSB, PSBEND,
 //! OVF and PAD.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// IP compression mode of an IP-bearing packet (TIP/FUP/PGE/PGD).
@@ -13,7 +12,7 @@ use std::fmt;
 /// The code occupies the three high bits of the header byte and tells the
 /// decoder how many payload bytes follow and how to combine them with the
 /// last decoded IP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum IpCompression {
     /// IP suppressed; no payload bytes.
@@ -54,7 +53,7 @@ impl IpCompression {
 }
 
 /// A PT trace packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Packet {
     /// Padding byte (0x00).
     Pad,
@@ -318,22 +317,10 @@ pub fn decode_one(bytes: &[u8], pos: usize) -> Option<(Packet, usize)> {
                 Some((ctor(compression, raw_ip), 1 + plen))
             };
             match low5 {
-                0x0D => make(|c, ip| Packet::Tip {
-                    compression: c,
-                    ip,
-                }),
-                0x11 => make(|c, ip| Packet::TipPge {
-                    compression: c,
-                    ip,
-                }),
-                0x01 => make(|c, ip| Packet::TipPgd {
-                    compression: c,
-                    ip,
-                }),
-                0x1D => make(|c, ip| Packet::Fup {
-                    compression: c,
-                    ip,
-                }),
+                0x0D => make(|c, ip| Packet::Tip { compression: c, ip }),
+                0x11 => make(|c, ip| Packet::TipPge { compression: c, ip }),
+                0x01 => make(|c, ip| Packet::TipPgd { compression: c, ip }),
+                0x1D => make(|c, ip| Packet::Fup { compression: c, ip }),
                 _ => None,
             }
         }

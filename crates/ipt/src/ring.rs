@@ -9,11 +9,10 @@
 //! first and last lost packets, mirroring `perf_record_aux` events with
 //! the truncated flag that JPortal uses to localize data loss (§4).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A contiguous span of lost trace data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LossRecord {
     /// Offset in the *exported* byte stream at which the hole sits.
     pub stream_offset: u64,
@@ -41,7 +40,7 @@ pub struct LossRecord {
 /// assert_eq!(rb.exported(), &[1, 2, 3]);
 /// assert_eq!(rb.loss_records().len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RingBuffer {
     capacity: usize,
     queue: VecDeque<u8>,

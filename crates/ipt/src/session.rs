@@ -5,15 +5,11 @@
 //! shared sideband stream, and hands the per-core traces and sideband
 //! records to the offline pipeline at the end of a run.
 
-use serde::{Deserialize, Serialize};
-
 use crate::encoder::{EncoderConfig, PtEncoder, PtTrace};
 use crate::sideband::{SidebandRecord, ThreadId};
 
 /// Identifier of a simulated CPU core.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct CoreId(pub u32);
 
 impl CoreId {
@@ -46,7 +42,7 @@ pub struct PtSession {
 }
 
 /// Everything collected by a finished session.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CollectedTraces {
     /// Per-core exported traces, indexed by core.
     pub per_core: Vec<PtTrace>,
@@ -164,10 +160,13 @@ mod tests {
 
     #[test]
     fn sideband_merges_switches_and_losses_in_time_order() {
-        let mut s = PtSession::new(1, EncoderConfig {
-            buffer_capacity: 16,
-            ..EncoderConfig::default()
-        });
+        let mut s = PtSession::new(
+            1,
+            EncoderConfig {
+                buffer_capacity: 16,
+                ..EncoderConfig::default()
+            },
+        );
         s.record_switch_in(CoreId(0), ThreadId(7), 1);
         // Overflow the tiny buffer to force a loss record.
         for i in 0..10u64 {

@@ -6,15 +6,12 @@
 //! (§4) and the switch records to segregate per-core traces into
 //! per-thread traces (§6 "Multi-Cores and Multi-Threads").
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::ring::LossRecord;
 
 /// Identifier of a simulated thread.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ThreadId(pub u32);
 
 impl ThreadId {
@@ -31,7 +28,7 @@ impl fmt::Display for ThreadId {
 }
 
 /// One sideband record, tagged with the core it came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SidebandRecord {
     /// Aux data was lost (`PERF_RECORD_AUX` with the truncated flag).
     AuxLost {
@@ -90,8 +87,7 @@ pub fn schedule_intervals(
 ) -> Vec<(ThreadId, u64, u64)> {
     let mut out = Vec::new();
     let mut open: Option<(ThreadId, u64)> = None;
-    let mut sorted: Vec<&SidebandRecord> =
-        records.iter().filter(|r| r.core() == core).collect();
+    let mut sorted: Vec<&SidebandRecord> = records.iter().filter(|r| r.core() == core).collect();
     sorted.sort_by_key(|r| r.ts());
     for r in sorted {
         match *r {

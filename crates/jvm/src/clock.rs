@@ -9,10 +9,9 @@
 //! are meaningless by design.
 
 use jportal_bytecode::ProbeKind;
-use serde::{Deserialize, Serialize};
 
 /// Cost constants, in simulated cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of interpreting one bytecode (template dispatch + body).
     pub interp_per_bytecode: u64,

@@ -14,7 +14,6 @@
 use std::collections::HashMap;
 
 use jportal_bytecode::MethodId;
-use serde::{Deserialize, Serialize};
 
 use crate::jit::CompiledMethod;
 use crate::template::TemplateTable;
@@ -28,7 +27,7 @@ pub const JIT_BASE: u64 = 0x7f90_0000_0000;
 pub const CODE_END: u64 = 0x7fa0_0000_0000;
 
 /// One exported blob with its activity interval.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ArchivedBlob {
     /// The compiled method (code + debug metadata).
     pub compiled: CompiledMethod,
@@ -43,12 +42,12 @@ impl ArchivedBlob {
     pub fn covers(&self, addr: u64, ts: u64) -> bool {
         self.compiled.blob.contains(addr)
             && self.active_from <= ts
-            && self.active_to.map_or(true, |end| ts < end)
+            && self.active_to.is_none_or(|end| ts < end)
     }
 }
 
 /// Everything JPortal's offline decoder needs about machine code.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MetadataArchive {
     /// The interpreter's template table (collected at JVM init, §3.1).
     pub templates: TemplateTable,
@@ -98,10 +97,7 @@ impl MetadataArchive {
 
     /// Total exported machine-code bytes (metadata size statistics).
     pub fn exported_bytes(&self) -> u64 {
-        self.blobs
-            .iter()
-            .map(|b| b.compiled.blob.byte_len())
-            .sum()
+        self.blobs.iter().map(|b| b.compiled.blob.byte_len()).sum()
     }
 }
 
@@ -240,11 +236,7 @@ impl CodeCache {
     }
 
     fn allocate(&mut self, size: u64) -> u64 {
-        if let Some(pos) = self
-            .free_list
-            .iter()
-            .position(|&(_, len)| len >= size)
-        {
+        if let Some(pos) = self.free_list.iter().position(|&(_, len)| len >= size) {
             let (start, len) = self.free_list[pos];
             if len == size {
                 self.free_list.remove(pos);
@@ -318,7 +310,7 @@ mod tests {
         let p = program_with_n_methods(1);
         let mut cache = CodeCache::new(1 << 20);
         let entry = cache.install(compiled(&p, 0), 100);
-        assert!(entry >= JIT_BASE && entry < CODE_END);
+        assert!((JIT_BASE..CODE_END).contains(&entry));
         let cm = cache.get(MethodId(0)).unwrap();
         assert_eq!(cm.entry(), entry);
         // Debug records relocated consistently with bci_pc.
@@ -373,7 +365,10 @@ mod tests {
         let p = program_with_n_methods(1);
         let mut cache = CodeCache::new(1 << 20);
         cache.install(compiled(&p, 0), 1);
-        let templates_entry = cache.templates().template(jportal_bytecode::OpKind::Iadd).entry;
+        let templates_entry = cache
+            .templates()
+            .template(jportal_bytecode::OpKind::Iadd)
+            .entry;
         let archive = cache.into_archive();
         let (lo, hi) = archive.filter_range();
         assert!(templates_entry >= lo && templates_entry < hi);

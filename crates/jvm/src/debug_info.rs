@@ -12,10 +12,9 @@
 //! (Figure 7 discussion).
 
 use jportal_bytecode::{Bci, MethodId};
-use serde::{Deserialize, Serialize};
 
 /// One inline frame in a compiled method's inline tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InlineFrame {
     /// Parent frame id (`None` for the root = the compiled method itself).
     pub parent: Option<u32>,
@@ -26,7 +25,7 @@ pub struct InlineFrame {
 }
 
 /// One debug record: the bytecode location a machine PC was compiled from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DebugRecord {
     /// Machine PC this record anchors at.
     pub pc: u64,
@@ -52,7 +51,7 @@ pub struct DebugRecord {
 /// assert_eq!(rec.bci, Bci(1));
 /// assert_eq!(t.method_of(rec.inline_id), MethodId(3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DebugTable {
     records: Vec<DebugRecord>,
     inline_tree: Vec<InlineFrame>,

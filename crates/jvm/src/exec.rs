@@ -214,7 +214,13 @@ impl<'p> Executor<'p> {
     }
 
     /// Spawns a thread running `method(args…)`.
-    pub fn spawn(&mut self, id: ThreadId, method: MethodId, args: &[i64], cache: &CodeCache) -> ThreadState {
+    pub fn spawn(
+        &mut self,
+        id: ThreadId,
+        method: MethodId,
+        args: &[i64],
+        cache: &CodeCache,
+    ) -> ThreadState {
         let m = self.program.method(method);
         assert_eq!(args.len(), m.n_args as usize, "argument count");
         let mut locals = vec![Value::Int(0); m.max_locals as usize];
@@ -343,54 +349,55 @@ impl<'p> Executor<'p> {
                 if mode == FrameMode::Interp {
                     let from = self.interp_dispatch(method, bci, cache);
                     let to = self.resume_addr(thread.frame(), cache);
-                    sink.emit(HwEvent::Indirect { at: from, target: to });
+                    sink.emit(HwEvent::Indirect {
+                        at: from,
+                        target: to,
+                    });
                     events += 1;
                 }
             }
-            Transfer::Branch { taken, target } => {
-                match mode {
-                    FrameMode::Interp => {
-                        let op = insn.op_kind();
-                        let tpl = cache.templates().template(op);
-                        if let Some(cond) = tpl.cond_addr {
-                            sink.emit(HwEvent::Cond { at: cond, taken });
-                            events += 1;
-                        }
-                        let f = thread.frame_mut();
-                        f.bci = if taken { target } else { bci.next() };
-                        let to = self.resume_addr(thread.frame(), cache);
-                        sink.emit(HwEvent::Indirect {
-                            at: tpl.dispatch_addr,
-                            target: to,
-                        });
+            Transfer::Branch { taken, target } => match mode {
+                FrameMode::Interp => {
+                    let op = insn.op_kind();
+                    let tpl = cache.templates().template(op);
+                    if let Some(cond) = tpl.cond_addr {
+                        sink.emit(HwEvent::Cond { at: cond, taken });
                         events += 1;
                     }
-                    FrameMode::Jitted {
-                        archive_idx,
-                        inline_id,
-                    } => {
-                        let cm = &cache.blob_by_index(archive_idx).compiled;
-                        match cm.op_info(inline_id, bci) {
-                            OpInfo::Cond {
-                                cond_addr,
-                                taken_means_bytecode_taken,
-                            } => {
-                                let machine_taken = taken == taken_means_bytecode_taken;
-                                sink.emit(HwEvent::Cond {
-                                    at: cond_addr,
-                                    taken: machine_taken,
-                                });
-                                events += 1;
-                            }
-                            other => {
-                                debug_assert!(false, "branch without Cond info: {other:?}");
-                            }
-                        }
-                        let f = thread.frame_mut();
-                        f.bci = if taken { target } else { bci.next() };
-                    }
+                    let f = thread.frame_mut();
+                    f.bci = if taken { target } else { bci.next() };
+                    let to = self.resume_addr(thread.frame(), cache);
+                    sink.emit(HwEvent::Indirect {
+                        at: tpl.dispatch_addr,
+                        target: to,
+                    });
+                    events += 1;
                 }
-            }
+                FrameMode::Jitted {
+                    archive_idx,
+                    inline_id,
+                } => {
+                    let cm = &cache.blob_by_index(archive_idx).compiled;
+                    match cm.op_info(inline_id, bci) {
+                        OpInfo::Cond {
+                            cond_addr,
+                            taken_means_bytecode_taken,
+                        } => {
+                            let machine_taken = taken == taken_means_bytecode_taken;
+                            sink.emit(HwEvent::Cond {
+                                at: cond_addr,
+                                taken: machine_taken,
+                            });
+                            events += 1;
+                        }
+                        other => {
+                            debug_assert!(false, "branch without Cond info: {other:?}");
+                        }
+                    }
+                    let f = thread.frame_mut();
+                    f.bci = if taken { target } else { bci.next() };
+                }
+            },
             Transfer::Jump { target } => {
                 let f = thread.frame_mut();
                 f.bci = target;
@@ -398,7 +405,10 @@ impl<'p> Executor<'p> {
                     FrameMode::Interp => {
                         let from = self.interp_dispatch(method, bci, cache);
                         let to = self.resume_addr(thread.frame(), cache);
-                        sink.emit(HwEvent::Indirect { at: from, target: to });
+                        sink.emit(HwEvent::Indirect {
+                            at: from,
+                            target: to,
+                        });
                         events += 1;
                     }
                     FrameMode::Jitted { .. } => {
@@ -413,7 +423,10 @@ impl<'p> Executor<'p> {
                     FrameMode::Interp => {
                         let from = self.interp_dispatch(method, bci, cache);
                         let to = self.resume_addr(thread.frame(), cache);
-                        sink.emit(HwEvent::Indirect { at: from, target: to });
+                        sink.emit(HwEvent::Indirect {
+                            at: from,
+                            target: to,
+                        });
                         events += 1;
                     }
                     FrameMode::Jitted {
@@ -432,7 +445,11 @@ impl<'p> Executor<'p> {
                     }
                 }
             }
-            Transfer::Call { callee, args, receiver } => {
+            Transfer::Call {
+                callee,
+                args,
+                receiver,
+            } => {
                 invoked = Some(callee);
                 cost += self.cost.call_overhead;
                 self.truth.record_invocation(callee);
@@ -444,9 +461,9 @@ impl<'p> Executor<'p> {
                     } => {
                         let cm = &cache.blob_by_index(archive_idx).compiled;
                         match cm.op_info(inline_id, bci) {
-                            OpInfo::CallInline { callee: callee_inline } => {
-                                Some((archive_idx, callee_inline))
-                            }
+                            OpInfo::CallInline {
+                                callee: callee_inline,
+                            } => Some((archive_idx, callee_inline)),
                             _ => None,
                         }
                     }
@@ -492,7 +509,10 @@ impl<'p> Executor<'p> {
                         }
                     };
                     let to = self.resume_addr(&callee_frame, cache);
-                    sink.emit(HwEvent::Indirect { at: from, target: to });
+                    sink.emit(HwEvent::Indirect {
+                        at: from,
+                        target: to,
+                    });
                     events += 1;
                 }
                 thread.frames.push(callee_frame);
@@ -544,7 +564,10 @@ impl<'p> Executor<'p> {
                                 }
                             }
                         };
-                        sink.emit(HwEvent::Indirect { at: from, target: to });
+                        sink.emit(HwEvent::Indirect {
+                            at: from,
+                            target: to,
+                        });
                         events += 1;
                     }
                 } else {

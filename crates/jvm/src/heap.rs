@@ -1,15 +1,14 @@
 //! Runtime values, objects and arrays.
 
 use jportal_bytecode::ClassId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Handle to a heap object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Handle(pub u32);
 
 /// A runtime value: an integer or a (possibly null) reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Value {
     /// 64-bit integer (the model's only primitive).
     Int(i64),
@@ -61,7 +60,7 @@ impl fmt::Display for Value {
 }
 
 /// A heap object: a class instance or an integer array.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HeapObject {
     /// Class instance with field slots.
     Instance {
@@ -79,7 +78,7 @@ pub enum HeapObject {
 
 /// The heap: a growable object table (no GC — runs are short-lived and
 /// allocation volume is bounded by the workload generators).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Heap {
     objects: Vec<HeapObject>,
 }

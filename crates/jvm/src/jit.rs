@@ -22,13 +22,12 @@ use std::collections::HashMap;
 
 use jportal_bytecode::{Bci, Instruction, MethodId, Program};
 use jportal_cfg::Cfg;
-use serde::{Deserialize, Serialize};
 
 use crate::debug_info::{DebugRecord, DebugTable};
 use crate::machine::{CodeBlob, MachineInsn, MiKind};
 
 /// Compilation tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JitTier {
     /// Fast, non-inlining, bytecode-order layout.
     C1,
@@ -37,7 +36,7 @@ pub enum JitTier {
 }
 
 /// JIT configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JitConfig {
     /// Maximum callee size (bytecodes) eligible for inlining (C2).
     pub inline_max_size: usize,
@@ -63,7 +62,7 @@ impl Default for JitConfig {
 }
 
 /// Executor-facing description of one compiled bytecode site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpInfo {
     /// No event-relevant machine structure.
     Plain,
@@ -101,7 +100,7 @@ pub enum OpInfo {
 
 /// A compiled method: machine code + debug metadata + executor side
 /// tables.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CompiledMethod {
     /// The compiled (root) method.
     pub method: MethodId,
@@ -165,11 +164,8 @@ impl CompiledMethod {
         let mut debug = DebugTable::new(self.method);
         // Rebuild: copy inline tree then shifted records.
         for (i, f) in self.debug.inline_tree().iter().enumerate().skip(1) {
-            let id = debug.add_inline_frame(
-                f.parent.expect("non-root frame"),
-                f.method,
-                f.caller_bci,
-            );
+            let id =
+                debug.add_inline_frame(f.parent.expect("non-root frame"), f.method, f.caller_bci);
             debug_assert_eq!(id as usize, i);
         }
         for r in self.debug.records() {
@@ -365,11 +361,7 @@ impl<'p> Codegen<'p> {
             let insn = self.program.method(method).insn(bci).clone();
             let pc = self.next_addr;
             self.bci_pc.insert((inline_id, bci.0), pc);
-            self.debug.push(DebugRecord {
-                pc,
-                inline_id,
-                bci,
-            });
+            self.debug.push(DebugRecord { pc, inline_id, bci });
             let next_is_fallthrough = flat
                 .get(idx + 1)
                 .is_some_and(|&(i2, b2)| i2 == inline_id && b2 == bci.next());

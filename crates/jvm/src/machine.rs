@@ -6,10 +6,8 @@
 //! TNT/TIP supply, a decoder can reproduce the machine-level path, which
 //! is precisely what libipt does with the real binary (paper §3.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Control-flow kind of one machine instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MiKind {
     /// Straight-line instruction (arithmetic, load/store, compare…).
     Other,
@@ -58,7 +56,7 @@ impl MiKind {
 }
 
 /// One synthetic machine instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineInsn {
     /// Address of the instruction.
     pub addr: u64,
@@ -92,7 +90,7 @@ impl MachineInsn {
 /// assert_eq!(blob.range(), (0x1000, 0x1008));
 /// assert_eq!(blob.insn_at(0x1004).unwrap().kind, MiKind::Ret);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodeBlob {
     start: u64,
     end: u64,
@@ -132,10 +130,7 @@ impl CodeBlob {
 
     /// The instruction starting exactly at `addr`.
     pub fn insn_at(&self, addr: u64) -> Option<&MachineInsn> {
-        let idx = self
-            .insns
-            .binary_search_by_key(&addr, |i| i.addr)
-            .ok()?;
+        let idx = self.insns.binary_search_by_key(&addr, |i| i.addr).ok()?;
         Some(&self.insns[idx])
     }
 

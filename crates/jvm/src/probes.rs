@@ -11,10 +11,9 @@
 use std::collections::HashMap;
 
 use jportal_bytecode::ProbeKind;
-use serde::{Deserialize, Serialize};
 
 /// Accumulated probe results for one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProbeRuntime {
     /// Counter table (statement coverage / hot-method entry counts).
     counters: HashMap<u32, u64>,

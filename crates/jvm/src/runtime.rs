@@ -13,7 +13,6 @@ use std::collections::{HashMap, VecDeque};
 
 use jportal_bytecode::{MethodId, Program};
 use jportal_ipt::{CollectedTraces, CoreId, EncoderConfig, PtSession, ThreadId};
-use serde::{Deserialize, Serialize};
 
 use crate::clock::CostModel;
 use crate::code_cache::{CodeCache, MetadataArchive, CODE_END, TEMPLATE_BASE};
@@ -23,7 +22,7 @@ use crate::probes::ProbeRuntime;
 use crate::truth::GroundTruth;
 
 /// One thread to run: an entry method and its integer arguments.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadSpec {
     /// Entry method of the thread.
     pub method: MethodId,
@@ -32,7 +31,7 @@ pub struct ThreadSpec {
 }
 
 /// Sampling-profiler configuration (xprof / JProfiler analogs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SamplerConfig {
     /// Cycles between samples (the paper uses 10 ms).
     pub period: u64,
@@ -290,8 +289,7 @@ impl Jvm {
                     // real JVMs; charge a fraction to the app core.
                     clocks[core] += compile_cost / 8;
                     if cfg.tracing {
-                        clocks[core] +=
-                            cm.insn_count() as u64 * cfg.cost.metadata_export_per_insn;
+                        clocks[core] += cm.insn_count() as u64 * cfg.cost.metadata_export_per_insn;
                     }
                     cache.install(cm, clocks[core]);
                     cache.touch(m, clocks[core]);
@@ -355,10 +353,7 @@ impl EventSink for EncoderSink<'_> {
 impl ThreadState {
     /// Current method (or the entry for accounting when finished).
     fn frame_method_or_entry(&self) -> MethodId {
-        self.frames
-            .last()
-            .map(|f| f.method)
-            .unwrap_or(MethodId(0))
+        self.frames.last().map(|f| f.method).unwrap_or(MethodId(0))
     }
 }
 

@@ -11,12 +11,11 @@
 //! address range of every template (Figure 2c).
 
 use jportal_bytecode::OpKind;
-use serde::{Deserialize, Serialize};
 
 use crate::machine::{CodeBlob, MachineInsn, MiKind};
 
 /// Template metadata for one opcode.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Template {
     /// The opcode this template interprets.
     pub op: OpKind,
@@ -44,7 +43,7 @@ pub struct Template {
 /// assert!(t.cond_addr.is_some());
 /// assert_eq!(table.op_at(t.entry), Some(OpKind::Ifeq));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TemplateTable {
     base: u64,
     end: u64,

@@ -8,13 +8,12 @@
 //! against these.
 
 use jportal_bytecode::{Bci, MethodId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use jportal_ipt::ThreadId;
 
 /// One executed bytecode with its timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TruthEvent {
     /// Method executed.
     pub method: MethodId,
@@ -25,7 +24,7 @@ pub struct TruthEvent {
 }
 
 /// Per-thread ground truth plus aggregate statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     /// Executed bytecode trace per thread.
     traces: HashMap<ThreadId, Vec<TruthEvent>>,
@@ -91,11 +90,8 @@ impl GroundTruth {
     /// The `n` hottest methods by self-cycles, hottest first — the
     /// ground truth of the paper's Table 4.
     pub fn hottest_methods(&self, n: usize) -> Vec<MethodId> {
-        let mut v: Vec<(MethodId, u64)> = self
-            .method_cycles
-            .iter()
-            .map(|(&m, &c)| (m, c))
-            .collect();
+        let mut v: Vec<(MethodId, u64)> =
+            self.method_cycles.iter().map(|(&m, &c)| (m, c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v.into_iter().map(|(m, _)| m).collect()

@@ -1,0 +1,227 @@
+//! Minimal data-parallel executor for the offline pipeline.
+//!
+//! A rayon-style fan-out built on `std::thread::scope`: a shared atomic
+//! cursor hands out item indices to a fixed set of workers (dynamic load
+//! balancing, so one slow item does not idle the other workers), and the
+//! results are reassembled in item order, making the output **independent
+//! of scheduling**. With `workers <= 1` (or one item) everything runs
+//! inline on the caller's stack — the exact legacy sequential path, with
+//! no threads spawned and no synchronization.
+//!
+//! The executor is deliberately tiny: no pools are kept alive between
+//! calls, no task graph, no nested-scheduling policy. JPortal's offline
+//! phases are long, coarse-grained and embarrassingly parallel (decode a
+//! segment, score a candidate), so scoped threads per phase are cheap
+//! relative to the work they carry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers the machine can usefully run.
+pub fn max_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a parallelism request: `None` means "all cores",
+/// `Some(n)` is clamped to at least 1.
+pub fn effective_workers(requested: Option<usize>) -> usize {
+    match requested {
+        None => max_parallelism(),
+        Some(n) => n.max(1),
+    }
+}
+
+/// Applies `f` to every item, fanning out over at most `workers` threads,
+/// and returns the results **in item order**.
+///
+/// `f` receives `(index, &item)`. Output order — and therefore anything
+/// the caller folds over the output — is deterministic regardless of the
+/// worker count or scheduling. A panic in any worker propagates.
+///
+/// # Examples
+///
+/// ```
+/// let squares = jportal_par::par_map(4, &[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// // workers = 1 is the inline sequential path, same result.
+/// assert_eq!(jportal_par::par_map(1, &[1u64, 2, 3, 4], |_, &x| x * x), squares);
+/// ```
+pub fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                if !local.is_empty() {
+                    collected.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+
+    // Reassemble in item order.
+    let mut tagged = collected.into_inner().unwrap();
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Like [`par_map`] but consumes the items, handing each worker ownership
+/// of the elements it claims. Results are returned in item order.
+pub fn par_map_owned<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                    local.push((i, f(i, item)));
+                }
+                if !local.is_empty() {
+                    collected.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let mut tagged = collected.into_inner().unwrap();
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Like [`par_map`] over the index range `0..n` without materializing a
+/// slice of inputs.
+pub fn par_map_range<R, F>(workers: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    // A unit slice of length n would do; avoid the allocation with a
+    // cursor loop mirroring par_map.
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                if !local.is_empty() {
+                    collected.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let mut tagged = collected.into_inner().unwrap();
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let seq = par_map(1, &items, |i, &x| i * 31 + x);
+        for workers in [2, 3, 4, 8, 16] {
+            assert_eq!(par_map(workers, &items, |i, &x| i * 31 + x), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn owned_variant_preserves_order_and_moves() {
+        let items: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let seq = par_map_owned(1, items.clone(), |i, s| format!("{i}:{s}"));
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                par_map_owned(workers, items.clone(), |i, s| format!("{i}:{s}")),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn range_variant_matches() {
+        let a = par_map_range(4, 257, |i| i * i);
+        let b: Vec<usize> = (0..257).map(|i| i * i).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_workers_resolution() {
+        assert_eq!(effective_workers(Some(1)), 1);
+        assert_eq!(effective_workers(Some(0)), 1);
+        assert_eq!(effective_workers(Some(6)), 6);
+        assert!(effective_workers(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let _ = par_map(4, &items, |_, &x| {
+            assert!(x < 10, "boom");
+            x
+        });
+    }
+}

@@ -24,10 +24,7 @@ pub struct CoverageMap {
 impl CoverageMap {
     /// Derives per-statement counts from probe counters: each covered
     /// block contributes its count to every bci in its range.
-    pub fn statement_counts(
-        &self,
-        counters: &HashMap<u32, u64>,
-    ) -> HashMap<(MethodId, u32), u64> {
+    pub fn statement_counts(&self, counters: &HashMap<u32, u64>) -> HashMap<(MethodId, u32), u64> {
         let mut out = HashMap::new();
         for (id, &count) in counters {
             if let Some(&(m, start, end)) = self.blocks.get(id) {

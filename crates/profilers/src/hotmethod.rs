@@ -40,10 +40,7 @@ pub fn instrument_hot_methods(program: &Program) -> Program {
 
 /// Ranks methods by instrumented invocation counts (the HM report).
 pub fn hottest_instrumented(counters: &HashMap<u32, u64>, n: usize) -> Vec<MethodId> {
-    let mut v: Vec<(MethodId, u64)> = counters
-        .iter()
-        .map(|(&id, &c)| (MethodId(id), c))
-        .collect();
+    let mut v: Vec<(MethodId, u64)> = counters.iter().map(|(&id, &c)| (MethodId(id), c)).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(n);
     v.into_iter().map(|(m, _)| m).collect()

@@ -39,11 +39,7 @@ impl InsertionPlan {
     }
 
     /// Adds probes on the fall-through edge out of `bci`.
-    pub fn after_fallthrough(
-        &mut self,
-        bci: Bci,
-        probes: impl IntoIterator<Item = Instruction>,
-    ) {
+    pub fn after_fallthrough(&mut self, bci: Bci, probes: impl IntoIterator<Item = Instruction>) {
         self.after_fallthrough
             .entry(bci.0)
             .or_default()
@@ -120,7 +116,7 @@ impl InsertionPlan {
                 code.extend(probes.iter().cloned());
             }
         }
-        for (_i, (_from, to, probes)) in self.on_branch_edge.iter().enumerate() {
+        for (_from, to, probes) in self.on_branch_edge.iter() {
             code.extend(probes.iter().cloned());
             code.push(Instruction::Goto(Bci(entry_pos[*to as usize])));
         }
@@ -151,7 +147,11 @@ impl InsertionPlan {
     }
 }
 
-fn remap_instruction(insn: Instruction, from: u32, remap: &impl Fn(u32, Bci) -> Bci) -> Instruction {
+fn remap_instruction(
+    insn: Instruction,
+    from: u32,
+    remap: &impl Fn(u32, Bci) -> Bci,
+) -> Instruction {
     match insn {
         Instruction::Goto(t) => Instruction::Goto(remap(from, t)),
         Instruction::If(k, t) => Instruction::If(k, remap(from, t)),
@@ -220,7 +220,13 @@ mod tests {
     fn reverify(p: &Program, id: jportal_bytecode::MethodId, new_method: Method) {
         let methods: Vec<Method> = p
             .methods()
-            .map(|(mid, m)| if mid == id { new_method.clone() } else { m.clone() })
+            .map(|(mid, m)| {
+                if mid == id {
+                    new_method.clone()
+                } else {
+                    m.clone()
+                }
+            })
             .collect();
         let classes = p.classes().map(|(_, c)| c.clone()).collect();
         let rebuilt = Program::from_parts(classes, methods, p.entry());

@@ -1,11 +1,9 @@
 //! Workload characteristics (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
-
 use crate::suite::Workload;
 
 /// One Table 1 row: the analog's static characteristics.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Characteristics {
     /// Benchmark name.
     pub name: String,
@@ -31,7 +29,11 @@ pub fn characteristics(w: &Workload) -> Characteristics {
         instructions: w.program.code_size(),
         methods: w.program.method_count(),
         classes: w.program.class_count(),
-        threaded: if w.multithreaded { "multiple" } else { "single" },
+        threaded: if w.multithreaded {
+            "multiple"
+        } else {
+            "single"
+        },
         threads: w.threads.len(),
     }
 }

@@ -14,7 +14,11 @@ use jportal::workloads::workload_by_name;
 fn main() {
     let w = workload_by_name("sunflow", 3);
 
-    for (label, buffer, drain) in [("large", 1 << 22, 1 << 20), ("small", 8000, 130), ("tiny", 2500, 110)] {
+    for (label, buffer, drain) in [
+        ("large", 1 << 22, 1 << 20),
+        ("small", 8000, 130),
+        ("tiny", 2500, 110),
+    ] {
         let result = Jvm::new(JvmConfig {
             pt_buffer_capacity: buffer,
             drain_bytes_per_kilocycle: drain,
@@ -22,11 +26,7 @@ fn main() {
         })
         .run_threads(&w.program, &w.threads);
         let traces = result.traces.as_ref().unwrap();
-        let lost: u64 = traces.per_core[0]
-            .losses
-            .iter()
-            .map(|l| l.lost_bytes)
-            .sum();
+        let lost: u64 = traces.per_core[0].losses.iter().map(|l| l.lost_bytes).sum();
         let kept = traces.per_core[0].bytes.len() as u64;
 
         // Analyze twice: with and without recovery (the ablation).

@@ -101,5 +101,8 @@ fn main() {
 
     // 5. Check against ground truth.
     let score = jportal::core::accuracy::overall_accuracy(&program, &result.truth, &report);
-    println!("\nend-to-end accuracy vs ground truth: {:.1}%", score * 100.0);
+    println!(
+        "\nend-to-end accuracy vs ground truth: {:.1}%",
+        score * 100.0
+    );
 }

@@ -16,8 +16,10 @@ fn jvm(tracing: bool) -> Jvm {
 #[test]
 fn lossless_runs_reconstruct_all_workloads_above_90_percent() {
     for w in all_workloads(1) {
-        let mut cfg = JvmConfig::default();
-        cfg.cores = if w.multithreaded { 2 } else { 1 };
+        let cfg = JvmConfig {
+            cores: if w.multithreaded { 2 } else { 1 },
+            ..JvmConfig::default()
+        };
         let r = Jvm::new(cfg).run_threads(&w.program, &w.threads);
         assert!(r.thread_errors.is_empty(), "{} failed", w.name);
         let report = JPortal::new(&w.program).analyze(r.traces.as_ref().unwrap(), &r.archive);
@@ -92,11 +94,7 @@ fn trace_derived_profiles_match_ground_truth_on_clean_runs() {
     // Statement counts agree exactly.
     let profile = StatementProfile::from_report(&report);
     for (&(m, b), &count) in &r.truth.statement_counts() {
-        assert_eq!(
-            profile.count(m, b),
-            count,
-            "count mismatch at {m}@{b}"
-        );
+        assert_eq!(profile.count(m, b), count, "count mismatch at {m}@{b}");
     }
 
     // The hottest method matches.
@@ -108,9 +106,11 @@ fn trace_derived_profiles_match_ground_truth_on_clean_runs() {
 #[test]
 fn multithreaded_traces_segregate_by_thread() {
     let w = workload_by_name("pmd", 1);
-    let mut cfg = JvmConfig::default();
-    cfg.cores = 2;
-    cfg.quantum = 1024; // force frequent switches
+    let cfg = JvmConfig {
+        cores: 2,
+        quantum: 1024, // force frequent switches
+        ..JvmConfig::default()
+    };
     let r = Jvm::new(cfg).run_threads(&w.program, &w.threads);
     let report = JPortal::new(&w.program).analyze(r.traces.as_ref().unwrap(), &r.archive);
     assert_eq!(report.threads.len(), w.threads.len());
@@ -133,8 +133,10 @@ fn multithreaded_traces_segregate_by_thread() {
 fn runs_are_deterministic() {
     let w = workload_by_name("h2", 1);
     let run = || {
-        let mut cfg = JvmConfig::default();
-        cfg.cores = 2;
+        let cfg = JvmConfig {
+            cores: 2,
+            ..JvmConfig::default()
+        };
         let r = Jvm::new(cfg).run_threads(&w.program, &w.threads);
         r.traces.unwrap().per_core[0].bytes.clone()
     };

@@ -92,10 +92,7 @@ fn exceptions_unwinding_across_frames_decode_jitted() {
         .truth
         .trace(ThreadId(0))
         .iter()
-        .filter(|e| {
-            e.method == p.entry()
-                && matches!(p.method(e.method).insn(e.bci), I::Pop)
-        })
+        .filter(|e| e.method == p.entry() && matches!(p.method(e.method).insn(e.bci), I::Pop))
         .count();
     assert!(truth_pops >= 13, "sanity: handler actually ran");
 }
@@ -155,7 +152,11 @@ fn recovery_parameter_sweep_is_sane() {
         );
         let report = jp.analyze(traces, &r.archive);
         let acc = overall_accuracy(&w.program, &r.truth, &report);
-        let stats: usize = report.threads.iter().map(|t| t.recovery.filled_from_cs).sum();
+        let stats: usize = report
+            .threads
+            .iter()
+            .map(|t| t.recovery.filled_from_cs)
+            .sum();
         results.push((x, y, acc, stats));
     }
     // Every setting must produce a working pipeline; mid-range anchors

@@ -101,9 +101,9 @@ fn figure2_decode_recovers_the_exact_bytecode_sequence() {
         OpKind::Iconst, // main: 0
         OpKind::Iconst, // main: 7
         OpKind::InvokeStatic,
-        OpKind::Iload,  // fun@0
-        OpKind::Ifeq,   // taken (a == 0)
-        OpKind::Iload,  // fun@7
+        OpKind::Iload, // fun@0
+        OpKind::Ifeq,  // taken (a == 0)
+        OpKind::Iload, // fun@7
         OpKind::Iconst,
         OpKind::Isub,
         OpKind::Istore,
