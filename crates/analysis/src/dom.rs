@@ -1,0 +1,451 @@
+//! Dominators, post-dominators and loop nesting per method.
+//!
+//! Iterative dataflow in the Cooper–Harvey–Kennedy style over the
+//! basic-block CFGs of `jportal-cfg`: immediate dominators are computed
+//! by intersecting predecessor dominators in reverse post-order until a
+//! fixpoint (a handful of passes on reducible bytecode CFGs).
+//! Post-dominators run the same engine on the reversed graph with a
+//! materialized virtual exit joining every exit block. Natural loops are
+//! derived from back edges `u → h` where `h` dominates `u`, with bodies
+//! collected by the classic backward walk and per-block nesting depth.
+
+use jportal_cfg::{BlockId, Cfg};
+
+/// Generic iterative immediate-dominator computation.
+///
+/// `n` nodes, one `root`, successor lists per node. Returns
+/// `idom[v]` (`idom[root] == root`); nodes unreachable from the root get
+/// `None`.
+fn compute_idoms(n: usize, root: usize, succs: &[Vec<usize>]) -> Vec<Option<usize>> {
+    // Reverse post-order from the root.
+    let mut rpo: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        visited[root] = true;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < succs[v].len() {
+                let s = succs[v][*next];
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                rpo.push(v);
+                stack.pop();
+            }
+        }
+        rpo.reverse();
+    }
+    let mut order = vec![usize::MAX; n];
+    for (i, &v) in rpo.iter().enumerate() {
+        order[v] = i;
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &v in &rpo {
+        for &s in &succs[v] {
+            if order[s] != usize::MAX {
+                preds[s].push(v);
+            }
+        }
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+    let intersect = |idom: &[Option<usize>], order: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while order[a] > order[b] {
+                a = idom[a].expect("processed node");
+            }
+            while order[b] > order[a] {
+                b = idom[b].expect("processed node");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[v] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, cur, p),
+                });
+            }
+            if new_idom.is_some() && idom[v] != new_idom {
+                idom[v] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// Immediate-dominator tree of one method's CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]`: immediate dominator (entry maps to itself); `None` for
+    /// blocks unreachable from the entry.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators over `cfg`'s entry-rooted graph.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.block_count();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, block) in cfg.blocks() {
+            for &(s, _) in &block.succs {
+                if !succs[id.index()].contains(&s.index()) {
+                    succs[id.index()].push(s.index());
+                }
+            }
+        }
+        let idom = compute_idoms(n, cfg.entry().index(), &succs);
+        Dominators {
+            idom: idom.iter().map(|o| o.map(|i| BlockId(i as u32))).collect(),
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+
+    /// `true` if `a` dominates `b` (reflexively). Unreachable blocks are
+    /// dominated by nothing and dominate nothing (except themselves).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut cur = b;
+        while let Some(d) = self.idom[cur.index()] {
+            if d == cur {
+                return false; // reached the entry
+            }
+            if d == a {
+                return true;
+            }
+            cur = d;
+        }
+        false
+    }
+
+    /// `true` if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+}
+
+/// Immediate post-dominator tree (dominators of the reversed CFG rooted
+/// at a virtual exit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostDominators {
+    /// `ipdom[b]`: immediate post-dominator; `None` when the virtual exit
+    /// is the immediate post-dominator (exit blocks) **or** the block
+    /// cannot reach any exit.
+    ipdom: Vec<Option<BlockId>>,
+    /// Whether each block reaches an exit at all.
+    reaches_exit: Vec<bool>,
+}
+
+impl PostDominators {
+    /// Computes post-dominators over `cfg`.
+    pub fn compute(cfg: &Cfg) -> PostDominators {
+        let n = cfg.block_count();
+        // Virtual exit node: index n on the reversed graph, where
+        // succ'(v) = preds(v) and succ'(exit) = the exit blocks.
+        let exit = n;
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (id, block) in cfg.blocks() {
+            for &p in &block.preds {
+                if !succs[id.index()].contains(&p.index()) {
+                    succs[id.index()].push(p.index());
+                }
+            }
+            if block.succs.is_empty() {
+                succs[exit].push(id.index());
+            }
+        }
+        let idom = compute_idoms(n + 1, exit, &succs);
+        PostDominators {
+            ipdom: idom[..n]
+                .iter()
+                .map(|o| match o {
+                    Some(i) if *i < n => Some(BlockId(*i as u32)),
+                    _ => None,
+                })
+                .collect(),
+            reaches_exit: idom[..n].iter().map(|o| o.is_some()).collect(),
+        }
+    }
+
+    /// The immediate post-dominator of `b`, when it is a real block.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+
+    /// `true` if `a` post-dominates `b` (reflexively): every path from
+    /// `b` to an exit passes through `a`.
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        if !self.reaches_exit[b.index()] {
+            return false;
+        }
+        let mut cur = b;
+        while let Some(d) = self.ipdom[cur.index()] {
+            if d == a {
+                return true;
+            }
+            cur = d;
+        }
+        false
+    }
+
+    /// `true` if `b` can reach an exit block.
+    pub fn reaches_exit(&self, b: BlockId) -> bool {
+        self.reaches_exit[b.index()]
+    }
+}
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Sources of back edges into the header.
+    pub back_from: Vec<BlockId>,
+    /// All blocks in the loop body (including the header), sorted.
+    pub body: Vec<BlockId>,
+}
+
+/// Loop nesting structure of one method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Loops, one per distinct header, sorted by header id.
+    pub loops: Vec<NaturalLoop>,
+    /// Per-block nesting depth (0 = not in any loop).
+    depth: Vec<u32>,
+}
+
+impl LoopNest {
+    /// Derives loops from back edges `u → h` with `h` dominating `u`.
+    pub fn compute(cfg: &Cfg, doms: &Dominators) -> LoopNest {
+        let n = cfg.block_count();
+        // Collect back edges grouped by header.
+        let mut by_header: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (id, block) in cfg.blocks() {
+            for &(s, _) in &block.succs {
+                if doms.dominates(s, id) && !by_header[s.index()].contains(&id) {
+                    by_header[s.index()].push(id);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        let mut depth = vec![0u32; n];
+        for h in 0..n {
+            if by_header[h].is_empty() {
+                continue;
+            }
+            let header = BlockId(h as u32);
+            // Natural-loop body: backward walk from the back-edge sources
+            // until the header.
+            let mut in_body = vec![false; n];
+            in_body[h] = true;
+            let mut stack: Vec<BlockId> = by_header[h].clone();
+            while let Some(b) = stack.pop() {
+                if in_body[b.index()] {
+                    continue;
+                }
+                in_body[b.index()] = true;
+                for &p in &cfg.block(b).preds {
+                    if !in_body[p.index()] {
+                        stack.push(p);
+                    }
+                }
+            }
+            let body: Vec<BlockId> = (0..n)
+                .filter(|&i| in_body[i])
+                .map(|i| BlockId(i as u32))
+                .collect();
+            for b in &body {
+                depth[b.index()] += 1;
+            }
+            loops.push(NaturalLoop {
+                header,
+                back_from: by_header[h].clone(),
+                body,
+            });
+        }
+        LoopNest { loops, depth }
+    }
+
+    /// Nesting depth of a block (0 = outside all loops).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// The innermost loop containing `b`, if any (smallest body wins).
+    pub fn innermost(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.body.binary_search(&b).is_ok())
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{Bci, CmpKind, Instruction as I, Program};
+
+    fn build(f: impl FnOnce(&mut jportal_bytecode::builder::MethodBuilder<'_>)) -> (Program, Cfg) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        f(&mut m);
+        let id = m.finish();
+        let p = pb.finish_with_entry(id).unwrap();
+        let cfg = Cfg::build(p.method(id));
+        (p, cfg)
+    }
+
+    /// Diamond: entry → {then, else} → join.
+    fn diamond() -> (Program, Cfg) {
+        build(|m| {
+            let els = m.label();
+            let join = m.label();
+            m.emit(I::Iconst(1));
+            m.branch_if(CmpKind::Eq, els);
+            m.emit(I::Nop);
+            m.jump(join);
+            m.bind(els);
+            m.emit(I::Nop);
+            m.bind(join);
+            m.emit(I::Return);
+        })
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let (_, cfg) = diamond();
+        let doms = Dominators::compute(&cfg);
+        let entry = cfg.entry();
+        let then_b = cfg.block_of(Bci(2));
+        let else_b = cfg.block_of(Bci(4));
+        let join = cfg.block_of(Bci(5));
+        assert!(doms.dominates(entry, join));
+        assert!(!doms.dominates(then_b, join), "join has two predecessors");
+        assert!(!doms.dominates(else_b, join));
+        assert_eq!(doms.idom(join), Some(entry));
+        assert_eq!(doms.idom(entry), None);
+    }
+
+    #[test]
+    fn diamond_post_dominance() {
+        let (_, cfg) = diamond();
+        let pdoms = PostDominators::compute(&cfg);
+        let entry = cfg.entry();
+        let then_b = cfg.block_of(Bci(2));
+        let join = cfg.block_of(Bci(5));
+        assert!(pdoms.post_dominates(join, entry));
+        assert!(pdoms.post_dominates(join, then_b));
+        assert!(!pdoms.post_dominates(then_b, entry));
+        assert_eq!(pdoms.ipdom(then_b), Some(join));
+        assert_eq!(pdoms.ipdom(join), None, "join exits to the virtual exit");
+    }
+
+    #[test]
+    fn loop_nest_depth_and_body() {
+        // for(i=10; i>0; i--) { body }
+        let (_, cfg) = build(|m| {
+            let head = m.label();
+            let exit = m.label();
+            m.emit(I::Iconst(10));
+            m.emit(I::Istore(0));
+            m.bind(head);
+            m.emit(I::Iload(0));
+            m.branch_if(CmpKind::Le, exit);
+            m.emit(I::Iinc(0, -1));
+            m.jump(head);
+            m.bind(exit);
+            m.emit(I::Return);
+        });
+        let doms = Dominators::compute(&cfg);
+        let loops = LoopNest::compute(&cfg, &doms);
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        assert_eq!(l.header, cfg.block_of(Bci(2)));
+        let body_blk = cfg.block_of(Bci(4));
+        assert!(l.body.contains(&body_blk));
+        assert_eq!(loops.depth(body_blk), 1);
+        assert_eq!(loops.depth(cfg.block_of(Bci(6))), 0, "exit block");
+        assert!(loops.innermost(body_blk).is_some());
+        assert!(loops.innermost(cfg.block_of(Bci(6))).is_none());
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let (_, cfg) = build(|m| {
+            let outer = m.label();
+            let inner = m.label();
+            let inner_exit = m.label();
+            let exit = m.label();
+            m.emit(I::Iconst(3));
+            m.emit(I::Istore(0));
+            m.bind(outer);
+            m.emit(I::Iconst(3));
+            m.emit(I::Istore(1));
+            m.bind(inner);
+            m.emit(I::Iload(1));
+            m.branch_if(CmpKind::Le, inner_exit);
+            m.emit(I::Iinc(1, -1));
+            m.jump(inner);
+            m.bind(inner_exit);
+            m.emit(I::Iload(0));
+            m.branch_if(CmpKind::Le, exit);
+            m.emit(I::Iinc(0, -1));
+            m.jump(outer);
+            m.bind(exit);
+            m.emit(I::Return);
+        });
+        let doms = Dominators::compute(&cfg);
+        let loops = LoopNest::compute(&cfg, &doms);
+        assert_eq!(loops.loops.len(), 2);
+        // The inner loop's increment block is nested twice.
+        let inner_inc = cfg.block_of(Bci(6));
+        assert_eq!(loops.depth(inner_inc), 2);
+        let inner = loops.innermost(inner_inc).unwrap();
+        assert_eq!(inner.header, cfg.block_of(Bci(4)));
+    }
+
+    #[test]
+    fn straight_line_trivial_facts() {
+        let (_, cfg) = build(|m| {
+            m.emit(I::Iconst(1));
+            m.emit(I::Pop);
+            m.emit(I::Return);
+        });
+        let doms = Dominators::compute(&cfg);
+        let pdoms = PostDominators::compute(&cfg);
+        let loops = LoopNest::compute(&cfg, &doms);
+        let e = cfg.entry();
+        assert!(doms.dominates(e, e));
+        assert!(doms.is_reachable(e));
+        assert!(pdoms.reaches_exit(e));
+        assert!(loops.loops.is_empty());
+    }
+}

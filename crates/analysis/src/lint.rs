@@ -1,0 +1,562 @@
+//! Trace-feasibility linter.
+//!
+//! Replays a reconstructed (or recovered) bytecode sequence against the
+//! ICFG and a call-stack abstraction, reporting every way the sequence
+//! could not have been produced by a real execution:
+//!
+//! * [`LintKind::OpMismatch`] — a located step's recorded operation kind
+//!   disagrees with the instruction at its `(method, bci)`;
+//! * [`LintKind::MissingEdge`] — two consecutively located steps have no
+//!   ICFG edge between them;
+//! * [`LintKind::BranchContradiction`] — an edge exists, but none whose
+//!   kind is compatible with the branch direction recorded at the source
+//!   (e.g. the trace says *not taken* yet lands on the taken target);
+//! * [`LintKind::UnmatchedReturn`] — a return is taken from a method
+//!   while the innermost pending call went to a *different* method (a
+//!   skipped or interleaved return).
+//!
+//! The linter is deliberately *seam-aware*: reconstruction restarts after
+//! unmatched events, and recovery splices independently-searched fills
+//! between segments. Consecutive steps across such a seam carry no
+//! adjacency guarantee, so the producer marks them with
+//! [`LintStep::boundary`] and the linter resets its edge and call-stack
+//! state there instead of reporting false violations. Within one matched
+//! run, adjacency **is** guaranteed by NFA construction, so any violation
+//! reported here indicates a genuine reconstruction defect (or a corrupted
+//! input trace).
+//!
+//! The call-stack abstraction is context-sensitive where the ICFG is not:
+//! a `Call` edge pushes a frame recording the callee and the caller's
+//! continuation, a `Return` edge must pop a frame whose *callee* is the
+//! returning method, and an `Exception` edge into a different method
+//! unwinds intervening frames. An empty stack matches anything (the
+//! prefix before the first observed call is unknown).
+//!
+//! The return check deliberately compares *methods*, not continuation
+//! nodes: when op-identical methods are reachable from several call
+//! sites, the projector's choice among them is arbitrary, so a return
+//! landing on a sibling site's continuation is a relocation artifact,
+//! not an infeasibility. A return taken from a method that is not the
+//! innermost pending callee, however, has no feasible interpretation.
+
+use jportal_bytecode::{Bci, MethodId, OpKind, Program};
+use jportal_cfg::{BranchDir, EdgeKind, Icfg, NodeId};
+use std::fmt;
+
+/// One event of the sequence under lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintStep {
+    /// ICFG node the event was located at (`None` if reconstruction left
+    /// it unplaced).
+    pub node: Option<NodeId>,
+    /// Operation kind recorded for the event.
+    pub op: OpKind,
+    /// Branch direction recorded for the event (constrains the outgoing
+    /// edge towards the next step).
+    pub dir: BranchDir,
+    /// `true` when no ICFG edge is guaranteed from the previous step:
+    /// segment starts, projection restarts and recovery splice seams.
+    pub boundary: bool,
+}
+
+impl LintStep {
+    /// A located step with unknown branch direction and no seam.
+    pub fn at(node: NodeId, op: OpKind) -> LintStep {
+        LintStep {
+            node: Some(node),
+            op,
+            dir: BranchDir::Unknown,
+            boundary: false,
+        }
+    }
+
+    /// Marks this step as following a seam.
+    pub fn seam(mut self) -> LintStep {
+        self.boundary = true;
+        self
+    }
+
+    /// Sets the recorded branch direction.
+    pub fn with_dir(mut self, dir: BranchDir) -> LintStep {
+        self.dir = dir;
+        self
+    }
+}
+
+/// The class of feasibility violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// Recorded op kind ≠ instruction at the located `(method, bci)`.
+    OpMismatch,
+    /// No ICFG edge between consecutive located steps.
+    MissingEdge,
+    /// Edges exist but none compatible with the recorded direction.
+    BranchContradiction,
+    /// Return taken from a method other than the innermost pending
+    /// call's callee.
+    UnmatchedReturn,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintKind::OpMismatch => "op-mismatch",
+            LintKind::MissingEdge => "missing-edge",
+            LintKind::BranchContradiction => "branch-contradiction",
+            LintKind::UnmatchedReturn => "unmatched-return",
+        })
+    }
+}
+
+/// One feasibility violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// Violation class.
+    pub kind: LintKind,
+    /// Index of the offending step in the linted sequence.
+    pub index: usize,
+    /// Location of the preceding located step, when the violation is
+    /// about the transition into this step.
+    pub from: Option<(MethodId, Bci)>,
+    /// Location of the offending step.
+    pub at: (MethodId, Bci),
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] step {}: {}", self.kind, self.index, self.detail)
+    }
+}
+
+/// Aggregated diagnostic counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LintSummary {
+    /// Count of [`LintKind::OpMismatch`].
+    pub op_mismatch: usize,
+    /// Count of [`LintKind::MissingEdge`].
+    pub missing_edge: usize,
+    /// Count of [`LintKind::BranchContradiction`].
+    pub branch_contradiction: usize,
+    /// Count of [`LintKind::UnmatchedReturn`].
+    pub unmatched_return: usize,
+}
+
+impl LintSummary {
+    /// Tallies a diagnostic list.
+    pub fn of(diagnostics: &[LintDiagnostic]) -> LintSummary {
+        let mut s = LintSummary::default();
+        for d in diagnostics {
+            match d.kind {
+                LintKind::OpMismatch => s.op_mismatch += 1,
+                LintKind::MissingEdge => s.missing_edge += 1,
+                LintKind::BranchContradiction => s.branch_contradiction += 1,
+                LintKind::UnmatchedReturn => s.unmatched_return += 1,
+            }
+        }
+        s
+    }
+
+    /// Folds another summary into this one (commutative, associative).
+    pub fn merge(&mut self, other: &LintSummary) {
+        self.op_mismatch += other.op_mismatch;
+        self.missing_edge += other.missing_edge;
+        self.branch_contradiction += other.branch_contradiction;
+        self.unmatched_return += other.unmatched_return;
+    }
+
+    /// Total diagnostics across all kinds.
+    pub fn total(&self) -> usize {
+        self.op_mismatch + self.missing_edge + self.branch_contradiction + self.unmatched_return
+    }
+
+    /// `true` when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl fmt::Display for LintSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} diagnostics (op-mismatch {}, missing-edge {}, branch-contradiction {}, unmatched-return {})",
+            self.total(),
+            self.op_mismatch,
+            self.missing_edge,
+            self.branch_contradiction,
+            self.unmatched_return
+        )
+    }
+}
+
+/// One pending call on the abstract stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    /// Method the call entered.
+    callee: MethodId,
+    /// Caller's continuation node (used to locate the caller's frame
+    /// during exception unwinding).
+    cont: NodeId,
+}
+
+/// Replays `steps` against the ICFG and reports every violation.
+pub fn lint_steps(program: &Program, icfg: &Icfg, steps: &[LintStep]) -> Vec<LintDiagnostic> {
+    let mut out = Vec::new();
+    // Last located step (node + its recorded direction); `None` after a
+    // seam or an unplaced event.
+    let mut prev: Option<(NodeId, BranchDir)> = None;
+    // Frames pushed by observed calls. Empty = unknown prefix.
+    let mut stack: Vec<Frame> = Vec::new();
+
+    for (i, step) in steps.iter().enumerate() {
+        if step.boundary {
+            prev = None;
+            stack.clear();
+        }
+        let Some(node) = step.node else {
+            // An unplaced event breaks edge adjacency; if it could have
+            // changed the call stack, the stack is no longer trustworthy.
+            prev = None;
+            if matches!(
+                step.op,
+                OpKind::InvokeStatic
+                    | OpKind::InvokeVirtual
+                    | OpKind::Return
+                    | OpKind::Ireturn
+                    | OpKind::Areturn
+                    | OpKind::Athrow
+            ) {
+                stack.clear();
+            }
+            continue;
+        };
+        let at = icfg.location(node);
+        let insn_op = program.method(at.0).code[at.1.index()].op_kind();
+        if insn_op != step.op {
+            out.push(LintDiagnostic {
+                kind: LintKind::OpMismatch,
+                index: i,
+                from: None,
+                at,
+                detail: format!(
+                    "recorded op `{}` but instruction at {:?}:{} is `{}`",
+                    step.op, at.0, at.1 .0, insn_op
+                ),
+            });
+        }
+
+        if let Some((p, p_dir)) = prev {
+            let from = icfg.location(p);
+            let to_edges: Vec<EdgeKind> = icfg
+                .edges(p)
+                .iter()
+                .filter(|e| e.to == node)
+                .map(|e| e.kind)
+                .collect();
+            if to_edges.is_empty() {
+                out.push(LintDiagnostic {
+                    kind: LintKind::MissingEdge,
+                    index: i,
+                    from: Some(from),
+                    at,
+                    detail: format!(
+                        "no ICFG edge from {:?}:{} to {:?}:{}",
+                        from.0, from.1 .0, at.0, at.1 .0
+                    ),
+                });
+            } else {
+                let taken = to_edges.iter().copied().find(|k| k.compatible_with(p_dir));
+                match taken {
+                    None => out.push(LintDiagnostic {
+                        kind: LintKind::BranchContradiction,
+                        index: i,
+                        from: Some(from),
+                        at,
+                        detail: format!(
+                            "edge(s) {:?} from {:?}:{} exist but none compatible with direction `{}`",
+                            to_edges, from.0, from.1 .0, p_dir
+                        ),
+                    }),
+                    Some(EdgeKind::Call) => {
+                        // Push the callee and the caller's continuation:
+                        // the instruction after the invoke (verified code
+                        // never ends on an invoke, so `next()` is in
+                        // range).
+                        stack.push(Frame {
+                            callee: icfg.method_of(node),
+                            cont: icfg.node(from.0, from.1.next()),
+                        });
+                    }
+                    Some(EdgeKind::Return) => match stack.last() {
+                        Some(&f) if f.callee != from.0 => {
+                            out.push(LintDiagnostic {
+                                kind: LintKind::UnmatchedReturn,
+                                index: i,
+                                from: Some(from),
+                                at,
+                                detail: format!(
+                                    "return from {:?} but the innermost pending call went to {:?}",
+                                    from.0, f.callee
+                                ),
+                            });
+                            // Resync: if a deeper pending call did enter
+                            // the returning method, unwind through it;
+                            // otherwise the stack is unreliable — forget
+                            // it.
+                            match stack.iter().rposition(|f| f.callee == from.0) {
+                                Some(pos) => stack.truncate(pos),
+                                None => stack.clear(),
+                            }
+                        }
+                        Some(_) => {
+                            stack.pop();
+                        }
+                        // Empty stack: returning out of the unknown
+                        // prefix — nothing to check.
+                        None => {}
+                    },
+                    Some(EdgeKind::Exception) => {
+                        // An exception edge into another method unwinds
+                        // every frame above the handler's.
+                        let hm = at.0;
+                        if hm != from.0 {
+                            while let Some(f) = stack.pop() {
+                                if icfg.method_of(f.cont) == hm {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        prev = Some((node, step.dir));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I};
+
+    /// main: iconst; invokestatic callee; pop; invokestatic callee; pop;
+    /// if; nop; return — with callee: iconst; ireturn.
+    fn program() -> (Program, MethodId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut f = pb.method(c, "callee", 0, true);
+        f.emit(I::Iconst(7));
+        f.emit(I::Ireturn);
+        let callee = f.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        let skip = m.label();
+        m.emit(I::InvokeStatic(callee)); // 0
+        m.emit(I::Pop); // 1
+        m.emit(I::InvokeStatic(callee)); // 2
+        m.emit(I::Pop); // 3
+        m.emit(I::Iconst(0)); // 4
+        m.branch_if(CmpKind::Eq, skip); // 5
+        m.emit(I::Nop); // 6
+        m.bind(skip);
+        m.emit(I::Return); // 7
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        (p, main, callee)
+    }
+
+    use jportal_bytecode::Program;
+
+    fn step(p: &Program, icfg: &Icfg, m: MethodId, bci: u32) -> LintStep {
+        let node = icfg.node(m, Bci(bci));
+        LintStep::at(node, p.method(m).code[bci as usize].op_kind())
+    }
+
+    #[test]
+    fn clean_call_return_sequence() {
+        let (p, main, callee) = program();
+        let icfg = Icfg::build(&p);
+        let steps = vec![
+            step(&p, &icfg, main, 0),
+            step(&p, &icfg, callee, 0),
+            step(&p, &icfg, callee, 1),
+            step(&p, &icfg, main, 1),
+            step(&p, &icfg, main, 2),
+            step(&p, &icfg, callee, 0),
+            step(&p, &icfg, callee, 1),
+            step(&p, &icfg, main, 3),
+            step(&p, &icfg, main, 4),
+            step(&p, &icfg, main, 5).with_dir(BranchDir::Taken),
+            step(&p, &icfg, main, 7),
+        ];
+        let diags = lint_steps(&p, &icfg, &steps);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(LintSummary::of(&diags).is_clean());
+    }
+
+    #[test]
+    fn missing_edge_detected() {
+        let (p, main, _) = program();
+        let icfg = Icfg::build(&p);
+        // pop(1) cannot jump to iconst(4).
+        let steps = vec![step(&p, &icfg, main, 1), step(&p, &icfg, main, 4)];
+        let diags = lint_steps(&p, &icfg, &steps);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::MissingEdge);
+        assert_eq!(diags[0].index, 1);
+    }
+
+    #[test]
+    fn seam_suppresses_missing_edge() {
+        let (p, main, _) = program();
+        let icfg = Icfg::build(&p);
+        let steps = vec![
+            step(&p, &icfg, main, 1),
+            step(&p, &icfg, main, 4).seam(),
+            step(&p, &icfg, main, 5),
+        ];
+        assert!(lint_steps(&p, &icfg, &steps).is_empty());
+    }
+
+    #[test]
+    fn op_mismatch_detected() {
+        let (p, main, _) = program();
+        let icfg = Icfg::build(&p);
+        let mut s = step(&p, &icfg, main, 4);
+        s.op = OpKind::Nop; // recorded op disagrees with iconst at bci 4
+        let diags = lint_steps(&p, &icfg, &[s]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::OpMismatch);
+    }
+
+    #[test]
+    fn branch_contradiction_detected() {
+        let (p, main, _) = program();
+        let icfg = Icfg::build(&p);
+        // Direction says fall-through, but the next step is the taken
+        // target (bci 7, skipping the nop at 6).
+        let steps = vec![
+            step(&p, &icfg, main, 5).with_dir(BranchDir::NotTaken),
+            step(&p, &icfg, main, 7),
+        ];
+        let diags = lint_steps(&p, &icfg, &steps);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::BranchContradiction);
+    }
+
+    #[test]
+    fn sibling_continuation_return_is_not_flagged() {
+        let (p, main, callee) = program();
+        let icfg = Icfg::build(&p);
+        // Call located at site bci 0 but return located at the
+        // continuation of the sibling site bci 2: with op-identical call
+        // sites the projector's site choice is arbitrary, so this is a
+        // relocation artifact, not an infeasibility.
+        let steps = vec![
+            step(&p, &icfg, main, 0),
+            step(&p, &icfg, callee, 0),
+            step(&p, &icfg, callee, 1),
+            step(&p, &icfg, main, 3),
+        ];
+        assert!(lint_steps(&p, &icfg, &steps).is_empty());
+    }
+
+    /// main: invoke f; pop; invoke g; pop; return — f and g both
+    /// `iconst; ireturn`.
+    fn two_callees() -> (Program, MethodId, MethodId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut fb = pb.method(c, "f", 0, true);
+        fb.emit(I::Iconst(1));
+        fb.emit(I::Ireturn);
+        let f = fb.finish();
+        let mut gb = pb.method(c, "g", 0, true);
+        gb.emit(I::Iconst(2));
+        gb.emit(I::Ireturn);
+        let g = gb.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::InvokeStatic(f)); // 0
+        m.emit(I::Pop); // 1
+        m.emit(I::InvokeStatic(g)); // 2
+        m.emit(I::Pop); // 3
+        m.emit(I::Return); // 4
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        (p, main, f, g)
+    }
+
+    #[test]
+    fn unmatched_return_detected() {
+        let (p, main, f, g) = two_callees();
+        let icfg = Icfg::build(&p);
+        // The call enters f, an unplaced event hides a transfer, and the
+        // trace then returns *from g* while f's call is still the
+        // innermost pending frame — no execution can do that.
+        let mut unplaced = step(&p, &icfg, main, 1);
+        unplaced.node = None;
+        unplaced.op = OpKind::Goto;
+        let steps = vec![
+            step(&p, &icfg, main, 0),
+            step(&p, &icfg, f, 0),
+            unplaced,
+            step(&p, &icfg, g, 1),
+            step(&p, &icfg, main, 3),
+        ];
+        let diags = lint_steps(&p, &icfg, &steps);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::UnmatchedReturn);
+        assert_eq!(diags[0].index, 4);
+    }
+
+    #[test]
+    fn return_out_of_unknown_prefix_is_clean() {
+        let (p, main, callee) = program();
+        let icfg = Icfg::build(&p);
+        // Start mid-execution inside the callee: the return pops an empty
+        // stack, which is fine.
+        let steps = vec![
+            step(&p, &icfg, callee, 0),
+            step(&p, &icfg, callee, 1),
+            step(&p, &icfg, main, 1),
+        ];
+        assert!(lint_steps(&p, &icfg, &steps).is_empty());
+    }
+
+    #[test]
+    fn unplaced_call_invalidates_stack_but_not_edges() {
+        let (p, main, callee) = program();
+        let icfg = Icfg::build(&p);
+        let mut unplaced = step(&p, &icfg, main, 2);
+        unplaced.node = None;
+        // Call at 0 pushes continuation 1; the unplaced invoke wipes the
+        // stack, so the later "wrong" return is not reported.
+        let steps = vec![
+            step(&p, &icfg, main, 0),
+            step(&p, &icfg, callee, 0),
+            step(&p, &icfg, callee, 1),
+            step(&p, &icfg, main, 1),
+            unplaced,
+            step(&p, &icfg, callee, 0).seam(),
+            step(&p, &icfg, callee, 1),
+            step(&p, &icfg, main, 1),
+        ];
+        assert!(lint_steps(&p, &icfg, &steps).is_empty());
+    }
+
+    #[test]
+    fn summary_tallies_by_kind() {
+        let (p, main, _) = program();
+        let icfg = Icfg::build(&p);
+        let steps = vec![step(&p, &icfg, main, 1), step(&p, &icfg, main, 4)];
+        let diags = lint_steps(&p, &icfg, &steps);
+        let s = LintSummary::of(&diags);
+        assert_eq!(s.missing_edge, 1);
+        assert_eq!(s.total(), 1);
+        assert!(!s.is_clean());
+        assert!(s.to_string().contains("missing-edge 1"));
+    }
+}

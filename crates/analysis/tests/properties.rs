@@ -1,0 +1,215 @@
+//! Property-based tests for the static-analysis layer.
+//!
+//! * Dominators and post-dominators agree with a naive
+//!   reachability-removal oracle on small random CFGs.
+//! * RTA refinement is always a subset of CHA and never drops a virtual
+//!   target the ground-truth execution actually dispatched to.
+
+use proptest::prelude::*;
+
+use jportal_analysis::{Dominators, LoopNest, PostDominators, Rta};
+use jportal_bytecode::builder::ProgramBuilder;
+use jportal_bytecode::{CmpKind, Instruction as I, Program};
+use jportal_cfg::{BlockId, Cfg};
+use jportal_jvm::Jvm;
+use jportal_workloads::all_workloads;
+
+/// A random but verifiable single-method program with forward **and**
+/// backward branches (loops), keeping the operand stack empty at every
+/// block boundary so verification always passes.
+fn arb_cfg_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec((0usize..3, any::<u8>()), 2..8).prop_map(|blocks| {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("P", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.reserve_locals(1);
+        let labels: Vec<_> = (0..blocks.len()).map(|_| m.label()).collect();
+        let end = m.label();
+        for (bi, &(variant, pick)) in blocks.iter().enumerate() {
+            m.bind(labels[bi]);
+            // Branch target anywhere, including backwards (loops).
+            let target = labels
+                .get(pick as usize % (blocks.len() + 1))
+                .copied()
+                .unwrap_or(end);
+            match variant {
+                0 => {
+                    // Conditional: may loop back, falls through otherwise.
+                    m.emit(I::Iload(0));
+                    m.branch_if(CmpKind::Eq, target);
+                }
+                1 => {
+                    m.jump(target);
+                }
+                _ => {
+                    m.emit(I::Iinc(0, 1));
+                }
+            }
+        }
+        m.bind(end);
+        m.emit(I::Return);
+        let id = m.finish();
+        pb.finish_with_entry(id).unwrap()
+    })
+}
+
+/// Blocks reachable from `from`, optionally treating `removed` as absent.
+fn reachable_from(cfg: &Cfg, from: BlockId, removed: Option<BlockId>) -> Vec<bool> {
+    let mut seen = vec![false; cfg.block_count()];
+    if Some(from) == removed {
+        return seen;
+    }
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(b) = stack.pop() {
+        for &(s, _) in &cfg.block(b).succs {
+            if Some(s) != removed && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` if `from` can reach some exit block avoiding `removed`.
+fn reaches_exit_avoiding(cfg: &Cfg, from: BlockId, removed: Option<BlockId>) -> bool {
+    let seen = reachable_from(cfg, from, removed);
+    cfg.blocks()
+        .any(|(id, b)| b.succs.is_empty() && seen[id.index()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `a` dominates `b` iff removing `a` cuts `b` off from the entry.
+    #[test]
+    fn dominators_match_reachability_oracle(p in arb_cfg_program()) {
+        let cfg = Cfg::build(p.method(p.entry()));
+        let doms = Dominators::compute(&cfg);
+        let from_entry = reachable_from(&cfg, cfg.entry(), None);
+        for (a, _) in cfg.blocks() {
+            for (b, _) in cfg.blocks() {
+                if !from_entry[b.index()] {
+                    // Unreachable blocks are dominated by themselves only.
+                    prop_assert_eq!(doms.dominates(a, b), a == b);
+                    continue;
+                }
+                let cut = a == b || !reachable_from(&cfg, cfg.entry(), Some(a))[b.index()];
+                prop_assert_eq!(
+                    doms.dominates(a, b),
+                    cut,
+                    "dominates({:?}, {:?})",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    /// `a` post-dominates `b` iff removing `a` cuts `b` off from every
+    /// exit (for `b` that reach an exit at all).
+    #[test]
+    fn post_dominators_match_reachability_oracle(p in arb_cfg_program()) {
+        let cfg = Cfg::build(p.method(p.entry()));
+        let pdoms = PostDominators::compute(&cfg);
+        for (a, _) in cfg.blocks() {
+            for (b, _) in cfg.blocks() {
+                if !reaches_exit_avoiding(&cfg, b, None) {
+                    prop_assert!(!pdoms.post_dominates(a, b) || a == b);
+                    continue;
+                }
+                let cut = a == b || !reaches_exit_avoiding(&cfg, b, Some(a));
+                prop_assert_eq!(
+                    pdoms.post_dominates(a, b),
+                    cut,
+                    "post_dominates({:?}, {:?})",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    /// Every reported loop is headed by a block dominating all its back
+    /// edges, bodies contain their headers, and depth is consistent.
+    #[test]
+    fn loop_nest_is_consistent(p in arb_cfg_program()) {
+        let cfg = Cfg::build(p.method(p.entry()));
+        let doms = Dominators::compute(&cfg);
+        let loops = LoopNest::compute(&cfg, &doms);
+        for l in &loops.loops {
+            prop_assert!(l.body.contains(&l.header));
+            for &u in &l.back_from {
+                prop_assert!(doms.dominates(l.header, u));
+                prop_assert!(l.body.contains(&u));
+            }
+            for &b in &l.body {
+                prop_assert!(loops.depth(b) >= 1);
+            }
+        }
+        for (b, _) in cfg.blocks() {
+            let containing = loops
+                .loops
+                .iter()
+                .filter(|l| l.body.contains(&b))
+                .count() as u32;
+            prop_assert_eq!(loops.depth(b), containing);
+        }
+    }
+}
+
+/// RTA-refined target sets are subsets of CHA on every virtual site of
+/// every seed workload, and never drop a target the ground-truth run
+/// actually dispatched to.
+#[test]
+fn rta_subset_of_cha_and_keeps_truth_targets() {
+    for w in all_workloads(1) {
+        let rta = Rta::analyze(&w.program);
+        // Subset property, at every virtual site of the program.
+        for (mid, method) in w.program.methods() {
+            for (bci, insn) in method.code.iter().enumerate() {
+                if let I::InvokeVirtual { declared_in, slot } = insn {
+                    let cha = w.program.virtual_targets(*declared_in, *slot);
+                    let refined = jportal_cfg::CallTargetResolver::virtual_targets(
+                        &rta,
+                        (mid, jportal_bytecode::Bci(bci as u32)),
+                        *declared_in,
+                        *slot,
+                    );
+                    assert!(
+                        refined.iter().all(|t| cha.contains(t)),
+                        "{}: refined ⊄ CHA at {:?}:{}",
+                        w.name,
+                        mid,
+                        bci
+                    );
+                }
+            }
+        }
+        // Retention property, against the ground-truth execution.
+        let result = Jvm::default().run_threads(&w.program, &w.threads);
+        assert!(result.thread_errors.is_empty(), "{} run failed", w.name);
+        for t in result.truth.threads() {
+            let trace = result.truth.trace(t);
+            for pair in trace.windows(2) {
+                let (e1, e2) = (&pair[0], &pair[1]);
+                let insn = &w.program.method(e1.method).code[e1.bci.index()];
+                if let I::InvokeVirtual { declared_in, slot } = insn {
+                    // The next event after a dispatch is the callee entry.
+                    if e2.bci.0 == 0 && e2.method != e1.method {
+                        let refined = rta.refined_targets(*declared_in, *slot);
+                        assert!(
+                            refined.contains(&e2.method),
+                            "{}: RTA dropped truth-taken target {:?} at {:?}:{}",
+                            w.name,
+                            e2.method,
+                            e1.method,
+                            e1.bci.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -30,6 +30,7 @@ fn lossy_segments() -> (jportal_bytecode::Program, Vec<SegmentView>) {
             let d = decode_segment(&w.program, &r.archive, rs);
             SegmentView {
                 nodes: vec![None; d.events.len()],
+                breaks: Vec::new(),
                 events: d.events,
                 loss_before: d.loss_before,
             }

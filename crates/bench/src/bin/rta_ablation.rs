@@ -1,0 +1,144 @@
+//! RTA devirtualization ablation — what the static-analysis layer buys
+//! the reconstruction pipeline.
+//!
+//! For each virtual-call-heavy subject, builds the ICFG with CHA call
+//! edges and with RTA-refined call edges, then runs the full offline
+//! pipeline both ways and reports:
+//!
+//! * ICFG size (nodes, total edges, call edges);
+//! * ANFA construction time (the NFA states are the ICFG nodes, so edge
+//!   pruning is state-transition pruning);
+//! * projection nondeterminism (candidate start states the matcher had
+//!   to try, and how many the abstract filter pruned);
+//! * reconstruction wall time and end-to-end accuracy.
+//!
+//! ```sh
+//! cargo run --release -p jportal-bench --bin rta_ablation
+//! ```
+
+use std::time::Instant;
+
+use jportal_analysis::Rta;
+use jportal_bench::harness::{jvm_config, row, EVAL_SCALE};
+use jportal_cfg::abs::AbstractNfa;
+use jportal_cfg::Icfg;
+use jportal_core::accuracy::overall_accuracy;
+use jportal_core::{JPortal, JPortalConfig};
+use jportal_jvm::runtime::Jvm;
+use jportal_workloads::workload_by_name;
+
+struct Measurement {
+    nodes: usize,
+    edges: usize,
+    call_edges: usize,
+    anfa_ms: f64,
+    candidates: usize,
+    pruned: usize,
+    analyze_ms: f64,
+    accuracy: f64,
+}
+
+fn measure(name: &str, devirtualize: bool) -> Measurement {
+    let w = workload_by_name(name, EVAL_SCALE);
+    let r = Jvm::new(jvm_config(&w, true, None, None)).run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().expect("tracing on");
+
+    // ICFG + ANFA construction, timed in isolation.
+    let icfg = if devirtualize {
+        let rta = Rta::analyze(&w.program);
+        Icfg::build_with_targets(&w.program, &rta)
+    } else {
+        Icfg::build(&w.program)
+    };
+    let t0 = Instant::now();
+    let anfa = AbstractNfa::new(&w.program, &icfg);
+    anfa.prewarm(1);
+    let anfa_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Full pipeline, timed end to end.
+    let jp = JPortal::with_config(
+        &w.program,
+        JPortalConfig {
+            devirtualize,
+            ..JPortalConfig::default()
+        },
+    );
+    let t1 = Instant::now();
+    let report = jp.analyze(traces, &r.archive);
+    let analyze_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let (mut candidates, mut pruned) = (0, 0);
+    for t in &report.threads {
+        candidates += t.projection.candidates_tried;
+        pruned += t.projection.candidates_pruned;
+    }
+
+    Measurement {
+        nodes: icfg.node_count(),
+        edges: icfg.edge_count(),
+        call_edges: icfg.call_edge_count(),
+        anfa_ms,
+        candidates,
+        pruned,
+        analyze_ms,
+        accuracy: overall_accuracy(&w.program, &r.truth, &report),
+    }
+}
+
+fn main() {
+    println!("RTA devirtualization ablation (CHA -> RTA deltas)\n");
+    let widths = [9usize, 13, 13, 13, 12, 14, 12, 12, 10];
+    row(
+        &[
+            "subject".into(),
+            "variant".into(),
+            "icfg nodes".into(),
+            "icfg edges".into(),
+            "call edges".into(),
+            "anfa build".into(),
+            "candidates".into(),
+            "reconstruct".into(),
+            "accuracy".into(),
+        ],
+        &widths,
+    );
+
+    for name in ["batik", "pmd"] {
+        let cha = measure(name, false);
+        let rta = measure(name, true);
+        for (label, m) in [("CHA", &cha), ("RTA", &rta)] {
+            row(
+                &[
+                    name.into(),
+                    label.into(),
+                    m.nodes.to_string(),
+                    m.edges.to_string(),
+                    m.call_edges.to_string(),
+                    format!("{:.2} ms", m.anfa_ms),
+                    format!("{} (-{})", m.candidates, m.pruned),
+                    format!("{:.1} ms", m.analyze_ms),
+                    format!("{:.1}%", m.accuracy * 100.0),
+                ],
+                &widths,
+            );
+        }
+        let edge_cut = 100.0 * (cha.call_edges - rta.call_edges) as f64 / cha.call_edges as f64;
+        let cand_cut = if cha.candidates > 0 {
+            100.0 * (cha.candidates as f64 - rta.candidates as f64) / cha.candidates as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {name}: call edges -{edge_cut:.1}%, candidate starts {cand_cut:+.1}% fewer, accuracy {:+.2} pts\n",
+            (rta.accuracy - cha.accuracy) * 100.0
+        );
+        assert!(
+            rta.call_edges <= cha.call_edges,
+            "refinement may only remove call edges"
+        );
+        assert!(
+            rta.accuracy >= cha.accuracy,
+            "refinement must not cost accuracy"
+        );
+    }
+}

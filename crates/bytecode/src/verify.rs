@@ -4,15 +4,23 @@
 //! builder rely on: in-range branch targets, no falling off the end of the
 //! code, call targets that exist, consistent operand-stack depths along all
 //! paths (the classic JVM "stack map" discipline, computed here by abstract
-//! interpretation over depths), local-slot bounds, vtable-slot bounds and
-//! well-formed exception tables.
+//! interpretation over depths), local-slot bounds, vtable-slot and
+//! vtable-entry bounds, class references that exist and well-formed
+//! exception tables (every handler target must name a real instruction).
+//!
+//! On branch targets: real JVM bytecode is byte-addressed, so its verifier
+//! must additionally reject targets landing *inside* a multi-byte
+//! instruction. This model addresses code by instruction index ([`Bci`] is
+//! an index, not an offset), which makes mid-instruction targets
+//! unrepresentable by construction — the in-range check here is the
+//! complete analogue of that rule.
 
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
 use crate::insn::Instruction;
-use crate::program::{Bci, Method, MethodId, Program};
+use crate::program::{Bci, ClassId, Method, MethodId, Program};
 
 /// A verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +106,22 @@ pub enum VerifyError {
         /// The switch instruction.
         at: Bci,
     },
+    /// `new` names a class outside the program.
+    BadClassRef {
+        /// Offending method.
+        method: MethodId,
+        /// The allocation site.
+        at: Bci,
+        /// The nonexistent class.
+        class: ClassId,
+    },
+    /// A vtable slot names a method outside the program.
+    BadVtableEntry {
+        /// Class owning the vtable.
+        class: ClassId,
+        /// Offending slot index.
+        slot: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -155,6 +179,18 @@ impl fmt::Display for VerifyError {
                     "lookupswitch keys at {method}@{at} are not strictly ascending"
                 )
             }
+            VerifyError::BadClassRef { method, at, class } => {
+                write!(
+                    f,
+                    "new at {method}@{at} names class {class} outside the program"
+                )
+            }
+            VerifyError::BadVtableEntry { class, slot } => {
+                write!(
+                    f,
+                    "vtable slot {slot} of class {class} names a method outside the program"
+                )
+            }
         }
     }
 }
@@ -170,6 +206,15 @@ pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
     let entry = program.method(program.entry());
     if entry.n_args != 0 {
         return Err(VerifyError::EntryHasArgs(program.entry()));
+    }
+    // Dispatch tables must resolve before any per-method check walks
+    // through them.
+    for (cid, class) in program.classes() {
+        for (slot, target) in class.vtable.iter().enumerate() {
+            if target.index() >= program.method_count() {
+                return Err(VerifyError::BadVtableEntry { class: cid, slot });
+            }
+        }
     }
     for (id, method) in program.methods() {
         verify_method(program, id, method)?;
@@ -231,6 +276,13 @@ pub fn verify_method(program: &Program, id: MethodId, method: &Method) -> Result
                 if pairs.windows(2).any(|w| w[0].0 >= w[1].0) =>
             {
                 return Err(VerifyError::UnsortedSwitchKeys { method: id, at });
+            }
+            Instruction::New(c) if c.index() >= program.class_count() => {
+                return Err(VerifyError::BadClassRef {
+                    method: id,
+                    at,
+                    class: *c,
+                });
             }
             Instruction::Ireturn | Instruction::Areturn if !method.returns_value => {
                 return Err(VerifyError::WrongReturn { method: id, at });
@@ -481,6 +533,40 @@ mod tests {
         m.emit(I::Return);
         let id = m.finish();
         assert!(pb.finish_with_entry(id).is_ok());
+    }
+
+    #[test]
+    fn rejects_new_of_unknown_class() {
+        use crate::program::ClassId;
+        let err =
+            single_method(vec![I::New(ClassId(42)), I::Pop, I::Return], 0, false).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::BadClassRef {
+                class: ClassId(42),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_vtable_entry() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::Return);
+        let id = m.finish();
+        let program = pb.finish_with_entry(id).unwrap();
+        // Rebuild with a vtable slot pointing past the method table.
+        let mut classes: Vec<_> = program.classes().map(|(_, c)| c.clone()).collect();
+        classes[0].vtable.push(MethodId(99));
+        let broken = Program::from_parts(
+            classes,
+            program.methods().map(|(_, m)| m.clone()).collect(),
+            id,
+        );
+        let err = verify_program(&broken).unwrap_err();
+        assert!(matches!(err, VerifyError::BadVtableEntry { slot: 0, .. }));
     }
 
     #[test]

@@ -8,10 +8,44 @@
 //! continuation, and exception edges — including transitive propagation of
 //! uncaught exceptions into caller handlers.
 
-use jportal_bytecode::{Bci, Instruction, MethodId, OpKind, Program};
+use jportal_bytecode::{Bci, ClassId, Instruction, MethodId, OpKind, Program};
 use std::collections::HashMap;
 
 use crate::sym::BranchDir;
+
+/// Resolves the possible callees of a virtual call site during ICFG
+/// construction.
+///
+/// [`Icfg::build`] uses plain class-hierarchy analysis (every subclass's
+/// vtable entry); a static analysis such as rapid type analysis can pass a
+/// refined resolver to [`Icfg::build_with_targets`] to drop targets whose
+/// receiver class is never instantiated. A resolver must only ever
+/// *narrow* the CHA set — returning a superset would create edges the NFA
+/// semantics of §4 do not justify.
+pub trait CallTargetResolver {
+    /// Possible targets of `invokevirtual declared_in.slot` at
+    /// `(method, bci)`.
+    fn virtual_targets(
+        &self,
+        site: (MethodId, Bci),
+        declared_in: ClassId,
+        slot: u16,
+    ) -> Vec<MethodId>;
+}
+
+/// The default resolver: class-hierarchy analysis over the whole program.
+struct ChaResolver<'p>(&'p Program);
+
+impl CallTargetResolver for ChaResolver<'_> {
+    fn virtual_targets(
+        &self,
+        _site: (MethodId, Bci),
+        declared_in: ClassId,
+        slot: u16,
+    ) -> Vec<MethodId> {
+        self.0.virtual_targets(declared_in, slot)
+    }
+}
 
 /// Identifier of an ICFG node (an instruction occurrence).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -105,8 +139,18 @@ pub struct Icfg {
 }
 
 impl Icfg {
-    /// Builds the ICFG of `program`.
+    /// Builds the ICFG of `program` with class-hierarchy-analysis call
+    /// edges (every virtual call fans out to every subclass override).
     pub fn build(program: &Program) -> Icfg {
+        Icfg::build_with_targets(program, &ChaResolver(program))
+    }
+
+    /// Builds the ICFG of `program`, asking `resolver` for the callees of
+    /// each virtual call site. Return edges, call-site continuations and
+    /// the uncaught-exception propagation fixpoint all follow the refined
+    /// call graph, so narrowing virtual dispatch shrinks every derived
+    /// edge family, not just the `Call` edges.
+    pub fn build_with_targets(program: &Program, resolver: &dyn CallTargetResolver) -> Icfg {
         let mut base = Vec::with_capacity(program.method_count() + 1);
         let mut method_of = Vec::new();
         let mut total = 0u32;
@@ -165,7 +209,7 @@ impl Icfg {
                         call_sites.entry(*callee).or_default().push((mid, bci));
                     }
                     Instruction::InvokeVirtual { declared_in, slot } => {
-                        for callee in program.virtual_targets(*declared_in, *slot) {
+                        for callee in resolver.virtual_targets((mid, bci), *declared_in, *slot) {
                             push(&mut edges, from, node(callee, Bci(0)), EdgeKind::Call);
                             continuations
                                 .entry(callee)
@@ -343,6 +387,30 @@ impl Icfg {
     pub fn edge_count(&self) -> usize {
         self.edges.iter().map(Vec::len).sum()
     }
+
+    /// All node ids, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.edges.len() as u32).map(NodeId)
+    }
+
+    /// The edge `from → to`, if one exists (the first such edge in
+    /// insertion order when parallel edges of different kinds exist).
+    pub fn edge_between(&self, from: NodeId, to: NodeId) -> Option<Edge> {
+        self.edges[from.index()]
+            .iter()
+            .copied()
+            .find(|e| e.to == to)
+    }
+
+    /// Number of `Call` edges (the family virtual-call refinement
+    /// shrinks).
+    pub fn call_edge_count(&self) -> usize {
+        self.edges
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == EdgeKind::Call)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -477,6 +545,74 @@ mod tests {
         assert_eq!(callees.len(), 2);
         assert!(callees.contains(&icfg.entry_of(run_base)));
         assert!(callees.contains(&icfg.entry_of(run_derived)));
+    }
+
+    #[test]
+    fn refined_targets_shrink_call_and_return_edges() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.add_class("Base", None, 0);
+        let mut r = pb.method(base, "run", 1, true);
+        r.emit(I::Iconst(1));
+        r.emit(I::Ireturn);
+        let run_base = r.finish();
+        let slot = pb.add_virtual(base, run_base);
+        let derived = pb.add_class("Derived", Some(base), 0);
+        let mut r = pb.method(derived, "run", 1, true);
+        r.emit(I::Iconst(2));
+        r.emit(I::Ireturn);
+        let run_derived = r.finish();
+        pb.override_virtual(derived, slot, run_derived);
+        let mut m = pb.method(base, "main", 0, false);
+        m.emit(I::New(derived));
+        m.emit(I::InvokeVirtual {
+            declared_in: base,
+            slot,
+        });
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+
+        struct OnlyDerived(MethodId);
+        impl CallTargetResolver for OnlyDerived {
+            fn virtual_targets(
+                &self,
+                _site: (MethodId, Bci),
+                _declared_in: ClassId,
+                _slot: u16,
+            ) -> Vec<MethodId> {
+                vec![self.0]
+            }
+        }
+        let refined = Icfg::build_with_targets(&p, &OnlyDerived(run_derived));
+        let cha = Icfg::build(&p);
+        assert!(refined.call_edge_count() < cha.call_edge_count());
+        let call = refined.node(main, Bci(1));
+        let callees: Vec<NodeId> = refined
+            .edges(call)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Call)
+            .map(|e| e.to)
+            .collect();
+        assert_eq!(callees, vec![refined.entry_of(run_derived)]);
+        // The un-instantiated target's `ireturn` no longer has a return
+        // edge into main (it was never callable).
+        let base_ret = refined.node(run_base, Bci(1));
+        assert!(refined
+            .edges(base_ret)
+            .iter()
+            .all(|e| e.kind != EdgeKind::Return));
+        assert!(cha
+            .edges(cha.node(run_base, Bci(1)))
+            .iter()
+            .any(|e| e.kind == EdgeKind::Return));
+        // Edge lookup helper.
+        assert!(refined
+            .edge_between(call, refined.entry_of(run_derived))
+            .is_some());
+        assert!(refined
+            .edge_between(call, refined.entry_of(run_base))
+            .is_none());
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod nfa;
 pub mod sym;
 pub mod tier;
 
-pub use block::{BlockId, Cfg};
-pub use icfg::{EdgeKind, Icfg, NodeId};
+pub use block::{Block, BlockEdge, BlockId, Cfg};
+pub use icfg::{CallTargetResolver, Edge, EdgeKind, Icfg, NodeId};
 pub use nfa::{MatchOutcome, Nfa};
 pub use sym::{BranchDir, Sym};
 pub use tier::Tier;

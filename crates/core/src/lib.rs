@@ -36,5 +36,5 @@ pub mod threads;
 pub use accuracy::{alignment_score, AccuracyBreakdown};
 pub use decode::{decode_segment, BcEvent, BcSegment};
 pub use pipeline::{JPortal, JPortalConfig, JPortalReport, TraceEntry, TraceOrigin};
-pub use reconstruct::{project_segment, ProjectionConfig, ProjectionStats};
-pub use recover::{Recovery, RecoveryConfig, RecoveryStats, SegmentView};
+pub use reconstruct::{project_segment, Projection, ProjectionConfig, ProjectionStats};
+pub use recover::{Fill, Recovery, RecoveryConfig, RecoveryStats, SegmentView};

@@ -7,6 +7,7 @@
 //! metadata — and produces, per thread, the reconstructed bytecode-level
 //! control-flow trace with per-entry provenance.
 
+use jportal_analysis::{lint_steps, AnalysisIndex, LintDiagnostic, LintStep, LintSummary, Rta};
 use jportal_bytecode::Program;
 use jportal_cfg::abs::AbstractNfa;
 use jportal_cfg::Icfg;
@@ -20,7 +21,7 @@ pub use crate::recover::{TraceEntry, TraceOrigin};
 use crate::threads::{segregate, ThreadPiece};
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JPortalConfig {
     /// Projection (§4) tuning.
     pub projection: ProjectionConfig,
@@ -28,6 +29,16 @@ pub struct JPortalConfig {
     pub recovery: RecoveryConfig,
     /// Disable recovery entirely (ablation: what decoding alone gives).
     pub disable_recovery: bool,
+    /// Build the ICFG over RTA-refined virtual-call targets instead of
+    /// plain CHA. Sound for traces produced by executions rooted at
+    /// [`Program::entry`] (call sites in methods RTA cannot reach keep
+    /// their full CHA target set, so even foreign roots only lose the
+    /// refinement, never correctness). Shrinks NFA nondeterminism during
+    /// projection and the recovery search space.
+    pub devirtualize: bool,
+    /// Run the trace-feasibility linter over every reconstructed thread
+    /// timeline and attach the diagnostics to the report.
+    pub lint: bool,
     /// Worker threads for the offline fan-out: `None` uses every core,
     /// `Some(1)` is the exact legacy sequential path (no threads spawned).
     ///
@@ -36,6 +47,19 @@ pub struct JPortalConfig {
     /// parallel candidate scoring replays the sequential pruning decisions
     /// exactly.
     pub parallelism: Option<usize>,
+}
+
+impl Default for JPortalConfig {
+    fn default() -> JPortalConfig {
+        JPortalConfig {
+            projection: ProjectionConfig::default(),
+            recovery: RecoveryConfig::default(),
+            disable_recovery: false,
+            devirtualize: true,
+            lint: true,
+            parallelism: None,
+        }
+    }
 }
 
 /// Per-thread reconstruction result.
@@ -53,6 +77,9 @@ pub struct ThreadReport {
     pub recovery: RecoveryStats,
     /// Number of decoded segments.
     pub segments: usize,
+    /// Feasibility-linter diagnostics over the reconstructed timeline
+    /// (empty when linting is disabled or the timeline is clean).
+    pub lint: Vec<LintDiagnostic>,
 }
 
 /// The full analysis result.
@@ -71,6 +98,15 @@ impl JPortalReport {
     /// Total reconstructed entries over all threads.
     pub fn total_entries(&self) -> usize {
         self.threads.iter().map(|t| t.entries.len()).sum()
+    }
+
+    /// Aggregated feasibility-linter summary over all threads.
+    pub fn lint_summary(&self) -> LintSummary {
+        let mut s = LintSummary::default();
+        for t in &self.threads {
+            s.merge(&LintSummary::of(&t.lint));
+        }
+        s
     }
 
     /// Entries by provenance: `(decoded, recovered, walked)`.
@@ -113,24 +149,32 @@ impl JPortalReport {
 pub struct JPortal<'p> {
     program: &'p Program,
     icfg: Icfg,
+    /// Per-method static facts (dominators, loops), computed once before
+    /// any parallel fan-out so every worker reads the same immutable
+    /// index — part of the determinism contract.
+    analysis: AnalysisIndex,
     config: JPortalConfig,
 }
 
 impl<'p> JPortal<'p> {
-    /// Builds the analyzer (constructs the program's ICFG).
+    /// Builds the analyzer (constructs the program's ICFG over RTA-refined
+    /// call targets, plus the per-method static-fact index).
     pub fn new(program: &'p Program) -> JPortal<'p> {
-        JPortal {
-            program,
-            icfg: Icfg::build(program),
-            config: JPortalConfig::default(),
-        }
+        JPortal::with_config(program, JPortalConfig::default())
     }
 
     /// Builds the analyzer with explicit configuration.
     pub fn with_config(program: &'p Program, config: JPortalConfig) -> JPortal<'p> {
+        let icfg = if config.devirtualize {
+            let rta = Rta::analyze(program);
+            Icfg::build_with_targets(program, &rta)
+        } else {
+            Icfg::build(program)
+        };
         JPortal {
             program,
-            icfg: Icfg::build(program),
+            icfg,
+            analysis: AnalysisIndex::build(program),
             config,
         }
     }
@@ -138,6 +182,11 @@ impl<'p> JPortal<'p> {
     /// The ICFG (exposed for clients that want to inspect projections).
     pub fn icfg(&self) -> &Icfg {
         &self.icfg
+    }
+
+    /// The static-fact index (exposed for clients and diagnostics).
+    pub fn analysis(&self) -> &AnalysisIndex {
+        &self.analysis
     }
 
     /// Runs the full offline analysis.
@@ -177,7 +226,7 @@ impl<'p> JPortal<'p> {
                 let piece = &thread_pieces[ti].1[pi];
                 let mut decoded = decode_segment(self.program, archive, &piece.segment);
                 decoded.core = piece.core;
-                let (nodes, stats) = project_segment(
+                let proj = project_segment(
                     self.program,
                     &self.icfg,
                     &anfa,
@@ -187,10 +236,11 @@ impl<'p> JPortal<'p> {
                 (
                     SegmentView {
                         events: decoded.events,
-                        nodes,
+                        nodes: proj.nodes,
+                        breaks: proj.breaks,
                         loss_before: decoded.loss_before,
                     },
-                    stats,
+                    proj.stats,
                 )
             });
 
@@ -251,8 +301,10 @@ impl<'p> JPortal<'p> {
         let mut recovery_stats = RecoveryStats::default();
         let mut holes = Vec::new();
         let recovery = Recovery::new(self.program, &self.icfg, &compacted, self.config.recovery)
-            .with_workers(recovery_workers);
+            .with_workers(recovery_workers)
+            .with_dominators(&self.analysis);
         let mut entries: Vec<TraceEntry> = Vec::new();
+        let mut steps: Vec<LintStep> = Vec::new();
         for i in 0..compacted.len() {
             if i > 0 {
                 if let Some(loss) = compacted[i].loss_before {
@@ -265,12 +317,13 @@ impl<'p> JPortal<'p> {
                             Some(loss),
                             &mut recovery_stats,
                         );
-                        entries.extend(fill);
+                        entries.extend(fill.entries);
+                        steps.extend(fill.steps);
                     }
                 }
             }
             let seg = &compacted[i];
-            for (e, node) in seg.events.iter().zip(&seg.nodes) {
+            for (idx, (e, node)) in seg.events.iter().zip(&seg.nodes).enumerate() {
                 let (method, bci) = match node {
                     Some(n) => {
                         let (m, b) = self.icfg.location(*n);
@@ -285,8 +338,24 @@ impl<'p> JPortal<'p> {
                     ts: e.ts,
                     origin: TraceOrigin::Decoded,
                 });
+                // Segment starts are always seams (a hole or a fresh trace
+                // buffer precedes them); within a segment, projection
+                // restarts (`breaks`) mark positions with no edge
+                // guarantee to their predecessor.
+                steps.push(LintStep {
+                    node: *node,
+                    op: e.sym.op,
+                    dir: e.sym.dir,
+                    boundary: idx == 0 || seg.breaks.binary_search(&idx).is_ok(),
+                });
             }
         }
+
+        let lint = if self.config.lint {
+            lint_steps(self.program, &self.icfg, &steps)
+        } else {
+            Vec::new()
+        };
 
         ThreadReport {
             thread,
@@ -295,6 +364,7 @@ impl<'p> JPortal<'p> {
             projection,
             recovery: recovery_stats,
             segments: compacted.len(),
+            lint,
         }
     }
 }

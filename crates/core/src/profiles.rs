@@ -194,6 +194,7 @@ mod tests {
                 projection: Default::default(),
                 recovery: Default::default(),
                 segments: 1,
+                lint: vec![],
             }],
         }
     }

@@ -77,20 +77,39 @@ impl ProjectionStats {
     }
 }
 
+/// The result of projecting one segment.
+///
+/// Within one matched run, consecutive located nodes are connected by a
+/// real ICFG edge (the NFA only steps along edges). Across a restart seam
+/// no such edge is guaranteed; [`Projection::breaks`] records where those
+/// seams are so downstream consumers (notably the trace-feasibility
+/// linter) do not treat them as adjacency violations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Projection {
+    /// One entry per event, in order; `None` for events that could not be
+    /// placed (no candidate state, or isolated mismatches).
+    pub nodes: Vec<Option<NodeId>>,
+    /// Event indices starting a new matched run — i.e. positions with no
+    /// ICFG-edge guarantee from the previous event. Never contains 0.
+    pub breaks: Vec<usize>,
+    /// Matching statistics.
+    pub stats: ProjectionStats,
+}
+
 /// Projects a decoded segment onto the ICFG.
 ///
-/// Returns one `Option<NodeId>` per event (in order) plus statistics.
-/// `None` entries are events that could not be placed (no candidate
-/// state, or isolated mismatches).
+/// Returns one `Option<NodeId>` per event (in order), the restart seam
+/// positions, and statistics.
 pub fn project_segment(
     program: &Program,
     icfg: &Icfg,
     anfa: &AbstractNfa<'_>,
     events: &[BcEvent],
     cfg: &ProjectionConfig,
-) -> (Vec<Option<NodeId>>, ProjectionStats) {
+) -> Projection {
     let nfa = Nfa::new(program, icfg);
     let mut out: Vec<Option<NodeId>> = vec![None; events.len()];
+    let mut breaks: Vec<usize> = Vec::new();
     let mut stats = ProjectionStats::default();
 
     let constraint = |e: &BcEvent| -> Option<NodeId> {
@@ -102,6 +121,11 @@ pub fn project_segment(
 
     let mut i = 0usize;
     while i < events.len() {
+        // Each outer iteration starts a fresh matched run; all but the
+        // first are restart seams with no edge guarantee behind them.
+        if i > 0 {
+            breaks.push(i);
+        }
         // Build the start layer for position i.
         let sym0 = events[i].sym;
         let starts: Vec<NodeId> = match constraint(&events[i]) {
@@ -178,7 +202,11 @@ pub fn project_segment(
         }
         i = j.max(i + 1);
     }
-    (out, stats)
+    Projection {
+        nodes: out,
+        breaks,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -263,8 +291,8 @@ mod tests {
             ev(OpKind::Isub, None),
             ev(OpKind::Istore, None),
         ];
-        let (nodes, stats) =
-            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let proj = project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let (nodes, stats) = (proj.nodes, proj.stats);
         assert_eq!(stats.unmatched, 0);
         let bcis: Vec<u32> = nodes.iter().map(|n| icfg.bci_of(n.unwrap()).0).collect();
         assert_eq!(bcis, vec![0, 1, 7, 8, 9, 10]);
@@ -282,8 +310,8 @@ mod tests {
             ev_known(&p, fun, 12),
             ev_known(&p, fun, 13),
         ];
-        let (nodes, stats) =
-            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let proj = project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let (nodes, stats) = (proj.nodes, proj.stats);
         assert_eq!(stats.unmatched, 0);
         // The free iload must resolve to bci 11 (the only iload whose
         // successor is bci 12).
@@ -305,8 +333,8 @@ mod tests {
             ev(OpKind::Iadd, None),
             ev(OpKind::Istore, None),
         ];
-        let (nodes, stats) =
-            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let proj = project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let (nodes, stats) = (proj.nodes, proj.stats);
         assert!(stats.restarts >= 1);
         assert!(nodes[0].is_some() && nodes[2].is_some());
         assert!(nodes[3].is_some() && nodes[4].is_some());
@@ -337,8 +365,11 @@ mod tests {
                 ..ProjectionConfig::default()
             },
         );
-        assert_eq!(with.0, without.0, "same projection either way");
-        assert!(with.1.candidates_pruned > 0, "abstraction pruned something");
+        assert_eq!(with.nodes, without.nodes, "same projection either way");
+        assert!(
+            with.stats.candidates_pruned > 0,
+            "abstraction pruned something"
+        );
     }
 
     #[test]
@@ -348,8 +379,8 @@ mod tests {
         let anfa = AbstractNfa::new(&p, &icfg);
         // `goto` exists in fun; `athrow` does not exist anywhere.
         let events = vec![ev(OpKind::Athrow, None), ev(OpKind::Iload, None)];
-        let (nodes, stats) =
-            project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let proj = project_segment(&p, &icfg, &anfa, &events, &ProjectionConfig::default());
+        let (nodes, stats) = (proj.nodes, proj.stats);
         assert!(nodes[0].is_none());
         assert!(nodes[1].is_some());
         assert_eq!(stats.unmatched, 1);
@@ -370,10 +401,10 @@ mod tests {
             ev(OpKind::Ifne, Some(false)),
             ev(OpKind::Iconst, None),
         ];
-        let (a, _) = project_segment(&p, &icfg, &anfa, &taken, &ProjectionConfig::default());
-        let (b, _) = project_segment(&p, &icfg, &anfa, &not_taken, &ProjectionConfig::default());
-        assert_eq!(icfg.bci_of(a[2].unwrap()), Bci(17));
-        assert_eq!(icfg.bci_of(b[2].unwrap()), Bci(15));
+        let a = project_segment(&p, &icfg, &anfa, &taken, &ProjectionConfig::default());
+        let b = project_segment(&p, &icfg, &anfa, &not_taken, &ProjectionConfig::default());
+        assert_eq!(icfg.bci_of(a.nodes[2].unwrap()), Bci(17));
+        assert_eq!(icfg.bci_of(b.nodes[2].unwrap()), Bci(15));
     }
 
     use jportal_bytecode::Program;

@@ -16,6 +16,7 @@
 //! timestamp budget; if no CS works, a bounded ICFG walk connects the two
 //! sides (the paper's random-path fallback).
 
+use jportal_analysis::{AnalysisIndex, LintStep};
 use jportal_bytecode::{Bci, MethodId, OpKind, Program};
 use jportal_cfg::{Icfg, NodeId, Sym, Tier};
 use jportal_ipt::ring::LossRecord;
@@ -56,8 +57,29 @@ pub struct SegmentView {
     pub events: Vec<BcEvent>,
     /// Projected ICFG nodes, aligned with `events`.
     pub nodes: Vec<Option<NodeId>>,
+    /// Projection restart seams: event indices with no ICFG-edge
+    /// guarantee from the previous event (see
+    /// [`crate::reconstruct::Projection::breaks`]). Sorted, never 0.
+    pub breaks: Vec<usize>,
     /// Loss separating this segment from the previous one.
     pub loss_before: Option<LossRecord>,
+}
+
+/// The result of filling one hole: the spliced entries plus the
+/// lint-relevant structure of the splice.
+///
+/// `steps` is aligned one-to-one with `entries`. A fill spliced from a
+/// complete segment starts at a seam (`steps[0].boundary == true`) and
+/// inherits the CS's own internal seams; a fallback ICFG walk is
+/// edge-connected to both sides by construction, so its steps carry no
+/// boundaries at all — the feasibility linter checks every one of its
+/// transitions.
+#[derive(Debug, Clone, Default)]
+pub struct Fill {
+    /// Recovered trace entries, in timeline order.
+    pub entries: Vec<TraceEntry>,
+    /// Feasibility-linter steps aligned with `entries`.
+    pub steps: Vec<LintStep>,
 }
 
 /// Recovery tuning.
@@ -232,6 +254,8 @@ pub struct Recovery<'a> {
     cfg: RecoveryConfig,
     /// Worker threads for candidate scoring (1 = fully sequential).
     workers: usize,
+    /// Per-method dominator facts for anchor ranking (optional).
+    doms: Option<&'a AnalysisIndex>,
     indexed: Vec<IndexedSegment>,
     /// Anchor index: op-kind key → candidate positions.
     anchor_index: HashMap<Vec<OpKind>, Vec<Candidate>>,
@@ -266,9 +290,23 @@ impl<'a> Recovery<'a> {
             icfg,
             cfg,
             workers: 1,
+            doms: None,
             indexed,
             anchor_index,
         }
+    }
+
+    /// Supplies per-method dominator facts. When present, candidates with
+    /// equal common-suffix scores are re-ranked: an anchor whose located
+    /// instructions **dominate** the hole's resume point (the first
+    /// located node after the hole) is a stronger witness — every
+    /// execution reaching the resume point must have passed through it —
+    /// so it wins the tie. The re-rank is a stable sort over the already
+    /// deterministic ranking, so reports stay identical at any worker
+    /// count.
+    pub fn with_dominators(mut self, doms: &'a AnalysisIndex) -> Recovery<'a> {
+        self.doms = Some(doms);
+        self
     }
 
     /// Sets the worker count for candidate scoring. The ranking (and the
@@ -442,16 +480,17 @@ impl<'a> Recovery<'a> {
         post_seg: usize,
         loss: Option<LossRecord>,
         stats: &mut RecoveryStats,
-    ) -> Vec<TraceEntry> {
+    ) -> Fill {
         stats.holes += 1;
         let post = &self.indexed[post_seg];
         let budget = self.hole_budget(segments, is_seg, loss);
 
-        let ranked = if self.cfg.use_abstraction {
+        let mut ranked = if self.cfg.use_abstraction {
             self.search_abstraction(is_seg, stats)
         } else {
             self.search_naive(is_seg, stats)
         };
+        self.rank_with_dominators(&mut ranked, segments, post_seg);
 
         let y = self.cfg.confirm_len;
         for ((si, end), _score) in ranked {
@@ -482,7 +521,7 @@ impl<'a> Recovery<'a> {
             if let Some(d) = found {
                 let fill = self.entries_from_cs(segments, si, suffix_start, d, is_seg, loss);
                 stats.filled_from_cs += 1;
-                stats.recovered_events += fill.len();
+                stats.recovered_events += fill.entries.len();
                 return fill;
             }
         }
@@ -490,11 +529,42 @@ impl<'a> Recovery<'a> {
         // Fallback: walk the ICFG between the surrounding nodes.
         if let Some(fill) = self.walk_fill(segments, is_seg, post_seg, loss) {
             stats.filled_by_walk += 1;
-            stats.recovered_events += fill.len();
+            stats.recovered_events += fill.entries.len();
             return fill;
         }
         stats.unfilled += 1;
-        Vec::new()
+        Fill::default()
+    }
+
+    /// Stable dominator-informed re-rank of the candidate list (see
+    /// [`Recovery::with_dominators`]): ties on the common-suffix score are
+    /// broken by how many of the anchor's located instructions dominate
+    /// the hole's resume point.
+    fn rank_with_dominators(
+        &self,
+        ranked: &mut [(Candidate, usize)],
+        segments: &[SegmentView],
+        post_seg: usize,
+    ) {
+        let Some(doms) = self.doms else { return };
+        let Some(&resume) = segments[post_seg].nodes.iter().flatten().next() else {
+            return;
+        };
+        let (rm, rb) = self.icfg.location(resume);
+        let x = self.cfg.anchor_len;
+        let bonus = |&(si, end): &Candidate| -> usize {
+            segments[si].nodes[end + 1 - x..=end]
+                .iter()
+                .flatten()
+                .filter(|&&n| {
+                    let (m, b) = self.icfg.location(n);
+                    m == rm && doms.bci_dominates(m, b, rb)
+                })
+                .count()
+        };
+        ranked.sort_by_key(|(cand, score)| {
+            (std::cmp::Reverse(*score), std::cmp::Reverse(bonus(cand)))
+        });
     }
 
     /// Estimated maximum number of events the hole can hold, from its
@@ -529,7 +599,7 @@ impl<'a> Recovery<'a> {
         len: usize,
         is_seg: usize,
         loss: Option<LossRecord>,
-    ) -> Vec<TraceEntry> {
+    ) -> Fill {
         let cs = &segments[cs_seg];
         let (t0, t1) = match loss {
             Some(l) => (l.first_ts, l.last_ts),
@@ -538,31 +608,40 @@ impl<'a> Recovery<'a> {
                 (t, t)
             }
         };
-        (0..len)
-            .map(|k| {
-                let e = &cs.events[from + k];
-                let node = cs.nodes[from + k];
-                let ts = if len > 1 {
-                    t0 + (t1 - t0) * k as u64 / (len as u64 - 1).max(1)
-                } else {
-                    t0
-                };
-                let (method, bci) = match node {
-                    Some(n) => {
-                        let (m, b) = self.icfg.location(n);
-                        (Some(m), Some(b))
-                    }
-                    None => (e.method, e.bci),
-                };
-                TraceEntry {
-                    op: e.sym.op,
-                    method,
-                    bci,
-                    ts,
-                    origin: TraceOrigin::Recovered,
+        let mut fill = Fill::default();
+        for k in 0..len {
+            let e = &cs.events[from + k];
+            let node = cs.nodes[from + k];
+            let ts = if len > 1 {
+                t0 + (t1 - t0) * k as u64 / (len as u64 - 1).max(1)
+            } else {
+                t0
+            };
+            let (method, bci) = match node {
+                Some(n) => {
+                    let (m, b) = self.icfg.location(n);
+                    (Some(m), Some(b))
                 }
-            })
-            .collect()
+                None => (e.method, e.bci),
+            };
+            fill.entries.push(TraceEntry {
+                op: e.sym.op,
+                method,
+                bci,
+                ts,
+                origin: TraceOrigin::Recovered,
+            });
+            // The splice itself is a seam; inside the window, the CS's own
+            // projection seams carry over.
+            let boundary = k == 0 || cs.breaks.binary_search(&(from + k)).is_ok();
+            fill.steps.push(LintStep {
+                node,
+                op: e.sym.op,
+                dir: e.sym.dir,
+                boundary,
+            });
+        }
+        fill
     }
 
     /// Fallback: bounded breadth-first walk on the ICFG from the last
@@ -574,7 +653,7 @@ impl<'a> Recovery<'a> {
         is_seg: usize,
         post_seg: usize,
         loss: Option<LossRecord>,
-    ) -> Option<Vec<TraceEntry>> {
+    ) -> Option<Fill> {
         let from = segments[is_seg]
             .nodes
             .iter()
@@ -622,22 +701,25 @@ impl<'a> Recovery<'a> {
             None => (0, 0),
         };
         let len = path.len().max(1) as u64;
-        Some(
-            path.iter()
-                .enumerate()
-                .map(|(k, &n)| {
-                    let (m, b) = self.icfg.location(n);
-                    let insn = self.program.method(m).insn(b);
-                    TraceEntry {
-                        op: insn.op_kind(),
-                        method: Some(m),
-                        bci: Some(b),
-                        ts: t0 + (t1.saturating_sub(t0)) * k as u64 / len,
-                        origin: TraceOrigin::Walked,
-                    }
-                })
-                .collect(),
-        )
+        let mut fill = Fill::default();
+        for (k, &n) in path.iter().enumerate() {
+            let (m, b) = self.icfg.location(n);
+            let insn = self.program.method(m).insn(b);
+            let op = insn.op_kind();
+            fill.entries.push(TraceEntry {
+                op,
+                method: Some(m),
+                bci: Some(b),
+                ts: t0 + (t1.saturating_sub(t0)) * k as u64 / len,
+                origin: TraceOrigin::Walked,
+            });
+            // A walk is a real ICFG path starting at the IS's last located
+            // node and ending one edge before the post segment's first —
+            // edge-connected on both sides, so no boundaries: the linter
+            // verifies every transition of the walk.
+            fill.steps.push(LintStep::at(n, op));
+        }
+        Some(fill)
     }
 }
 
@@ -663,6 +745,7 @@ mod tests {
                 })
                 .collect(),
             nodes: vec![None; ops.len()],
+            breaks: Vec::new(),
             loss_before: None,
         }
     }
@@ -778,9 +861,15 @@ mod tests {
         let mut stats = RecoveryStats::default();
         let fill = rec.fill_hole(&segs, 2, 3, segs[3].loss_before, &mut stats);
         // Fill must be G H X (the CS suffix up to where BDC matches).
-        let ops: Vec<OpKind> = fill.iter().map(|e| e.op).collect();
+        let ops: Vec<OpKind> = fill.entries.iter().map(|e| e.op).collect();
         assert_eq!(ops, vec![OpKind::Ishl, OpKind::Ishr, OpKind::Dup]);
-        assert!(fill.iter().all(|e| e.origin == TraceOrigin::Recovered));
+        assert!(fill
+            .entries
+            .iter()
+            .all(|e| e.origin == TraceOrigin::Recovered));
+        // A CS splice starts at a seam; steps align with entries.
+        assert_eq!(fill.steps.len(), fill.entries.len());
+        assert!(fill.steps[0].boundary);
         assert_eq!(stats.filled_from_cs, 1);
         assert_eq!(stats.holes, 1);
     }
@@ -815,8 +904,8 @@ mod tests {
         let rec = Recovery::new(&p, &icfg, &segs, cfg);
         let mut stats = RecoveryStats::default();
         let fill = rec.fill_hole(&segs, 2, 3, segs[3].loss_before, &mut stats);
-        assert_eq!(fill.first().unwrap().ts, 60);
-        assert_eq!(fill.last().unwrap().ts, 100);
+        assert_eq!(fill.entries.first().unwrap().ts, 60);
+        assert_eq!(fill.entries.last().unwrap().ts, 100);
     }
 
     #[test]
@@ -831,7 +920,7 @@ mod tests {
         let rec = Recovery::new(&p, &icfg, &segs, RecoveryConfig::default());
         let mut stats = RecoveryStats::default();
         let fill = rec.fill_hole(&segs, 0, 1, None, &mut stats);
-        assert!(fill.is_empty());
+        assert!(fill.entries.is_empty());
         assert_eq!(stats.unfilled, 1);
     }
 
@@ -850,9 +939,49 @@ mod tests {
         let fill = rec.fill_hole(&segs, 0, 1, None, &mut stats);
         assert_eq!(stats.filled_by_walk, 1);
         // The walk passes through bci 1 (pop).
-        assert_eq!(fill.len(), 1);
-        assert_eq!(fill[0].op, OpKind::Pop);
-        assert_eq!(fill[0].origin, TraceOrigin::Walked);
+        assert_eq!(fill.entries.len(), 1);
+        assert_eq!(fill.entries[0].op, OpKind::Pop);
+        assert_eq!(fill.entries[0].origin, TraceOrigin::Walked);
+        // Walk steps are located and boundary-free: fully lintable.
+        assert!(fill.steps.iter().all(|s| s.node.is_some() && !s.boundary));
+    }
+
+    #[test]
+    fn seeded_fault_in_recovered_segment_is_linted() {
+        use jportal_analysis::{lint_steps, LintStep};
+        let (p, icfg) = tiny_program();
+        let entry = p.entry();
+        let mut is = seg_from_ops(&[OpKind::Iconst]);
+        is.nodes = vec![Some(icfg.node(entry, Bci(0)))];
+        let mut post = seg_from_ops(&[OpKind::Return]);
+        post.nodes = vec![Some(icfg.node(entry, Bci(2)))];
+        let segs = vec![is, post];
+        let rec = Recovery::new(&p, &icfg, &segs, RecoveryConfig::default());
+        let mut stats = RecoveryStats::default();
+        let fill = rec.fill_hole(&segs, 0, 1, None, &mut stats);
+        assert_eq!(stats.filled_by_walk, 1);
+
+        // Splice the fill between the located IS tail and post head, the
+        // way `assemble_thread` does (segment starts are seams).
+        let splice = |fill_steps: &[LintStep]| {
+            let mut steps = vec![LintStep::at(icfg.node(entry, Bci(0)), OpKind::Iconst).seam()];
+            steps.extend_from_slice(fill_steps);
+            steps.push(LintStep::at(icfg.node(entry, Bci(2)), OpKind::Return));
+            steps
+        };
+        // The honest fill is feasible end to end.
+        assert!(lint_steps(&p, &icfg, &splice(&fill.steps)).is_empty());
+
+        // Seeded fault: corrupt the recovered step to claim the walk
+        // revisited bci 0 — no such ICFG edge exists, and the linter
+        // must say so.
+        let mut bad = fill.steps.clone();
+        bad[0] = LintStep::at(icfg.node(entry, Bci(0)), OpKind::Iconst);
+        let diags = lint_steps(&p, &icfg, &splice(&bad));
+        assert!(
+            !diags.is_empty(),
+            "corrupted recovered segment must produce a diagnostic"
+        );
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! `jportal lint` — run the trace-feasibility linter over every seed
+//! workload (or a named one) and print a diagnostic summary.
+//!
+//! The linter replays each reconstructed thread timeline against the
+//! ICFG and a call-stack abstraction; any diagnostic means the pipeline
+//! emitted a sequence no real execution could have produced. Exits
+//! nonzero if anything is flagged, so it doubles as a CI gate.
+//!
+//! ```sh
+//! cargo run --release --example lint            # all workloads
+//! cargo run --release --example lint -- batik   # one workload
+//! cargo run --release --example lint -- batik --lossy
+//! ```
+
+use jportal::core::JPortal;
+use jportal::jvm::{Jvm, JvmConfig};
+use jportal::workloads::{all_workloads, workload_by_name, Workload};
+use std::process::ExitCode;
+
+fn lint_workload(w: &Workload, lossy: bool) -> usize {
+    let mut cfg = JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        ..JvmConfig::default()
+    };
+    if lossy {
+        cfg.pt_buffer_capacity = 2500;
+        cfg.drain_bytes_per_kilocycle = 90;
+    }
+    let r = Jvm::new(cfg).run_threads(&w.program, &w.threads);
+    let report = JPortal::new(&w.program).analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let summary = report.lint_summary();
+    let entries: usize = report.threads.iter().map(|t| t.entries.len()).sum();
+    println!(
+        "{:<10} {:>8} entries, {} thread(s): {}",
+        w.name,
+        entries,
+        report.threads.len(),
+        summary
+    );
+    for t in &report.threads {
+        for d in t.lint.iter().take(5) {
+            println!("    {} {}", t.thread, d);
+        }
+        if t.lint.len() > 5 {
+            println!("    {} … and {} more", t.thread, t.lint.len() - 5);
+        }
+    }
+    summary.total()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lossy = args.iter().any(|a| a == "--lossy");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let workloads: Vec<Workload> = if names.is_empty() {
+        all_workloads(1)
+    } else {
+        names.iter().map(|n| workload_by_name(n, 1)).collect()
+    };
+
+    let mut total = 0;
+    for w in &workloads {
+        total += lint_workload(w, lossy);
+    }
+    if total == 0 {
+        println!("clean: no feasibility diagnostics");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAILED: {total} feasibility diagnostic(s)");
+        ExitCode::FAILURE
+    }
+}

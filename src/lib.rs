@@ -4,6 +4,7 @@
 //! Facade crate re-exporting the workspace's public API. See the README for
 //! the architecture overview and `DESIGN.md` for the paper-to-module map.
 
+pub use jportal_analysis as analysis;
 pub use jportal_bytecode as bytecode;
 pub use jportal_cfg as cfg;
 pub use jportal_core as core;

@@ -1,0 +1,136 @@
+//! Integration tests for the static-analysis layer: RTA devirtualization
+//! must not change what the pipeline reconstructs, and the feasibility
+//! linter must stay silent on everything the pipeline itself produces.
+
+use jportal::core::accuracy::overall_accuracy;
+use jportal::core::{JPortal, JPortalConfig, JPortalReport};
+use jportal::jvm::{Jvm, JvmConfig};
+use jportal::workloads::{all_workloads, workload_by_name, Workload};
+
+fn analyze(w: &Workload, jvm_cfg: JvmConfig, jp_cfg: JPortalConfig) -> (JPortalReport, f64) {
+    let r = Jvm::new(jvm_cfg).run_threads(&w.program, &w.threads);
+    assert!(r.thread_errors.is_empty(), "{} failed", w.name);
+    let report =
+        JPortal::with_config(&w.program, jp_cfg).analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let acc = overall_accuracy(&w.program, &r.truth, &report);
+    (report, acc)
+}
+
+#[test]
+fn linter_is_silent_on_all_lossless_seed_workloads() {
+    for w in all_workloads(1) {
+        let cfg = JvmConfig {
+            cores: if w.multithreaded { 2 } else { 1 },
+            ..JvmConfig::default()
+        };
+        let (report, _) = analyze(&w, cfg, JPortalConfig::default());
+        let summary = report.lint_summary();
+        assert!(
+            summary.is_clean(),
+            "{}: feasibility linter flagged a clean reconstruction: {summary}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn linter_is_silent_on_lossy_recovered_traces() {
+    // Recovery splices candidate segments into the timeline; every splice
+    // point is a seam, so even aggressive data loss must not trip the
+    // linter on honest fills.
+    for name in ["sunflow", "pmd"] {
+        let w = workload_by_name(name, 2);
+        let jvm_cfg = JvmConfig {
+            pt_buffer_capacity: 2500,
+            drain_bytes_per_kilocycle: 90,
+            ..JvmConfig::default()
+        };
+        let r = Jvm::new(jvm_cfg).run_threads(&w.program, &w.threads);
+        let traces = r.traces.as_ref().unwrap();
+        assert!(
+            traces.per_core.iter().any(|c| !c.losses.is_empty()),
+            "{name}: configuration must lose data"
+        );
+        let report = JPortal::new(&w.program).analyze(traces, &r.archive);
+        assert!(
+            report
+                .threads
+                .iter()
+                .any(|t| t.recovery.recovered_events > 0),
+            "{name}: recovery must have filled something"
+        );
+        let summary = report.lint_summary();
+        assert!(
+            summary.is_clean(),
+            "{name}: linter flagged recovered trace: {summary}"
+        );
+    }
+}
+
+#[test]
+fn rta_devirtualization_never_degrades_accuracy() {
+    // The refined ICFG prunes call edges whose receivers are never
+    // instantiated; every pruned edge is one the execution cannot take,
+    // so reconstruction accuracy must never drop (it may rise when the
+    // pruned edges were feeding op-identical dispatch ambiguity).
+    for name in ["batik", "pmd", "luindex"] {
+        let w = workload_by_name(name, 1);
+        let cfg = JvmConfig {
+            cores: if w.multithreaded { 2 } else { 1 },
+            ..JvmConfig::default()
+        };
+        let (refined, acc_rta) = analyze(&w, cfg.clone(), JPortalConfig::default());
+        let (cha, acc_cha) = analyze(
+            &w,
+            cfg,
+            JPortalConfig {
+                devirtualize: false,
+                ..JPortalConfig::default()
+            },
+        );
+        assert!(
+            acc_rta >= acc_cha,
+            "{name}: devirtualization degraded accuracy ({acc_rta:.4} < {acc_cha:.4})"
+        );
+        assert_eq!(
+            refined.total_entries(),
+            cha.total_entries(),
+            "{name}: devirtualization changed the number of reconstructed events"
+        );
+    }
+}
+
+#[test]
+fn rta_devirtualization_keeps_exact_reconstruction_exact() {
+    // Single-threaded lossless subjects reconstruct 1:1; the refined
+    // ICFG must preserve that bit-for-bit.
+    for name in ["avrora", "fop", "sunflow"] {
+        let w = workload_by_name(name, 1);
+        let (_, acc_rta) = analyze(&w, JvmConfig::default(), JPortalConfig::default());
+        let (_, acc_cha) = analyze(
+            &w,
+            JvmConfig::default(),
+            JPortalConfig {
+                devirtualize: false,
+                ..JPortalConfig::default()
+            },
+        );
+        assert_eq!(acc_rta, acc_cha, "{name}: accuracy changed");
+        assert!(acc_rta > 0.999, "{name}: expected exact, got {acc_rta:.4}");
+    }
+}
+
+#[test]
+fn disabling_lint_produces_no_diagnostics_structurally() {
+    let w = workload_by_name("avrora", 1);
+    let (report, _) = analyze(
+        &w,
+        JvmConfig::default(),
+        JPortalConfig {
+            lint: false,
+            ..JPortalConfig::default()
+        },
+    );
+    assert!(report.threads.iter().all(|t| t.lint.is_empty()));
+    assert_eq!(report.lint_summary().total(), 0);
+}
