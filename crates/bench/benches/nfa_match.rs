@@ -25,7 +25,7 @@ fn segments() -> (jportal_bytecode::Program, Vec<Vec<Sym>>) {
     .run_threads(&w.program, &w.threads);
     let traces = r.traces.as_ref().unwrap();
     let packets = decode_packets(&traces.per_core[0].bytes);
-    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let raw = segment_stream(packets, &traces.per_core[0].losses, 0);
     let seg = decode_segment(&w.program, &r.archive, &raw[0]);
     // Cut the long decoded stream into mid-trace windows: these are the
     // "arbitrary subsequence" projections of §4.
@@ -101,7 +101,7 @@ fn big_program_segments() -> (jportal_bytecode::Program, Vec<Vec<Sym>>) {
     .run(&program);
     let traces = r.traces.as_ref().unwrap();
     let packets = decode_packets(&traces.per_core[0].bytes);
-    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let raw = segment_stream(packets, &traces.per_core[0].losses, 0);
     let seg = decode_segment(&program, &r.archive, &raw[0]);
     let syms = seg.syms();
     let mut windows = Vec::new();

@@ -23,7 +23,7 @@ fn lossy_segments() -> (jportal_bytecode::Program, Vec<SegmentView>) {
     .run_threads(&w.program, &w.threads);
     let traces = r.traces.as_ref().unwrap();
     let packets = decode_packets(&traces.per_core[0].bytes);
-    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let raw = segment_stream(packets, &traces.per_core[0].losses, 0);
     let views: Vec<SegmentView> = raw
         .iter()
         .map(|rs| {

@@ -561,8 +561,12 @@ op_kinds! {
 
 impl OpKind {
     /// Index of this kind in the template table.
+    ///
+    /// `OpKind` is `#[repr(u8)]` with variants declared in template-table
+    /// order, so the discriminant *is* the table index; dense per-op
+    /// tables (e.g. the ICFG op index) rely on this being O(1).
     pub fn index(self) -> usize {
-        OpKind::ALL.iter().position(|&k| k == self).expect("in ALL")
+        self as usize
     }
 }
 

@@ -10,14 +10,15 @@
 //! if the abstract sequence is accepted from it, and only survivors are
 //! tried at the concrete level.
 
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use jportal_bytecode::Program;
+use jportal_bytecode::{OpKind, Program};
 
+use crate::fx::{FxHashMap, FxHasher};
 use crate::icfg::{Icfg, NodeId};
-use crate::nfa::{MatchOutcome, Nfa};
+use crate::nfa::{MatchOutcome, MatchScratch, Nfa};
 use crate::sym::{BranchDir, Sym};
 use crate::tier::{abstract_seq, Tier};
 
@@ -27,23 +28,26 @@ const CACHE_SHARDS: usize = 16;
 
 /// A lock-striped hash map: keys are hashed to one of [`CACHE_SHARDS`]
 /// independent `RwLock<HashMap>` shards, so concurrent readers never
-/// contend globally and writers only serialize per shard.
+/// contend globally and writers only serialize per shard. Both shard
+/// selection and the inner maps hash with [`FxHasher`] — the keys are
+/// internal values (node ids, interned set ids, opcodes), so SipHash's
+/// DoS resistance buys nothing and its latency sat on the lookup path.
 #[derive(Debug)]
 struct ShardedCache<K, V> {
-    shards: Vec<RwLock<HashMap<K, V>>>,
+    shards: Vec<RwLock<FxHashMap<K, V>>>,
 }
 
 impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     fn new() -> ShardedCache<K, V> {
         ShardedCache {
             shards: (0..CACHE_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+    fn shard(&self, key: &K) -> &RwLock<FxHashMap<K, V>> {
+        let mut h = FxHasher::default();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % CACHE_SHARDS]
     }
@@ -55,6 +59,91 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     fn insert(&self, key: K, value: V) {
         self.shard(&key).write().unwrap().insert(key, value);
     }
+}
+
+/// Interned id of the empty abstract state-set — the DFA's dead state.
+const EMPTY_SET: u32 = 0;
+
+/// Hash-consing table for abstract state-sets.
+///
+/// Each distinct sorted set of control nodes gets one id; the tabled DFA
+/// then works on `u32` ids, and a transition is a single cache probe
+/// instead of a subset-construction fan-out. Id 0 is pre-interned as the
+/// empty set so "dead state" is an integer compare.
+///
+/// Id assignment order depends on thread interleaving, but ids never
+/// escape the automaton and acceptance only consults emptiness, so the
+/// numbering is unobservable.
+#[derive(Debug)]
+struct StateSetInterner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    ids: FxHashMap<Arc<[NodeId]>, u32>,
+    sets: Vec<Arc<[NodeId]>>,
+}
+
+impl StateSetInterner {
+    fn new() -> StateSetInterner {
+        let empty: Arc<[NodeId]> = Vec::new().into();
+        let mut inner = InternerInner::default();
+        inner.ids.insert(Arc::clone(&empty), EMPTY_SET);
+        inner.sets.push(empty);
+        StateSetInterner {
+            inner: RwLock::new(inner),
+        }
+    }
+
+    /// Canonicalizes `set` (sort + dedup in place) and returns its id,
+    /// interning it if new.
+    fn intern(&self, set: &mut Vec<NodeId>) -> u32 {
+        set.sort_unstable();
+        set.dedup();
+        if set.is_empty() {
+            return EMPTY_SET;
+        }
+        if let Some(&id) = self.inner.read().unwrap().ids.get(set.as_slice()) {
+            return id;
+        }
+        let mut w = self.inner.write().unwrap();
+        // Double-check under the write lock: a racing thread may have
+        // interned the same set between our read probe and here.
+        if let Some(&id) = w.ids.get(set.as_slice()) {
+            return id;
+        }
+        let arc: Arc<[NodeId]> = set.as_slice().into();
+        let id = w.sets.len() as u32;
+        w.sets.push(Arc::clone(&arc));
+        w.ids.insert(arc, id);
+        id
+    }
+
+    /// The set behind an id.
+    fn set(&self, id: u32) -> Arc<[NodeId]> {
+        Arc::clone(&self.inner.read().unwrap().sets[id as usize])
+    }
+
+    /// Number of interned sets (including the pre-interned empty set).
+    fn len(&self) -> usize {
+        self.inner.read().unwrap().sets.len()
+    }
+}
+
+/// Counters from the tabled abstract DFA (Definition 4.3 made concrete):
+/// transition-cache hits/misses and the number of distinct state-sets
+/// interned. Scheduling-dependent under parallelism (racing workers may
+/// both count a miss for the same entry), so report equality ignores
+/// them — they are diagnostics, not results.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DfaCacheStats {
+    /// Transitions answered from the memo table.
+    pub hits: u64,
+    /// Transitions that fell back to subset construction.
+    pub misses: u64,
+    /// Distinct abstract state-sets interned (including the empty set).
+    pub interned: u64,
 }
 
 /// The abstract NFA (ANFA) over an [`Icfg`], with memoized ε-closures.
@@ -92,6 +181,19 @@ pub struct AbstractNfa<'a> {
     /// Memoized: control nodes reachable from a node itself (used for the
     /// abstract start when the first trace symbol is non-control).
     control_closure: ShardedCache<NodeId, Arc<[NodeId]>>,
+    /// Hash-consed abstract state-sets, shared across segments and
+    /// workers for the lifetime of the automaton.
+    interner: StateSetInterner,
+    /// Memoized DFA transitions `(state-set id, incoming direction,
+    /// next control op) → state-set id`. The consumed symbol's own
+    /// direction does not shape the successor set (symbols match on op
+    /// alone; the direction constrains the *next* step's edges), so it is
+    /// deliberately absent from the key.
+    transitions: ShardedCache<(u32, BranchDir, OpKind), u32>,
+    /// Transition-cache hit count (diagnostics; relaxed).
+    hits: AtomicU64,
+    /// Transition-cache miss count (diagnostics; relaxed).
+    misses: AtomicU64,
 }
 
 impl<'a> AbstractNfa<'a> {
@@ -101,6 +203,19 @@ impl<'a> AbstractNfa<'a> {
             nfa: Nfa::new(program, icfg),
             control_succ: ShardedCache::new(),
             control_closure: ShardedCache::new(),
+            interner: StateSetInterner::new(),
+            transitions: ShardedCache::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the tabled-DFA cache counters.
+    pub fn dfa_stats(&self) -> DfaCacheStats {
+        DfaCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            interned: self.interner.len() as u64,
         }
     }
 
@@ -136,7 +251,7 @@ impl<'a> AbstractNfa<'a> {
         }
         let icfg = self.nfa.icfg();
         let mut out: Vec<NodeId> = Vec::new();
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = crate::fx::FxHashSet::default();
         let mut stack: Vec<NodeId> = icfg
             .edges(from)
             .iter()
@@ -173,13 +288,85 @@ impl<'a> AbstractNfa<'a> {
         rc
     }
 
+    /// One tabled DFA step: the interned successor set of state-set `id`
+    /// when the incoming edges are constrained by `prev_dir` and the next
+    /// control symbol has op `op`. Misses run subset construction once;
+    /// every later occurrence of the same `(id, dir, op)` context — hot
+    /// loops dominate real traces — is a single cache probe.
+    fn transition(&self, id: u32, prev_dir: BranchDir, op: OpKind) -> u32 {
+        let key = (id, prev_dir, op);
+        if let Some(next) = self.transitions.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return next;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let states = self.interner.set(id);
+        let mut next: Vec<NodeId> = Vec::new();
+        for &u in states.iter() {
+            for &v in self.control_successors(u, prev_dir).iter() {
+                if self.nfa.insn(v).op_kind() == op {
+                    next.push(v);
+                }
+            }
+        }
+        let next_id = self.interner.intern(&mut next);
+        // Racing workers may compute the same entry; the interner
+        // guarantees they agree on the id, so the insert is idempotent.
+        self.transitions.insert(key, next_id);
+        next_id
+    }
+
     /// Necessary-condition test (Theorem 4.4): can the abstract sequence
     /// `abs` be accepted starting from concrete node `start` that has just
     /// consumed `first`?
     ///
     /// If this returns `false`, the concrete sequence cannot be accepted
     /// from `start` either.
+    ///
+    /// This is Definition 4.3's DFA made real: the current state-set is an
+    /// interned id and each symbol is one [`AbstractNfa::transition`]
+    /// probe, with the memo table persistent across segments and shared
+    /// across workers. Equivalent to the per-call subset simulation kept
+    /// as [`AbstractNfa::abstract_accepts_from_reference`] — acceptance
+    /// only depends on whether the reachable set goes empty, which
+    /// interning preserves exactly.
     pub fn abstract_accepts_from(&self, start: NodeId, first: Sym, abs: &[Sym]) -> bool {
+        if abs.is_empty() {
+            return true;
+        }
+        // Establish the abstract start configuration.
+        let (mut states, mut prev_dir): (Vec<NodeId>, BranchDir) = if first.is_control() {
+            // `start` consumed abs[0] (== first).
+            (vec![start], first.dir)
+        } else {
+            // ε-advance to the first control nodes; they must match abs[0].
+            (
+                self.control_closure(start)
+                    .iter()
+                    .copied()
+                    .filter(|&n| abs[0].matches_instruction(self.nfa.insn(n)))
+                    .collect(),
+                abs[0].dir,
+            )
+        };
+        let mut id = self.interner.intern(&mut states);
+        if id == EMPTY_SET {
+            return false;
+        }
+        for &sym in &abs[1..] {
+            id = self.transition(id, prev_dir, sym.op);
+            if id == EMPTY_SET {
+                return false;
+            }
+            prev_dir = sym.dir;
+        }
+        true
+    }
+
+    /// The seed per-call subset simulation, kept verbatim as the oracle
+    /// for the matcher-equivalence property tests. Recomputes every step
+    /// from scratch; not used on any hot path.
+    pub fn abstract_accepts_from_reference(&self, start: NodeId, first: Sym, abs: &[Sym]) -> bool {
         // Establish the abstract start configuration.
         let (mut states, mut next_idx, mut prev_dir): (Vec<NodeId>, usize, BranchDir) =
             if first.is_control() {
@@ -236,6 +423,12 @@ impl<'a> AbstractNfa<'a> {
     /// set-simulation, preserving the paper's "return the first accepting
     /// path" semantics.
     pub fn algorithm2(&self, syms: &[Sym]) -> MatchOutcome {
+        self.algorithm2_with(syms, &mut MatchScratch::new())
+    }
+
+    /// [`AbstractNfa::algorithm2`] with caller-provided scratch buffers
+    /// for the concrete set-simulation phase.
+    pub fn algorithm2_with(&self, syms: &[Sym], scratch: &mut MatchScratch) -> MatchOutcome {
         if syms.is_empty() {
             return MatchOutcome::Accepted(Vec::new());
         }
@@ -250,7 +443,7 @@ impl<'a> AbstractNfa<'a> {
         if survivors.is_empty() {
             return MatchOutcome::Rejected(0);
         }
-        self.nfa.match_from(&survivors, syms)
+        self.nfa.match_from_with(&survivors, syms, scratch)
     }
 
     /// Number of start candidates that survive the abstract filter, and

@@ -1,0 +1,134 @@
+//! A tiny FxHash-style hasher for the hot in-memory caches.
+//!
+//! `std`'s default SipHash is keyed and DoS-resistant, which the matcher
+//! caches do not need: every key is an internal, attacker-free value
+//! (node ids, interned state-set ids, opcode bytes), and the SipHash
+//! rounds dominate the cost of a lookup whose payload is one or two
+//! machine words. This is the multiply-xor scheme popularized by
+//! rustc's `FxHasher`, implemented in-tree because the build has no
+//! crates.io access (same shim policy as `proptest`/`criterion`).
+//!
+//! Determinism note: iteration order of a `HashMap` is unspecified under
+//! *any* hasher, so no caller may depend on it — the determinism tests
+//! guard that contract; switching hashers cannot change observable
+//! results, only lookup latency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FNV-adjacent constant rustc uses; one multiply and
+/// a rotate per word gives sufficient avalanche for table indexing.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: a single 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_small_keys_hash_distinctly() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            assert!(seen.insert(hash_of(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn byte_slices_of_different_lengths_differ() {
+        assert_ne!(hash_of([0u8; 3].as_slice()), hash_of([0u8; 4].as_slice()));
+        assert_ne!(hash_of(b"abc".as_slice()), hash_of(b"abd".as_slice()));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u8), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, (i % 7) as u8), i * 3);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m[&(i, (i % 7) as u8)], i * 3);
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        // Unkeyed by design: two hashers agree, so shard selection is
+        // stable across threads and runs.
+        assert_eq!(hash_of(12345u64), hash_of(12345u64));
+        assert_eq!(hash_of("path"), hash_of("path"));
+    }
+}

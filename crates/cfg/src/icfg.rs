@@ -131,11 +131,20 @@ pub struct Icfg {
     base: Vec<u32>,
     /// Owning method per node.
     method_of: Vec<MethodId>,
-    /// Outgoing edges per node.
-    edges: Vec<Vec<Edge>>,
-    /// Nodes indexed by operation kind (candidate starting points for
-    /// projection, paper §4 "Problem Formulation").
-    by_op: HashMap<OpKind, Vec<NodeId>>,
+    /// CSR adjacency: edges of node `n` are
+    /// `edge_data[edge_offsets[n]..edge_offsets[n + 1]]`. Contiguous
+    /// storage keeps the matcher's fan-out loops on one cache line per
+    /// node instead of chasing a `Vec<Vec<_>>` indirection per visit.
+    edge_offsets: Vec<u32>,
+    /// CSR adjacency payload, per-node order preserved from construction.
+    edge_data: Vec<Edge>,
+    /// Dense op-kind index: nodes whose instruction has kind `op` are
+    /// `op_nodes[op_ranges[op as usize] .. op_ranges[op as usize + 1]]`,
+    /// ascending by node id (candidate starting points for projection,
+    /// paper §4 "Problem Formulation").
+    op_ranges: Vec<u32>,
+    /// Concatenated per-op node lists backing `op_ranges`.
+    op_nodes: Vec<NodeId>,
 }
 
 impl Icfg {
@@ -321,28 +330,56 @@ impl Icfg {
             }
         }
 
-        // Op-kind index for candidate starting states.
-        let mut by_op: HashMap<OpKind, Vec<NodeId>> = HashMap::new();
+        // Flatten the per-node adjacency lists into CSR form. Per-node
+        // edge order (and thus every `edges()` observer) is unchanged.
+        let mut edge_offsets = Vec::with_capacity(edges.len() + 1);
+        let mut edge_data = Vec::with_capacity(edges.iter().map(Vec::len).sum());
+        for list in &edges {
+            edge_offsets.push(edge_data.len() as u32);
+            edge_data.extend_from_slice(list);
+        }
+        edge_offsets.push(edge_data.len() as u32);
+
+        // Dense op-kind index for candidate starting states: counting
+        // sort over nodes in id order, so each per-op slice stays
+        // ascending by node id exactly as the map-based index was.
+        let n_ops = OpKind::ALL.len();
+        let mut op_counts = vec![0u32; n_ops];
+        for (_, method) in program.methods() {
+            for insn in &method.code {
+                op_counts[insn.op_kind() as usize] += 1;
+            }
+        }
+        let mut op_ranges = Vec::with_capacity(n_ops + 1);
+        let mut running = 0u32;
+        for &c in &op_counts {
+            op_ranges.push(running);
+            running += c;
+        }
+        op_ranges.push(running);
+        let mut op_cursor: Vec<u32> = op_ranges[..n_ops].to_vec();
+        let mut op_nodes = vec![NodeId(0); running as usize];
         for (mid, method) in program.methods() {
             for (i, insn) in method.code.iter().enumerate() {
-                by_op
-                    .entry(insn.op_kind())
-                    .or_default()
-                    .push(node(mid, Bci(i as u32)));
+                let slot = &mut op_cursor[insn.op_kind() as usize];
+                op_nodes[*slot as usize] = node(mid, Bci(i as u32));
+                *slot += 1;
             }
         }
 
         Icfg {
             base,
             method_of,
-            edges,
-            by_op,
+            edge_offsets,
+            edge_data,
+            op_ranges,
+            op_nodes,
         }
     }
 
     /// Total number of nodes (= total instructions in the program).
     pub fn node_count(&self) -> usize {
-        self.edges.len()
+        self.method_of.len()
     }
 
     /// The node for `(method, bci)`.
@@ -367,15 +404,21 @@ impl Icfg {
     }
 
     /// Outgoing edges of `node`.
+    #[inline]
     pub fn edges(&self, node: NodeId) -> &[Edge] {
-        &self.edges[node.index()]
+        let lo = self.edge_offsets[node.index()] as usize;
+        let hi = self.edge_offsets[node.index() + 1] as usize;
+        &self.edge_data[lo..hi]
     }
 
     /// All nodes whose instruction has operation kind `op` — the candidate
     /// start states for projecting a trace segment whose first symbol is
-    /// `op`.
+    /// `op`. Ascending by node id.
+    #[inline]
     pub fn nodes_with_op(&self, op: OpKind) -> &[NodeId] {
-        self.by_op.get(&op).map(Vec::as_slice).unwrap_or(&[])
+        let lo = self.op_ranges[op as usize] as usize;
+        let hi = self.op_ranges[op as usize + 1] as usize;
+        &self.op_nodes[lo..hi]
     }
 
     /// The entry node of a method.
@@ -385,29 +428,25 @@ impl Icfg {
 
     /// Total number of edges (diagnostics).
     pub fn edge_count(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum()
+        self.edge_data.len()
     }
 
     /// All node ids, in id order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.edges.len() as u32).map(NodeId)
+        (0..self.method_of.len() as u32).map(NodeId)
     }
 
     /// The edge `from → to`, if one exists (the first such edge in
     /// insertion order when parallel edges of different kinds exist).
     pub fn edge_between(&self, from: NodeId, to: NodeId) -> Option<Edge> {
-        self.edges[from.index()]
-            .iter()
-            .copied()
-            .find(|e| e.to == to)
+        self.edges(from).iter().copied().find(|e| e.to == to)
     }
 
     /// Number of `Call` edges (the family virtual-call refinement
     /// shrinks).
     pub fn call_edge_count(&self) -> usize {
-        self.edges
+        self.edge_data
             .iter()
-            .flatten()
             .filter(|e| e.kind == EdgeKind::Call)
             .count()
     }

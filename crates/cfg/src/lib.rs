@@ -18,13 +18,15 @@
 
 pub mod abs;
 pub mod block;
+pub mod fx;
 pub mod icfg;
 pub mod nfa;
 pub mod sym;
 pub mod tier;
 
 pub use block::{Block, BlockEdge, BlockId, Cfg};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use icfg::{CallTargetResolver, Edge, EdgeKind, Icfg, NodeId};
-pub use nfa::{MatchOutcome, Nfa};
+pub use nfa::{MatchOutcome, MatchScratch, Nfa};
 pub use sym::{BranchDir, Sym};
 pub use tier::Tier;

@@ -40,6 +40,68 @@ impl MatchOutcome {
     }
 }
 
+/// Reusable buffers for [`Nfa::match_from_with`] and friends.
+///
+/// Set simulation needs one frontier of `(state, back-pointer)` entries
+/// per consumed symbol plus a per-symbol visited set. Allocating those
+/// afresh for every segment (and a `HashSet` for every *symbol*) dominated
+/// the projection inner loop, so the scratch keeps:
+///
+/// * `arena` — an append-only arena of `(state, parent)` entries, where
+///   `parent` is an absolute arena index into the previous layer
+///   (`u32::MAX` marks a start state). Layers are contiguous runs.
+/// * `layer_starts` — the arena offset where each layer begins.
+/// * `seen` — a generation-stamped dense visited array (`seen[n] == gen`
+///   means node `n` already joined the current layer), so per-layer dedup
+///   is two array accesses instead of a SipHash set probe.
+///
+/// One scratch may be reused across any number of matches (the buffers
+/// only ever grow to the high-water mark); it is `begin`-reset internally
+/// by every matching entry point.
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    arena: Vec<(NodeId, u32)>,
+    layer_starts: Vec<u32>,
+    seen: Vec<u32>,
+    generation: u32,
+}
+
+impl MatchScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> MatchScratch {
+        MatchScratch::default()
+    }
+
+    /// Resets per-match state and sizes `seen` for a graph of
+    /// `node_count` nodes. O(1) amortized: nothing is zeroed unless the
+    /// generation counter wraps.
+    fn begin(&mut self, node_count: usize) {
+        self.arena.clear();
+        self.layer_starts.clear();
+        if self.seen.len() < node_count {
+            self.seen.resize(node_count, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // u32 wrap: old stamps could alias the new generation.
+            self.seen.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Starts a new frontier layer; returns its arena offset.
+    fn open_layer(&mut self) -> u32 {
+        let at = self.arena.len() as u32;
+        self.layer_starts.push(at);
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.seen.fill(0);
+            self.generation = 1;
+        }
+        at
+    }
+}
+
 /// NFA view over an [`Icfg`].
 ///
 /// # Examples
@@ -113,7 +175,169 @@ impl<'a> Nfa<'a> {
     /// the first-discovered one (stable in edge order) is returned — the
     /// paper likewise "picks one path that most likely corresponds to the
     /// actual execution".
+    ///
+    /// Convenience wrapper over [`Nfa::match_from_with`] with a one-shot
+    /// scratch; hot callers should hold a [`MatchScratch`] and call the
+    /// `_with` variant to reuse buffers across segments.
     pub fn match_from(&self, starts: &[NodeId], syms: &[Sym]) -> MatchOutcome {
+        self.match_from_with(starts, syms, &mut MatchScratch::new())
+    }
+
+    /// Set-simulation using caller-provided scratch buffers: no per-symbol
+    /// allocations and no hashing in the inner loop.
+    ///
+    /// Equivalent to [`Nfa::match_from_reference`] (outcome *and* witness
+    /// path) — the frontier is walked in the same order and dedup is
+    /// first-wins, so the "first-discovered" witness is identical; the
+    /// matcher-equivalence property test pins this down.
+    pub fn match_from_with(
+        &self,
+        starts: &[NodeId],
+        syms: &[Sym],
+        scratch: &mut MatchScratch,
+    ) -> MatchOutcome {
+        if syms.is_empty() {
+            return MatchOutcome::Accepted(Vec::new());
+        }
+        scratch.begin(self.icfg.node_count());
+        // Layer 0: start states that can consume the first symbol.
+        // (No dedup: duplicate starts stay duplicated, as in the
+        // reference; only subsequent layers deduplicate.)
+        scratch.layer_starts.push(0);
+        for &n in starts {
+            if syms[0].matches_instruction(self.insn(n)) {
+                scratch.arena.push((n, u32::MAX));
+            }
+        }
+        if scratch.arena.is_empty() {
+            return MatchOutcome::Rejected(0);
+        }
+
+        for (i, &sym) in syms.iter().enumerate().skip(1) {
+            let prev_sym = syms[i - 1];
+            let prev_lo = scratch.layer_starts[i - 1] as usize;
+            let prev_hi = scratch.arena.len();
+            let lo = scratch.open_layer() as usize;
+            let generation = scratch.generation;
+            for pi in prev_lo..prev_hi {
+                let state = scratch.arena[pi].0;
+                for e in self.icfg.edges(state) {
+                    if !e.kind.compatible_with(prev_sym.dir) {
+                        continue;
+                    }
+                    let succ = e.to;
+                    if scratch.seen[succ.index()] == generation {
+                        continue;
+                    }
+                    if sym.matches_instruction(self.insn(succ)) {
+                        scratch.seen[succ.index()] = generation;
+                        scratch.arena.push((succ, pi as u32));
+                    }
+                }
+            }
+            if scratch.arena.len() == lo {
+                return MatchOutcome::Rejected(i);
+            }
+        }
+
+        // Reconstruct a witness from the first accepting state, following
+        // absolute arena back-pointers.
+        let mut path = vec![NodeId(0); syms.len()];
+        let mut at = scratch.layer_starts[syms.len() - 1] as usize;
+        for slot in path.iter_mut().rev() {
+            let (node, parent) = scratch.arena[at];
+            *slot = node;
+            if parent != u32::MAX {
+                at = parent as usize;
+            }
+        }
+        MatchOutcome::Accepted(path)
+    }
+
+    /// Longest constrained prefix match, the primitive behind segment
+    /// projection: `starts` have already consumed `syms[0]`; consume as
+    /// many further symbols as possible, where `pin(j)` (for `j ≥ 1`,
+    /// relative to `syms`) optionally pins the state that must match
+    /// symbol `j` (JIT-decoded events carry exact locations). Unlike
+    /// [`Nfa::match_from_with`] a dead frontier is not a rejection — the
+    /// longest matched prefix wins.
+    ///
+    /// `witness` is cleared and filled with one node per matched symbol
+    /// (the first-discovered path, stable in edge order); the matched
+    /// length (≥ 1, ≤ `syms.len()`) is returned. Start states are taken
+    /// as-is — callers pre-filter or pin them.
+    pub fn match_longest_constrained_with<P>(
+        &self,
+        starts: &[NodeId],
+        syms: &[Sym],
+        pin: P,
+        scratch: &mut MatchScratch,
+        witness: &mut Vec<NodeId>,
+    ) -> usize
+    where
+        P: Fn(usize) -> Option<NodeId>,
+    {
+        debug_assert!(!starts.is_empty() && !syms.is_empty());
+        scratch.begin(self.icfg.node_count());
+        scratch.layer_starts.push(0);
+        for &n in starts {
+            scratch.arena.push((n, u32::MAX));
+        }
+
+        let mut matched = 1usize;
+        for (j, &sym) in syms.iter().enumerate().skip(1) {
+            let prev_sym = syms[j - 1];
+            let want = pin(j);
+            let prev_lo = scratch.layer_starts[j - 1] as usize;
+            let prev_hi = scratch.arena.len();
+            let lo = scratch.open_layer() as usize;
+            let generation = scratch.generation;
+            for pi in prev_lo..prev_hi {
+                let state = scratch.arena[pi].0;
+                for e in self.icfg.edges(state) {
+                    if !e.kind.compatible_with(prev_sym.dir) {
+                        continue;
+                    }
+                    let succ = e.to;
+                    if let Some(w) = want {
+                        if succ != w {
+                            continue;
+                        }
+                    }
+                    if scratch.seen[succ.index()] == generation {
+                        continue;
+                    }
+                    if sym.matches_instruction(self.insn(succ)) {
+                        scratch.seen[succ.index()] = generation;
+                        scratch.arena.push((succ, pi as u32));
+                    }
+                }
+            }
+            if scratch.arena.len() == lo {
+                // Dead frontier: drop the empty layer and stop.
+                scratch.layer_starts.pop();
+                break;
+            }
+            matched = j + 1;
+        }
+
+        witness.clear();
+        witness.resize(matched, NodeId(0));
+        let mut at = scratch.layer_starts[matched - 1] as usize;
+        for slot in witness.iter_mut().rev() {
+            let (node, parent) = scratch.arena[at];
+            *slot = node;
+            if parent != u32::MAX {
+                at = parent as usize;
+            }
+        }
+        matched
+    }
+
+    /// The seed implementation of [`Nfa::match_from`], kept verbatim as
+    /// the oracle for the matcher-equivalence property tests (per-layer
+    /// `Vec`s, per-symbol `HashSet` dedup). Not used on any hot path.
+    pub fn match_from_reference(&self, starts: &[NodeId], syms: &[Sym]) -> MatchOutcome {
         if syms.is_empty() {
             return MatchOutcome::Accepted(Vec::new());
         }
@@ -163,10 +387,15 @@ impl<'a> Nfa<'a> {
     /// Matches from every candidate start simultaneously (the efficient
     /// multi-start variant used by the reconstruction pipeline).
     pub fn match_anywhere(&self, syms: &[Sym]) -> MatchOutcome {
+        self.match_anywhere_with(syms, &mut MatchScratch::new())
+    }
+
+    /// [`Nfa::match_anywhere`] with caller-provided scratch buffers.
+    pub fn match_anywhere_with(&self, syms: &[Sym], scratch: &mut MatchScratch) -> MatchOutcome {
         if syms.is_empty() {
             return MatchOutcome::Accepted(Vec::new());
         }
-        self.match_from(self.start_candidates(syms[0]), syms)
+        self.match_from_with(self.start_candidates(syms[0]), syms, scratch)
     }
 
     /// Matches starting exactly at a method's entry node (used when the
@@ -184,9 +413,10 @@ impl<'a> Nfa<'a> {
         if syms.is_empty() {
             return MatchOutcome::Accepted(Vec::new());
         }
+        let mut scratch = MatchScratch::new();
         let mut furthest = 0usize;
         for &n in self.start_candidates(syms[0]) {
-            match self.match_from(std::slice::from_ref(&n), syms) {
+            match self.match_from_with(std::slice::from_ref(&n), syms, &mut scratch) {
                 MatchOutcome::Accepted(p) => return MatchOutcome::Accepted(p),
                 MatchOutcome::Rejected(at) => furthest = furthest.max(at),
             }

@@ -85,7 +85,7 @@ pub fn decode_segment(program: &Program, archive: &MetadataArchive, raw: &RawSeg
     let mut out = BcSegment {
         events: Vec::new(),
         loss_before: raw.loss_before,
-        core: 0,
+        core: raw.core,
     };
     let templates = &archive.templates;
     let mut state = WalkState::Idle;
@@ -360,7 +360,7 @@ mod tests {
         let r = Jvm::new(cfg).run(program);
         let traces = r.traces.as_ref().expect("tracing on");
         let packets = decode_packets(&traces.per_core[0].bytes);
-        let raw = segment_stream(packets, &traces.per_core[0].losses);
+        let raw = segment_stream(packets, &traces.per_core[0].losses, 0);
         let segs = raw
             .iter()
             .map(|s| decode_segment(program, &r.archive, s))

@@ -9,14 +9,15 @@
 
 use jportal_analysis::{lint_steps, AnalysisIndex, LintDiagnostic, LintStep, LintSummary, Rta};
 use jportal_bytecode::Program;
-use jportal_cfg::abs::AbstractNfa;
-use jportal_cfg::Icfg;
+use jportal_cfg::abs::{AbstractNfa, DfaCacheStats};
+use jportal_cfg::{Icfg, MatchScratch};
 use jportal_ipt::{CollectedTraces, ThreadId};
 use jportal_jvm::MetadataArchive;
+use std::cell::RefCell;
 
 use crate::decode::decode_segment;
-use crate::reconstruct::{project_segment, ProjectionConfig, ProjectionStats};
-use crate::recover::{Recovery, RecoveryConfig, RecoveryStats, SegmentView};
+use crate::reconstruct::{project_segment_with, ProjectionConfig, ProjectionStats};
+use crate::recover::{FillScratch, Recovery, RecoveryConfig, RecoveryStats, SegmentView};
 pub use crate::recover::{TraceEntry, TraceOrigin};
 use crate::threads::{segregate, ThreadPiece};
 
@@ -83,10 +84,23 @@ pub struct ThreadReport {
 }
 
 /// The full analysis result.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct JPortalReport {
     /// Per-thread reconstructions, sorted by thread id.
     pub threads: Vec<ThreadReport>,
+    /// Abstract-DFA transition-cache counters for this analysis
+    /// (diagnostics; see [`DfaCacheStats`]).
+    pub dfa_cache: DfaCacheStats,
+}
+
+/// Report equality deliberately ignores [`JPortalReport::dfa_cache`]: the
+/// cache counters depend on worker scheduling (two workers can both miss
+/// on a key one of them is about to fill), while everything else in the
+/// report is part of the determinism contract.
+impl PartialEq for JPortalReport {
+    fn eq(&self, other: &JPortalReport) -> bool {
+        self.threads == other.threads
+    }
 }
 
 impl JPortalReport {
@@ -221,18 +235,31 @@ impl<'p> JPortal<'p> {
             .enumerate()
             .flat_map(|(ti, (_, pieces))| (0..pieces.len()).map(move |pi| (ti, pi)))
             .collect();
+        // Each worker thread keeps one `MatchScratch` for the whole pass
+        // (workers are fresh scoped threads per par_map call, so the
+        // thread-local starts empty and is reused across every piece the
+        // worker claims — no per-segment frontier allocations).
+        thread_local! {
+            static PROJ_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
+        }
         let projected: Vec<(SegmentView, ProjectionStats)> =
             jportal_par::par_map(workers, &work, |_, &(ti, pi)| {
                 let piece = &thread_pieces[ti].1[pi];
-                let mut decoded = decode_segment(self.program, archive, &piece.segment);
-                decoded.core = piece.core;
-                let proj = project_segment(
-                    self.program,
-                    &self.icfg,
-                    &anfa,
-                    &decoded.events,
-                    &self.config.projection,
-                );
+                // `piece.segment` carries its capture core from the
+                // per-core drain path, so the decoded segment is already
+                // attributed correctly.
+                let decoded = decode_segment(self.program, archive, &piece.segment);
+                debug_assert_eq!(decoded.core, piece.core);
+                let proj = PROJ_SCRATCH.with(|s| {
+                    project_segment_with(
+                        self.program,
+                        &self.icfg,
+                        &anfa,
+                        &decoded.events,
+                        &self.config.projection,
+                        &mut s.borrow_mut(),
+                    )
+                });
                 (
                     SegmentView {
                         events: decoded.events,
@@ -269,7 +296,10 @@ impl<'p> JPortal<'p> {
         // `thread_pieces` was sorted by thread id and every join above is
         // order-preserving, so the report is already deterministically
         // sorted.
-        JPortalReport { threads }
+        JPortalReport {
+            threads,
+            dfa_cache: anfa.dfa_stats(),
+        }
     }
 
     /// Compacts one thread's projected segments, recovers across lossy
@@ -305,17 +335,20 @@ impl<'p> JPortal<'p> {
             .with_dominators(&self.analysis);
         let mut entries: Vec<TraceEntry> = Vec::new();
         let mut steps: Vec<LintStep> = Vec::new();
+        // One walk scratch for all of this thread's holes.
+        let mut fill_scratch = FillScratch::new();
         for i in 0..compacted.len() {
             if i > 0 {
                 if let Some(loss) = compacted[i].loss_before {
                     holes.push((loss.first_ts, loss.last_ts));
                     if !self.config.disable_recovery {
-                        let fill = recovery.fill_hole(
+                        let fill = recovery.fill_hole_with(
                             &compacted,
                             i - 1,
                             i,
                             Some(loss),
                             &mut recovery_stats,
+                            &mut fill_scratch,
                         );
                         entries.extend(fill.entries);
                         steps.extend(fill.steps);

@@ -196,6 +196,7 @@ mod tests {
                 segments: 1,
                 lint: vec![],
             }],
+            dfa_cache: Default::default(),
         }
     }
 

@@ -17,7 +17,7 @@
 
 use jportal_bytecode::Program;
 use jportal_cfg::abs::AbstractNfa;
-use jportal_cfg::{Icfg, Nfa, NodeId};
+use jportal_cfg::{Icfg, MatchScratch, Nfa, NodeId, Sym};
 
 use crate::decode::BcEvent;
 
@@ -100,12 +100,29 @@ pub struct Projection {
 ///
 /// Returns one `Option<NodeId>` per event (in order), the restart seam
 /// positions, and statistics.
+///
+/// Convenience wrapper over [`project_segment_with`] with one-shot
+/// scratch; pipeline workers hold a [`MatchScratch`] across segments.
 pub fn project_segment(
     program: &Program,
     icfg: &Icfg,
     anfa: &AbstractNfa<'_>,
     events: &[BcEvent],
     cfg: &ProjectionConfig,
+) -> Projection {
+    project_segment_with(program, icfg, anfa, events, cfg, &mut MatchScratch::new())
+}
+
+/// [`project_segment`] with caller-provided scratch buffers for the
+/// layered set-simulation (no per-symbol allocations; the frontier arena
+/// is reused across matched runs and across segments).
+pub fn project_segment_with(
+    program: &Program,
+    icfg: &Icfg,
+    anfa: &AbstractNfa<'_>,
+    events: &[BcEvent],
+    cfg: &ProjectionConfig,
+    scratch: &mut MatchScratch,
 ) -> Projection {
     let nfa = Nfa::new(program, icfg);
     let mut out: Vec<Option<NodeId>> = vec![None; events.len()];
@@ -119,6 +136,12 @@ pub fn project_segment(
         }
     };
 
+    // One flat symbol array per segment, so matched runs and abstraction
+    // windows are slices instead of per-restart collects.
+    let syms: Vec<Sym> = events.iter().map(|e| e.sym).collect();
+    let mut starts: Vec<NodeId> = Vec::new();
+    let mut witness: Vec<NodeId> = Vec::new();
+
     let mut i = 0usize;
     while i < events.len() {
         // Each outer iteration starts a fresh matched run; all but the
@@ -128,25 +151,25 @@ pub fn project_segment(
         }
         // Build the start layer for position i.
         let sym0 = events[i].sym;
-        let starts: Vec<NodeId> = match constraint(&events[i]) {
-            Some(n) => vec![n],
+        starts.clear();
+        match constraint(&events[i]) {
+            Some(n) => starts.push(n),
             None => {
                 let candidates = nfa.start_candidates(sym0);
                 stats.candidates_tried += candidates.len();
                 if cfg.use_abstraction && candidates.len() >= cfg.abstraction_threshold {
                     let lookahead_end = (i + cfg.abstraction_lookahead).min(events.len());
-                    let window: Vec<jportal_cfg::Sym> =
-                        events[i..lookahead_end].iter().map(|e| e.sym).collect();
-                    let abs = jportal_cfg::tier::abstract_seq(&window, jportal_cfg::Tier::Control);
-                    let survivors: Vec<NodeId> = candidates
-                        .iter()
-                        .copied()
-                        .filter(|&n| anfa.abstract_accepts_from(n, sym0, &abs))
-                        .collect();
-                    stats.candidates_pruned += candidates.len() - survivors.len();
-                    survivors
+                    let window = &syms[i..lookahead_end];
+                    let abs = jportal_cfg::tier::abstract_seq(window, jportal_cfg::Tier::Control);
+                    starts.extend(
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&n| anfa.abstract_accepts_from(n, sym0, &abs)),
+                    );
+                    stats.candidates_pruned += candidates.len() - starts.len();
                 } else {
-                    candidates.to_vec()
+                    starts.extend_from_slice(candidates);
                 }
             }
         };
@@ -159,48 +182,22 @@ pub fn project_segment(
         }
 
         // Layered simulation with constraints, keeping the longest prefix.
-        let mut layers: Vec<Vec<(NodeId, usize)>> = Vec::new();
-        layers.push(starts.iter().map(|&n| (n, usize::MAX)).collect());
-        let mut j = i + 1;
-        while j < events.len() {
-            let prev_sym = events[j - 1].sym;
-            let sym = events[j].sym;
-            let want = constraint(&events[j]);
-            let prev_layer = layers.last().expect("non-empty");
-            let mut next: Vec<(NodeId, usize)> = Vec::new();
-            let mut seen = std::collections::HashSet::new();
-            for (pi, &(state, _)) in prev_layer.iter().enumerate() {
-                for succ in nfa.step(state, prev_sym, sym) {
-                    if let Some(w) = want {
-                        if succ != w {
-                            continue;
-                        }
-                    }
-                    if seen.insert(succ) {
-                        next.push((succ, pi));
-                    }
-                }
-            }
-            if next.is_empty() {
-                break;
-            }
-            layers.push(next);
-            j += 1;
-        }
-
-        // Extract a witness for [i, j).
-        let matched_len = layers.len();
-        let mut idx = 0usize;
-        for back in (0..matched_len).rev() {
-            let (node, parent) = layers[back][idx];
+        let matched_len = nfa.match_longest_constrained_with(
+            &starts,
+            &syms[i..],
+            |k| constraint(&events[i + k]),
+            scratch,
+            &mut witness,
+        );
+        for (back, &node) in witness.iter().enumerate() {
             out[i + back] = Some(node);
-            idx = if parent == usize::MAX { 0 } else { parent };
         }
+        let j = i + matched_len;
         stats.matched += matched_len;
         if j < events.len() {
             stats.restarts += 1;
         }
-        i = j.max(i + 1);
+        i = j;
     }
     Projection {
         nodes: out,

@@ -18,9 +18,9 @@
 
 use jportal_analysis::{AnalysisIndex, LintStep};
 use jportal_bytecode::{Bci, MethodId, OpKind, Program};
-use jportal_cfg::{Icfg, NodeId, Sym, Tier};
+use jportal_cfg::{FxHashMap, Icfg, NodeId, Sym, Tier};
 use jportal_ipt::ring::LossRecord;
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use crate::decode::BcEvent;
 
@@ -241,6 +241,50 @@ impl IndexedSegment {
 /// last symbol sits at `offset` (inclusive) in that segment.
 type Candidate = (usize, usize);
 
+/// Key of the anchor index: the opcode sequence of an anchor window.
+///
+/// Anchors are short (`anchor_len` defaults to 3), so the common case
+/// packs the opcodes into one `u64` — `OpKind` is `#[repr(u8)]` — and a
+/// probe is hash-one-word instead of allocate-a-`Vec`-and-hash-it. Longer
+/// anchors (> 8 opcodes) fall back to the heap spelling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum AnchorKey {
+    /// ≤ 8 opcodes, packed big-endian-ish as `(op + 1)` bytes so leading
+    /// opcode 0 is distinguishable from absence.
+    Packed(u64),
+    /// > 8 opcodes (never under default configs).
+    Long(Vec<OpKind>),
+}
+
+impl AnchorKey {
+    fn of(anchor: &[Sym]) -> AnchorKey {
+        if anchor.len() <= 8 {
+            let mut packed = 0u64;
+            for s in anchor {
+                packed = (packed << 8) | (s.op as u64 + 1);
+            }
+            AnchorKey::Packed(packed)
+        } else {
+            AnchorKey::Long(anchor.iter().map(|s| s.op).collect())
+        }
+    }
+}
+
+/// Reusable buffers for [`Recovery::fill_hole_with`]: the fallback walk's
+/// BFS parent map and queue, reused across a thread's holes.
+#[derive(Debug, Default)]
+pub struct FillScratch {
+    parent: FxHashMap<NodeId, NodeId>,
+    queue: VecDeque<(NodeId, usize)>,
+}
+
+impl FillScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> FillScratch {
+        FillScratch::default()
+    }
+}
+
 /// Below this many candidates the parallel scoring path is pure
 /// overhead: thread spawn plus the speculative (uncapped) suffix work
 /// costs more than the sequential scan saves.
@@ -257,8 +301,8 @@ pub struct Recovery<'a> {
     /// Per-method dominator facts for anchor ranking (optional).
     doms: Option<&'a AnalysisIndex>,
     indexed: Vec<IndexedSegment>,
-    /// Anchor index: op-kind key → candidate positions.
-    anchor_index: HashMap<Vec<OpKind>, Vec<Candidate>>,
+    /// Anchor index: packed op-kind key → candidate positions.
+    anchor_index: FxHashMap<AnchorKey, Vec<Candidate>>,
 }
 
 impl<'a> Recovery<'a> {
@@ -274,14 +318,14 @@ impl<'a> Recovery<'a> {
             .map(|s| IndexedSegment::new(&s.events))
             .collect();
         let x = cfg.anchor_len;
-        let mut anchor_index: HashMap<Vec<OpKind>, Vec<Candidate>> = HashMap::new();
+        let mut anchor_index: FxHashMap<AnchorKey, Vec<Candidate>> = FxHashMap::default();
         for (si, seg) in indexed.iter().enumerate() {
             if seg.syms.len() < x + 1 {
                 continue;
             }
             // Anchor ends at `end` (inclusive); a suffix must follow.
             for end in (x - 1)..seg.syms.len() - 1 {
-                let key: Vec<OpKind> = seg.syms[end + 1 - x..=end].iter().map(|s| s.op).collect();
+                let key = AnchorKey::of(&seg.syms[end + 1 - x..=end]);
                 anchor_index.entry(key).or_default().push((si, end));
             }
         }
@@ -321,7 +365,7 @@ impl<'a> Recovery<'a> {
 
     /// Candidate CS positions for an IS ending with `anchor` syms.
     fn candidates(&self, is_seg: usize, anchor: &[Sym]) -> Vec<Candidate> {
-        let key: Vec<OpKind> = anchor.iter().map(|s| s.op).collect();
+        let key = AnchorKey::of(anchor);
         let is_end = self.indexed[is_seg].syms.len() - 1;
         self.anchor_index
             .get(&key)
@@ -472,7 +516,8 @@ impl<'a> Recovery<'a> {
     }
 
     /// Fills the hole after `is_seg` using the ranked candidates; returns
-    /// the fill and how it was obtained.
+    /// the fill and how it was obtained. One-shot wrapper over
+    /// [`Recovery::fill_hole_with`].
     pub fn fill_hole(
         &self,
         segments: &[SegmentView],
@@ -480,6 +525,22 @@ impl<'a> Recovery<'a> {
         post_seg: usize,
         loss: Option<LossRecord>,
         stats: &mut RecoveryStats,
+    ) -> Fill {
+        let mut scratch = FillScratch::new();
+        self.fill_hole_with(segments, is_seg, post_seg, loss, stats, &mut scratch)
+    }
+
+    /// Fills the hole after `is_seg`, reusing `scratch` buffers for the
+    /// fallback walk; callers filling many holes (one per loss record per
+    /// thread) keep one scratch alive across all of them.
+    pub fn fill_hole_with(
+        &self,
+        segments: &[SegmentView],
+        is_seg: usize,
+        post_seg: usize,
+        loss: Option<LossRecord>,
+        stats: &mut RecoveryStats,
+        scratch: &mut FillScratch,
     ) -> Fill {
         stats.holes += 1;
         let post = &self.indexed[post_seg];
@@ -499,8 +560,8 @@ impl<'a> Recovery<'a> {
             // beginning, within budget.
             let suffix_start = end + 1;
             let max_fill = budget.min(cs.syms.len().saturating_sub(suffix_start));
-            let post_window: Vec<Sym> = post.syms.iter().take(y).copied().collect();
-            if post_window.len() < y.min(1) {
+            let post_window = &post.syms[..y.min(post.syms.len())];
+            if y >= 1 && post_window.is_empty() {
                 continue;
             }
             let mut found: Option<usize> = None;
@@ -527,7 +588,7 @@ impl<'a> Recovery<'a> {
         }
 
         // Fallback: walk the ICFG between the surrounding nodes.
-        if let Some(fill) = self.walk_fill(segments, is_seg, post_seg, loss) {
+        if let Some(fill) = self.walk_fill(segments, is_seg, post_seg, loss, scratch) {
             stats.filled_by_walk += 1;
             stats.recovered_events += fill.entries.len();
             return fill;
@@ -653,6 +714,7 @@ impl<'a> Recovery<'a> {
         is_seg: usize,
         post_seg: usize,
         loss: Option<LossRecord>,
+        scratch: &mut FillScratch,
     ) -> Option<Fill> {
         let from = segments[is_seg]
             .nodes
@@ -663,9 +725,11 @@ impl<'a> Recovery<'a> {
             .copied()?;
         let to = segments[post_seg].nodes.iter().flatten().next().copied()?;
         let max = self.cfg.max_walk;
-        // BFS for a shortest connecting path.
-        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut queue = std::collections::VecDeque::new();
+        // BFS for a shortest connecting path, on reusable buffers.
+        let parent = &mut scratch.parent;
+        let queue = &mut scratch.queue;
+        parent.clear();
+        queue.clear();
         queue.push_back((from, 0usize));
         parent.insert(from, from);
         let mut reached = false;

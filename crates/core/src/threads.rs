@@ -40,7 +40,7 @@ pub fn segregate(collected: &CollectedTraces) -> HashMap<ThreadId, Vec<ThreadPie
             continue;
         }
         let packets = decode_packets(&trace.bytes);
-        let raw_segments = segment_stream(packets, &trace.losses);
+        let raw_segments = segment_stream(packets, &trace.losses, core);
 
         for seg in raw_segments {
             // Split the segment wherever the owning interval changes.
@@ -58,6 +58,7 @@ pub fn segregate(collected: &CollectedTraces) -> HashMap<ThreadId, Vec<ThreadPie
                         segment: RawSegment {
                             packets: std::mem::take(packets),
                             loss_before,
+                            core,
                         },
                     });
                 } else {
@@ -175,6 +176,52 @@ mod tests {
             sorted.sort();
             assert_eq!(starts, sorted);
         }
+    }
+
+    #[test]
+    fn decoded_segments_keep_per_core_attribution() {
+        let p = loopy();
+        let jvm = Jvm::new(JvmConfig {
+            cores: 2,
+            quantum: 512,
+            ..JvmConfig::default()
+        });
+        let main = p.entry();
+        let r = jvm.run_threads(
+            &p,
+            &[
+                ThreadSpec {
+                    method: main,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    method: main,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    method: main,
+                    args: vec![],
+                },
+            ],
+        );
+        let collected = r.traces.unwrap();
+        let per_thread = segregate(&collected);
+        let mut cores_seen = std::collections::HashSet::new();
+        for pieces in per_thread.values() {
+            for piece in pieces {
+                // The raw segment carries the core it was drained from,
+                // and decoding preserves it.
+                assert_eq!(piece.segment.core, piece.core);
+                let decoded = crate::decode::decode_segment(&p, &r.archive, &piece.segment);
+                assert_eq!(decoded.core, piece.core, "core id lost in decode");
+                cores_seen.insert(piece.core);
+            }
+        }
+        assert_eq!(
+            cores_seen.len(),
+            2,
+            "three threads over two cores must produce pieces on both"
+        );
     }
 
     #[test]

@@ -190,13 +190,20 @@ proptest! {
             JPortal::with_config(&program, JPortalConfig { parallelism, ..JPortalConfig::default() })
                 .analyze(traces, &r.archive)
         };
-        let sequential = run(Some(1));
-        let four_workers = run(Some(4));
-        let default_workers = run(None);
+        let mut sequential = run(Some(1));
+        let mut four_workers = run(Some(4));
+        let mut default_workers = run(None);
 
-        // Structural equality and serialized byte equality.
+        // Structural equality and serialized byte equality. The DFA
+        // transition-cache counters are scheduling-dependent diagnostics
+        // (two workers can both count a miss for the same key), so report
+        // equality excludes them and the serialized comparison zeroes
+        // them; everything else must match byte for byte.
         prop_assert_eq!(&sequential, &four_workers);
         prop_assert_eq!(&sequential, &default_workers);
+        sequential.dfa_cache = Default::default();
+        four_workers.dfa_cache = Default::default();
+        default_workers.dfa_cache = Default::default();
         let ser_seq = format!("{sequential:?}");
         prop_assert_eq!(&ser_seq, &format!("{four_workers:?}"));
         prop_assert_eq!(&ser_seq, &format!("{default_workers:?}"));

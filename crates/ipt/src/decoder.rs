@@ -99,6 +99,10 @@ pub struct RawSegment {
     /// The loss record that precedes this segment (`None` for the first
     /// segment when the stream starts cleanly).
     pub loss_before: Option<LossRecord>,
+    /// The physical core whose PT buffer produced these packets. Carried
+    /// from the per-core drain path so downstream decoded segments keep
+    /// their capture-core attribution.
+    pub core: u32,
 }
 
 impl RawSegment {
@@ -113,11 +117,16 @@ impl RawSegment {
     }
 }
 
-/// Splits decoded packets into segments at the loss offsets.
+/// Splits decoded packets into segments at the loss offsets, attributing
+/// every segment to the capture core `core`.
 ///
 /// Loss records must be in stream order (the [`crate::RingBuffer`]
 /// produces them that way).
-pub fn segment_stream(packets: Vec<TimedPacket>, losses: &[LossRecord]) -> Vec<RawSegment> {
+pub fn segment_stream(
+    packets: Vec<TimedPacket>,
+    losses: &[LossRecord],
+    core: u32,
+) -> Vec<RawSegment> {
     let mut segments = Vec::with_capacity(losses.len() + 1);
     let mut current = Vec::new();
     let mut loss_iter = losses.iter().peekable();
@@ -130,6 +139,7 @@ pub fn segment_stream(packets: Vec<TimedPacket>, losses: &[LossRecord]) -> Vec<R
                 segments.push(RawSegment {
                     packets: std::mem::take(&mut current),
                     loss_before: pending_loss.take(),
+                    core,
                 });
                 pending_loss = Some(loss);
             } else {
@@ -143,12 +153,14 @@ pub fn segment_stream(packets: Vec<TimedPacket>, losses: &[LossRecord]) -> Vec<R
         segments.push(RawSegment {
             packets: std::mem::take(&mut current),
             loss_before: pending_loss.take(),
+            core,
         });
         pending_loss = Some(loss);
     }
     segments.push(RawSegment {
         packets: current,
         loss_before: pending_loss,
+        core,
     });
     // Drop leading empty no-loss segment artifacts.
     segments.retain(|s| !s.packets.is_empty() || s.loss_before.is_some());
@@ -234,7 +246,7 @@ mod tests {
         }];
         let packets = decode_packets(&bytes);
         assert_eq!(packets.len(), 2);
-        let segments = segment_stream(packets, &losses);
+        let segments = segment_stream(packets, &losses, 0);
         assert_eq!(segments.len(), 2);
         assert!(segments[0].loss_before.is_none());
         assert_eq!(segments[0].packets.len(), 1);
@@ -279,7 +291,7 @@ mod tests {
         let trace = enc.finish();
         assert!(!trace.losses.is_empty());
         let packets = decode_packets(&trace.bytes);
-        let segments = segment_stream(packets, &trace.losses);
+        let segments = segment_stream(packets, &trace.losses, 0);
         assert!(segments.len() >= 2);
         let with_loss = segments.iter().filter(|s| s.loss_before.is_some()).count();
         assert!(with_loss >= 1);
@@ -314,6 +326,7 @@ mod tests {
                 },
             ],
             loss_before: None,
+            core: 0,
         };
         assert_eq!(seg.start_ts(), 11);
         assert_eq!(seg.end_ts(), 42);

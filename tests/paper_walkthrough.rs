@@ -94,7 +94,7 @@ fn figure2_decode_recovers_the_exact_bytecode_sequence() {
     .run(&p);
     let traces = r.traces.as_ref().unwrap();
     let packets = decode_packets(&traces.per_core[0].bytes);
-    let raw = segment_stream(packets, &traces.per_core[0].losses);
+    let raw = segment_stream(packets, &traces.per_core[0].losses, 0);
     let seg = decode_segment(&p, &r.archive, &raw[0]);
     let ops: Vec<OpKind> = seg.events.iter().map(|e| e.sym.op).collect();
     let expected = [
