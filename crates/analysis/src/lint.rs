@@ -201,6 +201,30 @@ struct Frame {
     cont: NodeId,
 }
 
+/// [`lint_steps`] wrapped in telemetry: a `lint` span covering the
+/// replay plus step/diagnostic counters on the handle's registry.
+/// Identical diagnostics to the plain call; inert when `obs` is
+/// disabled.
+pub fn lint_steps_observed(
+    program: &Program,
+    icfg: &Icfg,
+    steps: &[LintStep],
+    obs: &jportal_obs::Obs,
+) -> Vec<LintDiagnostic> {
+    let _span = obs
+        .span("lint", "lint_steps")
+        .arg("steps", steps.len())
+        .record_dur(&obs.registry().histogram("analysis.lint.wall_us"));
+    let diagnostics = lint_steps(program, icfg, steps);
+    obs.registry()
+        .counter("analysis.lint.steps")
+        .add(steps.len() as u64);
+    obs.registry()
+        .counter("analysis.lint.diagnostics")
+        .add(diagnostics.len() as u64);
+    diagnostics
+}
+
 /// Replays `steps` against the ICFG and reports every violation.
 pub fn lint_steps(program: &Program, icfg: &Icfg, steps: &[LintStep]) -> Vec<LintDiagnostic> {
     let mut out = Vec::new();

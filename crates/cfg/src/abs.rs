@@ -11,10 +11,10 @@
 //! tried at the concrete level.
 
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use jportal_bytecode::{OpKind, Program};
+use jportal_obs::{Counter, MetricsRegistry};
 
 use crate::fx::{FxHashMap, FxHasher};
 use crate::icfg::{Icfg, NodeId};
@@ -190,31 +190,62 @@ pub struct AbstractNfa<'a> {
     /// alone; the direction constrains the *next* step's edges), so it is
     /// deliberately absent from the key.
     transitions: ShardedCache<(u32, BranchDir, OpKind), u32>,
-    /// Transition-cache hit count (diagnostics; relaxed).
-    hits: AtomicU64,
-    /// Transition-cache miss count (diagnostics; relaxed).
-    misses: AtomicU64,
+    /// Transition-cache hit count. A sharded [`Counter`] — detached for
+    /// standalone automata, registry-backed (`cfg.dfa.hits`) when the
+    /// pipeline binds its telemetry registry, and a branch-only no-op
+    /// when that registry is disabled.
+    hits: Counter,
+    /// Transition-cache miss count (same lifecycle as `hits`).
+    misses: Counter,
 }
 
 impl<'a> AbstractNfa<'a> {
-    /// Builds the abstract view of the program's ICFG.
+    /// Builds the abstract view of the program's ICFG with detached
+    /// (always-counting) cache counters.
     pub fn new(program: &'a Program, icfg: &'a Icfg) -> AbstractNfa<'a> {
+        AbstractNfa::with_counters(program, icfg, Counter::detached(), Counter::detached())
+    }
+
+    /// Builds the abstract view with cache counters registered in a
+    /// telemetry registry as `cfg.dfa.hits` / `cfg.dfa.misses`. With a
+    /// disabled registry the counters are no-ops (and
+    /// [`AbstractNfa::dfa_stats`] reads zero).
+    pub fn with_metrics(
+        program: &'a Program,
+        icfg: &'a Icfg,
+        registry: &MetricsRegistry,
+    ) -> AbstractNfa<'a> {
+        AbstractNfa::with_counters(
+            program,
+            icfg,
+            registry.counter("cfg.dfa.hits"),
+            registry.counter("cfg.dfa.misses"),
+        )
+    }
+
+    fn with_counters(
+        program: &'a Program,
+        icfg: &'a Icfg,
+        hits: Counter,
+        misses: Counter,
+    ) -> AbstractNfa<'a> {
         AbstractNfa {
             nfa: Nfa::new(program, icfg),
             control_succ: ShardedCache::new(),
             control_closure: ShardedCache::new(),
             interner: StateSetInterner::new(),
             transitions: ShardedCache::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
         }
     }
 
-    /// Snapshot of the tabled-DFA cache counters.
+    /// Snapshot of the tabled-DFA cache counters (a view over the
+    /// telemetry counters; zero when they are disabled no-ops).
     pub fn dfa_stats(&self) -> DfaCacheStats {
         DfaCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.value(),
+            misses: self.misses.value(),
             interned: self.interner.len() as u64,
         }
     }
@@ -296,10 +327,10 @@ impl<'a> AbstractNfa<'a> {
     fn transition(&self, id: u32, prev_dir: BranchDir, op: OpKind) -> u32 {
         let key = (id, prev_dir, op);
         if let Some(next) = self.transitions.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return next;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         let states = self.interner.set(id);
         let mut next: Vec<NodeId> = Vec::new();
         for &u in states.iter() {

@@ -89,6 +89,18 @@ impl MatchScratch {
         }
     }
 
+    /// Arena high-water mark in elements (the frontier arena only ever
+    /// grows across matches; telemetry reads this into a gauge).
+    pub fn arena_high_water(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Size of the dense `seen` stamp array (== the largest node count
+    /// this scratch has matched against).
+    pub fn seen_size(&self) -> usize {
+        self.seen.len()
+    }
+
     /// Starts a new frontier layer; returns its arena offset.
     fn open_layer(&mut self) -> u32 {
         let at = self.arena.len() as u32;

@@ -7,12 +7,15 @@
 //! metadata — and produces, per thread, the reconstructed bytecode-level
 //! control-flow trace with per-entry provenance.
 
-use jportal_analysis::{lint_steps, AnalysisIndex, LintDiagnostic, LintStep, LintSummary, Rta};
+use jportal_analysis::{
+    lint_steps, lint_steps_observed, AnalysisIndex, LintDiagnostic, LintStep, LintSummary, Rta,
+};
 use jportal_bytecode::Program;
 use jportal_cfg::abs::{AbstractNfa, DfaCacheStats};
 use jportal_cfg::{Icfg, MatchScratch};
-use jportal_ipt::{CollectedTraces, ThreadId};
+use jportal_ipt::{CollectedTraces, CollectionStats, ThreadId};
 use jportal_jvm::MetadataArchive;
+use jportal_obs::{Obs, TelemetryReport};
 use std::cell::RefCell;
 
 use crate::decode::decode_segment;
@@ -48,6 +51,13 @@ pub struct JPortalConfig {
     /// parallel candidate scoring replays the sequential pruning decisions
     /// exactly.
     pub parallelism: Option<usize>,
+    /// Record telemetry (metrics and spans) during analysis. Designed to
+    /// be cheap enough to leave on in production: the hot matcher inner
+    /// loop carries no probes at all, and every other site amortizes to a
+    /// shard-striped relaxed atomic add. With `false`, every probe
+    /// reduces to a single branch on a `None` handle — no allocation, no
+    /// atomics, nothing recorded.
+    pub observability: bool,
 }
 
 impl Default for JPortalConfig {
@@ -59,6 +69,7 @@ impl Default for JPortalConfig {
             devirtualize: true,
             lint: true,
             parallelism: None,
+            observability: true,
         }
     }
 }
@@ -91,12 +102,22 @@ pub struct JPortalReport {
     /// Abstract-DFA transition-cache counters for this analysis
     /// (diagnostics; see [`DfaCacheStats`]).
     pub dfa_cache: DfaCacheStats,
+    /// Per-core collection-side summary: what the online component
+    /// exported and what it dropped (per-core lost bytes/packets,
+    /// overflow spans, effective drain rate) before the offline pipeline
+    /// ever ran.
+    pub collection: CollectionStats,
 }
 
-/// Report equality deliberately ignores [`JPortalReport::dfa_cache`]: the
-/// cache counters depend on worker scheduling (two workers can both miss
-/// on a key one of them is about to fill), while everything else in the
-/// report is part of the determinism contract.
+/// Report equality deliberately ignores the telemetry fields —
+/// [`JPortalReport::dfa_cache`] and [`JPortalReport::collection`].
+/// The DFA cache counters depend on worker scheduling (two workers can
+/// both miss on a key one of them is about to fill) and the collection
+/// summary describes the *input* traces rather than the reconstruction;
+/// only [`JPortalReport::threads`] is part of the determinism contract.
+/// The same exclusion covers everything recorded through
+/// [`JPortal::telemetry`]: metric values and span structure are
+/// deterministic where documented, but timings never are.
 impl PartialEq for JPortalReport {
     fn eq(&self, other: &JPortalReport) -> bool {
         self.threads == other.threads
@@ -168,6 +189,9 @@ pub struct JPortal<'p> {
     /// index — part of the determinism contract.
     analysis: AnalysisIndex,
     config: JPortalConfig,
+    /// Telemetry sink shared by every stage; inert when
+    /// [`JPortalConfig::observability`] is off.
+    obs: Obs,
 }
 
 impl<'p> JPortal<'p> {
@@ -189,6 +213,7 @@ impl<'p> JPortal<'p> {
             program,
             icfg,
             analysis: AnalysisIndex::build(program),
+            obs: Obs::new(config.observability),
             config,
         }
     }
@@ -201,6 +226,21 @@ impl<'p> JPortal<'p> {
     /// The static-fact index (exposed for clients and diagnostics).
     pub fn analysis(&self) -> &AnalysisIndex {
         &self.analysis
+    }
+
+    /// The telemetry handle (for registering client metrics or opening
+    /// client spans around calls into the analyzer).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Snapshot of everything recorded so far: metric values plus the
+    /// span tree. Export with [`TelemetryReport::chrome_trace_json`],
+    /// [`TelemetryReport::metrics_json`] or
+    /// [`TelemetryReport::summary_table`]. Empty when
+    /// [`JPortalConfig::observability`] is off.
+    pub fn telemetry(&self) -> TelemetryReport {
+        self.obs.telemetry()
     }
 
     /// Runs the full offline analysis.
@@ -216,17 +256,32 @@ impl<'p> JPortal<'p> {
     /// in deterministic order at every join, so the report is identical
     /// for every worker count.
     pub fn analyze(&self, traces: &CollectedTraces, archive: &MetadataArchive) -> JPortalReport {
+        let obs = &self.obs;
+        let _analyze = obs
+            .span("pipeline", "analyze")
+            .record_dur(&obs.registry().histogram("core.analyze.wall_us"));
         let workers = jportal_par::effective_workers(self.config.parallelism);
-        let anfa = AbstractNfa::new(self.program, &self.icfg);
+        let anfa = AbstractNfa::with_metrics(self.program, &self.icfg, obs.registry());
         if workers > 1 {
             // One up-front pass fills the ANFA closure caches so the
             // projection workers start hot instead of racing to compute
             // the same entries.
+            let _prewarm = obs.span("pipeline", "prewarm").arg("workers", workers);
             anfa.prewarm(workers);
         }
 
-        let mut thread_pieces: Vec<(ThreadId, Vec<ThreadPiece>)> =
-            segregate(traces).into_iter().collect();
+        // Collection-side telemetry: what the online component exported
+        // and dropped, per core, before this pipeline ever saw the data.
+        let collection = CollectionStats::of(traces);
+        if obs.is_enabled() {
+            collection.record_into(obs.registry());
+            CollectionStats::emit_overflow_spans(traces, obs);
+        }
+
+        let mut thread_pieces: Vec<(ThreadId, Vec<ThreadPiece>)> = {
+            let _segregate = obs.span("collect", "segregate");
+            segregate(traces).into_iter().collect()
+        };
         thread_pieces.sort_by_key(|(t, _)| *t);
 
         // Level 1: decode + project every (thread, piece) pair globally.
@@ -242,23 +297,43 @@ impl<'p> JPortal<'p> {
         thread_local! {
             static PROJ_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
         }
+        let decode_hist = obs.registry().histogram("core.decode.wall_us");
+        let project_hist = obs.registry().histogram("core.project.wall_us");
+        let arena_hw = obs.registry().gauge("core.project.scratch_arena_hw");
         let projected: Vec<(SegmentView, ProjectionStats)> =
             jportal_par::par_map(workers, &work, |_, &(ti, pi)| {
                 let piece = &thread_pieces[ti].1[pi];
                 // `piece.segment` carries its capture core from the
                 // per-core drain path, so the decoded segment is already
-                // attributed correctly.
-                let decoded = decode_segment(self.program, archive, &piece.segment);
+                // attributed correctly. Worker threads start with an
+                // empty span stack, so the parent is pinned explicitly —
+                // the span tree is identical under any `parallelism`.
+                let decoded = {
+                    let _s = obs
+                        .span("decode", "decode_segment")
+                        .parent("analyze")
+                        .arg("core", piece.core)
+                        .record_dur(&decode_hist);
+                    decode_segment(self.program, archive, &piece.segment)
+                };
                 debug_assert_eq!(decoded.core, piece.core);
                 let proj = PROJ_SCRATCH.with(|s| {
-                    project_segment_with(
+                    let mut scratch = s.borrow_mut();
+                    let _s = obs
+                        .span("project", "project_segment")
+                        .parent("analyze")
+                        .arg("events", decoded.events.len())
+                        .record_dur(&project_hist);
+                    let proj = project_segment_with(
                         self.program,
                         &self.icfg,
                         &anfa,
                         &decoded.events,
                         &self.config.projection,
-                        &mut s.borrow_mut(),
-                    )
+                        &mut scratch,
+                    );
+                    arena_hw.set_max(scratch.arena_high_water() as u64);
+                    proj
                 });
                 (
                     SegmentView {
@@ -293,12 +368,56 @@ impl<'p> JPortal<'p> {
                 self.assemble_thread(thread, views, projection, inner_workers)
             });
 
+        // Per-stage totals are summed *after* the joins, from the
+        // deterministically merged per-thread statistics, rather than
+        // bumped inside workers — so these counters are part of the
+        // determinism contract (unlike the scheduling-dependent
+        // `cfg.dfa.*` cache counters, which record inline).
+        if obs.is_enabled() {
+            let reg = obs.registry();
+            let sum = |f: fn(&ThreadReport) -> usize| -> u64 {
+                threads.iter().map(|t| f(t) as u64).sum()
+            };
+            reg.counter("core.threads").add(threads.len() as u64);
+            reg.counter("core.segments").add(sum(|t| t.segments));
+            reg.counter("core.entries").add(sum(|t| t.entries.len()));
+            reg.counter("core.project.matched")
+                .add(sum(|t| t.projection.matched));
+            reg.counter("core.project.unmatched")
+                .add(sum(|t| t.projection.unmatched));
+            reg.counter("core.project.restarts")
+                .add(sum(|t| t.projection.restarts));
+            reg.counter("core.project.candidates_tried")
+                .add(sum(|t| t.projection.candidates_tried));
+            reg.counter("core.project.candidates_pruned")
+                .add(sum(|t| t.projection.candidates_pruned));
+            reg.counter("core.recover.holes")
+                .add(sum(|t| t.recovery.holes));
+            reg.counter("core.recover.filled_from_cs")
+                .add(sum(|t| t.recovery.filled_from_cs));
+            reg.counter("core.recover.filled_by_walk")
+                .add(sum(|t| t.recovery.filled_by_walk));
+            reg.counter("core.recover.unfilled")
+                .add(sum(|t| t.recovery.unfilled));
+            reg.counter("core.recover.recovered_events")
+                .add(sum(|t| t.recovery.recovered_events));
+            reg.counter("core.recover.candidates")
+                .add(sum(|t| t.recovery.candidates));
+            reg.counter("core.recover.pruned_tier1")
+                .add(sum(|t| t.recovery.pruned_tier1));
+            reg.counter("core.recover.pruned_tier2")
+                .add(sum(|t| t.recovery.pruned_tier2));
+            reg.gauge("cfg.dfa.interned")
+                .set_max(anfa.dfa_stats().interned);
+        }
+
         // `thread_pieces` was sorted by thread id and every join above is
         // order-preserving, so the report is already deterministically
         // sorted.
         JPortalReport {
             threads,
             dfa_cache: anfa.dfa_stats(),
+            collection,
         }
     }
 
@@ -312,6 +431,12 @@ impl<'p> JPortal<'p> {
         projection: ProjectionStats,
         recovery_workers: usize,
     ) -> ThreadReport {
+        let obs = &self.obs;
+        let _assemble = obs
+            .span("recover", "assemble_thread")
+            .parent("analyze")
+            .arg("thread", thread.0)
+            .record_dur(&obs.registry().histogram("core.assemble.wall_us"));
         // Drop empty segments but keep their loss marks attached to
         // the following segment.
         let mut compacted: Vec<SegmentView> = Vec::new();
@@ -337,11 +462,19 @@ impl<'p> JPortal<'p> {
         let mut steps: Vec<LintStep> = Vec::new();
         // One walk scratch for all of this thread's holes.
         let mut fill_scratch = FillScratch::new();
+        let fill_hist = obs.registry().histogram("core.recover.fill_wall_us");
         for i in 0..compacted.len() {
             if i > 0 {
                 if let Some(loss) = compacted[i].loss_before {
                     holes.push((loss.first_ts, loss.last_ts));
                     if !self.config.disable_recovery {
+                        // Parent defaults to the enclosing
+                        // `assemble_thread` span via the worker's stack.
+                        let _fill = obs
+                            .span("recover", "fill_hole")
+                            .arg("thread", thread.0)
+                            .arg("hole", holes.len())
+                            .record_dur(&fill_hist);
                         let fill = recovery.fill_hole_with(
                             &compacted,
                             i - 1,
@@ -384,8 +517,16 @@ impl<'p> JPortal<'p> {
             }
         }
 
+        obs.registry()
+            .gauge("core.recover.fill_scratch_hw")
+            .set_max(fill_scratch.high_water() as u64);
+
         let lint = if self.config.lint {
-            lint_steps(self.program, &self.icfg, &steps)
+            if obs.is_enabled() {
+                lint_steps_observed(self.program, &self.icfg, &steps, obs)
+            } else {
+                lint_steps(self.program, &self.icfg, &steps)
+            }
         } else {
             Vec::new()
         };

@@ -197,6 +197,7 @@ mod tests {
                 lint: vec![],
             }],
             dfa_cache: Default::default(),
+            collection: Default::default(),
         }
     }
 

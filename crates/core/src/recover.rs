@@ -283,6 +283,12 @@ impl FillScratch {
     pub fn new() -> FillScratch {
         FillScratch::default()
     }
+
+    /// Capacity high-water mark (BFS parent-map plus queue slots), read
+    /// into a telemetry gauge after a thread's holes are filled.
+    pub fn high_water(&self) -> usize {
+        self.parent.capacity() + self.queue.capacity()
+    }
 }
 
 /// Below this many candidates the parallel scoring path is pure

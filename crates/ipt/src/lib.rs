@@ -26,6 +26,7 @@
 pub mod decoder;
 pub mod encoder;
 pub mod lastip;
+pub mod obs;
 pub mod packet;
 pub mod ring;
 pub mod session;
@@ -33,6 +34,7 @@ pub mod sideband;
 
 pub use decoder::{decode_packets, segment_stream, RawSegment, TimedPacket};
 pub use encoder::{EncoderConfig, HwEvent, PtEncoder};
+pub use obs::{CollectionStats, CoreCollection};
 pub use packet::{IpCompression, Packet};
 pub use ring::{LossRecord, RingBuffer};
 pub use session::{CollectedTraces, CoreId, PtSession};

@@ -1,0 +1,289 @@
+//! Exporters: Chrome trace-event JSON, a flat metrics JSON snapshot and
+//! a human-readable summary table.
+//!
+//! The Chrome document loads in `chrome://tracing` / Perfetto: wall-time
+//! spans render as one track per worker thread under pid 1, and
+//! simulated-time events (e.g. PT overflow windows, timestamped in
+//! simulation cycles) under pid 2 so the two time bases never share an
+//! axis.
+
+use std::collections::BTreeSet;
+
+use crate::json::write_escaped;
+use crate::metrics::MetricsSnapshot;
+use crate::span::{ArgValue, SpanEvent};
+
+/// Everything one observed run produced: a metrics snapshot plus the
+/// merged span list.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Counters, gauges and histograms, sorted by name.
+    pub metrics: MetricsSnapshot,
+    /// Spans, deterministically merged (see `SpanCollector::snapshot`).
+    pub spans: Vec<SpanEvent>,
+}
+
+impl TelemetryReport {
+    /// Distinct span categories, sorted.
+    pub fn span_categories(&self) -> BTreeSet<&'static str> {
+        self.spans.iter().map(|s| s.cat).collect()
+    }
+
+    /// Timing-free span structure: the sorted multiset of
+    /// `cat/parent/name{args}` strings. Identical across worker counts
+    /// for a deterministic pipeline.
+    pub fn span_structure(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.spans.iter().map(SpanEvent::structure).collect();
+        v.sort();
+        v
+    }
+
+    /// Chrome trace-event JSON (the "JSON Object Format" with a
+    /// `traceEvents` array of complete `"ph": "X"` events).
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 128);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        // Process-name metadata so the two time bases are labelled.
+        out.push_str(concat!(
+            r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"#,
+            r#""args":{"name":"jportal offline (wall time)"}},"#,
+            r#"{"name":"process_name","ph":"M","pid":2,"tid":0,"#,
+            r#""args":{"name":"jportal collection (simulated time)"}}"#,
+        ));
+        for e in &self.spans {
+            out.push(',');
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, e.name);
+            out.push_str(",\"cat\":");
+            write_escaped(&mut out, e.cat);
+            out.push_str(&format!(
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+                e.ts_us,
+                e.dur_us,
+                if e.sim { 2 } else { 1 },
+                e.tid
+            ));
+            out.push_str(",\"args\":{");
+            let mut first = true;
+            if let Some(p) = e.parent {
+                out.push_str("\"parent\":");
+                write_escaped(&mut out, p);
+                first = false;
+            }
+            for (k, v) in &e.args {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write_escaped(&mut out, k);
+                out.push(':');
+                match v {
+                    ArgValue::Int(i) => out.push_str(&i.to_string()),
+                    ArgValue::Str(s) => write_escaped(&mut out, s),
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Flat metrics JSON: `{"counters": {..}, "gauges": {..},
+    /// "histograms": {name: {count, sum, p50, p99, buckets: [[upper,
+    /// n], ..]}}}`, all keys sorted.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, &h.name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ));
+            for (j, (upper, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{upper},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// A human-readable summary: counters, gauges, histogram quantiles
+    /// and a per-category span rollup.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .metrics
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.metrics.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.metrics.histograms.iter().map(|h| h.name.len()))
+            .chain(self.span_categories().iter().map(|c| c.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        if !self.metrics.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, v) in &self.metrics.counters {
+                out.push_str(&format!("  {name:<width$}  {v:>12}\n"));
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, v) in &self.metrics.gauges {
+                out.push_str(&format!("  {name:<width$}  {v:>12}\n"));
+            }
+        }
+        if !self.metrics.histograms.is_empty() {
+            out.push_str("histograms (count / sum / ~p50 / ~p99)\n");
+            for h in &self.metrics.histograms {
+                out.push_str(&format!(
+                    "  {:<width$}  {:>8} {:>12} {:>10} {:>10}\n",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    h.quantile(0.5),
+                    h.quantile(0.99)
+                ));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans by category (count / total µs·cycles)\n");
+            for cat in self.span_categories() {
+                let (n, total): (usize, u64) = self
+                    .spans
+                    .iter()
+                    .filter(|s| s.cat == cat)
+                    .fold((0, 0), |(n, t), s| (n + 1, t + s.dur_us));
+                out.push_str(&format!("  {cat:<width$}  {n:>8} {total:>12}\n"));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(observability disabled: nothing recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::MetricsRegistry;
+
+    fn sample_report() -> TelemetryReport {
+        let reg = MetricsRegistry::new(true);
+        reg.counter("a.count").add(7);
+        reg.gauge("b.high_water").set_max(42);
+        let h = reg.histogram("c.wall_us");
+        h.record(3);
+        h.record(900);
+        TelemetryReport {
+            metrics: reg.snapshot(),
+            spans: vec![
+                SpanEvent {
+                    cat: "decode",
+                    name: "piece",
+                    parent: Some("analyze"),
+                    args: vec![
+                        ("idx", ArgValue::Int(0)),
+                        ("who", ArgValue::Str("a\"b".into())),
+                    ],
+                    ts_us: 10,
+                    dur_us: 5,
+                    tid: 1,
+                    sim: false,
+                },
+                SpanEvent {
+                    cat: "collect",
+                    name: "overflow",
+                    parent: None,
+                    args: vec![("core", ArgValue::Int(0))],
+                    ts_us: 100,
+                    dur_us: 50,
+                    tid: 0,
+                    sim: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_fields() {
+        let r = sample_report();
+        let doc = r.chrome_trace_json();
+        validate(&doc).expect("chrome trace must parse");
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        // Wall span on pid 1, simulated span on pid 2.
+        assert!(doc.contains("\"pid\":1,\"tid\":1"));
+        assert!(doc.contains("\"pid\":2,\"tid\":0"));
+        // Escaped argument survived.
+        assert!(doc.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_flat() {
+        let r = sample_report();
+        let doc = r.metrics_json();
+        validate(&doc).expect("metrics json must parse");
+        assert!(doc.contains("\"a.count\":7"));
+        assert!(doc.contains("\"b.high_water\":42"));
+        assert!(doc.contains("\"count\":2"));
+    }
+
+    #[test]
+    fn summary_table_lists_everything() {
+        let r = sample_report();
+        let t = r.summary_table();
+        assert!(t.contains("a.count"));
+        assert!(t.contains("b.high_water"));
+        assert!(t.contains("c.wall_us"));
+        assert!(t.contains("decode"));
+        assert!(t.contains("collect"));
+    }
+
+    #[test]
+    fn categories_and_structure_are_sorted() {
+        let r = sample_report();
+        let cats: Vec<&str> = r.span_categories().into_iter().collect();
+        assert_eq!(cats, vec!["collect", "decode"]);
+        let s = r.span_structure();
+        assert_eq!(s.len(), 2);
+        assert!(s[0] < s[1]);
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = TelemetryReport::default();
+        validate(&r.chrome_trace_json()).unwrap();
+        validate(&r.metrics_json()).unwrap();
+        assert!(r.summary_table().contains("disabled"));
+    }
+}

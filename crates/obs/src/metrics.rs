@@ -1,0 +1,540 @@
+//! The metric registry: sharded atomic counters, set/max gauges and
+//! fixed-bucket power-of-two histograms.
+//!
+//! Handles are cheap `Arc` clones registered by name; updating one is a
+//! relaxed atomic on a thread-striped shard (counters) or a single atomic
+//! (gauges, histogram buckets), so instruments can stay on in production.
+//! A registry built disabled hands out **no-op handles**: the update fast
+//! path is then a single branch on an `Option` discriminant — no
+//! allocation, no atomic access — which is what lets the pipeline keep
+//! `record` calls unconditionally inline on hot paths.
+//!
+//! Snapshots iterate a `BTreeMap`, so exported metrics are always sorted
+//! by name regardless of registration or update order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count for counters: a power of two small enough to keep
+/// snapshots cheap but large enough that concurrent workers rarely
+/// collide on a cache line.
+pub const COUNTER_SHARDS: usize = 8;
+
+/// One cache line per shard so two workers bumping the same counter from
+/// different threads never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedAtomic(AtomicU64);
+
+/// Backing cells of one counter.
+#[derive(Default)]
+pub(crate) struct CounterCells {
+    shards: [PaddedAtomic; COUNTER_SHARDS],
+}
+
+impl CounterCells {
+    fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Monotonically-assigned per-thread shard index (round-robin over
+/// threads, fixed for a thread's lifetime).
+///
+/// Const-initialized thread-local (no lazy-init flag or destructor on
+/// the access path — this sits under every counter update on the hot
+/// matcher loop) with the slot assigned on first use.
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// A monotonically-increasing counter.
+///
+/// Cloning shares the cells. The default value is a no-op handle.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<CounterCells>>);
+
+impl Counter {
+    /// A handle that ignores every update (what disabled registries hand
+    /// out). The update path is a branch on the `Option` — nothing else.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// A live counter not attached to any registry (for components that
+    /// must count even without a configured registry, e.g. the abstract
+    /// DFA's stats view when constructed standalone).
+    pub fn detached() -> Counter {
+        Counter(Some(Arc::new(CounterCells::default())))
+    }
+
+    /// Whether updates actually land anywhere.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cells) = &self.0 {
+            cells.shards[thread_shard()]
+                .0
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total over all shards (0 for no-op handles).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map(|c| c.sum()).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("live", &self.is_live())
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// A last-value / high-water gauge.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that ignores every update.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if it is higher (high-water-mark
+    /// semantics).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for no-op handles).
+    pub fn value(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts values whose bit
+/// length is `i` (i.e. `v == 0` lands in bucket 0, `v ∈ [2^(i-1), 2^i)`
+/// in bucket `i`), clamped into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Backing cells of one histogram.
+#[derive(Default)]
+pub(crate) struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Bucket index of a value (its bit length, clamped).
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the overflow
+/// bucket).
+fn bucket_upper(i: usize) -> u64 {
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values (power-of-two bounds).
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl Histogram {
+    /// A handle that ignores every update.
+    pub fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cells) = &self.0 {
+            cells.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.count.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.sum.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// Point-in-time reading of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// where the cumulative count crosses `q * count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for &(upper, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                return upper;
+            }
+        }
+        self.buckets.last().map(|&(u, _)| u).unwrap_or(0)
+    }
+}
+
+/// Point-in-time reading of a whole registry, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter with this exact name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// The gauge with this exact name, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// The histogram with this exact name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<CounterCells>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<HistogramCells>>,
+}
+
+/// A named collection of instruments.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a short lock and
+/// is get-or-create by name; callers hold the returned handles, so hot
+/// paths never touch the registry itself. A registry constructed
+/// disabled registers nothing and hands out no-op handles.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new(true);
+/// let c = reg.counter("pipeline.segments");
+/// c.add(3);
+/// assert_eq!(reg.snapshot().counter("pipeline.segments"), Some(3));
+///
+/// let off = MetricsRegistry::new(false);
+/// off.counter("ignored").add(1);
+/// assert!(off.snapshot().counters.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for RegistryInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryInner")
+            .field("counters", &self.counters.len())
+            .field("gauges", &self.gauges.len())
+            .field("histograms", &self.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates a registry; `enabled = false` makes every handle a no-op.
+    pub fn new(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry {
+            enabled,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    /// Whether instruments record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Get-or-create the counter with this name.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.enabled {
+            return Counter::noop();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let cells = inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(CounterCells::default()));
+        Counter(Some(Arc::clone(cells)))
+    }
+
+    /// Get-or-create the gauge with this name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.enabled {
+            return Gauge::noop();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let cell = inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Get-or-create the histogram with this name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.enabled {
+            return Histogram::noop();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let cells = inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCells::default()));
+        Histogram(Some(Arc::clone(cells)))
+    }
+
+    /// Reads every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.sum()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| HistogramSnapshot {
+                    name: n.clone(),
+                    count: h.count.load(Ordering::Relaxed),
+                    sum: h.sum.load(Ordering::Relaxed),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then(|| (bucket_upper(i), n))
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads_and_shards() {
+        let reg = MetricsRegistry::new(true);
+        let c = reg.counter("x");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 8000);
+        assert_eq!(reg.snapshot().counter("x"), Some(8000));
+    }
+
+    #[test]
+    fn counter_get_or_create_shares_cells() {
+        let reg = MetricsRegistry::new(true);
+        reg.counter("shared").add(2);
+        reg.counter("shared").add(3);
+        assert_eq!(reg.snapshot().counter("shared"), Some(5));
+    }
+
+    #[test]
+    fn disabled_registry_is_a_noop() {
+        let reg = MetricsRegistry::new(false);
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.add(10);
+        g.set(10);
+        h.record(10);
+        assert!(!c.is_live());
+        assert_eq!(c.value(), 0);
+        assert_eq!(reg.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn gauge_set_and_set_max() {
+        let reg = MetricsRegistry::new(true);
+        let g = reg.gauge("hw");
+        g.set_max(5);
+        g.set_max(3);
+        assert_eq!(g.value(), 5);
+        g.set(1);
+        assert_eq!(g.value(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("lat");
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.count, 7);
+        assert_eq!(hs.sum, 1110);
+        // v == 0 lands in bucket 0 (upper bound 0).
+        assert_eq!(hs.buckets[0], (0, 1));
+        // Quantiles are bucket upper bounds.
+        assert!(hs.quantile(0.99) >= 1000);
+        assert_eq!(hs.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = MetricsRegistry::new(true);
+        for name in ["zeta", "alpha", "mid"] {
+            reg.counter(name).incr();
+        }
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(snap.counter("alpha"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 2, 4, 8, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= last);
+            last = b;
+            assert!(v <= bucket_upper(b));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the telemetry layer's concurrency and export
+//! invariants: sharded counters never lose or double-count updates under
+//! any thread/plan mix, histograms conserve count and sum, and both
+//! exporters always emit valid JSON.
+
+use proptest::prelude::*;
+
+use jportal_obs::json::validate;
+use jportal_obs::{MetricsRegistry, Obs};
+
+proptest! {
+    /// Concurrent increments over the sharded counter cells sum exactly:
+    /// any split of a plan of additions across up to 8 threads yields the
+    /// plain sequential total (no lost updates across shards).
+    #[test]
+    fn sharded_counter_conserves_additions(
+        plan in prop::collection::vec(1u64..100, 1..64),
+        threads in 1usize..8,
+    ) {
+        let reg = MetricsRegistry::new(true);
+        let c = reg.counter("t");
+        let expected: u64 = plan.iter().sum();
+        let chunk = plan.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for part in plan.chunks(chunk) {
+                let c = c.clone();
+                s.spawn(move || {
+                    for &n in part {
+                        c.add(n);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.value(), expected);
+        prop_assert_eq!(reg.snapshot().counter("t"), Some(expected));
+    }
+
+    /// Histograms conserve observation count and sum across threads, and
+    /// bucket counts always add up to the total count.
+    #[test]
+    fn histogram_conserves_count_and_sum(
+        values in prop::collection::vec(0u64..1_000_000, 1..64),
+        threads in 1usize..6,
+    ) {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("v");
+        let chunk = values.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for part in values.chunks(chunk) {
+                let h = h.clone();
+                s.spawn(move || {
+                    for &v in part {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let hs = snap.histogram("v").unwrap();
+        prop_assert_eq!(hs.count, values.len() as u64);
+        prop_assert_eq!(hs.sum, values.iter().sum::<u64>());
+        let bucket_total: u64 = hs.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, hs.count);
+        // Every value fits under some reported bucket bound.
+        let max_upper = hs.buckets.last().map(|&(u, _)| u).unwrap_or(0);
+        prop_assert!(values.iter().all(|&v| v <= max_upper));
+    }
+
+    /// Span structure is independent of how work is split over threads:
+    /// the same logical set of spans produces the same sorted structure
+    /// whether recorded from 1 thread or many.
+    #[test]
+    fn span_structure_is_thread_independent(
+        n in 1usize..32,
+        threads in 1usize..6,
+    ) {
+        let run = |workers: usize| {
+            let obs = Obs::new(true);
+            let ids: Vec<usize> = (0..n).collect();
+            let chunk = n.div_ceil(workers).max(1);
+            std::thread::scope(|s| {
+                for part in ids.chunks(chunk) {
+                    let obs = obs.clone();
+                    s.spawn(move || {
+                        for &i in part {
+                            let _g = obs
+                                .span("work", "unit")
+                                .arg("i", i)
+                                .parent("root");
+                        }
+                    });
+                }
+            });
+            obs.telemetry().span_structure()
+        };
+        prop_assert_eq!(run(1), run(threads));
+    }
+
+    /// Whatever ends up in a report, both exporters emit valid JSON and
+    /// every counter value survives into the flat snapshot document.
+    #[test]
+    fn exporters_always_emit_valid_json(
+        counters in prop::collection::vec((0usize..6, 1u64..1000), 0..24),
+        record in prop::collection::vec(0u64..10_000, 0..16),
+    ) {
+        let obs = Obs::new(true);
+        let names = ["a", "b.c", "d-e", "f g", "h\"i", "j\\k"];
+        for &(which, v) in &counters {
+            obs.registry().counter(names[which]).add(v);
+        }
+        let h = obs.registry().histogram("hist");
+        for &v in &record {
+            h.record(v);
+        }
+        {
+            let _s = obs.span("cat", "name").arg("v", 1u64);
+        }
+        let report = obs.telemetry();
+        prop_assert!(validate(&report.chrome_trace_json()).is_ok());
+        prop_assert!(validate(&report.metrics_json()).is_ok());
+        for (name, v) in &report.metrics.counters {
+            prop_assert_eq!(report.metrics.counter(name), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! `jportal observe` — run seed workloads under full telemetry and
+//! export the pipeline's view of itself in all three formats:
+//!
+//! * `target/obs/<name>.trace.json` — Chrome trace-event JSON (load in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>): one wall-time
+//!   track per worker thread plus a simulated-time track with the
+//!   per-core PT overflow windows the pipeline had to recover across;
+//! * `target/obs/<name>.metrics.json` — flat metrics snapshot
+//!   (counters, gauges, histogram quantiles);
+//! * a human-readable summary table on stdout.
+//!
+//! Workloads run under a deliberately lossy collection configuration so
+//! the overflow/recovery telemetry has something to show.
+//!
+//! ```sh
+//! cargo run --release --example observe              # all workloads
+//! cargo run --release --example observe -- luindex   # one workload
+//! cargo run --release --example observe -- --check   # CI schema gate
+//! cargo run --release --example observe -- --overhead # <5% smoke
+//! ```
+//!
+//! `--check` validates the emitted JSON against the strict in-tree
+//! parser, asserts the span categories and key metrics are present, and
+//! re-analyzes sequentially to confirm the report is identical with
+//! observability enabled. `--overhead` compares analysis time with
+//! observability off vs on (median of paired, order-alternated runs)
+//! and fails above a 5% ratio.
+
+use jportal::core::{JPortal, JPortalConfig, JPortalReport};
+use jportal::jvm::{Jvm, JvmConfig, RunResult};
+use jportal::obs::{json, TelemetryReport};
+use jportal::workloads::{all_workloads, workload_by_name, Workload};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Lossy collection config (same regime as `lint --lossy`): small PT
+/// buffers and a slow exporter force per-core overflows.
+fn run_jvm(w: &Workload) -> RunResult {
+    let cfg = JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        pt_buffer_capacity: 1600,
+        drain_bytes_per_kilocycle: 60,
+        ..JvmConfig::default()
+    };
+    Jvm::new(cfg).run_threads(&w.program, &w.threads)
+}
+
+fn analyze(w: &Workload, r: &RunResult, config: JPortalConfig) -> (JPortalReport, TelemetryReport) {
+    let jp = JPortal::with_config(&w.program, config);
+    let report = jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let telemetry = jp.telemetry();
+    (report, telemetry)
+}
+
+fn export(w: &Workload, telemetry: &TelemetryReport) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = PathBuf::from("target/obs");
+    std::fs::create_dir_all(&dir)?;
+    let trace_path = dir.join(format!("{}.trace.json", w.name));
+    let metrics_path = dir.join(format!("{}.metrics.json", w.name));
+    std::fs::write(&trace_path, telemetry.chrome_trace_json())?;
+    std::fs::write(&metrics_path, telemetry.metrics_json())?;
+    Ok((trace_path, metrics_path))
+}
+
+fn observe(w: &Workload) -> Result<(), String> {
+    let r = run_jvm(w);
+    let (report, telemetry) = analyze(w, &r, JPortalConfig::default());
+    let (trace_path, metrics_path) =
+        export(w, &telemetry).map_err(|e| format!("{}: write failed: {e}", w.name))?;
+    println!("=== {} ===", w.name);
+    println!(
+        "{} thread(s), {} entries, collection loss {:.1}%",
+        report.threads.len(),
+        report.total_entries(),
+        report.collection.loss_fraction() * 100.0
+    );
+    println!("{}", telemetry.summary_table());
+    println!(
+        "wrote {} and {}\n",
+        trace_path.display(),
+        metrics_path.display()
+    );
+    Ok(())
+}
+
+/// The CI gate: schema-validate the exports and check the wiring end to
+/// end — span categories from every stage, dfa-cache and per-core loss
+/// metrics, and report determinism with observability enabled.
+fn check(w: &Workload) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("{}: {msg}", w.name));
+    let r = run_jvm(w);
+    let (report, telemetry) = analyze(w, &r, JPortalConfig::default());
+
+    let trace = telemetry.chrome_trace_json();
+    if let Err(e) = json::validate(&trace) {
+        return fail(format!("chrome trace is not valid JSON: {e}"));
+    }
+    let metrics = telemetry.metrics_json();
+    if let Err(e) = json::validate(&metrics) {
+        return fail(format!("metrics snapshot is not valid JSON: {e}"));
+    }
+
+    let cats = telemetry.span_categories();
+    for need in [
+        "collect", "decode", "project", "recover", "lint", "pipeline",
+    ] {
+        if !cats.contains(need) {
+            return fail(format!("span category {need:?} missing (got {cats:?})"));
+        }
+    }
+
+    for counter in [
+        "cfg.dfa.hits",
+        "cfg.dfa.misses",
+        "ipt.exported_bytes",
+        "ipt.lost_bytes",
+        "ipt.lost_packets",
+        "core.entries",
+        "core.recover.holes",
+    ] {
+        if telemetry.metrics.counter(counter).is_none() {
+            return fail(format!("counter {counter:?} missing from snapshot"));
+        }
+    }
+    for gauge in [
+        "ipt.core0.lost_bytes",
+        "ipt.core0.drain_bytes_per_kilocycle",
+    ] {
+        if telemetry.metrics.gauge(gauge).is_none() {
+            return fail(format!("gauge {gauge:?} missing from snapshot"));
+        }
+    }
+    if report.collection.total_lost_bytes() == 0 {
+        return fail("lossy configuration produced no loss".into());
+    }
+    if telemetry.metrics.counter("ipt.lost_bytes") != Some(report.collection.total_lost_bytes()) {
+        return fail("ipt.lost_bytes disagrees with report.collection".into());
+    }
+
+    // Determinism with observability on: the sequential path must
+    // produce the identical report.
+    let (sequential, _) = analyze(
+        w,
+        &r,
+        JPortalConfig {
+            parallelism: Some(1),
+            ..JPortalConfig::default()
+        },
+    );
+    if sequential != report {
+        return fail("report differs between parallelism Some(1) and None".into());
+    }
+
+    // Disabled observability records nothing and changes nothing.
+    let (dark, dark_telemetry) = analyze(
+        w,
+        &r,
+        JPortalConfig {
+            observability: false,
+            ..JPortalConfig::default()
+        },
+    );
+    if !dark_telemetry.spans.is_empty() || !dark_telemetry.metrics.counters.is_empty() {
+        return fail("disabled observability still recorded telemetry".into());
+    }
+    if dark != report {
+        return fail("report differs with observability disabled".into());
+    }
+
+    println!(
+        "{:<10} ok: {} spans, {} counters, {} categories, loss {:.1}%",
+        w.name,
+        telemetry.spans.len(),
+        telemetry.metrics.counters.len(),
+        cats.len(),
+        report.collection.loss_fraction() * 100.0
+    );
+    Ok(())
+}
+
+/// Overhead smoke: end-to-end analysis with observability off vs on,
+/// compared as the median of paired, order-alternated runs. The budget
+/// is 5%.
+///
+/// Measured over a *clean* collection (default buffers, the production
+/// regime the "cheap enough to stay on" claim is about) — the lossy
+/// configuration used elsewhere in this example manufactures 10–50×
+/// more segments and holes per entry than real collection ever sees,
+/// which inflates per-segment span cost out of proportion.
+fn overhead(name: &str, scale: u32, reps: usize) -> Result<(), String> {
+    let w = workload_by_name(name, scale);
+    let r = Jvm::new(JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().unwrap();
+    let build = |observability: bool| {
+        JPortal::with_config(
+            &w.program,
+            JPortalConfig {
+                observability,
+                ..JPortalConfig::default()
+            },
+        )
+    };
+    let jp_off = build(false);
+    let jp_on = build(true);
+    let measure = |jp: &JPortal| -> f64 {
+        let t0 = Instant::now();
+        std::hint::black_box(jp.analyze(traces, &r.archive));
+        t0.elapsed().as_secs_f64()
+    };
+    // Paired, order-alternated samples: each rep measures both
+    // configurations back-to-back (flipping which goes first), so clock
+    // drift and frequency scaling hit both sides of a pair equally; the
+    // median pair ratio then discards outlier reps in either direction —
+    // a single-vCPU container is too noisy for min-of-N alone.
+    measure(&jp_off); // warm-up
+    measure(&jp_on);
+    let mut ratios = Vec::with_capacity(reps);
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    for i in 0..reps {
+        let (a, b) = if i % 2 == 0 {
+            let a = measure(&jp_off);
+            (a, measure(&jp_on))
+        } else {
+            let b = measure(&jp_on);
+            (measure(&jp_off), b)
+        };
+        off = off.min(a);
+        on = on.min(b);
+        ratios.push(b / a);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+    println!(
+        "{name}: observability off {:.3} ms, on {:.3} ms (min-of-{reps}), median pair ratio {ratio:.3}",
+        off * 1e3,
+        on * 1e3
+    );
+    if ratio > 1.05 {
+        return Err(format!(
+            "observability overhead {:.1}% exceeds the 5% budget",
+            (ratio - 1.0) * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let overhead_mode = args.iter().any(|a| a == "--overhead");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if overhead_mode {
+        let name = names.first().map(|s| s.as_str()).unwrap_or("luindex");
+        return match overhead(name, 24, 15) {
+            Ok(()) => {
+                println!("overhead within budget");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let workloads: Vec<Workload> = if names.is_empty() {
+        all_workloads(1)
+    } else {
+        names.iter().map(|n| workload_by_name(n, 1)).collect()
+    };
+
+    for w in &workloads {
+        let result = if check_mode { check(w) } else { observe(w) };
+        if let Err(e) = result {
+            eprintln!("FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if check_mode {
+        println!("all telemetry checks passed");
+    }
+    ExitCode::SUCCESS
+}

@@ -10,5 +10,6 @@ pub use jportal_cfg as cfg;
 pub use jportal_core as core;
 pub use jportal_ipt as ipt;
 pub use jportal_jvm as jvm;
+pub use jportal_obs as obs;
 pub use jportal_profilers as profilers;
 pub use jportal_workloads as workloads;
