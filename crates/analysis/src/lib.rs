@@ -33,7 +33,10 @@ pub mod lint;
 pub mod rta;
 
 pub use dom::{Dominators, LoopNest, NaturalLoop, PostDominators};
-pub use lint::{lint_steps, lint_steps_observed, LintDiagnostic, LintKind, LintStep, LintSummary};
+pub use lint::{
+    lint_steps, lint_steps_journaled, lint_steps_observed, LintDiagnostic, LintKind, LintStep,
+    LintSummary,
+};
 pub use rta::Rta;
 
 use jportal_bytecode::{Bci, MethodId, Program};

@@ -225,6 +225,30 @@ pub fn lint_steps_observed(
     diagnostics
 }
 
+/// [`lint_steps_observed`] plus flight-recorder emission: every
+/// diagnostic also lands in the decision journal as a
+/// [`jportal_obs::JournalEvent::LintBreak`] through `recorder` (inert
+/// when the journal is off). Identical diagnostics either way.
+pub fn lint_steps_journaled(
+    program: &Program,
+    icfg: &Icfg,
+    steps: &[LintStep],
+    obs: &jportal_obs::Obs,
+    recorder: &mut jportal_obs::JournalRecorder<'_>,
+) -> Vec<LintDiagnostic> {
+    let diagnostics = lint_steps_observed(program, icfg, steps, obs);
+    if recorder.is_enabled() {
+        for d in &diagnostics {
+            recorder.emit(jportal_obs::JournalEvent::LintBreak {
+                kind: d.kind.to_string(),
+                index: d.index as u64,
+                detail: d.detail.clone(),
+            });
+        }
+    }
+    diagnostics
+}
+
 /// Replays `steps` against the ICFG and reports every violation.
 pub fn lint_steps(program: &Program, icfg: &Icfg, steps: &[LintStep]) -> Vec<LintDiagnostic> {
     let mut out = Vec::new();

@@ -1,11 +1,90 @@
 //! End-to-end pipeline throughput: per-core traces + metadata in,
 //! reconstructed per-thread control flow out (decode → project →
 //! recover), on a lossy multi-mode workload.
+//!
+//! Besides the criterion groups, this bench writes `BENCH_e2e.json` at
+//! the repo root: the median end-to-end analysis wall time and the
+//! journal/telemetry overhead delta (observability on vs off, median of
+//! paired order-alternated runs), so CI keeps a machine-readable record
+//! of both numbers per commit.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use jportal_core::JPortal;
+use jportal_core::{JPortal, JPortalConfig};
 use jportal_jvm::runtime::{Jvm, JvmConfig};
 use jportal_workloads::workload_by_name;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("JPORTAL_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Measures the end-to-end medians and writes `BENCH_e2e.json` two
+/// levels above the bench crate (the repo root).
+fn write_e2e_report(w: &jportal_workloads::Workload, r: &jportal_jvm::RunResult) {
+    let traces = r.traces.as_ref().unwrap();
+    let reps = if quick() { 5 } else { 15 };
+    let build = |observability: bool| {
+        JPortal::with_config(
+            &w.program,
+            JPortalConfig {
+                observability,
+                ..JPortalConfig::default()
+            },
+        )
+    };
+    let jp_off = build(false);
+    let jp_on = build(true);
+    let measure = |jp: &JPortal| -> f64 {
+        let t0 = Instant::now();
+        criterion::black_box(jp.analyze(traces, &r.archive));
+        t0.elapsed().as_secs_f64()
+    };
+    measure(&jp_off); // warm-up
+    measure(&jp_on);
+    // Paired, order-alternated samples (same scheme as `observe
+    // --overhead`): clock drift hits both sides of a pair equally and
+    // the median discards outlier reps.
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for i in 0..reps {
+        if i % 2 == 0 {
+            off.push(measure(&jp_off));
+            on.push(measure(&jp_on));
+        } else {
+            on.push(measure(&jp_on));
+            off.push(measure(&jp_off));
+        }
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let off_median = median(&mut off);
+    let on_median = median(&mut on);
+    let delta = on_median / off_median - 1.0;
+
+    let json = format!(
+        "{{\n  \"workload\": \"{}\",\n  \"iterations\": {reps},\n  \
+         \"e2e_median_seconds\": {off_median:.6},\n  \
+         \"e2e_with_journal_median_seconds\": {on_median:.6},\n  \
+         \"journal_overhead_delta\": {delta:.4}\n}}\n",
+        w.name
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_e2e.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("BENCH_e2e.json not written: {e}");
+    } else {
+        println!(
+            "BENCH_e2e.json: e2e median {:.3} ms, journal overhead {:+.1}%",
+            off_median * 1e3,
+            delta * 100.0
+        );
+    }
+}
 
 fn bench_e2e(c: &mut Criterion) {
     let w = workload_by_name("luindex", 3);
@@ -29,6 +108,8 @@ fn bench_e2e(c: &mut Criterion) {
         b.iter(|| jportal_cfg::Icfg::build(&w.program))
     });
     g.finish();
+
+    write_e2e_report(&w, &r);
 }
 
 criterion_group!(benches, bench_e2e);

@@ -64,6 +64,11 @@ pub struct MatchScratch {
     layer_starts: Vec<u32>,
     seen: Vec<u32>,
     generation: u32,
+    /// Widest frontier layer seen since the last
+    /// [`MatchScratch::reset_frontier_peak`] — the matcher's ambiguity
+    /// high-water mark, accumulated *across* matches so a caller can
+    /// meter a whole segment (which may restart several times).
+    peak_width: u32,
 }
 
 impl MatchScratch {
@@ -99,6 +104,33 @@ impl MatchScratch {
     /// this scratch has matched against).
     pub fn seen_size(&self) -> usize {
         self.seen.len()
+    }
+
+    /// Widest frontier layer (simultaneous NFA states for one symbol)
+    /// since the last [`MatchScratch::reset_frontier_peak`]. A width of 1
+    /// means the match was unambiguous throughout; wider layers measure
+    /// how many alternative ICFG paths stayed viable.
+    pub fn frontier_peak(&self) -> u32 {
+        self.peak_width
+    }
+
+    /// Resets the frontier-peak accumulator (call at a segment boundary).
+    pub fn reset_frontier_peak(&mut self) {
+        self.peak_width = 0;
+    }
+
+    /// Folds the just-finished match's layer widths into the peak.
+    fn note_peak(&mut self) {
+        let n = self.layer_starts.len();
+        for i in 0..n {
+            let lo = self.layer_starts[i] as usize;
+            let hi = if i + 1 < n {
+                self.layer_starts[i + 1] as usize
+            } else {
+                self.arena.len()
+            };
+            self.peak_width = self.peak_width.max((hi - lo) as u32);
+        }
     }
 
     /// Starts a new frontier layer; returns its arena offset.
@@ -248,9 +280,11 @@ impl<'a> Nfa<'a> {
                 }
             }
             if scratch.arena.len() == lo {
+                scratch.note_peak();
                 return MatchOutcome::Rejected(i);
             }
         }
+        scratch.note_peak();
 
         // Reconstruct a witness from the first accepting state, following
         // absolute arena back-pointers.
@@ -332,6 +366,7 @@ impl<'a> Nfa<'a> {
             }
             matched = j + 1;
         }
+        scratch.note_peak();
 
         witness.clear();
         witness.resize(matched, NodeId(0));

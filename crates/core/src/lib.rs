@@ -29,6 +29,7 @@ pub mod accuracy;
 pub mod decode;
 pub mod pipeline;
 pub mod profiles;
+pub mod quality;
 pub mod reconstruct;
 pub mod recover;
 pub mod threads;
@@ -36,5 +37,6 @@ pub mod threads;
 pub use accuracy::{alignment_score, AccuracyBreakdown};
 pub use decode::{decode_segment, BcEvent, BcSegment};
 pub use pipeline::{JPortal, JPortalConfig, JPortalReport, TraceEntry, TraceOrigin};
+pub use quality::{FillQuality, QualityReport, ThreadQuality};
 pub use reconstruct::{project_segment, Projection, ProjectionConfig, ProjectionStats};
 pub use recover::{Fill, Recovery, RecoveryConfig, RecoveryStats, SegmentView};

@@ -8,17 +8,18 @@
 //! control-flow trace with per-entry provenance.
 
 use jportal_analysis::{
-    lint_steps, lint_steps_observed, AnalysisIndex, LintDiagnostic, LintStep, LintSummary, Rta,
+    lint_steps, lint_steps_journaled, AnalysisIndex, LintDiagnostic, LintStep, LintSummary, Rta,
 };
 use jportal_bytecode::Program;
 use jportal_cfg::abs::{AbstractNfa, DfaCacheStats};
 use jportal_cfg::{Icfg, MatchScratch};
 use jportal_ipt::{CollectedTraces, CollectionStats, ThreadId};
 use jportal_jvm::MetadataArchive;
-use jportal_obs::{Obs, TelemetryReport};
+use jportal_obs::{JournalEvent, Obs, TelemetryReport};
 use std::cell::RefCell;
 
 use crate::decode::decode_segment;
+use crate::quality::{FillQuality, QualityReport, ThreadQuality};
 use crate::reconstruct::{project_segment_with, ProjectionConfig, ProjectionStats};
 use crate::recover::{FillScratch, Recovery, RecoveryConfig, RecoveryStats, SegmentView};
 pub use crate::recover::{TraceEntry, TraceOrigin};
@@ -107,10 +108,14 @@ pub struct JPortalReport {
     /// overflow spans, effective drain rate) before the offline pipeline
     /// ever ran.
     pub collection: CollectionStats,
+    /// Per-fill confidence rollup (see [`crate::quality`]). Diagnostic,
+    /// so excluded from report equality like `dfa_cache`/`collection`.
+    pub quality: QualityReport,
 }
 
 /// Report equality deliberately ignores the telemetry fields —
-/// [`JPortalReport::dfa_cache`] and [`JPortalReport::collection`].
+/// [`JPortalReport::dfa_cache`], [`JPortalReport::collection`] and
+/// [`JPortalReport::quality`].
 /// The DFA cache counters depend on worker scheduling (two workers can
 /// both miss on a key one of them is about to fill) and the collection
 /// summary describes the *input* traces rather than the reconstruction;
@@ -335,6 +340,23 @@ impl<'p> JPortal<'p> {
                     arena_hw.set_max(scratch.arena_high_water() as u64);
                     proj
                 });
+                // Flight recorder: one `SegmentMatched` per piece, keyed
+                // (thread, piece index, 0). Emission happens inside the
+                // worker, but keys depend only on the work item — the
+                // sorted snapshot is identical at any worker count.
+                let mut rec = obs.journal_recorder(thread_pieces[ti].0 .0);
+                if rec.is_enabled() {
+                    rec.set_segment(pi as u32);
+                    rec.emit(JournalEvent::SegmentMatched {
+                        events: decoded.events.len() as u32,
+                        matched: proj.stats.matched as u32,
+                        restarts: proj.stats.restarts as u32,
+                        frontier_width: proj.stats.frontier_width_max as u32,
+                        candidates_tried: proj.stats.candidates_tried as u32,
+                        candidates_pruned: proj.stats.candidates_pruned as u32,
+                        dfa_path: proj.stats.dfa_runs > 0,
+                    });
+                }
                 (
                     SegmentView {
                         events: decoded.events,
@@ -363,10 +385,16 @@ impl<'p> JPortal<'p> {
         // inner candidate scoring stays sequential to avoid
         // oversubscription; with few threads the idle workers go to it.
         let inner_workers = if grouped.len() >= workers { 1 } else { workers };
-        let threads: Vec<ThreadReport> =
+        let assembled: Vec<(ThreadReport, ThreadQuality)> =
             jportal_par::par_map_owned(workers, grouped, |_, (thread, views, projection)| {
                 self.assemble_thread(thread, views, projection, inner_workers)
             });
+        let mut threads = Vec::with_capacity(assembled.len());
+        let mut quality = QualityReport::default();
+        for (t, q) in assembled {
+            threads.push(t);
+            quality.threads.push(q);
+        }
 
         // Per-stage totals are summed *after* the joins, from the
         // deterministically merged per-thread statistics, rather than
@@ -407,6 +435,10 @@ impl<'p> JPortal<'p> {
                 .add(sum(|t| t.recovery.pruned_tier1));
             reg.counter("core.recover.pruned_tier2")
                 .add(sum(|t| t.recovery.pruned_tier2));
+            reg.counter("core.recover.fallback_walks")
+                .add(sum(|t| t.recovery.fallback_walks));
+            reg.counter("core.recover.budget_truncations")
+                .add(sum(|t| t.recovery.budget_truncations));
             reg.gauge("cfg.dfa.interned")
                 .set_max(anfa.dfa_stats().interned);
         }
@@ -418,6 +450,7 @@ impl<'p> JPortal<'p> {
             threads,
             dfa_cache: anfa.dfa_stats(),
             collection,
+            quality,
         }
     }
 
@@ -430,8 +463,9 @@ impl<'p> JPortal<'p> {
         views: Vec<SegmentView>,
         projection: ProjectionStats,
         recovery_workers: usize,
-    ) -> ThreadReport {
+    ) -> (ThreadReport, ThreadQuality) {
         let obs = &self.obs;
+        let mut recorder = obs.journal_recorder(thread.0);
         let _assemble = obs
             .span("recover", "assemble_thread")
             .parent("analyze")
@@ -460,6 +494,7 @@ impl<'p> JPortal<'p> {
             .with_dominators(&self.analysis);
         let mut entries: Vec<TraceEntry> = Vec::new();
         let mut steps: Vec<LintStep> = Vec::new();
+        let mut fills: Vec<FillQuality> = Vec::new();
         // One walk scratch for all of this thread's holes.
         let mut fill_scratch = FillScratch::new();
         let fill_hist = obs.registry().histogram("core.recover.fill_wall_us");
@@ -475,14 +510,22 @@ impl<'p> JPortal<'p> {
                             .arg("thread", thread.0)
                             .arg("hole", holes.len())
                             .record_dur(&fill_hist);
-                        let fill = recovery.fill_hole_with(
+                        let fill = recovery.fill_hole_journaled(
                             &compacted,
                             i - 1,
                             i,
                             Some(loss),
                             &mut recovery_stats,
                             &mut fill_scratch,
+                            &mut recorder,
+                            holes.len() as u32,
                         );
+                        fills.push(FillQuality {
+                            hole: holes.len(),
+                            origin: fill.entries.first().map(|e| e.origin),
+                            confidence: fill.confidence,
+                            entries: fill.entries.len(),
+                        });
                         entries.extend(fill.entries);
                         steps.extend(fill.steps);
                     }
@@ -523,7 +566,10 @@ impl<'p> JPortal<'p> {
 
         let lint = if self.config.lint {
             if obs.is_enabled() {
-                lint_steps_observed(self.program, &self.icfg, &steps, obs)
+                // Lint breaks go under the reserved segment key so they
+                // sort after every per-segment decision for the thread.
+                recorder.set_segment(jportal_obs::journal::LINT_SEGMENT);
+                lint_steps_journaled(self.program, &self.icfg, &steps, obs, &mut recorder)
             } else {
                 lint_steps(self.program, &self.icfg, &steps)
             }
@@ -531,15 +577,18 @@ impl<'p> JPortal<'p> {
             Vec::new()
         };
 
-        ThreadReport {
-            thread,
-            entries,
-            holes,
-            projection,
-            recovery: recovery_stats,
-            segments: compacted.len(),
-            lint,
-        }
+        (
+            ThreadReport {
+                thread,
+                entries,
+                holes,
+                projection,
+                recovery: recovery_stats,
+                segments: compacted.len(),
+                lint,
+            },
+            ThreadQuality { thread, fills },
+        )
     }
 }
 

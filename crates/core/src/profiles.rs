@@ -198,6 +198,7 @@ mod tests {
             }],
             dfa_cache: Default::default(),
             collection: Default::default(),
+            quality: Default::default(),
         }
     }
 

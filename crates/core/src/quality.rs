@@ -1,0 +1,127 @@
+//! Reconstruction-quality rollup: per-fill confidence, aggregated per
+//! thread and per report.
+//!
+//! Recovery attaches a confidence in `[0, 1]` to every fill
+//! ([`crate::recover::Fill::confidence`]); this module is the report-side
+//! view of those scores, so a consumer can ask "how much of this timeline
+//! is trustworthy?" without replaying the decision journal. Like
+//! `JPortalReport::dfa_cache`, the quality rollup is diagnostic: it is
+//! **excluded from report equality** (the determinism contract covers
+//! `threads` only), though in practice the scores themselves are
+//! deterministic at any `parallelism` because recovery's ranking is.
+
+use jportal_ipt::ThreadId;
+
+use crate::recover::TraceOrigin;
+
+/// Confidence record for one hole fill.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillQuality {
+    /// Hole index within the thread (1-based, matching
+    /// `ThreadReport::holes` order and the journal's `hole` field).
+    pub hole: usize,
+    /// How the hole was filled: [`TraceOrigin::Recovered`] (CS splice),
+    /// [`TraceOrigin::Walked`] (fallback walk), or `None` when nothing
+    /// filled it.
+    pub origin: Option<TraceOrigin>,
+    /// Confidence in `[0, 1]` (see `crate::recover`'s formula; `0.0` for
+    /// an unfilled hole).
+    pub confidence: f64,
+    /// Entries the fill contributed.
+    pub entries: usize,
+}
+
+/// One thread's fill-quality records, in hole order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadQuality {
+    /// The thread.
+    pub thread: ThreadId,
+    /// One record per hole recovery worked on.
+    pub fills: Vec<FillQuality>,
+}
+
+impl ThreadQuality {
+    /// Mean confidence over this thread's fills (`1.0` when there were
+    /// no holes at all — an untouched timeline is fully trusted).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.fills.is_empty() {
+            return 1.0;
+        }
+        self.fills.iter().map(|f| f.confidence).sum::<f64>() / self.fills.len() as f64
+    }
+
+    /// The lowest-confidence fill, if any (the first place to look when
+    /// a timeline disagrees with expectations).
+    pub fn weakest(&self) -> Option<&FillQuality> {
+        self.fills
+            .iter()
+            .min_by(|a, b| a.confidence.total_cmp(&b.confidence))
+    }
+}
+
+/// Report-wide quality rollup, sorted by thread id (same order as
+/// `JPortalReport::threads`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualityReport {
+    /// Per-thread records.
+    pub threads: Vec<ThreadQuality>,
+}
+
+impl QualityReport {
+    /// The rollup for one thread.
+    pub fn thread(&self, id: ThreadId) -> Option<&ThreadQuality> {
+        self.threads.iter().find(|t| t.thread == id)
+    }
+
+    /// Total fills across all threads.
+    pub fn total_fills(&self) -> usize {
+        self.threads.iter().map(|t| t.fills.len()).sum()
+    }
+
+    /// Mean confidence over every fill in the report (`1.0` when no
+    /// thread had any hole).
+    pub fn mean_confidence(&self) -> f64 {
+        let n = self.total_fills();
+        if n == 0 {
+            return 1.0;
+        }
+        self.threads
+            .iter()
+            .flat_map(|t| &t.fills)
+            .map(|f| f.confidence)
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fq(hole: usize, confidence: f64) -> FillQuality {
+        FillQuality {
+            hole,
+            origin: Some(TraceOrigin::Recovered),
+            confidence,
+            entries: 1,
+        }
+    }
+
+    #[test]
+    fn mean_confidence_averages_fills() {
+        let t = ThreadQuality {
+            thread: ThreadId(0),
+            fills: vec![fq(1, 0.8), fq(2, 0.4)],
+        };
+        assert!((t.mean_confidence() - 0.6).abs() < 1e-12);
+        assert_eq!(t.weakest().unwrap().hole, 2);
+    }
+
+    #[test]
+    fn empty_rollup_is_fully_trusted() {
+        let q = QualityReport::default();
+        assert_eq!(q.total_fills(), 0);
+        assert_eq!(q.mean_confidence(), 1.0);
+        assert_eq!(ThreadQuality::default().mean_confidence(), 1.0);
+    }
+}

@@ -60,6 +60,12 @@ pub struct ProjectionStats {
     pub candidates_tried: usize,
     /// Candidates rejected by the abstract filter.
     pub candidates_pruned: usize,
+    /// Times the abstract start filter (the tabled DFA path) actually
+    /// ran, as opposed to falling through to the concrete scan.
+    pub dfa_runs: usize,
+    /// Widest NFA frontier layer hit while matching (ambiguity
+    /// high-water mark; 1 = the whole projection was unambiguous).
+    pub frontier_width_max: usize,
 }
 
 impl ProjectionStats {
@@ -74,6 +80,9 @@ impl ProjectionStats {
         self.restarts += other.restarts;
         self.candidates_tried += other.candidates_tried;
         self.candidates_pruned += other.candidates_pruned;
+        self.dfa_runs += other.dfa_runs;
+        // `max` is likewise commutative and associative.
+        self.frontier_width_max = self.frontier_width_max.max(other.frontier_width_max);
     }
 }
 
@@ -128,6 +137,7 @@ pub fn project_segment_with(
     let mut out: Vec<Option<NodeId>> = vec![None; events.len()];
     let mut breaks: Vec<usize> = Vec::new();
     let mut stats = ProjectionStats::default();
+    scratch.reset_frontier_peak();
 
     let constraint = |e: &BcEvent| -> Option<NodeId> {
         match (e.method, e.bci) {
@@ -158,6 +168,7 @@ pub fn project_segment_with(
                 let candidates = nfa.start_candidates(sym0);
                 stats.candidates_tried += candidates.len();
                 if cfg.use_abstraction && candidates.len() >= cfg.abstraction_threshold {
+                    stats.dfa_runs += 1;
                     let lookahead_end = (i + cfg.abstraction_lookahead).min(events.len());
                     let window = &syms[i..lookahead_end];
                     let abs = jportal_cfg::tier::abstract_seq(window, jportal_cfg::Tier::Control);
@@ -199,6 +210,7 @@ pub fn project_segment_with(
         }
         i = j;
     }
+    stats.frontier_width_max = scratch.frontier_peak() as usize;
     Projection {
         nodes: out,
         breaks,

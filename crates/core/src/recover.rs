@@ -20,6 +20,7 @@ use jportal_analysis::{AnalysisIndex, LintStep};
 use jportal_bytecode::{Bci, MethodId, OpKind, Program};
 use jportal_cfg::{FxHashMap, Icfg, NodeId, Sym, Tier};
 use jportal_ipt::ring::LossRecord;
+use jportal_obs::{CandidateOutcome, Journal, JournalEvent, JournalRecorder};
 use std::collections::VecDeque;
 
 use crate::decode::BcEvent;
@@ -80,6 +81,13 @@ pub struct Fill {
     pub entries: Vec<TraceEntry>,
     /// Feasibility-linter steps aligned with `entries`.
     pub steps: Vec<LintStep>,
+    /// How much to trust this fill, in `[0, 1]`: the winning candidate's
+    /// suffix strength × its score margin over the runner-up × the
+    /// timestamp-budget coverage of the confirm scan × how well the fill
+    /// length agrees with the hole's estimated event count, scaled down
+    /// hard for fallback walks (see `confidence` in the journal event
+    /// schema, DESIGN.md §13). `0.0` for an unfilled hole.
+    pub confidence: f64,
 }
 
 /// Recovery tuning.
@@ -132,6 +140,13 @@ pub struct RecoveryStats {
     pub pruned_tier1: usize,
     /// Candidates rejected at tier 2.
     pub pruned_tier2: usize,
+    /// Fallback ICFG walks attempted (successful or not); always ≥
+    /// [`RecoveryStats::filled_by_walk`].
+    pub fallback_walks: usize,
+    /// Candidate confirm scans whose window was clipped by the hole's
+    /// timestamp budget (the scan saw less than the candidate's full
+    /// suffix, so a confirmation may have been missed).
+    pub budget_truncations: usize,
 }
 
 impl RecoveryStats {
@@ -146,6 +161,32 @@ impl RecoveryStats {
         self.candidates += other.candidates;
         self.pruned_tier1 += other.pruned_tier1;
         self.pruned_tier2 += other.pruned_tier2;
+        self.fallback_walks += other.fallback_walks;
+        self.budget_truncations += other.budget_truncations;
+    }
+
+    /// Fraction of considered candidates rejected by the tier-1
+    /// (call-structure) comparison. `0.0` when nothing was considered.
+    ///
+    /// Rates are computed from the *merged* totals, never averaged per
+    /// shard: `merge` sums numerators and denominators, so the rate of a
+    /// merged stat equals the rate over the union of the runs.
+    pub fn tier1_prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned_tier1 as f64 / self.candidates as f64
+        }
+    }
+
+    /// Fraction of considered candidates rejected by the tier-2
+    /// (control-structure) comparison. `0.0` when nothing was considered.
+    pub fn tier2_prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned_tier2 as f64 / self.candidates as f64
+        }
     }
 }
 
@@ -153,6 +194,72 @@ impl RecoveryStats {
 /// directions must not contradict.
 fn sym_compat(a: Sym, b: Sym) -> bool {
     a.op == b.op && a.dir.matches(b.dir)
+}
+
+/// Human-readable anchor spelling for the journal: opcode mnemonics
+/// joined with `·` (`invokestatic·iload·ifge`).
+fn spell_anchor(anchor: &[Sym]) -> String {
+    let mut out = String::new();
+    for (i, s) in anchor.iter().enumerate() {
+        if i > 0 {
+            out.push('·');
+        }
+        out.push_str(s.op.mnemonic());
+    }
+    out
+}
+
+/// Confidence in `[0, 1]` as parts-per-million, the journal's
+/// integer-only wire form.
+fn ppm(confidence: f64) -> u32 {
+    (confidence.clamp(0.0, 1.0) * 1_000_000.0).round() as u32
+}
+
+/// How well a fill's length agrees with the hole's timestamp-derived
+/// event estimate, in `[0, 1]`: `min/max` of the two lengths. A fill
+/// that plugs a fraction of the estimated loss — or overshoots it —
+/// can at best align that fraction of the truth, whatever its splice
+/// score, so this dominates when lengths disagree badly.
+fn length_agreement(fill_len: usize, estimate: f64) -> f64 {
+    let f = fill_len as f64;
+    let e = estimate.max(1.0);
+    (f.min(e) / f.max(e)).clamp(0.0, 1.0)
+}
+
+/// Confidence of a CS-sourced fill: suffix strength (how long the
+/// common suffix is, saturating) × score margin over the best other
+/// candidate (1.0 when the winner was the only candidate) × budget
+/// coverage of the confirm scan (1.0 when the window was not clipped)
+/// × length agreement with the hole's event estimate.
+fn cs_confidence(
+    score: usize,
+    runner_up: usize,
+    sole: bool,
+    max_fill: usize,
+    available: usize,
+    fill_len: usize,
+    estimate: f64,
+) -> f64 {
+    let strength = score as f64 / (score as f64 + 4.0);
+    let margin_factor = if sole {
+        1.0
+    } else {
+        let s = score.max(1) as f64;
+        (0.5 + 0.5 * (s - runner_up as f64) / s).clamp(0.1, 1.0)
+    };
+    let coverage = if max_fill < available {
+        max_fill as f64 / available as f64
+    } else {
+        1.0
+    };
+    strength * margin_factor * coverage * length_agreement(fill_len, estimate)
+}
+
+/// Confidence of a fallback-walk fill: capped low (the walk is a guess
+/// consistent with the ICFG, not a witnessed execution) and scaled by
+/// how much of the estimated loss the walk actually plugged.
+fn walk_confidence(fill_len: usize, estimate: f64) -> f64 {
+    0.3 * length_agreement(fill_len, estimate)
 }
 
 /// Pre-indexed segment: symbols plus tier-1/tier-2 position indices.
@@ -296,6 +403,65 @@ impl FillScratch {
 /// costs more than the sequential scan saves.
 const PAR_CANDIDATES_MIN: usize = 48;
 
+/// Per-hole cap on individually-journaled candidate events. Busy anchors
+/// can have thousands of candidates; journaling the first few dozen
+/// (always the head of the deterministic consideration order) keeps the
+/// ring bounded while the tail is summarised by one
+/// [`JournalEvent::CandidatesElided`].
+const JOURNAL_CANDIDATES_MAX: u32 = 32;
+
+/// Capped per-hole emitter of [`JournalEvent::CandidateConsidered`]
+/// events. Emission happens only in the sequential scan or the
+/// sequential pruning replay — never inside a parallel fan-out — so the
+/// event stream is the same at any worker count.
+struct CandidateJournal<'r, 'j> {
+    rec: Option<&'r mut JournalRecorder<'j>>,
+    hole: u32,
+    emitted: u32,
+    elided: u32,
+}
+
+impl<'r, 'j> CandidateJournal<'r, 'j> {
+    fn new(rec: Option<&'r mut JournalRecorder<'j>>, hole: u32) -> CandidateJournal<'r, 'j> {
+        CandidateJournal {
+            rec,
+            hole,
+            emitted: 0,
+            elided: 0,
+        }
+    }
+
+    fn consider(&mut self, rank: u32, cand: Candidate, outcome: CandidateOutcome, score: usize) {
+        let Some(rec) = self.rec.as_deref_mut() else {
+            return;
+        };
+        if self.emitted >= JOURNAL_CANDIDATES_MAX {
+            self.elided += 1;
+            return;
+        }
+        self.emitted += 1;
+        rec.emit(JournalEvent::CandidateConsidered {
+            hole: self.hole,
+            rank,
+            cs_segment: cand.0 as u32,
+            offset: cand.1 as u32,
+            outcome,
+            score: score.min(u32::MAX as usize) as u32,
+        });
+    }
+
+    fn finish(&mut self) {
+        if self.elided > 0 {
+            if let Some(rec) = self.rec.as_deref_mut() {
+                rec.emit(JournalEvent::CandidatesElided {
+                    hole: self.hole,
+                    count: self.elided,
+                });
+            }
+        }
+    }
+}
+
 /// Recovery engine over one thread's segments.
 #[derive(Debug)]
 pub struct Recovery<'a> {
@@ -395,6 +561,15 @@ impl<'a> Recovery<'a> {
         is_seg: usize,
         stats: &mut RecoveryStats,
     ) -> Vec<(Candidate, usize)> {
+        self.search_naive_journaled(is_seg, stats, &mut CandidateJournal::new(None, 0))
+    }
+
+    fn search_naive_journaled(
+        &self,
+        is_seg: usize,
+        stats: &mut RecoveryStats,
+        journal: &mut CandidateJournal<'_, '_>,
+    ) -> Vec<(Candidate, usize)> {
         let is = &self.indexed[is_seg];
         if is.syms.len() < self.cfg.anchor_len {
             return Vec::new();
@@ -419,6 +594,11 @@ impl<'a> Recovery<'a> {
                 );
                 (cand, m3)
             });
+        // Journal after the join, in candidate order — the event stream
+        // never depends on worker scheduling.
+        for (rank, &(cand, score)) in scored.iter().enumerate() {
+            journal.consider(rank as u32, cand, CandidateOutcome::Scored, score);
+        }
         scored.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
         scored.truncate(self.cfg.top_n);
         scored
@@ -441,6 +621,15 @@ impl<'a> Recovery<'a> {
         is_seg: usize,
         stats: &mut RecoveryStats,
     ) -> Vec<(Candidate, usize)> {
+        self.search_abstraction_journaled(is_seg, stats, &mut CandidateJournal::new(None, 0))
+    }
+
+    fn search_abstraction_journaled(
+        &self,
+        is_seg: usize,
+        stats: &mut RecoveryStats,
+        journal: &mut CandidateJournal<'_, '_>,
+    ) -> Vec<(Candidate, usize)> {
         let is = &self.indexed[is_seg];
         if is.syms.len() < self.cfg.anchor_len {
             return Vec::new();
@@ -459,20 +648,25 @@ impl<'a> Recovery<'a> {
                         is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Concrete, usize::MAX),
                     )
                 });
-            // Sequential replay of the pruning decisions.
+            // Sequential replay of the pruning decisions. The journal
+            // emits here (not in the fan-out above): the replay reproduces
+            // the sequential path's capped measurements exactly, so the
+            // events are identical to the sequential scan's.
             let mut best: Vec<(Candidate, usize)> = Vec::new();
             let (mut m1, mut m2, mut m3) = (0usize, 0usize, 0usize);
-            for (&cand, &(s1, s2, s3)) in cands.iter().zip(&scores) {
+            for (rank, (&cand, &(s1, s2, s3))) in cands.iter().zip(&scores).enumerate() {
                 stats.candidates += 1;
                 let full = self.cfg.top_n > best.len();
                 let ml1 = s1.min(m1 + 64);
                 if !full && ml1 < m1 {
                     stats.pruned_tier1 += 1;
+                    journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier1, ml1);
                     continue;
                 }
                 let ml2 = s2.min(m2 + 64);
                 if !full && ml2 < m2 {
                     stats.pruned_tier2 += 1;
+                    journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier2, ml2);
                     continue;
                 }
                 let ml3 = s3;
@@ -481,6 +675,7 @@ impl<'a> Recovery<'a> {
                     m1 = ml1;
                     m2 = ml2;
                 }
+                journal.consider(rank as u32, cand, CandidateOutcome::Scored, ml3);
                 best.push((cand, ml3));
                 best.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
                 best.truncate(self.cfg.top_n);
@@ -492,7 +687,7 @@ impl<'a> Recovery<'a> {
         // Running maxima ⟨m1, m2, m3⟩ of Algorithm 4; pruning compares
         // against the weakest kept candidate when the list is full.
         let (mut m1, mut m2, mut m3) = (0usize, 0usize, 0usize);
-        for cand in cands {
+        for (rank, cand) in cands.into_iter().enumerate() {
             stats.candidates += 1;
             let (si, end) = cand;
             let cs = &self.indexed[si];
@@ -501,11 +696,13 @@ impl<'a> Recovery<'a> {
             let ml1 = is.tier_suffix(is.syms.len(), cs, end + 1, Tier::CallStructure, m1 + 64);
             if !full && ml1 < m1 {
                 stats.pruned_tier1 += 1;
+                journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier1, ml1);
                 continue;
             }
             let ml2 = is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Control, m2 + 64);
             if !full && ml2 < m2 {
                 stats.pruned_tier2 += 1;
+                journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier2, ml2);
                 continue;
             }
             let ml3 = is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Concrete, usize::MAX);
@@ -514,6 +711,7 @@ impl<'a> Recovery<'a> {
                 m1 = ml1;
                 m2 = ml2;
             }
+            journal.consider(rank as u32, cand, CandidateOutcome::Scored, ml3);
             best.push((cand, ml3));
             best.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
             best.truncate(self.cfg.top_n);
@@ -548,24 +746,76 @@ impl<'a> Recovery<'a> {
         stats: &mut RecoveryStats,
         scratch: &mut FillScratch,
     ) -> Fill {
+        let mut inert = Journal::recorder(None, 0);
+        self.fill_hole_journaled(
+            segments, is_seg, post_seg, loss, stats, scratch, &mut inert, 1,
+        )
+    }
+
+    /// [`Recovery::fill_hole_with`] plus flight-recorder emission: the
+    /// hole opening, every considered candidate (capped, with the tier it
+    /// died at), the winner with its margin and confidence, the fallback
+    /// walk, or the unfilled verdict — all through `recorder`, keyed
+    /// under the IS's segment index. `hole` is the 1-based hole index
+    /// within the thread (matching `ThreadReport::holes` order).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill_hole_journaled(
+        &self,
+        segments: &[SegmentView],
+        is_seg: usize,
+        post_seg: usize,
+        loss: Option<LossRecord>,
+        stats: &mut RecoveryStats,
+        scratch: &mut FillScratch,
+        recorder: &mut JournalRecorder<'_>,
+        hole: u32,
+    ) -> Fill {
         stats.holes += 1;
         let post = &self.indexed[post_seg];
         let budget = self.hole_budget(segments, is_seg, loss);
+        // The raw (pre-`budget_factor`) event estimate: the best guess
+        // at how many truth events the hole actually swallowed.
+        let estimate = budget as f64 / self.cfg.budget_factor.max(1.0);
 
+        if recorder.is_enabled() {
+            recorder.set_segment(is_seg as u32);
+            let is = &self.indexed[is_seg];
+            let x = self.cfg.anchor_len.min(is.syms.len());
+            let (first_ts, last_ts) = match loss {
+                Some(l) => (l.first_ts, l.last_ts),
+                None => (0, 0),
+            };
+            recorder.emit(JournalEvent::HoleOpened {
+                hole,
+                first_ts,
+                last_ts,
+                anchor_len: self.cfg.anchor_len as u32,
+                anchor: spell_anchor(&is.syms[is.syms.len() - x..]),
+                budget: budget as u64,
+            });
+        }
+        let mut journal =
+            CandidateJournal::new(recorder.is_enabled().then_some(&mut *recorder), hole);
         let mut ranked = if self.cfg.use_abstraction {
-            self.search_abstraction(is_seg, stats)
+            self.search_abstraction_journaled(is_seg, stats, &mut journal)
         } else {
-            self.search_naive(is_seg, stats)
+            self.search_naive_journaled(is_seg, stats, &mut journal)
         };
+        journal.finish();
         self.rank_with_dominators(&mut ranked, segments, post_seg);
 
         let y = self.cfg.confirm_len;
-        for ((si, end), _score) in ranked {
+        for (idx, &((si, end), score)) in ranked.iter().enumerate() {
             let cs = &self.indexed[si];
             // Scan the CS suffix for a y-window matching the post-hole
             // beginning, within budget.
             let suffix_start = end + 1;
-            let max_fill = budget.min(cs.syms.len().saturating_sub(suffix_start));
+            let available = cs.syms.len().saturating_sub(suffix_start);
+            let max_fill = budget.min(available);
+            let truncated = max_fill < available;
+            if truncated {
+                stats.budget_truncations += 1;
+            }
             let post_window = &post.syms[..y.min(post.syms.len())];
             if y >= 1 && post_window.is_empty() {
                 continue;
@@ -586,20 +836,58 @@ impl<'a> Recovery<'a> {
                 }
             }
             if let Some(d) = found {
-                let fill = self.entries_from_cs(segments, si, suffix_start, d, is_seg, loss);
+                let mut fill = self.entries_from_cs(segments, si, suffix_start, d, is_seg, loss);
+                // Margin over the best *other* ranked score: candidates
+                // earlier in rank order failed to confirm, so a non-top
+                // winner gets margin 0 (its score was not the best).
+                let runner_up = if idx == 0 {
+                    ranked.get(1).map(|&(_, s)| s).unwrap_or(0)
+                } else {
+                    ranked[0].1
+                };
+                let sole = ranked.len() == 1;
+                fill.confidence = cs_confidence(
+                    score,
+                    runner_up,
+                    sole,
+                    max_fill,
+                    available,
+                    fill.entries.len(),
+                    estimate,
+                );
                 stats.filled_from_cs += 1;
                 stats.recovered_events += fill.entries.len();
+                recorder.emit(JournalEvent::CandidateChosen {
+                    hole,
+                    cs_segment: si as u32,
+                    offset: end as u32,
+                    score: score as u32,
+                    runner_up: runner_up as u32,
+                    margin: score.saturating_sub(runner_up) as u32,
+                    fill_len: fill.entries.len() as u32,
+                    budget: budget as u64,
+                    truncated,
+                    confidence_ppm: ppm(fill.confidence),
+                });
                 return fill;
             }
         }
 
         // Fallback: walk the ICFG between the surrounding nodes.
-        if let Some(fill) = self.walk_fill(segments, is_seg, post_seg, loss, scratch) {
+        stats.fallback_walks += 1;
+        if let Some(mut fill) = self.walk_fill(segments, is_seg, post_seg, loss, scratch) {
+            fill.confidence = walk_confidence(fill.entries.len(), estimate);
             stats.filled_by_walk += 1;
             stats.recovered_events += fill.entries.len();
+            recorder.emit(JournalEvent::FallbackWalk {
+                hole,
+                fill_len: fill.entries.len() as u32,
+                confidence_ppm: ppm(fill.confidence),
+            });
             return fill;
         }
         stats.unfilled += 1;
+        recorder.emit(JournalEvent::HoleUnfilled { hole });
         Fill::default()
     }
 

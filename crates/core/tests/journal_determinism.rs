@@ -1,0 +1,251 @@
+//! Flight-recorder guarantees: the decision journal is byte-identical
+//! across worker counts, the bounded ring's drop counter is exact under
+//! contention, and the per-fill confidence score actually predicts
+//! ground-truth fill accuracy — the three contracts `jportal-inspect`
+//! and `JPortalReport::quality` rest on.
+
+use proptest::prelude::*;
+
+use jportal_bytecode::builder::ProgramBuilder;
+use jportal_bytecode::{CmpKind, Instruction as I, Program};
+use jportal_core::accuracy::alignment_score;
+use jportal_core::{JPortal, JPortalConfig, TraceOrigin};
+use jportal_jvm::runtime::{Jvm, JvmConfig, ThreadSpec};
+use jportal_obs::{Journal, JournalEvent};
+
+/// Deterministic pseudo-random stream (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A seeded two-method program in the same branchy shape the end-to-end
+/// property tests use: `main` loops calling `f(i)` whose body is a
+/// random script of arithmetic, forward branches and jumps.
+fn seeded_program(seed: u64) -> Program {
+    let mut rng = Rng(seed);
+    let iters = 40 + (rng.next() % 160) as i64;
+    let script: Vec<u8> = (0..(2 + rng.next() % 5))
+        .map(|_| (rng.next() % 256) as u8)
+        .collect();
+
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("P", None, 0);
+    let mut f = pb.method(c, "f", 1, true);
+    let exit = f.label();
+    let labels: Vec<_> = (0..script.len()).map(|_| f.label()).collect();
+    for (bi, &b) in script.iter().enumerate() {
+        f.bind(labels[bi]);
+        match b % 4 {
+            0 => {
+                f.emit(I::Iload(0));
+                f.emit(I::Iconst(1 + i64::from(b % 5)));
+                f.emit(I::Iadd);
+                f.emit(I::Istore(0));
+            }
+            1 => {
+                f.emit(I::Iload(0));
+                f.emit(I::Iconst(2));
+                f.emit(I::Irem);
+                let t = labels
+                    .get(bi + 1 + (b as usize % 2))
+                    .copied()
+                    .unwrap_or(exit);
+                f.branch_if(CmpKind::Eq, t);
+            }
+            2 => {
+                f.emit(I::Iload(0));
+                f.emit(I::Ineg);
+                f.emit(I::Istore(0));
+            }
+            _ => {
+                let t = labels.get(bi + 2).copied().unwrap_or(exit);
+                f.jump(t);
+            }
+        }
+    }
+    f.bind(exit);
+    f.emit(I::Iload(0));
+    f.emit(I::Ireturn);
+    let fid = f.finish();
+
+    let mut m = pb.method(c, "main", 0, false);
+    m.reserve_locals(2);
+    let head = m.label();
+    let done = m.label();
+    m.emit(I::Iconst(iters));
+    m.emit(I::Istore(1));
+    m.bind(head);
+    m.emit(I::Iload(1));
+    m.branch_if(CmpKind::Le, done);
+    m.emit(I::Iload(1));
+    m.emit(I::InvokeStatic(fid));
+    m.emit(I::Pop);
+    m.emit(I::Iinc(1, -1));
+    m.jump(head);
+    m.bind(done);
+    m.emit(I::Return);
+    let main = m.finish();
+    pb.finish_with_entry(main).expect("seeded program verifies")
+}
+
+fn lossy_run(program: &Program, buffer: usize, threads: usize) -> jportal_jvm::RunResult {
+    let jvm = Jvm::new(JvmConfig {
+        cores: 2,
+        quantum: 700,
+        pt_buffer_capacity: buffer,
+        drain_bytes_per_kilocycle: 60,
+        c1_threshold: u64::MAX,
+        c2_threshold: u64::MAX,
+        ..JvmConfig::default()
+    });
+    let entry = program.entry();
+    let specs: Vec<ThreadSpec> = (0..threads)
+        .map(|_| ThreadSpec {
+            method: entry,
+            args: vec![],
+        })
+        .collect();
+    jvm.run_threads(program, &specs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The journal is part of the determinism contract: the same lossy
+    /// run analyzed sequentially, with 4 workers and with the all-cores
+    /// default serializes to byte-identical JSONL — events are keyed by
+    /// (thread, segment, seq) and carry no timing, so worker scheduling
+    /// cannot leak into the record.
+    #[test]
+    fn journal_is_byte_identical_across_parallelism(
+        seed in 0u64..1u64 << 48,
+        buffer in 800usize..2400,
+        threads in 1usize..4,
+    ) {
+        let program = seeded_program(seed);
+        let r = lossy_run(&program, buffer, threads);
+        let traces = r.traces.as_ref().unwrap();
+
+        let journal_of = |parallelism| {
+            let jp = JPortal::with_config(
+                &program,
+                JPortalConfig { parallelism, ..JPortalConfig::default() },
+            );
+            jp.analyze(traces, &r.archive);
+            let snap = jp.obs().journal_snapshot();
+            prop_assert_eq!(snap.dropped, 0, "default capacity must not drop");
+            Ok(snap.to_jsonl())
+        };
+        let sequential = journal_of(Some(1))?;
+        let four_workers = journal_of(Some(4))?;
+        let default_workers = journal_of(None)?;
+        prop_assert_eq!(&sequential, &four_workers);
+        prop_assert_eq!(&sequential, &default_workers);
+    }
+}
+
+#[test]
+fn ring_drop_counter_is_exact_sequentially() {
+    let journal = Journal::with_capacity(64);
+    let mut rec = Journal::recorder(Some(&journal), 0);
+    for i in 0..200u32 {
+        rec.set_segment(i);
+        rec.emit(JournalEvent::HoleUnfilled { hole: i });
+    }
+    assert_eq!(journal.len(), 64);
+    assert_eq!(journal.dropped(), 200 - 64);
+    let snap = journal.snapshot();
+    assert_eq!(snap.records.len(), 64);
+    assert_eq!(snap.dropped, 200 - 64);
+}
+
+#[test]
+fn ring_drop_counter_is_exact_under_contention() {
+    // 8 threads × 50 events against a 100-slot ring: exactly 100 land
+    // and exactly 300 are counted as dropped, for every interleaving —
+    // the reservation scheme cannot lose or double-count a drop.
+    let journal = Journal::with_capacity(100);
+    std::thread::scope(|scope| {
+        for t in 0..8u32 {
+            let journal = &journal;
+            scope.spawn(move || {
+                let mut rec = Journal::recorder(Some(journal), t);
+                for i in 0..50u32 {
+                    rec.set_segment(i);
+                    rec.emit(JournalEvent::HoleUnfilled { hole: i });
+                }
+            });
+        }
+    });
+    assert_eq!(journal.len(), 100);
+    assert_eq!(journal.dropped(), 8 * 50 - 100);
+}
+
+/// The acceptance bar for `Fill::confidence`: over a population of
+/// seeded lossy runs, fills the scorer trusts more must actually align
+/// better with the executor's ground truth. Compared as
+/// mean-accuracy-of-top-half vs bottom-half when ranked by confidence
+/// (everything here is simulated and seeded, so the split is exact and
+/// reproducible, not statistical).
+#[test]
+fn confidence_correlates_with_ground_truth_accuracy() {
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+
+    for seed in 0..12u64 {
+        let program = seeded_program(0xC0FFEE + seed * 7919);
+        for buffer in [1200usize, 1600, 2000] {
+            let r = lossy_run(&program, buffer, 2);
+            let report = JPortal::new(&program).analyze(r.traces.as_ref().unwrap(), &r.archive);
+            for (tr, tq) in report.threads.iter().zip(&report.quality.threads) {
+                assert_eq!(tr.thread, tq.thread);
+                assert_eq!(tr.holes.len(), tq.fills.len());
+                let truth = r.truth.trace(tr.thread);
+                for (i, &(a, b)) in tr.holes.iter().enumerate() {
+                    let fill = &tq.fills[i];
+                    assert_eq!(fill.hole, i + 1, "fills are in hole order");
+                    let truth_window: Vec<_> = truth
+                        .iter()
+                        .filter(|e| a <= e.ts && e.ts <= b)
+                        .copied()
+                        .collect();
+                    if truth_window.is_empty() {
+                        continue;
+                    }
+                    let fill_entries: Vec<_> = tr
+                        .entries
+                        .iter()
+                        .filter(|e| e.origin != TraceOrigin::Decoded && a <= e.ts && e.ts <= b)
+                        .copied()
+                        .collect();
+                    let accuracy = alignment_score(&program, &truth_window, &fill_entries);
+                    pairs.push((fill.confidence, accuracy));
+                }
+            }
+        }
+    }
+
+    assert!(
+        pairs.len() >= 40,
+        "need a real population of fills, got {}",
+        pairs.len()
+    );
+    pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let half = pairs.len() / 2;
+    let mean = |s: &[(f64, f64)]| s.iter().map(|p| p.1).sum::<f64>() / s.len() as f64;
+    let bottom = mean(&pairs[..half]);
+    let top = mean(&pairs[half..]);
+    assert!(
+        top > bottom,
+        "high-confidence fills must be more accurate: top-half mean {top:.3} \
+         vs bottom-half mean {bottom:.3} over {} fills",
+        pairs.len()
+    );
+}

@@ -28,6 +28,8 @@ fn random_projection(rng: &mut Rng) -> ProjectionStats {
         restarts: rng.small(),
         candidates_tried: rng.small(),
         candidates_pruned: rng.small(),
+        dfa_runs: rng.small(),
+        frontier_width_max: rng.small(),
     }
 }
 
@@ -41,6 +43,8 @@ fn random_recovery(rng: &mut Rng) -> RecoveryStats {
         candidates: rng.small(),
         pruned_tier1: rng.small(),
         pruned_tier2: rng.small(),
+        fallback_walks: rng.small(),
+        budget_truncations: rng.small(),
     }
 }
 
@@ -129,6 +133,56 @@ fn recovery_stats_parallel_reduction_equals_sequential_sum() {
             "workers={workers}"
         );
     }
+}
+
+#[test]
+fn prune_rates_come_from_merged_totals_not_averaged_rates() {
+    // Two shards with very different candidate volumes: averaging the
+    // per-shard rates would weight them equally; the merged rate must
+    // weight by candidates (sum of numerators / sum of denominators).
+    let a = RecoveryStats {
+        candidates: 100,
+        pruned_tier1: 90,
+        pruned_tier2: 5,
+        ..Default::default()
+    };
+    let b = RecoveryStats {
+        candidates: 10,
+        pruned_tier1: 1,
+        pruned_tier2: 2,
+        ..Default::default()
+    };
+    let mut merged = a;
+    merged.merge(&b);
+    assert_eq!(merged.candidates, 110);
+    assert!((merged.tier1_prune_rate() - 91.0 / 110.0).abs() < 1e-12);
+    assert!((merged.tier2_prune_rate() - 7.0 / 110.0).abs() < 1e-12);
+    let averaged = (a.tier1_prune_rate() + b.tier1_prune_rate()) / 2.0;
+    assert!(
+        (merged.tier1_prune_rate() - averaged).abs() > 0.1,
+        "merged rate must not equal the average of shard rates"
+    );
+    // No candidates → a defined zero rate, not NaN.
+    assert_eq!(RecoveryStats::default().tier1_prune_rate(), 0.0);
+    assert_eq!(RecoveryStats::default().tier2_prune_rate(), 0.0);
+}
+
+#[test]
+fn frontier_width_merges_as_max() {
+    let mut a = ProjectionStats {
+        frontier_width_max: 3,
+        ..Default::default()
+    };
+    a.merge(&ProjectionStats {
+        frontier_width_max: 7,
+        ..Default::default()
+    });
+    assert_eq!(a.frontier_width_max, 7);
+    a.merge(&ProjectionStats {
+        frontier_width_max: 2,
+        ..Default::default()
+    });
+    assert_eq!(a.frontier_width_max, 7, "max never regresses");
 }
 
 #[test]

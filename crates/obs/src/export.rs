@@ -150,8 +150,26 @@ impl TelemetryReport {
             .max(8);
         if !self.metrics.counters.is_empty() {
             out.push_str("counters\n");
+            // Recovery prune counters read as *rates* over the candidates
+            // considered — raw counts are meaningless across workloads of
+            // different sizes, and the rate of a merged run is the rate
+            // over summed numerator/denominator, never an average of
+            // per-shard rates.
+            let candidates = self.metrics.counter("core.recover.candidates");
             for (name, v) in &self.metrics.counters {
-                out.push_str(&format!("  {name:<width$}  {v:>12}\n"));
+                match (name.as_str(), candidates) {
+                    ("core.recover.pruned_tier1" | "core.recover.pruned_tier2", Some(c))
+                        if c > 0 =>
+                    {
+                        let rate = *v as f64 / c as f64;
+                        out.push_str(&format!(
+                            "  {name:<width$}  {:>12} ({:.1}% of candidates)\n",
+                            v,
+                            rate * 100.0
+                        ));
+                    }
+                    _ => out.push_str(&format!("  {name:<width$}  {v:>12}\n")),
+                }
             }
         }
         if !self.metrics.gauges.is_empty() {
@@ -267,6 +285,30 @@ mod tests {
         assert!(t.contains("c.wall_us"));
         assert!(t.contains("decode"));
         assert!(t.contains("collect"));
+    }
+
+    #[test]
+    fn summary_table_shows_prune_rates_over_candidates() {
+        let reg = MetricsRegistry::new(true);
+        reg.counter("core.recover.candidates").add(200);
+        reg.counter("core.recover.pruned_tier1").add(150);
+        reg.counter("core.recover.pruned_tier2").add(30);
+        let r = TelemetryReport {
+            metrics: reg.snapshot(),
+            spans: Vec::new(),
+        };
+        let t = r.summary_table();
+        assert!(t.contains("75.0% of candidates"), "tier-1 rate:\n{t}");
+        assert!(t.contains("15.0% of candidates"), "tier-2 rate:\n{t}");
+        // Without the denominator the raw count renders unannotated.
+        let reg2 = MetricsRegistry::new(true);
+        reg2.counter("core.recover.pruned_tier1").add(150);
+        let t2 = TelemetryReport {
+            metrics: reg2.snapshot(),
+            spans: Vec::new(),
+        }
+        .summary_table();
+        assert!(!t2.contains("of candidates"));
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! A minimal JSON writer-side helper and validating parser.
+//! A minimal JSON writer-side helper and strict parser.
 //!
 //! The exporters build JSON by hand (the crate is zero-dependency); this
 //! module provides the one thing hand-built JSON gets wrong — string
-//! escaping — and a strict recursive-descent validator used by tests and
-//! the `observe` example's `--check` mode to prove the emitted documents
-//! actually parse.
+//! escaping — plus a strict recursive-descent parser. [`validate`]
+//! checks well-formedness (used by tests and the `observe` example's
+//! `--check` mode to prove the emitted documents actually parse);
+//! [`parse`] additionally materialises the document as a [`Value`] tree
+//! (used by `jportal-inspect` to diff journal JSONL files).
 
 /// Appends `s` to `out` as a JSON string literal (with quotes).
 pub fn write_escaped(out: &mut String, s: &str) {
@@ -32,6 +34,53 @@ pub fn escaped(s: &str) -> String {
     out
 }
 
+/// A parsed JSON document.
+///
+/// Objects keep their pairs in document order (duplicate keys are kept
+/// as-is); numbers are `f64`, which is exact for every integer the
+/// exporters emit (they stay below 2⁵³).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, pairs in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object (first match); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
 /// Validates that `input` is exactly one well-formed JSON document.
 ///
 /// Strict per RFC 8259 structure (no trailing commas, no comments, no
@@ -44,17 +93,31 @@ pub fn escaped(s: &str) -> String {
 /// assert!(jportal_obs::json::validate("{,}").is_err());
 /// ```
 pub fn validate(input: &str) -> Result<(), JsonError> {
+    parse(input).map(drop)
+}
+
+/// Parses exactly one strict JSON document into a [`Value`].
+///
+/// # Examples
+///
+/// ```
+/// use jportal_obs::json::{parse, Value};
+/// let v = parse(r#"{"kind": "hole_opened", "hole": 3}"#).unwrap();
+/// assert_eq!(v.get("kind").and_then(Value::as_str), Some("hole_opened"));
+/// assert_eq!(v.get("hole").and_then(Value::as_num), Some(3.0));
+/// ```
+pub fn parse(input: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
     };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing characters after document"));
     }
-    Ok(())
+    Ok(v)
 }
 
 /// A validation failure: byte offset plus message.
@@ -123,38 +186,40 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), JsonError> {
+    fn value(&mut self) -> Result<Value, JsonError> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn object(&mut self) -> Result<(), JsonError> {
+    fn object(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut pairs = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Obj(pairs));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let val = self.value()?;
+            pairs.push((key, val));
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(()),
+                Some(b'}') => return Ok(Value::Obj(pairs)),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     return Err(self.err("expected ',' or '}'"));
@@ -163,20 +228,21 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<(), JsonError> {
+    fn array(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(()),
+                Some(b']') => return Ok(Value::Arr(items)),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     return Err(self.err("expected ',' or ']'"));
@@ -185,31 +251,83 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<(), JsonError> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
         loop {
             match self.bump() {
                 None => return Err(self.err("unterminated string")),
-                Some(b'"') => return Ok(()),
-                Some(b'\\') => match self.bump() {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
-                    Some(b'u') => {
-                        for _ in 0..4 {
-                            match self.bump() {
-                                Some(c) if c.is_ascii_hexdigit() => {}
-                                _ => return Err(self.err("bad \\u escape")),
+                Some(b'"') => {
+                    out.push_str(self.run_str(run_start, self.pos - 1)?);
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.run_str(run_start, self.pos - 1)?);
+                    match self.bump() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("bad \\u escape")),
                             }
                         }
+                        _ => return Err(self.err("bad escape")),
                     }
-                    _ => return Err(self.err("bad escape")),
-                },
+                    run_start = self.pos;
+                }
                 Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
                 Some(_) => {}
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), JsonError> {
+    /// The input slice `[start, end)` as UTF-8 (a raw, escape-free run).
+    fn run_str(&self, start: usize, end: usize) -> Result<&str, JsonError> {
+        std::str::from_utf8(&self.bytes[start..end]).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid UTF-8 in string".to_string(),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            match self.bump() {
+                Some(c) if c.is_ascii_hexdigit() => {
+                    v = v * 16 + (c as char).to_digit(16).unwrap();
+                }
+                _ => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -245,7 +363,9 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        Ok(())
+        // The grammar above admits only valid f64 spellings.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(Value::Num(text.parse::<f64>().unwrap()))
     }
 }
 
@@ -292,5 +412,40 @@ mod tests {
         let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1} unicode é";
         let doc = format!("{{{}: {}}}", escaped("k"), escaped(nasty));
         assert!(validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn parse_builds_values_and_unescapes() {
+        let v = parse(r#"{"a": [1, -2.5, "x\nA", null], "b": true}"#).unwrap();
+        let a = v.get("a").unwrap();
+        assert_eq!(
+            a,
+            &Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Num(-2.5),
+                Value::Str("x\nA".to_string()),
+                Value::Null,
+            ])
+        );
+        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_round_trips_escaped_strings() {
+        let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1} unicode é";
+        let doc = format!("{{{}: {}}}", escaped("k"), escaped(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pairs() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v, Value::Str("😀".to_string()));
+        let escaped_pair = "\"\\ud83d\\ude00\"";
+        assert_eq!(parse(escaped_pair).unwrap(), Value::Str("😀".to_string()));
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low surrogate");
     }
 }

@@ -36,11 +36,16 @@
 //! ```
 
 pub mod export;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
 pub use export::TelemetryReport;
+pub use journal::{
+    CandidateOutcome, Journal, JournalEvent, JournalKey, JournalRecord, JournalRecorder,
+    JournalSnapshot,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::{ArgValue, SpanCollector, SpanEvent, SpanGuard};
 
@@ -51,6 +56,7 @@ struct ObsInner {
     enabled: bool,
     registry: MetricsRegistry,
     spans: SpanCollector,
+    journal: Journal,
 }
 
 /// The telemetry handle: a registry plus a span collector behind one
@@ -61,10 +67,17 @@ pub struct Obs(Arc<ObsInner>);
 impl Obs {
     /// A new handle; `enabled = false` makes every instrument a no-op.
     pub fn new(enabled: bool) -> Obs {
+        Obs::with_journal_capacity(enabled, journal::DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A new handle with an explicit decision-journal ring capacity
+    /// (tests exercise the drop counter with tiny rings).
+    pub fn with_journal_capacity(enabled: bool, capacity: usize) -> Obs {
         Obs(Arc::new(ObsInner {
             enabled,
             registry: MetricsRegistry::new(enabled),
             spans: SpanCollector::new(),
+            journal: Journal::with_capacity(capacity),
         }))
     }
 
@@ -124,6 +137,23 @@ impl Obs {
     /// Number of spans recorded so far.
     pub fn span_count(&self) -> usize {
         self.0.spans.len()
+    }
+
+    /// The decision journal (flight recorder).
+    pub fn journal(&self) -> &Journal {
+        &self.0.journal
+    }
+
+    /// A journal recorder bound to `thread`: the single-producer handle
+    /// reconstruction stages emit decisions through. Inert (one branch
+    /// per emit) when the handle is disabled.
+    pub fn journal_recorder(&self, thread: u32) -> JournalRecorder<'_> {
+        Journal::recorder(self.0.enabled.then_some(&self.0.journal), thread)
+    }
+
+    /// Deterministic snapshot of the decision journal.
+    pub fn journal_snapshot(&self) -> JournalSnapshot {
+        self.0.journal.snapshot()
     }
 
     /// Snapshot of everything recorded so far: metrics plus
@@ -200,6 +230,20 @@ mod tests {
         assert!(report.metrics.counters.is_empty());
         assert!(report.spans.is_empty());
         assert_eq!(obs.span_count(), 0);
+        let mut rec = obs.journal_recorder(0);
+        rec.emit(JournalEvent::HoleUnfilled { hole: 1 });
+        assert!(obs.journal().is_empty());
+    }
+
+    #[test]
+    fn journal_recorder_feeds_the_shared_journal() {
+        let obs = Obs::new(true);
+        let mut rec = obs.journal_recorder(3);
+        rec.emit(JournalEvent::HoleUnfilled { hole: 1 });
+        let snap = obs.journal_snapshot();
+        assert_eq!(snap.records.len(), 1);
+        assert_eq!(snap.records[0].key.thread, 3);
+        assert_eq!(snap.dropped, 0);
     }
 
     #[test]

@@ -118,6 +118,8 @@ fn check(w: &Workload) -> Result<(), String> {
         "ipt.lost_packets",
         "core.entries",
         "core.recover.holes",
+        "core.recover.fallback_walks",
+        "core.recover.budget_truncations",
     ] {
         if telemetry.metrics.counter(counter).is_none() {
             return fail(format!("counter {counter:?} missing from snapshot"));
