@@ -6,7 +6,11 @@
 //! the repo root: the median end-to-end analysis wall time and the
 //! journal/telemetry overhead delta (observability on vs off, median of
 //! paired order-alternated runs), so CI keeps a machine-readable record
-//! of both numbers per commit.
+//! of both numbers per commit. A run that regresses the committed median
+//! by more than 10% refuses to overwrite the file unless forced
+//! (`--force` or `JPORTAL_BENCH_FORCE=1`), so the committed trajectory
+//! can only improve or hold; quick-mode runs (5 reps, too noisy to be a
+//! baseline) report against the committed file but never rewrite it.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use jportal_core::{JPortal, JPortalConfig};
@@ -18,6 +22,24 @@ fn quick() -> bool {
     std::env::var("JPORTAL_BENCH_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+fn force() -> bool {
+    std::env::var("JPORTAL_BENCH_FORCE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--force")
+}
+
+/// Pulls `"key": <number>` out of the committed JSON (no parser dep).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Measures the end-to-end medians and writes `BENCH_e2e.json` two
@@ -65,6 +87,34 @@ fn write_e2e_report(w: &jportal_workloads::Workload, r: &jportal_jvm::RunResult)
     let on_median = median(&mut on);
     let delta = on_median / off_median - 1.0;
 
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_e2e.json");
+    if let Some(committed) = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|j| json_number(&j, "e2e_median_seconds"))
+    {
+        if off_median > committed * 1.10 && !force() {
+            println!(
+                "BENCH_e2e.json NOT overwritten: median {:.3} ms regresses the committed \
+                 {:.3} ms by >10% (rerun with --force or JPORTAL_BENCH_FORCE=1)",
+                off_median * 1e3,
+                committed * 1e3
+            );
+            return;
+        }
+        // Quick-mode medians (5 reps) are too noisy to become the
+        // committed baseline: report against it, never rewrite it.
+        if quick() && !force() {
+            println!(
+                "BENCH_e2e.json kept (quick mode): measured median {:.3} ms vs committed {:.3} ms",
+                off_median * 1e3,
+                committed * 1e3
+            );
+            return;
+        }
+    }
+
     let json = format!(
         "{{\n  \"workload\": \"{}\",\n  \"iterations\": {reps},\n  \
          \"e2e_median_seconds\": {off_median:.6},\n  \
@@ -72,9 +122,6 @@ fn write_e2e_report(w: &jportal_workloads::Workload, r: &jportal_jvm::RunResult)
          \"journal_overhead_delta\": {delta:.4}\n}}\n",
         w.name
     );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_e2e.json");
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("BENCH_e2e.json not written: {e}");
     } else {

@@ -1,8 +1,24 @@
 //! PT packet codec throughput: encode and decode of a realistic packet
 //! mix (TIPs under last-IP compression, TNT packing, periodic TSC/PSB).
+//!
+//! Besides the criterion groups, this bench maintains `BENCH_pt_codec.json`
+//! at the repo root: decode throughput for the packed table-driven decoder
+//! and for the one-packet-at-a-time reference codec, plus their ratio. The
+//! file is only overwritten when the numbers do not regress (override with
+//! `--force` / `JPORTAL_BENCH_FORCE=1`), and `JPORTAL_BENCH_GATE=1` turns
+//! a regression into a hard failure for CI. The gate requires BOTH
+//! signals to drop >20% below the committed file before it trips: the
+//! absolute min-of-iterations decode throughput, and the same-run
+//! min-based speedup over the reference decoder (a hardware-independent
+//! ratio). A real decoder regression moves both; measurement noise or a
+//! hardware change moves only one.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use jportal_ipt::{decode_packets, EncoderConfig, HwEvent, PtEncoder};
+use jportal_ipt::lastip::LastIp;
+use jportal_ipt::packet::decode_one;
+use jportal_ipt::{
+    decode_packets_into, DecodeScratch, EncoderConfig, HwEvent, Packet, PtEncoder, TimedPacket,
+};
 
 fn synthetic_events(n: usize) -> Vec<HwEvent> {
     let mut out = Vec::with_capacity(n);
@@ -31,7 +47,7 @@ fn synthetic_events(n: usize) -> Vec<HwEvent> {
 
 fn encode_stream(events: &[HwEvent]) -> Vec<u8> {
     let mut enc = PtEncoder::new(EncoderConfig {
-        buffer_capacity: 1 << 24,
+        buffer_capacity: 1 << 27,
         filter: None,
         tsc_period: 512,
         psb_period: 4096,
@@ -43,9 +59,213 @@ fn encode_stream(events: &[HwEvent]) -> Vec<u8> {
     enc.finish().bytes
 }
 
+/// The one-packet-at-a-time decode loop (the seed's structure): kept as
+/// the in-run baseline the packed decoder's speedup is measured against.
+fn reference_decode(bytes: &[u8]) -> Vec<TimedPacket> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut last_ip = LastIp::new();
+    let mut ts = 0u64;
+    while pos < bytes.len() {
+        match decode_one(bytes, pos) {
+            Some((packet, consumed)) => {
+                let resolved = match packet {
+                    Packet::Psb | Packet::Ovf => {
+                        last_ip.reset();
+                        Some(packet)
+                    }
+                    Packet::Tsc { tsc } => {
+                        ts = tsc;
+                        Some(packet)
+                    }
+                    Packet::Tip { compression, ip } => last_ip
+                        .decode(compression, ip)
+                        .map(|ip| Packet::Tip { compression, ip }),
+                    Packet::TipPge { compression, ip } => last_ip
+                        .decode(compression, ip)
+                        .map(|ip| Packet::TipPge { compression, ip }),
+                    Packet::TipPgd { compression, ip } => last_ip
+                        .decode(compression, ip)
+                        .map(|ip| Packet::TipPgd { compression, ip }),
+                    Packet::Fup { compression, ip } => last_ip
+                        .decode(compression, ip)
+                        .map(|ip| Packet::Fup { compression, ip }),
+                    Packet::Pad => None,
+                    other => Some(other),
+                };
+                if let Some(p) = resolved {
+                    out.push(TimedPacket {
+                        packet: p,
+                        offset: pos as u64,
+                        ts,
+                    });
+                }
+                pos += consumed;
+            }
+            None => pos += 1,
+        }
+    }
+    out
+}
+
+fn quick() -> bool {
+    std::env::var("JPORTAL_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn force() -> bool {
+    std::env::var("JPORTAL_BENCH_FORCE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--force")
+}
+
+fn gate() -> bool {
+    std::env::var("JPORTAL_BENCH_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Pulls `"key": <number>` out of the baseline JSON (no parser dep).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct CodecNumbers {
+    decode_mean_ns: f64,
+    decode_min_ns: f64,
+    reference_mean_ns: f64,
+    reference_min_ns: f64,
+    large_mean_ns: f64,
+    large_min_ns: f64,
+    stream_bytes: usize,
+    large_bytes: usize,
+}
+
+impl CodecNumbers {
+    /// Speedup over the reference, from the fastest observed iterations
+    /// (min is far more stable than mean under scheduler noise — the
+    /// gate's basis).
+    fn speedup_min(&self) -> f64 {
+        self.reference_min_ns / self.decode_min_ns
+    }
+}
+
+/// Writes `BENCH_pt_codec.json` two levels above the bench crate (the
+/// repo root), refusing to record a regression, and failing the process
+/// under `JPORTAL_BENCH_GATE=1` when `decode_bytes` regresses >20% from
+/// the committed file.
+///
+/// "Regressed" requires BOTH signals to drop >20%, making the check
+/// robust to its two noise sources: absolute min throughput (stable on
+/// one machine, but shifts across hardware) and same-run speedup over
+/// the reference decoder (hardware-independent, but inherits the
+/// reference's measurement noise). A genuine decoder regression moves
+/// both; noise or a hardware change moves only one.
+fn write_codec_report(n: &CodecNumbers) {
+    let speedup_min = n.speedup_min();
+    let min_tp = min_mib_s(n.stream_bytes, n.decode_min_ns);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pt_codec.json");
+    let committed = std::fs::read_to_string(&path).ok();
+
+    if let Some(j) = committed.as_deref() {
+        let base_tp = json_number(j, "decode_bytes_min_mib_per_s");
+        let base_speedup = json_number(j, "speedup_vs_reference_min");
+        let abs_regressed = base_tp.map(|b| min_tp < 0.80 * b).unwrap_or(false);
+        let rel_regressed = base_speedup
+            .map(|b| speedup_min < 0.80 * b)
+            .unwrap_or(false);
+        println!(
+            "pt_codec gate: min {min_tp:.1} MiB/s (committed {:.1}), \
+             speedup {speedup_min:.2}x (committed {:.2}x)",
+            base_tp.unwrap_or(0.0),
+            base_speedup.unwrap_or(0.0),
+        );
+        if abs_regressed && rel_regressed {
+            if gate() {
+                eprintln!("FAILED: decode_bytes regressed >20% from the committed baseline");
+                std::process::exit(1);
+            }
+            if !force() {
+                println!(
+                    "BENCH_pt_codec.json NOT overwritten (regression; \
+                     rerun with --force or JPORTAL_BENCH_FORCE=1)"
+                );
+                return;
+            }
+        }
+    }
+
+    // Quick-mode samples are too noisy to become the committed baseline:
+    // gate against it, never rewrite it.
+    if quick() && committed.is_some() {
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"decode_bytes_mean_ns\": {:.1},\n  \
+         \"decode_bytes_min_ns\": {:.1},\n  \
+         \"decode_bytes_mib_per_s\": {:.1},\n  \
+         \"decode_bytes_min_mib_per_s\": {:.1},\n  \
+         \"reference_decode_mean_ns\": {:.1},\n  \
+         \"reference_decode_min_ns\": {:.1},\n  \
+         \"reference_decode_mib_per_s\": {:.1},\n  \
+         \"speedup_vs_reference\": {:.3},\n  \
+         \"speedup_vs_reference_min\": {:.3},\n  \
+         \"decode_bytes_large_mean_ns\": {:.1},\n  \
+         \"decode_bytes_large_mib_per_s\": {:.1},\n  \
+         \"decode_bytes_large_min_mib_per_s\": {:.1},\n  \
+         \"stream_bytes\": {},\n  \"large_stream_bytes\": {}\n}}\n",
+        n.decode_mean_ns,
+        n.decode_min_ns,
+        mib_s(n.stream_bytes, n.decode_mean_ns),
+        min_tp,
+        n.reference_mean_ns,
+        n.reference_min_ns,
+        mib_s(n.stream_bytes, n.reference_mean_ns),
+        n.reference_mean_ns / n.decode_mean_ns,
+        speedup_min,
+        n.large_mean_ns,
+        mib_s(n.large_bytes, n.large_mean_ns),
+        min_mib_s(n.large_bytes, n.large_min_ns),
+        n.stream_bytes,
+        n.large_bytes,
+    );
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("BENCH_pt_codec.json not written: {e}");
+    } else {
+        println!(
+            "BENCH_pt_codec.json: decode {:.1} MiB/s (min {min_tp:.1}), \
+             reference {:.1} MiB/s, min speedup {speedup_min:.2}x",
+            mib_s(n.stream_bytes, n.decode_mean_ns),
+            mib_s(n.stream_bytes, n.reference_mean_ns),
+        );
+    }
+}
+
+fn mib_s(bytes: usize, mean_ns: f64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / (mean_ns / 1e9)
+}
+
+fn min_mib_s(bytes: usize, min_ns: f64) -> f64 {
+    mib_s(bytes, min_ns)
+}
+
 fn bench_codec(c: &mut Criterion) {
     let events = synthetic_events(20_000);
     let bytes = encode_stream(&events);
+    // The large-trace configuration (≥1M events): production-scale
+    // streams, where table dispatch and capacity reuse dominate.
+    let large_bytes = encode_stream(&synthetic_events(1_000_000));
 
     let mut g = c.benchmark_group("pt_codec");
     g.throughput(Throughput::Elements(events.len() as u64));
@@ -57,8 +277,42 @@ fn bench_codec(c: &mut Criterion) {
         )
     });
     g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("decode_bytes", |b| b.iter(|| decode_packets(&bytes)));
+    // Steady-state decode: the scratch is reused across iterations, so
+    // after the first iteration the loop allocates nothing per packet.
+    g.bench_function("decode_bytes", |b| {
+        let mut scratch = DecodeScratch::new();
+        b.iter(|| decode_packets_into(&bytes, &mut scratch).len())
+    });
+    g.bench_function("decode_bytes_reference", |b| {
+        b.iter(|| reference_decode(&bytes))
+    });
+    g.throughput(Throughput::Bytes(large_bytes.len() as u64));
+    g.bench_function("decode_bytes_large", |b| {
+        let mut scratch = DecodeScratch::new();
+        b.iter(|| decode_packets_into(&large_bytes, &mut scratch).len())
+    });
     g.finish();
+
+    let find = |name: &str| {
+        c.results
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} not measured"))
+            .clone()
+    };
+    let decode = find("decode_bytes");
+    let reference = find("decode_bytes_reference");
+    let large = find("decode_bytes_large");
+    write_codec_report(&CodecNumbers {
+        decode_mean_ns: decode.mean_ns,
+        decode_min_ns: decode.min_ns,
+        reference_mean_ns: reference.mean_ns,
+        reference_min_ns: reference.min_ns,
+        large_mean_ns: large.mean_ns,
+        large_min_ns: large.min_ns,
+        stream_bytes: bytes.len(),
+        large_bytes: large_bytes.len(),
+    });
 }
 
 criterion_group!(benches, bench_codec);

@@ -94,11 +94,11 @@ pub fn decode_segment(program: &Program, archive: &MetadataArchive, raw: &RawSeg
     let mut pending_dir: Option<usize> = None;
     let mut last_jit_branch: Option<(usize, MethodId, Bci)> = None;
 
-    for tp in &raw.packets {
+    for tp in raw.packets() {
         let ts = tp.ts;
         match &tp.packet {
             Packet::Tnt { bits } => {
-                tnt.extend(bits.iter().copied());
+                tnt.extend(bits.iter());
                 // An interpreted conditional consumes the first bit.
                 if let Some(idx) = pending_dir.take() {
                     if let Some(bit) = tnt.pop_front() {

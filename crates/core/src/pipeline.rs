@@ -23,7 +23,7 @@ use crate::quality::{FillQuality, QualityReport, ThreadQuality};
 use crate::reconstruct::{project_segment_with, ProjectionConfig, ProjectionStats};
 use crate::recover::{FillScratch, Recovery, RecoveryConfig, RecoveryStats, SegmentView};
 pub use crate::recover::{TraceEntry, TraceOrigin};
-use crate::threads::{segregate, ThreadPiece};
+use crate::threads::{segregate_with_stats, ThreadPiece};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -283,11 +283,21 @@ impl<'p> JPortal<'p> {
             CollectionStats::emit_overflow_spans(traces, obs);
         }
 
-        let mut thread_pieces: Vec<(ThreadId, Vec<ThreadPiece>)> = {
-            let _segregate = obs.span("collect", "segregate");
-            segregate(traces).into_iter().collect()
+        let (per_thread, decode_stats) = {
+            let _segregate = obs.span("collect", "segregate").arg("workers", workers);
+            segregate_with_stats(traces, workers)
         };
+        let mut thread_pieces: Vec<(ThreadId, Vec<ThreadPiece>)> = per_thread.into_iter().collect();
         thread_pieces.sort_by_key(|(t, _)| *t);
+        // Stream-decode telemetry: summed in core order inside
+        // `segregate_with_stats`, a pure function of the trace bytes —
+        // identical at every parallelism setting.
+        if obs.is_enabled() {
+            let reg = obs.registry();
+            reg.counter("ipt.decode.resync_bytes")
+                .add(decode_stats.resync_bytes);
+            reg.counter("ipt.decode.packets").add(decode_stats.packets);
+        }
 
         // Level 1: decode + project every (thread, piece) pair globally.
         let work: Vec<(usize, usize)> = thread_pieces

@@ -11,9 +11,12 @@
 //! scheduling decisions, so packets near a switch boundary can land on
 //! the wrong thread — that effect is faithfully present here.
 
-use jportal_ipt::decode_packets;
 use jportal_ipt::sideband::schedule_intervals;
-use jportal_ipt::{segment_stream, CollectedTraces, RawSegment, ThreadId};
+use jportal_ipt::{
+    decode_packets_into, segment_stream, CollectedTraces, DecodeScratch, DecodeStats, RawSegment,
+    ThreadId,
+};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// A per-thread piece of trace, tagged with its source core.
@@ -31,57 +34,98 @@ pub struct ThreadPiece {
 /// was lost; only decoder context); pieces following a buffer overflow
 /// keep their [`jportal_ipt::LossRecord`].
 pub fn segregate(collected: &CollectedTraces) -> HashMap<ThreadId, Vec<ThreadPiece>> {
-    let mut per_thread: HashMap<ThreadId, Vec<ThreadPiece>> = HashMap::new();
+    segregate_with_stats(collected, 1).0
+}
 
-    for (core_idx, trace) in collected.per_core.iter().enumerate() {
-        let core = core_idx as u32;
-        let intervals = schedule_intervals(&collected.sideband, core, collected.end_ts);
-        if intervals.is_empty() {
-            continue;
-        }
-        let packets = decode_packets(&trace.bytes);
-        let raw_segments = segment_stream(packets, &trace.losses, core);
-
-        for seg in raw_segments {
-            // Split the segment wherever the owning interval changes.
-            let mut current_thread: Option<ThreadId> = None;
-            let mut current: Vec<jportal_ipt::TimedPacket> = Vec::new();
-            let mut first_piece = true;
-            let mut flush = |thread: Option<ThreadId>,
-                             packets: &mut Vec<jportal_ipt::TimedPacket>,
-                             first: &mut bool| {
-                if let (Some(t), false) = (thread, packets.is_empty()) {
-                    let loss_before = if *first { seg.loss_before } else { None };
-                    *first = false;
-                    per_thread.entry(t).or_default().push(ThreadPiece {
-                        core,
-                        segment: RawSegment {
-                            packets: std::mem::take(packets),
-                            loss_before,
-                            core,
-                        },
-                    });
-                } else {
-                    packets.clear();
-                }
-            };
-            for p in seg.packets {
-                let owner = owner_at(&intervals, p.ts);
-                if owner != current_thread {
-                    flush(current_thread, &mut current, &mut first_piece);
-                    current_thread = owner;
-                }
-                current.push(p);
+/// [`segregate`] with a per-worker decode fan-out.
+///
+/// Each core's byte stream decodes independently, so the streams fan out
+/// over `workers`; every worker thread reuses one [`DecodeScratch`]
+/// arena across the streams it claims (packet capacity carried over, the
+/// PR-3 `MatchScratch` pattern). The decoded stream becomes one shared
+/// [`jportal_ipt::PacketBuf`], and every piece — segmentation cut or
+/// scheduling split — is an index range over it: packets are never
+/// re-vectored.
+///
+/// The returned [`DecodeStats`] are summed in core order and depend only
+/// on the trace bytes, so they are identical at every worker count (part
+/// of the determinism contract, unlike scratch high-water gauges).
+pub fn segregate_with_stats(
+    collected: &CollectedTraces,
+    workers: usize,
+) -> (HashMap<ThreadId, Vec<ThreadPiece>>, DecodeStats) {
+    thread_local! {
+        static DECODE_SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::new());
+    }
+    let cores: Vec<usize> = (0..collected.per_core.len()).collect();
+    let per_core: Vec<(Vec<(ThreadId, ThreadPiece)>, DecodeStats)> =
+        jportal_par::par_map(workers, &cores, |_, &core_idx| {
+            let core = core_idx as u32;
+            let trace = &collected.per_core[core_idx];
+            let intervals = schedule_intervals(&collected.sideband, core, collected.end_ts);
+            if intervals.is_empty() {
+                return (Vec::new(), DecodeStats::default());
             }
-            flush(current_thread, &mut current, &mut first_piece);
+            let (buf, stats) = DECODE_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                let before = scratch.stats();
+                decode_packets_into(&trace.bytes, &mut scratch);
+                let after = scratch.stats();
+                let stats = DecodeStats {
+                    resync_bytes: after.resync_bytes - before.resync_bytes,
+                    packets: after.packets - before.packets,
+                };
+                (scratch.to_shared(), stats)
+            });
+            let raw_segments = segment_stream(buf, &trace.losses, core);
+
+            let mut pieces: Vec<(ThreadId, ThreadPiece)> = Vec::new();
+            for seg in raw_segments {
+                // Split the segment wherever the owning interval changes.
+                let mut current_thread: Option<ThreadId> = None;
+                let mut piece_start = 0usize;
+                let mut first_piece = true;
+                let mut flush = |thread: Option<ThreadId>, range: std::ops::Range<usize>| {
+                    if let (Some(t), false) = (thread, range.is_empty()) {
+                        let loss_before = if first_piece { seg.loss_before } else { None };
+                        first_piece = false;
+                        pieces.push((
+                            t,
+                            ThreadPiece {
+                                core,
+                                segment: seg.slice(range.start, range.end, loss_before),
+                            },
+                        ));
+                    }
+                };
+                for (i, p) in seg.packets().iter().enumerate() {
+                    let owner = owner_at(&intervals, p.ts);
+                    if owner != current_thread {
+                        flush(current_thread, piece_start..i);
+                        current_thread = owner;
+                        piece_start = i;
+                    }
+                }
+                flush(current_thread, piece_start..seg.len());
+            }
+            (pieces, stats)
+        });
+
+    let mut per_thread: HashMap<ThreadId, Vec<ThreadPiece>> = HashMap::new();
+    let mut stats = DecodeStats::default();
+    for (pieces, core_stats) in per_core {
+        stats.merge(&core_stats);
+        for (t, piece) in pieces {
+            per_thread.entry(t).or_default().push(piece);
         }
     }
 
-    // Order each thread's pieces by time.
+    // Order each thread's pieces by time (stable, so same-timestamp
+    // pieces keep core order — identical to the sequential path).
     for pieces in per_thread.values_mut() {
-        pieces.sort_by_key(|p| p.segment.packets.first().map(|tp| tp.ts).unwrap_or(0));
+        pieces.sort_by_key(|p| p.segment.packets().first().map(|tp| tp.ts).unwrap_or(0));
     }
-    per_thread
+    (per_thread, stats)
 }
 
 fn owner_at(intervals: &[(ThreadId, u64, u64)], ts: u64) -> Option<ThreadId> {
@@ -133,7 +177,7 @@ mod tests {
         assert_eq!(per_thread.len(), 1);
         let pieces = &per_thread[&ThreadId(0)];
         assert!(!pieces.is_empty());
-        let total: usize = pieces.iter().map(|p| p.segment.packets.len()).sum();
+        let total: usize = pieces.iter().map(|p| p.segment.len()).sum();
         assert!(total > 10);
     }
 
@@ -170,7 +214,7 @@ mod tests {
             // Pieces are time-ordered.
             let starts: Vec<u64> = pieces
                 .iter()
-                .map(|p| p.segment.packets.first().map(|tp| tp.ts).unwrap_or(0))
+                .map(|p| p.segment.packets().first().map(|tp| tp.ts).unwrap_or(0))
                 .collect();
             let mut sorted = starts.clone();
             sorted.sort();

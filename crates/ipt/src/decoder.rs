@@ -5,13 +5,24 @@
 //! [`segment_stream`] then splits the packet sequence at the recorded loss
 //! points, yielding the segmented trace JPortal's reconstruction works on
 //! (each hole is a `⋄` of Definition 5.1).
+//!
+//! The stream decoder is sink-based and allocation-free in steady state:
+//! [`decode_packets_into`] appends into a caller-owned [`DecodeScratch`]
+//! whose capacity carries across streams, packets are `Copy` end to end
+//! (TNT payloads are packed `u64`s, see [`crate::packet::TntBits`]), and
+//! the hot loop dispatches on the header byte through a 256-entry action
+//! table instead of a nested match. Segmentation is zero-copy: a
+//! [`RawSegment`] is an index range over one shared decoded buffer
+//! ([`PacketBuf`]), never a re-vectored copy.
 
 use crate::lastip::LastIp;
-use crate::packet::{decode_one, Packet};
+use crate::packet::{IpCompression, Packet, TntBits, TSC_MASK};
 use crate::ring::LossRecord;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// A decoded packet with its stream offset and the prevailing timestamp.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedPacket {
     /// The packet (IP-bearing packets carry fully reconstructed IPs).
     pub packet: Packet,
@@ -22,10 +33,372 @@ pub struct TimedPacket {
     pub ts: u64,
 }
 
-/// Decodes a whole exported stream into timed packets.
+/// Cumulative stream-decode statistics (monotone across
+/// [`decode_packets_into`] calls on the same scratch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Bytes skipped by the byte-by-byte resync path (unknown or
+    /// truncated packet headers). Zero on well-formed streams.
+    pub resync_bytes: u64,
+    /// Packets decoded (after last-IP resolution; PAD bytes and packets
+    /// dropped for missing compression context are not counted).
+    pub packets: u64,
+}
+
+impl DecodeStats {
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.resync_bytes += other.resync_bytes;
+        self.packets += other.packets;
+    }
+}
+
+/// Reusable sink for [`decode_packets_into`]: the packet buffer's
+/// capacity carries across streams (the per-worker "arena" of the decode
+/// fan-out), and decode statistics accumulate monotonically.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    packets: Vec<TimedPacket>,
+    stats: DecodeStats,
+    high_water: usize,
+}
+
+impl DecodeScratch {
+    /// An empty scratch.
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
+    }
+
+    /// The packets of the most recent decode.
+    pub fn packets(&self) -> &[TimedPacket] {
+        &self.packets
+    }
+
+    /// Cumulative decode statistics over every stream this scratch saw.
+    pub fn stats(&self) -> DecodeStats {
+        self.stats
+    }
+
+    /// Largest packet count any single decode produced (capacity
+    /// high-water mark, for the scratch-reuse gauges).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Moves the decoded packets out (the scratch keeps its statistics
+    /// but gives up the buffer's capacity).
+    pub fn take_packets(&mut self) -> Vec<TimedPacket> {
+        std::mem::take(&mut self.packets)
+    }
+
+    /// Copies the decoded packets into a freshly allocated shared buffer
+    /// sized exactly (one allocation per stream), keeping the scratch's
+    /// capacity for the next stream.
+    pub fn to_shared(&self) -> PacketBuf {
+        PacketBuf::from(&self.packets[..])
+    }
+}
+
+/// The shared decoded-packet buffer [`RawSegment`]s index into.
+pub type PacketBuf = Arc<[TimedPacket]>;
+
+/// Per-header-byte decode action, precomputed for all 256 byte values so
+/// the stream decoder's hot loop is a single table load plus a short
+/// per-kind tail instead of a nested match. Short-TNT entries carry the
+/// fully decoded payload (the header byte *is* the packet); IP entries
+/// carry the packet kind, wire compression code and payload width.
+#[derive(Debug, Clone, Copy)]
+enum ByteClass {
+    /// Unknown header: resync by one byte.
+    Invalid,
+    /// 0x00 padding (consumed, no packet).
+    Pad,
+    /// 0x02 extension prefix (PSB/PSBEND/OVF/long TNT).
+    Ext,
+    /// 0x19 timestamp.
+    Tsc,
+    /// Short TNT, payload decoded at table-build time.
+    ShortTnt(TntShape),
+    /// IP-bearing packet (TIP/PGE/PGD/FUP).
+    Ip(IpShape),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TntShape {
+    bits: u8,
+    len: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IpShape {
+    kind: IpKind,
+    code: u8,
+    plen: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum IpKind {
+    Tip,
+    Pge,
+    Pgd,
+    Fup,
+}
+
+const fn classify(b: u8) -> ByteClass {
+    match b {
+        0x00 => ByteClass::Pad,
+        0x02 => ByteClass::Ext,
+        0x19 => ByteClass::Tsc,
+        b if b & 1 == 0 => {
+            // Short TNT: even header that is not PAD/0x02. The stop
+            // bit's position gives the length; the payload sits above
+            // the reserved bit 0.
+            let stop = 7 - b.leading_zeros() as u8;
+            if stop == 0 {
+                return ByteClass::Invalid;
+            }
+            let len = stop - 1;
+            ByteClass::ShortTnt(TntShape {
+                bits: (b >> 1) & ((1 << len) - 1),
+                len,
+            })
+        }
+        b => {
+            let code = (b >> 5) & 0x7;
+            let plen = match code {
+                0 => 0,
+                1 => 2,
+                2 => 4,
+                4 => 6,
+                6 => 8,
+                _ => return ByteClass::Invalid,
+            };
+            let kind = match b & 0x1F {
+                0x0D => IpKind::Tip,
+                0x11 => IpKind::Pge,
+                0x01 => IpKind::Pgd,
+                0x1D => IpKind::Fup,
+                _ => return ByteClass::Invalid,
+            };
+            ByteClass::Ip(IpShape { kind, code, plen })
+        }
+    }
+}
+
+/// The 256-entry header-byte dispatch table.
+static DISPATCH: [ByteClass; 256] = {
+    let mut t = [ByteClass::Invalid; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = classify(i as u8);
+        i += 1;
+    }
+    t
+};
+
+/// Raw-payload mask by payload byte count (`plen` ∈ {0, 2, 4, 6, 8}).
+const RAW_MASK: [u64; 9] = [
+    0,
+    0xFF,
+    0xFFFF,
+    0xFF_FFFF,
+    0xFFFF_FFFF,
+    0xFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF,
+    0xFF_FFFF_FFFF_FFFF,
+    u64::MAX,
+];
+
+/// Unaligned little-endian u64 load at `pos` (caller guarantees
+/// `pos + 8 <= bytes.len()`).
+#[inline]
+fn load_u64(bytes: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap())
+}
+
+/// Little-endian load of the `n` bytes at `pos` (tail-safe slow path for
+/// the last few stream bytes, where a full u64 load would run past the
+/// end).
+#[inline(never)]
+fn load_tail(bytes: &[u8], pos: usize, n: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw[..n].copy_from_slice(&bytes[pos..pos + n]);
+    u64::from_le_bytes(raw)
+}
+
+/// Decodes a whole exported stream into `scratch`, replacing its packet
+/// contents (capacity is reused) and accumulating its statistics.
+/// Returns the decoded packets.
 ///
-/// Unknown or truncated bytes are skipped one at a time (decoder resync);
-/// well-formed streams produced by [`crate::PtEncoder`] never need this.
+/// Unknown or truncated bytes are skipped one at a time (decoder resync,
+/// counted in [`DecodeStats::resync_bytes`]); well-formed streams
+/// produced by [`crate::PtEncoder`] never need this. The loop allocates
+/// nothing per packet: every [`Packet`] is `Copy` and the sink grows at
+/// most to the stream's packet count, once.
+pub fn decode_packets_into<'s>(bytes: &[u8], scratch: &'s mut DecodeScratch) -> &'s [TimedPacket] {
+    scratch.packets.clear();
+    let out = &mut scratch.packets;
+    let n = bytes.len();
+    let mut pos = 0usize;
+    let mut last_ip = LastIp::new();
+    let mut ts = 0u64;
+    let mut resync = 0u64;
+
+    while pos < n {
+        let b = bytes[pos];
+        match DISPATCH[b as usize] {
+            ByteClass::Pad => pos += 1,
+            ByteClass::ShortTnt(shape) => {
+                out.push(TimedPacket {
+                    packet: Packet::Tnt {
+                        bits: TntBits::from_raw(shape.bits as u64, shape.len),
+                    },
+                    offset: pos as u64,
+                    ts,
+                });
+                pos += 1;
+            }
+            ByteClass::Ip(shape) => {
+                let plen = shape.plen as usize;
+                if n - pos <= plen {
+                    // Truncated payload: resync byte-by-byte.
+                    pos += 1;
+                    resync += 1;
+                    continue;
+                }
+                let raw = if pos + 9 <= n {
+                    load_u64(bytes, pos + 1) & RAW_MASK[plen]
+                } else {
+                    load_tail(bytes, pos + 1, plen)
+                };
+                if let Some(ip) = last_ip.decode_code(shape.code, raw) {
+                    let compression = match shape.code {
+                        1 => IpCompression::Update16,
+                        2 => IpCompression::Update32,
+                        4 => IpCompression::Update48,
+                        _ => IpCompression::Full,
+                    };
+                    let packet = match shape.kind {
+                        IpKind::Tip => Packet::Tip { compression, ip },
+                        IpKind::Pge => Packet::TipPge { compression, ip },
+                        IpKind::Pgd => Packet::TipPgd { compression, ip },
+                        IpKind::Fup => Packet::Fup { compression, ip },
+                    };
+                    out.push(TimedPacket {
+                        packet,
+                        offset: pos as u64,
+                        ts,
+                    });
+                }
+                // A partial update with no context to extend is dropped
+                // but still consumed — exactly the seed behavior.
+                pos += 1 + plen;
+            }
+            ByteClass::Tsc => {
+                if n - pos < 8 {
+                    pos += 1;
+                    resync += 1;
+                    continue;
+                }
+                let tsc = if pos + 9 <= n {
+                    load_u64(bytes, pos + 1) & TSC_MASK
+                } else {
+                    load_tail(bytes, pos + 1, 7)
+                };
+                ts = tsc;
+                out.push(TimedPacket {
+                    packet: Packet::Tsc { tsc },
+                    offset: pos as u64,
+                    ts,
+                });
+                pos += 8;
+            }
+            ByteClass::Ext => match bytes.get(pos + 1) {
+                Some(0x82) => {
+                    // PSB is 8 × [0x02, 0x82].
+                    const PSB: [u8; 16] = [
+                        0x02, 0x82, 0x02, 0x82, 0x02, 0x82, 0x02, 0x82, 0x02, 0x82, 0x02, 0x82,
+                        0x02, 0x82, 0x02, 0x82,
+                    ];
+                    if pos + 16 <= n && bytes[pos..pos + 16] == PSB {
+                        last_ip.reset();
+                        out.push(TimedPacket {
+                            packet: Packet::Psb,
+                            offset: pos as u64,
+                            ts,
+                        });
+                        pos += 16;
+                    } else {
+                        pos += 1;
+                        resync += 1;
+                    }
+                }
+                Some(0x23) => {
+                    out.push(TimedPacket {
+                        packet: Packet::PsbEnd,
+                        offset: pos as u64,
+                        ts,
+                    });
+                    pos += 2;
+                }
+                Some(0xF3) => {
+                    last_ip.reset();
+                    out.push(TimedPacket {
+                        packet: Packet::Ovf,
+                        offset: pos as u64,
+                        ts,
+                    });
+                    pos += 2;
+                }
+                Some(0xA3) => {
+                    // Long TNT: single load of the 6 payload bytes;
+                    // `leading_zeros` finds the stop bit, the payload
+                    // below it is already in packed form.
+                    if pos + 8 > n {
+                        pos += 1;
+                        resync += 1;
+                        continue;
+                    }
+                    let v = if pos + 10 <= n {
+                        load_u64(bytes, pos + 2) & RAW_MASK[6]
+                    } else {
+                        load_tail(bytes, pos + 2, 6)
+                    };
+                    if v == 0 {
+                        pos += 1;
+                        resync += 1;
+                        continue;
+                    }
+                    let stop = 63 - v.leading_zeros();
+                    out.push(TimedPacket {
+                        packet: Packet::Tnt {
+                            bits: TntBits::from_raw(v, stop as u8),
+                        },
+                        offset: pos as u64,
+                        ts,
+                    });
+                    pos += 8;
+                }
+                _ => {
+                    pos += 1;
+                    resync += 1;
+                }
+            },
+            ByteClass::Invalid => {
+                pos += 1;
+                resync += 1;
+            }
+        }
+    }
+
+    scratch.stats.resync_bytes += resync;
+    scratch.stats.packets += scratch.packets.len() as u64;
+    scratch.high_water = scratch.high_water.max(scratch.packets.len());
+    &scratch.packets
+}
+
+/// Decodes a whole exported stream into timed packets (allocating
+/// convenience wrapper over [`decode_packets_into`]).
 ///
 /// # Examples
 ///
@@ -39,63 +412,20 @@ pub struct TimedPacket {
 /// assert!(packets.iter().any(|p| p.packet.ip() == Some(0x7fa41901e9a0)));
 /// ```
 pub fn decode_packets(bytes: &[u8]) -> Vec<TimedPacket> {
-    let mut out = Vec::new();
-    let mut pos = 0usize;
-    let mut last_ip = LastIp::new();
-    let mut ts = 0u64;
-    while pos < bytes.len() {
-        match decode_one(bytes, pos) {
-            Some((packet, consumed)) => {
-                let resolved = resolve(packet, &mut last_ip, &mut ts);
-                if let Some(p) = resolved {
-                    out.push(TimedPacket {
-                        packet: p,
-                        offset: pos as u64,
-                        ts,
-                    });
-                }
-                pos += consumed;
-            }
-            None => {
-                pos += 1; // resync byte-by-byte
-            }
-        }
-    }
-    out
+    let mut scratch = DecodeScratch::new();
+    decode_packets_into(bytes, &mut scratch);
+    scratch.take_packets()
 }
 
-fn resolve(packet: Packet, last_ip: &mut LastIp, ts: &mut u64) -> Option<Packet> {
-    match packet {
-        Packet::Psb | Packet::Ovf => {
-            last_ip.reset();
-            Some(packet)
-        }
-        Packet::Tsc { tsc } => {
-            *ts = tsc;
-            Some(packet)
-        }
-        Packet::Tip { compression, ip } => last_ip
-            .decode(compression, ip)
-            .map(|ip| Packet::Tip { compression, ip }),
-        Packet::TipPge { compression, ip } => last_ip
-            .decode(compression, ip)
-            .map(|ip| Packet::TipPge { compression, ip }),
-        Packet::TipPgd { compression, ip } => last_ip
-            .decode(compression, ip)
-            .map(|ip| Packet::TipPgd { compression, ip }),
-        Packet::Fup { compression, ip } => last_ip
-            .decode(compression, ip)
-            .map(|ip| Packet::Fup { compression, ip }),
-        Packet::Pad => None,
-        other => Some(other),
-    }
-}
-
-/// One maximal packet run between data-loss points.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One maximal packet run between data-loss points: an index range over
+/// a shared decoded-packet buffer. Cloning or sub-slicing a segment is
+/// O(1) — no packets move.
+#[derive(Debug, Clone)]
 pub struct RawSegment {
-    /// The packets of the segment, in order.
-    pub packets: Vec<TimedPacket>,
+    /// The decoded stream the segment indexes into.
+    buf: PacketBuf,
+    /// The segment's packets as indices into `buf`.
+    range: Range<u32>,
     /// The loss record that precedes this segment (`None` for the first
     /// segment when the stream starts cleanly).
     pub loss_before: Option<LossRecord>,
@@ -106,64 +436,136 @@ pub struct RawSegment {
 }
 
 impl RawSegment {
+    /// A segment over `range` of `buf`.
+    pub fn new(
+        buf: PacketBuf,
+        range: Range<u32>,
+        loss_before: Option<LossRecord>,
+        core: u32,
+    ) -> RawSegment {
+        debug_assert!(range.start <= range.end && range.end as usize <= buf.len());
+        RawSegment {
+            buf,
+            range,
+            loss_before,
+            core,
+        }
+    }
+
+    /// A whole-buffer segment owning freshly decoded packets (test and
+    /// single-segment convenience; the pipeline shares one buffer across
+    /// segments instead).
+    pub fn from_packets(
+        packets: Vec<TimedPacket>,
+        loss_before: Option<LossRecord>,
+        core: u32,
+    ) -> RawSegment {
+        let buf: PacketBuf = packets.into();
+        let end = buf.len() as u32;
+        RawSegment::new(buf, 0..end, loss_before, core)
+    }
+
+    /// The packets of the segment, in order.
+    pub fn packets(&self) -> &[TimedPacket] {
+        &self.buf[self.range.start as usize..self.range.end as usize]
+    }
+
+    /// Number of packets in the segment.
+    pub fn len(&self) -> usize {
+        (self.range.end - self.range.start) as usize
+    }
+
+    /// Whether the segment holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// The segment's index range within its shared buffer.
+    pub fn range(&self) -> Range<u32> {
+        self.range.clone()
+    }
+
+    /// The shared buffer this segment indexes into.
+    pub fn buffer(&self) -> &PacketBuf {
+        &self.buf
+    }
+
+    /// A sub-segment over `[lo, hi)` *relative to this segment*, sharing
+    /// the same buffer (zero-copy). The slice carries `loss_before` and
+    /// the capture core as given.
+    pub fn slice(&self, lo: usize, hi: usize, loss_before: Option<LossRecord>) -> RawSegment {
+        debug_assert!(lo <= hi && hi <= self.len());
+        RawSegment {
+            buf: self.buf.clone(),
+            range: self.range.start + lo as u32..self.range.start + hi as u32,
+            loss_before,
+            core: self.core,
+        }
+    }
+
     /// Timestamp of the segment's first packet (0 if empty).
     pub fn start_ts(&self) -> u64 {
-        self.packets.first().map(|p| p.ts).unwrap_or(0)
+        self.packets().first().map(|p| p.ts).unwrap_or(0)
     }
 
     /// Timestamp of the segment's last packet (0 if empty).
     pub fn end_ts(&self) -> u64 {
-        self.packets.last().map(|p| p.ts).unwrap_or(0)
+        self.packets().last().map(|p| p.ts).unwrap_or(0)
     }
 }
 
-/// Splits decoded packets into segments at the loss offsets, attributing
-/// every segment to the capture core `core`.
+/// Segments compare by content (packets, loss, core), not by buffer
+/// identity: two segments with equal packets are equal even when they
+/// index different buffers.
+impl PartialEq for RawSegment {
+    fn eq(&self, other: &RawSegment) -> bool {
+        self.core == other.core
+            && self.loss_before == other.loss_before
+            && self.packets() == other.packets()
+    }
+}
+
+impl Eq for RawSegment {}
+
+/// Splits a decoded stream into segments at the loss offsets,
+/// attributing every segment to the capture core `core`.
+///
+/// Zero-copy: the input becomes (or already is) one shared [`PacketBuf`]
+/// and every returned segment is an index range over it — packet offsets
+/// are nondecreasing, so each cut is a binary search, not a scan-and-move.
 ///
 /// Loss records must be in stream order (the [`crate::RingBuffer`]
 /// produces them that way).
 pub fn segment_stream(
-    packets: Vec<TimedPacket>,
+    packets: impl Into<PacketBuf>,
     losses: &[LossRecord],
     core: u32,
 ) -> Vec<RawSegment> {
+    let buf: PacketBuf = packets.into();
+    let n = buf.len();
     let mut segments = Vec::with_capacity(losses.len() + 1);
-    let mut current = Vec::new();
-    let mut loss_iter = losses.iter().peekable();
-    let mut pending_loss: Option<LossRecord> = None;
-
-    for p in packets {
-        while let Some(&&loss) = loss_iter.peek() {
-            if loss.stream_offset <= p.offset {
-                loss_iter.next();
-                segments.push(RawSegment {
-                    packets: std::mem::take(&mut current),
-                    loss_before: pending_loss.take(),
-                    core,
-                });
-                pending_loss = Some(loss);
-            } else {
-                break;
-            }
-        }
-        current.push(p);
-    }
-    // Trailing losses (e.g. loss at the very end of the stream).
-    for &loss in loss_iter {
-        segments.push(RawSegment {
-            packets: std::mem::take(&mut current),
-            loss_before: pending_loss.take(),
+    let mut start = 0usize;
+    let mut pending: Option<LossRecord> = None;
+    for &loss in losses {
+        // First packet at or past the loss point starts the next segment.
+        let cut = start + buf[start..].partition_point(|p| p.offset < loss.stream_offset);
+        segments.push(RawSegment::new(
+            buf.clone(),
+            start as u32..cut as u32,
+            pending.take(),
             core,
-        });
-        pending_loss = Some(loss);
+        ));
+        pending = Some(loss);
+        start = cut;
     }
-    segments.push(RawSegment {
-        packets: current,
-        loss_before: pending_loss,
+    segments.push(RawSegment::new(
+        buf.clone(),
+        start as u32..n as u32,
+        pending,
         core,
-    });
+    ));
     // Drop leading empty no-loss segment artifacts.
-    segments.retain(|s| !s.packets.is_empty() || s.loss_before.is_some());
+    segments.retain(|s| !s.is_empty() || s.loss_before.is_some());
     segments
 }
 
@@ -223,6 +625,29 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_accumulates_stats_and_keeps_capacity() {
+        let mut enc = PtEncoder::new(EncoderConfig::default());
+        for i in 0..50u64 {
+            enc.set_time(i * 10);
+            enc.event(HwEvent::Indirect {
+                at: 0x1000,
+                target: 0x2000 + i * 0x40,
+            });
+        }
+        let trace = enc.finish();
+        let mut scratch = DecodeScratch::new();
+        let first = decode_packets_into(&trace.bytes, &mut scratch).len();
+        assert!(first > 0);
+        let cap = scratch.packets.capacity();
+        let second = decode_packets_into(&trace.bytes, &mut scratch).len();
+        assert_eq!(first, second, "same stream, same packets");
+        assert_eq!(scratch.packets.capacity(), cap, "capacity carried over");
+        assert_eq!(scratch.stats().packets, (first + second) as u64);
+        assert_eq!(scratch.stats().resync_bytes, 0, "well-formed stream");
+        assert_eq!(scratch.high_water(), first);
+    }
+
+    #[test]
     fn segmentation_splits_at_loss_offsets() {
         // Build a stream with an artificial loss between two packets.
         let mut bytes = Vec::new();
@@ -249,10 +674,12 @@ mod tests {
         let segments = segment_stream(packets, &losses, 0);
         assert_eq!(segments.len(), 2);
         assert!(segments[0].loss_before.is_none());
-        assert_eq!(segments[0].packets.len(), 1);
+        assert_eq!(segments[0].len(), 1);
         let loss = segments[1].loss_before.expect("loss recorded");
         assert_eq!(loss.first_ts, 5);
-        assert_eq!(segments[1].packets.len(), 1);
+        assert_eq!(segments[1].len(), 1);
+        // Zero-copy: both segments index the same shared buffer.
+        assert!(Arc::ptr_eq(segments[0].buffer(), segments[1].buffer()));
     }
 
     #[test]
@@ -297,7 +724,7 @@ mod tests {
         assert!(with_loss >= 1);
         // All decoded TIP IPs must be exact (no desync after loss).
         for s in &segments {
-            for p in &s.packets {
+            for p in s.packets() {
                 if let Packet::Tip { ip, .. } = p.packet {
                     assert!(
                         (0x2000..0x2400).contains(&ip)
@@ -311,9 +738,9 @@ mod tests {
     }
 
     #[test]
-    fn segment_timestamps() {
-        let seg = RawSegment {
-            packets: vec![
+    fn segment_timestamps_and_slicing() {
+        let seg = RawSegment::from_packets(
+            vec![
                 TimedPacket {
                     packet: Packet::Ovf,
                     offset: 0,
@@ -325,24 +752,30 @@ mod tests {
                     ts: 42,
                 },
             ],
-            loss_before: None,
-            core: 0,
-        };
+            None,
+            0,
+        );
         assert_eq!(seg.start_ts(), 11);
         assert_eq!(seg.end_ts(), 42);
+        let tail = seg.slice(1, 2, None);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail.start_ts(), 42);
+        assert!(Arc::ptr_eq(seg.buffer(), tail.buffer()));
     }
 
     #[test]
-    fn garbage_bytes_are_skipped() {
+    fn garbage_bytes_are_skipped_and_counted() {
         let mut bytes = vec![0xFF, 0xFF, 0x07];
         Packet::Tip {
             compression: IpCompression::Full,
             ip: 0xABCD,
         }
         .encode(&mut bytes);
-        let packets = decode_packets(&bytes);
+        let mut scratch = DecodeScratch::new();
+        let packets = decode_packets_into(&bytes, &mut scratch);
         assert!(packets
             .iter()
             .any(|p| matches!(p.packet, Packet::Tip { ip, .. } if ip == 0xABCD)));
+        assert_eq!(scratch.stats().resync_bytes, 3, "three garbage bytes");
     }
 }

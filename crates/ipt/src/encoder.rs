@@ -14,7 +14,7 @@
 //! exactly the loss phenomenology JPortal's offline component must repair.
 
 use crate::lastip::LastIp;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketBytes, TntBits};
 use crate::ring::{LossRecord, RingBuffer};
 
 /// A machine-level control-flow event observed by the tracing hardware.
@@ -101,7 +101,7 @@ pub struct PtEncoder {
     cfg: EncoderConfig,
     ring: RingBuffer,
     last_ip: LastIp,
-    tnt: Vec<bool>,
+    tnt: TntBits,
     now: u64,
     last_tsc: Option<u64>,
     bytes_since_psb: usize,
@@ -125,7 +125,7 @@ impl PtEncoder {
             ring: RingBuffer::new(cfg.buffer_capacity),
             cfg,
             last_ip: LastIp::new(),
-            tnt: Vec::new(),
+            tnt: TntBits::new(),
             now: 0,
             last_tsc: None,
             bytes_since_psb: 0,
@@ -229,7 +229,7 @@ impl PtEncoder {
         if self.tnt.is_empty() {
             return;
         }
-        let bits = std::mem::take(&mut self.tnt);
+        let bits = self.tnt.take();
         let p = Packet::Tnt { bits };
         self.write_packet(&p, false);
     }
@@ -284,15 +284,15 @@ impl PtEncoder {
             // Try to close the loss span: OVF + TSC must fit together with
             // the packet (re-encoded with a full IP if IP-bearing). TSC
             // packets need no re-send — the recovery TSC replaces them.
-            let ovf = encode(&Packet::Ovf);
-            let tsc = encode(&Packet::Tsc { tsc: self.now });
+            let ovf = Packet::Ovf.encode_fixed();
+            let tsc = Packet::Tsc { tsc: self.now }.encode_fixed();
             let is_tsc = matches!(p, Packet::Tsc { .. });
             let full_packet = if is_tsc {
-                Vec::new()
+                PacketBytes::default()
             } else if ip_bearing {
-                encode(&force_full_ip(p))
+                force_full_ip(p).encode_fixed()
             } else {
-                encode(p)
+                p.encode_fixed()
             };
             let need = ovf.len() + tsc.len() + full_packet.len();
             if !self.ring.would_fit(need) {
@@ -301,12 +301,12 @@ impl PtEncoder {
                 self.ring.drop_packet(p.encoded_len(), self.now);
                 return false;
             }
-            self.ring.write(&ovf, self.now);
-            self.ring.write(&tsc, self.now);
+            self.ring.write(ovf.as_slice(), self.now);
+            self.ring.write(tsc.as_slice(), self.now);
             self.last_tsc = Some(self.now);
             self.last_ip.reset();
             if !full_packet.is_empty() {
-                let ok = self.ring.write(&full_packet, self.now);
+                let ok = self.ring.write(full_packet.as_slice(), self.now);
                 debug_assert!(ok);
             }
             if ip_bearing {
@@ -319,20 +319,20 @@ impl PtEncoder {
             return true;
         }
 
-        let bytes = encode(p);
-        if !self.ring.write(&bytes, self.now) {
+        let bytes = p.encode_fixed();
+        if !self.ring.write(bytes.as_slice(), self.now) {
             return false;
         }
         self.bytes_since_psb += bytes.len();
         if self.bytes_since_psb >= self.cfg.psb_period {
             self.bytes_since_psb = 0;
-            let psb = encode(&Packet::Psb);
-            let tsc = encode(&Packet::Tsc { tsc: self.now });
-            let end = encode(&Packet::PsbEnd);
+            let psb = Packet::Psb.encode_fixed();
+            let tsc = Packet::Tsc { tsc: self.now }.encode_fixed();
+            let end = Packet::PsbEnd.encode_fixed();
             if self.ring.would_fit(psb.len() + tsc.len() + end.len()) {
-                self.ring.write(&psb, self.now);
-                self.ring.write(&tsc, self.now);
-                self.ring.write(&end, self.now);
+                self.ring.write(psb.as_slice(), self.now);
+                self.ring.write(tsc.as_slice(), self.now);
+                self.ring.write(end.as_slice(), self.now);
                 self.last_tsc = Some(self.now);
                 self.last_ip.reset();
             }
@@ -364,12 +364,6 @@ enum IpPacketKind {
     Fup,
 }
 
-fn encode(p: &Packet) -> Vec<u8> {
-    let mut v = Vec::with_capacity(p.encoded_len());
-    p.encode(&mut v);
-    v
-}
-
 fn force_full_ip(p: &Packet) -> Packet {
     use crate::packet::IpCompression::Full;
     match *p {
@@ -389,7 +383,7 @@ fn force_full_ip(p: &Packet) -> Packet {
             compression: Full,
             ip,
         },
-        ref other => other.clone(),
+        other => other,
     }
 }
 

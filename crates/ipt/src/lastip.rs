@@ -28,8 +28,35 @@ use crate::packet::IpCompression;
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LastIp {
-    last: Option<u64>,
+    last: u64,
+    valid: bool,
 }
+
+/// Payload mask per compression code (the three high header bits):
+/// bits the wire payload contributes; the complement is kept from the
+/// last IP. Invalid codes (3, 5, 7) and `Suppressed` map to 0, which the
+/// decode path rejects before merging.
+const PAYLOAD_MASK: [u64; 8] = [
+    0,                // 0: Suppressed — no payload
+    0xFFFF,           // 1: Update16
+    0xFFFF_FFFF,      // 2: Update32
+    0,                // 3: reserved
+    0xFFFF_FFFF_FFFF, // 4: Update48
+    0,                // 5: reserved
+    u64::MAX,         // 6: Full
+    0,                // 7: reserved
+];
+
+/// Compression mode by `(last ^ ip).leading_zeros() / 16`: 64 equal high
+/// bits (identical IPs) down to fewer than 16 — one table index replaces
+/// the three-way comparison cascade.
+const MODE_BY_LZ16: [IpCompression; 5] = [
+    IpCompression::Full,     // lz in 0..16: high 48 bits differ
+    IpCompression::Update48, // lz in 16..32
+    IpCompression::Update32, // lz in 32..48
+    IpCompression::Update16, // lz in 48..64
+    IpCompression::Update16, // lz == 64: identical
+];
 
 impl LastIp {
     /// Fresh state (next IP will be sent in full).
@@ -39,49 +66,46 @@ impl LastIp {
 
     /// Resets the state (on PSB or overflow).
     pub fn reset(&mut self) {
-        self.last = None;
+        self.valid = false;
     }
 
     /// Chooses a compression mode for `ip` given the last emitted IP, and
     /// returns the raw payload to put on the wire. Updates the state.
     pub fn compress(&mut self, ip: u64) -> (IpCompression, u64) {
-        let mode = match self.last {
-            None => IpCompression::Full,
-            Some(last) => {
-                if last >> 16 == ip >> 16 {
-                    IpCompression::Update16
-                } else if last >> 32 == ip >> 32 {
-                    IpCompression::Update32
-                } else if last >> 48 == ip >> 48 {
-                    IpCompression::Update48
-                } else {
-                    IpCompression::Full
-                }
-            }
+        let mode = if self.valid {
+            MODE_BY_LZ16[(self.last ^ ip).leading_zeros() as usize / 16]
+        } else {
+            IpCompression::Full
         };
-        self.last = Some(ip);
-        let raw = match mode {
-            IpCompression::Suppressed => 0,
-            IpCompression::Update16 => ip & 0xFFFF,
-            IpCompression::Update32 => ip & 0xFFFF_FFFF,
-            IpCompression::Update48 => ip & 0xFFFF_FFFF_FFFF,
-            IpCompression::Full => ip,
-        };
-        (mode, raw)
+        self.last = ip;
+        self.valid = true;
+        (mode, ip & PAYLOAD_MASK[mode as usize])
     }
 
     /// Reconstructs the IP from a raw payload and compression mode.
     /// Updates the state. Returns `None` when a partial update arrives
     /// with no last IP to extend (decoder out of sync).
     pub fn decode(&mut self, mode: IpCompression, raw: u64) -> Option<u64> {
-        let ip = match mode {
-            IpCompression::Suppressed => return None,
-            IpCompression::Full => raw,
-            IpCompression::Update16 => (self.last? & !0xFFFF) | (raw & 0xFFFF),
-            IpCompression::Update32 => (self.last? & !0xFFFF_FFFF) | (raw & 0xFFFF_FFFF),
-            IpCompression::Update48 => (self.last? & !0xFFFF_FFFF_FFFF) | (raw & 0xFFFF_FFFF_FFFF),
-        };
-        self.last = Some(ip);
+        self.decode_code(mode as u8, raw)
+    }
+
+    /// [`LastIp::decode`] keyed directly by the 3-bit wire code, so the
+    /// stream decoder's dispatch table needs no enum round-trip. The
+    /// merge is a mode-indexed mask/merge — `(last & !m) | (raw & m)` —
+    /// with no per-mode branch; only the two rejection cases
+    /// (suppressed/invalid code, partial update with no context) branch.
+    #[inline]
+    pub fn decode_code(&mut self, code: u8, raw: u64) -> Option<u64> {
+        let mask = PAYLOAD_MASK[(code & 7) as usize];
+        if mask == 0 {
+            return None; // suppressed or reserved code
+        }
+        if mask != u64::MAX && !self.valid {
+            return None; // partial update with nothing to extend
+        }
+        let ip = (self.last & !mask) | (raw & mask);
+        self.last = ip;
+        self.valid = true;
         Some(ip)
     }
 }

@@ -32,10 +32,13 @@ pub mod ring;
 pub mod session;
 pub mod sideband;
 
-pub use decoder::{decode_packets, segment_stream, RawSegment, TimedPacket};
+pub use decoder::{
+    decode_packets, decode_packets_into, segment_stream, DecodeScratch, DecodeStats, PacketBuf,
+    RawSegment, TimedPacket,
+};
 pub use encoder::{EncoderConfig, HwEvent, PtEncoder};
 pub use obs::{CollectionStats, CoreCollection};
-pub use packet::{IpCompression, Packet};
+pub use packet::{IpCompression, Packet, TntBits};
 pub use ring::{LossRecord, RingBuffer};
 pub use session::{CollectedTraces, CoreId, PtSession};
 pub use sideband::{SidebandRecord, ThreadId};

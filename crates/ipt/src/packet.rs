@@ -52,8 +52,183 @@ impl IpCompression {
     }
 }
 
+/// A packed run of taken/not-taken bits — the payload of a TNT packet.
+///
+/// A TNT/branch-map payload is at most 47 bits (long TNT: six payload
+/// bytes minus the stop bit), so the whole thing *is* a `u64`: branch
+/// `j` (oldest = 0) of an `n`-bit run lives at bit `n - 1 - j`, exactly
+/// the wire layout of the long-TNT payload below its stop bit. Encode
+/// and decode are therefore single shift/mask operations instead of
+/// per-bit loops, and the packet type as a whole is `Copy` — no heap
+/// allocation anywhere on the decode path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TntBits {
+    bits: u64,
+    len: u8,
+}
+
+impl TntBits {
+    /// Maximum branches a single TNT packet can carry (long form).
+    pub const MAX: usize = 47;
+
+    /// An empty run.
+    pub fn new() -> TntBits {
+        TntBits::default()
+    }
+
+    /// Builds a run from a packed payload: branch `j` of `len` at bit
+    /// `len - 1 - j`. Bits above `len` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 47`.
+    pub fn from_raw(bits: u64, len: u8) -> TntBits {
+        assert!(len as usize <= TntBits::MAX, "TNT over 47 bits");
+        TntBits {
+            bits: bits & mask(len),
+            len,
+        }
+    }
+
+    /// Builds a run from outcomes in oldest-first order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 47 outcomes are given.
+    pub fn from_bools(outcomes: &[bool]) -> TntBits {
+        let mut t = TntBits::new();
+        for &b in outcomes {
+            t.push(b);
+        }
+        t
+    }
+
+    /// Appends one branch outcome (the newest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already full (47 bits).
+    pub fn push(&mut self, taken: bool) {
+        assert!((self.len as usize) < TntBits::MAX, "TNT over 47 bits");
+        self.bits = (self.bits << 1) | taken as u64;
+        self.len += 1;
+    }
+
+    /// Number of branches in the run.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the run holds no branches.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Outcome of branch `i` (oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len as usize);
+        (self.bits >> (self.len as usize - 1 - i)) & 1 != 0
+    }
+
+    /// The packed payload (branch `j` at bit `len - 1 - j`).
+    pub fn raw(&self) -> u64 {
+        self.bits
+    }
+
+    /// Iterates outcomes oldest-first.
+    pub fn iter(&self) -> TntIter {
+        TntIter {
+            bits: self.bits,
+            remaining: self.len,
+        }
+    }
+
+    /// Takes the run, leaving an empty one behind.
+    pub fn take(&mut self) -> TntBits {
+        std::mem::take(self)
+    }
+}
+
+#[inline]
+fn mask(len: u8) -> u64 {
+    // len <= 47 everywhere this is used, so the shift never overflows.
+    (1u64 << len) - 1
+}
+
+impl FromIterator<bool> for TntBits {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> TntBits {
+        let mut t = TntBits::new();
+        for b in iter {
+            t.push(b);
+        }
+        t
+    }
+}
+
+/// Oldest-first iterator over a [`TntBits`] run.
+#[derive(Debug, Clone)]
+pub struct TntIter {
+    bits: u64,
+    remaining: u8,
+}
+
+impl Iterator for TntIter {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some((self.bits >> self.remaining) & 1 != 0)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for TntIter {}
+
+impl IntoIterator for TntBits {
+    type Item = bool;
+    type IntoIter = TntIter;
+    fn into_iter(self) -> TntIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &TntBits {
+    type Item = bool;
+    type IntoIter = TntIter;
+    fn into_iter(self) -> TntIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for TntBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of bits in a TSC payload (seven wire bytes).
+pub const TSC_BITS: u32 = 56;
+
+/// Mask selecting the TSC payload bits: timestamps are carried modulo
+/// `2^56`; the encoder masks and the value is documented to wrap.
+pub const TSC_MASK: u64 = (1 << TSC_BITS) - 1;
+
 /// A PT trace packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Packet {
     /// Padding byte (0x00).
     Pad,
@@ -64,8 +239,8 @@ pub enum Packet {
     /// Taken/not-taken bits for up to 47 conditional branches
     /// (first branch = oldest bit). Short form holds ≤ 6.
     Tnt {
-        /// Branch outcomes, oldest first.
-        bits: Vec<bool>,
+        /// Branch outcomes, oldest first, packed into a `u64`.
+        bits: TntBits,
     },
     /// Target IP of an indirect branch.
     Tip {
@@ -95,9 +270,12 @@ pub enum Packet {
         /// Source IP of the event.
         ip: u64,
     },
-    /// Time-stamp counter (low 56 bits).
+    /// Time-stamp counter. The wire payload is seven bytes, so only the
+    /// low 56 bits ([`TSC_MASK`]) travel: the encoder masks the value
+    /// (with a `debug_assert` that nothing was above the mask) and a
+    /// decoded timestamp is always `< 2^56`.
     Tsc {
-        /// Timestamp value.
+        /// Timestamp value (low 56 bits).
         tsc: u64,
     },
     /// Internal buffer overflow: packets were dropped by the hardware.
@@ -131,54 +309,65 @@ impl Packet {
     ///
     /// # Panics
     ///
-    /// Panics if a TNT packet carries zero or more than 47 bits.
+    /// Panics if a TNT packet carries zero bits.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        let fixed = self.encode_fixed();
+        out.extend_from_slice(fixed.as_slice());
+    }
+
+    /// Encodes into a fixed stack buffer (every packet is ≤ 16 bytes),
+    /// so the encoder's hot path never touches the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a TNT packet carries zero bits.
+    pub fn encode_fixed(&self) -> PacketBytes {
+        let mut out = PacketBytes::new();
         match self {
             Packet::Pad => out.push(0x00),
             Packet::Psb => {
                 for _ in 0..8 {
-                    out.extend_from_slice(&[0x02, 0x82]);
+                    out.extend(&[0x02, 0x82]);
                 }
             }
-            Packet::PsbEnd => out.extend_from_slice(&[0x02, 0x23]),
-            Packet::Ovf => out.extend_from_slice(&[0x02, 0xF3]),
+            Packet::PsbEnd => out.extend(&[0x02, 0x23]),
+            Packet::Ovf => out.extend(&[0x02, 0xF3]),
             Packet::Tnt { bits } => {
                 assert!(!bits.is_empty(), "empty TNT");
-                if bits.len() <= 6 {
-                    // Short TNT: header bit0 = 0; bits packed from bit 1,
-                    // oldest branch in the highest payload position, stop
-                    // bit just above the payload.
-                    let n = bits.len();
-                    let mut byte: u8 = 1 << (n + 1); // stop bit
-                    for (i, &b) in bits.iter().enumerate() {
-                        if b {
-                            byte |= 1 << (n - i);
-                        }
-                    }
-                    out.push(byte);
+                let n = bits.len();
+                if n <= 6 {
+                    // Short TNT: header bit0 = 0, payload shifted up one
+                    // (oldest branch highest), stop bit just above — the
+                    // packed representation is already the wire layout.
+                    out.push(((1u64 << (n + 1)) | (bits.raw() << 1)) as u8);
                 } else {
-                    assert!(bits.len() <= 47, "TNT over 47 bits");
-                    // Long TNT: 0x02 0xA3 + 6 payload bytes.
-                    out.extend_from_slice(&[0x02, 0xA3]);
-                    let n = bits.len();
-                    let mut payload: u64 = 1 << n; // stop bit
-                    for (i, &b) in bits.iter().enumerate() {
-                        if b {
-                            payload |= 1 << (n - 1 - i);
-                        }
-                    }
-                    out.extend_from_slice(&payload.to_le_bytes()[..6]);
+                    // Long TNT: 0x02 0xA3 + 6 payload bytes; the payload
+                    // *is* the packed u64 with a stop bit on top.
+                    out.extend(&[0x02, 0xA3]);
+                    let payload: u64 = (1 << n) | bits.raw();
+                    out.extend(&payload.to_le_bytes()[..6]);
                 }
             }
-            Packet::Tip { compression, ip } => encode_ip_packet(out, 0x0D, *compression, *ip),
-            Packet::TipPge { compression, ip } => encode_ip_packet(out, 0x11, *compression, *ip),
-            Packet::TipPgd { compression, ip } => encode_ip_packet(out, 0x01, *compression, *ip),
-            Packet::Fup { compression, ip } => encode_ip_packet(out, 0x1D, *compression, *ip),
+            Packet::Tip { compression, ip } => encode_ip_packet(&mut out, 0x0D, *compression, *ip),
+            Packet::TipPge { compression, ip } => {
+                encode_ip_packet(&mut out, 0x11, *compression, *ip)
+            }
+            Packet::TipPgd { compression, ip } => {
+                encode_ip_packet(&mut out, 0x01, *compression, *ip)
+            }
+            Packet::Fup { compression, ip } => encode_ip_packet(&mut out, 0x1D, *compression, *ip),
             Packet::Tsc { tsc } => {
+                // Only 56 bits travel; higher bits would be silently
+                // dropped on the wire, so drop them loudly here instead.
+                debug_assert!(
+                    *tsc <= TSC_MASK,
+                    "TSC {tsc:#x} exceeds the 56-bit wire payload"
+                );
                 out.push(0x19);
-                out.extend_from_slice(&tsc.to_le_bytes()[..7]);
+                out.extend(&(tsc & TSC_MASK).to_le_bytes()[..7]);
             }
         }
+        out
     }
 
     /// Convenience: the IP carried by an IP-bearing packet.
@@ -199,13 +388,7 @@ impl fmt::Display for Packet {
             Packet::Pad => write!(f, "PAD"),
             Packet::Psb => write!(f, "PSB"),
             Packet::PsbEnd => write!(f, "PSBEND"),
-            Packet::Tnt { bits } => {
-                write!(f, "TNT(")?;
-                for &b in bits {
-                    write!(f, "{}", u8::from(b))?;
-                }
-                write!(f, ")")
-            }
+            Packet::Tnt { bits } => write!(f, "TNT({bits})"),
             Packet::Tip { ip, .. } => write!(f, "TIP({ip:#018x})"),
             Packet::TipPge { ip, .. } => write!(f, "TIP.PGE({ip:#018x})"),
             Packet::TipPgd { ip, .. } => write!(f, "TIP.PGD({ip:#018x})"),
@@ -216,11 +399,50 @@ impl fmt::Display for Packet {
     }
 }
 
-fn encode_ip_packet(out: &mut Vec<u8>, low5: u8, compression: IpCompression, ip: u64) {
+/// A fixed-capacity encode buffer: no packet encoding exceeds 16 bytes
+/// (PSB), so the encoder never needs a heap allocation per packet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PacketBytes {
+    buf: [u8; 16],
+    len: u8,
+}
+
+impl PacketBytes {
+    fn new() -> PacketBytes {
+        PacketBytes::default()
+    }
+
+    fn push(&mut self, b: u8) {
+        self.buf[self.len as usize] = b;
+        self.len += 1;
+    }
+
+    fn extend(&mut self, bytes: &[u8]) {
+        self.buf[self.len as usize..self.len as usize + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len() as u8;
+    }
+
+    /// The encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+fn encode_ip_packet(out: &mut PacketBytes, low5: u8, compression: IpCompression, ip: u64) {
     let header = low5 | ((compression as u8) << 5);
     out.push(header);
     let bytes = ip.to_le_bytes();
-    out.extend_from_slice(&bytes[..compression.payload_len().min(8)]);
+    out.extend(&bytes[..compression.payload_len().min(8)]);
 }
 
 /// Decodes one packet at `bytes[pos..]`, returning the packet, the payload
@@ -252,7 +474,8 @@ pub fn decode_one(bytes: &[u8], pos: usize) -> Option<(Packet, usize)> {
                 0x23 => Some((Packet::PsbEnd, 2)),
                 0xF3 => Some((Packet::Ovf, 2)),
                 0xA3 => {
-                    // Long TNT.
+                    // Long TNT: one u64 load, `leading_zeros` strips the
+                    // stop bit, the rest is the payload verbatim.
                     if bytes.len() < pos + 8 {
                         return None;
                     }
@@ -262,12 +485,13 @@ pub fn decode_one(bytes: &[u8], pos: usize) -> Option<(Packet, usize)> {
                     if v == 0 {
                         return None;
                     }
-                    let stop = 63 - v.leading_zeros() as usize;
-                    let mut bits = Vec::with_capacity(stop);
-                    for i in 0..stop {
-                        bits.push(v & (1 << (stop - 1 - i)) != 0);
-                    }
-                    Some((Packet::Tnt { bits }, 8))
+                    let stop = 63 - v.leading_zeros();
+                    Some((
+                        Packet::Tnt {
+                            bits: TntBits::from_raw(v, stop as u8),
+                        },
+                        8,
+                    ))
                 }
                 _ => None,
             }
@@ -287,6 +511,9 @@ pub fn decode_one(bytes: &[u8], pos: usize) -> Option<(Packet, usize)> {
         }
         b if b & 1 == 0 => {
             // Short TNT: even header byte that is not PAD/0x02/TSC.
+            // Header → payload is a shift and a mask: the stop bit's
+            // position gives the length, the bits below it (above the
+            // reserved bit 0) are the payload.
             if b == 0 {
                 return None;
             }
@@ -294,12 +521,13 @@ pub fn decode_one(bytes: &[u8], pos: usize) -> Option<(Packet, usize)> {
             if stop == 0 {
                 return None;
             }
-            let n = stop - 1;
-            let mut bits = Vec::with_capacity(n);
-            for i in 0..n {
-                bits.push(b & (1 << (n - i)) != 0);
-            }
-            Some((Packet::Tnt { bits }, 1))
+            let n = (stop - 1) as u8;
+            Some((
+                Packet::Tnt {
+                    bits: TntBits::from_raw((b >> 1) as u64, n),
+                },
+                1,
+            ))
         }
         b => {
             // IP-bearing packets: low 5 bits select the type.
@@ -352,8 +580,8 @@ mod tests {
     fn short_tnt_round_trip() {
         for n in 1..=6usize {
             for pattern in 0..(1u8 << n) {
-                let bits: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
-                let p = Packet::Tnt { bits: bits.clone() };
+                let bits: TntBits = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+                let p = Packet::Tnt { bits };
                 assert_eq!(round_trip(&p), p, "n={n} pattern={pattern:#b}");
             }
         }
@@ -362,8 +590,8 @@ mod tests {
     #[test]
     fn long_tnt_round_trip() {
         for n in [7usize, 13, 32, 47] {
-            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
-            let p = Packet::Tnt { bits: bits.clone() };
+            let bits: TntBits = (0..n).map(|i| i % 3 == 0).collect();
+            let p = Packet::Tnt { bits };
             assert_eq!(round_trip(&p), p, "n={n}");
         }
     }
@@ -371,11 +599,30 @@ mod tests {
     #[test]
     fn paper_example_tnt_single_bit() {
         // Figure 2(d): TNT(0) — one not-taken bit is a single byte.
-        let p = Packet::Tnt { bits: vec![false] };
+        let p = Packet::Tnt {
+            bits: TntBits::from_bools(&[false]),
+        };
         let mut buf = Vec::new();
         p.encode(&mut buf);
         assert_eq!(buf.len(), 1);
         assert_eq!(buf[0], 0b0000_0100); // stop at bit 2, payload bit 1 = 0
+    }
+
+    #[test]
+    fn tnt_bits_accessors() {
+        let t = TntBits::from_bools(&[true, false, true, true]);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert!(t.get(0));
+        assert!(!t.get(1));
+        assert_eq!(t.raw(), 0b1011);
+        let back: Vec<bool> = t.iter().collect();
+        assert_eq!(back, vec![true, false, true, true]);
+        assert_eq!(t.to_string(), "1011");
+        let mut m = t;
+        let taken = m.take();
+        assert_eq!(taken, t);
+        assert!(m.is_empty());
     }
 
     #[test]
@@ -384,6 +631,23 @@ mod tests {
             tsc: 0x00AB_CDEF_0123_4567,
         };
         assert_eq!(round_trip(&p), p);
+    }
+
+    #[test]
+    fn tsc_round_trips_at_the_width_boundary() {
+        // The widest timestamp the 7-byte payload can carry.
+        let p = Packet::Tsc { tsc: TSC_MASK };
+        assert_eq!(round_trip(&p), p);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the 56-bit wire payload")]
+    fn tsc_above_the_width_boundary_asserts() {
+        // 2^56 would silently lose its high bit on the wire; the encoder
+        // refuses (debug builds) instead of truncating quietly.
+        let mut buf = Vec::new();
+        Packet::Tsc { tsc: TSC_MASK + 1 }.encode(&mut buf);
     }
 
     #[test]
@@ -450,7 +714,7 @@ mod tests {
         };
         assert_eq!(tip.to_string(), "TIP(0x00007fa41901e9a0)");
         let tnt = Packet::Tnt {
-            bits: vec![false, true, true, false],
+            bits: TntBits::from_bools(&[false, true, true, false]),
         };
         assert_eq!(tnt.to_string(), "TNT(0110)");
     }

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use jportal_ipt::lastip::LastIp;
-use jportal_ipt::packet::{decode_one, Packet};
+use jportal_ipt::packet::{decode_one, Packet, TntBits};
 use jportal_ipt::{decode_packets, EncoderConfig, HwEvent, IpCompression, PtEncoder, RingBuffer};
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
@@ -12,7 +12,9 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         Just(Packet::Psb),
         Just(Packet::PsbEnd),
         Just(Packet::Ovf),
-        prop::collection::vec(any::<bool>(), 1..=47).prop_map(|bits| Packet::Tnt { bits }),
+        prop::collection::vec(any::<bool>(), 1..=47).prop_map(|bits| Packet::Tnt {
+            bits: TntBits::from_bools(&bits),
+        }),
         any::<u64>().prop_map(|ip| Packet::Tip {
             compression: IpCompression::Full,
             ip,

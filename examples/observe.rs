@@ -116,6 +116,8 @@ fn check(w: &Workload) -> Result<(), String> {
         "ipt.exported_bytes",
         "ipt.lost_bytes",
         "ipt.lost_packets",
+        "ipt.decode.packets",
+        "ipt.decode.resync_bytes",
         "core.entries",
         "core.recover.holes",
         "core.recover.fallback_walks",
