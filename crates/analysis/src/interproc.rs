@@ -1,0 +1,454 @@
+//! Interprocedural lifting of per-method summaries.
+//!
+//! [`SummaryTable`] combines the intra-method facts of
+//! [`crate::summary`] with the ICFG's call edges (already RTA-refined
+//! when the pipeline devirtualizes) into whole-program queries:
+//!
+//! * **callee reach** — which methods can (transitively) be on the call
+//!   stack below a frame of `m`;
+//! * **call depth** — how much deeper than `m`'s own frame the stack
+//!   can grow (`None` for recursive call chains);
+//! * **summary-equality classes** — methods whose instruction streams
+//!   are op-kind-identical are indistinguishable to the opcode-granular
+//!   decoder, so every consumer that asks "could the trace be in `m`?"
+//!   must accept any member of `m`'s class. Queries here are therefore
+//!   phrased over classes, never raw ids, which is what makes the
+//!   pruning **empirically lossless**: a pruned candidate can never be
+//!   one the opcode-blind matcher might have picked.
+//!
+//! The table is deterministic (fixed iteration orders, first-seen class
+//! numbering) and immutable after [`SummaryTable::build`]; the pipeline
+//! builds it once and shares it across workers behind an `Arc`, like
+//! the ANFA caches.
+
+use crate::summary::MethodSummary;
+use jportal_bytecode::{Bci, MethodId, OpKind, Program};
+use jportal_cfg::{BranchDir, EdgeKind, Icfg};
+use std::collections::HashMap;
+
+/// A dense bit matrix: one fixed-width bitset row per method.
+#[derive(Debug, Clone)]
+struct BitRows {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitRows {
+    fn new(rows: usize, width: usize) -> BitRows {
+        let words_per_row = width.div_ceil(64);
+        BitRows {
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    fn set(&mut self, row: usize, bit: usize) {
+        self.bits[row * self.words_per_row + bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    fn get(&self, row: usize, bit: usize) -> bool {
+        self.bits[row * self.words_per_row + bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// `row |= other_row`; returns `true` if `row` changed.
+    fn union_row(&mut self, row: usize, other: usize) -> bool {
+        if row == other {
+            return false;
+        }
+        let w = self.words_per_row;
+        let mut changed = false;
+        for k in 0..w {
+            let v = self.bits[other * w + k];
+            let dst = &mut self.bits[row * w + k];
+            let next = *dst | v;
+            if next != *dst {
+                *dst = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Whole-program summary table: per-method summaries plus the
+/// interprocedural closure over the ICFG's call edges.
+#[derive(Debug, Clone)]
+pub struct SummaryTable {
+    summaries: Vec<MethodSummary>,
+    callees: Vec<Vec<MethodId>>,
+    /// Transitive callee reach, non-reflexive, over method ids.
+    reach: BitRows,
+    /// Summary-equality class per method (first-seen numbering).
+    class_of: Vec<u32>,
+    /// Per-method class closure: bit `c` set iff some method of class
+    /// `c` is in `{m} ∪ reach(m)`.
+    class_reach: BitRows,
+    /// Members per summary-equality class.
+    class_size: Vec<u32>,
+    call_depth: Vec<Option<u32>>,
+    /// Per-method: `true` when the ICFG has an edge out of the method
+    /// from a **non-control** node (an exception edge escaping to a
+    /// caller's handler). Such an edge is an ε-transition of the
+    /// abstract NFA — a run can leave the method without consuming any
+    /// call/return/throw symbol, so op-alphabet pruning is unsound there.
+    eps_escape: Vec<bool>,
+}
+
+impl SummaryTable {
+    /// Builds the table: one abstract-interpretation pass per method,
+    /// then the interprocedural fixpoints over `icfg`'s call edges.
+    pub fn build(program: &Program, icfg: &Icfg) -> SummaryTable {
+        let n = program.method_count();
+        let summaries: Vec<MethodSummary> = (0..n)
+            .map(|i| MethodSummary::compute(program, MethodId(i as u32)))
+            .collect();
+
+        // Direct callees from the (possibly RTA-refined) ICFG.
+        let mut callees: Vec<Vec<MethodId>> = vec![Vec::new(); n];
+        for node in icfg.nodes() {
+            for e in icfg.edges(node) {
+                if e.kind == EdgeKind::Call {
+                    callees[icfg.method_of(node).index()].push(icfg.method_of(e.to));
+                }
+            }
+        }
+        for c in &mut callees {
+            c.sort_unstable();
+            c.dedup();
+        }
+
+        // Transitive (non-reflexive) reach: reach(m) ⊇ {c} ∪ reach(c)
+        // for every direct callee c. Plain round-robin fixpoint; the
+        // call graphs here are small and shallow.
+        let mut reach = BitRows::new(n, n);
+        for (m, cs) in callees.iter().enumerate() {
+            for c in cs {
+                reach.set(m, c.index());
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (m, cs) in callees.iter().enumerate() {
+                for c in cs {
+                    if reach.union_row(m, c.index()) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Summary-equality classes: methods with identical op-kind
+        // streams are indistinguishable to the opcode-granular decoder.
+        let mut class_of = vec![0u32; n];
+        let mut interned: HashMap<Vec<OpKind>, u32> = HashMap::new();
+        for (i, slot) in class_of.iter_mut().enumerate() {
+            let key: Vec<OpKind> = program
+                .method(MethodId(i as u32))
+                .code
+                .iter()
+                .map(|insn| insn.op_kind())
+                .collect();
+            let next = interned.len() as u32;
+            *slot = *interned.entry(key).or_insert(next);
+        }
+        let n_classes = interned.len();
+        let mut class_size = vec![0u32; n_classes];
+        for &c in &class_of {
+            class_size[c as usize] += 1;
+        }
+
+        let mut class_reach = BitRows::new(n, n_classes);
+        for m in 0..n {
+            class_reach.set(m, class_of[m] as usize);
+            for (r, &c) in class_of.iter().enumerate() {
+                if reach.get(m, r) {
+                    class_reach.set(m, c as usize);
+                }
+            }
+        }
+
+        let mut call_depth = vec![DepthMark::Unvisited; n];
+        let mut depths = vec![None; n];
+        for m in 0..n {
+            depth_of(m, &callees, &mut call_depth, &mut depths);
+        }
+
+        // Silent ε-escapes: inter-method edges out of non-control nodes
+        // (escaping exception edges). Control-node departures always
+        // consume a call/return/throw symbol, so they are visible to the
+        // window analysis; these are not.
+        let mut eps_escape = vec![false; n];
+        for node in icfg.nodes() {
+            let (m, bci) = icfg.location(node);
+            let op = program.method(m).insn(bci).op_kind();
+            if jportal_cfg::Tier::of_op(op) != jportal_cfg::Tier::Concrete {
+                continue;
+            }
+            if icfg.edges(node).iter().any(|e| icfg.method_of(e.to) != m) {
+                eps_escape[m.index()] = true;
+            }
+        }
+
+        SummaryTable {
+            summaries,
+            callees,
+            reach,
+            class_of,
+            class_reach,
+            class_size,
+            call_depth: depths,
+            eps_escape,
+        }
+    }
+
+    /// The per-method summary of `m`.
+    pub fn summary(&self, m: MethodId) -> &MethodSummary {
+        &self.summaries[m.index()]
+    }
+
+    /// Direct callees of `m` (sorted, deduplicated).
+    pub fn callees(&self, m: MethodId) -> &[MethodId] {
+        &self.callees[m.index()]
+    }
+
+    /// `true` if `a` and `b` are the same method or op-kind-identical
+    /// (the opcode-granular decoder cannot tell them apart).
+    pub fn compatible(&self, a: MethodId, b: MethodId) -> bool {
+        a == b || self.class_of[a.index()] == self.class_of[b.index()]
+    }
+
+    /// `true` if a frame of `from` can transitively have a frame of
+    /// `to` below it (non-reflexive unless `from` is recursive).
+    pub fn reaches(&self, from: MethodId, to: MethodId) -> bool {
+        self.reach.get(from.index(), to.index())
+    }
+
+    /// Class-level reach: `true` if `{from} ∪ reach(from)` contains a
+    /// method op-kind-identical to `to`. This is the query consumers
+    /// use — it stays `true` for every method the decoder might have
+    /// confused with a genuinely reachable one.
+    pub fn class_reaches(&self, from: MethodId, to: MethodId) -> bool {
+        self.class_reach
+            .get(from.index(), self.class_of[to.index()] as usize)
+    }
+
+    /// `true` if no *other* method shares `m`'s op-kind stream — the
+    /// opcode-granular decoder cannot have relocated a window of `m`
+    /// into a twin, so method-level facts (e.g. forced branch
+    /// polarities, which depend on operand values twins may differ in)
+    /// are safe to assert against located steps.
+    pub fn class_is_singleton(&self, m: MethodId) -> bool {
+        self.class_size[self.class_of[m.index()] as usize] == 1
+    }
+
+    /// Maximum call-stack growth below a frame of `m`: `Some(0)` for a
+    /// leaf, `1 + max(callee depths)` otherwise, `None` when a
+    /// recursive cycle makes the depth unbounded.
+    pub fn call_depth(&self, m: MethodId) -> Option<u32> {
+        self.call_depth[m.index()]
+    }
+
+    /// The statically forced direction of the conditional branch at
+    /// `(m, bci)`, if the intra-method pass proved one.
+    pub fn forced_dir(&self, m: MethodId, bci: Bci) -> Option<BranchDir> {
+        self.summaries[m.index()].forced_dir(bci)
+    }
+
+    /// `true` when an abstract-NFA run can leave `m` without consuming a
+    /// call/return/throw symbol (an escaping exception edge out of a
+    /// non-control node). Candidates in such methods must never be
+    /// pruned by [`crate::summary::required_window_ops`].
+    pub fn eps_escapes(&self, m: MethodId) -> bool {
+        self.eps_escape[m.index()]
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DepthMark {
+    Unvisited,
+    OnStack,
+    Done,
+}
+
+fn depth_of(
+    m: usize,
+    callees: &[Vec<MethodId>],
+    marks: &mut Vec<DepthMark>,
+    depths: &mut Vec<Option<u32>>,
+) -> Option<u32> {
+    match marks[m] {
+        DepthMark::Done => return depths[m],
+        // A back edge: the chain through `m` is unbounded.
+        DepthMark::OnStack => return None,
+        DepthMark::Unvisited => {}
+    }
+    marks[m] = DepthMark::OnStack;
+    let mut depth = Some(0u32);
+    for c in &callees[m] {
+        match depth_of(c.index(), callees, marks, depths) {
+            None => depth = None,
+            Some(d) => {
+                if let Some(cur) = depth {
+                    depth = Some(cur.max(d + 1));
+                }
+            }
+        }
+    }
+    marks[m] = DepthMark::Done;
+    depths[m] = depth;
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::Instruction as I;
+
+    /// leaf ← mid ← main, plus a `twin` that is op-kind-identical to
+    /// `leaf` but never called.
+    fn diamond() -> (Program, Icfg, [MethodId; 4]) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut f = pb.method(c, "leaf", 0, true);
+        f.emit(I::Iconst(7));
+        f.emit(I::Ireturn);
+        let leaf = f.finish();
+        let mut t = pb.method(c, "twin", 0, true);
+        t.emit(I::Iconst(9)); // different operand, same op kinds
+        t.emit(I::Ireturn);
+        let twin = t.finish();
+        let mut g = pb.method(c, "mid", 0, true);
+        g.emit(I::InvokeStatic(leaf));
+        g.emit(I::Ireturn);
+        let mid = g.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::InvokeStatic(mid));
+        m.emit(I::Pop);
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let icfg = Icfg::build(&p);
+        (p, icfg, [leaf, twin, mid, main])
+    }
+
+    #[test]
+    fn reach_is_transitive_and_non_reflexive() {
+        let (p, icfg, [leaf, twin, mid, main]) = diamond();
+        let t = SummaryTable::build(&p, &icfg);
+        assert!(t.reaches(main, mid));
+        assert!(t.reaches(main, leaf), "transitive");
+        assert!(t.reaches(mid, leaf));
+        assert!(!t.reaches(leaf, main));
+        assert!(!t.reaches(main, main), "non-reflexive without recursion");
+        assert!(!t.reaches(main, twin), "twin is never called");
+        assert_eq!(t.callees(main), &[mid]);
+    }
+
+    #[test]
+    fn class_reach_accepts_op_identical_twins() {
+        let (p, icfg, [leaf, twin, _mid, main]) = diamond();
+        let t = SummaryTable::build(&p, &icfg);
+        assert!(t.compatible(leaf, twin), "same op-kind stream");
+        assert!(!t.compatible(leaf, main));
+        // `twin` is unreachable from main, but the decoder cannot tell
+        // it from `leaf`, so the class query must keep it feasible.
+        assert!(t.class_reaches(main, twin));
+        assert!(t.class_reaches(main, leaf));
+        assert!(t.class_reaches(main, main), "reflexive at class level");
+        assert!(!t.class_reaches(leaf, main));
+    }
+
+    #[test]
+    fn call_depth_counts_chain_height() {
+        let (p, icfg, [leaf, twin, mid, main]) = diamond();
+        let t = SummaryTable::build(&p, &icfg);
+        assert_eq!(t.call_depth(leaf), Some(0));
+        assert_eq!(t.call_depth(twin), Some(0));
+        assert_eq!(t.call_depth(mid), Some(1));
+        assert_eq!(t.call_depth(main), Some(2));
+    }
+
+    #[test]
+    fn recursion_is_unbounded_depth_and_reflexive_reach() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut r = pb.method(c, "rec", 1, false);
+        let out = r.label();
+        r.emit(I::Iload(0)); // 0
+        r.branch_if(jportal_bytecode::CmpKind::Le, out); // 1
+        r.emit(I::Iload(0)); // 2
+        r.emit(I::InvokeStatic(r.id())); // 3
+        r.bind(out);
+        r.emit(I::Return); // 4
+        let rec = r.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::Iconst(3));
+        m.emit(I::InvokeStatic(rec));
+        m.emit(I::Return);
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let icfg = Icfg::build(&p);
+        let t = SummaryTable::build(&p, &icfg);
+        assert_eq!(t.call_depth(rec), None);
+        assert_eq!(t.call_depth(main), None, "recursion below propagates");
+        assert!(t.reaches(rec, rec), "self-loop makes reach reflexive");
+        assert!(t.reaches(main, rec));
+    }
+
+    #[test]
+    fn eps_escape_flags_uncaught_division_with_caller_handler() {
+        // `div` divides without a local handler; `main` wraps the call
+        // site in one, so the ICFG routes the division's exception edge
+        // out of `div` into `main` — a silent ε-escape for `div`.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let boom = pb.add_class("Boom", None, 0);
+        let mut d = pb.method(c, "div", 2, true);
+        d.emit(I::Iload(0)); // 0
+        d.emit(I::Iload(1)); // 1
+        d.emit(I::Idiv); // 2: may throw, uncaught here
+        d.emit(I::Ireturn); // 3
+        let div = d.finish();
+        let mut m = pb.method(c, "main", 0, false);
+        let handler = m.label();
+        m.emit(I::Iconst(8)); // 0
+        m.emit(I::Iconst(0)); // 1
+        m.emit(I::InvokeStatic(div)); // 2
+        m.emit(I::Pop); // 3
+        m.emit(I::Return); // 4
+        m.bind(handler);
+        m.emit(I::Pop); // 5
+        m.emit(I::Return); // 6
+        m.add_handler(Bci(2), Bci(3), handler, Some(boom));
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let icfg = Icfg::build(&p);
+        let t = SummaryTable::build(&p, &icfg);
+        assert!(t.eps_escapes(div));
+        assert!(!t.eps_escapes(main));
+    }
+
+    #[test]
+    fn diamond_has_no_eps_escapes() {
+        let (p, icfg, [leaf, twin, mid, main]) = diamond();
+        let t = SummaryTable::build(&p, &icfg);
+        for m in [leaf, twin, mid, main] {
+            assert!(!t.eps_escapes(m));
+        }
+    }
+
+    #[test]
+    fn table_is_deterministic() {
+        let (p, icfg, _) = diamond();
+        let a = SummaryTable::build(&p, &icfg);
+        let b = SummaryTable::build(&p, &icfg);
+        assert_eq!(a.class_of, b.class_of);
+        assert_eq!(a.callees, b.callees);
+        assert_eq!(a.call_depth, b.call_depth);
+        assert_eq!(a.summaries, b.summaries);
+    }
+}

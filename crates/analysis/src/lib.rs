@@ -15,6 +15,12 @@
 //! * [`lint`] — the trace-feasibility linter: replays reconstructed
 //!   sequences against the ICFG plus a call-stack abstraction and reports
 //!   structural violations as diagnostics.
+//! * [`summary`] / [`interproc`] — per-method abstract-interpretation
+//!   summaries (op alphabets, stack intervals, forced branch polarities)
+//!   lifted to a whole-program [`SummaryTable`] (callee reach, call depth,
+//!   op-kind equality classes). Consumed by the §4 matcher and §5 recovery
+//!   as candidate prefilters and by the linter for interprocedural
+//!   stack-balance checking.
 //!
 //! # Determinism contract
 //!
@@ -29,15 +35,19 @@
 #![warn(missing_docs)]
 
 pub mod dom;
+pub mod interproc;
 pub mod lint;
 pub mod rta;
+pub mod summary;
 
 pub use dom::{Dominators, LoopNest, NaturalLoop, PostDominators};
+pub use interproc::SummaryTable;
 pub use lint::{
-    lint_steps, lint_steps_journaled, lint_steps_observed, LintDiagnostic, LintKind, LintStep,
-    LintSummary,
+    lint_steps, lint_steps_journaled, lint_steps_observed, lint_steps_summarized, LintDiagnostic,
+    LintKind, LintStep, LintSummary,
 };
 pub use rta::Rta;
+pub use summary::{op_may_exit_method, required_window_ops, MethodSummary, OpSet};
 
 use jportal_bytecode::{Bci, MethodId, Program};
 use jportal_cfg::Cfg;

@@ -1,0 +1,736 @@
+//! Per-method abstract-interpretation summaries.
+//!
+//! One intra-method fixpoint pass over each method's bytecode computes a
+//! [`MethodSummary`]: the operation-kind alphabet of the method, feasible
+//! entry/exit op-bigrams, the operand-stack depth interval, and branches
+//! whose polarity is statically forced. The pass runs **once, offline**,
+//! from the [`Program`] alone; [`crate::interproc::SummaryTable`] then
+//! lifts the per-method facts interprocedurally (callee reach, call
+//! depth, summary-equality classes) for the §4 matcher, §5 recovery and
+//! the trace-feasibility linter to consume.
+//!
+//! # The abstract domain
+//!
+//! The operand stack is modeled as a vector of [`AbsVal`] values — the
+//! flat lattice `⊥ < {Const(v), Null, NonNull} < Top` per slot, with
+//! equal-or-Top join. Locals are **not** tracked (`iload`/`aload` push
+//! `Top`), which keeps the pass linear and makes forced-branch facts
+//! depend only on literally `iconst`-fed comparisons — exactly the shape
+//! the bytecode generators emit for guard branches. A join that
+//! disagrees on stack *depth* (impossible in verified bytecode, but the
+//! pass must not trust its input) abandons abstraction and falls back to
+//! purely syntactic facts, never to wrong ones.
+
+use jportal_bytecode::{Bci, Instruction, MethodId, OpKind, Program};
+use jportal_cfg::{BranchDir, Sym, Tier};
+
+// Dense per-op bitsets rely on every kind fitting one machine word.
+const _: () = assert!(OpKind::ALL.len() <= 64);
+
+/// A set of [`OpKind`]s as a 64-bit bitset.
+///
+/// # Examples
+///
+/// ```
+/// use jportal_analysis::OpSet;
+/// use jportal_bytecode::OpKind;
+///
+/// let mut s = OpSet::EMPTY;
+/// s.insert(OpKind::Iadd);
+/// s.insert(OpKind::Ireturn);
+/// assert!(s.contains(OpKind::Iadd));
+/// let mut sub = OpSet::EMPTY;
+/// sub.insert(OpKind::Iadd);
+/// assert!(s.contains_all(sub));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpSet(u64);
+
+impl OpSet {
+    /// The empty set.
+    pub const EMPTY: OpSet = OpSet(0);
+
+    /// Adds an operation kind.
+    pub fn insert(&mut self, op: OpKind) {
+        self.0 |= 1u64 << op.index();
+    }
+
+    /// `true` if `op` is in the set.
+    pub fn contains(self, op: OpKind) -> bool {
+        self.0 & (1u64 << op.index()) != 0
+    }
+
+    /// `true` if every kind of `other` is also in `self`.
+    pub fn contains_all(self, other: OpSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Set union.
+    pub fn union(self, other: OpSet) -> OpSet {
+        OpSet(self.0 | other.0)
+    }
+
+    /// Number of kinds in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// `true` if executing one occurrence of `op` can leave the current
+/// method's frame as the executing context: calls enter a callee,
+/// returns leave, and throwing instructions may unwind to a handler in
+/// a caller.
+///
+/// The complement bounds where a concrete trace window can travel: in a
+/// window that starts inside method `m`, every symbol up to and
+/// including the first may-exit symbol is an instruction of `m`.
+pub fn op_may_exit_method(op: OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::InvokeStatic
+            | OpKind::InvokeVirtual
+            | OpKind::Ireturn
+            | OpKind::Areturn
+            | OpKind::Return
+            | OpKind::Athrow
+            | OpKind::Idiv
+            | OpKind::Irem
+            | OpKind::GetField
+            | OpKind::PutField
+            | OpKind::ArrayLoad
+            | OpKind::ArrayStore
+            | OpKind::ArrayLength
+    )
+}
+
+/// The control-tier operation kinds an abstract-NFA run from a start
+/// state inside one method is guaranteed to consume **at nodes of that
+/// method**: the window's control ops after the first symbol, up to and
+/// including the first call-structure op or `athrow`.
+///
+/// The guarantee mirrors exactly what the abstract automaton
+/// (Definition 4.3) can do. ε-transitions only pass through non-control
+/// nodes, so the run cannot leave the method without *consuming* a call,
+/// return, or `athrow` symbol — except through an exception edge out of a
+/// non-control throwing node, which is why a candidate in a method with a
+/// silent escape (see `SummaryTable::eps_escapes` in
+/// [`crate::interproc`]) must never be pruned by this set. For escape-free
+/// methods, a candidate whose [`MethodSummary::ops`] does not cover this
+/// set is abstractly rejected — pruning it cannot change any match.
+pub fn required_window_ops(window: &[Sym]) -> OpSet {
+    let mut req = OpSet::EMPTY;
+    for (k, s) in window.iter().enumerate() {
+        let tier = Tier::of_op(s.op);
+        if tier == Tier::Concrete {
+            // ε-skipped by the abstraction; constrains nothing.
+            continue;
+        }
+        if k > 0 {
+            req.insert(s.op);
+        }
+        if tier == Tier::CallStructure || s.op == OpKind::Athrow {
+            // Consuming this symbol may move the run to another method;
+            // everything after it is unconstrained.
+            break;
+        }
+    }
+    req
+}
+
+/// One abstract operand-stack slot: the flat lattice over what the pass
+/// can prove about a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// Nothing known.
+    Top,
+    /// A known integer constant.
+    Const(i64),
+    /// The null reference.
+    Null,
+    /// A freshly allocated (definitely non-null) reference.
+    NonNull,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Top
+        }
+    }
+}
+
+/// Summary of one method, computed by abstract interpretation (or the
+/// syntactic fallback — see [`MethodSummary::precise`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSummary {
+    /// Operation kinds of **every** instruction in the method's code
+    /// array (syntactic, not reachability-filtered: matcher candidates
+    /// can sit anywhere in the method, including code the entry never
+    /// reaches, and the pruning proofs need the full alphabet).
+    pub ops: OpSet,
+    /// Operation kind of the entry instruction (bci 0).
+    pub entry_op: OpKind,
+    /// Feasible second ops: kinds of the entry instruction's successors
+    /// (the entry side of the method's op-bigrams).
+    pub entry_next: OpSet,
+    /// Kinds of reachable exit instructions: returns, plus `athrow`
+    /// occurrences no handler in the method covers.
+    pub exit_ops: OpSet,
+    /// Kinds of reachable instructions with a direct successor that is
+    /// an exit instruction (the exit side of the method's op-bigrams).
+    pub exit_prev: OpSet,
+    /// Minimum operand-stack depth at any reachable instruction entry.
+    pub stack_min: u32,
+    /// Maximum operand-stack depth at any reachable instruction entry.
+    pub stack_max: u32,
+    /// Reachable conditional branches whose direction is the same on
+    /// every path (sorted by bci). A traced occurrence contradicting the
+    /// forced direction is infeasible.
+    pub forced: Vec<(Bci, BranchDir)>,
+    /// `true` when the abstract pass converged; `false` means the
+    /// syntactic fallback ran and `stack_min`/`stack_max`/`forced` are
+    /// the trivial over-approximations.
+    pub precise: bool,
+}
+
+impl MethodSummary {
+    /// Computes the summary of `method` in `program`.
+    pub fn compute(program: &Program, method: MethodId) -> MethodSummary {
+        let m = program.method(method);
+        if m.code.is_empty() {
+            // Verified programs never have empty methods; degrade
+            // gracefully anyway rather than trusting the input.
+            return MethodSummary {
+                ops: OpSet::EMPTY,
+                entry_op: OpKind::Nop,
+                entry_next: OpSet::EMPTY,
+                exit_ops: OpSet::EMPTY,
+                exit_prev: OpSet::EMPTY,
+                stack_min: 0,
+                stack_max: 0,
+                forced: Vec::new(),
+                precise: false,
+            };
+        }
+        abstract_pass(program, method).unwrap_or_else(|| syntactic_fallback(program, m))
+    }
+
+    /// The statically forced direction of the conditional branch at
+    /// `bci`, if the pass proved one.
+    pub fn forced_dir(&self, bci: Bci) -> Option<BranchDir> {
+        self.forced
+            .binary_search_by_key(&bci, |&(b, _)| b)
+            .ok()
+            .map(|i| self.forced[i].1)
+    }
+}
+
+/// Pops/pushes of `insn` in `method`-context, with call effects sized
+/// from the callee's signature. `None` when a virtual site has no
+/// targets (the abstract pass then bails).
+fn sized_stack_effect(program: &Program, insn: &Instruction) -> Option<(u16, u16)> {
+    match insn {
+        Instruction::InvokeStatic(callee) => {
+            let c = program.method(*callee);
+            Some(insn.stack_effect(c.n_args, c.returns_value))
+        }
+        Instruction::InvokeVirtual { declared_in, slot } => {
+            let targets = program.virtual_targets(*declared_in, *slot);
+            let c = program.method(*targets.first()?);
+            Some(insn.stack_effect(c.n_args, c.returns_value))
+        }
+        _ => Some(insn.stack_effect(0, false)),
+    }
+}
+
+/// Normal-flow successors of `bci` (fall-through plus explicit branch
+/// targets; exception edges are handled separately by the caller).
+fn normal_successors(insn: &Instruction, bci: Bci) -> Vec<Bci> {
+    let mut out = insn.branch_targets();
+    if !insn.is_terminator() {
+        out.push(bci.next());
+    }
+    out
+}
+
+fn transfer(insn: &Instruction, stack: &mut Vec<AbsVal>, effect: (u16, u16)) -> bool {
+    let (pops, pushes) = effect;
+    if stack.len() < pops as usize {
+        return false;
+    }
+    // Value-precise cases first; everything else pops/pushes Top.
+    match insn {
+        Instruction::Iconst(v) => stack.push(AbsVal::Const(*v)),
+        Instruction::AconstNull => stack.push(AbsVal::Null),
+        Instruction::New(_) | Instruction::NewArray => {
+            for _ in 0..pops {
+                stack.pop();
+            }
+            stack.push(AbsVal::NonNull);
+        }
+        Instruction::Dup => {
+            let top = *stack.last().expect("depth checked");
+            stack.push(top);
+        }
+        Instruction::Swap => {
+            let n = stack.len();
+            stack.swap(n - 1, n - 2);
+        }
+        _ => {
+            for _ in 0..pops {
+                stack.pop();
+            }
+            for _ in 0..pushes {
+                stack.push(AbsVal::Top);
+            }
+        }
+    }
+    true
+}
+
+/// The worklist fixpoint. Returns `None` when the pass cannot trust its
+/// own result (operand underflow, depth-mismatched join, or an
+/// unsizable call) — callers fall back to [`syntactic_fallback`].
+fn abstract_pass(program: &Program, method: MethodId) -> Option<MethodSummary> {
+    let m = program.method(method);
+    let n = m.code.len();
+    let mut states: Vec<Option<Vec<AbsVal>>> = vec![None; n];
+    states[0] = Some(Vec::new());
+    let mut worklist = vec![Bci(0)];
+    let mut on_list = vec![false; n];
+    on_list[0] = true;
+
+    let join_into = |states: &mut Vec<Option<Vec<AbsVal>>>,
+                     worklist: &mut Vec<Bci>,
+                     on_list: &mut Vec<bool>,
+                     to: Bci,
+                     incoming: &[AbsVal]|
+     -> Option<()> {
+        if to.index() >= n {
+            return None;
+        }
+        let slot = &mut states[to.index()];
+        let changed = match slot {
+            None => {
+                *slot = Some(incoming.to_vec());
+                true
+            }
+            Some(existing) => {
+                if existing.len() != incoming.len() {
+                    return None;
+                }
+                let mut any = false;
+                for (e, &i) in existing.iter_mut().zip(incoming) {
+                    let j = e.join(i);
+                    if j != *e {
+                        *e = j;
+                        any = true;
+                    }
+                }
+                any
+            }
+        };
+        if changed && !on_list[to.index()] {
+            on_list[to.index()] = true;
+            worklist.push(to);
+        }
+        Some(())
+    };
+
+    while let Some(bci) = worklist.pop() {
+        on_list[bci.index()] = false;
+        let insn = &m.code[bci.index()];
+        let mut stack = states[bci.index()].clone().expect("on worklist ⇒ seeded");
+        let effect = sized_stack_effect(program, insn)?;
+        if !transfer(insn, &mut stack, effect) {
+            return None;
+        }
+        for succ in normal_successors(insn, bci) {
+            join_into(&mut states, &mut worklist, &mut on_list, succ, &stack)?;
+        }
+        if insn.can_throw() {
+            // Exception entry clears the operand stack to the thrown
+            // reference alone; the catch-class filter is ignored — a
+            // handler the filter would skip just stays conservatively
+            // reachable.
+            let thrown = [AbsVal::Top];
+            for h in m.handlers.iter().filter(|h| h.covers(bci)) {
+                join_into(&mut states, &mut worklist, &mut on_list, h.handler, &thrown)?;
+            }
+        }
+    }
+
+    let mut ops = OpSet::EMPTY;
+    let mut exit_ops = OpSet::EMPTY;
+    let mut exit_prev = OpSet::EMPTY;
+    let mut forced = Vec::new();
+    let mut stack_min = u32::MAX;
+    let mut stack_max = 0u32;
+    let is_exit = |bci: Bci, insn: &Instruction| {
+        insn.is_return()
+            || (matches!(insn, Instruction::Athrow) && !m.handlers.iter().any(|h| h.covers(bci)))
+    };
+    // The alphabet is syntactic over the whole code array (see
+    // `MethodSummary::ops`); everything else below is reachable-only.
+    for insn in &m.code {
+        ops.insert(insn.op_kind());
+    }
+    for (i, state) in states.iter().enumerate() {
+        let Some(stack) = state else { continue };
+        let bci = Bci(i as u32);
+        let insn = &m.code[i];
+        let op = insn.op_kind();
+        stack_min = stack_min.min(stack.len() as u32);
+        stack_max = stack_max.max(stack.len() as u32);
+        if is_exit(bci, insn) {
+            exit_ops.insert(op);
+        }
+        for succ in normal_successors(insn, bci) {
+            if succ.index() < n && is_exit(succ, &m.code[succ.index()]) {
+                exit_prev.insert(op);
+            }
+        }
+        if let Some(dir) = forced_direction(insn, stack) {
+            forced.push((bci, dir));
+        }
+    }
+    let entry_next = entry_successor_ops(m, &states);
+    Some(MethodSummary {
+        ops,
+        entry_op: m.code[0].op_kind(),
+        entry_next,
+        exit_ops,
+        exit_prev,
+        stack_min: if stack_min == u32::MAX { 0 } else { stack_min },
+        stack_max,
+        forced,
+        precise: true,
+    })
+}
+
+/// The forced polarity of a reachable conditional branch, given its
+/// converged entry state. `None` when the operands are not definite.
+fn forced_direction(insn: &Instruction, stack: &[AbsVal]) -> Option<BranchDir> {
+    match insn {
+        Instruction::If(k, _) => match stack.last()? {
+            AbsVal::Const(v) => Some(BranchDir::from_taken(k.eval(*v, 0))),
+            _ => None,
+        },
+        Instruction::IfICmp(k, _) => {
+            if stack.len() < 2 {
+                return None;
+            }
+            match (&stack[stack.len() - 2], &stack[stack.len() - 1]) {
+                (AbsVal::Const(a), AbsVal::Const(b)) => Some(BranchDir::from_taken(k.eval(*a, *b))),
+                _ => None,
+            }
+        }
+        Instruction::IfNull(_) => match stack.last()? {
+            AbsVal::Null => Some(BranchDir::Taken),
+            AbsVal::NonNull => Some(BranchDir::NotTaken),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn entry_successor_ops(m: &jportal_bytecode::Method, states: &[Option<Vec<AbsVal>>]) -> OpSet {
+    let mut next = OpSet::EMPTY;
+    let entry = &m.code[0];
+    for succ in normal_successors(entry, Bci(0)) {
+        if succ.index() < m.code.len() && states[succ.index()].is_some() {
+            next.insert(m.code[succ.index()].op_kind());
+        }
+    }
+    if entry.can_throw() {
+        for h in m.handlers.iter().filter(|h| h.covers(Bci(0))) {
+            if states[h.handler.index()].is_some() {
+                next.insert(m.code[h.handler.index()].op_kind());
+            }
+        }
+    }
+    next
+}
+
+/// The trivial over-approximation used when the abstract pass bails:
+/// every instruction counts as reachable, the stack interval spans all
+/// depths the code could possibly produce, and no branch is forced.
+fn syntactic_fallback(_program: &Program, m: &jportal_bytecode::Method) -> MethodSummary {
+    let mut ops = OpSet::EMPTY;
+    let mut exit_ops = OpSet::EMPTY;
+    let mut exit_prev = OpSet::EMPTY;
+    let is_exit = |bci: Bci, insn: &Instruction| {
+        insn.is_return()
+            || (matches!(insn, Instruction::Athrow) && !m.handlers.iter().any(|h| h.covers(bci)))
+    };
+    for (i, insn) in m.code.iter().enumerate() {
+        let bci = Bci(i as u32);
+        ops.insert(insn.op_kind());
+        if is_exit(bci, insn) {
+            exit_ops.insert(insn.op_kind());
+        }
+        for succ in normal_successors(insn, bci) {
+            if succ.index() < m.code.len() && is_exit(succ, &m.code[succ.index()]) {
+                exit_prev.insert(insn.op_kind());
+            }
+        }
+    }
+    let mut entry_next = OpSet::EMPTY;
+    for succ in normal_successors(&m.code[0], Bci(0)) {
+        if succ.index() < m.code.len() {
+            entry_next.insert(m.code[succ.index()].op_kind());
+        }
+    }
+    MethodSummary {
+        ops,
+        entry_op: m.code[0].op_kind(),
+        entry_next,
+        exit_ops,
+        exit_prev,
+        stack_min: 0,
+        // Every instruction pushes at most two slots.
+        stack_max: (m.code.len() as u32).saturating_mul(2),
+        forced: Vec::new(),
+        precise: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::builder::ProgramBuilder;
+    use jportal_bytecode::{CmpKind, Instruction as I};
+
+    fn single(program: &Program) -> MethodSummary {
+        MethodSummary::compute(program, program.entry())
+    }
+
+    #[test]
+    fn opset_algebra() {
+        let mut a = OpSet::EMPTY;
+        assert!(a.is_empty());
+        a.insert(OpKind::Iadd);
+        a.insert(OpKind::Probe);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(OpKind::Probe), "highest discriminant fits");
+        let mut b = OpSet::EMPTY;
+        b.insert(OpKind::Iadd);
+        assert!(a.contains_all(b));
+        assert!(!b.contains_all(a));
+        assert_eq!(a.union(b), a);
+    }
+
+    #[test]
+    fn straight_line_summary() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        m.emit(I::Iconst(1)); // 0: depth 0
+        m.emit(I::Iconst(2)); // 1: depth 1
+        m.emit(I::Iadd); // 2: depth 2
+        m.emit(I::Pop); // 3: depth 1
+        m.emit(I::Return); // 4: depth 0
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let s = single(&p);
+        assert!(s.precise);
+        assert_eq!(s.entry_op, OpKind::Iconst);
+        assert!(s.entry_next.contains(OpKind::Iconst));
+        assert_eq!(s.entry_next.len(), 1);
+        assert!(s.exit_ops.contains(OpKind::Return));
+        assert!(s.exit_prev.contains(OpKind::Pop));
+        assert_eq!((s.stack_min, s.stack_max), (0, 2));
+        assert_eq!(s.ops.len(), 4);
+        assert!(s.forced.is_empty());
+    }
+
+    #[test]
+    fn forced_branch_from_constant() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let skip = m.label();
+        m.emit(I::Iconst(0)); // 0
+        m.branch_if(CmpKind::Eq, skip); // 1: always taken (0 == 0)
+        m.emit(I::Nop); // 2: unreachable in the concrete world
+        m.bind(skip);
+        m.emit(I::Return); // 3
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let s = single(&p);
+        assert!(s.precise);
+        assert_eq!(s.forced_dir(Bci(1)), Some(BranchDir::Taken));
+        assert_eq!(s.forced_dir(Bci(0)), None);
+        // Both arms still count as reachable (polarity is recorded, the
+        // frontier is not pruned), so `nop` stays in the alphabet.
+        assert!(s.ops.contains(OpKind::Nop));
+    }
+
+    #[test]
+    fn data_dependent_branch_is_not_forced() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "cond", 1, false);
+        let skip = m.label();
+        m.emit(I::Iload(0)); // 0: unknown value
+        m.branch_if(CmpKind::Eq, skip); // 1
+        m.emit(I::Nop); // 2
+        m.bind(skip);
+        m.emit(I::Return); // 3
+        let cond = m.finish();
+        let mut e = pb.method(c, "main", 0, false);
+        e.emit(I::Iconst(5));
+        e.emit(I::InvokeStatic(cond));
+        e.emit(I::Return);
+        let main = e.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let s = MethodSummary::compute(&p, cond);
+        assert!(s.precise);
+        assert!(s.forced.is_empty());
+    }
+
+    #[test]
+    fn join_widens_conflicting_constants() {
+        // Two paths push different constants into the same branch: the
+        // joined operand is Top, so the branch must not be forced.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "cond", 1, false);
+        let other = m.label();
+        let join = m.label();
+        let out = m.label();
+        m.emit(I::Iload(0)); // 0
+        m.branch_if(CmpKind::Eq, other); // 1
+        m.emit(I::Iconst(0)); // 2
+        m.jump(join); // 3
+        m.bind(other);
+        m.emit(I::Iconst(1)); // 4
+        m.bind(join);
+        m.branch_if(CmpKind::Eq, out); // 5: operand joins to Top
+        m.emit(I::Nop); // 6
+        m.bind(out);
+        m.emit(I::Return); // 7
+        let cond = m.finish();
+        let mut e = pb.method(c, "main", 0, false);
+        e.emit(I::Iconst(5));
+        e.emit(I::InvokeStatic(cond));
+        e.emit(I::Return);
+        let main = e.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let s = MethodSummary::compute(&p, cond);
+        assert!(s.precise);
+        assert_eq!(s.forced_dir(Bci(5)), None);
+    }
+
+    #[test]
+    fn handler_entry_is_reachable_with_unit_stack() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let t = pb.add_class("Boom", None, 0);
+        let mut m = pb.method(c, "div", 2, false);
+        let handler = m.label();
+        m.emit(I::Iload(0)); // 0
+        m.emit(I::Iload(1)); // 1
+        m.emit(I::Idiv); // 2: may throw
+        m.emit(I::Pop); // 3
+        m.emit(I::Return); // 4
+        m.bind(handler);
+        m.emit(I::Pop); // 5: pops the thrown ref
+        m.emit(I::Return); // 6
+        m.add_handler(Bci(2), Bci(3), handler, Some(t));
+        let div = m.finish();
+        let mut e = pb.method(c, "main", 0, false);
+        e.emit(I::Iconst(8));
+        e.emit(I::Iconst(2));
+        e.emit(I::InvokeStatic(div));
+        e.emit(I::Return);
+        let main = e.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let s = MethodSummary::compute(&p, div);
+        assert!(s.precise);
+        // The handler body is reachable via the exception edge even
+        // though no normal edge leads there.
+        assert!(s.ops.contains(OpKind::Pop));
+        assert_eq!((s.stack_min, s.stack_max), (0, 2));
+    }
+
+    #[test]
+    fn uncaught_athrow_is_an_exit() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "boom", 0, false);
+        m.emit(I::New(c)); // 0
+        m.emit(I::Athrow); // 1
+        let boom = m.finish();
+        let p = pb.finish_with_entry(boom).unwrap();
+        let s = single(&p);
+        assert!(s.exit_ops.contains(OpKind::Athrow));
+        assert!(s.exit_prev.contains(OpKind::New));
+    }
+
+    #[test]
+    fn ifnull_polarity_from_allocation() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None, 0);
+        let mut m = pb.method(c, "main", 0, false);
+        let taken = m.label();
+        m.emit(I::New(c)); // 0: NonNull
+        m.branch_if_null(taken); // 1: never taken
+        m.emit(I::Nop); // 2
+        m.bind(taken);
+        m.emit(I::Return); // 3
+        let main = m.finish();
+        let p = pb.finish_with_entry(main).unwrap();
+        let s = single(&p);
+        assert_eq!(s.forced_dir(Bci(1)), Some(BranchDir::NotTaken));
+    }
+
+    #[test]
+    fn required_window_is_control_only_and_stops_at_call_structure() {
+        let w = [
+            Sym::plain(OpKind::Iload),
+            Sym::branch(OpKind::Ifeq, true),
+            Sym::plain(OpKind::Iconst),
+            Sym::plain(OpKind::Goto),
+            Sym::plain(OpKind::InvokeStatic),
+            Sym::plain(OpKind::Ifne), // may run in the callee
+        ];
+        let req = required_window_ops(&w);
+        // Concrete-tier ops are ε-skipped by the abstraction.
+        assert!(!req.contains(OpKind::Iload));
+        assert!(!req.contains(OpKind::Iconst));
+        assert!(req.contains(OpKind::Ifeq));
+        assert!(req.contains(OpKind::Goto));
+        // The first call-structure op is still consumed in-method...
+        assert!(req.contains(OpKind::InvokeStatic));
+        // ...but nothing after it is.
+        assert!(!req.contains(OpKind::Ifne));
+        assert!(required_window_ops(&[]).is_empty());
+        // A window *starting* on a call or throw constrains nothing: the
+        // very first consumption may already leave the method.
+        assert!(required_window_ops(&[
+            Sym::plain(OpKind::InvokeVirtual),
+            Sym::plain(OpKind::Ifeq),
+        ])
+        .is_empty());
+        assert!(
+            required_window_ops(&[Sym::plain(OpKind::Athrow), Sym::plain(OpKind::Ifeq),])
+                .is_empty()
+        );
+        // An athrow mid-window is required, then the scan stops.
+        let t = required_window_ops(&[
+            Sym::plain(OpKind::Nop),
+            Sym::plain(OpKind::Athrow),
+            Sym::plain(OpKind::Ifeq),
+        ]);
+        assert!(t.contains(OpKind::Athrow));
+        assert!(!t.contains(OpKind::Ifeq));
+    }
+}

@@ -1,0 +1,339 @@
+//! Interprocedural-summary ablation: what `JPortalConfig::summaries`
+//! costs and buys on lossy reconstructions.
+//!
+//! Measures the fixpoint summary build, and the full pipeline with the
+//! prefilters on vs off, over three recovery-heavy lossy workloads. The
+//! bench also performs the **same-run equivalence check** — reconstructed
+//! entries and holes must be identical in both modes (that is the
+//! prefilter's contract, see `Recovery::with_summaries`) — and fails the
+//! process on any divergence regardless of gate flags, because that
+//! signal is deterministic.
+//!
+//! Besides the criterion groups, this bench maintains
+//! `BENCH_summary_pruning.json` at the repo root and regenerates
+//! `docs/results/summary_pruning.md` (per-workload prune-rate table).
+//! The gate follows `pt_codec.rs`' protocol — refuse to overwrite on
+//! regression (`--force` / `JPORTAL_BENCH_FORCE=1` overrides),
+//! `JPORTAL_BENCH_GATE=1` fails CI — but needs only a single signal: the
+//! recovery prune rate is a deterministic property of the analysis, so
+//! a drop of more than 20% (relative) from the committed baseline is a
+//! real regression, not noise. Timings are recorded for context and
+//! never gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jportal_analysis::SummaryTable;
+use jportal_cfg::Icfg;
+use jportal_core::{JPortal, JPortalConfig, JPortalReport};
+use jportal_jvm::runtime::{Jvm, JvmConfig};
+use jportal_jvm::RunResult;
+use jportal_workloads::{workload_by_name, Workload};
+
+/// Recovery-heavy subjects: lossy runs with enough holes that the
+/// candidate search dominates (the prefilter's target regime).
+const SUBJECTS: &[&str] = &["fop", "h2", "lusearch"];
+
+/// The lossy ring configuration the equivalence suite uses: small
+/// buffer, slow drain, real overflow holes on every subject.
+fn lossy_run(w: &Workload) -> RunResult {
+    Jvm::new(JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        pt_buffer_capacity: 2500,
+        drain_bytes_per_kilocycle: 90,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads)
+}
+
+fn config(summaries: bool) -> JPortalConfig {
+    JPortalConfig {
+        summaries,
+        ..JPortalConfig::default()
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("JPORTAL_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn force() -> bool {
+    std::env::var("JPORTAL_BENCH_FORCE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--force")
+}
+
+fn gate() -> bool {
+    std::env::var("JPORTAL_BENCH_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Pulls `"key": <number>` out of the baseline JSON (no parser dep).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Everything the ablation extracts from one subject's on/off run pair.
+struct SubjectNumbers {
+    name: &'static str,
+    /// Recovery candidates that survived the prefilter (summaries on).
+    candidates: usize,
+    /// Recovery candidates the prefilter rejected.
+    pruned: usize,
+    /// Matcher restart candidates the summary alphabet screen rejected.
+    matcher_pruned: u64,
+    /// Holes recovery worked on.
+    holes: usize,
+}
+
+impl SubjectNumbers {
+    fn rate(&self) -> f64 {
+        let total = self.candidates + self.pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Same-run equivalence: the reconstructed timelines (entries and hole
+/// spans, per thread) must be identical with summaries on and off. This
+/// is the contract every prune decision is proved against; a divergence
+/// is a correctness bug, so it kills the bench unconditionally.
+fn assert_equivalent(name: &str, on: &JPortalReport, off: &JPortalReport) {
+    let same = on.threads.len() == off.threads.len()
+        && on
+            .threads
+            .iter()
+            .zip(&off.threads)
+            .all(|(a, b)| a.entries == b.entries && a.holes == b.holes);
+    if !same {
+        eprintln!("FAILED: {name}: summaries on/off reconstructions diverge");
+        std::process::exit(1);
+    }
+}
+
+fn measure_subject(name: &'static str) -> SubjectNumbers {
+    let w = workload_by_name(name, 1);
+    let r = lossy_run(&w);
+    let traces = r.traces.as_ref().expect("tracing on");
+    let on = JPortal::with_config(&w.program, config(true)).analyze(traces, &r.archive);
+    let off = JPortal::with_config(&w.program, config(false)).analyze(traces, &r.archive);
+    assert_equivalent(name, &on, &off);
+    SubjectNumbers {
+        name,
+        candidates: on.threads.iter().map(|t| t.recovery.candidates).sum(),
+        pruned: on.threads.iter().map(|t| t.recovery.summary_pruned).sum(),
+        matcher_pruned: on.dfa_cache.summary_pruned,
+        holes: on.threads.iter().map(|t| t.recovery.holes).sum(),
+    }
+}
+
+struct AblationNumbers {
+    subjects: Vec<SubjectNumbers>,
+    build_mean_ns: f64,
+    on_mean_ns: f64,
+    on_min_ns: f64,
+    off_mean_ns: f64,
+    off_min_ns: f64,
+}
+
+impl AblationNumbers {
+    fn overall_rate(&self) -> f64 {
+        let pruned: usize = self.subjects.iter().map(|s| s.pruned).sum();
+        let total: usize = self.subjects.iter().map(|s| s.candidates + s.pruned).sum();
+        if total == 0 {
+            0.0
+        } else {
+            pruned as f64 / total as f64
+        }
+    }
+}
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Writes `BENCH_summary_pruning.json`, refusing to record a prune-rate
+/// regression, and failing under `JPORTAL_BENCH_GATE=1` when the overall
+/// recovery prune rate drops >20% (relative) below the committed file.
+fn write_report(n: &AblationNumbers) {
+    let rate = n.overall_rate();
+    let path = repo_root().join("BENCH_summary_pruning.json");
+    let committed = std::fs::read_to_string(&path).ok();
+
+    if let Some(j) = committed.as_deref() {
+        let base = json_number(j, "recovery_prune_rate");
+        println!(
+            "summary_pruning gate: prune rate {rate:.3} (committed {:.3})",
+            base.unwrap_or(0.0)
+        );
+        if base.map(|b| rate < 0.80 * b).unwrap_or(false) {
+            if gate() {
+                eprintln!("FAILED: recovery prune rate regressed >20% from the committed baseline");
+                std::process::exit(1);
+            }
+            if !force() {
+                println!(
+                    "BENCH_summary_pruning.json NOT overwritten (regression; \
+                     rerun with --force or JPORTAL_BENCH_FORCE=1)"
+                );
+                return;
+            }
+        }
+    }
+
+    // Quick-mode timings are too noisy to become the committed baseline:
+    // gate against it, never rewrite it. (The prune rate itself is
+    // deterministic, but the file carries timings too.)
+    if quick() && committed.is_some() {
+        return;
+    }
+
+    let per_subject: Vec<String> = n
+        .subjects
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"candidates\": {}, \"pruned\": {}, \
+                 \"rate\": {:.3}, \"matcher_pruned\": {}, \"holes\": {}}}",
+                s.name,
+                s.candidates,
+                s.pruned,
+                s.rate(),
+                s.matcher_pruned,
+                s.holes
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"recovery_prune_rate\": {:.3},\n  \
+         \"summary_build_mean_ns\": {:.1},\n  \
+         \"analyze_on_mean_ns\": {:.1},\n  \"analyze_on_min_ns\": {:.1},\n  \
+         \"analyze_off_mean_ns\": {:.1},\n  \"analyze_off_min_ns\": {:.1},\n  \
+         \"analyze_min_ratio_off_over_on\": {:.3},\n  \
+         \"subjects\": [\n{}\n  ]\n}}\n",
+        rate,
+        n.build_mean_ns,
+        n.on_mean_ns,
+        n.on_min_ns,
+        n.off_mean_ns,
+        n.off_min_ns,
+        n.off_min_ns / n.on_min_ns.max(1.0),
+        per_subject.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("BENCH_summary_pruning.json not written: {e}");
+    } else {
+        println!("BENCH_summary_pruning.json: prune rate {rate:.3}");
+    }
+}
+
+/// Regenerates `docs/results/summary_pruning.md`. Skipped in quick mode
+/// when the file exists — CI smoke runs must not overwrite committed
+/// numbers with short-window timings.
+fn write_markdown(n: &AblationNumbers) {
+    let path = repo_root().join("docs/results/summary_pruning.md");
+    if quick() && path.exists() {
+        return;
+    }
+    let mut md = String::from(
+        "# Interprocedural summary pruning (ablation)\n\n\
+         Generated by `cargo bench -p jportal-bench --bench summary_pruning`.\n\n\
+         Lossy runs (PT ring 2500 B, drain 90 B/kc, scale 1). Reports are\n\
+         verified identical with summaries on/off in the same run before\n\
+         anything below is recorded; the prefilter only removes work, never\n\
+         candidates that could win (see `Recovery::with_summaries`).\n\n\
+         | workload | holes | candidates kept | prefilter-pruned | prune rate | matcher pruned |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for s in &n.subjects {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1}% | {} |\n",
+            s.name,
+            s.holes,
+            s.candidates,
+            s.pruned,
+            100.0 * s.rate(),
+            s.matcher_pruned
+        ));
+    }
+    md.push_str(&format!(
+        "\nOverall recovery prune rate: **{:.1}%** (gated: a >20% relative\n\
+         drop fails `JPORTAL_BENCH_GATE=1` runs).\n\n\
+         | measurement | mean | min |\n|---|---|---|\n\
+         | summary fixpoint build | {:.2} ms | — |\n\
+         | analyze, summaries on | {:.2} ms | {:.2} ms |\n\
+         | analyze, summaries off | {:.2} ms | {:.2} ms |\n",
+        100.0 * n.overall_rate(),
+        n.build_mean_ns / 1e6,
+        n.on_mean_ns / 1e6,
+        n.on_min_ns / 1e6,
+        n.off_mean_ns / 1e6,
+        n.off_min_ns / 1e6,
+    ));
+    if let Err(e) = std::fs::write(&path, &md) {
+        eprintln!("docs/results/summary_pruning.md not written: {e}");
+    } else {
+        println!("docs/results/summary_pruning.md regenerated");
+    }
+}
+
+fn bench_summary_pruning(c: &mut Criterion) {
+    // Prune metrics + the same-run equivalence check, measured once.
+    let subjects: Vec<SubjectNumbers> = SUBJECTS.iter().map(|&s| measure_subject(s)).collect();
+
+    // Timed sections: the fixpoint build in isolation, then the full
+    // pipeline in both modes over one representative subject.
+    let w = workload_by_name("h2", 1);
+    let r = lossy_run(&w);
+    let traces = r.traces.as_ref().expect("tracing on");
+    let icfg = Icfg::build(&w.program);
+
+    let mut g = c.benchmark_group("summary_pruning");
+    g.bench_function("summary_table_build", |b| {
+        b.iter(|| SummaryTable::build(&w.program, &icfg))
+    });
+    g.bench_function("analyze_summaries_on", |b| {
+        let jp = JPortal::with_config(&w.program, config(true));
+        b.iter(|| jp.analyze(traces, &r.archive).total_entries())
+    });
+    g.bench_function("analyze_summaries_off", |b| {
+        let jp = JPortal::with_config(&w.program, config(false));
+        b.iter(|| jp.analyze(traces, &r.archive).total_entries())
+    });
+    g.finish();
+
+    let find = |name: &str| {
+        c.results
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} not measured"))
+            .clone()
+    };
+    let build = find("summary_table_build");
+    let on = find("analyze_summaries_on");
+    let off = find("analyze_summaries_off");
+    let numbers = AblationNumbers {
+        subjects,
+        build_mean_ns: build.mean_ns,
+        on_mean_ns: on.mean_ns,
+        on_min_ns: on.min_ns,
+        off_mean_ns: off.mean_ns,
+        off_min_ns: off.min_ns,
+    };
+    write_report(&numbers);
+    write_markdown(&numbers);
+}
+
+criterion_group!(benches, bench_summary_pruning);
+criterion_main!(benches);

@@ -144,6 +144,11 @@ pub struct DfaCacheStats {
     pub misses: u64,
     /// Distinct abstract state-sets interned (including the empty set).
     pub interned: u64,
+    /// Restart candidates rejected by the interprocedural summary filter
+    /// before any DFA probe ran. Filled in by the pipeline (the ANFA
+    /// itself knows nothing about summaries); zero when summaries are
+    /// disabled.
+    pub summary_pruned: u64,
 }
 
 /// The abstract NFA (ANFA) over an [`Icfg`], with memoized ε-closures.
@@ -247,6 +252,7 @@ impl<'a> AbstractNfa<'a> {
             hits: self.hits.value(),
             misses: self.misses.value(),
             interned: self.interner.len() as u64,
+            summary_pruned: 0,
         }
     }
 

@@ -8,7 +8,8 @@
 //! control-flow trace with per-entry provenance.
 
 use jportal_analysis::{
-    lint_steps, lint_steps_journaled, AnalysisIndex, LintDiagnostic, LintStep, LintSummary, Rta,
+    lint_steps_journaled, lint_steps_summarized, AnalysisIndex, LintDiagnostic, LintStep,
+    LintSummary, Rta, SummaryTable,
 };
 use jportal_bytecode::Program;
 use jportal_cfg::abs::{AbstractNfa, DfaCacheStats};
@@ -44,6 +45,20 @@ pub struct JPortalConfig {
     /// Run the trace-feasibility linter over every reconstructed thread
     /// timeline and attach the diagnostics to the report.
     pub lint: bool,
+    /// Build interprocedural method summaries (an abstract-interpretation
+    /// fixpoint over the ICFG, see `jportal_analysis::summary`) and wire
+    /// them through the pipeline: the §4 matcher screens restart
+    /// candidates by method alphabet before the abstract-DFA probe, §5
+    /// recovery pre-filters complete-segment candidates that provably
+    /// cannot pass the hole's confirm scan, and the linter tracks the
+    /// call stack across seams instead of resetting it. Reconstructed
+    /// timelines are **identical** with this on or off (the matcher
+    /// filter is subsumed by the abstract filter; prefiltered recovery
+    /// candidates still rank exactly as before, they just skip the
+    /// speculative scoring work — see `Recovery::with_summaries`) — only
+    /// prune-rate diagnostics, journal decisions and lint precision
+    /// change. Off is the ablation baseline.
+    pub summaries: bool,
     /// Worker threads for the offline fan-out: `None` uses every core,
     /// `Some(1)` is the exact legacy sequential path (no threads spawned).
     ///
@@ -69,6 +84,7 @@ impl Default for JPortalConfig {
             disable_recovery: false,
             devirtualize: true,
             lint: true,
+            summaries: true,
             parallelism: None,
             observability: true,
         }
@@ -193,6 +209,10 @@ pub struct JPortal<'p> {
     /// any parallel fan-out so every worker reads the same immutable
     /// index — part of the determinism contract.
     analysis: AnalysisIndex,
+    /// Interprocedural method summaries, built once over the (possibly
+    /// RTA-refined) ICFG and shared read-only by every worker; `None`
+    /// when [`JPortalConfig::summaries`] is off.
+    summaries: Option<SummaryTable>,
     config: JPortalConfig,
     /// Telemetry sink shared by every stage; inert when
     /// [`JPortalConfig::observability`] is off.
@@ -214,10 +234,14 @@ impl<'p> JPortal<'p> {
         } else {
             Icfg::build(program)
         };
+        let summaries = config
+            .summaries
+            .then(|| SummaryTable::build(program, &icfg));
         JPortal {
             program,
             icfg,
             analysis: AnalysisIndex::build(program),
+            summaries,
             obs: Obs::new(config.observability),
             config,
         }
@@ -231,6 +255,13 @@ impl<'p> JPortal<'p> {
     /// The static-fact index (exposed for clients and diagnostics).
     pub fn analysis(&self) -> &AnalysisIndex {
         &self.analysis
+    }
+
+    /// The interprocedural summary table, when
+    /// [`JPortalConfig::summaries`] is on (exposed for clients and
+    /// diagnostics).
+    pub fn summaries(&self) -> Option<&SummaryTable> {
+        self.summaries.as_ref()
     }
 
     /// The telemetry handle (for registering client metrics or opening
@@ -345,6 +376,7 @@ impl<'p> JPortal<'p> {
                         &anfa,
                         &decoded.events,
                         &self.config.projection,
+                        self.summaries.as_ref(),
                         &mut scratch,
                     );
                     arena_hw.set_max(scratch.arena_high_water() as u64);
@@ -429,6 +461,8 @@ impl<'p> JPortal<'p> {
                 .add(sum(|t| t.projection.candidates_tried));
             reg.counter("core.project.candidates_pruned")
                 .add(sum(|t| t.projection.candidates_pruned));
+            reg.counter("core.project.summary_pruned")
+                .add(sum(|t| t.projection.summary_pruned));
             reg.counter("core.recover.holes")
                 .add(sum(|t| t.recovery.holes));
             reg.counter("core.recover.filled_from_cs")
@@ -445,6 +479,8 @@ impl<'p> JPortal<'p> {
                 .add(sum(|t| t.recovery.pruned_tier1));
             reg.counter("core.recover.pruned_tier2")
                 .add(sum(|t| t.recovery.pruned_tier2));
+            reg.counter("core.recover.summary_pruned")
+                .add(sum(|t| t.recovery.summary_pruned));
             reg.counter("core.recover.fallback_walks")
                 .add(sum(|t| t.recovery.fallback_walks));
             reg.counter("core.recover.budget_truncations")
@@ -456,9 +492,17 @@ impl<'p> JPortal<'p> {
         // `thread_pieces` was sorted by thread id and every join above is
         // order-preserving, so the report is already deterministically
         // sorted.
+        let mut dfa_cache = anfa.dfa_stats();
+        // The summary filter runs in front of the DFA, so its prune count
+        // belongs with the DFA cache diagnostics; summed from the
+        // deterministically merged per-thread stats.
+        dfa_cache.summary_pruned = threads
+            .iter()
+            .map(|t| t.projection.summary_pruned as u64)
+            .sum();
         JPortalReport {
             threads,
-            dfa_cache: anfa.dfa_stats(),
+            dfa_cache,
             collection,
             quality,
         }
@@ -499,9 +543,13 @@ impl<'p> JPortal<'p> {
         // Assemble the timeline, recovering across lossy boundaries.
         let mut recovery_stats = RecoveryStats::default();
         let mut holes = Vec::new();
-        let recovery = Recovery::new(self.program, &self.icfg, &compacted, self.config.recovery)
-            .with_workers(recovery_workers)
-            .with_dominators(&self.analysis);
+        let mut recovery =
+            Recovery::new(self.program, &self.icfg, &compacted, self.config.recovery)
+                .with_workers(recovery_workers)
+                .with_dominators(&self.analysis);
+        if let Some(table) = self.summaries.as_ref() {
+            recovery = recovery.with_summaries(table);
+        }
         let mut entries: Vec<TraceEntry> = Vec::new();
         let mut steps: Vec<LintStep> = Vec::new();
         let mut fills: Vec<FillQuality> = Vec::new();
@@ -558,14 +606,16 @@ impl<'p> JPortal<'p> {
                     origin: TraceOrigin::Decoded,
                 });
                 // Segment starts are always seams (a hole or a fresh trace
-                // buffer precedes them); within a segment, projection
-                // restarts (`breaks`) mark positions with no edge
-                // guarantee to their predecessor.
+                // buffer precedes them, so events may be missing — lossy);
+                // within a segment, projection restarts (`breaks`) mark
+                // positions with no edge guarantee to their predecessor,
+                // but every hardware-observed event in between is present.
                 steps.push(LintStep {
                     node: *node,
                     op: e.sym.op,
                     dir: e.sym.dir,
                     boundary: idx == 0 || seg.breaks.binary_search(&idx).is_ok(),
+                    lossy: idx == 0,
                 });
             }
         }
@@ -579,9 +629,16 @@ impl<'p> JPortal<'p> {
                 // Lint breaks go under the reserved segment key so they
                 // sort after every per-segment decision for the thread.
                 recorder.set_segment(jportal_obs::journal::LINT_SEGMENT);
-                lint_steps_journaled(self.program, &self.icfg, &steps, obs, &mut recorder)
+                lint_steps_journaled(
+                    self.program,
+                    &self.icfg,
+                    &steps,
+                    self.summaries.as_ref(),
+                    obs,
+                    &mut recorder,
+                )
             } else {
-                lint_steps(self.program, &self.icfg, &steps)
+                lint_steps_summarized(self.program, &self.icfg, &steps, self.summaries.as_ref())
             }
         } else {
             Vec::new()

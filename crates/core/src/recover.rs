@@ -16,7 +16,7 @@
 //! timestamp budget; if no CS works, a bounded ICFG walk connects the two
 //! sides (the paper's random-path fallback).
 
-use jportal_analysis::{AnalysisIndex, LintStep};
+use jportal_analysis::{AnalysisIndex, LintStep, SummaryTable};
 use jportal_bytecode::{Bci, MethodId, OpKind, Program};
 use jportal_cfg::{FxHashMap, Icfg, NodeId, Sym, Tier};
 use jportal_ipt::ring::LossRecord;
@@ -140,6 +140,16 @@ pub struct RecoveryStats {
     pub pruned_tier1: usize,
     /// Candidates rejected at tier 2.
     pub pruned_tier2: usize,
+    /// Candidates rejected by the summary prefilter: the candidate's
+    /// suffix provably contains no confirm window for this hole (checked
+    /// against the per-segment op-kind position index), so it can never
+    /// be chosen as the fill. Pruned candidates still run through the
+    /// search gates and ranking — which keeps the chosen fill identical
+    /// to a run without the prefilter — but skip the parallel path's
+    /// speculative tier scans and all per-candidate journaling. Not
+    /// counted in [`RecoveryStats::candidates`] (nor in the tier-prune
+    /// tallies).
+    pub summary_pruned: usize,
     /// Fallback ICFG walks attempted (successful or not); always ≥
     /// [`RecoveryStats::filled_by_walk`].
     pub fallback_walks: usize,
@@ -161,6 +171,7 @@ impl RecoveryStats {
         self.candidates += other.candidates;
         self.pruned_tier1 += other.pruned_tier1;
         self.pruned_tier2 += other.pruned_tier2;
+        self.summary_pruned += other.summary_pruned;
         self.fallback_walks += other.fallback_walks;
         self.budget_truncations += other.budget_truncations;
     }
@@ -186,6 +197,19 @@ impl RecoveryStats {
             0.0
         } else {
             self.pruned_tier2 as f64 / self.candidates as f64
+        }
+    }
+
+    /// Fraction of the raw candidate set rejected by the interprocedural
+    /// summary prefilter, over the *whole* set (survivors plus pruned) —
+    /// the denominator the tier rates never see. `0.0` when nothing was
+    /// considered.
+    pub fn summary_prune_rate(&self) -> f64 {
+        let total = self.candidates + self.summary_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.summary_pruned as f64 / total as f64
         }
     }
 }
@@ -270,10 +294,15 @@ struct IndexedSegment {
     t1: Vec<u32>,
     /// Positions of tier-2 (control) symbols.
     t2: Vec<u32>,
+    /// Positions of each [`OpKind`] in `syms`, indexed by
+    /// [`OpKind::index`]. Empty until [`IndexedSegment::build_op_index`]
+    /// runs (only the summary prefilter reads it).
+    op_pos: Vec<Vec<u32>>,
 }
 
 impl IndexedSegment {
-    fn new(events: &[BcEvent]) -> IndexedSegment {
+    fn new(view: &SegmentView) -> IndexedSegment {
+        let events = &view.events;
         let syms: Vec<Sym> = events.iter().map(|e| e.sym).collect();
         let mut t1 = Vec::new();
         let mut t2 = Vec::new();
@@ -287,7 +316,24 @@ impl IndexedSegment {
                 Tier::Concrete => {}
             }
         }
-        IndexedSegment { syms, t1, t2 }
+        IndexedSegment {
+            syms,
+            t1,
+            t2,
+            op_pos: Vec::new(),
+        }
+    }
+
+    /// Builds the per-[`OpKind`] position index used by the summary
+    /// prefilter's confirm-window feasibility check.
+    fn build_op_index(&mut self) {
+        if !self.op_pos.is_empty() {
+            return;
+        }
+        self.op_pos = vec![Vec::new(); OpKind::ALL.len()];
+        for (i, s) in self.syms.iter().enumerate() {
+            self.op_pos[s.op.index()].push(i as u32);
+        }
     }
 
     /// Number of tier-l symbols at or before position `end` (exclusive).
@@ -347,6 +393,20 @@ impl IndexedSegment {
 /// A CS candidate: `(segment index, anchor end offset)` — the anchor's
 /// last symbol sits at `offset` (inclusive) in that segment.
 type Candidate = (usize, usize);
+
+/// Per-hole confirm-window context handed to the summary prefilter: the
+/// post-hole window the winning fill must reproduce and the hole's
+/// timestamp budget (both exactly as the confirm scan will use them).
+struct ConfirmCtx<'w> {
+    post_window: &'w [Sym],
+    budget: usize,
+}
+
+/// Occurrence probes [`Recovery::can_confirm`] spends per candidate
+/// before giving up and keeping it. Keeps the prefilter's worst case
+/// (a window of ubiquitous op kinds) cheaper than the scoring it
+/// short-circuits; an undecided candidate is simply not pruned.
+const CONFIRM_PROBE_CAP: usize = 64;
 
 /// Key of the anchor index: the opcode sequence of an anchor window.
 ///
@@ -472,6 +532,9 @@ pub struct Recovery<'a> {
     workers: usize,
     /// Per-method dominator facts for anchor ranking (optional).
     doms: Option<&'a AnalysisIndex>,
+    /// Interprocedural method summaries for candidate prefiltering
+    /// (optional; see [`Recovery::with_summaries`]).
+    summaries: Option<&'a SummaryTable>,
     indexed: Vec<IndexedSegment>,
     /// Anchor index: packed op-kind key → candidate positions.
     anchor_index: FxHashMap<AnchorKey, Vec<Candidate>>,
@@ -485,10 +548,7 @@ impl<'a> Recovery<'a> {
         segments: &[SegmentView],
         cfg: RecoveryConfig,
     ) -> Recovery<'a> {
-        let indexed: Vec<IndexedSegment> = segments
-            .iter()
-            .map(|s| IndexedSegment::new(&s.events))
-            .collect();
+        let indexed: Vec<IndexedSegment> = segments.iter().map(IndexedSegment::new).collect();
         let x = cfg.anchor_len;
         let mut anchor_index: FxHashMap<AnchorKey, Vec<Candidate>> = FxHashMap::default();
         for (si, seg) in indexed.iter().enumerate() {
@@ -507,6 +567,7 @@ impl<'a> Recovery<'a> {
             cfg,
             workers: 1,
             doms: None,
+            summaries: None,
             indexed,
             anchor_index,
         }
@@ -535,8 +596,45 @@ impl<'a> Recovery<'a> {
         self
     }
 
-    /// Candidate CS positions for an IS ending with `anchor` syms.
-    fn candidates(&self, is_seg: usize, anchor: &[Sym]) -> Vec<Candidate> {
+    /// Enables the summary prefilter. When present, candidates whose
+    /// suffix **provably cannot contain this hole's confirm window**
+    /// (the `y` post-hole symbols, within budget) are identified before
+    /// the search runs — they can never be chosen as the fill. The check
+    /// is **exact** up to a probe cap (an undecided candidate is kept),
+    /// and pruned candidates still flow through Algorithm 4's gates and
+    /// ranking unchanged (see [`Recovery::search_abstraction`]), so
+    /// reconstructed timelines are identical with the prefilter on or
+    /// off; what pruning buys is the skipped speculative tier scans in
+    /// the parallel path, the journal-noise reduction, and the
+    /// `summary_pruned` diagnostics.
+    ///
+    /// Method-identity-based pruning (matching the candidate's located
+    /// method against the IS's) was deliberately rejected: a projection
+    /// restart can *relocate* a run to any window-matching position, so
+    /// located method identity is not trustworthy evidence on lossy
+    /// input — the same reasoning that grades the linter's frame checks
+    /// (see `jportal_analysis::lint`). Only op-kind facts recorded by
+    /// the hardware survive relocation, and this prefilter uses nothing
+    /// else.
+    pub fn with_summaries(mut self, summaries: &'a SummaryTable) -> Recovery<'a> {
+        self.summaries = Some(summaries);
+        for seg in &mut self.indexed {
+            seg.build_op_index();
+        }
+        self
+    }
+
+    /// Candidate CS positions for an IS ending with `anchor` syms, each
+    /// tagged `true` if the summary prefilter proved it can never
+    /// confirm for the hole described by `ctx` (pruned counts land in
+    /// [`RecoveryStats::summary_pruned`], not in
+    /// [`RecoveryStats::candidates`]).
+    fn candidates(
+        &self,
+        is_seg: usize,
+        anchor: &[Sym],
+        ctx: Option<&ConfirmCtx<'_>>,
+    ) -> Vec<(Candidate, bool)> {
         let key = AnchorKey::of(anchor);
         let is_end = self.indexed[is_seg].syms.len() - 1;
         self.anchor_index
@@ -546,9 +644,64 @@ impl<'a> Recovery<'a> {
                     .copied()
                     // The IS's own tail is not a usable CS for itself.
                     .filter(|&(si, end)| !(si == is_seg && end == is_end))
+                    .map(|cand| {
+                        let dead = match ctx {
+                            Some(c) if self.summaries.is_some() => !self.can_confirm(cand, c),
+                            _ => false,
+                        };
+                        (cand, dead)
+                    })
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    /// `true` unless candidate `(si, end)`'s suffix provably contains no
+    /// window matching `ctx.post_window` within `ctx.budget` — the exact
+    /// success condition of the confirm scan in
+    /// [`Recovery::fill_hole_with`]. The scan walks the occurrences of
+    /// the window's rarest op kind (per-segment position index), so a
+    /// hopeless candidate is usually rejected in O(log n); after
+    /// [`CONFIRM_PROBE_CAP`] occurrence probes the candidate is kept
+    /// (undecided ⇒ alive keeps the prefilter sound).
+    fn can_confirm(&self, (si, end): Candidate, ctx: &ConfirmCtx<'_>) -> bool {
+        let cs = &self.indexed[si];
+        let suffix_start = end + 1;
+        let y = ctx.post_window.len();
+        let len = cs.syms.len();
+        let available = len - suffix_start;
+        if available < y {
+            return false;
+        }
+        // Highest window start the confirm scan would try: `d` is capped
+        // by the budget and the window must fit inside the segment.
+        let hi = (suffix_start + ctx.budget.min(available)).min(len - y);
+        let k_rare = (0..y)
+            .min_by_key(|&k| cs.op_pos[ctx.post_window[k].op.index()].len())
+            .unwrap_or(0);
+        let positions = &cs.op_pos[ctx.post_window[k_rare].op.index()];
+        let lo = suffix_start + k_rare;
+        let mut probes = 0usize;
+        for &p in &positions[positions.partition_point(|&q| (q as usize) < lo)..] {
+            let p = p as usize;
+            if p > hi + k_rare {
+                break;
+            }
+            probes += 1;
+            if probes > CONFIRM_PROBE_CAP {
+                return true;
+            }
+            let from = p - k_rare;
+            if ctx
+                .post_window
+                .iter()
+                .enumerate()
+                .all(|(k, &s)| sym_compat(cs.syms[from + k], s))
+            {
+                return true;
+            }
+        }
+        false
     }
 
     /// **Algorithm 3**: naive CS search — full concrete comparison per
@@ -561,13 +714,14 @@ impl<'a> Recovery<'a> {
         is_seg: usize,
         stats: &mut RecoveryStats,
     ) -> Vec<(Candidate, usize)> {
-        self.search_naive_journaled(is_seg, stats, &mut CandidateJournal::new(None, 0))
+        self.search_naive_journaled(is_seg, stats, None, &mut CandidateJournal::new(None, 0))
     }
 
     fn search_naive_journaled(
         &self,
         is_seg: usize,
         stats: &mut RecoveryStats,
+        ctx: Option<&ConfirmCtx<'_>>,
         journal: &mut CandidateJournal<'_, '_>,
     ) -> Vec<(Candidate, usize)> {
         let is = &self.indexed[is_seg];
@@ -575,15 +729,14 @@ impl<'a> Recovery<'a> {
             return Vec::new();
         }
         let anchor = &is.syms[is.syms.len() - self.cfg.anchor_len..];
-        let cands = self.candidates(is_seg, anchor);
-        stats.candidates += cands.len();
+        let cands = self.candidates(is_seg, anchor, ctx);
         let workers = if cands.len() >= PAR_CANDIDATES_MIN {
             self.workers
         } else {
             1
         };
-        let mut scored: Vec<(Candidate, usize)> =
-            jportal_par::par_map(workers, &cands, |_, &cand| {
+        let mut scored: Vec<((Candidate, bool), usize)> =
+            jportal_par::par_map(workers, &cands, |_, &(cand, dead)| {
                 let (si, end) = cand;
                 let m3 = is.tier_suffix(
                     is.syms.len(),
@@ -592,16 +745,23 @@ impl<'a> Recovery<'a> {
                     Tier::Concrete,
                     usize::MAX,
                 );
-                (cand, m3)
+                ((cand, dead), m3)
             });
         // Journal after the join, in candidate order — the event stream
-        // never depends on worker scheduling.
-        for (rank, &(cand, score)) in scored.iter().enumerate() {
-            journal.consider(rank as u32, cand, CandidateOutcome::Scored, score);
+        // never depends on worker scheduling. Prefilter-pruned
+        // candidates keep their score (the ranking must be identical
+        // with the prefilter off) but are not journaled individually.
+        for (rank, &((cand, dead), score)) in scored.iter().enumerate() {
+            if dead {
+                stats.summary_pruned += 1;
+            } else {
+                stats.candidates += 1;
+                journal.consider(rank as u32, cand, CandidateOutcome::Scored, score);
+            }
         }
         scored.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
         scored.truncate(self.cfg.top_n);
-        scored
+        scored.into_iter().map(|((c, _), s)| (c, s)).collect()
     }
 
     /// **Algorithm 4**: abstraction-guided CS search with tier-1/tier-2
@@ -621,13 +781,24 @@ impl<'a> Recovery<'a> {
         is_seg: usize,
         stats: &mut RecoveryStats,
     ) -> Vec<(Candidate, usize)> {
-        self.search_abstraction_journaled(is_seg, stats, &mut CandidateJournal::new(None, 0))
+        self.search_abstraction_journaled(is_seg, stats, None, &mut CandidateJournal::new(None, 0))
     }
 
+    /// Prefilter-pruned candidates are processed through **exactly** the
+    /// same gates, maxima updates and ranking as live ones — the ranked
+    /// list (and therefore the chosen fill) is identical with the
+    /// prefilter on or off by construction, not by a theorem about what
+    /// pruning may drop. What they skip: the speculative *uncapped*
+    /// tier-1/tier-2 suffix scans of the parallel path (their capped
+    /// values are computed lazily during the sequential replay, which
+    /// yields bit-identical measurements) and all per-candidate journal
+    /// events; they are tallied as [`RecoveryStats::summary_pruned`]
+    /// instead of [`RecoveryStats::candidates`].
     fn search_abstraction_journaled(
         &self,
         is_seg: usize,
         stats: &mut RecoveryStats,
+        ctx: Option<&ConfirmCtx<'_>>,
         journal: &mut CandidateJournal<'_, '_>,
     ) -> Vec<(Candidate, usize)> {
         let is = &self.indexed[is_seg];
@@ -635,18 +806,30 @@ impl<'a> Recovery<'a> {
             return Vec::new();
         }
         let anchor = &is.syms[is.syms.len() - self.cfg.anchor_len..];
-        let cands = self.candidates(is_seg, anchor);
+        let cands = self.candidates(is_seg, anchor, ctx);
 
         if self.workers > 1 && cands.len() >= PAR_CANDIDATES_MIN {
-            // Speculative parallel scoring: uncapped suffixes for all.
+            // Speculative parallel scoring: uncapped suffixes for live
+            // candidates; pruned ones only need the concrete tier.
             let scores: Vec<(usize, usize, usize)> =
-                jportal_par::par_map(self.workers, &cands, |_, &(si, end)| {
+                jportal_par::par_map(self.workers, &cands, |_, &((si, end), dead)| {
                     let cs = &self.indexed[si];
-                    (
-                        is.tier_suffix(is.syms.len(), cs, end + 1, Tier::CallStructure, usize::MAX),
-                        is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Control, usize::MAX),
-                        is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Concrete, usize::MAX),
-                    )
+                    let s3 = is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Concrete, usize::MAX);
+                    if dead {
+                        (0, 0, s3)
+                    } else {
+                        (
+                            is.tier_suffix(
+                                is.syms.len(),
+                                cs,
+                                end + 1,
+                                Tier::CallStructure,
+                                usize::MAX,
+                            ),
+                            is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Control, usize::MAX),
+                            s3,
+                        )
+                    }
                 });
             // Sequential replay of the pruning decisions. The journal
             // emits here (not in the fan-out above): the replay reproduces
@@ -654,19 +837,41 @@ impl<'a> Recovery<'a> {
             // events are identical to the sequential scan's.
             let mut best: Vec<(Candidate, usize)> = Vec::new();
             let (mut m1, mut m2, mut m3) = (0usize, 0usize, 0usize);
-            for (rank, (&cand, &(s1, s2, s3))) in cands.iter().zip(&scores).enumerate() {
-                stats.candidates += 1;
+            for (rank, (&(cand, dead), &(s1, s2, s3))) in cands.iter().zip(&scores).enumerate() {
+                let (si, end) = cand;
+                let cs = &self.indexed[si];
+                if dead {
+                    stats.summary_pruned += 1;
+                } else {
+                    stats.candidates += 1;
+                }
                 let full = self.cfg.top_n > best.len();
-                let ml1 = s1.min(m1 + 64);
+                // Dead candidates skipped the speculative tier-1/tier-2
+                // scans; measure their capped suffixes here so the gate
+                // decisions (and the maxima they feed) match the
+                // prefilter-off run bit for bit.
+                let ml1 = if dead {
+                    is.tier_suffix(is.syms.len(), cs, end + 1, Tier::CallStructure, m1 + 64)
+                } else {
+                    s1.min(m1 + 64)
+                };
                 if !full && ml1 < m1 {
-                    stats.pruned_tier1 += 1;
-                    journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier1, ml1);
+                    if !dead {
+                        stats.pruned_tier1 += 1;
+                        journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier1, ml1);
+                    }
                     continue;
                 }
-                let ml2 = s2.min(m2 + 64);
+                let ml2 = if dead {
+                    is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Control, m2 + 64)
+                } else {
+                    s2.min(m2 + 64)
+                };
                 if !full && ml2 < m2 {
-                    stats.pruned_tier2 += 1;
-                    journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier2, ml2);
+                    if !dead {
+                        stats.pruned_tier2 += 1;
+                        journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier2, ml2);
+                    }
                     continue;
                 }
                 let ml3 = s3;
@@ -675,7 +880,9 @@ impl<'a> Recovery<'a> {
                     m1 = ml1;
                     m2 = ml2;
                 }
-                journal.consider(rank as u32, cand, CandidateOutcome::Scored, ml3);
+                if !dead {
+                    journal.consider(rank as u32, cand, CandidateOutcome::Scored, ml3);
+                }
                 best.push((cand, ml3));
                 best.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
                 best.truncate(self.cfg.top_n);
@@ -687,22 +894,30 @@ impl<'a> Recovery<'a> {
         // Running maxima ⟨m1, m2, m3⟩ of Algorithm 4; pruning compares
         // against the weakest kept candidate when the list is full.
         let (mut m1, mut m2, mut m3) = (0usize, 0usize, 0usize);
-        for (rank, cand) in cands.into_iter().enumerate() {
-            stats.candidates += 1;
+        for (rank, (cand, dead)) in cands.into_iter().enumerate() {
             let (si, end) = cand;
             let cs = &self.indexed[si];
+            if dead {
+                stats.summary_pruned += 1;
+            } else {
+                stats.candidates += 1;
+            }
             let full = self.cfg.top_n > best.len();
             // Tier 1: cheap test first.
             let ml1 = is.tier_suffix(is.syms.len(), cs, end + 1, Tier::CallStructure, m1 + 64);
             if !full && ml1 < m1 {
-                stats.pruned_tier1 += 1;
-                journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier1, ml1);
+                if !dead {
+                    stats.pruned_tier1 += 1;
+                    journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier1, ml1);
+                }
                 continue;
             }
             let ml2 = is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Control, m2 + 64);
             if !full && ml2 < m2 {
-                stats.pruned_tier2 += 1;
-                journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier2, ml2);
+                if !dead {
+                    stats.pruned_tier2 += 1;
+                    journal.consider(rank as u32, cand, CandidateOutcome::PrunedTier2, ml2);
+                }
                 continue;
             }
             let ml3 = is.tier_suffix(is.syms.len(), cs, end + 1, Tier::Concrete, usize::MAX);
@@ -711,7 +926,9 @@ impl<'a> Recovery<'a> {
                 m1 = ml1;
                 m2 = ml2;
             }
-            journal.consider(rank as u32, cand, CandidateOutcome::Scored, ml3);
+            if !dead {
+                journal.consider(rank as u32, cand, CandidateOutcome::Scored, ml3);
+            }
             best.push((cand, ml3));
             best.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
             best.truncate(self.cfg.top_n);
@@ -794,14 +1011,36 @@ impl<'a> Recovery<'a> {
                 budget: budget as u64,
             });
         }
+        let pre_candidates = stats.candidates;
+        let pre_summary_pruned = stats.summary_pruned;
+        // Confirm-window context for the summary prefilter: exactly the
+        // window and budget the confirm scan below will use. An empty
+        // post window means nothing can ever confirm, so there is no
+        // point prefiltering.
+        let post_window = &post.syms[..self.cfg.confirm_len.min(post.syms.len())];
+        let ctx = (!post_window.is_empty()).then_some(ConfirmCtx {
+            post_window,
+            budget,
+        });
         let mut journal =
             CandidateJournal::new(recorder.is_enabled().then_some(&mut *recorder), hole);
         let mut ranked = if self.cfg.use_abstraction {
-            self.search_abstraction_journaled(is_seg, stats, &mut journal)
+            self.search_abstraction_journaled(is_seg, stats, ctx.as_ref(), &mut journal)
         } else {
-            self.search_naive_journaled(is_seg, stats, &mut journal)
+            self.search_naive_journaled(is_seg, stats, ctx.as_ref(), &mut journal)
         };
         journal.finish();
+        if self.summaries.is_some() {
+            let pruned = stats.summary_pruned - pre_summary_pruned;
+            let considered = stats.candidates - pre_candidates + pruned;
+            if considered > 0 {
+                recorder.emit(JournalEvent::SummaryPrefilter {
+                    hole,
+                    considered: considered as u32,
+                    pruned: pruned as u32,
+                });
+            }
+        }
         self.rank_with_dominators(&mut ranked, segments, post_seg);
 
         let y = self.cfg.confirm_len;
@@ -989,11 +1228,14 @@ impl<'a> Recovery<'a> {
             // The splice itself is a seam; inside the window, the CS's own
             // projection seams carry over.
             let boundary = k == 0 || cs.breaks.binary_search(&(from + k)).is_ok();
+            // Spliced content stands in for events the hardware dropped:
+            // every seam inside it is lossy for the linter.
             fill.steps.push(LintStep {
                 node,
                 op: e.sym.op,
                 dir: e.sym.dir,
                 boundary,
+                lossy: boundary,
             });
         }
         fill
@@ -1127,16 +1369,13 @@ mod tests {
 
     #[test]
     fn indexed_segment_tiers() {
-        let seg = IndexedSegment::new(
-            &seg_from_ops(&[
-                OpKind::Iload,
-                OpKind::InvokeStatic,
-                OpKind::Ifeq,
-                OpKind::Iadd,
-                OpKind::Ireturn,
-            ])
-            .events,
-        );
+        let seg = IndexedSegment::new(&seg_from_ops(&[
+            OpKind::Iload,
+            OpKind::InvokeStatic,
+            OpKind::Ifeq,
+            OpKind::Iadd,
+            OpKind::Ireturn,
+        ]));
         assert_eq!(seg.t1, vec![1, 4]);
         assert_eq!(seg.t2, vec![1, 2, 4]);
         assert_eq!(seg.tier_count_before(Tier::CallStructure, 5), 2);
@@ -1147,12 +1386,18 @@ mod tests {
     #[test]
     fn tier_suffix_lengths_obey_lemma_5_4() {
         // |α_l(ω0) ◦ α_l(ω1)| ≥ |α_l(ω0 ◦ ω1)| spot check.
-        let a = IndexedSegment::new(
-            &seg_from_ops(&[OpKind::Iload, OpKind::Ifeq, OpKind::Iadd, OpKind::Istore]).events,
-        );
-        let b = IndexedSegment::new(
-            &seg_from_ops(&[OpKind::Istore, OpKind::Ifeq, OpKind::Iadd, OpKind::Istore]).events,
-        );
+        let a = IndexedSegment::new(&seg_from_ops(&[
+            OpKind::Iload,
+            OpKind::Ifeq,
+            OpKind::Iadd,
+            OpKind::Istore,
+        ]));
+        let b = IndexedSegment::new(&seg_from_ops(&[
+            OpKind::Istore,
+            OpKind::Ifeq,
+            OpKind::Iadd,
+            OpKind::Istore,
+        ]));
         let m3 = a.tier_suffix(4, &b, 4, Tier::Concrete, usize::MAX);
         assert_eq!(m3, 3);
         let m2 = a.tier_suffix(4, &b, 4, Tier::Control, usize::MAX);
@@ -1160,6 +1405,89 @@ mod tests {
         // Abstract suffix can only be ≥ the abstraction of the concrete
         // common suffix (here: equal).
         assert!(m2 >= 1);
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The summary prefilter's `can_confirm` must agree exactly with the
+    /// literal confirm-scan success condition of `fill_hole_with` (scan
+    /// `d ∈ 0..=budget.min(available)` for a window match): a pruned
+    /// candidate that the scan would actually confirm changes the chosen
+    /// fill, breaking the on/off report equivalence. Segments stay below
+    /// [`CONFIRM_PROBE_CAP`] occurrences so the cap never forces a
+    /// conservative "alive" answer and the check must be *exact*, not
+    /// just sound.
+    #[test]
+    fn confirm_prefilter_matches_literal_confirm_scan() {
+        use OpKind as O;
+        let (p, icfg) = tiny_program();
+        let pool = [
+            O::Iadd,
+            O::Isub,
+            O::Dup,
+            O::Pop,
+            O::Ifeq,
+            O::InvokeStatic,
+            O::Ireturn,
+        ];
+        let mut s = 0x5EED_u64;
+        let mut pruned = 0usize;
+        let mut alive = 0usize;
+        for _ in 0..200 {
+            let len = 3 + (splitmix(&mut s) % 60) as usize;
+            let ops: Vec<OpKind> = (0..len)
+                .map(|_| pool[(splitmix(&mut s) % pool.len() as u64) as usize])
+                .collect();
+            let segs = vec![seg_from_ops(&ops)];
+            let mut rec = Recovery::new(&p, &icfg, &segs, RecoveryConfig::default());
+            for seg in &mut rec.indexed {
+                seg.build_op_index();
+            }
+            for _ in 0..20 {
+                let end = (splitmix(&mut s) % len as u64) as usize;
+                let y = 1 + (splitmix(&mut s) % 5) as usize;
+                let window: Vec<Sym> = (0..y)
+                    .map(|_| sym(pool[(splitmix(&mut s) % pool.len() as u64) as usize]))
+                    .collect();
+                let budget = (splitmix(&mut s) % 40) as usize;
+                let got = rec.can_confirm(
+                    (0, end),
+                    &ConfirmCtx {
+                        post_window: &window,
+                        budget,
+                    },
+                );
+                // Literal reimplementation of the confirm scan.
+                let suffix_start = end + 1;
+                let available = len.saturating_sub(suffix_start);
+                let expect = (0..=budget.min(available)).any(|d| {
+                    let from = suffix_start + d;
+                    from + y <= len
+                        && window
+                            .iter()
+                            .enumerate()
+                            .all(|(k, &w)| sym_compat(sym(ops[from + k]), w))
+                });
+                assert_eq!(
+                    got, expect,
+                    "ops={ops:?} end={end} window={window:?} budget={budget}"
+                );
+                if expect {
+                    alive += 1;
+                } else {
+                    pruned += 1;
+                }
+            }
+        }
+        // The sweep must actually exercise both verdicts.
+        assert!(pruned > 100, "too few unconfirmable cases: {pruned}");
+        assert!(alive > 100, "too few confirmable cases: {alive}");
     }
 
     /// Builds the paper's Figure 6 scenario: an IS `…XEF⋄` with the true

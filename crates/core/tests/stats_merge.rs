@@ -28,6 +28,7 @@ fn random_projection(rng: &mut Rng) -> ProjectionStats {
         restarts: rng.small(),
         candidates_tried: rng.small(),
         candidates_pruned: rng.small(),
+        summary_pruned: rng.small(),
         dfa_runs: rng.small(),
         frontier_width_max: rng.small(),
     }
@@ -43,6 +44,7 @@ fn random_recovery(rng: &mut Rng) -> RecoveryStats {
         candidates: rng.small(),
         pruned_tier1: rng.small(),
         pruned_tier2: rng.small(),
+        summary_pruned: rng.small(),
         fallback_walks: rng.small(),
         budget_truncations: rng.small(),
     }

@@ -55,6 +55,7 @@ const KNOWN_KINDS: &[&str] = &[
     "candidate_chosen",
     "fallback_walk",
     "hole_unfilled",
+    "summary_prefilter",
     "lint_break",
     "journal_summary",
 ];

@@ -1,0 +1,245 @@
+//! Ablation equivalence for interprocedural summaries
+//! ([`JPortalConfig::summaries`]): the summary-pruned matcher and
+//! recovery prefilter must reproduce the unpruned pipeline's reports
+//! byte-for-byte on every seed workload — clean, lossy, and with the
+//! trace bytes corrupted or truncated — while actually pruning work
+//! (journal-cross-checked candidate reduction).
+//!
+//! The matcher filter is *provably* subsumed by the abstract-DFA filter
+//! (it only rejects candidates the DFA would reject), so projections are
+//! identical by construction; the recovery prefilter is validated here
+//! empirically. Only the prune-statistics bookkeeping may differ between
+//! modes, so reports are compared after folding those counters to the
+//! mode-independent totals.
+
+use jportal::core::{JPortal, JPortalConfig, JPortalReport};
+use jportal::ipt::CollectedTraces;
+use jportal::jvm::{Jvm, JvmConfig};
+use jportal::obs::JournalEvent;
+use jportal::workloads::{all_workloads, Workload};
+
+/// Deterministic pseudo-random stream (SplitMix64) for corruption.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn jvm_config(w: &Workload, lossy: bool) -> JvmConfig {
+    JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        pt_buffer_capacity: if lossy {
+            2500
+        } else {
+            JvmConfig::default().pt_buffer_capacity
+        },
+        drain_bytes_per_kilocycle: if lossy {
+            90
+        } else {
+            JvmConfig::default().drain_bytes_per_kilocycle
+        },
+        ..JvmConfig::default()
+    }
+}
+
+fn config(summaries: bool) -> JPortalConfig {
+    JPortalConfig {
+        summaries,
+        ..JPortalConfig::default()
+    }
+}
+
+/// Folds the mode-dependent prune counters into their mode-independent
+/// totals so reports from the two modes become directly comparable:
+///
+/// * the matcher's summary filter prunes a subset of what the abstract
+///   filter prunes, so `candidates_pruned + summary_pruned` is invariant
+///   across modes while the split between the two counters is not;
+/// * the recovery prefilter rejects candidates *before* they are counted,
+///   so the candidate/tier-prune tallies shrink with summaries on — only
+///   the chosen fills (entries, origins, holes) are mode-independent.
+fn normalize(report: &mut JPortalReport) {
+    for t in &mut report.threads {
+        t.projection.candidates_pruned += t.projection.summary_pruned;
+        t.projection.summary_pruned = 0;
+        t.recovery.candidates = 0;
+        t.recovery.pruned_tier1 = 0;
+        t.recovery.pruned_tier2 = 0;
+        t.recovery.summary_pruned = 0;
+        t.recovery.budget_truncations = 0;
+    }
+}
+
+fn assert_equivalent(name: &str, mode: &str, mut on: JPortalReport, mut off: JPortalReport) {
+    // Lint runs in a different mode on each side (interprocedural vs
+    // per-seam reset); it is compared separately where the input is
+    // honest. Everything else must agree exactly.
+    for t in &mut on.threads {
+        t.lint.clear();
+    }
+    for t in &mut off.threads {
+        t.lint.clear();
+    }
+    normalize(&mut on);
+    normalize(&mut off);
+    assert_eq!(
+        on, off,
+        "{name} ({mode}): summary pruning changed the report"
+    );
+    let ser_on = format!("{:?}", on.threads);
+    let ser_off = format!("{:?}", off.threads);
+    assert_eq!(
+        ser_on, ser_off,
+        "{name} ({mode}): serialized thread reports differ"
+    );
+}
+
+#[test]
+fn reports_identical_on_all_clean_seed_workloads() {
+    for w in all_workloads(1) {
+        let r = Jvm::new(jvm_config(&w, false)).run_threads(&w.program, &w.threads);
+        assert!(r.thread_errors.is_empty(), "{} failed", w.name);
+        let traces = r.traces.as_ref().unwrap();
+        let on = JPortal::with_config(&w.program, config(true)).analyze(traces, &r.archive);
+        let off = JPortal::with_config(&w.program, config(false)).analyze(traces, &r.archive);
+        // On clean seed reconstructions the linter must be silent in
+        // BOTH modes — the new diagnostics never fire on honest input.
+        assert!(
+            on.lint_summary().is_clean(),
+            "{}: summaries-mode lint flagged a clean run: {}",
+            w.name,
+            on.lint_summary()
+        );
+        assert!(
+            off.lint_summary().is_clean(),
+            "{}: legacy lint flagged a clean run: {}",
+            w.name,
+            off.lint_summary()
+        );
+        assert_equivalent(w.name, "clean", on, off);
+    }
+}
+
+#[test]
+fn reports_identical_on_all_lossy_seed_workloads() {
+    for w in all_workloads(1) {
+        let r = Jvm::new(jvm_config(&w, true)).run_threads(&w.program, &w.threads);
+        assert!(r.thread_errors.is_empty(), "{} failed", w.name);
+        let traces = r.traces.as_ref().unwrap();
+        let on = JPortal::with_config(&w.program, config(true)).analyze(traces, &r.archive);
+        let off = JPortal::with_config(&w.program, config(false)).analyze(traces, &r.archive);
+        assert!(
+            on.lint_summary().is_clean(),
+            "{}: summaries-mode lint flagged an honest lossy run: {}",
+            w.name,
+            on.lint_summary()
+        );
+        assert_equivalent(w.name, "lossy", on, off);
+    }
+}
+
+/// Overwrites stretches of the exported packet bytes with pseudo-random
+/// garbage and truncates one core's tail: the decoder resyncs, the
+/// matcher sees nonsense windows, and the two modes must still agree.
+fn corrupt(traces: &mut CollectedTraces, seed: u64) {
+    let mut rng = Rng(seed);
+    for (ci, core) in traces.per_core.iter_mut().enumerate() {
+        if core.bytes.is_empty() {
+            continue;
+        }
+        let stretches = 1 + core.bytes.len() / 400;
+        for _ in 0..stretches {
+            let start = (rng.next() as usize) % core.bytes.len();
+            for off in 0..8 {
+                if let Some(b) = core.bytes.get_mut(start + off) {
+                    *b = (rng.next() & 0xff) as u8;
+                }
+            }
+        }
+        if ci == 0 {
+            let keep = core.bytes.len() * 4 / 5;
+            core.bytes.truncate(keep);
+        }
+    }
+}
+
+#[test]
+fn reports_identical_on_garbage_and_truncated_inputs() {
+    for w in all_workloads(1) {
+        for (mode, lossy) in [("clean+garbage", false), ("lossy+garbage", true)] {
+            let mut r = Jvm::new(jvm_config(&w, lossy)).run_threads(&w.program, &w.threads);
+            corrupt(r.traces.as_mut().unwrap(), 0xBAD5EED ^ w.name.len() as u64);
+            let traces = r.traces.as_ref().unwrap();
+            let on = JPortal::with_config(&w.program, config(true)).analyze(traces, &r.archive);
+            let off = JPortal::with_config(&w.program, config(false)).analyze(traces, &r.archive);
+            // Diagnostics may legitimately differ on corrupted input
+            // (the modes have different lint precision); the
+            // reconstruction itself must not.
+            assert_equivalent(w.name, mode, on, off);
+        }
+    }
+}
+
+/// The ISSUE acceptance bar: with summaries on, recovery's candidate
+/// set shrinks by ≥ 20% on at least two seed workloads, and the
+/// journal's `summary_prefilter` decisions corroborate the statistics
+/// (sum of per-hole `pruned`/`considered` equals the report's totals).
+#[test]
+fn recovery_candidate_reduction_meets_bar_and_matches_journal() {
+    let mut hits = Vec::new();
+    for w in all_workloads(1) {
+        let r = Jvm::new(jvm_config(&w, true)).run_threads(&w.program, &w.threads);
+        assert!(r.thread_errors.is_empty(), "{} failed", w.name);
+        let traces = r.traces.as_ref().unwrap();
+        let jp = JPortal::with_config(&w.program, config(true));
+        let report = jp.analyze(traces, &r.archive);
+
+        let candidates: usize = report.threads.iter().map(|t| t.recovery.candidates).sum();
+        let pruned: usize = report
+            .threads
+            .iter()
+            .map(|t| t.recovery.summary_pruned)
+            .sum();
+        let considered = candidates + pruned;
+
+        // Journal cross-check: every prefilter decision is recorded, so
+        // the journal's sums must reproduce the report's counters.
+        let snap = jp.obs().journal_snapshot();
+        assert_eq!(snap.dropped, 0, "{}: journal ring must not drop", w.name);
+        let (mut j_considered, mut j_pruned) = (0u64, 0u64);
+        for rec in &snap.records {
+            if let JournalEvent::SummaryPrefilter {
+                considered, pruned, ..
+            } = rec.event
+            {
+                j_considered += u64::from(considered);
+                j_pruned += u64::from(pruned);
+            }
+        }
+        assert_eq!(
+            j_pruned, pruned as u64,
+            "{}: journal prune total must match RecoveryStats",
+            w.name
+        );
+        assert_eq!(
+            j_considered, considered as u64,
+            "{}: journal considered total must match RecoveryStats",
+            w.name
+        );
+
+        if considered > 0 && pruned * 5 >= considered {
+            hits.push((w.name, pruned, considered));
+        }
+    }
+    assert!(
+        hits.len() >= 2,
+        "summary prefilter must cut recovery candidates by >= 20% on at \
+         least two seed workloads; got {hits:?}"
+    );
+}
