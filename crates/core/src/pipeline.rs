@@ -13,7 +13,8 @@ use jportal_analysis::{
 };
 use jportal_bytecode::Program;
 use jportal_cfg::abs::{AbstractNfa, DfaCacheStats};
-use jportal_cfg::{Icfg, MatchScratch};
+use jportal_cfg::{Icfg, MatchScratch, Sym};
+use jportal_corpus::{Corpus, CorpusBuilder};
 use jportal_ipt::{CollectedTraces, CollectionStats, ThreadId};
 use jportal_jvm::MetadataArchive;
 use jportal_obs::{JournalEvent, Obs, TelemetryReport};
@@ -59,6 +60,13 @@ pub struct JPortalConfig {
     /// prune-rate diagnostics, journal decisions and lint precision
     /// change. Off is the ablation baseline.
     pub summaries: bool,
+    /// Consult the persistent cross-run segment corpus (attached with
+    /// [`JPortal::with_corpus_store`]) as a secondary recovery source:
+    /// holes no in-run candidate can confirm are matched against the
+    /// corpus's sharded anchor index before degrading to the fallback
+    /// walk. Off by default — with the flag off (or no store attached)
+    /// reports are byte-identical to the corpus-less pipeline.
+    pub corpus: bool,
     /// Worker threads for the offline fan-out: `None` uses every core,
     /// `Some(1)` is the exact legacy sequential path (no threads spawned).
     ///
@@ -85,6 +93,7 @@ impl Default for JPortalConfig {
             devirtualize: true,
             lint: true,
             summaries: true,
+            corpus: false,
             parallelism: None,
             observability: true,
         }
@@ -214,10 +223,18 @@ pub struct JPortal<'p> {
     /// when [`JPortalConfig::summaries`] is off.
     summaries: Option<SummaryTable>,
     config: JPortalConfig,
+    /// Persistent cross-run segment corpus, shared read-only by every
+    /// worker; consulted only when [`JPortalConfig::corpus`] is on.
+    corpus: Option<std::sync::Arc<Corpus>>,
     /// Telemetry sink shared by every stage; inert when
     /// [`JPortalConfig::observability`] is off.
     obs: Obs,
 }
+
+/// One harvested complete segment, ready for
+/// [`jportal_corpus::CorpusBuilder::insert`]: symbols, packed
+/// `(method, bci)` locations, projection seams.
+type HarvestSeg = (Vec<Sym>, Vec<u64>, Vec<u32>);
 
 impl<'p> JPortal<'p> {
     /// Builds the analyzer (constructs the program's ICFG over RTA-refined
@@ -242,9 +259,27 @@ impl<'p> JPortal<'p> {
             icfg,
             analysis: AnalysisIndex::build(program),
             summaries,
+            corpus: None,
             obs: Obs::new(config.observability),
             config,
         }
+    }
+
+    /// Attaches a persistent segment corpus (see `jportal-corpus`).
+    /// Consulted during recovery only when [`JPortalConfig::corpus`] is
+    /// also on; the corpus must have been indexed with the same
+    /// `anchor_len` as [`JPortalConfig::recovery`] to contribute. A
+    /// corpus is program-version-specific: method ids and bytecode
+    /// indices are only meaningful against the program that produced
+    /// them.
+    pub fn with_corpus_store(mut self, corpus: std::sync::Arc<Corpus>) -> JPortal<'p> {
+        self.corpus = Some(corpus);
+        self
+    }
+
+    /// The attached corpus store, if any.
+    pub fn corpus_store(&self) -> Option<&std::sync::Arc<Corpus>> {
+        self.corpus.as_ref()
     }
 
     /// The ICFG (exposed for clients that want to inspect projections).
@@ -292,6 +327,32 @@ impl<'p> JPortal<'p> {
     /// in deterministic order at every join, so the report is identical
     /// for every worker count.
     pub fn analyze(&self, traces: &CollectedTraces, archive: &MetadataArchive) -> JPortalReport {
+        self.analyze_impl(traces, archive, None)
+    }
+
+    /// [`JPortal::analyze`] plus corpus harvesting: every decoded
+    /// complete segment of this run is inserted (dedup-aware) into
+    /// `builder` after analysis, so the caller can persist it for future
+    /// runs — the cross-run accumulation loop is load → analyze_harvest
+    /// → save. Harvesting reads the same per-thread segment data the
+    /// report is built from, in deterministic thread order after the
+    /// parallel joins, so the builder's contents are identical at any
+    /// worker count; the report itself is unchanged by harvesting.
+    pub fn analyze_harvest(
+        &self,
+        traces: &CollectedTraces,
+        archive: &MetadataArchive,
+        builder: &mut CorpusBuilder,
+    ) -> JPortalReport {
+        self.analyze_impl(traces, archive, Some(builder))
+    }
+
+    fn analyze_impl(
+        &self,
+        traces: &CollectedTraces,
+        archive: &MetadataArchive,
+        mut harvest: Option<&mut CorpusBuilder>,
+    ) -> JPortalReport {
         let obs = &self.obs;
         let _analyze = obs
             .span("pipeline", "analyze")
@@ -427,13 +488,22 @@ impl<'p> JPortal<'p> {
         // inner candidate scoring stays sequential to avoid
         // oversubscription; with few threads the idle workers go to it.
         let inner_workers = if grouped.len() >= workers { 1 } else { workers };
-        let assembled: Vec<(ThreadReport, ThreadQuality)> =
+        let harvesting = harvest.is_some();
+        let assembled: Vec<(ThreadReport, ThreadQuality, Option<Vec<HarvestSeg>>)> =
             jportal_par::par_map_owned(workers, grouped, |_, (thread, views, projection)| {
-                self.assemble_thread(thread, views, projection, inner_workers)
+                self.assemble_thread(thread, views, projection, inner_workers, harvesting)
             });
         let mut threads = Vec::with_capacity(assembled.len());
         let mut quality = QualityReport::default();
-        for (t, q) in assembled {
+        for (t, q, h) in assembled {
+            // Harvest inserts happen here — after the join, in sorted
+            // thread order — so the builder's segment order (and the
+            // index built from it) is identical at any worker count.
+            if let (Some(builder), Some(segs)) = (harvest.as_deref_mut(), h) {
+                for (syms, locs, breaks) in segs {
+                    builder.insert(&syms, &locs, &breaks);
+                }
+            }
             threads.push(t);
             quality.threads.push(q);
         }
@@ -485,6 +555,26 @@ impl<'p> JPortal<'p> {
                 .add(sum(|t| t.recovery.fallback_walks));
             reg.counter("core.recover.budget_truncations")
                 .add(sum(|t| t.recovery.budget_truncations));
+            reg.counter("core.corpus.lookups")
+                .add(sum(|t| t.recovery.corpus_lookups));
+            reg.counter("core.corpus.candidates")
+                .add(sum(|t| t.recovery.corpus_candidates));
+            reg.counter("core.corpus.hits")
+                .add(sum(|t| t.recovery.corpus_hits));
+            reg.counter("core.corpus.misses")
+                .add(sum(|t| t.recovery.corpus_misses));
+            if let Some(corpus) = self.corpus.as_deref() {
+                reg.gauge("core.corpus.segments")
+                    .set_max(corpus.segment_count() as u64);
+            }
+            if let Some(builder) = harvest.as_ref() {
+                // Builder lifetime totals (may span several analyses):
+                // gauges, not counters, so re-recording never inflates.
+                reg.gauge("core.corpus.harvest_inserted")
+                    .set_max(builder.inserted());
+                reg.gauge("core.corpus.harvest_deduped")
+                    .set_max(builder.deduped());
+            }
             reg.gauge("cfg.dfa.interned")
                 .set_max(anfa.dfa_stats().interned);
         }
@@ -517,7 +607,8 @@ impl<'p> JPortal<'p> {
         views: Vec<SegmentView>,
         projection: ProjectionStats,
         recovery_workers: usize,
-    ) -> (ThreadReport, ThreadQuality) {
+        harvest: bool,
+    ) -> (ThreadReport, ThreadQuality, Option<Vec<HarvestSeg>>) {
         let obs = &self.obs;
         let mut recorder = obs.journal_recorder(thread.0);
         let _assemble = obs
@@ -549,6 +640,11 @@ impl<'p> JPortal<'p> {
                 .with_dominators(&self.analysis);
         if let Some(table) = self.summaries.as_ref() {
             recovery = recovery.with_summaries(table);
+        }
+        if self.config.corpus {
+            if let Some(corpus) = self.corpus.as_deref() {
+                recovery = recovery.with_corpus(corpus);
+            }
         }
         let mut entries: Vec<TraceEntry> = Vec::new();
         let mut steps: Vec<LintStep> = Vec::new();
@@ -644,6 +740,36 @@ impl<'p> JPortal<'p> {
             Vec::new()
         };
 
+        // Harvest this thread's decoded complete segments for the
+        // persistent corpus: locations resolved exactly as the emitted
+        // entries above (projected node first, raw decode fallback), so
+        // a corpus fill reproduces what in-run recovery would emit.
+        let harvested = harvest.then(|| {
+            compacted
+                .iter()
+                .map(|seg| {
+                    let syms: Vec<Sym> = seg.events.iter().map(|e| e.sym).collect();
+                    let locs: Vec<u64> = seg
+                        .events
+                        .iter()
+                        .zip(&seg.nodes)
+                        .map(|(e, node)| {
+                            let (m, b) = match node {
+                                Some(n) => {
+                                    let (m, b) = self.icfg.location(*n);
+                                    (Some(m), Some(b))
+                                }
+                                None => (e.method, e.bci),
+                            };
+                            jportal_corpus::pack_loc(m.map(|m| m.0), b.map(|b| b.0))
+                        })
+                        .collect();
+                    let breaks: Vec<u32> = seg.breaks.iter().map(|&i| i as u32).collect();
+                    (syms, locs, breaks)
+                })
+                .collect()
+        });
+
         (
             ThreadReport {
                 thread,
@@ -655,6 +781,7 @@ impl<'p> JPortal<'p> {
                 lint,
             },
             ThreadQuality { thread, fills },
+            harvested,
         )
     }
 }

@@ -1,0 +1,337 @@
+//! On-disk corpus format: versioned magic, little-endian u64 words,
+//! trailing checksum, `Read`-based load into `Arc` buffers (no mmap).
+//!
+//! Layout (all little-endian u64 words):
+//!
+//! ```text
+//! +-------------------------------------------------------------+
+//! | magic "JPCORPUS"                                            |
+//! | version u32            | anchor_len u32                     |
+//! | segment_count u64                                           |
+//! | ops_words u64 | dirs_words u64 | locs_len u64 | breaks_len  |
+//! +-------------------------------------------------------------+
+//! | per segment (4 words):                                      |
+//! |   ops_off u32   | dirs_off u32                              |
+//! |   locs_off u32  | breaks_off u32                            |
+//! |   len u32       | breaks_len u32                            |
+//! |   content_hash u64                                          |
+//! +-------------------------------------------------------------+
+//! | ops arena   (ops_words × u64: op bytes, 8 syms per word)    |
+//! | dirs arena  (dirs_words × u64: 2-bit codes, 32 per word)    |
+//! | locs arena  (locs_len × u64: method<<32 | bci)              |
+//! | breaks arena (⌈breaks_len/2⌉ × u64: two u32 per word)       |
+//! +-------------------------------------------------------------+
+//! | anchor index, 16 shards in order:                           |
+//! |   buckets u64                                               |
+//! |   per bucket: key u64, n u64, n × (seg u32 | end u32)       |
+//! +-------------------------------------------------------------+
+//! | checksum u64 (FNV-1a over every preceding byte)             |
+//! +-------------------------------------------------------------+
+//! ```
+//!
+//! Every load failure is a typed [`CorpusError`]; malformed input never
+//! panics. The checksum is verified before any structural parsing, so
+//! a flipped bit anywhere in the file surfaces as `ChecksumMismatch`
+//! rather than a downstream decode error.
+
+use crate::{Corpus, CorpusCandidate, SegmentMeta, ANCHOR_SHARDS, FORMAT_VERSION};
+use jportal_cfg::FxHashMap;
+use std::io::Read;
+use std::path::Path;
+
+/// `b"JPCORPUS"` as a little-endian word.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"JPCORPUS");
+
+/// Typed load/save failures. Every malformed-input path lands here —
+/// corpus files come from disk and may be truncated, stale or
+/// corrupted, none of which may panic the analysis that tries them.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the corpus magic.
+    BadMagic,
+    /// The file's format version is not the one this build reads.
+    VersionMismatch {
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The file is shorter than its own structure claims (or not a
+    /// whole number of words).
+    Truncated,
+    /// Stored checksum disagrees with the recomputed one.
+    ChecksumMismatch {
+        /// Checksum word stored in the trailer.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// Structurally invalid contents (out-of-range offsets, shard
+    /// count mismatch, …) despite a valid checksum.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus io error: {e}"),
+            CorpusError::BadMagic => write!(f, "not a corpus file (bad magic)"),
+            CorpusError::VersionMismatch { found, expected } => {
+                write!(f, "corpus version {found} (this build reads {expected})")
+            }
+            CorpusError::Truncated => write!(f, "corpus file truncated"),
+            CorpusError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "corpus checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ),
+            CorpusError::Malformed(what) => write!(f, "corpus malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> CorpusError {
+        CorpusError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice (the trailer checksum; in-tree, no deps).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian word writer over a growing byte buffer.
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn pair(&mut self, lo: u32, hi: u32) {
+        self.u64((hi as u64) << 32 | lo as u64);
+    }
+}
+
+/// Cursor over the loaded word buffer; every read is bounds-checked
+/// and reports `Truncated` past the end.
+struct R<'a> {
+    words: &'a [u64],
+    at: usize,
+}
+
+impl R<'_> {
+    fn u64(&mut self) -> Result<u64, CorpusError> {
+        let w = *self.words.get(self.at).ok_or(CorpusError::Truncated)?;
+        self.at += 1;
+        Ok(w)
+    }
+    fn pair(&mut self) -> Result<(u32, u32), CorpusError> {
+        let w = self.u64()?;
+        Ok((w as u32, (w >> 32) as u32))
+    }
+    fn words(&mut self, n: usize) -> Result<&[u64], CorpusError> {
+        let end = self.at.checked_add(n).ok_or(CorpusError::Truncated)?;
+        let s = self.words.get(self.at..end).ok_or(CorpusError::Truncated)?;
+        self.at = end;
+        Ok(s)
+    }
+}
+
+impl Corpus {
+    /// Serializes the corpus (arenas, headers, index) plus trailer
+    /// checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (anchor_len, segments, ops, dirs, locs, breaks, shards) = self.parts();
+        let mut w = W { buf: Vec::new() };
+        w.u64(MAGIC);
+        w.pair(FORMAT_VERSION, anchor_len);
+        w.u64(segments.len() as u64);
+        w.u64(ops.len() as u64);
+        w.u64(dirs.len() as u64);
+        w.u64(locs.len() as u64);
+        w.u64(breaks.len() as u64);
+        for m in segments {
+            w.pair(m.ops_off, m.dirs_off);
+            w.pair(m.locs_off, m.breaks_off);
+            w.pair(m.len, m.breaks_len);
+            w.u64(m.content_hash);
+        }
+        for &x in ops {
+            w.u64(x);
+        }
+        for &x in dirs {
+            w.u64(x);
+        }
+        for &x in locs {
+            w.u64(x);
+        }
+        for c in breaks.chunks(2) {
+            w.pair(c[0], c.get(1).copied().unwrap_or(0));
+        }
+        for shard in shards {
+            // Deterministic bytes for byte-equality round-trips: order
+            // buckets by key, not by map iteration order.
+            let mut keys: Vec<u64> = shard.keys().copied().collect();
+            keys.sort_unstable();
+            w.u64(keys.len() as u64);
+            for key in keys {
+                let cands = &shard[&key];
+                w.u64(key);
+                w.u64(cands.len() as u64);
+                for &(seg, end) in cands {
+                    w.pair(seg, end);
+                }
+            }
+        }
+        let sum = fnv1a(&w.buf);
+        w.u64(sum);
+        w.buf
+    }
+
+    /// Parses a corpus from bytes produced by [`Corpus::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Corpus, CorpusError> {
+        if !bytes.len().is_multiple_of(8) || bytes.len() < 16 {
+            return Err(CorpusError::Truncated);
+        }
+        let words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let (payload, trailer) = words.split_at(words.len() - 1);
+        if payload.first() != Some(&MAGIC) {
+            return Err(CorpusError::BadMagic);
+        }
+        let computed = fnv1a(&bytes[..bytes.len() - 8]);
+        if trailer[0] != computed {
+            return Err(CorpusError::ChecksumMismatch {
+                stored: trailer[0],
+                computed,
+            });
+        }
+        let mut r = R {
+            words: payload,
+            at: 1,
+        };
+        let (version, anchor_len) = r.pair()?;
+        if version != FORMAT_VERSION {
+            return Err(CorpusError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        if anchor_len == 0 {
+            return Err(CorpusError::Malformed("anchor_len is zero"));
+        }
+        let segment_count = r.u64()? as usize;
+        let ops_words = r.u64()? as usize;
+        let dirs_words = r.u64()? as usize;
+        let locs_len = r.u64()? as usize;
+        let breaks_len = r.u64()? as usize;
+
+        let mut segments = Vec::with_capacity(segment_count.min(1 << 20));
+        for _ in 0..segment_count {
+            let (ops_off, dirs_off) = r.pair()?;
+            let (locs_off, breaks_off) = r.pair()?;
+            let (len, seg_breaks) = r.pair()?;
+            let content_hash = r.u64()?;
+            let m = SegmentMeta {
+                ops_off,
+                dirs_off,
+                locs_off,
+                breaks_off,
+                len,
+                breaks_len: seg_breaks,
+                content_hash,
+            };
+            let ow = (len as usize).div_ceil(8);
+            let dw = (len as usize).div_ceil(32);
+            if m.ops_off as usize + ow > ops_words
+                || m.dirs_off as usize + dw > dirs_words
+                || m.locs_off as usize + len as usize > locs_len
+                || m.breaks_off as usize + seg_breaks as usize > breaks_len
+            {
+                return Err(CorpusError::Malformed("segment offsets out of range"));
+            }
+            segments.push(m);
+        }
+        let ops = r.words(ops_words)?.to_vec();
+        let dirs = r.words(dirs_words)?.to_vec();
+        let locs = r.words(locs_len)?.to_vec();
+        let mut breaks = Vec::with_capacity(breaks_len);
+        for w in r.words(breaks_len.div_ceil(2))? {
+            breaks.push(*w as u32);
+            if breaks.len() < breaks_len {
+                breaks.push((*w >> 32) as u32);
+            }
+        }
+
+        let mut shards: Vec<FxHashMap<u64, Vec<CorpusCandidate>>> =
+            Vec::with_capacity(ANCHOR_SHARDS);
+        for _ in 0..ANCHOR_SHARDS {
+            let buckets = r.u64()? as usize;
+            let mut shard = FxHashMap::default();
+            for _ in 0..buckets {
+                let key = r.u64()?;
+                let n = r.u64()? as usize;
+                let mut cands = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let (seg, end) = r.pair()?;
+                    if seg as usize >= segments.len() {
+                        return Err(CorpusError::Malformed("index references missing segment"));
+                    }
+                    cands.push((seg, end));
+                }
+                shard.insert(key, cands);
+            }
+            shards.push(shard);
+        }
+        if r.at != payload.len() {
+            return Err(CorpusError::Malformed("trailing bytes after index"));
+        }
+        Ok(Corpus::from_parts(
+            anchor_len, segments, ops, dirs, locs, breaks, shards,
+        ))
+    }
+
+    /// Writes the corpus to `path` (atomic enough for our use: write to
+    /// a sibling temp file, then rename over the target).
+    pub fn save(&self, path: &Path) -> Result<(), CorpusError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a corpus from any reader (the "mmap-free `Read`-based
+    /// load": bytes are read fully, verified, then moved into `Arc`
+    /// buffers).
+    pub fn load_from(mut reader: impl Read) -> Result<Corpus, CorpusError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Corpus::from_bytes(&bytes)
+    }
+
+    /// Loads a corpus from `path`.
+    pub fn load(path: &Path) -> Result<Corpus, CorpusError> {
+        Corpus::load_from(std::fs::File::open(path)?)
+    }
+}

@@ -1,0 +1,664 @@
+//! Persistent complete-segment corpus (ROADMAP item 3).
+//!
+//! §5 recovery ranks candidate complete segments (CSes) against the
+//! incomplete segment ending at a hole. In-run, the candidate pool is
+//! whatever this analysis decoded; this crate persists complete
+//! segments **across runs and tenants** so later analyses start with a
+//! corpus of known-good continuations — fill rate improves as the
+//! corpus grows while per-hole lookup cost stays flat:
+//!
+//! * **Storage** — symbol streams live in flat `u64`-chunked arenas
+//!   ([`pack::PackedSyms`] layout: op bytes eight per word, dir codes
+//!   thirty-two per word), with per-symbol locations and per-segment
+//!   projection seams in parallel arenas and a fixed-size header per
+//!   segment. The on-disk form is the in-memory form plus a versioned
+//!   magic and a checksum; loading is a plain `Read` into `Arc` buffers
+//!   (no mmap, keeping the workspace's no-external-deps posture).
+//! * **Indexing** — a 16-way sharded anchor index (same shape as the
+//!   matcher's DFA transition cache) keyed by the u64-packed anchor
+//!   opcode window, built incrementally on insert and serialized next
+//!   to the arenas, so candidate lookup is O(candidates-for-anchor)
+//!   regardless of corpus size.
+//! * **Scoring** — recovery ranks corpus candidates with the SWAR
+//!   common-suffix kernel ([`pack::suffix_swar`]), eight symbols per
+//!   step.
+//!
+//! Writers go through [`CorpusBuilder`] (dedup-aware inserts, checked
+//! by content hash plus full compare); readers hold an immutable
+//! [`Corpus`] behind an `Arc` and share it freely across worker threads
+//! — the locking story is "none": a corpus is frozen at build time, and
+//! cross-run accumulation is load → absorb into a builder → save.
+
+pub mod format;
+pub mod pack;
+
+pub use format::CorpusError;
+
+use jportal_cfg::{FxHashMap, FxHasher, Sym};
+use pack::{dir_from_code, op_at, PackedSyms};
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Shard count of the anchor index (mirrors the DFA cache's striping).
+pub const ANCHOR_SHARDS: usize = 16;
+
+/// On-disk format version this build writes and accepts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A location payload: `method << 32 | bci`, with `u32::MAX` in either
+/// half meaning "unknown" (interpreted-mode events carry no location).
+pub const LOC_NONE: u32 = u32::MAX;
+
+/// Packs an optional `(method, bci)` pair into a location word.
+#[inline]
+pub fn pack_loc(method: Option<u32>, bci: Option<u32>) -> u64 {
+    let m = method.unwrap_or(LOC_NONE) as u64;
+    let b = bci.unwrap_or(LOC_NONE) as u64;
+    (m << 32) | b
+}
+
+/// Inverse of [`pack_loc`].
+#[inline]
+pub fn unpack_loc(loc: u64) -> (Option<u32>, Option<u32>) {
+    let m = (loc >> 32) as u32;
+    let b = loc as u32;
+    ((m != LOC_NONE).then_some(m), (b != LOC_NONE).then_some(b))
+}
+
+/// Fixed-size per-segment header: where the segment's data lives in
+/// each arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Word offset of the op bytes in the ops arena.
+    pub ops_off: u32,
+    /// Word offset of the dir codes in the dirs arena.
+    pub dirs_off: u32,
+    /// Entry offset of the locations in the locs arena.
+    pub locs_off: u32,
+    /// Entry offset of the projection seams in the breaks arena.
+    pub breaks_off: u32,
+    /// Symbol count.
+    pub len: u32,
+    /// Seam count.
+    pub breaks_len: u32,
+    /// Content hash (dedup identity; see [`CorpusBuilder::insert`]).
+    pub content_hash: u64,
+}
+
+/// One anchor-index candidate: the anchor window's last symbol sits at
+/// `end` (inclusive) in segment `seg`, with at least one symbol after
+/// it.
+pub type CorpusCandidate = (u32, u32);
+
+/// The sharded anchor index: `shard = fx(key) % 16`, each shard an
+/// ordinary map from packed anchor key to its candidate positions.
+#[derive(Debug, Clone, Default)]
+struct AnchorIndex {
+    shards: Vec<FxHashMap<u64, Vec<CorpusCandidate>>>,
+}
+
+/// Fx hash of a bare u64 key (shard selector; deterministic across
+/// runs, same property the DFA cache relies on).
+#[inline]
+fn key_shard(key: u64) -> usize {
+    let mut h = FxHasher::default();
+    h.write_u64(key);
+    (h.finish() as usize) % ANCHOR_SHARDS
+}
+
+/// Packs an anchor window's op bytes into the index key: `(op + 1)`
+/// bytes folded big-endian-ish for windows of up to eight ops (so a
+/// leading opcode 0 is distinguishable from absence), an Fx hash of the
+/// op bytes for longer windows. Hash keys can collide — lookups always
+/// verify the candidate's window against the query ops, so a collision
+/// costs a wasted compare, never a wrong candidate.
+pub fn anchor_key_ops(ops: impl ExactSizeIterator<Item = u8>) -> u64 {
+    if ops.len() <= 8 {
+        let mut packed = 0u64;
+        for op in ops {
+            packed = (packed << 8) | (op as u64 + 1);
+        }
+        packed
+    } else {
+        let mut h = FxHasher::default();
+        for op in ops {
+            h.write_u8(op);
+        }
+        h.finish()
+    }
+}
+
+/// [`anchor_key_ops`] over a [`Sym`] slice.
+pub fn anchor_key(anchor: &[Sym]) -> u64 {
+    anchor_key_ops(anchor.iter().map(|s| s.op as u8))
+}
+
+impl AnchorIndex {
+    fn new() -> AnchorIndex {
+        AnchorIndex {
+            shards: (0..ANCHOR_SHARDS).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    fn insert(&mut self, key: u64, cand: CorpusCandidate) {
+        self.shards[key_shard(key)]
+            .entry(key)
+            .or_default()
+            .push(cand);
+    }
+
+    fn get(&self, key: u64) -> Option<&[CorpusCandidate]> {
+        self.shards[key_shard(key)].get(&key).map(Vec::as_slice)
+    }
+}
+
+/// Immutable view of one corpus segment, borrowing the arenas.
+#[derive(Debug, Clone, Copy)]
+pub struct SegView<'a> {
+    /// Packed op words (position 0 of the segment = position 0 here).
+    pub ops: &'a [u64],
+    /// Packed dir words.
+    pub dirs: &'a [u64],
+    /// Location words, one per symbol.
+    pub locs: &'a [u64],
+    /// Sorted projection-seam positions.
+    pub breaks: &'a [u32],
+    /// Symbol count.
+    pub len: usize,
+}
+
+impl SegView<'_> {
+    /// The symbol at position `i`.
+    pub fn sym(&self, i: usize) -> Sym {
+        Sym {
+            op: jportal_bytecode::OpKind::ALL[op_at(self.ops, i) as usize],
+            dir: dir_from_code(pack::dir_at(self.dirs, i)),
+        }
+    }
+
+    /// The `(method, bci)` location at position `i`.
+    pub fn loc(&self, i: usize) -> (Option<u32>, Option<u32>) {
+        unpack_loc(self.locs[i])
+    }
+}
+
+/// Aggregate corpus statistics (for `jportal-inspect corpus`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Segments stored.
+    pub segments: usize,
+    /// Total symbols stored.
+    pub syms: usize,
+    /// Bytes across all arenas (ops + dirs + locs + breaks), excluding
+    /// headers and index.
+    pub arena_bytes: usize,
+    /// Anchor-index entries per shard (bucket candidate totals).
+    pub shard_fill: Vec<usize>,
+    /// Distinct anchor keys indexed.
+    pub anchor_keys: usize,
+}
+
+/// The frozen, queryable corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    anchor_len: u32,
+    segments: Vec<SegmentMeta>,
+    ops: Arc<[u64]>,
+    dirs: Arc<[u64]>,
+    locs: Arc<[u64]>,
+    breaks: Arc<[u32]>,
+    index: AnchorIndex,
+}
+
+impl Corpus {
+    /// An empty corpus indexed for anchors of length `anchor_len`.
+    pub fn empty(anchor_len: usize) -> Corpus {
+        CorpusBuilder::new(anchor_len).build()
+    }
+
+    /// The anchor length `x` the index was built for. Queries with a
+    /// different `x` cannot use this corpus.
+    pub fn anchor_len(&self) -> usize {
+        self.anchor_len as usize
+    }
+
+    /// Number of segments stored.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Borrowed view of segment `seg`.
+    pub fn segment(&self, seg: u32) -> SegView<'_> {
+        let m = &self.segments[seg as usize];
+        let ow = (m.len as usize).div_ceil(8);
+        let dw = (m.len as usize).div_ceil(32);
+        SegView {
+            ops: &self.ops[m.ops_off as usize..m.ops_off as usize + ow],
+            dirs: &self.dirs[m.dirs_off as usize..m.dirs_off as usize + dw],
+            locs: &self.locs[m.locs_off as usize..m.locs_off as usize + m.len as usize],
+            breaks: &self.breaks
+                [m.breaks_off as usize..m.breaks_off as usize + m.breaks_len as usize],
+            len: m.len as usize,
+        }
+    }
+
+    /// Appends the verified candidates for `anchor` to `out` (cleared
+    /// first). Candidates come straight from the sharded index —
+    /// O(candidates-for-anchor), independent of corpus size — and each
+    /// is verified against the query's op window, so hash-key
+    /// collisions never surface. Returns nothing when `anchor`'s length
+    /// differs from [`Corpus::anchor_len`].
+    pub fn candidates_into(&self, anchor: &[Sym], out: &mut Vec<CorpusCandidate>) {
+        out.clear();
+        if anchor.len() != self.anchor_len as usize {
+            return;
+        }
+        let Some(cands) = self.index.get(anchor_key(anchor)) else {
+            return;
+        };
+        let x = anchor.len();
+        'cand: for &(seg, end) in cands {
+            let m = &self.segments[seg as usize];
+            let ops = &self.ops[m.ops_off as usize..];
+            for (k, a) in anchor.iter().enumerate() {
+                if op_at(ops, end as usize + 1 - x + k) != a.op as u8 {
+                    continue 'cand;
+                }
+            }
+            out.push((seg, end));
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CorpusStats {
+        CorpusStats {
+            segments: self.segments.len(),
+            syms: self.segments.iter().map(|m| m.len as usize).sum(),
+            arena_bytes: self.ops.len() * 8
+                + self.dirs.len() * 8
+                + self.locs.len() * 8
+                + self.breaks.len() * 4,
+            shard_fill: self
+                .index
+                .shards
+                .iter()
+                .map(|s| s.values().map(Vec::len).sum())
+                .collect(),
+            anchor_keys: self.index.shards.iter().map(FxHashMap::len).sum(),
+        }
+    }
+
+    /// The `k` busiest anchors: `(key, candidate count)`, most-loaded
+    /// first, deterministic tie-break on the key.
+    pub fn busiest_anchors(&self, k: usize) -> Vec<(u64, usize)> {
+        let mut all: Vec<(u64, usize)> = self
+            .index
+            .shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(&key, v)| (key, v.len())))
+            .collect();
+        all.sort_by_key(|&(key, n)| (std::cmp::Reverse(n), key));
+        all.truncate(k);
+        all
+    }
+
+    /// Human spelling of a packed anchor key (mnemonics joined with
+    /// `·`; hash keys render as `#<hex>`).
+    pub fn spell_key(&self, key: u64) -> String {
+        use jportal_bytecode::OpKind;
+        if self.anchor_len > 8 {
+            return format!("#{key:016x}");
+        }
+        let mut ops = Vec::new();
+        let mut k = key;
+        while k != 0 {
+            let b = (k & 0xff) as u8;
+            if b == 0 || (b - 1) as usize >= OpKind::ALL.len() {
+                return format!("#{key:016x}");
+            }
+            ops.push(OpKind::ALL[(b - 1) as usize]);
+            k >>= 8;
+        }
+        ops.reverse();
+        ops.iter()
+            .map(|o| o.mnemonic())
+            .collect::<Vec<_>>()
+            .join("·")
+    }
+}
+
+/// Content hash of one segment (dedup identity): Fx over length, op
+/// words, dir words, locations and seams.
+fn content_hash(packed: &PackedSyms, locs: &[u64], breaks: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(packed.len);
+    for &w in &packed.ops {
+        h.write_u64(w);
+    }
+    for &w in &packed.dirs {
+        h.write_u64(w);
+    }
+    for &l in locs {
+        h.write_u64(l);
+    }
+    for &b in breaks {
+        h.write_u32(b);
+    }
+    h.finish()
+}
+
+/// Mutable corpus under construction: arenas grow append-only, the
+/// anchor index is maintained incrementally on insert, and duplicate
+/// segments (same symbols, locations and seams) are dropped.
+#[derive(Debug)]
+pub struct CorpusBuilder {
+    anchor_len: u32,
+    segments: Vec<SegmentMeta>,
+    ops: Vec<u64>,
+    dirs: Vec<u64>,
+    locs: Vec<u64>,
+    breaks: Vec<u32>,
+    index: AnchorIndex,
+    /// Content hash → segments with that hash (collision candidates).
+    dedup: FxHashMap<u64, Vec<u32>>,
+    inserted: u64,
+    deduped: u64,
+}
+
+impl CorpusBuilder {
+    /// An empty builder indexing anchors of length `anchor_len`.
+    pub fn new(anchor_len: usize) -> CorpusBuilder {
+        CorpusBuilder {
+            anchor_len: anchor_len as u32,
+            segments: Vec::new(),
+            ops: Vec::new(),
+            dirs: Vec::new(),
+            locs: Vec::new(),
+            breaks: Vec::new(),
+            index: AnchorIndex::new(),
+            dedup: FxHashMap::default(),
+            inserted: 0,
+            deduped: 0,
+        }
+    }
+
+    /// Segments inserted (accepted) so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Segments dropped as exact duplicates.
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Current segment count.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Inserts one complete segment: its symbols, one packed location
+    /// word per symbol (see [`pack_loc`]) and its sorted projection
+    /// seams. Returns `false` when an identical segment is already
+    /// stored (dedup hit — hash match plus full content compare).
+    /// Segments too short to ever produce a candidate (`len <
+    /// anchor_len + 1`) are rejected the same way.
+    pub fn insert(&mut self, syms: &[Sym], locs: &[u64], breaks: &[u32]) -> bool {
+        assert_eq!(syms.len(), locs.len(), "one location word per symbol");
+        let x = self.anchor_len as usize;
+        if syms.len() < x + 1 {
+            return false;
+        }
+        let packed = PackedSyms::from_syms(syms);
+        let hash = content_hash(&packed, locs, breaks);
+        if let Some(prior) = self.dedup.get(&hash) {
+            for &seg in prior {
+                if self.segment_equals(seg, &packed, locs, breaks) {
+                    self.deduped += 1;
+                    return false;
+                }
+            }
+        }
+        let seg = self.segments.len() as u32;
+        let meta = SegmentMeta {
+            ops_off: self.ops.len() as u32,
+            dirs_off: self.dirs.len() as u32,
+            locs_off: self.locs.len() as u32,
+            breaks_off: self.breaks.len() as u32,
+            len: syms.len() as u32,
+            breaks_len: breaks.len() as u32,
+            content_hash: hash,
+        };
+        self.ops.extend_from_slice(&packed.ops);
+        self.dirs.extend_from_slice(&packed.dirs);
+        self.locs.extend_from_slice(locs);
+        self.breaks.extend_from_slice(breaks);
+        self.segments.push(meta);
+        self.dedup.entry(hash).or_default().push(seg);
+        // Incremental index maintenance: every anchor window with at
+        // least one following symbol becomes a candidate.
+        for end in (x - 1)..syms.len() - 1 {
+            let key = anchor_key(&syms[end + 1 - x..=end]);
+            self.index.insert(key, (seg, end as u32));
+        }
+        self.inserted += 1;
+        true
+    }
+
+    /// Full content compare of stored segment `seg` against a packed
+    /// insert candidate (hash-collision fallback, keeps dedup exact).
+    fn segment_equals(&self, seg: u32, packed: &PackedSyms, locs: &[u64], breaks: &[u32]) -> bool {
+        let m = &self.segments[seg as usize];
+        if m.len as usize != packed.len || m.breaks_len as usize != breaks.len() {
+            return false;
+        }
+        let ow = packed.len.div_ceil(8);
+        let dw = packed.len.div_ceil(32);
+        self.ops[m.ops_off as usize..m.ops_off as usize + ow] == packed.ops[..]
+            && self.dirs[m.dirs_off as usize..m.dirs_off as usize + dw] == packed.dirs[..]
+            && self.locs[m.locs_off as usize..m.locs_off as usize + packed.len] == *locs
+            && self.breaks[m.breaks_off as usize..m.breaks_off as usize + breaks.len()] == *breaks
+    }
+
+    /// Absorbs every segment of `other` (dedup-aware): the cross-run
+    /// merge primitive — load yesterday's corpus, absorb it into a
+    /// fresh builder, insert today's segments, save.
+    pub fn absorb(&mut self, other: &Corpus) {
+        let mut syms = Vec::new();
+        for seg in 0..other.segment_count() as u32 {
+            let v = other.segment(seg);
+            syms.clear();
+            syms.extend((0..v.len).map(|i| v.sym(i)));
+            self.insert(&syms, v.locs, v.breaks);
+        }
+    }
+
+    /// Freezes the current contents into an immutable [`Corpus`]
+    /// without consuming the builder (arenas are copied into `Arc`
+    /// buffers; the builder keeps growing).
+    pub fn build(&self) -> Corpus {
+        Corpus {
+            anchor_len: self.anchor_len,
+            segments: self.segments.clone(),
+            ops: Arc::from(self.ops.as_slice()),
+            dirs: Arc::from(self.dirs.as_slice()),
+            locs: Arc::from(self.locs.as_slice()),
+            breaks: Arc::from(self.breaks.as_slice()),
+            index: self.index.clone(),
+        }
+    }
+
+    /// Consuming variant of [`CorpusBuilder::build`].
+    pub fn finish(self) -> Corpus {
+        Corpus {
+            anchor_len: self.anchor_len,
+            segments: self.segments,
+            ops: Arc::from(self.ops),
+            dirs: Arc::from(self.dirs),
+            locs: Arc::from(self.locs),
+            breaks: Arc::from(self.breaks),
+            index: self.index,
+        }
+    }
+}
+
+// format.rs needs field access for (de)serialization.
+
+/// Borrowed view of every field the on-disk writer needs, in layout
+/// order: anchor_len, segments, ops, dirs, locs, breaks, index shards.
+pub(crate) type CorpusParts<'a> = (
+    u32,
+    &'a [SegmentMeta],
+    &'a [u64],
+    &'a [u64],
+    &'a [u64],
+    &'a [u32],
+    &'a [FxHashMap<u64, Vec<CorpusCandidate>>],
+);
+
+impl Corpus {
+    pub(crate) fn parts(&self) -> CorpusParts<'_> {
+        (
+            self.anchor_len,
+            &self.segments,
+            &self.ops,
+            &self.dirs,
+            &self.locs,
+            &self.breaks,
+            &self.index.shards,
+        )
+    }
+
+    pub(crate) fn from_parts(
+        anchor_len: u32,
+        segments: Vec<SegmentMeta>,
+        ops: Vec<u64>,
+        dirs: Vec<u64>,
+        locs: Vec<u64>,
+        breaks: Vec<u32>,
+        shards: Vec<FxHashMap<u64, Vec<CorpusCandidate>>>,
+    ) -> Corpus {
+        Corpus {
+            anchor_len,
+            segments,
+            ops: Arc::from(ops),
+            dirs: Arc::from(dirs),
+            locs: Arc::from(locs),
+            breaks: Arc::from(breaks),
+            index: AnchorIndex { shards },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jportal_bytecode::OpKind;
+
+    fn seg(ops: &[OpKind]) -> (Vec<Sym>, Vec<u64>, Vec<u32>) {
+        let syms: Vec<Sym> = ops.iter().map(|&o| Sym::plain(o)).collect();
+        let locs: Vec<u64> = (0..ops.len() as u32)
+            .map(|i| pack_loc(Some(7), Some(i)))
+            .collect();
+        (syms, locs, vec![])
+    }
+
+    #[test]
+    fn insert_index_lookup_round_trip() {
+        use OpKind as O;
+        let mut b = CorpusBuilder::new(3);
+        let (syms, locs, breaks) = seg(&[O::Iadd, O::Isub, O::Imul, O::Dup, O::Pop, O::Swap]);
+        assert!(b.insert(&syms, &locs, &breaks));
+        let c = b.build();
+        assert_eq!(c.segment_count(), 1);
+        let mut out = Vec::new();
+        // Anchor [iadd, isub, imul] ends at position 2; suffix follows.
+        c.candidates_into(&syms[0..3], &mut out);
+        assert_eq!(out, vec![(0, 2)]);
+        // Anchor ending at the last symbol has no suffix: not indexed.
+        c.candidates_into(&syms[3..6], &mut out);
+        assert!(out.is_empty());
+        // Wrong anchor length: no candidates.
+        c.candidates_into(&syms[0..2], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dedup_drops_exact_duplicates_only() {
+        use OpKind as O;
+        let mut b = CorpusBuilder::new(3);
+        let (syms, locs, breaks) = seg(&[O::Iadd, O::Isub, O::Imul, O::Dup, O::Pop]);
+        assert!(b.insert(&syms, &locs, &breaks));
+        assert!(!b.insert(&syms, &locs, &breaks), "exact duplicate");
+        // Same symbols, different locations: not a duplicate.
+        let locs2: Vec<u64> = locs.iter().map(|&l| l ^ 1).collect();
+        assert!(b.insert(&syms, &locs2, &breaks));
+        assert_eq!(b.inserted(), 2);
+        assert_eq!(b.deduped(), 1);
+    }
+
+    #[test]
+    fn segment_view_round_trips_syms_and_locs() {
+        use OpKind as O;
+        let mut b = CorpusBuilder::new(2);
+        let syms = vec![
+            Sym::plain(O::Iload),
+            Sym::branch(O::Ifeq, true),
+            Sym::branch(O::Ifne, false),
+            Sym::plain(O::Ireturn),
+        ];
+        let locs = vec![
+            pack_loc(Some(3), Some(0)),
+            pack_loc(Some(3), Some(1)),
+            pack_loc(None, None),
+            pack_loc(Some(3), Some(4)),
+        ];
+        let breaks = vec![2u32];
+        assert!(b.insert(&syms, &locs, &breaks));
+        let c = b.finish();
+        let v = c.segment(0);
+        assert_eq!(v.len, 4);
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(v.sym(i), *s);
+        }
+        assert_eq!(v.loc(2), (None, None));
+        assert_eq!(v.loc(3), (Some(3), Some(4)));
+        assert_eq!(v.breaks, &[2]);
+    }
+
+    #[test]
+    fn absorb_merges_dedup_aware() {
+        use OpKind as O;
+        let mut a = CorpusBuilder::new(3);
+        let (s1, l1, k1) = seg(&[O::Iadd, O::Isub, O::Imul, O::Dup]);
+        a.insert(&s1, &l1, &k1);
+        let ca = a.finish();
+
+        let mut b = CorpusBuilder::new(3);
+        b.insert(&s1, &l1, &k1);
+        let (s2, l2, k2) = seg(&[O::Pop, O::Swap, O::Ineg, O::Ishl, O::Ishr]);
+        b.insert(&s2, &l2, &k2);
+        b.absorb(&ca);
+        assert_eq!(b.segment_count(), 2, "absorb dedups the shared segment");
+        assert_eq!(b.deduped(), 1);
+    }
+
+    #[test]
+    fn stats_and_busiest_anchors() {
+        use OpKind as O;
+        let mut b = CorpusBuilder::new(3);
+        // The window [iadd, isub, imul] appears twice in this segment.
+        let (syms, locs, breaks) =
+            seg(&[O::Iadd, O::Isub, O::Imul, O::Iadd, O::Isub, O::Imul, O::Pop]);
+        b.insert(&syms, &locs, &breaks);
+        let c = b.finish();
+        let stats = c.stats();
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.syms, 7);
+        assert_eq!(stats.shard_fill.len(), ANCHOR_SHARDS);
+        assert_eq!(stats.shard_fill.iter().sum::<usize>(), 4, "4 windows");
+        let busiest = c.busiest_anchors(10);
+        assert_eq!(busiest[0].1, 2);
+        assert_eq!(c.spell_key(busiest[0].0), "iadd·isub·imul");
+    }
+}

@@ -1,0 +1,193 @@
+//! Corpus durability: the on-disk format round-trips byte-identically,
+//! and every malformed-input class is rejected with the right typed
+//! [`CorpusError`] — never a panic. Corpus files outlive the build that
+//! wrote them, so stale versions, torn writes and bit rot are expected
+//! inputs, not exceptional ones.
+
+use jportal_bytecode::OpKind;
+use jportal_cfg::Sym;
+use jportal_corpus::{pack_loc, Corpus, CorpusBuilder, CorpusError};
+
+/// A small but representative corpus: several segments, branch dirs,
+/// missing locations, seams, and one dedup collision.
+fn sample_corpus() -> Corpus {
+    let mut b = CorpusBuilder::new(3);
+    let all = OpKind::ALL;
+    for s in 0..20u32 {
+        let syms: Vec<Sym> = (0..(6 + s % 9) as usize)
+            .map(|i| {
+                let op = all[(s as usize * 13 + i * 7) % all.len()];
+                match i % 3 {
+                    0 => Sym::plain(op),
+                    1 => Sym::branch(op, (i + s as usize).is_multiple_of(2)),
+                    _ => Sym {
+                        op,
+                        dir: jportal_cfg::BranchDir::Unknown,
+                    },
+                }
+            })
+            .collect();
+        let locs: Vec<u64> = (0..syms.len() as u32)
+            .map(|i| {
+                if i % 5 == 4 {
+                    pack_loc(None, None)
+                } else {
+                    pack_loc(Some(s), Some(i))
+                }
+            })
+            .collect();
+        let breaks: Vec<u32> = if s % 4 == 0 { vec![2, 5] } else { vec![] };
+        b.insert(&syms, &locs, &breaks);
+    }
+    b.finish()
+}
+
+#[test]
+fn round_trip_is_byte_identical() {
+    let c = sample_corpus();
+    let bytes = c.to_bytes();
+    let loaded = Corpus::from_bytes(&bytes).expect("valid corpus loads");
+    assert_eq!(
+        loaded.to_bytes(),
+        bytes,
+        "serialize ∘ load ∘ serialize is identity"
+    );
+    // And the loaded corpus answers queries identically.
+    assert_eq!(loaded.segment_count(), c.segment_count());
+    assert_eq!(loaded.stats(), c.stats());
+    assert_eq!(loaded.busiest_anchors(10), c.busiest_anchors(10));
+    for seg in 0..c.segment_count() as u32 {
+        let (a, b) = (c.segment(seg), loaded.segment(seg));
+        assert_eq!(a.len, b.len);
+        for i in 0..a.len {
+            assert_eq!(a.sym(i), b.sym(i));
+            assert_eq!(a.loc(i), b.loc(i));
+        }
+        assert_eq!(a.breaks, b.breaks);
+    }
+}
+
+#[test]
+fn save_load_round_trips_via_disk() {
+    let c = sample_corpus();
+    let dir = std::env::temp_dir().join(format!("jportal-corpus-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sample.jpcorpus");
+    c.save(&path).expect("save");
+    let loaded = Corpus::load(&path).expect("load");
+    assert_eq!(loaded.to_bytes(), c.to_bytes());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_at_every_boundary_is_rejected_without_panic() {
+    let bytes = sample_corpus().to_bytes();
+    // Whole-word truncations: checksum now covers different bytes, so
+    // most fail the checksum; the very short ones fail Truncated. All
+    // must return an error, none may panic.
+    for cut in (0..bytes.len()).step_by(8) {
+        let err = Corpus::from_bytes(&bytes[..cut]).expect_err("truncated input must not load");
+        assert!(
+            matches!(
+                err,
+                CorpusError::Truncated
+                    | CorpusError::ChecksumMismatch { .. }
+                    | CorpusError::BadMagic
+            ),
+            "cut={cut}: unexpected error {err}"
+        );
+    }
+    // Non-word-aligned truncation.
+    assert!(matches!(
+        Corpus::from_bytes(&bytes[..bytes.len() - 3]),
+        Err(CorpusError::Truncated)
+    ));
+}
+
+#[test]
+fn corrupted_byte_anywhere_fails_the_checksum() {
+    let bytes = sample_corpus().to_bytes();
+    // Flip one bit at a spread of offsets past the magic (corrupting
+    // the magic itself reports BadMagic, tested separately).
+    for at in (8..bytes.len() - 8).step_by(97) {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x40;
+        let err = Corpus::from_bytes(&bad).expect_err("corrupted input must not load");
+        assert!(
+            matches!(
+                err,
+                CorpusError::ChecksumMismatch { .. } | CorpusError::VersionMismatch { .. }
+            ),
+            "at={at}: unexpected error {err}"
+        );
+    }
+    // Corrupting the trailer itself also lands on ChecksumMismatch.
+    let mut bad = bytes.clone();
+    let at = bytes.len() - 1;
+    bad[at] ^= 1;
+    assert!(matches!(
+        Corpus::from_bytes(&bad),
+        Err(CorpusError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = sample_corpus().to_bytes();
+    bytes[0] ^= 0xff;
+    assert!(matches!(
+        Corpus::from_bytes(&bytes),
+        Err(CorpusError::BadMagic)
+    ));
+    assert!(matches!(
+        Corpus::from_bytes(b"not a corpus md\n"),
+        Err(CorpusError::BadMagic)
+    ));
+}
+
+#[test]
+fn version_mismatch_is_refused_with_both_versions() {
+    let mut bytes = sample_corpus().to_bytes();
+    // Bump the version field (low half of word 1) and re-seal the
+    // checksum so only the version check can object.
+    bytes[8] = bytes[8].wrapping_add(1);
+    let sum = jportal_corpus::format::fnv1a(&bytes[..bytes.len() - 8]);
+    let n = bytes.len();
+    bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+    match Corpus::from_bytes(&bytes) {
+        Err(CorpusError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, jportal_corpus::FORMAT_VERSION + 1);
+            assert_eq!(expected, jportal_corpus::FORMAT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn io_error_is_typed_not_panicked() {
+    let missing = std::path::Path::new("/nonexistent/jportal/corpus.jpcorpus");
+    assert!(matches!(Corpus::load(missing), Err(CorpusError::Io(_))));
+}
+
+#[test]
+fn absorb_then_save_accumulates_across_runs() {
+    // Run 1 saves; run 2 loads, absorbs, adds its own segments, saves.
+    let run1 = sample_corpus();
+    let mut b = CorpusBuilder::new(3);
+    b.absorb(&run1);
+    assert_eq!(b.deduped(), 0);
+    let syms: Vec<Sym> = [OpKind::Ixor, OpKind::Ishr, OpKind::Ishl, OpKind::Irem]
+        .iter()
+        .map(|&o| Sym::plain(o))
+        .collect();
+    let locs: Vec<u64> = (0..4).map(|i| pack_loc(Some(900), Some(i))).collect();
+    assert!(b.insert(&syms, &locs, &[]));
+    let run2 = b.finish();
+    assert_eq!(run2.segment_count(), run1.segment_count() + 1);
+    // Absorbing again is a no-op thanks to dedup.
+    let mut b2 = CorpusBuilder::new(3);
+    b2.absorb(&run2);
+    b2.absorb(&run1);
+    assert_eq!(b2.segment_count(), run2.segment_count());
+    assert_eq!(b2.deduped() as usize, run1.segment_count());
+}

@@ -1,0 +1,227 @@
+//! Cross-run corpus learning (`jportal-corpus` + [`JPortalConfig::corpus`]):
+//! a corpus harvested from a clean run must improve a lossy run's fill
+//! rate on the seed workloads — and must never disturb the in-run
+//! recovery path (corpus off, or attached-but-disabled, reproduces the
+//! seed pipeline byte-for-byte).
+
+use std::sync::Arc;
+
+use jportal::core::{JPortal, JPortalConfig, JPortalReport};
+use jportal::corpus::{Corpus, CorpusBuilder};
+use jportal::jvm::{Jvm, JvmConfig, RunResult};
+use jportal::workloads::{workload_by_name, Workload};
+
+const SUBJECTS: [&str; 2] = ["fop", "h2"];
+
+fn clean_config(w: &Workload) -> JvmConfig {
+    JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        ..JvmConfig::default()
+    }
+}
+
+/// Deep loss on a small buffer: plenty of holes for recovery to work on
+/// (the same shape the summary-pruning bench uses).
+fn lossy_config(w: &Workload) -> JvmConfig {
+    JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        pt_buffer_capacity: 1000,
+        drain_bytes_per_kilocycle: 50,
+        ..JvmConfig::default()
+    }
+}
+
+fn run(w: &Workload, cfg: JvmConfig) -> RunResult {
+    let r = Jvm::new(cfg).run(&w.program);
+    assert!(r.traces.is_some(), "tracing must be on");
+    r
+}
+
+fn analyze(w: &Workload, r: &RunResult, config: JPortalConfig) -> JPortalReport {
+    JPortal::with_config(&w.program, config).analyze(r.traces.as_ref().unwrap(), &r.archive)
+}
+
+/// Fraction of holes that got any fill, and the mean fill confidence.
+fn fill_metrics(report: &JPortalReport) -> (f64, f64) {
+    let mut holes = 0usize;
+    let mut filled = 0usize;
+    for t in &report.threads {
+        holes += t.recovery.holes;
+        filled += t.recovery.filled_from_cs + t.recovery.filled_by_walk;
+    }
+    let fills: Vec<f64> = report
+        .quality
+        .threads
+        .iter()
+        .flat_map(|t| t.fills.iter().map(|f| f.confidence))
+        .collect();
+    let mean_conf = if fills.is_empty() {
+        0.0
+    } else {
+        fills.iter().sum::<f64>() / fills.len() as f64
+    };
+    let rate = if holes == 0 {
+        1.0
+    } else {
+        filled as f64 / holes as f64
+    };
+    (rate, mean_conf)
+}
+
+/// Harvests a clean (lossless) run of `w` into a corpus.
+fn clean_corpus(w: &Workload) -> Corpus {
+    let r = run(w, clean_config(w));
+    let mut builder = CorpusBuilder::new(JPortalConfig::default().recovery.anchor_len);
+    let report = JPortal::with_config(&w.program, JPortalConfig::default()).analyze_harvest(
+        r.traces.as_ref().unwrap(),
+        &r.archive,
+        &mut builder,
+    );
+    assert!(builder.inserted() > 0, "clean run must harvest segments");
+    assert!(report.total_entries() > 0);
+    builder.finish()
+}
+
+#[test]
+fn corpus_off_is_byte_identical_to_the_seed_path() {
+    for name in SUBJECTS {
+        let w = workload_by_name(name, 2);
+        let corpus = Arc::new(clean_corpus(&w));
+        let r = run(&w, lossy_config(&w));
+        let baseline = analyze(&w, &r, JPortalConfig::default());
+
+        // A store attached with the flag off must change nothing at all.
+        let attached_off = JPortal::with_config(&w.program, JPortalConfig::default())
+            .with_corpus_store(Arc::clone(&corpus))
+            .analyze(r.traces.as_ref().unwrap(), &r.archive);
+        assert_eq!(baseline, attached_off, "{name}: store attached, flag off");
+
+        // The flag on with an *empty* corpus must reproduce the seed
+        // entries: the consult point fires only after in-run candidates
+        // fail, and an empty corpus can never fill, so the timeline is
+        // untouched (only the lookup counters move).
+        let empty = Arc::new(Corpus::empty(JPortalConfig::default().recovery.anchor_len));
+        let flag_on_empty = JPortal::with_config(
+            &w.program,
+            JPortalConfig {
+                corpus: true,
+                ..JPortalConfig::default()
+            },
+        )
+        .with_corpus_store(empty)
+        .analyze(r.traces.as_ref().unwrap(), &r.archive);
+        for (a, b) in baseline.threads.iter().zip(&flag_on_empty.threads) {
+            assert_eq!(a.entries, b.entries, "{name}: entries with empty corpus");
+            assert_eq!(a.holes, b.holes);
+            assert_eq!(a.lint, b.lint);
+        }
+    }
+}
+
+#[test]
+fn clean_run_corpus_improves_lossy_fill_rate() {
+    for name in SUBJECTS {
+        let w = workload_by_name(name, 2);
+        let corpus = Arc::new(clean_corpus(&w));
+        let r = run(&w, lossy_config(&w));
+
+        let baseline = analyze(&w, &r, JPortalConfig::default());
+        let with_corpus = JPortal::with_config(
+            &w.program,
+            JPortalConfig {
+                corpus: true,
+                ..JPortalConfig::default()
+            },
+        )
+        .with_corpus_store(Arc::clone(&corpus))
+        .analyze(r.traces.as_ref().unwrap(), &r.archive);
+
+        let holes: usize = baseline.threads.iter().map(|t| t.recovery.holes).sum();
+        assert!(holes > 0, "{name}: lossy config must produce holes");
+        let hits: usize = with_corpus
+            .threads
+            .iter()
+            .map(|t| t.recovery.corpus_hits)
+            .sum();
+        assert!(hits > 0, "{name}: the clean-run corpus must fill holes");
+
+        // The corpus only ever upgrades walk/unfilled holes, so the
+        // fill rate cannot drop and walks cannot increase.
+        let (rate_base, _) = fill_metrics(&baseline);
+        let (rate_corpus, _) = fill_metrics(&with_corpus);
+        assert!(
+            rate_corpus >= rate_base,
+            "{name}: fill rate {rate_corpus} < baseline {rate_base}"
+        );
+        let walks = |r: &JPortalReport| -> usize {
+            r.threads.iter().map(|t| t.recovery.filled_by_walk).sum()
+        };
+        assert!(
+            walks(&with_corpus) <= walks(&baseline),
+            "{name}: walks grew"
+        );
+    }
+}
+
+#[test]
+fn learning_loop_round_trips_through_disk() {
+    let w = workload_by_name("fop", 2);
+    let corpus = clean_corpus(&w);
+    let dir = std::env::temp_dir().join(format!("jportal-corpus-learn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fop.jpcorpus");
+    corpus.save(&path).expect("save");
+
+    // Next "run": load yesterday's corpus, absorb, add today's segments.
+    let loaded = Corpus::load(&path).expect("load");
+    assert_eq!(loaded.to_bytes(), corpus.to_bytes());
+    let mut builder = CorpusBuilder::new(loaded.anchor_len());
+    builder.absorb(&loaded);
+    let dedup_before = builder.deduped();
+    builder.absorb(&loaded);
+    assert!(
+        builder.deduped() > dedup_before,
+        "re-absorbing the same corpus must dedup, not duplicate"
+    );
+    let merged = builder.finish();
+    assert_eq!(merged.segment_count(), corpus.segment_count());
+
+    // The loaded corpus drives recovery exactly like the in-memory one.
+    let r = run(&w, lossy_config(&w));
+    let cfg = JPortalConfig {
+        corpus: true,
+        ..JPortalConfig::default()
+    };
+    let mem = JPortal::with_config(&w.program, cfg)
+        .with_corpus_store(Arc::new(corpus))
+        .analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let disk = JPortal::with_config(&w.program, cfg)
+        .with_corpus_store(Arc::new(loaded))
+        .analyze(r.traces.as_ref().unwrap(), &r.archive);
+    assert_eq!(mem, disk, "in-memory and loaded corpora must fill alike");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn harvest_is_deterministic_across_worker_counts() {
+    let w = workload_by_name("h2", 2);
+    let r = run(&w, lossy_config(&w));
+    let mut corpora = Vec::new();
+    for workers in [1usize, 4] {
+        let mut builder = CorpusBuilder::new(JPortalConfig::default().recovery.anchor_len);
+        let cfg = JPortalConfig {
+            parallelism: Some(workers),
+            ..JPortalConfig::default()
+        };
+        JPortal::with_config(&w.program, cfg).analyze_harvest(
+            r.traces.as_ref().unwrap(),
+            &r.archive,
+            &mut builder,
+        );
+        corpora.push(builder.finish().to_bytes());
+    }
+    assert_eq!(
+        corpora[0], corpora[1],
+        "harvested corpus must be byte-identical at any parallelism"
+    );
+}
