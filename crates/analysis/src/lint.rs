@@ -295,7 +295,7 @@ pub fn lint_steps_observed(
     let _span = obs
         .span("lint", "lint_steps")
         .arg("steps", steps.len())
-        .record_dur(&obs.registry().histogram("analysis.lint.wall_us"));
+        .record_sketch(&obs.registry().sketch("analysis.lint.wall_us"));
     let diagnostics = lint_steps_summarized(program, icfg, steps, summaries);
     obs.registry()
         .counter("analysis.lint.steps")

@@ -17,7 +17,7 @@ use jportal_cfg::{Icfg, MatchScratch, Sym};
 use jportal_corpus::{Corpus, CorpusBuilder};
 use jportal_ipt::{CollectedTraces, CollectionStats, ThreadId};
 use jportal_jvm::MetadataArchive;
-use jportal_obs::{JournalEvent, Obs, TelemetryReport};
+use jportal_obs::{JournalEvent, Obs, TelemetryConfig, TelemetryPlane, TelemetryReport};
 use std::cell::RefCell;
 
 use crate::decode::decode_segment;
@@ -82,6 +82,15 @@ pub struct JPortalConfig {
     /// reduces to a single branch on a `None` handle — no allocation, no
     /// atomics, nothing recorded.
     pub observability: bool,
+    /// Live telemetry plane (see `jportal_obs::plane`): periodic series
+    /// snapshots published at pipeline stage boundaries, scrapeable
+    /// while an analysis runs. `None` (the default) adds **nothing** —
+    /// no plane, no ticks, no new atomics — and reports stay
+    /// byte-identical to a build without the feature. `Some` implies an
+    /// enabled recording handle even when
+    /// [`JPortalConfig::observability`] is off (live telemetry without
+    /// instruments would publish empty snapshots).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for JPortalConfig {
@@ -96,6 +105,7 @@ impl Default for JPortalConfig {
             corpus: false,
             parallelism: None,
             observability: true,
+            telemetry: None,
         }
     }
 }
@@ -229,6 +239,9 @@ pub struct JPortal<'p> {
     /// Telemetry sink shared by every stage; inert when
     /// [`JPortalConfig::observability`] is off.
     obs: Obs,
+    /// Live telemetry plane, present only when
+    /// [`JPortalConfig::telemetry`] is on; ticked at stage boundaries.
+    plane: Option<std::sync::Arc<TelemetryPlane>>,
 }
 
 /// One harvested complete segment, ready for
@@ -254,13 +267,18 @@ impl<'p> JPortal<'p> {
         let summaries = config
             .summaries
             .then(|| SummaryTable::build(program, &icfg));
+        let obs = Obs::new(config.observability || config.telemetry.is_some());
+        let plane = config
+            .telemetry
+            .map(|t| TelemetryPlane::new(obs.clone(), t));
         JPortal {
             program,
             icfg,
             analysis: AnalysisIndex::build(program),
             summaries,
             corpus: None,
-            obs: Obs::new(config.observability),
+            obs,
+            plane,
             config,
         }
     }
@@ -303,6 +321,21 @@ impl<'p> JPortal<'p> {
     /// client spans around calls into the analyzer).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The live telemetry plane, when [`JPortalConfig::telemetry`] is
+    /// on. Clone the `Arc` into anything that should feed or serve it:
+    /// `TelemetryServer::bind` for scraping, `Jvm::with_telemetry` so
+    /// collection-side ring drains tick it too.
+    pub fn telemetry_plane(&self) -> Option<&std::sync::Arc<TelemetryPlane>> {
+        self.plane.as_ref()
+    }
+
+    /// One stage-boundary tick of the live plane (no-op without one).
+    fn tick_stage(&self) {
+        if let Some(p) = &self.plane {
+            p.tick_stage();
+        }
     }
 
     /// Snapshot of everything recorded so far: metric values plus the
@@ -356,7 +389,7 @@ impl<'p> JPortal<'p> {
         let obs = &self.obs;
         let _analyze = obs
             .span("pipeline", "analyze")
-            .record_dur(&obs.registry().histogram("core.analyze.wall_us"));
+            .record_sketch(&obs.registry().sketch("core.analyze.wall_us"));
         let workers = jportal_par::effective_workers(self.config.parallelism);
         let anfa = AbstractNfa::with_metrics(self.program, &self.icfg, obs.registry());
         if workers > 1 {
@@ -390,6 +423,7 @@ impl<'p> JPortal<'p> {
                 .add(decode_stats.resync_bytes);
             reg.counter("ipt.decode.packets").add(decode_stats.packets);
         }
+        self.tick_stage();
 
         // Level 1: decode + project every (thread, piece) pair globally.
         let work: Vec<(usize, usize)> = thread_pieces
@@ -404,8 +438,8 @@ impl<'p> JPortal<'p> {
         thread_local! {
             static PROJ_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
         }
-        let decode_hist = obs.registry().histogram("core.decode.wall_us");
-        let project_hist = obs.registry().histogram("core.project.wall_us");
+        let decode_sketch = obs.registry().sketch("core.decode.wall_us");
+        let project_sketch = obs.registry().sketch("core.project.wall_us");
         let arena_hw = obs.registry().gauge("core.project.scratch_arena_hw");
         let projected: Vec<(SegmentView, ProjectionStats)> =
             jportal_par::par_map(workers, &work, |_, &(ti, pi)| {
@@ -420,7 +454,7 @@ impl<'p> JPortal<'p> {
                         .span("decode", "decode_segment")
                         .parent("analyze")
                         .arg("core", piece.core)
-                        .record_dur(&decode_hist);
+                        .record_sketch(&decode_sketch);
                     decode_segment(self.program, archive, &piece.segment)
                 };
                 debug_assert_eq!(decoded.core, piece.core);
@@ -430,7 +464,7 @@ impl<'p> JPortal<'p> {
                         .span("project", "project_segment")
                         .parent("analyze")
                         .arg("events", decoded.events.len())
-                        .record_dur(&project_hist);
+                        .record_sketch(&project_sketch);
                     let proj = project_segment_with(
                         self.program,
                         &self.icfg,
@@ -482,6 +516,7 @@ impl<'p> JPortal<'p> {
             grouped[ti].1.push(view);
             grouped[ti].2.merge(&stats);
         }
+        self.tick_stage();
 
         // Level 2: per-thread assembly, fanned out across threads. When
         // the thread fan-out already saturates the workers, recovery's
@@ -590,6 +625,10 @@ impl<'p> JPortal<'p> {
             .iter()
             .map(|t| t.projection.summary_pruned as u64)
             .sum();
+        // Close the analyze span before the final stage tick so this
+        // run's `core.analyze.wall_us` is in the published snapshot.
+        drop(_analyze);
+        self.tick_stage();
         JPortalReport {
             threads,
             dfa_cache,
@@ -615,7 +654,7 @@ impl<'p> JPortal<'p> {
             .span("recover", "assemble_thread")
             .parent("analyze")
             .arg("thread", thread.0)
-            .record_dur(&obs.registry().histogram("core.assemble.wall_us"));
+            .record_sketch(&obs.registry().sketch("core.assemble.wall_us"));
         // Drop empty segments but keep their loss marks attached to
         // the following segment.
         let mut compacted: Vec<SegmentView> = Vec::new();
@@ -651,7 +690,7 @@ impl<'p> JPortal<'p> {
         let mut fills: Vec<FillQuality> = Vec::new();
         // One walk scratch for all of this thread's holes.
         let mut fill_scratch = FillScratch::new();
-        let fill_hist = obs.registry().histogram("core.recover.fill_wall_us");
+        let fill_sketch = obs.registry().sketch("core.recover.fill_wall_us");
         for i in 0..compacted.len() {
             if i > 0 {
                 if let Some(loss) = compacted[i].loss_before {
@@ -663,7 +702,7 @@ impl<'p> JPortal<'p> {
                             .span("recover", "fill_hole")
                             .arg("thread", thread.0)
                             .arg("hole", holes.len())
-                            .record_dur(&fill_hist);
+                            .record_sketch(&fill_sketch);
                         let fill = recovery.fill_hole_journaled(
                             &compacted,
                             i - 1,

@@ -149,6 +149,11 @@ impl PtEncoder {
         self.ring.drain(n)
     }
 
+    /// Point-in-time ring occupancy (for live telemetry gauges).
+    pub fn ring_sample(&self) -> crate::ring::RingSample {
+        self.ring.sample()
+    }
+
     /// Total events offered / events that generated packets (filter and
     /// enable-state effects).
     pub fn event_stats(&self) -> (u64, u64) {

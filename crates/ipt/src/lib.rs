@@ -39,6 +39,6 @@ pub use decoder::{
 pub use encoder::{EncoderConfig, HwEvent, PtEncoder};
 pub use obs::{CollectionStats, CoreCollection};
 pub use packet::{IpCompression, Packet, TntBits};
-pub use ring::{LossRecord, RingBuffer};
+pub use ring::{LossRecord, RingBuffer, RingSample};
 pub use session::{CollectedTraces, CoreId, PtSession};
 pub use sideband::{SidebandRecord, ThreadId};

@@ -26,6 +26,20 @@ pub struct LossRecord {
     pub lost_packets: u64,
 }
 
+/// A point-in-time occupancy reading of a [`RingBuffer`] — what the
+/// live telemetry plane publishes per core while a run is collecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingSample {
+    /// Bytes waiting to be exported.
+    pub pending: usize,
+    /// Buffer capacity in bytes.
+    pub capacity: usize,
+    /// Total bytes successfully written so far.
+    pub total_written: u64,
+    /// Total bytes dropped so far.
+    pub total_lost_bytes: u64,
+}
+
 /// Bounded buffer with an exported output stream.
 ///
 /// # Examples
@@ -166,6 +180,16 @@ impl RingBuffer {
     /// Total bytes dropped.
     pub fn total_lost_bytes(&self) -> u64 {
         self.total_lost_bytes
+    }
+
+    /// A point-in-time occupancy reading (for live telemetry gauges).
+    pub fn sample(&self) -> RingSample {
+        RingSample {
+            pending: self.queue.len(),
+            capacity: self.capacity,
+            total_written: self.total_written,
+            total_lost_bytes: self.total_lost_bytes,
+        }
     }
 
     /// Fraction of produced bytes that were lost, in `[0, 1]`.

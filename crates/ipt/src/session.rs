@@ -7,6 +7,8 @@
 
 use crate::encoder::{EncoderConfig, PtEncoder, PtTrace};
 use crate::sideband::{SidebandRecord, ThreadId};
+use jportal_obs::{Gauge, TelemetryPlane};
+use std::sync::Arc;
 
 /// Identifier of a simulated CPU core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -39,6 +41,17 @@ pub struct PtSession {
     sideband: Vec<SidebandRecord>,
     /// Exporter rate: bytes drained per call to [`PtSession::drain_all`].
     drain_quantum: usize,
+    /// Live telemetry: the plane plus pre-registered per-core ring
+    /// gauges, so the drain path never formats a metric name.
+    telemetry: Option<(Arc<TelemetryPlane>, Vec<CoreGauges>)>,
+}
+
+/// Per-core ring-occupancy gauges, registered once at attach time.
+#[derive(Debug)]
+struct CoreGauges {
+    pending: Gauge,
+    written: Gauge,
+    lost: Gauge,
 }
 
 /// Everything collected by a finished session.
@@ -60,7 +73,46 @@ impl PtSession {
             cores: (0..n_cores).map(|_| PtEncoder::new(cfg)).collect(),
             sideband: Vec::new(),
             drain_quantum: 512,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a live telemetry plane: per-core ring occupancy gauges
+    /// (`ipt.core<i>.ring_{pending,written,lost}_bytes`) update on every
+    /// [`PtSession::drain_core`], which also offers the plane a
+    /// sim-time tick. Without a plane the drain path is untouched.
+    pub fn set_telemetry(&mut self, plane: Arc<TelemetryPlane>) {
+        let reg = plane.obs().registry();
+        let gauges = (0..self.cores.len())
+            .map(|i| CoreGauges {
+                pending: reg.gauge(&format!("ipt.core{i}.ring_pending_bytes")),
+                written: reg.gauge(&format!("ipt.core{i}.ring_written_bytes")),
+                lost: reg.gauge(&format!("ipt.core{i}.ring_lost_bytes")),
+            })
+            .collect();
+        self.telemetry = Some((plane, gauges));
+    }
+
+    /// Drains up to `n` bytes from one core's ring (the per-core version
+    /// of [`PtSession::drain_all`]). With telemetry attached, updates
+    /// that core's ring gauges and offers the plane a sim tick stamped
+    /// `now` (simulation cycles); the plane throttles acceptance, so
+    /// calling this every drain quantum is fine. Returns bytes drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn drain_core(&mut self, core: CoreId, n: usize, now: u64) -> usize {
+        let drained = self.cores[core.index()].drain(n);
+        if let Some((plane, gauges)) = &self.telemetry {
+            let s = self.cores[core.index()].ring_sample();
+            let g = &gauges[core.index()];
+            g.pending.set(s.pending as u64);
+            g.written.set(s.total_written);
+            g.lost.set(s.total_lost_bytes);
+            plane.tick_sim(now);
+        }
+        drained
     }
 
     /// Sets how many bytes each core's exporter drains per

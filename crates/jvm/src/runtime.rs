@@ -133,12 +133,29 @@ impl RunResult {
 pub struct Jvm {
     /// Configuration used by [`Jvm::run`].
     pub config: JvmConfig,
+    /// Live telemetry plane attached to the tracing session (if any):
+    /// per-core ring gauges update on every drain and drains offer the
+    /// plane sim-time ticks. `None` leaves the drain path untouched.
+    telemetry: Option<std::sync::Arc<jportal_obs::TelemetryPlane>>,
 }
 
 impl Jvm {
     /// Creates a JVM with the given configuration.
     pub fn new(config: JvmConfig) -> Jvm {
-        Jvm { config }
+        Jvm {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a live telemetry plane (builder-style); see
+    /// [`PtSession::set_telemetry`] for what the collection side feeds
+    /// it. Typically the plane comes from a `JPortal` built with
+    /// `telemetry: Some(..)`, so collection and analysis publish into
+    /// the same scrapeable series.
+    pub fn with_telemetry(mut self, plane: std::sync::Arc<jportal_obs::TelemetryPlane>) -> Jvm {
+        self.telemetry = Some(plane);
+        self
     }
 
     /// Runs the program's entry method as a single thread.
@@ -175,7 +192,11 @@ impl Jvm {
                 tsc_period: cfg.tsc_period,
                 psb_period: cfg.psb_period,
             };
-            PtSession::new(cfg.cores, enc)
+            let mut s = PtSession::new(cfg.cores, enc);
+            if let Some(plane) = &self.telemetry {
+                s.set_telemetry(std::sync::Arc::clone(plane));
+            }
+            s
         });
 
         let mut states: Vec<ThreadState> = threads
@@ -301,7 +322,7 @@ impl Jvm {
                 // Exporter drains proportionally to elapsed time.
                 if let Some(s) = session.as_mut() {
                     let drained = cfg.quantum * cfg.drain_bytes_per_kilocycle / 1000;
-                    s.core_mut(CoreId(core as u32)).drain(drained as usize);
+                    s.drain_core(CoreId(core as u32), drained as usize, clocks[core]);
                 }
 
                 thread_last_ts[tid] = clocks[core];

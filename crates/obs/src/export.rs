@@ -88,49 +88,9 @@ impl TelemetryReport {
         out
     }
 
-    /// Flat metrics JSON: `{"counters": {..}, "gauges": {..},
-    /// "histograms": {name: {count, sum, p50, p99, buckets: [[upper,
-    /// n], ..]}}}`, all keys sorted.
+    /// Flat metrics JSON (see [`metrics_snapshot_json`]).
     pub fn metrics_json(&self) -> String {
-        let mut out = String::from("{\"counters\":{");
-        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_escaped(&mut out, name);
-            out.push_str(&format!(":{v}"));
-        }
-        out.push_str("},\"gauges\":{");
-        for (i, (name, v)) in self.metrics.gauges.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_escaped(&mut out, name);
-            out.push_str(&format!(":{v}"));
-        }
-        out.push_str("},\"histograms\":{");
-        for (i, h) in self.metrics.histograms.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_escaped(&mut out, &h.name);
-            out.push_str(&format!(
-                ":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
-                h.count,
-                h.sum,
-                h.quantile(0.5),
-                h.quantile(0.99)
-            ));
-            for (j, (upper, n)) in h.buckets.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!("[{upper},{n}]"));
-            }
-            out.push_str("]}");
-        }
-        out.push_str("}}");
-        out
+        metrics_snapshot_json(&self.metrics)
     }
 
     /// A human-readable summary: counters, gauges, histogram quantiles
@@ -144,6 +104,7 @@ impl TelemetryReport {
             .map(|(n, _)| n.len())
             .chain(self.metrics.gauges.iter().map(|(n, _)| n.len()))
             .chain(self.metrics.histograms.iter().map(|h| h.name.len()))
+            .chain(self.metrics.sketches.iter().map(|s| s.name.len()))
             .chain(self.span_categories().iter().map(|c| c.len()))
             .max()
             .unwrap_or(8)
@@ -191,6 +152,20 @@ impl TelemetryReport {
                 ));
             }
         }
+        if !self.metrics.sketches.is_empty() {
+            out.push_str("sketches (count / ~p50 / ~p90 / ~p99 / max)\n");
+            for s in &self.metrics.sketches {
+                out.push_str(&format!(
+                    "  {:<width$}  {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    s.name,
+                    s.count,
+                    s.quantile(0.5),
+                    s.quantile(0.9),
+                    s.quantile(0.99),
+                    s.max
+                ));
+            }
+        }
         if !self.spans.is_empty() {
             out.push_str("spans by category (count / total µs·cycles)\n");
             for cat in self.span_categories() {
@@ -209,6 +184,156 @@ impl TelemetryReport {
     }
 }
 
+/// Flat metrics JSON from a bare snapshot: `{"counters": {..}, "gauges":
+/// {..}, "histograms": {name: {count, sum, p50, p99, buckets: [[upper,
+/// n], ..]}}, "sketches": {name: {count, sum, min, max, p50, p90, p99,
+/// buckets: [[index, n], ..]}}}`, all keys sorted. Always valid per the
+/// strict `obs::json` validator.
+pub fn metrics_snapshot_json(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in metrics.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, name);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in metrics.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, name);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, h) in metrics.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, &h.name);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+            h.count,
+            h.sum,
+            h.quantile(0.5),
+            h.quantile(0.99)
+        ));
+        for (j, (upper, n)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{upper},{n}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("},\"sketches\":{");
+    for (i, s) in metrics.sketches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, &s.name);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            s.quantile(0.5),
+            s.quantile(0.9),
+            s.quantile(0.99)
+        ));
+        for (j, (idx, n)) in s.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{idx},{n}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A metric name in Prometheus form: `jportal_` prefix, dots and any
+/// other non-`[a-zA-Z0-9_]` characters replaced by underscores.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(8 + name.len());
+    out.push_str("jportal_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+/// HELP-text escaping per the Prometheus text format: backslash and
+/// newline only.
+fn prometheus_help(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Prometheus text exposition (version 0.0.4) of a metrics snapshot:
+/// counters and gauges as-is, histograms as cumulative `_bucket{le=..}`
+/// families, sketches as summaries with `quantile` labels. HELP lines
+/// carry the original dotted metric name.
+pub fn prometheus_text(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(256);
+    for (name, v) in &metrics.counters {
+        let p = prometheus_name(name);
+        out.push_str(&format!("# HELP {p} "));
+        prometheus_help(&mut out, name);
+        out.push('\n');
+        out.push_str(&format!("# TYPE {p} counter\n{p} {v}\n"));
+    }
+    for (name, v) in &metrics.gauges {
+        let p = prometheus_name(name);
+        out.push_str(&format!("# HELP {p} "));
+        prometheus_help(&mut out, name);
+        out.push('\n');
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {v}\n"));
+    }
+    for h in &metrics.histograms {
+        let p = prometheus_name(&h.name);
+        out.push_str(&format!("# HELP {p} "));
+        prometheus_help(&mut out, &h.name);
+        out.push('\n');
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let mut cum = 0u64;
+        for &(upper, n) in &h.buckets {
+            cum += n;
+            if upper == u64::MAX {
+                continue; // folded into +Inf below
+            }
+            out.push_str(&format!("{p}_bucket{{le=\"{upper}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", h.sum, h.count));
+    }
+    for s in &metrics.sketches {
+        let p = prometheus_name(&s.name);
+        out.push_str(&format!("# HELP {p} "));
+        prometheus_help(&mut out, &s.name);
+        out.push('\n');
+        out.push_str(&format!("# TYPE {p} summary\n"));
+        for q in [0.5, 0.9, 0.99] {
+            out.push_str(&format!("{p}{{quantile=\"{q}\"}} {}\n", s.quantile(q)));
+        }
+        out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", s.sum, s.count));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +347,9 @@ mod tests {
         let h = reg.histogram("c.wall_us");
         h.record(3);
         h.record(900);
+        let s = reg.sketch("d.lat_us");
+        s.record(40);
+        s.record(4000);
         TelemetryReport {
             metrics: reg.snapshot(),
             spans: vec![
@@ -274,6 +402,26 @@ mod tests {
         assert!(doc.contains("\"a.count\":7"));
         assert!(doc.contains("\"b.high_water\":42"));
         assert!(doc.contains("\"count\":2"));
+        assert!(doc.contains("\"sketches\":{\"d.lat_us\""));
+        assert!(doc.contains("\"min\":40"));
+        assert!(doc.contains("\"max\":4000"));
+    }
+
+    #[test]
+    fn prometheus_text_has_all_families() {
+        let r = sample_report();
+        let text = prometheus_text(&r.metrics);
+        assert!(text.contains("# TYPE jportal_a_count counter"));
+        assert!(text.contains("jportal_a_count 7"));
+        assert!(text.contains("# TYPE jportal_b_high_water gauge"));
+        assert!(text.contains("# TYPE jportal_c_wall_us histogram"));
+        assert!(text.contains("jportal_c_wall_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("jportal_c_wall_us_count 2"));
+        assert!(text.contains("# TYPE jportal_d_lat_us summary"));
+        assert!(text.contains("jportal_d_lat_us{quantile=\"0.99\"}"));
+        // HELP carries the dotted original name.
+        assert!(text.contains("# HELP jportal_a_count a.count"));
+        assert!(text.ends_with('\n'));
     }
 
     #[test]

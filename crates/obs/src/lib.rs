@@ -39,14 +39,25 @@ pub mod export;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod plane;
+pub mod series;
+pub mod serve;
+pub mod sketch;
 pub mod span;
 
-pub use export::TelemetryReport;
+pub use export::{metrics_snapshot_json, prometheus_text, TelemetryReport};
 pub use journal::{
     CandidateOutcome, Journal, JournalEvent, JournalKey, JournalRecord, JournalRecorder,
     JournalSnapshot,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use plane::{PlaneSnapshot, TelemetryConfig, TelemetryPlane};
+pub use series::{Series, SeriesPoint, SeriesStore};
+pub use serve::{http_get, parse_request, sse_frame, HttpResponse, Request, TelemetryServer};
+pub use sketch::{
+    Sketch, SketchSnapshot, SKETCH_BUCKETS, SKETCH_LINEAR_MAX, SKETCH_MAX_RELATIVE_ERROR,
+    SKETCH_SUBBUCKETS,
+};
 pub use span::{ArgValue, SpanCollector, SpanEvent, SpanGuard};
 
 use std::sync::Arc;

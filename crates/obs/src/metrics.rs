@@ -12,6 +12,7 @@
 //! Snapshots iterate a `BTreeMap`, so exported metrics are always sorted
 //! by name regardless of registration or update order.
 
+use crate::sketch::{Sketch, SketchCells, SketchSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -252,20 +253,37 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// Inclusive lower bound of the bucket with this inclusive upper bound
+/// (buckets are power-of-two ranges: upper `2^i - 1` pairs with lower
+/// `2^(i-1)`; the overflow bucket starts where the last finite one ends).
+fn bucket_lower(upper: u64) -> u64 {
+    match upper {
+        0 => 0,
+        u64::MAX => 1u64 << (HISTOGRAM_BUCKETS - 2),
+        u => u.div_ceil(2),
+    }
+}
+
 impl HistogramSnapshot {
-    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
-    /// where the cumulative count crosses `q * count`.
+    /// Approximate quantile (`0.0..=1.0`), linearly interpolated within
+    /// the bucket where the cumulative count crosses `q * count`
+    /// (assuming mass is uniform inside the bucket). Reporting the
+    /// bucket's power-of-two upper bound instead would overestimate by
+    /// up to 2×.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut cum = 0;
+        let mut cum = 0u64;
         for &(upper, n) in &self.buckets {
-            cum += n;
-            if cum >= target {
-                return upper;
+            if cum + n >= target {
+                let lower = bucket_lower(upper);
+                let inside = (target - cum) as f64; // 1..=n within this bucket
+                let width = (upper - lower) as f64;
+                return lower + (width * (inside - 0.5) / n as f64).round() as u64;
             }
+            cum += n;
         }
         self.buckets.last().map(|&(u, _)| u).unwrap_or(0)
     }
@@ -280,6 +298,8 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, u64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Quantile sketches, sorted by name.
+    pub sketches: Vec<SketchSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -306,6 +326,14 @@ impl MetricsSnapshot {
             .ok()
             .map(|i| &self.histograms[i])
     }
+
+    /// The sketch with this exact name, if present.
+    pub fn sketch(&self, name: &str) -> Option<&SketchSnapshot> {
+        self.sketches
+            .binary_search_by(|s| s.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.sketches[i])
+    }
 }
 
 #[derive(Default)]
@@ -313,6 +341,7 @@ struct RegistryInner {
     counters: BTreeMap<String, Arc<CounterCells>>,
     gauges: BTreeMap<String, Arc<AtomicU64>>,
     histograms: BTreeMap<String, Arc<HistogramCells>>,
+    sketches: BTreeMap<String, Arc<SketchCells>>,
 }
 
 /// A named collection of instruments.
@@ -348,6 +377,7 @@ impl std::fmt::Debug for RegistryInner {
             .field("counters", &self.counters.len())
             .field("gauges", &self.gauges.len())
             .field("histograms", &self.histograms.len())
+            .field("sketches", &self.sketches.len())
             .finish()
     }
 }
@@ -405,6 +435,19 @@ impl MetricsRegistry {
         Histogram(Some(Arc::clone(cells)))
     }
 
+    /// Get-or-create the quantile sketch with this name.
+    pub fn sketch(&self, name: &str) -> Sketch {
+        if !self.enabled {
+            return Sketch::noop();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let cells = inner
+            .sketches
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(SketchCells::default()));
+        Sketch(Some(Arc::clone(cells)))
+    }
+
     /// Reads every instrument, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().unwrap();
@@ -436,6 +479,11 @@ impl MetricsRegistry {
                         })
                         .collect(),
                 })
+                .collect(),
+            sketches: inner
+                .sketches
+                .iter()
+                .map(|(n, s)| Sketch::snapshot_named(s, n))
                 .collect(),
         }
     }
@@ -509,9 +557,44 @@ mod tests {
         assert_eq!(hs.sum, 1110);
         // v == 0 lands in bucket 0 (upper bound 0).
         assert_eq!(hs.buckets[0], (0, 1));
-        // Quantiles are bucket upper bounds.
-        assert!(hs.quantile(0.99) >= 1000);
+        // 1000 lands in [512, 1023]; the interpolated estimate must stay
+        // inside that bucket instead of jumping to the upper bound.
+        let p99 = hs.quantile(0.99);
+        assert!((512..=1023).contains(&p99), "p99 = {p99}");
         assert_eq!(hs.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // Regression: quantile() used to return the bucket's power-of-two
+        // upper bound — here 127, a 32% overestimate of the true median.
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("lat");
+        for _ in 0..1000 {
+            h.record(96); // bucket [64, 127]
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        // Uniform-within-bucket interpolation puts the median at the
+        // bucket midpoint, nowhere near the old 127 answer.
+        assert_eq!(hs.quantile(0.5), 95);
+        assert!(hs.quantile(0.99) < 127);
+    }
+
+    #[test]
+    fn registry_sketches_snapshot_sorted() {
+        let reg = MetricsRegistry::new(true);
+        reg.sketch("z.lat").record(10);
+        reg.sketch("a.lat").record(20);
+        reg.sketch("a.lat").record(30);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.sketches.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a.lat", "z.lat"]);
+        assert_eq!(snap.sketch("a.lat").unwrap().count, 2);
+        assert_eq!(snap.sketch("missing"), None);
+        let off = MetricsRegistry::new(false);
+        off.sketch("ignored").record(1);
+        assert!(off.snapshot().sketches.is_empty());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::metrics::Histogram;
+use crate::sketch::Sketch;
 
 /// A span argument value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -216,6 +217,8 @@ pub struct SpanGuard<'c> {
     start_us: u64,
     /// Optional histogram receiving the duration in µs on drop.
     dur_histogram: Option<Histogram>,
+    /// Optional quantile sketch receiving the duration in µs on drop.
+    dur_sketch: Option<Sketch>,
 }
 
 impl<'c> SpanGuard<'c> {
@@ -230,6 +233,7 @@ impl<'c> SpanGuard<'c> {
             start: None,
             start_us: 0,
             dur_histogram: None,
+            dur_sketch: None,
         }
     }
 
@@ -255,6 +259,7 @@ impl<'c> SpanGuard<'c> {
             start: Some(Instant::now()),
             start_us: collector.now_us(),
             dur_histogram: None,
+            dur_sketch: None,
         }
     }
 
@@ -283,6 +288,15 @@ impl<'c> SpanGuard<'c> {
         }
         self
     }
+
+    /// Also records the span's duration (µs) into quantile sketch `s`
+    /// on drop — the percentile-grade sibling of [`Self::record_dur`].
+    pub fn record_sketch(mut self, s: &Sketch) -> SpanGuard<'c> {
+        if self.collector.is_some() {
+            self.dur_sketch = Some(s.clone());
+        }
+        self
+    }
 }
 
 impl Drop for SpanGuard<'_> {
@@ -301,6 +315,9 @@ impl Drop for SpanGuard<'_> {
             .unwrap_or(0);
         if let Some(h) = &self.dur_histogram {
             h.record(dur_us);
+        }
+        if let Some(s) = &self.dur_sketch {
+            s.record(dur_us);
         }
         collector.push(SpanEvent {
             cat: self.cat,
@@ -388,5 +405,16 @@ mod tests {
             let _g = SpanGuard::open(&c, "x", "y").record_dur(&h);
         }
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn record_sketch_feeds_sketch() {
+        let c = SpanCollector::new();
+        let reg = crate::MetricsRegistry::new(true);
+        let s = reg.sketch("span.wall_us");
+        {
+            let _g = SpanGuard::open(&c, "x", "y").record_sketch(&s);
+        }
+        assert_eq!(s.count(), 1);
     }
 }

@@ -122,4 +122,72 @@ proptest! {
             prop_assert_eq!(report.metrics.counter(name), Some(*v));
         }
     }
+
+    /// Sketch merge is associative and order-independent: merging
+    /// per-shard snapshots in any grouping reproduces the snapshot of
+    /// one sketch that saw every value (merge is exact bucket-wise
+    /// addition, so this is equality, not approximation).
+    #[test]
+    fn sketch_merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..48),
+        b in prop::collection::vec(0u64..1_000_000, 0..48),
+        c in prop::collection::vec(0u64..1_000_000, 0..48),
+    ) {
+        let shard = |values: &[u64]| {
+            let reg = MetricsRegistry::new(true);
+            let s = reg.sketch("s");
+            for &v in values {
+                s.record(v);
+            }
+            reg.snapshot().sketch("s").unwrap().clone()
+        };
+        let (sa, sb, sc) = (shard(&a), shard(&b), shard(&c));
+        // (a ⊔ b) ⊔ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊔ (b ⊔ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Both equal the unsharded whole.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let whole = shard(&all);
+        if whole.count > 0 {
+            prop_assert_eq!(&left, &whole);
+        }
+    }
+
+    /// Sketch quantiles stay within the documented relative error bound
+    /// (1/32, the half-width of a log-linear bucket) of a sorted-oracle
+    /// quantile at the same rank, at every probed q.
+    #[test]
+    fn sketch_quantiles_meet_rank_error_bound(
+        values in prop::collection::vec(0u64..50_000_000, 1..128),
+    ) {
+        let mut values = values;
+        let reg = MetricsRegistry::new(true);
+        let s = reg.sketch("lat");
+        for &v in &values {
+            s.record(v);
+        }
+        let snap = reg.snapshot();
+        let sk = snap.sketch("lat").unwrap();
+        values.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99] {
+            // Same rank convention as SketchSnapshot::quantile.
+            let target = (q * values.len() as f64).ceil().max(1.0) as usize;
+            let oracle = values[target - 1];
+            let est = sk.quantile(q);
+            let bound = oracle / 32 + 1;
+            prop_assert!(
+                est.abs_diff(oracle) <= bound,
+                "q={q}: estimate {est} vs oracle {oracle} (bound {bound})"
+            );
+        }
+        prop_assert_eq!(sk.quantile(0.0), values[0]);
+        prop_assert_eq!(sk.quantile(1.0), *values.last().unwrap());
+    }
 }

@@ -8,6 +8,8 @@
 //! cargo run --release --example inspect -- explain --hole 1 sunflow
 //! cargo run --release --example inspect -- diff a.jsonl b.jsonl
 //! cargo run --release --example inspect -- corpus fop.jpcorpus --check
+//! cargo run --release --example inspect -- telemetry http://127.0.0.1:9100
+//! cargo run --release --example inspect -- telemetry target/obs/fop.metrics.json --check
 //! cargo run --release --example inspect -- --check              # CI schema gate
 //! ```
 //!
@@ -20,7 +22,8 @@
 use jportal::core::{JPortal, JPortalConfig, JPortalReport};
 use jportal::jvm::{Jvm, JvmConfig, RunResult};
 use jportal::obs::journal::{parse_jsonl, ParsedRecord};
-use jportal::obs::JournalSnapshot;
+use jportal::obs::json::{self, Value};
+use jportal::obs::{http_get, JournalSnapshot};
 use jportal::workloads::{all_workloads, workload_by_name, Workload};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -267,6 +270,141 @@ fn corpus(path: &str, check: bool) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------- telemetry
+
+/// Numeric members of the object at `doc[key]`, in document order.
+fn section(doc: &Value, key: &str) -> Vec<(String, f64)> {
+    match doc.get(key) {
+        Some(Value::Obj(pairs)) => pairs
+            .iter()
+            .filter_map(|(k, v)| v.as_num().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compound members (histograms/sketches) of the object at `doc[key]`.
+fn compound_section<'v>(doc: &'v Value, key: &str) -> Vec<(&'v String, &'v Value)> {
+    match doc.get(key) {
+        Some(Value::Obj(pairs)) => pairs.iter().map(|(k, v)| (k, v)).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// `telemetry <url-or-file>`: fetch a `/metrics.json` document — from a
+/// live endpoint (any `http://` source; bare base URLs get
+/// `/metrics.json` appended) or a file written by `observe` — and render
+/// the same aligned summary table the pipeline prints for itself. With
+/// `--check`, additionally asserts the schema: strict JSON, the four
+/// sections, and ordered sketch percentiles.
+fn telemetry(source: &str, check: bool) -> Result<(), String> {
+    let body = if let Some(rest) = source.strip_prefix("http://") {
+        let url = if rest.contains('/') {
+            source.to_string()
+        } else {
+            format!("{source}/metrics.json")
+        };
+        let r = http_get(&url).map_err(|e| format!("{url}: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("{url}: status {}", r.status));
+        }
+        r.body
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?
+    };
+    json::validate(&body).map_err(|e| format!("{source}: not strict JSON: {e}"))?;
+    let doc = json::parse(&body).expect("validated above");
+
+    let counters = section(&doc, "counters");
+    let gauges = section(&doc, "gauges");
+    let histograms = compound_section(&doc, "histograms");
+    let sketches = compound_section(&doc, "sketches");
+    let width = counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(gauges.iter().map(|(n, _)| n.len()))
+        .chain(histograms.iter().map(|(n, _)| n.len()))
+        .chain(sketches.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(8)
+        .max(8);
+
+    println!("=== {source} ===");
+    let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_num).unwrap_or(f64::NAN);
+    if !counters.is_empty() {
+        println!("counters");
+        for (name, v) in &counters {
+            println!("  {name:<width$}  {v:>12}");
+        }
+    }
+    if !gauges.is_empty() {
+        println!("gauges");
+        for (name, v) in &gauges {
+            println!("  {name:<width$}  {v:>12}");
+        }
+    }
+    if !histograms.is_empty() {
+        println!("histograms (count / sum / ~p50 / ~p99)");
+        for (name, h) in &histograms {
+            println!(
+                "  {name:<width$}  {:>8} {:>12} {:>10} {:>10}",
+                num(h, "count"),
+                num(h, "sum"),
+                num(h, "p50"),
+                num(h, "p99"),
+            );
+        }
+    }
+    if !sketches.is_empty() {
+        println!("sketches (count / ~p50 / ~p90 / ~p99 / max)");
+        for (name, s) in &sketches {
+            println!(
+                "  {name:<width$}  {:>8} {:>10} {:>10} {:>10} {:>10}",
+                num(s, "count"),
+                num(s, "p50"),
+                num(s, "p90"),
+                num(s, "p99"),
+                num(s, "max"),
+            );
+        }
+    }
+
+    if check {
+        for key in ["counters", "gauges", "histograms", "sketches"] {
+            if !matches!(doc.get(key), Some(Value::Obj(_))) {
+                return Err(format!(
+                    "{source}: section {key:?} missing or not an object"
+                ));
+            }
+        }
+        for (name, v) in counters.iter().chain(&gauges) {
+            if *v < 0.0 || !v.is_finite() {
+                return Err(format!("{source}: {name} has non-counter value {v}"));
+            }
+        }
+        for (name, s) in &sketches {
+            let (min, p50, p90, p99, max) = (
+                num(s, "min"),
+                num(s, "p50"),
+                num(s, "p90"),
+                num(s, "p99"),
+                num(s, "max"),
+            );
+            if !(min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max) {
+                return Err(format!(
+                    "{source}: sketch {name} percentiles out of order: \
+                     min {min} p50 {p50} p90 {p90} p99 {p99} max {max}"
+                ));
+            }
+        }
+        println!(
+            "check ok: strict JSON, all four sections, {} sketches ordered",
+            sketches.len()
+        );
+    }
+    Ok(())
+}
+
 // --------------------------------------------------------------------- diff
 
 fn load(path: &str) -> Result<Vec<ParsedRecord>, String> {
@@ -471,7 +609,12 @@ fn check(w: &Workload) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    if args.iter().any(|a| a == "--check") && args.first().map(String::as_str) != Some("corpus") {
+    if args.iter().any(|a| a == "--check")
+        && !matches!(
+            args.first().map(String::as_str),
+            Some("corpus") | Some("telemetry")
+        )
+    {
         let names: Vec<&String> = args
             .iter()
             .filter(|a| !a.starts_with("--") && a.as_str() != "check")
@@ -528,6 +671,15 @@ fn main() -> ExitCode {
                 corpus(files[0], check)
             }
         }
+        "telemetry" => {
+            let sources: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+            let check = rest.iter().any(|a| a == "--check");
+            if sources.len() != 1 {
+                Err("telemetry needs exactly one URL or metrics.json path".into())
+            } else {
+                telemetry(sources[0], check)
+            }
+        }
         "diff" => {
             let files: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
             if files.len() != 2 {
@@ -544,7 +696,8 @@ fn main() -> ExitCode {
             }
         }
         other => Err(format!(
-            "unknown command {other:?} (expected summarize, explain, corpus, diff, or --check)"
+            "unknown command {other:?} (expected summarize, explain, corpus, telemetry, \
+             diff, or --check)"
         )),
     };
 

@@ -3,6 +3,30 @@
 //!
 //! Facade crate re-exporting the workspace's public API. See the README for
 //! the architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! # Live telemetry
+//!
+//! Build the analyzer with `JPortalConfig { telemetry: Some(..), .. }`,
+//! bind a [`TelemetryServer`] on its plane, and scrape `/metrics`,
+//! `/metrics.json`, `/series?name=..` or `/stream` while analyses run
+//! (see DESIGN.md §17 and `examples/telemetry_live.rs`):
+//!
+//! ```no_run
+//! use jportal::core::{JPortal, JPortalConfig};
+//! use jportal::obs::{TelemetryConfig, TelemetryServer};
+//! # fn demo(program: &jportal::bytecode::Program) {
+//! let jp = JPortal::with_config(
+//!     program,
+//!     JPortalConfig {
+//!         telemetry: Some(TelemetryConfig::default()),
+//!         ..JPortalConfig::default()
+//!     },
+//! );
+//! let plane = jp.telemetry_plane().unwrap().clone();
+//! let server = TelemetryServer::bind(plane, "127.0.0.1:0").unwrap();
+//! println!("scrape {}/metrics", server.url());
+//! # }
+//! ```
 
 pub use jportal_analysis as analysis;
 pub use jportal_bytecode as bytecode;
@@ -14,3 +38,5 @@ pub use jportal_jvm as jvm;
 pub use jportal_obs as obs;
 pub use jportal_profilers as profilers;
 pub use jportal_workloads as workloads;
+
+pub use jportal_obs::{TelemetryConfig, TelemetryPlane, TelemetryServer};
