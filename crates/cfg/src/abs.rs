@@ -14,7 +14,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
 
 use jportal_bytecode::{OpKind, Program};
-use jportal_obs::{Counter, MetricsRegistry};
+use jportal_obs::{ContentionCounter, Counter, MetricsRegistry};
 
 use crate::fx::{FxHashMap, FxHasher};
 use crate::icfg::{Icfg, NodeId};
@@ -35,14 +35,18 @@ const CACHE_SHARDS: usize = 16;
 #[derive(Debug)]
 struct ShardedCache<K, V> {
     shards: Vec<RwLock<FxHashMap<K, V>>>,
+    /// Contention accounting over the shard locks (`lock.cfg.dfa_cache.*`
+    /// when the pipeline wires its registry; noop otherwise).
+    contention: ContentionCounter,
 }
 
 impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
-    fn new() -> ShardedCache<K, V> {
+    fn new(contention: ContentionCounter) -> ShardedCache<K, V> {
         ShardedCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
+            contention,
         }
     }
 
@@ -53,11 +57,11 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     }
 
     fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).read().unwrap().get(key).cloned()
+        self.contention.read(self.shard(key)).get(key).cloned()
     }
 
     fn insert(&self, key: K, value: V) {
-        self.shard(&key).write().unwrap().insert(key, value);
+        self.contention.write(self.shard(&key)).insert(key, value);
     }
 }
 
@@ -77,6 +81,9 @@ const EMPTY_SET: u32 = 0;
 #[derive(Debug)]
 struct StateSetInterner {
     inner: RwLock<InternerInner>,
+    /// Shares the DFA caches' contention counter: the interner sits on
+    /// the same projection hot path as the transition table.
+    contention: ContentionCounter,
 }
 
 #[derive(Debug, Default)]
@@ -86,13 +93,14 @@ struct InternerInner {
 }
 
 impl StateSetInterner {
-    fn new() -> StateSetInterner {
+    fn new(contention: ContentionCounter) -> StateSetInterner {
         let empty: Arc<[NodeId]> = Vec::new().into();
         let mut inner = InternerInner::default();
         inner.ids.insert(Arc::clone(&empty), EMPTY_SET);
         inner.sets.push(empty);
         StateSetInterner {
             inner: RwLock::new(inner),
+            contention,
         }
     }
 
@@ -104,10 +112,10 @@ impl StateSetInterner {
         if set.is_empty() {
             return EMPTY_SET;
         }
-        if let Some(&id) = self.inner.read().unwrap().ids.get(set.as_slice()) {
+        if let Some(&id) = self.contention.read(&self.inner).ids.get(set.as_slice()) {
             return id;
         }
-        let mut w = self.inner.write().unwrap();
+        let mut w = self.contention.write(&self.inner);
         // Double-check under the write lock: a racing thread may have
         // interned the same set between our read probe and here.
         if let Some(&id) = w.ids.get(set.as_slice()) {
@@ -122,7 +130,7 @@ impl StateSetInterner {
 
     /// The set behind an id.
     fn set(&self, id: u32) -> Arc<[NodeId]> {
-        Arc::clone(&self.inner.read().unwrap().sets[id as usize])
+        Arc::clone(&self.contention.read(&self.inner).sets[id as usize])
     }
 
     /// Number of interned sets (including the pre-interned empty set).
@@ -208,12 +216,20 @@ impl<'a> AbstractNfa<'a> {
     /// Builds the abstract view of the program's ICFG with detached
     /// (always-counting) cache counters.
     pub fn new(program: &'a Program, icfg: &'a Icfg) -> AbstractNfa<'a> {
-        AbstractNfa::with_counters(program, icfg, Counter::detached(), Counter::detached())
+        AbstractNfa::with_counters(
+            program,
+            icfg,
+            Counter::detached(),
+            Counter::detached(),
+            ContentionCounter::noop(),
+        )
     }
 
     /// Builds the abstract view with cache counters registered in a
-    /// telemetry registry as `cfg.dfa.hits` / `cfg.dfa.misses`. With a
-    /// disabled registry the counters are no-ops (and
+    /// telemetry registry as `cfg.dfa.hits` / `cfg.dfa.misses`, plus
+    /// lock-contention accounting over the striped caches and the
+    /// state-set interner as `lock.cfg.dfa_cache.*`. With a disabled
+    /// registry the counters are no-ops (and
     /// [`AbstractNfa::dfa_stats`] reads zero).
     pub fn with_metrics(
         program: &'a Program,
@@ -225,6 +241,7 @@ impl<'a> AbstractNfa<'a> {
             icfg,
             registry.counter("cfg.dfa.hits"),
             registry.counter("cfg.dfa.misses"),
+            ContentionCounter::register(registry, "lock.cfg.dfa_cache"),
         )
     }
 
@@ -233,13 +250,14 @@ impl<'a> AbstractNfa<'a> {
         icfg: &'a Icfg,
         hits: Counter,
         misses: Counter,
+        contention: ContentionCounter,
     ) -> AbstractNfa<'a> {
         AbstractNfa {
             nfa: Nfa::new(program, icfg),
-            control_succ: ShardedCache::new(),
-            control_closure: ShardedCache::new(),
-            interner: StateSetInterner::new(),
-            transitions: ShardedCache::new(),
+            control_succ: ShardedCache::new(contention.clone()),
+            control_closure: ShardedCache::new(contention.clone()),
+            interner: StateSetInterner::new(contention.clone()),
+            transitions: ShardedCache::new(contention),
             hits,
             misses,
         }

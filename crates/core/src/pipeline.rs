@@ -17,7 +17,9 @@ use jportal_cfg::{Icfg, MatchScratch, Sym};
 use jportal_corpus::{Corpus, CorpusBuilder};
 use jportal_ipt::{CollectedTraces, CollectionStats, ThreadId};
 use jportal_jvm::MetadataArchive;
-use jportal_obs::{JournalEvent, Obs, TelemetryConfig, TelemetryPlane, TelemetryReport};
+use jportal_obs::{
+    JournalEvent, Obs, ProfileConfig, Profiler, TelemetryConfig, TelemetryPlane, TelemetryReport,
+};
 use std::cell::RefCell;
 
 use crate::decode::decode_segment;
@@ -91,6 +93,19 @@ pub struct JPortalConfig {
     /// [`JPortalConfig::observability`] is off (live telemetry without
     /// instruments would publish empty snapshots).
     pub telemetry: Option<TelemetryConfig>,
+    /// Continuous self-profiling (see `jportal_obs::profile`): a
+    /// background sampler snapshots every worker's span stack through a
+    /// seqlock — the workers never block — and folds the samples into a
+    /// weighted stack profile served as folded stacks, a flamegraph SVG
+    /// and pprof-style JSON alongside `/metrics.json` when a telemetry
+    /// plane is attached. `None` (the default) adds **nothing** beyond
+    /// one relaxed load per span open; `Some` implies an enabled
+    /// recording handle like [`JPortalConfig::telemetry`]. Reports are
+    /// byte-identical with profiling on or off. With
+    /// [`ProfileConfig::deterministic`] set, sampling is driven by
+    /// plane-tick boundaries instead of wall time, so the folded
+    /// profile is identical at any worker count.
+    pub profiling: Option<ProfileConfig>,
 }
 
 impl Default for JPortalConfig {
@@ -106,6 +121,7 @@ impl Default for JPortalConfig {
             parallelism: None,
             observability: true,
             telemetry: None,
+            profiling: None,
         }
     }
 }
@@ -242,12 +258,28 @@ pub struct JPortal<'p> {
     /// Live telemetry plane, present only when
     /// [`JPortalConfig::telemetry`] is on; ticked at stage boundaries.
     plane: Option<std::sync::Arc<TelemetryPlane>>,
+    /// Span-stack sampling profiler, present only when
+    /// [`JPortalConfig::profiling`] is on; stopped (sampler thread
+    /// joined) when the analyzer drops.
+    profiler: Option<std::sync::Arc<Profiler>>,
 }
 
 /// One harvested complete segment, ready for
 /// [`jportal_corpus::CorpusBuilder::insert`]: symbols, packed
 /// `(method, bci)` locations, projection seams.
 type HarvestSeg = (Vec<Sym>, Vec<u64>, Vec<u32>);
+
+/// Stops the sampler thread (and decrements the global profiling
+/// enable-count, so span opens stop pushing frames) when the analyzer
+/// goes away. Dropping mid-analysis is fine — workers only ever see the
+/// flag flip, never a dangling stack.
+impl Drop for JPortal<'_> {
+    fn drop(&mut self) {
+        if let Some(profiler) = &self.profiler {
+            profiler.stop();
+        }
+    }
+}
 
 impl<'p> JPortal<'p> {
     /// Builds the analyzer (constructs the program's ICFG over RTA-refined
@@ -267,10 +299,18 @@ impl<'p> JPortal<'p> {
         let summaries = config
             .summaries
             .then(|| SummaryTable::build(program, &icfg));
-        let obs = Obs::new(config.observability || config.telemetry.is_some());
+        let obs = Obs::new(
+            config.observability || config.telemetry.is_some() || config.profiling.is_some(),
+        );
         let plane = config
             .telemetry
             .map(|t| TelemetryPlane::new(obs.clone(), t));
+        let profiler = config.profiling.map(Profiler::start);
+        if let (Some(plane), Some(profiler)) = (&plane, &profiler) {
+            // Deterministic profiles sample at plane ticks; wall-clock
+            // profiles ride along so `/profile/*` can serve snapshots.
+            plane.attach_profiler(profiler.clone());
+        }
         JPortal {
             program,
             icfg,
@@ -279,6 +319,7 @@ impl<'p> JPortal<'p> {
             corpus: None,
             obs,
             plane,
+            profiler,
             config,
         }
     }
@@ -331,10 +372,26 @@ impl<'p> JPortal<'p> {
         self.plane.as_ref()
     }
 
+    /// The sampling profiler, when [`JPortalConfig::profiling`] is on.
+    /// `Profiler::snapshot` at any point gives the profile so far;
+    /// `ProfileSnapshot::folded_text` / `jportal_obs::flame_svg` render
+    /// it, and an attached telemetry plane serves it live.
+    pub fn profiler(&self) -> Option<&std::sync::Arc<Profiler>> {
+        self.profiler.as_ref()
+    }
+
     /// One stage-boundary tick of the live plane (no-op without one).
+    /// In deterministic profiling mode the stage boundary *is* the
+    /// sample point: with a plane attached the plane's tick samples
+    /// (keeping sample indices aligned with published snapshot
+    /// sequence numbers), otherwise the profiler samples here directly.
     fn tick_stage(&self) {
         if let Some(p) = &self.plane {
             p.tick_stage();
+        } else if let Some(pr) = &self.profiler {
+            if pr.config().deterministic {
+                pr.sample_now();
+            }
         }
     }
 
@@ -441,8 +498,12 @@ impl<'p> JPortal<'p> {
         let decode_sketch = obs.registry().sketch("core.decode.wall_us");
         let project_sketch = obs.registry().sketch("core.project.wall_us");
         let arena_hw = obs.registry().gauge("core.project.scratch_arena_hw");
+        // Both fan-outs share one queue gauge and collect-lock counter:
+        // the pipeline never runs two fan-outs concurrently, so the
+        // gauge always describes the active one.
+        let par_metrics = jportal_par::ParMetrics::register(obs.registry());
         let projected: Vec<(SegmentView, ProjectionStats)> =
-            jportal_par::par_map(workers, &work, |_, &(ti, pi)| {
+            jportal_par::par_map_metered(workers, &work, &par_metrics, |_, &(ti, pi)| {
                 let piece = &thread_pieces[ti].1[pi];
                 // `piece.segment` carries its capture core from the
                 // per-core drain path, so the decoded segment is already
@@ -525,9 +586,14 @@ impl<'p> JPortal<'p> {
         let inner_workers = if grouped.len() >= workers { 1 } else { workers };
         let harvesting = harvest.is_some();
         let assembled: Vec<(ThreadReport, ThreadQuality, Option<Vec<HarvestSeg>>)> =
-            jportal_par::par_map_owned(workers, grouped, |_, (thread, views, projection)| {
-                self.assemble_thread(thread, views, projection, inner_workers, harvesting)
-            });
+            jportal_par::par_map_owned_metered(
+                workers,
+                grouped,
+                &par_metrics,
+                |_, (thread, views, projection)| {
+                    self.assemble_thread(thread, views, projection, inner_workers, harvesting)
+                },
+            );
         let mut threads = Vec::with_capacity(assembled.len());
         let mut quality = QualityReport::default();
         for (t, q, h) in assembled {

@@ -7,7 +7,7 @@
 
 use crate::encoder::{EncoderConfig, PtEncoder, PtTrace};
 use crate::sideband::{SidebandRecord, ThreadId};
-use jportal_obs::{Gauge, TelemetryPlane};
+use jportal_obs::{ContentionCounter, Gauge, TelemetryPlane};
 use std::sync::Arc;
 
 /// Identifier of a simulated CPU core.
@@ -41,9 +41,10 @@ pub struct PtSession {
     sideband: Vec<SidebandRecord>,
     /// Exporter rate: bytes drained per call to [`PtSession::drain_all`].
     drain_quantum: usize,
-    /// Live telemetry: the plane plus pre-registered per-core ring
-    /// gauges, so the drain path never formats a metric name.
-    telemetry: Option<(Arc<TelemetryPlane>, Vec<CoreGauges>)>,
+    /// Live telemetry: the plane, pre-registered per-core ring gauges
+    /// (so the drain path never formats a metric name), and contention
+    /// accounting over the plane-offer latency (`lock.ipt.drain_tick`).
+    telemetry: Option<(Arc<TelemetryPlane>, Vec<CoreGauges>, ContentionCounter)>,
 }
 
 /// Per-core ring-occupancy gauges, registered once at attach time.
@@ -90,7 +91,11 @@ impl PtSession {
                 lost: reg.gauge(&format!("ipt.core{i}.ring_lost_bytes")),
             })
             .collect();
-        self.telemetry = Some((plane, gauges));
+        // The plane's producer mutex lives behind `tick_sim`; from the
+        // drain's point of view the whole offer is the critical
+        // section, so it is timed as one, not re-locked here.
+        let tick_cc = ContentionCounter::register(reg, "lock.ipt.drain_tick");
+        self.telemetry = Some((plane, gauges, tick_cc));
     }
 
     /// Drains up to `n` bytes from one core's ring (the per-core version
@@ -104,13 +109,13 @@ impl PtSession {
     /// Panics if the core id is out of range.
     pub fn drain_core(&mut self, core: CoreId, n: usize, now: u64) -> usize {
         let drained = self.cores[core.index()].drain(n);
-        if let Some((plane, gauges)) = &self.telemetry {
+        if let Some((plane, gauges, tick_cc)) = &self.telemetry {
             let s = self.cores[core.index()].ring_sample();
             let g = &gauges[core.index()];
             g.pending.set(s.pending as u64);
             g.written.set(s.total_written);
             g.lost.set(s.total_lost_bytes);
-            plane.tick_sim(now);
+            tick_cc.timed(|| plane.tick_sim(now));
         }
         drained
     }

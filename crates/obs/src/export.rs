@@ -190,6 +190,30 @@ impl TelemetryReport {
 /// buckets: [[index, n], ..]}}}`, all keys sorted. Always valid per the
 /// strict `obs::json` validator.
 pub fn metrics_snapshot_json(metrics: &MetricsSnapshot) -> String {
+    metrics_snapshot_json_with_profile(metrics, None)
+}
+
+/// [`metrics_snapshot_json`] plus an optional `"profile"` section
+/// holding a pprof-like sample dump (see
+/// [`crate::profile::ProfileSnapshot::json_object`]). With `None` the
+/// output is byte-identical to the plain snapshot, so existing
+/// consumers never see the extra key unless a profiler is attached.
+pub fn metrics_snapshot_json_with_profile(
+    metrics: &MetricsSnapshot,
+    profile: Option<&crate::profile::ProfileSnapshot>,
+) -> String {
+    let mut out = metrics_snapshot_json_inner(metrics);
+    if let Some(p) = profile {
+        // Splice before the closing brace of the document object.
+        out.pop();
+        out.push_str(",\"profile\":");
+        out.push_str(&p.json_object());
+        out.push('}');
+    }
+    out
+}
+
+fn metrics_snapshot_json_inner(metrics: &MetricsSnapshot) -> String {
     let mut out = String::from("{\"counters\":{");
     for (i, (name, v)) in metrics.counters.iter().enumerate() {
         if i > 0 {

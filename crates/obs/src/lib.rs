@@ -36,24 +36,32 @@
 //! ```
 
 pub mod export;
+pub mod flame;
 pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod plane;
+pub mod profile;
 pub mod series;
 pub mod serve;
 pub mod sketch;
 pub mod span;
 
-pub use export::{metrics_snapshot_json, prometheus_text, TelemetryReport};
+pub use export::{
+    metrics_snapshot_json, metrics_snapshot_json_with_profile, prometheus_text, TelemetryReport,
+};
+pub use flame::flame_svg;
 pub use journal::{
     CandidateOutcome, Journal, JournalEvent, JournalKey, JournalRecord, JournalRecorder,
     JournalSnapshot,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use plane::{PlaneSnapshot, TelemetryConfig, TelemetryPlane};
+pub use profile::{ContentionCounter, ProfileConfig, ProfileSnapshot, Profiler, PROFILE_MAX_DEPTH};
 pub use series::{Series, SeriesPoint, SeriesStore};
-pub use serve::{http_get, parse_request, sse_frame, HttpResponse, Request, TelemetryServer};
+pub use serve::{
+    http_get, parse_request, sse_frame, sse_keepalive_frame, HttpResponse, Request, TelemetryServer,
+};
 pub use sketch::{
     Sketch, SketchSnapshot, SKETCH_BUCKETS, SKETCH_LINEAR_MAX, SKETCH_MAX_RELATIVE_ERROR,
     SKETCH_SUBBUCKETS,
@@ -84,10 +92,15 @@ impl Obs {
     /// A new handle with an explicit decision-journal ring capacity
     /// (tests exercise the drop counter with tiny rings).
     pub fn with_journal_capacity(enabled: bool, capacity: usize) -> Obs {
+        let registry = MetricsRegistry::new(enabled);
+        let mut spans = SpanCollector::new();
+        // Disabled registries hand out noop handles, so this wiring is
+        // free in dark mode.
+        spans.set_contention(ContentionCounter::register(&registry, "lock.obs.spans"));
         Obs(Arc::new(ObsInner {
             enabled,
-            registry: MetricsRegistry::new(enabled),
-            spans: SpanCollector::new(),
+            registry,
+            spans,
             journal: Journal::with_capacity(capacity),
         }))
     }

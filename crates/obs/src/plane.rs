@@ -29,6 +29,7 @@
 //!   reproducible — the contract the determinism tests pin.
 
 use crate::metrics::MetricsSnapshot;
+use crate::profile::{ContentionCounter, Profiler};
 use crate::series::{Series, SeriesStore};
 use crate::Obs;
 use std::sync::{Arc, Condvar, Mutex};
@@ -101,12 +102,23 @@ pub struct TelemetryPlane {
     producer: Mutex<PlaneProducer>,
     published: Mutex<Arc<PlaneSnapshot>>,
     changed: Condvar,
+    /// Contention accounting for the producer lock (`lock.obs.plane.producer.*`).
+    producer_cc: ContentionCounter,
+    /// Contention accounting for the publish pointer-swap lock
+    /// (`lock.obs.plane.publish.*`).
+    publish_cc: ContentionCounter,
+    /// Attached self-profiler, if any; a deterministic one is sampled
+    /// at every accepted tick, and the serve layer exposes it under
+    /// `/profile/*`.
+    profiler: Mutex<Option<Arc<Profiler>>>,
 }
 
 impl TelemetryPlane {
     /// A plane recording through `obs` (which should be enabled — a
     /// disabled handle publishes empty snapshots).
     pub fn new(obs: Obs, cfg: TelemetryConfig) -> Arc<TelemetryPlane> {
+        let producer_cc = ContentionCounter::register(obs.registry(), "lock.obs.plane.producer");
+        let publish_cc = ContentionCounter::register(obs.registry(), "lock.obs.plane.publish");
         Arc::new(TelemetryPlane {
             obs,
             cfg,
@@ -117,7 +129,21 @@ impl TelemetryPlane {
             }),
             published: Mutex::new(Arc::new(PlaneSnapshot::default())),
             changed: Condvar::new(),
+            producer_cc,
+            publish_cc,
+            profiler: Mutex::new(None),
         })
+    }
+
+    /// Attaches a self-profiler: deterministic profilers get sampled at
+    /// every accepted tick, and `/profile/*` endpoints start serving.
+    pub fn attach_profiler(&self, profiler: Arc<Profiler>) {
+        *self.profiler.lock().unwrap() = Some(profiler);
+    }
+
+    /// The attached self-profiler, if any.
+    pub fn profiler(&self) -> Option<Arc<Profiler>> {
+        self.profiler.lock().unwrap().clone()
     }
 
     /// The recording handle whose instruments feed this plane.
@@ -133,7 +159,7 @@ impl TelemetryPlane {
     /// Ticks unconditionally — called from pipeline stage boundaries on
     /// the main thread, so count and order are deterministic.
     pub fn tick_stage(&self) {
-        let mut p = self.producer.lock().unwrap();
+        let mut p = self.producer_cc.lock(&self.producer);
         self.tick_locked(&mut p);
     }
 
@@ -142,7 +168,7 @@ impl TelemetryPlane {
     /// `sim_tick_interval` cycles have passed since the last accepted
     /// one. Returns whether the tick was accepted.
     pub fn tick_sim(&self, ts: u64) -> bool {
-        let mut p = self.producer.lock().unwrap();
+        let mut p = self.producer_cc.lock(&self.producer);
         let accept = match p.last_sim_raw {
             None => true,
             // A regression means a replay loop restarted its sim clock.
@@ -156,6 +182,14 @@ impl TelemetryPlane {
     }
 
     fn tick_locked(&self, p: &mut PlaneProducer) {
+        // Logical-tick-driven sampling: a deterministic profiler takes
+        // one sample of the ticking thread's span stack per accepted
+        // tick, making the profile a pure function of the tick stream.
+        if let Some(profiler) = &*self.profiler.lock().unwrap() {
+            if profiler.config().deterministic {
+                profiler.sample_now();
+            }
+        }
         let stamp = if self.cfg.deterministic {
             p.store.ticks()
         } else {
@@ -169,7 +203,7 @@ impl TelemetryPlane {
             metrics,
             series: p.store.all(),
         });
-        *self.published.lock().unwrap() = snap;
+        *self.publish_cc.lock(&self.published) = snap;
         self.changed.notify_all();
     }
 
@@ -181,14 +215,16 @@ impl TelemetryPlane {
     /// The most recently published snapshot (an `Arc` clone — the
     /// consumer-side fast path; never reads a live instrument).
     pub fn latest(&self) -> Arc<PlaneSnapshot> {
-        Arc::clone(&self.published.lock().unwrap())
+        Arc::clone(&self.publish_cc.lock(&self.published))
     }
 
     /// Blocks until a snapshot with `seq > after` is published or the
-    /// timeout elapses; the SSE stream's wait primitive.
+    /// timeout elapses; the SSE stream's wait primitive. Only the
+    /// initial acquisition is contention-accounted; condvar re-wakes
+    /// reacquire uninstrumented.
     pub fn wait_newer(&self, after: u64, timeout: Duration) -> Option<Arc<PlaneSnapshot>> {
         let deadline = Instant::now() + timeout;
-        let mut published = self.published.lock().unwrap();
+        let mut published = self.publish_cc.lock(&self.published);
         loop {
             if published.seq > after {
                 return Some(Arc::clone(&published));

@@ -6,12 +6,20 @@
 //! (consumers clone an `Arc`, never read a live instrument, so a slow
 //! or stuck scraper cannot block the pipeline):
 //!
-//! | path            | body                                             |
-//! |-----------------|--------------------------------------------------|
-//! | `/metrics`      | Prometheus text exposition (version 0.0.4)       |
-//! | `/metrics.json` | flat metrics JSON (strict RFC 8259)              |
-//! | `/series`       | `{"names": [..]}`; `?name=<q>` → one window      |
-//! | `/stream`       | SSE, one `snapshot` event per accepted tick      |
+//! | path                 | body                                             |
+//! |----------------------|--------------------------------------------------|
+//! | `/metrics`           | Prometheus text exposition (version 0.0.4)       |
+//! | `/metrics.json`      | flat metrics JSON (strict RFC 8259); includes a  |
+//! |                      | `"profile"` section when a profiler is attached  |
+//! | `/series`            | `{"names": [..]}`; `?name=<q>` → one window      |
+//! | `/stream`            | SSE, one `snapshot` event per accepted tick,     |
+//! |                      | `: keep-alive` comments while the plane is idle  |
+//! | `/profile/folded`    | flamegraph.pl-compatible folded stacks           |
+//! | `/profile/flame.svg` | in-tree SVG flamegraph                           |
+//!
+//! Error responses are uniformly strict-JSON `{"error": "..."}` bodies
+//! with the matching 4xx status (400 malformed head, 405 non-GET, 404
+//! unknown path/series/profile, 431 oversized request head).
 //!
 //! The listener serves each connection on its own thread and answers
 //! every request with `Connection: close` — scrape traffic is one
@@ -22,7 +30,8 @@
 //! ([`parse_request`], [`sse_frame`]) so the wire formats are
 //! unit-testable without sockets.
 
-use crate::export::{metrics_snapshot_json, prometheus_text};
+use crate::export::{metrics_snapshot_json_with_profile, prometheus_text};
+use crate::flame::flame_svg;
 use crate::plane::{PlaneSnapshot, TelemetryPlane};
 use crate::series::Series;
 use crate::sketch::Sketch;
@@ -39,6 +48,17 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// How long the SSE loop waits for a new snapshot before re-checking
 /// the shutdown flag.
 const SSE_POLL: Duration = Duration::from_millis(250);
+
+/// Plane inactivity after which the SSE stream emits a comment frame so
+/// proxies with idle timeouts keep the connection open.
+const SSE_KEEPALIVE: Duration = Duration::from_secs(15);
+
+/// The SSE comment frame sent on an idle stream: comment lines start
+/// with `:` and carry no `id`/`event`/`data` field, so spec-compliant
+/// consumers ignore them entirely.
+pub fn sse_keepalive_frame() -> &'static str {
+    ": keep-alive\n\n"
+}
 
 /// A parsed HTTP request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,6 +196,14 @@ fn handle_connection(shared: &ServeShared, mut stream: TcpStream) {
             break parse_request(&String::from_utf8_lossy(&head));
         }
         if head.len() > MAX_REQUEST_BYTES {
+            // Answer before hanging up, so the client learns why.
+            shared.requests.incr();
+            write_response(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "application/json",
+                "{\"error\":\"request head too large\"}",
+            );
             return;
         }
     };
@@ -184,8 +212,8 @@ fn handle_connection(shared: &ServeShared, mut stream: TcpStream) {
         write_response(
             &mut stream,
             "400 Bad Request",
-            "text/plain",
-            "bad request\n",
+            "application/json",
+            "{\"error\":\"bad request\"}",
         );
         return;
     };
@@ -193,8 +221,8 @@ fn handle_connection(shared: &ServeShared, mut stream: TcpStream) {
         write_response(
             &mut stream,
             "405 Method Not Allowed",
-            "text/plain",
-            "GET only\n",
+            "application/json",
+            "{\"error\":\"method not allowed, GET only\"}",
         );
         return;
     }
@@ -206,12 +234,43 @@ fn handle_connection(shared: &ServeShared, mut stream: TcpStream) {
             "text/plain; version=0.0.4; charset=utf-8",
             &prometheus_text(&snap.metrics),
         ),
-        "/metrics.json" => write_response(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &metrics_snapshot_json(&snap.metrics),
-        ),
+        "/metrics.json" => {
+            let profile = shared.plane.profiler().map(|p| p.snapshot());
+            write_response(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &metrics_snapshot_json_with_profile(&snap.metrics, profile.as_ref()),
+            );
+        }
+        "/profile/folded" => match shared.plane.profiler() {
+            Some(p) => write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                &p.snapshot().folded_text(),
+            ),
+            None => write_response(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"no profiler attached\"}",
+            ),
+        },
+        "/profile/flame.svg" => match shared.plane.profiler() {
+            Some(p) => write_response(
+                &mut stream,
+                "200 OK",
+                "image/svg+xml",
+                &flame_svg(&p.snapshot()),
+            ),
+            None => write_response(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"no profiler attached\"}",
+            ),
+        },
         "/series" => match req.param("name") {
             None => {
                 let mut body = String::from("{\"names\":[");
@@ -249,10 +308,21 @@ fn handle_connection(shared: &ServeShared, mut stream: TcpStream) {
                 }
                 last = snap.seq;
             }
+            let mut idle = Duration::ZERO;
             while !shared.shutdown.load(Ordering::Relaxed) {
                 let Some(snap) = shared.plane.wait_newer(last, SSE_POLL) else {
+                    // Nothing published: keep the idle connection alive
+                    // through proxies with comment frames.
+                    idle += SSE_POLL;
+                    if idle >= SSE_KEEPALIVE {
+                        idle = Duration::ZERO;
+                        if stream.write_all(sse_keepalive_frame().as_bytes()).is_err() {
+                            return;
+                        }
+                    }
                     continue;
                 };
+                idle = Duration::ZERO;
                 last = snap.seq;
                 let frame = sse_frame(snap.seq, "snapshot", &stream_delta_json(&snap));
                 if stream.write_all(frame.as_bytes()).is_err() {
@@ -260,7 +330,12 @@ fn handle_connection(shared: &ServeShared, mut stream: TcpStream) {
                 }
             }
         }
-        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        _ => write_response(
+            &mut stream,
+            "404 Not Found",
+            "application/json",
+            "{\"error\":\"not found\"}",
+        ),
     }
     shared.scrape_us.record(t0.elapsed().as_micros() as u64);
 }

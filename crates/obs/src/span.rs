@@ -20,6 +20,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::metrics::Histogram;
+use crate::profile::ContentionCounter;
 use crate::sketch::Sketch;
 
 /// A span argument value.
@@ -146,6 +147,9 @@ thread_local! {
 pub struct SpanCollector {
     shards: Vec<Mutex<Vec<SpanEvent>>>,
     epoch: Instant,
+    /// Contention accounting over the shard mutexes (`lock.obs.spans.*`
+    /// when wired by `Obs`; noop by default).
+    contention: ContentionCounter,
 }
 
 impl SpanCollector {
@@ -154,7 +158,13 @@ impl SpanCollector {
         SpanCollector {
             shards: (0..SPAN_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             epoch: Instant::now(),
+            contention: ContentionCounter::noop(),
         }
+    }
+
+    /// Wire contention accounting for the shard locks.
+    pub fn set_contention(&mut self, contention: ContentionCounter) {
+        self.contention = contention;
     }
 
     /// µs elapsed since the collector's epoch.
@@ -165,7 +175,7 @@ impl SpanCollector {
     /// Appends a finished event (thread-striped).
     pub fn push(&self, event: SpanEvent) {
         let shard = thread_track() as usize % SPAN_SHARDS;
-        self.shards[shard].lock().unwrap().push(event);
+        self.contention.lock(&self.shards[shard]).push(event);
     }
 
     /// All recorded events, merged deterministically: sorted by the
@@ -173,9 +183,16 @@ impl SpanCollector {
     /// of equal-structure spans is stable across worker counts except
     /// where wall time itself differs.
     pub fn snapshot(&self) -> Vec<SpanEvent> {
-        let mut all: Vec<SpanEvent> = Vec::new();
+        // One allocation for the merged vector: size it from a first
+        // pass over the shard lengths instead of growing per shard.
+        let total: usize = self
+            .shards
+            .iter()
+            .map(|s| self.contention.lock(s).len())
+            .sum();
+        let mut all: Vec<SpanEvent> = Vec::with_capacity(total);
         for shard in &self.shards {
-            all.extend(shard.lock().unwrap().iter().cloned());
+            all.extend(self.contention.lock(shard).iter().cloned());
         }
         all.sort_by(|a, b| {
             a.structure()
@@ -187,7 +204,18 @@ impl SpanCollector {
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| self.contention.lock(s).len())
+            .sum()
+    }
+
+    #[cfg(test)]
+    fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .collect()
     }
 
     /// `true` if nothing was recorded.
@@ -219,6 +247,9 @@ pub struct SpanGuard<'c> {
     dur_histogram: Option<Histogram>,
     /// Optional quantile sketch receiving the duration in µs on drop.
     dur_sketch: Option<Sketch>,
+    /// `true` when this span was pushed onto the thread's profiler
+    /// [`crate::profile::ActiveStack`]; the drop must pop it back off.
+    profiled: bool,
 }
 
 impl<'c> SpanGuard<'c> {
@@ -234,6 +265,7 @@ impl<'c> SpanGuard<'c> {
             start_us: 0,
             dur_histogram: None,
             dur_sketch: None,
+            profiled: false,
         }
     }
 
@@ -250,6 +282,12 @@ impl<'c> SpanGuard<'c> {
             s.push(name);
             parent
         });
+        // Maintain the sampler-visible active stack only while a
+        // profiler is live: one relaxed load otherwise.
+        let profiled = crate::profile::profiling_active();
+        if profiled {
+            crate::profile::stack_push(cat, name);
+        }
         SpanGuard {
             collector: Some(collector),
             cat,
@@ -260,6 +298,7 @@ impl<'c> SpanGuard<'c> {
             start_us: collector.now_us(),
             dur_histogram: None,
             dur_sketch: None,
+            profiled,
         }
     }
 
@@ -309,6 +348,9 @@ impl Drop for SpanGuard<'_> {
             debug_assert_eq!(s.last().copied(), Some(self.name), "spans drop LIFO");
             s.pop();
         });
+        if self.profiled {
+            crate::profile::stack_pop();
+        }
         let dur_us = self
             .start
             .map(|t| t.elapsed().as_micros() as u64)
@@ -416,5 +458,48 @@ mod tests {
             let _g = SpanGuard::open(&c, "x", "y").record_sketch(&s);
         }
         assert_eq!(s.count(), 1);
+    }
+
+    /// Pushes from distinct threads must stripe across *all* 16 shards.
+    /// Track ids are process-global and other tests spawn threads
+    /// concurrently, so spawn until every shard residue has been hit
+    /// (a bounded number of attempts: ids are assigned sequentially).
+    #[test]
+    fn pushes_spread_across_all_shards() {
+        let c = SpanCollector::new();
+        for _ in 0..64 {
+            std::thread::scope(|s| {
+                for _ in 0..SPAN_SHARDS {
+                    s.spawn(|| {
+                        let _g = SpanGuard::open(&c, "work", "unit");
+                    });
+                }
+            });
+            if c.shard_lens().iter().all(|&n| n > 0) {
+                break;
+            }
+        }
+        let lens = c.shard_lens();
+        assert!(
+            lens.iter().all(|&n| n > 0),
+            "expected pushes in every shard, got {lens:?}"
+        );
+        assert_eq!(lens.iter().sum::<usize>(), c.len());
+    }
+
+    /// The collector's shard locks feed the wired contention counter on
+    /// push, snapshot and len.
+    #[test]
+    fn collector_contention_counter_is_fed() {
+        let reg = crate::MetricsRegistry::new(true);
+        let mut c = SpanCollector::new();
+        c.set_contention(ContentionCounter::register(&reg, "lock.obs.spans"));
+        {
+            let _g = SpanGuard::open(&c, "x", "y");
+        }
+        let _ = c.snapshot();
+        let snap = reg.snapshot();
+        // 1 push + 16 len locks + 16 extend locks in snapshot.
+        assert_eq!(snap.counter("lock.obs.spans.acquires"), Some(33));
     }
 }

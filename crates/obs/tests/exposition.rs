@@ -5,8 +5,8 @@
 
 use jportal_obs::json::{self, Value};
 use jportal_obs::{
-    http_get, metrics_snapshot_json, prometheus_text, sse_frame, MetricsRegistry, Obs,
-    TelemetryConfig, TelemetryPlane, TelemetryServer,
+    http_get, metrics_snapshot_json, prometheus_text, sse_frame, sse_keepalive_frame,
+    MetricsRegistry, Obs, TelemetryConfig, TelemetryPlane, TelemetryServer,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -74,6 +74,116 @@ fn sse_frames_are_terminated_and_ordered() {
         .filter_map(|l| l.strip_prefix("data: "))
         .collect();
     assert_eq!(data, ["{", "}"]);
+}
+
+#[test]
+fn sse_keepalive_is_a_comment_frame() {
+    let f = sse_keepalive_frame();
+    // Per the SSE spec a line starting with ':' is a comment the client
+    // discards; the blank line terminates the (empty) event so buffered
+    // parsers flush it without dispatching anything.
+    assert!(f.starts_with(':'), "keep-alive must be an SSE comment");
+    assert!(f.ends_with("\n\n"), "frame must end with a blank line");
+    assert!(
+        !f.contains("data:") && !f.contains("id:") && !f.contains("event:"),
+        "keep-alive must not carry fields a client would dispatch"
+    );
+    // Interleaving keep-alives with real frames must not corrupt the
+    // stream: splitting on the blank-line terminator recovers both.
+    let stream = format!("{}{}", f, sse_frame(9, "snapshot", "{\"seq\":9}"));
+    let frames: Vec<&str> = stream.split("\n\n").filter(|s| !s.is_empty()).collect();
+    assert_eq!(frames.len(), 2);
+    assert!(frames[0].starts_with(':'));
+    assert!(frames[1].starts_with("id: 9\n"));
+}
+
+/// Sends a raw request head and returns `(status_line, body)`. Used for
+/// the negative paths `http_get` cannot produce (non-GET methods,
+/// oversized heads).
+fn raw_request(addr: &str, head: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The oversized-head case leaves bytes the server never reads, so
+    // its close may RST the connection — tolerate write and trailing
+    // read errors and parse whatever response bytes arrived (the
+    // response is written before the close, so it is ordered first).
+    let _ = stream.write_all(head.as_bytes());
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+        }
+    }
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let head_end = text.find("\r\n\r\n").expect("response has a head");
+    let status = text.lines().next().unwrap().to_string();
+    (status, text[head_end + 4..].to_string())
+}
+
+/// Every 4xx body is a strict-JSON `{"error": ...}` document so
+/// programmatic scrapers never have to parse ad-hoc text.
+#[test]
+fn error_paths_return_json_4xx() {
+    let obs = Obs::new(true);
+    let plane = TelemetryPlane::new(obs, TelemetryConfig::default());
+    let server = TelemetryServer::bind(Arc::clone(&plane), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let assert_error = |status: &str, body: &str, code: &str| {
+        assert!(
+            status.starts_with(&format!("HTTP/1.1 {code}")),
+            "expected {code}, got {status}"
+        );
+        json::validate(body).unwrap_or_else(|e| panic!("error body not strict JSON ({e}): {body}"));
+        let doc = json::parse(body).unwrap();
+        assert!(
+            matches!(doc.get("error"), Some(Value::Str(_))),
+            "error body must carry a string `error` key: {body}"
+        );
+    };
+
+    // Unknown series name.
+    let r = http_get(&format!("http://{addr}/series?name=no.such.series")).unwrap();
+    assert_eq!(r.status, 404);
+    json::validate(&r.body).expect("404 body is strict JSON");
+
+    // Unknown path.
+    let r = http_get(&format!("http://{addr}/definitely-not-a-route")).unwrap();
+    assert_eq!(r.status, 404);
+    json::validate(&r.body).expect("404 body is strict JSON");
+
+    // No profiler attached: profile routes 404 rather than serving an
+    // empty document.
+    for route in ["/profile/folded", "/profile/flame.svg"] {
+        let r = http_get(&format!("http://{addr}{route}")).unwrap();
+        assert_eq!(r.status, 404, "{route} without a profiler");
+    }
+
+    // POST is not allowed anywhere.
+    let (status, body) = raw_request(
+        &addr,
+        &format!("POST /metrics HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n"),
+    );
+    assert_error(&status, &body, "405");
+
+    // A request head larger than the server's read budget must be
+    // rejected cleanly, not silently dropped.
+    let huge = format!(
+        "GET /metrics?junk={} HTTP/1.1\r\nHost: {addr}\r\n\r\n",
+        "x".repeat(16 * 1024)
+    );
+    let (status, body) = raw_request(&addr, &huge);
+    assert_error(&status, &body, "431");
+
+    // Malformed request line.
+    let (status, body) = raw_request(&addr, "nonsense\r\n\r\n");
+    assert_error(&status, &body, "400");
+
+    server.shutdown();
 }
 
 /// Reads the head plus the first SSE frame from `/stream` on a raw

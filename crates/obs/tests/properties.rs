@@ -160,6 +160,63 @@ proptest! {
         }
     }
 
+    /// Merging an empty sketch is the identity: count, sum, min/max and
+    /// every quantile are untouched, and the merge in the other
+    /// direction reproduces the non-empty side exactly.
+    #[test]
+    fn sketch_merge_empty_is_identity(
+        values in prop::collection::vec(0u64..1_000_000, 1..64),
+    ) {
+        let shard = |values: &[u64]| {
+            let reg = MetricsRegistry::new(true);
+            let s = reg.sketch("s");
+            for &v in values {
+                s.record(v);
+            }
+            reg.snapshot().sketch("s").unwrap().clone()
+        };
+        let full = shard(&values);
+        let empty = shard(&[]);
+        prop_assert_eq!(empty.count, 0);
+
+        let mut merged = full.clone();
+        merged.merge(&empty);
+        prop_assert_eq!(&merged, &full, "rhs empty must be the identity");
+        prop_assert_eq!(merged.quantile(0.0), *values.iter().min().unwrap());
+        prop_assert_eq!(merged.quantile(1.0), *values.iter().max().unwrap());
+
+        let mut adopted = empty.clone();
+        adopted.merge(&full);
+        prop_assert_eq!(&adopted, &full, "empty lhs must adopt rhs wholesale");
+    }
+
+    /// Merging sketches over disjoint octave ranges (one fed small
+    /// values, one fed values ~2^16 larger, so no bucket overlaps)
+    /// equals the sketch that saw both populations, and the extremes
+    /// come from the respective sides.
+    #[test]
+    fn sketch_merge_disjoint_octaves_matches_combined(
+        low in prop::collection::vec(1u64..256, 1..32),
+        high in prop::collection::vec(1u64..256, 1..32),
+    ) {
+        let shard = |values: &[u64]| {
+            let reg = MetricsRegistry::new(true);
+            let s = reg.sketch("s");
+            for &v in values {
+                s.record(v);
+            }
+            reg.snapshot().sketch("s").unwrap().clone()
+        };
+        let high: Vec<u64> = high.iter().map(|&v| v << 16).collect();
+        let mut merged = shard(&low);
+        merged.merge(&shard(&high));
+        let all: Vec<u64> = low.iter().chain(&high).copied().collect();
+        prop_assert_eq!(&merged, &shard(&all));
+        prop_assert_eq!(merged.count, (low.len() + high.len()) as u64);
+        prop_assert_eq!(merged.quantile(0.0), *low.iter().min().unwrap());
+        prop_assert_eq!(merged.quantile(1.0), *high.iter().max().unwrap());
+    }
+
     /// Sketch quantiles stay within the documented relative error bound
     /// (1/32, the half-width of a log-linear bucket) of a sorted-oracle
     /// quantile at the same rank, at every probed q.

@@ -14,8 +14,37 @@
 //! segment, score a candidate), so scoped threads per phase are cheap
 //! relative to the work they carry.
 
+use jportal_obs::{ContentionCounter, Gauge, MetricsRegistry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Telemetry handles for one fan-out call site: a queue-depth gauge
+/// over the not-yet-claimed items (`par.queue.pending`) and contention
+/// accounting over the shared result-collection mutex
+/// (`lock.par.collect.*`). The plain [`par_map`] family uses a noop
+/// set; the pipeline passes a registered set through the `_metered`
+/// variants at its fan-outs.
+#[derive(Debug, Clone, Default)]
+pub struct ParMetrics {
+    pending: Gauge,
+    collect: ContentionCounter,
+}
+
+impl ParMetrics {
+    /// Handles that record nothing.
+    pub fn noop() -> ParMetrics {
+        ParMetrics::default()
+    }
+
+    /// Registers `par.queue.pending` and `lock.par.collect.*` (noop
+    /// handles when the registry is disabled).
+    pub fn register(reg: &MetricsRegistry) -> ParMetrics {
+        ParMetrics {
+            pending: reg.gauge("par.queue.pending"),
+            collect: ContentionCounter::register(reg, "lock.par.collect"),
+        }
+    }
+}
 
 /// Number of workers the machine can usefully run.
 pub fn max_parallelism() -> usize {
@@ -54,12 +83,27 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_metered(workers, items, &ParMetrics::noop(), f)
+}
+
+/// [`par_map`] with queue-depth and collection-lock telemetry: the
+/// `par.queue.pending` gauge tracks how many items remain unclaimed
+/// (updated at every claim, so a scrape mid-fan-out sees the live
+/// backlog) and the result-collection mutex is accounted through
+/// `lock.par.collect.*`. With noop metrics this is exactly [`par_map`].
+pub fn par_map_metered<T, R, F>(workers: usize, items: &[T], metrics: &ParMetrics, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = workers.min(n).max(1);
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    metrics.pending.set(n as u64);
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
@@ -71,14 +115,16 @@ where
                     if i >= n {
                         break;
                     }
+                    metrics.pending.set((n - i - 1) as u64);
                     local.push((i, f(i, &items[i])));
                 }
                 if !local.is_empty() {
-                    collected.lock().unwrap().extend(local);
+                    metrics.collect.lock(&collected).extend(local);
                 }
             });
         }
     });
+    metrics.pending.set(0);
 
     // Reassemble in item order.
     let mut tagged = collected.into_inner().unwrap();
@@ -95,6 +141,21 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    par_map_owned_metered(workers, items, &ParMetrics::noop(), f)
+}
+
+/// [`par_map_owned`] with the same telemetry as [`par_map_metered`].
+pub fn par_map_owned_metered<T, R, F>(
+    workers: usize,
+    items: Vec<T>,
+    metrics: &ParMetrics,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     let workers = workers.min(n).max(1);
     if workers <= 1 {
@@ -104,6 +165,7 @@ where
             .map(|(i, t)| f(i, t))
             .collect();
     }
+    metrics.pending.set(n as u64);
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
@@ -116,15 +178,17 @@ where
                     if i >= n {
                         break;
                     }
+                    metrics.pending.set((n - i - 1) as u64);
                     let item = slots[i].lock().unwrap().take().expect("item claimed once");
                     local.push((i, f(i, item)));
                 }
                 if !local.is_empty() {
-                    collected.lock().unwrap().extend(local);
+                    metrics.collect.lock(&collected).extend(local);
                 }
             });
         }
     });
+    metrics.pending.set(0);
     let mut tagged = collected.into_inner().unwrap();
     tagged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(tagged.len(), n);
@@ -213,6 +277,32 @@ mod tests {
         assert_eq!(effective_workers(Some(0)), 1);
         assert_eq!(effective_workers(Some(6)), 6);
         assert!(effective_workers(None) >= 1);
+    }
+
+    #[test]
+    fn metered_fanout_records_queue_and_collect_lock() {
+        let reg = MetricsRegistry::new(true);
+        let metrics = ParMetrics::register(&reg);
+        let items: Vec<usize> = (0..512).collect();
+        let out = par_map_metered(4, &items, &metrics, |i, &x| i + x);
+        assert_eq!(out, par_map(1, &items, |i, &x| i + x));
+        let owned = par_map_owned_metered(4, (0..64u64).collect(), &metrics, |_, x| x * 2);
+        assert_eq!(owned, (0..64u64).map(|x| x * 2).collect::<Vec<_>>());
+        let snap = reg.snapshot();
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(name, _)| name == "par.queue.pending")
+            .expect("queue gauge registered");
+        assert_eq!(gauge.1, 0, "gauge returns to zero after the fan-out");
+        let acquires = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "lock.par.collect.acquires")
+            .expect("collect lock accounted");
+        // Each worker with a non-empty local batch takes the lock once
+        // per fan-out; two fan-outs at 4 workers bound it to 8.
+        assert!(acquires.1 >= 2 && acquires.1 <= 8);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! cargo run --release --example inspect -- corpus fop.jpcorpus --check
 //! cargo run --release --example inspect -- telemetry http://127.0.0.1:9100
 //! cargo run --release --example inspect -- telemetry target/obs/fop.metrics.json --check
+//! cargo run --release --example inspect -- profile http://127.0.0.1:9100 --top 10
+//! cargo run --release --example inspect -- profile profile.folded --check
 //! cargo run --release --example inspect -- --check              # CI schema gate
 //! ```
 //!
@@ -405,6 +407,130 @@ fn telemetry(source: &str, check: bool) -> Result<(), String> {
     Ok(())
 }
 
+// ------------------------------------------------------------------ profile
+
+/// `profile <url-or-file>`: render the hottest span stacks of a folded
+/// profile — from a live `/profile/folded` endpoint (a bare base URL
+/// gets the path appended, and the contention table is pulled from
+/// `/metrics.json` alongside) or from a folded-stacks text file. With
+/// `--check`, additionally asserts the folded grammar, positive stack
+/// weights, and contention-counter consistency.
+fn profile(source: &str, check: bool, top_n: usize) -> Result<(), String> {
+    let (folded, metrics) = if let Some(rest) = source.strip_prefix("http://") {
+        let base_only = !rest.contains('/');
+        let folded_url = if base_only {
+            format!("{source}/profile/folded")
+        } else {
+            source.to_string()
+        };
+        let r = http_get(&folded_url).map_err(|e| format!("{folded_url}: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("{folded_url}: status {}", r.status));
+        }
+        let metrics = if base_only {
+            let url = format!("{source}/metrics.json");
+            let m = http_get(&url).map_err(|e| format!("{url}: {e}"))?;
+            if m.status != 200 {
+                return Err(format!("{url}: status {}", m.status));
+            }
+            json::validate(&m.body).map_err(|e| format!("{url}: not strict JSON: {e}"))?;
+            Some(json::parse(&m.body).expect("validated above"))
+        } else {
+            None
+        };
+        (r.body, metrics)
+    } else {
+        (
+            std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?,
+            None,
+        )
+    };
+
+    let mut stacks = jportal::ProfileSnapshot::parse_folded(&folded)
+        .map_err(|e| format!("{source}: folded profile does not parse: {e}"))?;
+    let total: u64 = stacks.iter().map(|(_, n)| n).sum();
+    stacks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    println!("=== {source} ===");
+    println!("{} samples over {} distinct stacks", total, stacks.len());
+    if !stacks.is_empty() {
+        println!("hottest stacks (top {top_n}):");
+        for (stack, count) in stacks.iter().take(top_n) {
+            println!(
+                "  {:>8} {:>6.2}%  {}",
+                count,
+                100.0 * *count as f64 / total.max(1) as f64,
+                stack.join(";")
+            );
+        }
+    }
+
+    // Contention table: every `lock.<site>` family in the metrics
+    // document, acquisitions vs contended slow paths plus wait-time
+    // percentiles from the `wait_us` sketch.
+    if let Some(doc) = &metrics {
+        let counters = section(doc, "counters");
+        let value = |name: &str| {
+            counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let mut sites: Vec<&str> = counters
+            .iter()
+            .filter_map(|(k, _)| k.strip_suffix(".acquires"))
+            .filter(|k| k.starts_with("lock."))
+            .collect();
+        sites.sort_unstable();
+        if !sites.is_empty() {
+            let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_num).unwrap_or(0.0);
+            let width = sites.iter().map(|s| s.len()).max().unwrap_or(8);
+            println!("contention ({} instrumented sites):", sites.len());
+            println!(
+                "  {:<width$} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                "site", "acquires", "contended", "wait p50", "wait p99", "wait max"
+            );
+            for site in &sites {
+                let (acquires, contended) = (
+                    value(&format!("{site}.acquires")),
+                    value(&format!("{site}.contended")),
+                );
+                let wait = compound_section(doc, "sketches")
+                    .into_iter()
+                    .find(|(k, _)| *k == &format!("{site}.wait_us"))
+                    .map(|(_, v)| (num(v, "p50"), num(v, "p99"), num(v, "max")))
+                    .unwrap_or((0.0, 0.0, 0.0));
+                println!(
+                    "  {:<width$} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                    site, acquires, contended, wait.0, wait.1, wait.2
+                );
+                if check && contended > acquires {
+                    return Err(format!(
+                        "{source}: {site} contended {contended} exceeds acquires {acquires}"
+                    ));
+                }
+            }
+        }
+        if check && !matches!(doc.get("profile"), Some(Value::Obj(_))) {
+            return Err(format!(
+                "{source}: /metrics.json has no profile section while profiling"
+            ));
+        }
+    }
+
+    if check {
+        if stacks.iter().any(|(_, n)| *n == 0) {
+            return Err(format!("{source}: zero-weight folded stack"));
+        }
+        println!(
+            "check ok: folded grammar, {} stacks, contention counters consistent",
+            stacks.len()
+        );
+    }
+    Ok(())
+}
+
 // --------------------------------------------------------------------- diff
 
 fn load(path: &str) -> Result<Vec<ParsedRecord>, String> {
@@ -612,7 +738,7 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--check")
         && !matches!(
             args.first().map(String::as_str),
-            Some("corpus") | Some("telemetry")
+            Some("corpus") | Some("telemetry") | Some("profile")
         )
     {
         let names: Vec<&String> = args
@@ -680,6 +806,29 @@ fn main() -> ExitCode {
                 telemetry(sources[0], check)
             }
         }
+        "profile" => {
+            let check = rest.iter().any(|a| a == "--check");
+            let mut top_n = 15usize;
+            let mut sources: Vec<String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--top" {
+                    match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => top_n = n,
+                        None => {
+                            eprintln!("--top needs a number; using 15");
+                        }
+                    }
+                } else if !a.starts_with("--") {
+                    sources.push(a.clone());
+                }
+            }
+            if sources.len() != 1 {
+                Err("profile needs exactly one URL or folded-stacks path".into())
+            } else {
+                profile(&sources[0], check, top_n)
+            }
+        }
         "diff" => {
             let files: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
             if files.len() != 2 {
@@ -697,7 +846,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!(
             "unknown command {other:?} (expected summarize, explain, corpus, telemetry, \
-             diff, or --check)"
+             profile, diff, or --check)"
         )),
     };
 

@@ -1,0 +1,251 @@
+//! `jportal profile` — run a seed workload in a loop with the span-stack
+//! sampling profiler on and serve the live profile endpoints, so a real
+//! client (curl, a browser, `jportal-inspect profile`) can watch where
+//! the pipeline spends its time:
+//!
+//! ```sh
+//! cargo run --release --example profile                  # luindex, forever
+//! cargo run --release --example profile -- sunflow --iters 50
+//! cargo run --release --example profile -- --check       # CI gate
+//! curl http://127.0.0.1:<port>/profile/folded            # while it runs
+//! ```
+//!
+//! `--check` replays every seed workload and asserts the profiling
+//! contracts: deterministic-mode folded profiles parse, are
+//! byte-identical across worker counts and root only in the known span
+//! categories; the report is identical with the profiler on or off; and
+//! the live `/profile/folded`, `/profile/flame.svg` and `/metrics.json`
+//! profile section all serve valid documents. Exits nonzero on any
+//! violation.
+
+use jportal::core::{JPortal, JPortalConfig, JPortalReport};
+use jportal::jvm::{Jvm, JvmConfig, RunResult};
+use jportal::obs::json::{self, Value};
+use jportal::obs::{http_get, TelemetryConfig, TelemetryServer};
+use jportal::workloads::{all_workloads, workload_by_name, Workload};
+use jportal::{ProfileConfig, ProfileSnapshot};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Span categories the pipeline opens; every profiled stack must root
+/// in one of these (a frame label is `category:name`).
+const SPAN_CATEGORIES: [&str; 6] = [
+    "pipeline", "collect", "decode", "project", "recover", "lint",
+];
+
+/// Lossy collection config (same regime as `telemetry_live`): small PT
+/// buffers and a slow exporter force overflows, so recovery spans show
+/// up in the profile too.
+fn run_jvm(w: &Workload) -> RunResult {
+    let cfg = JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        pt_buffer_capacity: 1600,
+        drain_bytes_per_kilocycle: 60,
+        ..JvmConfig::default()
+    };
+    Jvm::new(cfg).run_threads(&w.program, &w.threads)
+}
+
+// --------------------------------------------------------------------- live
+
+/// Replay loop: analyze the workload over and over with wall-clock
+/// sampling on, serving the profile endpoints to whoever connects.
+fn live(name: &str, iters: Option<u64>) -> Result<(), String> {
+    let w = workload_by_name(name, 1);
+    let r = run_jvm(&w);
+    let jp = JPortal::with_config(
+        &w.program,
+        JPortalConfig {
+            telemetry: Some(TelemetryConfig::default()),
+            profiling: Some(ProfileConfig::default()),
+            ..JPortalConfig::default()
+        },
+    );
+    let plane = Arc::clone(jp.telemetry_plane().expect("telemetry configured on"));
+    let server = TelemetryServer::bind(Arc::clone(&plane), "127.0.0.1:0")
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let url = server.url();
+    println!("live self-profile for {:?} at {url}", w.name);
+    println!("  {url}/profile/folded     flamegraph.pl-compatible folded stacks");
+    println!("  {url}/profile/flame.svg  flamegraph (open in a browser)");
+    println!("  {url}/metrics.json       metrics + pprof-style profile section");
+    let mut i = 0u64;
+    loop {
+        let report = jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+        i += 1;
+        if i.is_multiple_of(10) || iters.is_some() {
+            let snap = jp.profiler().expect("profiling on").snapshot();
+            println!(
+                "iteration {i}: {} entries, {} samples over {} stacks",
+                report.total_entries(),
+                snap.samples,
+                snap.stacks.len()
+            );
+        }
+        if iters == Some(i) {
+            break;
+        }
+    }
+    server.shutdown();
+    Ok(())
+}
+
+// -------------------------------------------------------------------- check
+
+/// One deterministic profiling run; returns the folded profile and the
+/// report.
+fn deterministic_run(
+    w: &Workload,
+    r: &RunResult,
+    parallelism: Option<usize>,
+) -> (String, JPortalReport) {
+    let jp = JPortal::with_config(
+        &w.program,
+        JPortalConfig {
+            parallelism,
+            profiling: Some(ProfileConfig {
+                deterministic: true,
+                ..ProfileConfig::default()
+            }),
+            ..JPortalConfig::default()
+        },
+    );
+    let report = jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+    (jp.profiler().unwrap().snapshot().folded_text(), report)
+}
+
+/// The profiling gate for one workload.
+fn check(w: &Workload) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("{}: {msg}", w.name));
+    let r = run_jvm(w);
+
+    // Deterministic profiles: parse, root in known categories, and are
+    // byte-identical between the sequential path and full fan-out.
+    let (folded_seq, report_seq) = deterministic_run(w, &r, Some(1));
+    let (folded_par, _) = deterministic_run(w, &r, None);
+    if folded_seq != folded_par {
+        return fail(format!(
+            "deterministic folded profile differs across worker counts:\n\
+             --- Some(1)\n{folded_seq}--- None\n{folded_par}"
+        ));
+    }
+    let stacks = ProfileSnapshot::parse_folded(&folded_seq)
+        .map_err(|e| format!("{}: folded profile does not parse: {e}", w.name))?;
+    if stacks.is_empty() {
+        return fail("deterministic profile recorded no stacks".into());
+    }
+    for (stack, count) in &stacks {
+        let root = &stack[0];
+        let cat = root.split(':').next().unwrap_or(root);
+        if !SPAN_CATEGORIES.contains(&cat) {
+            return fail(format!("stack roots outside the span categories: {root:?}"));
+        }
+        if *count == 0 {
+            return fail(format!("zero-weight folded stack: {stack:?}"));
+        }
+    }
+
+    // The profiler must not perturb the reconstruction.
+    let plain = JPortal::new(&w.program).analyze(r.traces.as_ref().unwrap(), &r.archive);
+    if plain != report_seq {
+        return fail("report differs with the profiler on".into());
+    }
+
+    // Live plane: wall-clock profiler attached, endpoints serve valid
+    // documents even before any sample lands.
+    let jp = JPortal::with_config(
+        &w.program,
+        JPortalConfig {
+            telemetry: Some(TelemetryConfig::default()),
+            profiling: Some(ProfileConfig::default()),
+            ..JPortalConfig::default()
+        },
+    );
+    let plane = Arc::clone(jp.telemetry_plane().unwrap());
+    let server = TelemetryServer::bind(plane, "127.0.0.1:0")
+        .map_err(|e| format!("{}: bind failed: {e}", w.name))?;
+    let url = server.url();
+    jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+
+    let folded = http_get(&format!("{url}/profile/folded"))
+        .map_err(|e| format!("{}: GET /profile/folded: {e}", w.name))?;
+    if folded.status != 200 {
+        return fail(format!("/profile/folded status {}", folded.status));
+    }
+    ProfileSnapshot::parse_folded(&folded.body)
+        .map_err(|e| format!("{}: live folded output does not parse: {e}", w.name))?;
+
+    let svg = http_get(&format!("{url}/profile/flame.svg"))
+        .map_err(|e| format!("{}: GET /profile/flame.svg: {e}", w.name))?;
+    if svg.status != 200 || !svg.body.starts_with("<svg ") || !svg.body.ends_with("</svg>") {
+        return fail(format!(
+            "/profile/flame.svg malformed (status {})",
+            svg.status
+        ));
+    }
+
+    let mj = http_get(&format!("{url}/metrics.json"))
+        .map_err(|e| format!("{}: GET /metrics.json: {e}", w.name))?;
+    json::validate(&mj.body).map_err(|e| format!("{}: /metrics.json: {e}", w.name))?;
+    let doc = json::parse(&mj.body).expect("validated above");
+    let Some(profile) = doc.get("profile") else {
+        return fail("/metrics.json has no profile section".into());
+    };
+    if profile.get("hz").and_then(Value::as_num) != Some(997.0) {
+        return fail("/metrics.json profile section lacks hz".into());
+    }
+    server.shutdown();
+
+    println!(
+        "{:<10} ok: {} deterministic stacks, live endpoints valid",
+        w.name,
+        stacks.len()
+    );
+    Ok(())
+}
+
+// --------------------------------------------------------------------- main
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let mut iters: Option<u64> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--iters" {
+            iters = it.next().and_then(|v| v.parse().ok());
+            if iters.is_none() {
+                eprintln!("--iters needs a number");
+                return ExitCode::FAILURE;
+            }
+        } else if !a.starts_with("--") {
+            names.push(a.clone());
+        }
+    }
+
+    if check_mode {
+        let workloads: Vec<Workload> = if names.is_empty() {
+            all_workloads(1)
+        } else {
+            names.iter().map(|n| workload_by_name(n, 1)).collect()
+        };
+        for w in &workloads {
+            if let Err(e) = check(w) {
+                eprintln!("FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("all self-profiling checks passed");
+        return ExitCode::SUCCESS;
+    }
+
+    let name = names.first().map(String::as_str).unwrap_or("luindex");
+    match live(name, iters) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -39,4 +39,7 @@ pub use jportal_obs as obs;
 pub use jportal_profilers as profilers;
 pub use jportal_workloads as workloads;
 
-pub use jportal_obs::{TelemetryConfig, TelemetryPlane, TelemetryServer};
+pub use jportal_obs::{
+    ContentionCounter, ProfileConfig, ProfileSnapshot, Profiler, TelemetryConfig, TelemetryPlane,
+    TelemetryServer,
+};

@@ -1,0 +1,86 @@
+//! Self-profiling contracts: deterministic-mode profiles are
+//! byte-identical at any worker count (samples are taken at logical
+//! stage-tick boundaries on the main thread, never from wall time), and
+//! turning the profiler on never perturbs the reconstruction report.
+
+use jportal::core::{JPortal, JPortalConfig};
+use jportal::jvm::{Jvm, JvmConfig};
+use jportal::workloads::workload_by_name;
+use jportal::ProfileConfig;
+
+fn folded_profile(w_name: &str, parallelism: Option<usize>) -> String {
+    let w = workload_by_name(w_name, 1);
+    let r = Jvm::new(JvmConfig {
+        cores: if w.multithreaded { 2 } else { 1 },
+        pt_buffer_capacity: 1600,
+        drain_bytes_per_kilocycle: 60,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let jp = JPortal::with_config(
+        &w.program,
+        JPortalConfig {
+            parallelism,
+            profiling: Some(ProfileConfig {
+                deterministic: true,
+                ..ProfileConfig::default()
+            }),
+            ..JPortalConfig::default()
+        },
+    );
+    jp.analyze(r.traces.as_ref().unwrap(), &r.archive);
+    let snap = jp.profiler().unwrap().snapshot();
+    assert!(snap.deterministic);
+    assert!(
+        snap.samples >= 3,
+        "{w_name}: every stage tick must sample (got {})",
+        snap.samples
+    );
+    snap.folded_text()
+}
+
+#[test]
+fn deterministic_profiles_are_parallelism_independent() {
+    for name in ["fop", "sunflow"] {
+        let sequential = folded_profile(name, Some(1));
+        let parallel = folded_profile(name, None);
+        assert_eq!(
+            sequential, parallel,
+            "{name}: deterministic folded profile differs between Some(1) and None"
+        );
+        // The stage-tick samples on the main thread land inside the
+        // top-level analyze span.
+        assert!(
+            sequential.contains("pipeline:analyze"),
+            "{name}: expected the analyze root frame, got:\n{sequential}"
+        );
+    }
+}
+
+#[test]
+fn profiler_never_perturbs_the_report() {
+    let w = workload_by_name("fop", 1);
+    let r = Jvm::new(JvmConfig {
+        pt_buffer_capacity: 1600,
+        drain_bytes_per_kilocycle: 60,
+        ..JvmConfig::default()
+    })
+    .run_threads(&w.program, &w.threads);
+    let traces = r.traces.as_ref().unwrap();
+
+    let plain = JPortal::new(&w.program).analyze(traces, &r.archive);
+    // Wall-clock sampling at the default 997 Hz, the production shape.
+    let jp = JPortal::with_config(
+        &w.program,
+        JPortalConfig {
+            profiling: Some(ProfileConfig::default()),
+            ..JPortalConfig::default()
+        },
+    );
+    let profiled = jp.analyze(traces, &r.archive);
+    assert_eq!(plain, profiled, "profiling must not change the report");
+    // The profiler observed the run (wall sampling is timing-dependent,
+    // so only liveness is asserted, not contents).
+    let snap = jp.profiler().unwrap().snapshot();
+    assert!(snap.hz == 997 && !snap.deterministic);
+}

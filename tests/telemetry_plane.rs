@@ -5,8 +5,11 @@
 //! they sample is deterministically merged before the tick.
 //!
 //! Scheduling-dependent metrics are excluded by contract: `cfg.dfa.*`
-//! (cache hit/miss splits depend on worker interleaving) and
-//! `obs.serve.*` (only a bound server feeds them).
+//! (cache hit/miss splits depend on worker interleaving),
+//! `obs.serve.*` (only a bound server feeds them), the `lock.*`
+//! contention families (whether an acquisition contends is pure
+//! scheduling) and `par.queue.*` (queue depth at scrape time depends
+//! on claim interleaving).
 
 use jportal::core::{JPortal, JPortalConfig};
 use jportal::jvm::{Jvm, JvmConfig};
@@ -44,7 +47,12 @@ fn analyze_series(w_name: &str, parallelism: Option<usize>) -> (u64, SeriesMap) 
     let series = snap
         .series
         .iter()
-        .filter(|s| !s.name.contains("cfg.dfa.") && !s.name.contains("obs.serve."))
+        .filter(|s| {
+            !s.name.contains("cfg.dfa.")
+                && !s.name.contains("obs.serve.")
+                && !s.name.starts_with("lock.")
+                && !s.name.starts_with("par.queue.")
+        })
         .map(|s| {
             let points = s
                 .points
